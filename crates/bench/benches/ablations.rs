@@ -1,0 +1,190 @@
+//! Ablation benches for the design choices DESIGN.md calls out.
+//!
+//! * `ablation_bare_vs_generic` — the same loop launched bare / SPMD /
+//!   generic: how much the execution-mode machinery costs in the
+//!   functional simulator (the modeled costs are asserted in unit tests).
+//! * `ablation_globalization` — per-thread scratch on the globalized heap
+//!   vs shared memory vs thread-local.
+//! * `ablation_block_exec` — the executor's serial fast path vs the
+//!   barrier-capable team path for a barrier-free kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ompx::BareTarget;
+use ompx_hostrt::{OpenMp, QuirkSet};
+use ompx_sim::prelude::*;
+
+const N: usize = 16_384;
+const BLOCK: u32 = 64;
+
+fn ablation_bare_vs_generic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_bare_vs_generic");
+    group.sample_size(10);
+
+    group.bench_function("bare", |b| {
+        let omp = ompx::runtime_on(Device::new(DeviceProfile::test_small()));
+        let buf = omp.device().alloc::<f32>(N);
+        b.iter(|| {
+            BareTarget::new(&omp, "abl_bare")
+                .num_teams([(N as u32) / BLOCK])
+                .thread_limit([BLOCK])
+                .launch({
+                    let buf = buf.clone();
+                    move |tc| {
+                        let i = tc.global_thread_id_x();
+                        if i < N {
+                            tc.write(&buf, i, i as f32);
+                        }
+                    }
+                })
+                .unwrap()
+        });
+    });
+
+    for (name, quirk) in [
+        ("spmd", QuirkSet::default()),
+        ("generic", QuirkSet { force_generic: true, ..Default::default() }),
+    ] {
+        group.bench_function(name, |b| {
+            let omp = OpenMp::test_system();
+            omp.quirks().set("abl_mode", quirk);
+            let buf = omp.device().alloc::<f32>(N);
+            b.iter(|| {
+                omp.target("abl_mode")
+                    .num_teams((N as u32) / BLOCK)
+                    .thread_limit(BLOCK)
+                    .run_distribute_parallel_for(N, {
+                        let buf = buf.clone();
+                        move |tc, i, _s| tc.write(&buf, i, i as f32)
+                    })
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn ablation_globalization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_globalization");
+    group.sample_size(10);
+
+    for (name, quirk) in [
+        ("heap", QuirkSet::default()),
+        ("shared", QuirkSet { heap_to_shared: true, ..Default::default() }),
+    ] {
+        group.bench_function(name, |b| {
+            let omp = OpenMp::test_system();
+            omp.quirks().set("abl_glob", quirk);
+            b.iter(|| {
+                omp.target("abl_glob")
+                    .num_teams(16)
+                    .thread_limit(BLOCK)
+                    .scratch_f64(8)
+                    .run_distribute_parallel_for(N, move |tc, i, s| {
+                        for j in 0..8 {
+                            s.set(tc, j, (i + j) as f64);
+                        }
+                        let mut acc = 0.0;
+                        for j in 0..8 {
+                            acc += s.get(tc, j);
+                        }
+                        std::hint::black_box(acc);
+                    })
+                    .unwrap()
+            });
+        });
+    }
+
+    group.bench_function("thread_local", |b| {
+        let omp = ompx::runtime_on(Device::new(DeviceProfile::test_small()));
+        b.iter(|| {
+            BareTarget::new(&omp, "abl_local")
+                .num_teams([(N as u32) / BLOCK])
+                .thread_limit([BLOCK])
+                .launch(move |tc| {
+                    let i = tc.global_thread_id_x();
+                    let mut arr = tc.local_array::<f64>(8);
+                    for j in 0..8 {
+                        tc.lwrite(&mut arr, j, (i + j) as f64);
+                    }
+                    let mut acc = 0.0;
+                    for j in 0..8 {
+                        acc += tc.lread(&arr, j);
+                    }
+                    std::hint::black_box(acc);
+                })
+                .unwrap()
+        });
+    });
+    group.finish();
+}
+
+fn ablation_block_exec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_block_exec");
+    group.sample_size(10);
+    let dev = Device::new(DeviceProfile::test_small());
+    let buf = dev.alloc::<f32>(N);
+
+    let body = |buf: ompx_sim::mem::DBuf<f32>| {
+        move |tc: &mut ThreadCtx<'_>| {
+            let i = tc.global_thread_id_x();
+            if i < N {
+                tc.flops(4);
+                tc.write(&buf, i, (i as f32).sqrt());
+            }
+        }
+    };
+
+    group.bench_function("serial_path", |b| {
+        let k = Kernel::new("abl_serial", body(buf.clone()));
+        b.iter(|| dev.launch(&k, LaunchConfig::linear(N, BLOCK)).unwrap());
+    });
+    group.bench_function("team_path", |b| {
+        // Force the team executor by declaring (unused) barrier usage.
+        let k = Kernel::with_flags(
+            "abl_team",
+            KernelFlags { uses_block_sync: true, uses_warp_ops: false },
+            body(buf.clone()),
+        );
+        b.iter(|| dev.launch(&k, LaunchConfig::linear(N, BLOCK)).unwrap());
+    });
+    group.finish();
+}
+
+fn ablation_racecheck(c: &mut Criterion) {
+    // Cost of the shared-memory race detector on a barrier-heavy kernel.
+    let mut group = c.benchmark_group("ablation_racecheck");
+    group.sample_size(10);
+    let dev = Device::new(DeviceProfile::test_small());
+    for (name, racecheck) in [("off", false), ("on", true)] {
+        group.bench_function(name, |b| {
+            let mut cfg = LaunchConfig::new(16u32, 64u32);
+            if racecheck {
+                cfg = cfg.with_racecheck();
+            }
+            let slot = cfg.shared_array::<f32>(64);
+            let k = Kernel::with_flags(
+                "abl_race",
+                KernelFlags { uses_block_sync: true, uses_warp_ops: false },
+                move |tc: &mut ThreadCtx<'_>| {
+                    let tile = tc.shared::<f32>(slot);
+                    let t = tc.thread_rank();
+                    tc.swrite(&tile, t, t as f32);
+                    tc.sync_threads();
+                    let v = tc.sread(&tile, (t + 1) % 64);
+                    std::hint::black_box(v);
+                },
+            );
+            b.iter(|| dev.launch(&k, cfg.clone()).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_bare_vs_generic,
+    ablation_globalization,
+    ablation_block_exec,
+    ablation_racecheck
+);
+criterion_main!(benches);

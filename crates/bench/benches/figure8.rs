@@ -1,0 +1,41 @@
+//! Criterion benches: one group per Figure 8 subfigure (8a–8l).
+//!
+//! Each group measures the *wall time of the functional simulation* for
+//! the four program versions at test scale — useful for tracking the
+//! reproduction's own performance and for spotting regressions in the
+//! executor. The paper-facing modeled times are produced by the `figures`
+//! binary (`cargo run --release -p ompx-bench --bin figures -- fig8`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ompx_hecbench::{run_app, ProgVersion, System, WorkScale, APP_NAMES};
+
+fn bench_panel(c: &mut Criterion, app: &'static str, sys: System) {
+    let mut group = c.benchmark_group(format!(
+        "fig{}_{}_{}",
+        ompx_bench::subfigure_label(app, sys),
+        app,
+        sys.label()
+    ));
+    group.sample_size(10);
+    for version in ProgVersion::all() {
+        group.bench_function(version.label(sys), |b| {
+            b.iter(|| std::hint::black_box(run_app(app, sys, version, WorkScale::Test)));
+        });
+    }
+    group.finish();
+}
+
+fn fig8_nvidia(c: &mut Criterion) {
+    for app in APP_NAMES {
+        bench_panel(c, app, System::Nvidia);
+    }
+}
+
+fn fig8_amd(c: &mut Criterion) {
+    for app in APP_NAMES {
+        bench_panel(c, app, System::Amd);
+    }
+}
+
+criterion_group!(benches, fig8_nvidia, fig8_amd);
+criterion_main!(benches);

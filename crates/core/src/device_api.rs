@@ -1,0 +1,536 @@
+//! Device APIs (§3.3): thread indexing, synchronization, warp primitives.
+//!
+//! The paper provides two API surfaces over the same functionality,
+//! following the device-runtime design of Tian et al. (IWOMP'21):
+//!
+//! * **C APIs** prefixed `ompx_` — `ompx_thread_id_x()`,
+//!   `ompx_sync_thread_block()`, `ompx_shfl_sync()`, … rendered here as
+//!   free functions over the thread context (the context argument plays
+//!   the role the implicit GPU thread state plays in C);
+//! * **C++ APIs** in the `ompx` namespace — `ompx::thread_id(ompx::DIM_X)`,
+//!   rendered as the [`Dim`]-parameterised functions.
+//!
+//! Both forward to the same [`ThreadCtx`] machinery that the CUDA/HIP
+//! facades use, which is the reproduction's statement of the paper's
+//! point: these APIs *are* the kernel-language primitives, only portable.
+
+use ompx_sim::mem::DeviceScalar;
+use ompx_sim::thread::ThreadCtx;
+
+/// Geometry dimension selector (the C++ API's `ompx::DIM_X/Y/Z`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dim {
+    X,
+    Y,
+    Z,
+}
+
+// ---- C-style thread indexing (§3.3.1) -----------------------------------
+
+/// `ompx_thread_id_x()` — `threadIdx.x`.
+#[inline]
+pub fn ompx_thread_id_x(tc: &ThreadCtx<'_>) -> usize {
+    tc.thread_id_x()
+}
+/// `ompx_thread_id_y()` — `threadIdx.y`.
+#[inline]
+pub fn ompx_thread_id_y(tc: &ThreadCtx<'_>) -> usize {
+    tc.thread_id_y()
+}
+/// `ompx_thread_id_z()` — `threadIdx.z`.
+#[inline]
+pub fn ompx_thread_id_z(tc: &ThreadCtx<'_>) -> usize {
+    tc.thread_id_z()
+}
+/// `ompx_block_id_x()` — `blockIdx.x`.
+#[inline]
+pub fn ompx_block_id_x(tc: &ThreadCtx<'_>) -> usize {
+    tc.block_id_x()
+}
+/// `ompx_block_id_y()` — `blockIdx.y`.
+#[inline]
+pub fn ompx_block_id_y(tc: &ThreadCtx<'_>) -> usize {
+    tc.block_id_y()
+}
+/// `ompx_block_id_z()` — `blockIdx.z`.
+#[inline]
+pub fn ompx_block_id_z(tc: &ThreadCtx<'_>) -> usize {
+    tc.block_id_z()
+}
+/// `ompx_block_dim_x()` — `blockDim.x`.
+#[inline]
+pub fn ompx_block_dim_x(tc: &ThreadCtx<'_>) -> usize {
+    tc.block_dim_x()
+}
+/// `ompx_block_dim_y()` — `blockDim.y`.
+#[inline]
+pub fn ompx_block_dim_y(tc: &ThreadCtx<'_>) -> usize {
+    tc.block_dim_y()
+}
+/// `ompx_block_dim_z()` — `blockDim.z`.
+#[inline]
+pub fn ompx_block_dim_z(tc: &ThreadCtx<'_>) -> usize {
+    tc.block_dim_z()
+}
+/// `ompx_grid_dim_x()` — `gridDim.x`.
+#[inline]
+pub fn ompx_grid_dim_x(tc: &ThreadCtx<'_>) -> usize {
+    tc.grid_dim_x()
+}
+/// `ompx_grid_dim_y()` — `gridDim.y`.
+#[inline]
+pub fn ompx_grid_dim_y(tc: &ThreadCtx<'_>) -> usize {
+    tc.grid_dim_y()
+}
+/// `ompx_grid_dim_z()` — `gridDim.z`.
+#[inline]
+pub fn ompx_grid_dim_z(tc: &ThreadCtx<'_>) -> usize {
+    tc.grid_dim_z()
+}
+
+// ---- C++-style indexing (ompx::thread_id(ompx::DIM_X)) -------------------
+
+/// `ompx::thread_id(dim)`.
+#[inline]
+pub fn thread_id(tc: &ThreadCtx<'_>, dim: Dim) -> usize {
+    match dim {
+        Dim::X => tc.thread_id_x(),
+        Dim::Y => tc.thread_id_y(),
+        Dim::Z => tc.thread_id_z(),
+    }
+}
+
+/// `ompx::block_id(dim)`.
+#[inline]
+pub fn block_id(tc: &ThreadCtx<'_>, dim: Dim) -> usize {
+    match dim {
+        Dim::X => tc.block_id_x(),
+        Dim::Y => tc.block_id_y(),
+        Dim::Z => tc.block_id_z(),
+    }
+}
+
+/// `ompx::block_dim(dim)`.
+#[inline]
+pub fn block_dim(tc: &ThreadCtx<'_>, dim: Dim) -> usize {
+    match dim {
+        Dim::X => tc.block_dim_x(),
+        Dim::Y => tc.block_dim_y(),
+        Dim::Z => tc.block_dim_z(),
+    }
+}
+
+/// `ompx::grid_dim(dim)`.
+#[inline]
+pub fn grid_dim(tc: &ThreadCtx<'_>, dim: Dim) -> usize {
+    match dim {
+        Dim::X => tc.grid_dim_x(),
+        Dim::Y => tc.grid_dim_y(),
+        Dim::Z => tc.grid_dim_z(),
+    }
+}
+
+// ---- synchronization (§3.3.2) --------------------------------------------
+
+/// `ompx_sync_thread_block()` — `__syncthreads()`.
+#[inline]
+pub fn ompx_sync_thread_block(tc: &mut ThreadCtx<'_>) {
+    tc.sync_threads();
+}
+
+/// `ompx_sync_warp()` — `__syncwarp()`. (The OpenMP committee is
+/// considering "warp" as a forward-progress contention group; this is the
+/// prototype spelling.)
+#[inline]
+pub fn ompx_sync_warp(tc: &mut ThreadCtx<'_>) {
+    tc.sync_warp();
+}
+
+// ---- warp primitives (§3.3.2) --------------------------------------------
+
+/// `ompx_shfl_sync(val, src_lane)` — `__shfl_sync`.
+#[inline]
+pub fn ompx_shfl_sync<T: DeviceScalar>(tc: &mut ThreadCtx<'_>, val: T, src_lane: usize) -> T {
+    tc.shfl(val, src_lane)
+}
+
+/// `ompx_shfl_down_sync(val, delta)` — `__shfl_down_sync`.
+#[inline]
+pub fn ompx_shfl_down_sync<T: DeviceScalar>(tc: &mut ThreadCtx<'_>, val: T, delta: usize) -> T {
+    tc.shfl_down(val, delta)
+}
+
+/// `ompx_shfl_up_sync(val, delta)` — `__shfl_up_sync`.
+#[inline]
+pub fn ompx_shfl_up_sync<T: DeviceScalar>(tc: &mut ThreadCtx<'_>, val: T, delta: usize) -> T {
+    tc.shfl_up(val, delta)
+}
+
+/// `ompx_shfl_xor_sync(val, mask)` — `__shfl_xor_sync`.
+#[inline]
+pub fn ompx_shfl_xor_sync<T: DeviceScalar>(tc: &mut ThreadCtx<'_>, val: T, mask: usize) -> T {
+    tc.shfl_xor(val, mask)
+}
+
+/// `ompx_ballot_sync(pred)` — `__ballot_sync`.
+#[inline]
+pub fn ompx_ballot_sync(tc: &mut ThreadCtx<'_>, pred: bool) -> u64 {
+    tc.ballot(pred)
+}
+
+/// `ompx_any_sync(pred)` — `__any_sync`: true if any lane votes true.
+#[inline]
+pub fn ompx_any_sync(tc: &mut ThreadCtx<'_>, pred: bool) -> bool {
+    tc.any_sync(pred)
+}
+
+/// `ompx_all_sync(pred)` — `__all_sync`: true if every lane votes true.
+#[inline]
+pub fn ompx_all_sync(tc: &mut ThreadCtx<'_>, pred: bool) -> bool {
+    tc.all_sync(pred)
+}
+
+// ---- warp/lane identity ----------------------------------------------------
+
+/// `ompx_warp_size()` — the device warp/wavefront width (32 on NVIDIA,
+/// 64 on AMD; the "forward progress group" size of the paper's footnote 4).
+#[inline]
+pub fn ompx_warp_size(tc: &ThreadCtx<'_>) -> usize {
+    tc.warp_size()
+}
+
+/// `ompx_warp_id()` — the warp index of this thread within its block.
+#[inline]
+pub fn ompx_warp_id(tc: &ThreadCtx<'_>) -> usize {
+    tc.warp_id()
+}
+
+/// `ompx_lane_id()` — the lane index of this thread within its warp.
+#[inline]
+pub fn ompx_lane_id(tc: &ThreadCtx<'_>) -> usize {
+    tc.lane_id()
+}
+
+/// `ompx_global_thread_id_x()` — the canonical
+/// `blockIdx.x * blockDim.x + threadIdx.x`.
+#[inline]
+pub fn ompx_global_thread_id_x(tc: &ThreadCtx<'_>) -> usize {
+    tc.global_thread_id_x()
+}
+
+// ---- device atomics ---------------------------------------------------------
+
+/// `ompx_atomic_add` — `atomicAdd`; returns the previous value.
+#[inline]
+pub fn ompx_atomic_add<T: DeviceScalar>(
+    tc: &mut ThreadCtx<'_>,
+    buf: &ompx_sim::mem::DBuf<T>,
+    i: usize,
+    v: T,
+) -> T {
+    tc.atomic_add(buf, i, v)
+}
+
+/// `ompx_atomic_min` — `atomicMin`; returns the previous value.
+#[inline]
+pub fn ompx_atomic_min<T: DeviceScalar>(
+    tc: &mut ThreadCtx<'_>,
+    buf: &ompx_sim::mem::DBuf<T>,
+    i: usize,
+    v: T,
+) -> T {
+    tc.atomic_min(buf, i, v)
+}
+
+/// `ompx_atomic_max` — `atomicMax`; returns the previous value.
+#[inline]
+pub fn ompx_atomic_max<T: DeviceScalar>(
+    tc: &mut ThreadCtx<'_>,
+    buf: &ompx_sim::mem::DBuf<T>,
+    i: usize,
+    v: T,
+) -> T {
+    tc.atomic_max(buf, i, v)
+}
+
+/// `ompx_atomic_cas` — `atomicCAS`; `Ok(previous)` on success.
+#[inline]
+pub fn ompx_atomic_cas<T: DeviceScalar>(
+    tc: &mut ThreadCtx<'_>,
+    buf: &ompx_sim::mem::DBuf<T>,
+    i: usize,
+    current: T,
+    new: T,
+) -> Result<T, T> {
+    tc.atomic_cas(buf, i, current, new)
+}
+
+// ---- blending traditional OpenMP into bare regions ---------------------------
+
+/// Block-level worksharing *inside* a bare region — the paper's "blend
+/// traditional and kernel-like OpenMP code" capability: a SIMT kernel can
+/// still say "distribute these `n` iterations over my team" instead of
+/// hand-computing offsets. Block-strided static schedule; every thread of
+/// the block must call it (no implicit barrier, like `nowait`).
+pub fn ompx_for_each_in_block(
+    tc: &mut ThreadCtx<'_>,
+    n: usize,
+    mut body: impl FnMut(&mut ThreadCtx<'_>, usize),
+) {
+    let stride = tc.block_dim_x() * tc.block_dim_y() * tc.block_dim_z();
+    let mut i = tc.thread_rank();
+    while i < n {
+        body(tc, i);
+        i += stride;
+    }
+}
+
+/// Grid-level worksharing inside a bare region: distribute `0..n` over
+/// every thread of the launch (grid-stride loop).
+pub fn ompx_for_each_in_grid(
+    tc: &mut ThreadCtx<'_>,
+    n: usize,
+    mut body: impl FnMut(&mut ThreadCtx<'_>, usize),
+) {
+    let stride = tc.global_size();
+    let mut i = tc.global_rank();
+    while i < n {
+        body(tc, i);
+        i += stride;
+    }
+}
+
+// ---- collective conveniences -----------------------------------------------
+
+/// Warp-wide sum via the butterfly shuffle pattern — the idiom kernels
+/// build from `ompx_shfl_down_sync`, provided as a convenience.
+pub fn ompx_warp_reduce_sum_f64(tc: &mut ThreadCtx<'_>, val: f64) -> f64 {
+    let mut acc = val;
+    let mut offset = tc.warp_size() / 2;
+    while offset > 0 {
+        let other = tc.shfl_xor(acc, offset);
+        tc.flops(1);
+        acc += other;
+        offset /= 2;
+    }
+    acc
+}
+
+/// Block-wide sum: values staged through a shared slot (declared by the
+/// caller with `BareTarget::shared_array::<f64>(block_size)`) and
+/// tree-reduced with block barriers. Every thread receives the block
+/// total. Works for any block size, including non-powers-of-two.
+/// Requires `uses_block_sync`.
+pub fn ompx_block_reduce_sum_f64(tc: &mut ThreadCtx<'_>, slot: usize, val: f64) -> f64 {
+    let tile = tc.shared::<f64>(slot);
+    let tid = tc.thread_rank();
+    let block = tc.block_dim_x() * tc.block_dim_y() * tc.block_dim_z();
+    debug_assert!(tile.len() >= block, "reduce slot must hold one element per thread");
+    tc.swrite(&tile, tid, val);
+    tc.sync_threads();
+
+    let mut stride = block.next_power_of_two() / 2;
+    while stride > 0 {
+        if tid < stride && tid + stride < block {
+            let a = tc.sread(&tile, tid);
+            let b = tc.sread(&tile, tid + stride);
+            tc.flops(1);
+            tc.swrite(&tile, tid, a + b);
+        }
+        tc.sync_threads();
+        stride /= 2;
+    }
+    tc.sread(&tile, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bare::BareTarget;
+    use ompx_hostrt::{KnownIssues, OpenMp};
+    use ompx_klang::toolchain::Toolchain;
+    use ompx_sim::device::{Device, DeviceProfile};
+
+    fn omp() -> OpenMp {
+        OpenMp::with_device(
+            Device::new(DeviceProfile::test_small()),
+            Toolchain::OmpxPrototype,
+            KnownIssues::new(),
+        )
+    }
+
+    #[test]
+    fn c_and_cxx_indexing_apis_agree() {
+        let omp = omp();
+        let ok = omp.device().alloc::<u32>(1);
+        BareTarget::new(&omp, "agree")
+            .num_teams([2u32, 2])
+            .thread_limit([4u32, 2])
+            .launch({
+                let ok = ok.clone();
+                move |tc| {
+                    assert_eq!(ompx_thread_id_x(tc), thread_id(tc, Dim::X));
+                    assert_eq!(ompx_thread_id_y(tc), thread_id(tc, Dim::Y));
+                    assert_eq!(ompx_block_id_x(tc), block_id(tc, Dim::X));
+                    assert_eq!(ompx_block_dim_y(tc), block_dim(tc, Dim::Y));
+                    assert_eq!(ompx_grid_dim_x(tc), grid_dim(tc, Dim::X));
+                    assert_eq!(ompx_grid_dim_z(tc), 1);
+                    tc.atomic_add(&ok, 0, 1);
+                }
+            })
+            .unwrap();
+        assert_eq!(ok.get(0), 2 * 2 * 4 * 2);
+    }
+
+    #[test]
+    fn warp_reduce_sum_matches_reference() {
+        let omp = omp(); // warp width 4 on the test device
+        let out = omp.device().alloc::<f64>(8);
+        BareTarget::new(&omp, "wredux")
+            .num_teams([1u32])
+            .thread_limit([8u32])
+            .uses_warp_ops()
+            .launch({
+                let out = out.clone();
+                move |tc| {
+                    let v = (tc.thread_rank() + 1) as f64;
+                    let sum = ompx_warp_reduce_sum_f64(tc, v);
+                    tc.write(&out, tc.thread_rank(), sum);
+                }
+            })
+            .unwrap();
+        let got = out.to_vec();
+        // Warp 0: lanes 0..4 hold 1+2+3+4 = 10; warp 1: 5+6+7+8 = 26.
+        assert_eq!(&got[..4], &[10.0; 4]);
+        assert_eq!(&got[4..], &[26.0; 4]);
+    }
+
+    #[test]
+    fn block_reduce_sum_any_block_size() {
+        let omp = omp();
+        for block in [1usize, 2, 5, 8, 13, 32] {
+            let out = omp.device().alloc::<f64>(block);
+            let mut t = BareTarget::new(&omp, "bredux")
+                .num_teams([2u32])
+                .thread_limit([block as u32])
+                .uses_block_sync();
+            let slot = t.shared_array::<f64>(block);
+            t.launch({
+                let out = out.clone();
+                move |tc| {
+                    let total = ompx_block_reduce_sum_f64(tc, slot, (tc.thread_rank() + 1) as f64);
+                    if tc.block_rank() == 0 {
+                        tc.write(&out, tc.thread_rank(), total);
+                    }
+                }
+            })
+            .unwrap();
+            let expect = (block * (block + 1) / 2) as f64;
+            assert!(
+                out.to_vec().iter().all(|&v| v == expect),
+                "block={block}: expected {expect}, got {:?}",
+                out.to_vec()
+            );
+        }
+    }
+
+    #[test]
+    fn warp_votes() {
+        let omp = omp(); // warp width 4
+        let out = omp.device().alloc::<u32>(8);
+        BareTarget::new(&omp, "votes")
+            .num_teams([1u32])
+            .thread_limit([8u32])
+            .uses_warp_ops()
+            .launch({
+                let out = out.clone();
+                move |tc| {
+                    let lane = tc.lane_id();
+                    // Warp 0 (ranks 0-3): lane 2 votes true -> any=1, all=0.
+                    // Warp 1 (ranks 4-7): everyone votes true -> any=1, all=1.
+                    let pred = tc.warp_id() == 1 || lane == 2;
+                    let any = ompx_any_sync(tc, pred);
+                    let all = ompx_all_sync(tc, pred);
+                    tc.write(&out, tc.thread_rank(), u32::from(any) * 10 + u32::from(all));
+                }
+            })
+            .unwrap();
+        let got = out.to_vec();
+        assert_eq!(&got[..4], &[10; 4], "warp 0: any but not all");
+        assert_eq!(&got[4..], &[11; 4], "warp 1: all");
+    }
+
+    #[test]
+    fn blended_worksharing_covers_every_iteration() {
+        // The "blend traditional and kernel-like OpenMP" capability: a
+        // bare SIMT region using workshare loops instead of manual offsets.
+        let omp = omp();
+        let n = 1000usize;
+        let block_hits = omp.device().alloc::<u32>(n);
+        let grid_hits = omp.device().alloc::<u32>(n);
+        BareTarget::new(&omp, "blend")
+            .num_teams([3u32])
+            .thread_limit([16u32])
+            .launch({
+                let (bh, gh) = (block_hits.clone(), grid_hits.clone());
+                move |tc| {
+                    // Each block covers all of 0..n (block-level share).
+                    ompx_for_each_in_block(tc, n, |tc, i| {
+                        tc.atomic_add(&bh, i, 1);
+                    });
+                    // The grid covers 0..n once in total.
+                    ompx_for_each_in_grid(tc, n, |tc, i| {
+                        tc.atomic_add(&gh, i, 1);
+                    });
+                }
+            })
+            .unwrap();
+        assert!(block_hits.to_vec().iter().all(|&v| v == 3), "once per block");
+        assert!(grid_hits.to_vec().iter().all(|&v| v == 1), "once per grid");
+    }
+
+    #[test]
+    fn warp_lane_identity_and_atomics() {
+        let omp = omp(); // warp width 4
+        let acc = omp.device().alloc::<u64>(1);
+        let mx = omp.device().alloc::<i32>(1);
+        BareTarget::new(&omp, "ident2")
+            .num_teams([1u32])
+            .thread_limit([8u32])
+            .launch({
+                let (acc, mx) = (acc.clone(), mx.clone());
+                move |tc| {
+                    assert_eq!(ompx_warp_size(tc), 4);
+                    assert_eq!(ompx_warp_id(tc), tc.thread_rank() / 4);
+                    assert_eq!(ompx_lane_id(tc), tc.thread_rank() % 4);
+                    assert_eq!(ompx_global_thread_id_x(tc), tc.thread_rank());
+                    ompx_atomic_add(tc, &acc, 0, 1u64);
+                    ompx_atomic_max(tc, &mx, 0, tc.thread_rank() as i32);
+                }
+            })
+            .unwrap();
+        assert_eq!(acc.get(0), 8);
+        assert_eq!(mx.get(0), 7);
+    }
+
+    #[test]
+    fn ballot_and_shuffles_via_api() {
+        let omp = omp();
+        let out = omp.device().alloc::<u64>(4);
+        BareTarget::new(&omp, "ballot")
+            .num_teams([1u32])
+            .thread_limit([4u32])
+            .uses_warp_ops()
+            .launch({
+                let out = out.clone();
+                move |tc| {
+                    let lane = tc.lane_id();
+                    let m = ompx_ballot_sync(tc, lane % 2 == 1);
+                    let from_zero: u64 = ompx_shfl_sync(tc, lane as u64 * 7, 0);
+                    tc.write(&out, lane, m + from_zero);
+                }
+            })
+            .unwrap();
+        assert_eq!(out.to_vec(), vec![0b1010; 4]);
+    }
+}

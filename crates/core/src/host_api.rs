@@ -1,0 +1,114 @@
+//! Host APIs (§3.4): direct device interaction, CUDA-runtime style.
+//!
+//! OpenMP's directive-based data management automates most transfers, but
+//! ported kernel-language programs expect explicit calls. Following the
+//! user-facing API layer of Doerfert et al. (PACT'22 — "Breaking the
+//! Vendor Lock"), the extensions expose `ompx_` host functions mapping
+//! 1:1 onto the CUDA runtime's:
+//!
+//! | CUDA | ompx |
+//! |---|---|
+//! | `cudaMalloc` | [`ompx_malloc`] |
+//! | `cudaFree` | [`ompx_free`] |
+//! | `cudaMemcpy(H2D)` | [`ompx_memcpy_h2d`] |
+//! | `cudaMemcpy(D2H)` | [`ompx_memcpy_d2h`] |
+//! | `cudaMemcpy(D2D)` | [`ompx_memcpy_d2d`] |
+//! | `cudaMemset` | [`ompx_memset`] |
+//! | `cudaDeviceSynchronize` | [`ompx_device_synchronize`] |
+//! | `cudaStreamCreate` | interop objects ([`crate::interop_depend`]) |
+
+use ompx_hostrt::OpenMp;
+use ompx_sim::mem::{DBuf, DeviceScalar};
+
+/// `ompx_malloc` — allocate `n` zero-initialized device elements.
+pub fn ompx_malloc<T: DeviceScalar>(omp: &OpenMp, n: usize) -> DBuf<T> {
+    omp.device().alloc(n)
+}
+
+/// Allocate and copy in (`ompx_malloc` + `ompx_memcpy_h2d`).
+pub fn ompx_malloc_from<T: DeviceScalar>(omp: &OpenMp, data: &[T]) -> DBuf<T> {
+    omp.device().alloc_from(data)
+}
+
+/// `ompx_free`.
+pub fn ompx_free<T: DeviceScalar>(omp: &OpenMp, buf: &DBuf<T>) {
+    omp.device().free(buf);
+}
+
+/// `ompx_memcpy` host → device.
+pub fn ompx_memcpy_h2d<T: DeviceScalar>(dst: &DBuf<T>, src: &[T]) {
+    dst.copy_from_host(src);
+}
+
+/// `ompx_memcpy` device → host.
+pub fn ompx_memcpy_d2h<T: DeviceScalar>(dst: &mut [T], src: &DBuf<T>) {
+    src.copy_to_host(dst);
+}
+
+/// `ompx_memcpy` device → device.
+pub fn ompx_memcpy_d2d<T: DeviceScalar>(dst: &DBuf<T>, src: &DBuf<T>, n: usize) {
+    dst.copy_from_device(src, n);
+}
+
+/// `ompx_memset` (typed fill).
+pub fn ompx_memset<T: DeviceScalar>(buf: &DBuf<T>, v: T) {
+    buf.fill(v);
+}
+
+/// `ompx_device_synchronize` — drain every stream on the device.
+pub fn ompx_device_synchronize(omp: &OpenMp) {
+    omp.device().synchronize();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ompx_hostrt::KnownIssues;
+    use ompx_klang::toolchain::Toolchain;
+    use ompx_sim::device::{Device, DeviceProfile};
+
+    fn omp() -> OpenMp {
+        OpenMp::with_device(
+            Device::new(DeviceProfile::test_small()),
+            Toolchain::OmpxPrototype,
+            KnownIssues::new(),
+        )
+    }
+
+    #[test]
+    fn malloc_memcpy_free_cycle() {
+        let omp = omp();
+        let before = omp.device().allocated_bytes();
+        let buf = ompx_malloc::<f32>(&omp, 16);
+        ompx_memcpy_h2d(&buf, &[1.0, 2.0, 3.0]);
+        let mut out = vec![0.0f32; 3];
+        ompx_memcpy_d2h(&mut out, &buf);
+        assert_eq!(out, vec![1.0, 2.0, 3.0]);
+        ompx_free(&omp, &buf);
+        assert_eq!(omp.device().allocated_bytes(), before);
+    }
+
+    #[test]
+    fn d2d_and_memset() {
+        let omp = omp();
+        let a = ompx_malloc_from(&omp, &[5u32, 6, 7]);
+        let b = ompx_malloc::<u32>(&omp, 3);
+        ompx_memcpy_d2d(&b, &a, 3);
+        assert_eq!(b.to_vec(), vec![5, 6, 7]);
+        ompx_memset(&b, 9);
+        assert_eq!(b.to_vec(), vec![9, 9, 9]);
+    }
+
+    #[test]
+    fn device_synchronize_flushes_interop_streams() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let omp = omp();
+        let obj = ompx_hostrt::InteropObj::init_targetsync(&omp);
+        let done = Arc::new(AtomicBool::new(false));
+        let d = Arc::clone(&done);
+        obj.enqueue(move || d.store(true, Ordering::SeqCst));
+        ompx_device_synchronize(&omp);
+        assert!(done.load(Ordering::SeqCst));
+    }
+}

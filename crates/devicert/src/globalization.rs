@@ -1,0 +1,127 @@
+//! Variable globalization: team-visible locals that cannot live in registers.
+//!
+//! In OpenMP semantics, a variable declared in a `target teams` region may
+//! be referenced by all threads of the team (e.g. firstprivate capture into
+//! a `parallel` region), so the compiler must *globalize* it: allocate it
+//! from a runtime-managed heap in device global memory instead of a
+//! register or stack slot (Huber et al., CGO'22 — ref \[9\]). The paper's
+//! `ompx_bare` clause disables this ("local variables defined in the scope
+//! will not be globalized", §3.1), which is one of the reasons the `ompx`
+//! versions beat the `omp` versions.
+//!
+//! LLVM's *heap-to-shared* optimization can rescue globalized storage into
+//! shared memory when it fits; the paper observes exactly this making the
+//! `omp` RSBench **faster** than CUDA on the A100 (§4.2.2: 2 KB of shared
+//! memory). Both placements are implemented here so the traffic difference
+//! is counted, not asserted.
+
+use ompx_sim::mem::{DBuf, DeviceScalar};
+use ompx_sim::shared::SharedView;
+use ompx_sim::thread::ThreadCtx;
+
+/// Where the runtime placed a globalized allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GlobalizedPlacement {
+    /// Runtime heap in device global memory (the default).
+    GlobalHeap,
+    /// Shared memory (LLVM's heap-to-shared optimization applied).
+    Shared,
+}
+
+/// A globalized team-local array. Every access goes through the accessing
+/// thread's [`ThreadCtx`] so the placement's traffic is charged correctly.
+pub enum GlobalizedArray<'a, T: DeviceScalar> {
+    Heap(DBuf<T>),
+    Shared(SharedView<'a, T>),
+}
+
+impl<'a, T: DeviceScalar> GlobalizedArray<'a, T> {
+    /// The placement of this allocation.
+    pub fn placement(&self) -> GlobalizedPlacement {
+        match self {
+            GlobalizedArray::Heap(_) => GlobalizedPlacement::GlobalHeap,
+            GlobalizedArray::Shared(_) => GlobalizedPlacement::Shared,
+        }
+    }
+
+    /// Element count.
+    pub fn len(&self) -> usize {
+        match self {
+            GlobalizedArray::Heap(b) => b.len(),
+            GlobalizedArray::Shared(v) => v.len(),
+        }
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counted load through `tc`.
+    #[inline]
+    pub fn get(&self, tc: &mut ThreadCtx<'_>, i: usize) -> T {
+        match self {
+            GlobalizedArray::Heap(b) => tc.read(b, i),
+            GlobalizedArray::Shared(v) => {
+                tc.counters.shared_accesses += 1;
+                v.get(i)
+            }
+        }
+    }
+
+    /// Counted store through `tc`.
+    #[inline]
+    pub fn set(&self, tc: &mut ThreadCtx<'_>, i: usize, v: T) {
+        match self {
+            GlobalizedArray::Heap(b) => tc.write(b, i, v),
+            GlobalizedArray::Shared(view) => {
+                tc.counters.shared_accesses += 1;
+                view.set(i, v)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ompx_sim::device::{Device, DeviceProfile};
+    use ompx_sim::dim::{Dim3, LaunchConfig};
+    use ompx_sim::shared::BlockShared;
+
+    fn with_ctx(f: impl FnOnce(&mut ThreadCtx<'_>, &BlockShared)) {
+        let mut cfg = LaunchConfig::new(1u32, 1u32);
+        cfg.shared_array::<f64>(16);
+        let shared = BlockShared::new(&cfg.shared_slots);
+        let mut tc =
+            ThreadCtx::detached(Dim3::x(1), Dim3::x(1), (0, 0, 0), (0, 0, 0), 32, &shared);
+        f(&mut tc, &shared);
+    }
+
+    #[test]
+    fn heap_placement_counts_global_traffic() {
+        with_ctx(|tc, _| {
+            let dev = Device::new(DeviceProfile::test_small());
+            let arr = GlobalizedArray::Heap(dev.alloc::<f64>(8));
+            assert_eq!(arr.placement(), GlobalizedPlacement::GlobalHeap);
+            assert_eq!(arr.len(), 8);
+            arr.set(tc, 2, 1.5);
+            assert_eq!(arr.get(tc, 2), 1.5);
+            assert_eq!(tc.counters.global_store_bytes, 8);
+            assert_eq!(tc.counters.global_load_bytes, 8);
+            assert_eq!(tc.counters.shared_accesses, 0);
+        });
+    }
+
+    #[test]
+    fn shared_placement_counts_shared_accesses() {
+        with_ctx(|tc, shared| {
+            let arr = GlobalizedArray::Shared(shared.view::<f64>(0));
+            assert_eq!(arr.placement(), GlobalizedPlacement::Shared);
+            arr.set(tc, 0, 2.5);
+            assert_eq!(arr.get(tc, 0), 2.5);
+            assert_eq!(tc.counters.shared_accesses, 2);
+            assert_eq!(tc.counters.global_load_bytes, 0);
+        });
+    }
+}

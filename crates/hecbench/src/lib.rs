@@ -1,0 +1,66 @@
+//! # ompx-hecbench — the paper's six benchmark applications
+//!
+//! The evaluation (§4) ports six HeCBench applications from CUDA to the
+//! proposed OpenMP kernel language and compares four program versions per
+//! system (Figure 8):
+//!
+//! | label | program version | this crate |
+//! |---|---|---|
+//! | `ompx` | OpenMP kernel language, prototype compiler | `run_ompx` paths via [`ompx::BareTarget`] |
+//! | `omp` | traditional OpenMP target offloading, LLVM/Clang | `run_omp` paths via `ompx_hostrt` (with the paper's LLVM quirks) |
+//! | `cuda` / `hip` | native kernel language, LLVM/Clang | `run_native` via `ompx_klang` |
+//! | `cuda-nvcc` / `hip-hipcc` | native, vendor compiler | `run_native` with the vendor toolchain |
+//!
+//! Every version of an app executes the *same* per-item arithmetic (shared
+//! inner functions), so their checksums must agree bit-for-bit — the
+//! versions differ only in launch mechanism, runtime mode, and storage
+//! placement, exactly like the paper's ports. Each app simulates a
+//! scaled-down workload (a functional simulator is ~10⁵× slower than
+//! silicon) and extrapolates the counted events to the paper's command-line
+//! workload before running the timing model; the scaling factors are
+//! documented per app and in DESIGN.md.
+
+pub mod adam;
+pub mod aidw;
+pub mod common;
+#[cfg(test)]
+mod generators_test;
+pub mod rsbench;
+pub mod stencil;
+pub mod su3;
+pub mod xsbench;
+
+pub use common::{BenchInfo, ProgVersion, RunOutcome, System, WorkScale};
+
+/// All six applications' metadata in the paper's Figure 6 order.
+pub fn all_benchmarks() -> Vec<BenchInfo> {
+    vec![
+        xsbench::info(),
+        rsbench::info(),
+        su3::info(),
+        aidw::info(),
+        adam::info(),
+        stencil::info(),
+    ]
+}
+
+/// Run one (app, system, version) cell of Figure 8.
+pub fn run_app(
+    app: &str,
+    sys: System,
+    version: ProgVersion,
+    scale: WorkScale,
+) -> RunOutcome {
+    match app {
+        "xsbench" => xsbench::run(sys, version, scale),
+        "rsbench" => rsbench::run(sys, version, scale),
+        "su3" => su3::run(sys, version, scale),
+        "aidw" => aidw::run(sys, version, scale),
+        "adam" => adam::run(sys, version, scale),
+        "stencil" => stencil::run(sys, version, scale),
+        other => panic!("unknown benchmark {other:?}"),
+    }
+}
+
+/// The app names in Figure 8 order.
+pub const APP_NAMES: [&str; 6] = ["xsbench", "rsbench", "su3", "aidw", "adam", "stencil"];

@@ -1,0 +1,428 @@
+//! RSBench: multipole-representation cross-section lookup (Tramm et al.),
+//! the **compute-bound** sibling of XSBench.
+//!
+//! Each lookup evaluates the resonance cross section of every nuclide in
+//! the sampled material from its multipole data: find the energy window,
+//! compute the `sigTfactors` phase terms (a small per-thread array!), and
+//! accumulate complex pole contributions. The per-thread `sigTfactors`
+//! array is the §4.2.2 protagonist:
+//!
+//! * in CUDA/HIP (and the ompx port) it is a dynamically indexed
+//!   thread-local array → **local memory** → global-memory traffic;
+//! * in the `omp` version LLVM globalizes it, and the heap-to-shared
+//!   optimization moves it into **shared memory** (the paper measures 2 KB
+//!   of shared memory and 162 registers) — which is why `omp` *beats* the
+//!   CUDA version on the A100 despite its register pressure.
+//!
+//! `ompx` wins overall through occupancy (fewer registers → more lookups
+//! in flight), matching Figures 8b/8h.
+
+use crate::common::*;
+use ompx::BareTarget;
+use ompx_klang::toolchain::{vendor_key, CodegenDb, Toolchain};
+use ompx_sim::dim::LaunchConfig;
+use ompx_sim::exec::Kernel;
+use ompx_sim::mem::DBuf;
+use ompx_sim::thread::ThreadCtx;
+use ompx_sim::timing::CodegenInfo;
+use ompx_sim::{Device, Vendor};
+
+/// Benchmark metadata (Figure 6 row).
+pub fn info() -> BenchInfo {
+    BenchInfo {
+        name: "RSBench",
+        description: "Monte Carlo neutron transport multipole XS lookup (compute-bound)",
+        paper_cmdline: "-m event",
+        reported_metric: "total lookup-kernel seconds",
+    }
+}
+
+const KERNEL: &str = "rsbench_lookup";
+const SEED: u64 = 0x5eed15;
+const BLOCK: u32 = 256;
+/// Number of Legendre orders — sigTfactors is `NUM_L` complex values.
+const NUM_L: usize = 4;
+/// Poles per window (RSBench's large-problem windows hold dozens of poles;
+/// the pole sweep dominates both traffic and flops).
+const POLES_PER_WINDOW: usize = 16;
+
+/// Workload parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    pub n_isotopes: usize,
+    pub n_windows: usize,
+    pub lookups: usize,
+    pub paper_lookups: u64,
+}
+
+impl Params {
+    pub fn for_scale(scale: WorkScale) -> Self {
+        match scale {
+            WorkScale::Default => Params {
+                n_isotopes: 32,
+                n_windows: 64,
+                lookups: 4096,
+                paper_lookups: 10_000_000,
+            },
+            WorkScale::Test => {
+                Params { n_isotopes: 6, n_windows: 16, lookups: 192, paper_lookups: 10_000_000 }
+            }
+        }
+    }
+
+    /// Geometry-only extrapolation: the launch grid grows with the lookup
+    /// count but NOT with the per-lookup work-depth factor.
+    fn geometry_factor(&self) -> f64 {
+        self.paper_lookups as f64 / self.lookups as f64
+    }
+
+    fn scale_factor(&self) -> f64 {
+        // Lookup-count extrapolation times a workload-reconstruction
+        // factor: the paper's large problem averages ~100 poles per window
+        // against our 16, so per-lookup work is ~6x ours.
+        const POLE_DENSITY_RECONSTRUCTION: f64 = 6.0;
+        self.paper_lookups as f64 / self.lookups as f64 * POLE_DENSITY_RECONSTRUCTION
+    }
+}
+
+/// Correct the extrapolated launch geometry: traffic/flops scale with the
+/// full work factor, but blocks/threads scale only with the lookup count.
+fn fix_geometry(
+    mut scaled: ompx_sim::counters::StatsSnapshot,
+    raw: &ompx_sim::counters::StatsSnapshot,
+    geometry_factor: f64,
+) -> ompx_sim::counters::StatsSnapshot {
+    scaled.blocks_executed = (raw.blocks_executed as f64 * geometry_factor).round() as u64;
+    scaled.threads_executed = (raw.threads_executed as f64 * geometry_factor).round() as u64;
+    scaled
+}
+
+/// Device-resident multipole data.
+#[derive(Clone)]
+pub struct RsData {
+    params: Params,
+    /// Pole data: 4 f64 per pole (MP_EA re/im, MP_RT, MP_RA), laid out
+    /// `[iso][window][pole][4]`.
+    poles: DBuf<f64>,
+    /// Window curve-fit background: 3 f64 per window `[iso][window][3]`.
+    windows: DBuf<f64>,
+    /// Pseudo-K0RS factors per isotope and order `[iso][NUM_L]`.
+    pseudo_k0rs: DBuf<f64>,
+    mat_nuclides: DBuf<u32>,
+    mat_offsets: DBuf<u32>,
+}
+
+fn material_sizes(n_isotopes: usize) -> Vec<usize> {
+    [12usize, 8, 6, 5, 4, 3, 3, 2, 2, 1, 1, 1].iter().map(|&s| s.min(n_isotopes)).collect()
+}
+
+/// Generate the deterministic problem instance.
+pub fn generate(device: &Device, params: Params) -> RsData {
+    let ni = params.n_isotopes;
+    let nw = params.n_windows;
+
+    let mut poles = Vec::with_capacity(ni * nw * POLES_PER_WINDOW * 4);
+    let mut windows = Vec::with_capacity(ni * nw * 3);
+    let mut k0rs = Vec::with_capacity(ni * NUM_L);
+    for iso in 0..ni {
+        for w in 0..nw {
+            for p in 0..POLES_PER_WINDOW {
+                for c in 0..4 {
+                    let idx = ((iso * nw + w) * POLES_PER_WINDOW + p) * 4 + c;
+                    poles.push(0.1 + item_uniform(SEED ^ 0x61, idx as u64));
+                }
+            }
+            for c in 0..3 {
+                windows.push(item_uniform(SEED ^ 0x62, ((iso * nw + w) * 3 + c) as u64));
+            }
+        }
+        for l in 0..NUM_L {
+            k0rs.push(0.5 + item_uniform(SEED ^ 0x63, (iso * NUM_L + l) as u64));
+        }
+    }
+
+    let sizes = material_sizes(ni);
+    let mut mat_nuclides = Vec::new();
+    let mut mat_offsets = vec![0u32];
+    for (m, &sz) in sizes.iter().enumerate() {
+        for s in 0..sz {
+            mat_nuclides.push((splitmix64(SEED ^ ((m * 97 + s) as u64)) % ni as u64) as u32);
+        }
+        mat_offsets.push(mat_nuclides.len() as u32);
+    }
+
+    RsData {
+        params,
+        poles: device.alloc_from(&poles),
+        windows: device.alloc_from(&windows),
+        pseudo_k0rs: device.alloc_from(&k0rs),
+        mat_nuclides: device.alloc_from(&mat_nuclides),
+        mat_offsets: device.alloc_from(&mat_offsets),
+    }
+}
+
+#[inline]
+fn lookup_inputs(i: usize, n_mats: usize) -> (f64, usize) {
+    let e = 1e-4 + item_uniform(SEED ^ 0x64, i as u64) * 0.999;
+    let pick = item_uniform(SEED ^ 0x65, i as u64);
+    let mat =
+        if pick < 0.5 { 0 } else { 1 + (splitmix64(i as u64 ^ 7) % (n_mats as u64 - 1)) as usize };
+    (e, mat)
+}
+
+/// One multipole lookup. `scratch` is the per-thread `sigTfactors` array
+/// (2 f64 per order) — the placement-dependent storage.
+#[inline]
+fn lookup_one<S: F64Scratch>(tc: &mut ThreadCtx<'_>, i: usize, d: &RsData, scratch: &mut S) -> f64 {
+    let nw = d.params.n_windows;
+    let n_mats = material_sizes(d.params.n_isotopes).len();
+    let (e, mat) = lookup_inputs(i, n_mats);
+
+    let lo_off = tc.read(&d.mat_offsets, mat) as usize;
+    let hi_off = tc.read(&d.mat_offsets, mat + 1) as usize;
+
+    let mut macro_sig_t = 0.0f64;
+    let mut macro_sig_a = 0.0f64;
+    for entry in lo_off..hi_off {
+        let iso = tc.read(&d.mat_nuclides, entry) as usize;
+
+        // sigTfactors: phase terms per Legendre order, computed once per
+        // nuclide and stored in the per-thread scratch array.
+        let sqrt_e = e.sqrt();
+        tc.flops(2);
+        for l in 0..NUM_L {
+            let k = tc.read(&d.pseudo_k0rs, iso * NUM_L + l);
+            let phi = k * sqrt_e * (1.0 + 0.1 * l as f64);
+            let (s, c) = phi.sin_cos();
+            tc.flops(12); // mul/add + sincos cost
+            scratch.put(tc, 2 * l, c);
+            scratch.put(tc, 2 * l + 1, -s);
+        }
+
+        // Window selection is a direct index (no search — compute-bound).
+        let w = ((e * nw as f64) as usize).min(nw - 1);
+        tc.int_ops(2);
+        let wbase = (iso * nw + w) * 3;
+        let c0 = tc.read(&d.windows, wbase);
+        let c1 = tc.read(&d.windows, wbase + 1);
+        let c2 = tc.read(&d.windows, wbase + 2);
+        let mut sig_t = c0 + c1 * e + c2 * e * e;
+        let mut sig_a = 0.5 * sig_t;
+        tc.flops(6);
+
+        // Accumulate pole contributions (complex arithmetic).
+        let pbase = (iso * nw + w) * POLES_PER_WINDOW * 4;
+        for p in 0..POLES_PER_WINDOW {
+            let ea_re = tc.read(&d.poles, pbase + p * 4);
+            let ea_im = tc.read(&d.poles, pbase + p * 4 + 1);
+            let rt = tc.read(&d.poles, pbase + p * 4 + 2);
+            let ra = tc.read(&d.poles, pbase + p * 4 + 3);
+            // psi = 1 / (ea - sqrt_e)  (complex reciprocal)
+            let dr = ea_re - sqrt_e;
+            let di = ea_im;
+            let denom = dr * dr + di * di;
+            let inv_re = dr / denom;
+            let inv_im = -di / denom;
+            // Phase factor from sigTfactors (order p % NUM_L).
+            let l = p % NUM_L;
+            let ph_re = scratch.at(tc, 2 * l);
+            let ph_im = scratch.at(tc, 2 * l + 1);
+            let z_re = inv_re * ph_re - inv_im * ph_im;
+            sig_t += rt * z_re;
+            sig_a += ra * (inv_re * ph_im + inv_im * ph_re);
+            tc.flops(20);
+        }
+        macro_sig_t += sig_t;
+        macro_sig_a += sig_a;
+        tc.flops(2);
+    }
+    macro_sig_t + macro_sig_a
+}
+
+/// Paper-derived + calibrated codegen profiles.
+///
+/// Paper-reported facts: the `omp` version uses 162 registers and 2 KB of
+/// shared memory (§4.2.2). Native register counts are calibrated to
+/// reproduce the figure's ordering through occupancy.
+fn register_profiles(db: &CodegenDb) {
+    let base = CodegenInfo { coalescing: 0.40, fp64_fraction: 1.0, ..CodegenInfo::default() };
+    db.set(KERNEL, Toolchain::Clang, CodegenInfo { regs_per_thread: 88, binary_bytes: 18 * 1024, ..base });
+    db.set(KERNEL, Toolchain::Nvcc, CodegenInfo { regs_per_thread: 86, binary_bytes: 16 * 1024, ..base });
+    db.set(KERNEL, Toolchain::OmpxPrototype, CodegenInfo { regs_per_thread: 68, binary_bytes: 24 * 1024, ..base });
+    // §4.2.2: 162 registers, 2 KB shared (the shared bytes come from the
+    // heap-to-shared scratch, accounted via the launch config).
+    db.set(KERNEL, Toolchain::ClangOpenmp, CodegenInfo { regs_per_thread: 162, binary_bytes: 48 * 1024, ..base });
+    // AMD backend: higher VGPR pressure across the board.
+    db.set(&vendor_key(KERNEL, Vendor::Amd), Toolchain::Clang, CodegenInfo { regs_per_thread: 100, binary_bytes: 18 * 1024, ..base });
+    db.set(&vendor_key(KERNEL, Vendor::Amd), Toolchain::Hipcc, CodegenInfo { regs_per_thread: 96, binary_bytes: 17 * 1024, ..base });
+    db.set(&vendor_key(KERNEL, Vendor::Amd), Toolchain::OmpxPrototype, CodegenInfo { regs_per_thread: 80, binary_bytes: 24 * 1024, ..base });
+    db.set(&vendor_key(KERNEL, Vendor::Amd), Toolchain::ClangOpenmp, CodegenInfo { regs_per_thread: 200, binary_bytes: 48 * 1024, ..base });
+}
+
+fn outcome(
+    label: &str,
+    checksum: u64,
+    modeled: ompx_sim::timing::ModeledTime,
+    stats: ompx_sim::counters::StatsSnapshot,
+    note: Option<String>,
+) -> RunOutcome {
+    RunOutcome {
+        label: label.to_string(),
+        checksum,
+        reported_seconds: modeled.seconds,
+        kernel_model: modeled,
+        stats,
+        excluded: false,
+        note,
+    }
+}
+
+/// Run one program version on one system.
+pub fn run(sys: System, version: ProgVersion, scale: WorkScale) -> RunOutcome {
+    let params = Params::for_scale(scale);
+    let n = params.lookups;
+    let factor = params.scale_factor();
+
+    match version {
+        ProgVersion::Native | ProgVersion::NativeVendor => {
+            let ctx = native_ctx(sys, version == ProgVersion::NativeVendor);
+            register_profiles(ctx.codegen());
+            let data = generate(ctx.device(), params);
+            let out = ctx.malloc::<f64>(n);
+            let kernel = Kernel::new(KERNEL, {
+                let (data, out) = (data.clone(), out.clone());
+                move |tc: &mut ThreadCtx<'_>| {
+                    let i = tc.global_thread_id_x();
+                    if i < n {
+                        let mut scratch = LocalScratch(tc.local_array::<f64>(2 * NUM_L));
+                        let v = lookup_one(tc, i, &data, &mut scratch);
+                        tc.write(&out, i, v);
+                    }
+                }
+            });
+            let r = ctx.launch_cfg(&kernel, LaunchConfig::linear(n, BLOCK)).expect("launch");
+            let scaled = fix_geometry(r.stats.scaled(factor), &r.stats, params.geometry_factor());
+            let modeled = ctx.model(KERNEL, BLOCK, 0, &scaled);
+            outcome(version.label(sys), checksum_f64_items(&out.to_vec()), modeled, scaled, None)
+        }
+        ProgVersion::Ompx => {
+            let omp = ompx_runtime(sys);
+            register_profiles(omp.codegen());
+            let data = generate(omp.device(), params);
+            let out = omp.device().alloc::<f64>(n);
+            let teams = (n as u32).div_ceil(BLOCK);
+            let prepared =
+                BareTarget::new(&omp, KERNEL).num_teams([teams]).thread_limit([BLOCK]).prepare({
+                    let (data, out) = (data.clone(), out.clone());
+                    move |tc| {
+                        let i = tc.global_thread_id_x();
+                        if i < n {
+                            // Ported from CUDA: same thread-local array.
+                            let mut scratch = LocalScratch(tc.local_array::<f64>(2 * NUM_L));
+                            let v = lookup_one(tc, i, &data, &mut scratch);
+                            tc.write(&out, i, v);
+                        }
+                    }
+                });
+            let r = prepared.execute().expect("bare launch");
+            let scaled = fix_geometry(r.stats.scaled(factor), &r.stats, params.geometry_factor());
+            let modeled = prepared.model(&scaled).modeled;
+            outcome(version.label(sys), checksum_f64_items(&out.to_vec()), modeled, scaled, None)
+        }
+        ProgVersion::Omp => {
+            let omp = omp_runtime(sys);
+            register_profiles(omp.codegen());
+            let data = generate(omp.device(), params);
+            let out = omp.device().alloc::<f64>(n);
+            // The HeCBench omp source leaves the launch geometry to the
+            // runtime; LLVM defaults to 128 threads per team (this is part
+            // of why its occupancy story differs from the CUDA version).
+            let omp_threads = 128u32;
+            let teams = (n as u32).div_ceil(omp_threads);
+            let prepared = omp
+                .target(KERNEL)
+                .num_teams(teams)
+                .thread_limit(omp_threads)
+                .scratch_f64(2 * NUM_L) // sigTfactors, globalized
+                .prepare_dpf(n, {
+                    let (data, out) = (data.clone(), out.clone());
+                    std::sync::Arc::new(
+                        move |tc: &mut ThreadCtx<'_>, i: usize, s: &ompx_hostrt::target::Scratch| {
+                            let mut scratch = OmpScratch(s);
+                            let v = lookup_one(tc, i, &data, &mut scratch);
+                            tc.write(&out, i, v);
+                        },
+                    )
+                });
+            let r = prepared.execute().expect("omp launch");
+            let scaled = fix_geometry(r.stats.scaled(factor), &r.stats, params.geometry_factor());
+            let modeled = prepared.model(&scaled).modeled;
+            let note = r
+                .plan
+                .heap_to_shared
+                .then(|| "heap-to-shared optimization active (sigTfactors in shared memory)".to_string());
+            outcome(version.label(sys), checksum_f64_items(&out.to_vec()), modeled, scaled, note)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_versions_agree_on_the_checksum() {
+        let reference = run(System::Nvidia, ProgVersion::Native, WorkScale::Test).checksum;
+        for sys in [System::Nvidia, System::Amd] {
+            for v in ProgVersion::all() {
+                let r = run(sys, v, WorkScale::Test);
+                assert_eq!(r.checksum, reference, "{} on {} diverged", r.label, sys.label());
+            }
+        }
+    }
+
+    #[test]
+    fn nvidia_ordering_matches_figure_8b() {
+        // ompx < omp < cuda, and notably omp beats cuda (heap-to-shared).
+        let ompx = run(System::Nvidia, ProgVersion::Ompx, WorkScale::Test);
+        let omp = run(System::Nvidia, ProgVersion::Omp, WorkScale::Test);
+        let cuda = run(System::Nvidia, ProgVersion::Native, WorkScale::Test);
+        assert!(
+            ompx.reported_seconds < cuda.reported_seconds,
+            "ompx {} !< cuda {}",
+            ompx.reported_seconds,
+            cuda.reported_seconds
+        );
+        assert!(
+            omp.reported_seconds < cuda.reported_seconds,
+            "omp {} !< cuda {}",
+            omp.reported_seconds,
+            cuda.reported_seconds
+        );
+        assert!(ompx.reported_seconds < omp.reported_seconds);
+    }
+
+    #[test]
+    fn amd_ompx_beats_hip() {
+        let ompx = run(System::Amd, ProgVersion::Ompx, WorkScale::Test);
+        let hip = run(System::Amd, ProgVersion::Native, WorkScale::Test);
+        assert!(
+            ompx.reported_seconds < hip.reported_seconds,
+            "ompx {} !< hip {}",
+            ompx.reported_seconds,
+            hip.reported_seconds
+        );
+    }
+
+    #[test]
+    fn omp_scratch_moved_to_shared_memory() {
+        let r = run(System::Nvidia, ProgVersion::Omp, WorkScale::Test);
+        assert!(r.note.as_deref().unwrap_or("").contains("heap-to-shared"));
+        // The shared placement eliminates the local-memory traffic the
+        // native version pays, so omp moves strictly fewer DRAM bytes and
+        // instead performs shared-memory accesses.
+        let cuda = run(System::Nvidia, ProgVersion::Native, WorkScale::Test);
+        assert!(cuda.stats.global_bytes() > r.stats.global_bytes());
+        assert!(r.stats.shared_accesses > cuda.stats.shared_accesses);
+    }
+}

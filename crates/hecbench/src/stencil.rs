@@ -1,0 +1,362 @@
+//! Stencil-1D: the classic shared-memory 1-D stencil from the CUDA
+//! tutorials (§4.2.6) — **bandwidth-bound**, iterated many times.
+//!
+//! The CUDA version stages a block-sized tile plus halos in shared memory
+//! with two `__syncthreads()` per launch; `ompx_bare` ports it verbatim.
+//! Traditional OpenMP cannot express the tile, and worse, LLVM fails to
+//! rewrite the region's state machine, leaving the `omp` version in
+//! generic mode — with 1000 launches of half a million teams each, the
+//! per-team state-machine setup dominates: the paper measures **145.6 ms**
+//! per kernel vs ~1 ms native on the A100 (60.87 ms on the MI250). The
+//! `force_generic` quirk on kernel `stencil1d` reproduces the mechanism.
+
+use crate::common::*;
+use ompx::BareTarget;
+use ompx_klang::toolchain::{vendor_key, CodegenDb, Toolchain};
+use ompx_sim::dim::LaunchConfig;
+use ompx_sim::exec::{Kernel, KernelFlags};
+use ompx_sim::mem::DBuf;
+use ompx_sim::thread::ThreadCtx;
+use ompx_sim::timing::CodegenInfo;
+use ompx_sim::{Device, Vendor};
+
+/// Benchmark metadata (Figure 6 row).
+pub fn info() -> BenchInfo {
+    BenchInfo {
+        name: "Stencil 1D",
+        description: "1-D shared-memory stencil (radius 3), iterated",
+        paper_cmdline: "134217728 1000",
+        reported_metric: "average kernel milliseconds",
+    }
+}
+
+const KERNEL: &str = "stencil1d";
+const SEED: u64 = 0x5eed55;
+const BLOCK: usize = 256;
+const RADIUS: usize = 3;
+
+/// Workload parameters. The paper runs 2²⁷ elements for 1000 iterations
+/// and reports the average kernel time.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    pub length: usize,
+    pub iterations: usize,
+    pub paper_length: u64,
+}
+
+impl Params {
+    pub fn for_scale(scale: WorkScale) -> Self {
+        match scale {
+            WorkScale::Default => {
+                Params { length: 32_768, iterations: 4, paper_length: 134_217_728 }
+            }
+            WorkScale::Test => Params { length: 2_048, iterations: 2, paper_length: 134_217_728 },
+        }
+    }
+
+    fn elem_factor(&self) -> f64 {
+        self.paper_length as f64 / self.length as f64
+    }
+}
+
+fn generate(device: &Device, length: usize) -> (DBuf<f32>, DBuf<f32>) {
+    let init: Vec<f32> =
+        (0..length).map(|i| (item_uniform(SEED, i as u64) * 10.0) as f32).collect();
+    (device.alloc_from(&init), device.alloc::<f32>(length))
+}
+
+/// The stencil sum at element `i`, reading through `load` — identical
+/// arithmetic whether the neighbours come from the shared tile (native,
+/// ompx) or straight from global memory (omp).
+#[inline]
+fn stencil_sum<'a>(
+    tc: &mut ThreadCtx<'a>,
+    mut load: impl FnMut(&mut ThreadCtx<'a>, isize) -> f32,
+) -> f32 {
+    let mut acc = 0.0f32;
+    for off in -(RADIUS as isize)..=(RADIUS as isize) {
+        acc += load(tc, off);
+        tc.flops(1);
+    }
+    acc / (2 * RADIUS + 1) as f32
+}
+
+/// Tiled kernel body (CUDA original and the ompx port): stage
+/// `BLOCK + 2*RADIUS` elements, barrier, compute from the tile.
+fn tiled_body(
+    tc: &mut ThreadCtx<'_>,
+    input: &DBuf<f32>,
+    output: &DBuf<f32>,
+    slot: usize,
+    n: usize,
+) {
+    let tile = tc.shared::<f32>(slot);
+    let tid = tc.thread_rank();
+    let gid = tc.global_thread_id_x();
+
+    // Interior element (lanes past the end stage the clamped boundary so
+    // partial blocks read consistent halos).
+    let v = tc.read(input, gid.min(n - 1));
+    tc.swrite(&tile, tid + RADIUS, v);
+    // Halos: the first 2*RADIUS threads fetch the block's edges
+    // (clamped boundary).
+    if tid < RADIUS {
+        let left = (tc.block_id_x() * BLOCK).saturating_sub(RADIUS - tid).min(n - 1);
+        let v = tc.read(input, left);
+        tc.swrite(&tile, tid, v);
+        let right = (tc.block_id_x() * BLOCK + BLOCK + tid).min(n - 1);
+        let v = tc.read(input, right);
+        tc.swrite(&tile, tid + RADIUS + BLOCK, v);
+    }
+    tc.sync_threads();
+
+    if gid < n {
+        let r = stencil_sum(tc, |tc, off| {
+            let idx = (tid + RADIUS) as isize + off;
+            tc.sread(&tile, idx as usize)
+        });
+        tc.write(output, gid, r);
+    }
+}
+
+/// Clamped global index for the non-tiled (omp) version — must match the
+/// tile's clamping exactly for checksum equality.
+#[inline]
+fn clamped(n: usize, i: usize, off: isize) -> usize {
+    let idx = i as isize + off;
+    if idx < 0 {
+        // The tile clamps left halos to the block's left edge fetch; with
+        // the global formulation the same clamp is index 0 … n-1.
+        0
+    } else {
+        (idx as usize).min(n - 1)
+    }
+}
+
+fn register_profiles(db: &CodegenDb) {
+    let base = CodegenInfo { fp64_fraction: 0.0, ..CodegenInfo::default() };
+    // The prototype's generated addressing for the tile is slightly
+    // better-coalesced than Clang's native path on this kernel — the small
+    // but consistent ompx win in Figures 8f/8l.
+    db.set(KERNEL, Toolchain::Clang, CodegenInfo { regs_per_thread: 22, coalescing: 0.80, ..base });
+    db.set(KERNEL, Toolchain::Nvcc, CodegenInfo { regs_per_thread: 22, coalescing: 0.78, ..base });
+    db.set(KERNEL, Toolchain::OmpxPrototype, CodegenInfo { regs_per_thread: 24, coalescing: 0.95, binary_bytes: 14 * 1024, ..base });
+    db.set(KERNEL, Toolchain::ClangOpenmp, CodegenInfo { regs_per_thread: 36, coalescing: 0.70, binary_bytes: 36 * 1024, ..base });
+    db.set(&vendor_key(KERNEL, Vendor::Amd), Toolchain::Clang, CodegenInfo { regs_per_thread: 26, coalescing: 0.82, ..base });
+    db.set(&vendor_key(KERNEL, Vendor::Amd), Toolchain::Hipcc, CodegenInfo { regs_per_thread: 26, coalescing: 0.80, ..base });
+    db.set(&vendor_key(KERNEL, Vendor::Amd), Toolchain::OmpxPrototype, CodegenInfo { regs_per_thread: 28, coalescing: 0.94, binary_bytes: 14 * 1024, ..base });
+}
+
+/// Run one program version on one system. All versions ping-pong between
+/// two buffers for `iterations` kernels and report the average kernel time
+/// (extrapolated to the paper's 2²⁷ elements).
+pub fn run(sys: System, version: ProgVersion, scale: WorkScale) -> RunOutcome {
+    let params = Params::for_scale(scale);
+    let n = params.length;
+    let iters = params.iterations;
+    let factor = params.elem_factor();
+
+    let finish = |label: &str,
+                  checksum: u64,
+                  per_kernel: ompx_sim::timing::ModeledTime,
+                  stats: ompx_sim::counters::StatsSnapshot,
+                  note: Option<String>| RunOutcome {
+        label: label.to_string(),
+        checksum,
+        // Average *kernel* time, like the benchmark's event-based timer.
+        reported_seconds: kernel_only(&per_kernel),
+        kernel_model: per_kernel,
+        stats,
+        excluded: false,
+        note,
+    };
+
+    match version {
+        ProgVersion::Native | ProgVersion::NativeVendor => {
+            let ctx = native_ctx(sys, version == ProgVersion::NativeVendor);
+            register_profiles(ctx.codegen());
+            let (a, b) = generate(ctx.device(), n);
+            let mut agg = ompx_sim::counters::StatsSnapshot::default();
+            let mut smem = 0usize;
+            for it in 0..iters {
+                let (input, output) = if it % 2 == 0 { (&a, &b) } else { (&b, &a) };
+                let mut cfg = LaunchConfig::linear(n, BLOCK as u32);
+                let slot = cfg.shared_array::<f32>(BLOCK + 2 * RADIUS);
+                smem = cfg.shared_bytes_per_block();
+                let kernel = Kernel::with_flags(
+                    KERNEL,
+                    KernelFlags { uses_block_sync: true, uses_warp_ops: false },
+                    {
+                        let (input, output) = (input.clone(), output.clone());
+                        move |tc: &mut ThreadCtx<'_>| tiled_body(tc, &input, &output, slot, n)
+                    },
+                );
+                let r = ctx.launch_cfg(&kernel, cfg).expect("launch");
+                agg = agg.merged(&r.stats);
+            }
+            let per_launch = agg.scaled(factor / iters as f64);
+            let modeled = ctx.model(KERNEL, BLOCK as u32, smem, &per_launch);
+            let final_buf = if iters.is_multiple_of(2) { &a } else { &b };
+            finish(version.label(sys), checksum_f32_items(&final_buf.to_vec()), modeled, per_launch, None)
+        }
+        ProgVersion::Ompx => {
+            let omp = ompx_runtime(sys);
+            register_profiles(omp.codegen());
+            let (a, b) = generate(omp.device(), n);
+            let teams = (n as u32).div_ceil(BLOCK as u32);
+            let mut agg = ompx_sim::counters::StatsSnapshot::default();
+            let mut last = None;
+            for it in 0..iters {
+                let (input, output) = if it % 2 == 0 { (&a, &b) } else { (&b, &a) };
+                let mut target = BareTarget::new(&omp, KERNEL)
+                    .num_teams([teams])
+                    .thread_limit([BLOCK as u32])
+                    .uses_block_sync();
+                let slot = target.shared_array::<f32>(BLOCK + 2 * RADIUS);
+                let prepared = target.prepare({
+                    let (input, output) = (input.clone(), output.clone());
+                    move |tc| tiled_body(tc, &input, &output, slot, n)
+                });
+                let r = prepared.execute().expect("bare launch");
+                agg = agg.merged(&r.stats);
+                last = Some(prepared);
+            }
+            let per_launch = agg.scaled(factor / iters as f64);
+            let modeled = last.expect("iters > 0").model(&per_launch).modeled;
+            let final_buf = if iters.is_multiple_of(2) { &a } else { &b };
+            finish(version.label(sys), checksum_f32_items(&final_buf.to_vec()), modeled, per_launch, None)
+        }
+        ProgVersion::Omp => {
+            let omp = omp_runtime(sys);
+            register_profiles(omp.codegen());
+            let (a, b) = generate(omp.device(), n);
+            let teams = (n as u32).div_ceil(BLOCK as u32);
+            let mut agg = ompx_sim::counters::StatsSnapshot::default();
+            let mut last = None;
+            let mut plan = None;
+            for it in 0..iters {
+                let (input, output) = if it % 2 == 0 { (&a, &b) } else { (&b, &a) };
+                let prepared =
+                    omp.target(KERNEL).num_teams(teams).thread_limit(BLOCK as u32).prepare_dpf(n, {
+                        let (input, output) = (input.clone(), output.clone());
+                        std::sync::Arc::new(
+                            move |tc: &mut ThreadCtx<'_>,
+                                  i: usize,
+                                  _s: &ompx_hostrt::target::Scratch| {
+                                let r = stencil_sum(tc, |tc, off| {
+                                    tc.read(&input, clamped(n, i, off))
+                                });
+                                tc.write(&output, i, r);
+                            },
+                        )
+                    });
+                let r = prepared.execute().expect("omp launch");
+                plan = Some(r.plan);
+                agg = agg.merged(&r.stats);
+                last = Some(prepared);
+            }
+            let per_launch = agg.scaled(factor / iters as f64);
+            let modeled = last.expect("iters > 0").model(&per_launch).modeled;
+            let final_buf = if iters.is_multiple_of(2) { &a } else { &b };
+            let note = matches!(plan, Some(p) if p.mode == ompx_devicert::ExecMode::Generic)
+                .then(|| "generic-mode fallback: the state machine could not be rewritten (§4.2.6)".to_string());
+            finish(version.label(sys), checksum_f32_items(&final_buf.to_vec()), modeled, per_launch, note)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiled_and_global_formulations_agree() {
+        // The halo clamping must produce bit-identical results.
+        let reference = run(System::Nvidia, ProgVersion::Native, WorkScale::Test).checksum;
+        for sys in [System::Nvidia, System::Amd] {
+            for v in ProgVersion::all() {
+                let r = run(sys, v, WorkScale::Test);
+                assert_eq!(r.checksum, reference, "{} on {} diverged", r.label, sys.label());
+            }
+        }
+    }
+
+    #[test]
+    fn stencil_smooths_the_signal() {
+        // After iterations of averaging, variance must strictly decrease.
+        let params = Params::for_scale(WorkScale::Test);
+        let ctx = native_ctx(System::Nvidia, false);
+        let (a, _b) = generate(ctx.device(), params.length);
+        let init = a.to_vec();
+        let var = |v: &[f32]| {
+            let mean = v.iter().sum::<f32>() / v.len() as f32;
+            v.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / v.len() as f32
+        };
+        let r = run(System::Nvidia, ProgVersion::Native, WorkScale::Test);
+        let _ = r;
+        // Direct functional check with a fresh pair.
+        let (a, b) = generate(ctx.device(), params.length);
+        let n = params.length;
+        let mut cfg = LaunchConfig::linear(n, BLOCK as u32);
+        let slot = cfg.shared_array::<f32>(BLOCK + 2 * RADIUS);
+        let kernel = Kernel::with_flags(
+            "stencil_var",
+            KernelFlags { uses_block_sync: true, uses_warp_ops: false },
+            {
+                let (a, b) = (a.clone(), b.clone());
+                move |tc: &mut ThreadCtx<'_>| tiled_body(tc, &a, &b, slot, n)
+            },
+        );
+        ctx.launch_cfg(&kernel, cfg).unwrap();
+        assert!(var(&b.to_vec()) < var(&init));
+    }
+
+    #[test]
+    fn device_checksum_matches_independent_host_reference() {
+        // Plain host implementation of the iterated clamped stencil.
+        let params = Params::for_scale(WorkScale::Test);
+        let ctx = native_ctx(System::Nvidia, false);
+        let (a, _b) = generate(ctx.device(), params.length);
+        let mut cur = a.to_vec();
+        let n = params.length;
+        for _ in 0..params.iterations {
+            let mut next = vec![0.0f32; n];
+            for (i, slot) in next.iter_mut().enumerate() {
+                let mut acc = 0.0f32;
+                for off in -(RADIUS as isize)..=(RADIUS as isize) {
+                    acc += cur[clamped(n, i, off)];
+                }
+                *slot = acc / (2 * RADIUS + 1) as f32;
+            }
+            cur = next;
+        }
+        let host_checksum = checksum_f32_items(&cur);
+        let device = run(System::Nvidia, ProgVersion::Native, WorkScale::Test);
+        assert_eq!(device.checksum, host_checksum, "device diverges from host reference");
+    }
+
+    #[test]
+    fn omp_is_orders_of_magnitude_slower() {
+        // §4.2.6: generic-mode state machine → ~2 orders of magnitude.
+        for sys in [System::Nvidia, System::Amd] {
+            let omp = run(sys, ProgVersion::Omp, WorkScale::Test);
+            let ompx = run(sys, ProgVersion::Ompx, WorkScale::Test);
+            let ratio = omp.reported_seconds / ompx.reported_seconds;
+            assert!(
+                ratio > 50.0,
+                "{}: omp/ompx ratio {ratio} too small for the generic-mode pathology",
+                sys.label()
+            );
+            assert!(omp.note.as_deref().unwrap_or("").contains("generic"));
+        }
+    }
+
+    #[test]
+    fn ompx_beats_native_on_both_systems() {
+        for sys in [System::Nvidia, System::Amd] {
+            let ompx = run(sys, ProgVersion::Ompx, WorkScale::Test).reported_seconds;
+            let native = run(sys, ProgVersion::Native, WorkScale::Test).reported_seconds;
+            assert!(ompx < native, "{}: ompx {ompx} !< native {native}", sys.label());
+        }
+    }
+}

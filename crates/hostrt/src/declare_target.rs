@@ -1,0 +1,151 @@
+//! `declare target` global symbols (§2.2).
+//!
+//! In CUDA, device globals are marked `__device__`; in OpenMP, symbols
+//! that must be visible on the device across translation units are placed
+//! in a `declare target` region. The runtime keeps one device instance of
+//! each such global and (via `target update`-style helpers) lets the host
+//! refresh or read it — exactly the facility programs use for device-wide
+//! counters, lookup tables, and configuration blocks.
+//!
+//! The registry is name-keyed per runtime (symbols are process-global in
+//! real OpenMP; the runtime object plays the process here). Types are
+//! validated on access, turning the C "extern with the wrong type" bug
+//! class into a loud error.
+
+use crate::runtime::OpenMp;
+use ompx_sim::mem::{DBuf, DeviceScalar};
+use parking_lot::Mutex;
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Registry of `declare target` globals, keyed by symbol name.
+#[derive(Default)]
+pub struct DeclareTargetRegistry {
+    symbols: Mutex<HashMap<String, Box<dyn Any + Send + Sync>>>,
+}
+
+impl DeclareTargetRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// `#pragma omp declare target` for a global array: define (or look up)
+/// the device instance of symbol `name` with `len` elements of `T`.
+/// Defining the same symbol twice returns the same device storage
+/// (one definition rule); defining it with a different type panics.
+pub fn declare_target_global<T: DeviceScalar>(omp: &OpenMp, name: &str, len: usize) -> DBuf<T> {
+    let reg = omp.declare_target();
+    let mut symbols = reg.symbols.lock();
+    if let Some(existing) = symbols.get(name) {
+        let buf = existing
+            .downcast_ref::<DBuf<T>>()
+            .unwrap_or_else(|| {
+                panic!(
+                    "declare target symbol {name:?} redefined with type {} (was another type)",
+                    std::any::type_name::<T>()
+                )
+            })
+            .clone();
+        assert_eq!(
+            buf.len(),
+            len,
+            "declare target symbol {name:?} redefined with length {len} (was {})",
+            buf.len()
+        );
+        return buf;
+    }
+    let buf = omp.device().alloc::<T>(len);
+    symbols.insert(name.to_string(), Box::new(buf.clone()) as Box<dyn Any + Send + Sync>);
+    buf
+}
+
+/// Look up a previously declared symbol without defining it (`extern`
+/// declaration in another translation unit). `None` if never defined.
+pub fn lookup_target_global<T: DeviceScalar>(omp: &OpenMp, name: &str) -> Option<DBuf<T>> {
+    let reg = omp.declare_target();
+    let symbols = reg.symbols.lock();
+    symbols.get(name).map(|e| {
+        e.downcast_ref::<DBuf<T>>()
+            .unwrap_or_else(|| {
+                panic!(
+                    "declare target symbol {name:?} referenced with wrong type {}",
+                    std::any::type_name::<T>()
+                )
+            })
+            .clone()
+    })
+}
+
+/// Shared handle type stored by the runtime.
+pub type DeclareTargetHandle = Arc<DeclareTargetRegistry>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_definition_rule() {
+        let omp = OpenMp::test_system();
+        let a = declare_target_global::<f64>(&omp, "lut", 32);
+        a.set(3, 9.5);
+        // A second "translation unit" defining the same symbol sees the
+        // same storage.
+        let b = declare_target_global::<f64>(&omp, "lut", 32);
+        assert!(a.same_allocation(&b));
+        assert_eq!(b.get(3), 9.5);
+    }
+
+    #[test]
+    fn lookup_without_definition() {
+        let omp = OpenMp::test_system();
+        assert!(lookup_target_global::<u32>(&omp, "missing").is_none());
+        declare_target_global::<u32>(&omp, "present", 4);
+        assert!(lookup_target_global::<u32>(&omp, "present").is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "redefined with type")]
+    fn type_confusion_panics() {
+        let omp = OpenMp::test_system();
+        declare_target_global::<f64>(&omp, "sym", 8);
+        declare_target_global::<u32>(&omp, "sym", 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "redefined with length")]
+    fn length_mismatch_panics() {
+        let omp = OpenMp::test_system();
+        declare_target_global::<f64>(&omp, "sym2", 8);
+        declare_target_global::<f64>(&omp, "sym2", 16);
+    }
+
+    #[test]
+    fn kernels_see_declared_globals() {
+        let omp = OpenMp::test_system();
+        let counter = declare_target_global::<u64>(&omp, "hit_counter", 1);
+        omp.target("count")
+            .num_teams(2)
+            .thread_limit(16)
+            .run_distribute_parallel_for(100, {
+                let counter = counter.clone();
+                move |tc, _i, _s| {
+                    tc.atomic_add(&counter, 0, 1);
+                }
+            })
+            .unwrap();
+        // Another "TU" reads the symbol by name.
+        let again = lookup_target_global::<u64>(&omp, "hit_counter").unwrap();
+        assert_eq!(again.get(0), 100);
+    }
+
+    #[test]
+    fn registries_are_per_runtime() {
+        let a = OpenMp::test_system();
+        let b = OpenMp::test_system();
+        declare_target_global::<f32>(&a, "mine", 2);
+        assert!(lookup_target_global::<f32>(&b, "mine").is_none());
+    }
+}

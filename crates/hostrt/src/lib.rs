@@ -1,0 +1,37 @@
+//! # ompx-hostrt — the LLVM OpenMP *host* runtime, modeled
+//!
+//! The host half of OpenMP target offloading (`libomptarget` + `libomp` in
+//! LLVM): device management, the data-mapping environment (`map` clauses,
+//! `target data`, `target update`, present-table reference counting), target
+//! regions (synchronous by default, `nowait` through hidden helper threads),
+//! task dependences (`depend(in/out/inout)`), `taskwait`, and OpenMP 5.1
+//! interop objects wrapping device streams.
+//!
+//! Traditional `omp` program versions in the evaluation run through this
+//! crate: a [`target::TargetRegion`] is lowered to an SPMD- or generic-mode
+//! device kernel (via `ompx-devicert`) according to what the modeled LLVM
+//! compiler/runtime would have done — including its documented misbehaviours
+//! ([`quirks::KnownIssues`]): the Adam 32-thread launch bug, the Stencil
+//! generic-mode fallback, the RSBench heap-to-shared placement, and the
+//! XSBench invalid-checksum exclusion (§4.2 of the paper).
+//!
+//! The paper's extensions (crate `ompx`) sit **on top of** this runtime and
+//! bypass its device-side costs with `ompx_bare`.
+
+pub mod allocator;
+pub mod declare_target;
+pub mod interop;
+pub mod mapping;
+pub mod quirks;
+pub mod runtime;
+pub mod target;
+pub mod task;
+
+pub use allocator::{MemSpace, OmpAllocator};
+pub use declare_target::{declare_target_global, lookup_target_global};
+pub use interop::InteropObj;
+pub use mapping::DataEnv;
+pub use quirks::{KnownIssues, QuirkSet};
+pub use runtime::OpenMp;
+pub use target::{LaunchPlan, ScratchSpec, TargetRegion, TargetResult};
+pub use task::{DepKey, TaskHandle};

@@ -1,0 +1,345 @@
+//! The data-mapping environment: `map` clauses and the present table.
+//!
+//! OpenMP's device data environment (§2.6 of the paper) is reference
+//! counted: entering a `target data` region with `map(to: a[0:n])`
+//! allocates device storage and copies in *unless the data is already
+//! present*, in which case only the reference count grows; the copy-out of
+//! `map(from:)`/`map(tofrom:)` happens when the count returns to zero.
+//! The API-based alternative (`omp_target_alloc`, `omp_target_memcpy`,
+//! `omp_target_associate_ptr`) is mirrored by the direct methods here.
+//!
+//! Host arrays are identified the way `libomptarget` identifies them — by
+//! base address (and length for overlap sanity checks).
+
+use ompx_sim::device::Device;
+use ompx_sim::mem::{DBuf, DeviceScalar};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Identity of a mapped host array (base pointer + length), the present
+/// table key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HostRef {
+    addr: usize,
+    len: usize,
+}
+
+impl HostRef {
+    /// Identity of a host slice.
+    pub fn of<T>(slice: &[T]) -> Self {
+        HostRef { addr: slice.as_ptr() as usize, len: slice.len() }
+    }
+}
+
+enum PresentEntry {
+    F32 { buf: DBuf<f32>, refs: usize },
+    F64 { buf: DBuf<f64>, refs: usize },
+    U32 { buf: DBuf<u32>, refs: usize },
+    U64 { buf: DBuf<u64>, refs: usize },
+    I32 { buf: DBuf<i32>, refs: usize },
+}
+
+macro_rules! present_impl {
+    ($t:ty, $variant:ident, $enter:ident, $exit_from:ident, $exit_release:ident, $update_to:ident, $update_from:ident, $lookup:ident) => {
+        /// Enter the data environment: allocate-and-copy-in unless present,
+        /// else bump the reference count. Returns the device buffer
+        /// (`map(to:)` / `map(tofrom:)` entry half).
+        pub fn $enter(&self, host: &[$t]) -> DBuf<$t> {
+            let key = HostRef::of(host);
+            let mut table = self.table.lock();
+            match table.get_mut(&key) {
+                Some(PresentEntry::$variant { buf, refs }) => {
+                    *refs += 1;
+                    return buf.clone();
+                }
+                Some(_) => panic!(
+                    "host array at {:p} is already mapped with a different element type",
+                    host.as_ptr()
+                ),
+                None => {}
+            }
+            let buf = self.device.alloc_from(host);
+            table.insert(key, PresentEntry::$variant { buf: buf.clone(), refs: 1 });
+            drop(table);
+            self.charge_transfer(std::mem::size_of_val(host));
+            buf
+        }
+
+        /// Exit the data environment with copy-out (`map(from:)` /
+        /// `map(tofrom:)` exit half): decrement the count; on zero, copy the
+        /// device data back into `host` and release the device storage.
+        pub fn $exit_from(&self, host: &mut [$t]) {
+            let key = HostRef::of(&host[..]);
+            let mut table = self.table.lock();
+            match table.get_mut(&key) {
+                Some(PresentEntry::$variant { buf, refs }) => {
+                    *refs -= 1;
+                    if *refs == 0 {
+                        buf.copy_to_host(host);
+                        let b = buf.clone();
+                        table.remove(&key);
+                        self.device.free(&b);
+                        drop(table);
+                        self.charge_transfer(std::mem::size_of_val(&host[..]));
+                    }
+                }
+                _ => panic!("map(from:) exit for a host array that is not present"),
+            }
+        }
+
+        /// Exit the data environment without copy-out (`map(to:)` /
+        /// `map(alloc:)` exit half).
+        pub fn $exit_release(&self, host: &[$t]) {
+            let key = HostRef::of(host);
+            let mut table = self.table.lock();
+            match table.get_mut(&key) {
+                Some(PresentEntry::$variant { buf, refs }) => {
+                    *refs -= 1;
+                    if *refs == 0 {
+                        let b = buf.clone();
+                        table.remove(&key);
+                        self.device.free(&b);
+                    }
+                }
+                _ => panic!("map exit for a host array that is not present"),
+            }
+        }
+
+        /// `#pragma omp target update to(...)` — host → device refresh for a
+        /// present array.
+        pub fn $update_to(&self, host: &[$t]) {
+            let key = HostRef::of(host);
+            let table = self.table.lock();
+            match table.get(&key) {
+                Some(PresentEntry::$variant { buf, .. }) => buf.copy_from_host(host),
+                _ => panic!("target update to(...) for a host array that is not present"),
+            }
+            drop(table);
+            self.charge_transfer(std::mem::size_of_val(host));
+        }
+
+        /// `#pragma omp target update from(...)` — device → host refresh.
+        pub fn $update_from(&self, host: &mut [$t]) {
+            let key = HostRef::of(&host[..]);
+            let table = self.table.lock();
+            match table.get(&key) {
+                Some(PresentEntry::$variant { buf, .. }) => buf.copy_to_host(host),
+                _ => panic!("target update from(...) for a host array that is not present"),
+            }
+            drop(table);
+            self.charge_transfer(std::mem::size_of_val(&host[..]));
+        }
+
+        /// Present-table lookup (the implicit map of a referenced array).
+        pub fn $lookup(&self, host: &[$t]) -> Option<DBuf<$t>> {
+            let table = self.table.lock();
+            match table.get(&HostRef::of(host)) {
+                Some(PresentEntry::$variant { buf, .. }) => Some(buf.clone()),
+                _ => None,
+            }
+        }
+    };
+}
+
+/// A device data environment (the state behind `target data` regions).
+pub struct DataEnv {
+    device: Device,
+    table: Mutex<HashMap<HostRef, PresentEntry>>,
+    /// Modeled seconds spent on host-device transfers by this environment
+    /// (the explicit data-movement cost of the paper's §2.6).
+    transfer_s: Mutex<f64>,
+}
+
+impl DataEnv {
+    /// A fresh environment on `device`.
+    pub fn new(device: Device) -> Self {
+        DataEnv { device, table: Mutex::new(HashMap::new()), transfer_s: Mutex::new(0.0) }
+    }
+
+    fn charge_transfer(&self, bytes: usize) {
+        *self.transfer_s.lock() += self.device.profile().transfer_seconds(bytes);
+    }
+
+    /// Total modeled host-device transfer seconds this environment has
+    /// performed (map entries/exits with copies, `target update`s, and
+    /// explicit `omp_target_memcpy` calls).
+    pub fn modeled_transfer_seconds(&self) -> f64 {
+        *self.transfer_s.lock()
+    }
+
+    /// The environment's device.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Number of present entries.
+    pub fn present_count(&self) -> usize {
+        self.table.lock().len()
+    }
+
+    /// `omp_target_alloc` — uninitialized (zeroed) device storage outside
+    /// the present table.
+    pub fn target_alloc<T: DeviceScalar>(&self, n: usize) -> DBuf<T> {
+        self.device.alloc(n)
+    }
+
+    /// `omp_target_free`.
+    pub fn target_free<T: DeviceScalar>(&self, buf: &DBuf<T>) {
+        self.device.free(buf);
+    }
+
+    /// `omp_target_memcpy`, host → device flavour.
+    pub fn target_memcpy_to<T: DeviceScalar>(&self, dst: &DBuf<T>, src: &[T]) {
+        dst.copy_from_host(src);
+        self.charge_transfer(std::mem::size_of_val(src));
+    }
+
+    /// `omp_target_memcpy`, device → host flavour.
+    pub fn target_memcpy_from<T: DeviceScalar>(&self, dst: &mut [T], src: &DBuf<T>) {
+        src.copy_to_host(dst);
+        self.charge_transfer(std::mem::size_of_val(&dst[..]));
+    }
+
+    present_impl!(f32, F32, map_to_f32, map_from_f32, map_release_f32, update_to_f32, update_from_f32, present_f32);
+    present_impl!(f64, F64, map_to_f64, map_from_f64, map_release_f64, update_to_f64, update_from_f64, present_f64);
+    present_impl!(u32, U32, map_to_u32, map_from_u32, map_release_u32, update_to_u32, update_from_u32, present_u32);
+    present_impl!(u64, U64, map_to_u64, map_from_u64, map_release_u64, update_to_u64, update_from_u64, present_u64);
+    present_impl!(i32, I32, map_to_i32, map_from_i32, map_release_i32, update_to_i32, update_from_i32, present_i32);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ompx_sim::device::DeviceProfile;
+
+    fn env() -> DataEnv {
+        DataEnv::new(Device::new(DeviceProfile::test_small()))
+    }
+
+    #[test]
+    fn map_to_copies_in_and_from_copies_out() {
+        let e = env();
+        let mut host = vec![1.0f32, 2.0, 3.0];
+        let dev = e.map_to_f32(&host);
+        assert_eq!(dev.to_vec(), host);
+        dev.set(1, 42.0);
+        e.map_from_f32(&mut host);
+        assert_eq!(host, vec![1.0, 42.0, 3.0]);
+        assert_eq!(e.present_count(), 0);
+    }
+
+    #[test]
+    fn nested_mapping_reference_counts() {
+        let e = env();
+        let mut host = vec![7u32; 4];
+        let outer = e.map_to_u32(&host);
+        let inner = e.map_to_u32(&host); // second map: refcount only
+        assert!(outer.same_allocation(&inner));
+        assert_eq!(e.present_count(), 1);
+
+        outer.set(0, 99);
+        // Inner exit: data must NOT copy back yet.
+        e.map_from_u32(&mut host);
+        assert_eq!(host[0], 7);
+        assert_eq!(e.present_count(), 1);
+        // Outer exit: now it does.
+        e.map_from_u32(&mut host);
+        assert_eq!(host[0], 99);
+        assert_eq!(e.present_count(), 0);
+    }
+
+    #[test]
+    fn release_exit_discards_device_changes() {
+        let e = env();
+        let host = vec![1.0f64; 8];
+        let dev = e.map_to_f64(&host);
+        dev.set(0, -1.0);
+        e.map_release_f64(&host);
+        assert_eq!(host[0], 1.0);
+        assert_eq!(e.present_count(), 0);
+    }
+
+    #[test]
+    fn target_update_both_directions() {
+        let e = env();
+        let mut host = vec![1i32, 2, 3];
+        let dev = e.map_to_i32(&host);
+        host[0] = 10;
+        e.update_to_i32(&host);
+        assert_eq!(dev.get(0), 10);
+        dev.set(2, 30);
+        e.update_from_i32(&mut host);
+        assert_eq!(host, vec![10, 2, 30]);
+        e.map_release_i32(&host);
+    }
+
+    #[test]
+    fn present_lookup() {
+        let e = env();
+        let host = vec![5u64; 2];
+        assert!(e.present_u64(&host).is_none());
+        let dev = e.map_to_u64(&host);
+        assert!(e.present_u64(&host).unwrap().same_allocation(&dev));
+        e.map_release_u64(&host);
+        assert!(e.present_u64(&host).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "different element type")]
+    fn remapping_with_a_different_type_is_rejected() {
+        let e = env();
+        // Same base pointer and length, different element interpretation.
+        let host_f32 = vec![0.0f32; 8];
+        let alias: &[u32] =
+            unsafe { std::slice::from_raw_parts(host_f32.as_ptr() as *const u32, 8) };
+        let _a = e.map_to_f32(&host_f32);
+        let _b = e.map_to_u32(alias); // must panic, not orphan the entry
+    }
+
+    #[test]
+    #[should_panic(expected = "not present")]
+    fn exit_without_entry_is_a_runtime_error() {
+        let e = env();
+        let mut host = vec![0.0f32; 2];
+        e.map_from_f32(&mut host);
+    }
+
+    #[test]
+    fn api_based_management() {
+        let e = env();
+        let buf = e.target_alloc::<f32>(4);
+        e.target_memcpy_to(&buf, &[1.0, 2.0, 3.0, 4.0]);
+        let mut out = vec![0.0f32; 4];
+        e.target_memcpy_from(&mut out, &buf);
+        assert_eq!(out, vec![1.0, 2.0, 3.0, 4.0]);
+        e.target_free(&buf);
+    }
+
+    #[test]
+    fn transfers_accumulate_modeled_cost() {
+        let e = env();
+        assert_eq!(e.modeled_transfer_seconds(), 0.0);
+        let mut host = vec![0.0f64; 1 << 12];
+        let _dev = e.map_to_f64(&host); // copy-in charged
+        let after_in = e.modeled_transfer_seconds();
+        assert!(after_in > 0.0);
+        // A nested map copies nothing (already present).
+        let _dev2 = e.map_to_f64(&host);
+        assert_eq!(e.modeled_transfer_seconds(), after_in);
+        e.map_release_f64(&host); // inner exit: no copy
+        assert_eq!(e.modeled_transfer_seconds(), after_in);
+        e.map_from_f64(&mut host); // outer exit: copy-out charged
+        assert!(e.modeled_transfer_seconds() > after_in);
+    }
+
+    #[test]
+    fn device_memory_is_released_on_final_exit() {
+        let e = env();
+        let host = vec![0.0f64; 100];
+        let before = e.device().allocated_bytes();
+        let _dev = e.map_to_f64(&host);
+        assert_eq!(e.device().allocated_bytes(), before + 800);
+        e.map_release_f64(&host);
+        assert_eq!(e.device().allocated_bytes(), before);
+    }
+}

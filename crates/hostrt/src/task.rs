@@ -1,0 +1,384 @@
+//! Host tasking: `nowait` target tasks, `depend` clauses, hidden helpers.
+//!
+//! An OpenMP `target … nowait` region becomes a *target task* executed by
+//! one of the runtime's **hidden helper threads** (Tian et al., LCPC'20 —
+//! the paper's ref \[26\]), ordered by `depend(in/out/inout:)` clauses over
+//! list items. This module implements that machinery: a dependency graph
+//! keyed by [`DepKey`]s with OpenMP's flow/anti/output-dependence rules, a
+//! helper-thread pool that drains ready tasks, `taskwait`, and per-task
+//! handles.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+/// Identity of a `depend` list item. OpenMP resolves dependences by the
+/// *location* of the item (the paper leans on this in §3.5); we use the
+/// host address, or an arbitrary token for synthetic dependences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DepKey(pub u64);
+
+impl DepKey {
+    /// The dependence identity of a host slice (its base address).
+    pub fn of_slice<T>(slice: &[T]) -> Self {
+        DepKey(slice.as_ptr() as u64)
+    }
+
+    /// A synthetic dependence token.
+    pub fn token(v: u64) -> Self {
+        DepKey(v)
+    }
+}
+
+type TaskId = u64;
+type Work = Box<dyn FnOnce() + Send>;
+
+struct TaskRecord {
+    remaining_deps: usize,
+    dependents: Vec<TaskId>,
+    work: Option<Work>,
+}
+
+#[derive(Default)]
+struct GraphState {
+    tasks: HashMap<TaskId, TaskRecord>,
+    completed: HashSet<TaskId>,
+    /// Tasks whose work panicked (completed, but failed).
+    panicked: HashSet<TaskId>,
+    ready: VecDeque<TaskId>,
+    /// Last task with an out/inout dependence per key.
+    last_writers: HashMap<DepKey, TaskId>,
+    /// Tasks with in dependences since the last writer, per key.
+    readers: HashMap<DepKey, Vec<TaskId>>,
+    next_id: TaskId,
+    outstanding: usize,
+    shutdown: bool,
+}
+
+struct TsInner {
+    state: Mutex<GraphState>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+}
+
+/// The task system: dependency graph + hidden helper threads.
+pub struct TaskSystem {
+    inner: Arc<TsInner>,
+}
+
+impl TaskSystem {
+    /// Create a system with `helpers` hidden helper threads (LLVM's default
+    /// is 8; tests use fewer).
+    pub fn new(helpers: usize) -> Self {
+        let inner = Arc::new(TsInner {
+            state: Mutex::new(GraphState::default()),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        for i in 0..helpers.max(1) {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name(format!("omp-hidden-helper-{i}"))
+                .spawn(move || helper_loop(&inner))
+                .expect("failed to spawn hidden helper thread");
+        }
+        TaskSystem { inner }
+    }
+
+    /// Submit a task with `in` and `out` dependence lists (an `inout` item
+    /// appears in both). Returns a handle that can be waited on.
+    pub fn submit(
+        &self,
+        ins: &[DepKey],
+        outs: &[DepKey],
+        work: impl FnOnce() + Send + 'static,
+    ) -> TaskHandle {
+        let mut st = self.inner.state.lock();
+        let id = st.next_id;
+        st.next_id += 1;
+        st.outstanding += 1;
+
+        let mut deps: HashSet<TaskId> = HashSet::new();
+        // Flow dependences: read-after-write.
+        for key in ins {
+            if let Some(&w) = st.last_writers.get(key) {
+                if !st.completed.contains(&w) {
+                    deps.insert(w);
+                }
+            }
+        }
+        // Output and anti dependences: write-after-write, write-after-read.
+        for key in outs {
+            if let Some(&w) = st.last_writers.get(key) {
+                if !st.completed.contains(&w) {
+                    deps.insert(w);
+                }
+            }
+            if let Some(readers) = st.readers.get(key) {
+                for &r in readers {
+                    if !st.completed.contains(&r) {
+                        deps.insert(r);
+                    }
+                }
+            }
+        }
+        // Update the dependence bookkeeping for future tasks.
+        for key in outs {
+            st.last_writers.insert(*key, id);
+            st.readers.remove(key);
+        }
+        for key in ins {
+            st.readers.entry(*key).or_default().push(id);
+        }
+
+        let remaining = deps.len();
+        for dep in &deps {
+            if let Some(rec) = st.tasks.get_mut(dep) {
+                rec.dependents.push(id);
+            }
+        }
+        st.tasks.insert(
+            id,
+            TaskRecord { remaining_deps: remaining, dependents: Vec::new(), work: Some(Box::new(work)) },
+        );
+        if remaining == 0 {
+            st.ready.push_back(id);
+            self.inner.work_cv.notify_one();
+        }
+        TaskHandle { id, inner: Arc::clone(&self.inner) }
+    }
+
+    /// `#pragma omp taskwait` — block until every submitted task finished.
+    /// Panics if any task panicked (the failure must not pass silently).
+    pub fn wait_all(&self) {
+        let mut st = self.inner.state.lock();
+        while st.outstanding > 0 {
+            self.inner.done_cv.wait(&mut st);
+        }
+        assert!(st.panicked.is_empty(), "{} task(s) panicked during execution", st.panicked.len());
+    }
+
+    /// Number of tasks not yet completed.
+    pub fn outstanding(&self) -> usize {
+        self.inner.state.lock().outstanding
+    }
+}
+
+impl Drop for TaskSystem {
+    fn drop(&mut self) {
+        let mut st = self.inner.state.lock();
+        st.shutdown = true;
+        drop(st);
+        self.inner.work_cv.notify_all();
+    }
+}
+
+fn helper_loop(inner: &TsInner) {
+    loop {
+        let (id, work) = {
+            let mut st = inner.state.lock();
+            loop {
+                if let Some(id) = st.ready.pop_front() {
+                    let work = st
+                        .tasks
+                        .get_mut(&id)
+                        .and_then(|r| r.work.take())
+                        .expect("ready task must have work");
+                    break (id, work);
+                }
+                if st.shutdown {
+                    return;
+                }
+                inner.work_cv.wait(&mut st);
+            }
+        };
+        // A panicking task must not kill the helper thread: the bookkeeping
+        // below is what unblocks taskwait and every dependent task. Catch
+        // the panic, complete the task as failed, and keep serving (the
+        // panic is reported on stderr by the default hook; OpenMP's own
+        // model would abort the whole program here, which would be worse
+        // for a simulator host).
+        let panicked =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(work)).is_err();
+        let mut st = inner.state.lock();
+        if panicked {
+            st.panicked.insert(id);
+        }
+        st.completed.insert(id);
+        st.outstanding -= 1;
+        let dependents = st.tasks.remove(&id).map(|r| r.dependents).unwrap_or_default();
+        for d in dependents {
+            if let Some(rec) = st.tasks.get_mut(&d) {
+                rec.remaining_deps -= 1;
+                if rec.remaining_deps == 0 {
+                    st.ready.push_back(d);
+                    inner.work_cv.notify_one();
+                }
+            }
+        }
+        inner.done_cv.notify_all();
+    }
+}
+
+/// Handle to one submitted task.
+pub struct TaskHandle {
+    id: TaskId,
+    inner: Arc<TsInner>,
+}
+
+impl TaskHandle {
+    /// Block until this task completes.
+    pub fn wait(&self) {
+        let mut st = self.inner.state.lock();
+        while !st.completed.contains(&self.id) {
+            self.inner.done_cv.wait(&mut st);
+        }
+    }
+
+    /// True once the task has completed.
+    pub fn is_done(&self) -> bool {
+        self.inner.state.lock().completed.contains(&self.id)
+    }
+
+    /// True when the task completed by panicking.
+    pub fn panicked(&self) -> bool {
+        self.inner.state.lock().panicked.contains(&self.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn independent_tasks_all_run() {
+        let ts = TaskSystem::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let c = Arc::clone(&counter);
+            ts.submit(&[], &[], move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        ts.wait_all();
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+        assert_eq!(ts.outstanding(), 0);
+    }
+
+    #[test]
+    fn flow_dependence_orders_writer_before_reader() {
+        let ts = TaskSystem::new(4);
+        let key = DepKey::token(1);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for round in 0..20 {
+            let l = Arc::clone(&log);
+            ts.submit(&[], &[key], move || l.lock().push(format!("w{round}")));
+            let l = Arc::clone(&log);
+            ts.submit(&[key], &[], move || l.lock().push(format!("r{round}")));
+        }
+        ts.wait_all();
+        let log = log.lock();
+        // Every reader must appear after its writer.
+        for round in 0..20 {
+            let w = log.iter().position(|s| s == &format!("w{round}")).unwrap();
+            let r = log.iter().position(|s| s == &format!("r{round}")).unwrap();
+            assert!(w < r, "round {round}: writer at {w}, reader at {r}");
+        }
+    }
+
+    #[test]
+    fn output_dependence_serializes_writers() {
+        let ts = TaskSystem::new(8);
+        let key = DepKey::token(7);
+        let value = Arc::new(AtomicUsize::new(0));
+        for i in 1..=50 {
+            let v = Arc::clone(&value);
+            ts.submit(&[], &[key], move || v.store(i, Ordering::SeqCst));
+        }
+        ts.wait_all();
+        // Writers on the same item are totally ordered: last write wins.
+        assert_eq!(value.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn anti_dependence_reader_before_next_writer() {
+        let ts = TaskSystem::new(8);
+        let key = DepKey::token(9);
+        let cell = Arc::new(AtomicUsize::new(1));
+        let observed = Arc::new(AtomicUsize::new(0));
+        // writer(1 -> already there), reader must see 1, writer sets 2.
+        let o = Arc::clone(&observed);
+        let c = Arc::clone(&cell);
+        ts.submit(&[key], &[], move || {
+            // Simulate a slow reader; the next writer must still wait.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            o.store(c.load(Ordering::SeqCst), Ordering::SeqCst);
+        });
+        let c = Arc::clone(&cell);
+        ts.submit(&[], &[key], move || c.store(2, Ordering::SeqCst));
+        ts.wait_all();
+        assert_eq!(observed.load(Ordering::SeqCst), 1);
+        assert_eq!(cell.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn independent_readers_run_concurrently() {
+        let ts = TaskSystem::new(4);
+        let key = DepKey::token(3);
+        // A writer, then two readers that must overlap: each waits for the
+        // other through a shared rendezvous — it only works if both run at
+        // the same time.
+        ts.submit(&[], &[key], || {});
+        let gate = Arc::new((Mutex::new(0usize), Condvar::new()));
+        for _ in 0..2 {
+            let g = Arc::clone(&gate);
+            ts.submit(&[key], &[], move || {
+                let (lock, cv) = &*g;
+                let mut n = lock.lock();
+                *n += 1;
+                cv.notify_all();
+                while *n < 2 {
+                    cv.wait(&mut n);
+                }
+            });
+        }
+        ts.wait_all();
+    }
+
+    #[test]
+    fn handles_report_completion() {
+        let ts = TaskSystem::new(2);
+        let h = ts.submit(&[], &[], || {});
+        h.wait();
+        assert!(h.is_done());
+    }
+
+    #[test]
+    fn panicking_task_does_not_deadlock_the_system() {
+        let ts = TaskSystem::new(2);
+        let key = DepKey::token(5);
+        let downstream_ran = Arc::new(AtomicUsize::new(0));
+        let bad = ts.submit(&[], &[key], || panic!("task body failed"));
+        let dep = {
+            let d = Arc::clone(&downstream_ran);
+            ts.submit(&[key], &[], move || {
+                d.fetch_add(1, Ordering::SeqCst);
+            })
+        };
+        // wait_all must terminate (not hang) and report the failure.
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ts.wait_all()));
+        assert!(r.is_err(), "wait_all must surface the panicked task");
+        assert!(bad.is_done() && bad.panicked());
+        assert!(dep.is_done() && !dep.panicked());
+        assert_eq!(downstream_ran.load(Ordering::SeqCst), 1, "dependents still run");
+    }
+
+    #[test]
+    fn dep_keys_from_slices_are_stable() {
+        let v = vec![0u8; 16];
+        assert_eq!(DepKey::of_slice(&v), DepKey::of_slice(&v));
+        let w = vec![0u8; 16];
+        assert_ne!(DepKey::of_slice(&v), DepKey::of_slice(&w));
+    }
+}

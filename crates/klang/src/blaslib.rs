@@ -1,0 +1,236 @@
+//! Simulated vendor BLAS libraries (cuBLAS-like and rocBLAS-like).
+//!
+//! §3.6 of the paper: vendor libraries such as cuBLAS are highly efficient
+//! but proprietary to one programming model, so the extensions add a thin
+//! wrapper layer that "invokes the appropriate vendor library based on the
+//! offloading target determined at compile time". To reproduce that wrapper
+//! (`ompx::blas` in the core crate) we need the vendor libraries themselves;
+//! this module implements the classic Level-1/Level-3 entry points used by
+//! the examples as device kernels over the simulator.
+//!
+//! The two "vendors" share algorithms but are registered under different
+//! kernel names and codegen profiles — like the real libraries, you cannot
+//! call `cublas_*` on an AMD context (the functions check the vendor and
+//! panic with a linker-error-like message).
+
+use crate::runtime::{LaunchResult, NativeCtx};
+use ompx_sim::dim::{Dim3, LaunchConfig};
+use ompx_sim::exec::Kernel;
+use ompx_sim::mem::DBuf;
+use ompx_sim::thread::ThreadCtx;
+use ompx_sim::Vendor;
+
+/// Which vendor library an entry point belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlasVendor {
+    /// cuBLAS-like (NVIDIA contexts only).
+    Cublas,
+    /// rocBLAS-like (AMD contexts only).
+    Rocblas,
+}
+
+impl BlasVendor {
+    fn expect_ctx(&self, ctx: &NativeCtx, func: &str) {
+        let vendor = ctx.device().profile().vendor;
+        let ok = matches!(
+            (self, vendor),
+            (BlasVendor::Cublas, Vendor::Nvidia) | (BlasVendor::Rocblas, Vendor::Amd)
+        );
+        assert!(
+            ok,
+            "undefined reference to `{func}`: the {} library does not link against {vendor} devices",
+            match self {
+                BlasVendor::Cublas => "cuBLAS",
+                BlasVendor::Rocblas => "rocBLAS",
+            }
+        );
+    }
+
+    fn prefix(&self) -> &'static str {
+        match self {
+            BlasVendor::Cublas => "cublas",
+            BlasVendor::Rocblas => "rocblas",
+        }
+    }
+}
+
+const BLOCK: u32 = 256;
+
+/// `y = alpha * x + y` (single precision).
+pub fn saxpy(
+    vendor: BlasVendor,
+    ctx: &NativeCtx,
+    alpha: f32,
+    x: &DBuf<f32>,
+    y: &DBuf<f32>,
+) -> LaunchResult {
+    let func = format!("{}Saxpy", vendor.prefix());
+    vendor.expect_ctx(ctx, &func);
+    let n = x.len().min(y.len());
+    let k = Kernel::new(func, {
+        let (x, y) = (x.clone(), y.clone());
+        move |tc: &mut ThreadCtx| {
+            let i = tc.global_thread_id_x();
+            if i < n {
+                let xv = tc.read(&x, i);
+                let yv = tc.read(&y, i);
+                tc.flops(2);
+                tc.write(&y, i, alpha * xv + yv);
+            }
+        }
+    });
+    ctx.launch_cfg(&k, LaunchConfig::linear(n, BLOCK)).expect("saxpy launch")
+}
+
+/// Dot product of two single-precision vectors.
+///
+/// Implemented the way the vendor libraries do it: a grid-wide reduction
+/// into a single accumulator via per-block partial sums and one atomic per
+/// block.
+pub fn sdot(vendor: BlasVendor, ctx: &NativeCtx, x: &DBuf<f32>, y: &DBuf<f32>) -> (f64, LaunchResult) {
+    let func = format!("{}Sdot", vendor.prefix());
+    vendor.expect_ctx(ctx, &func);
+    let n = x.len().min(y.len());
+    let acc = ctx.malloc::<f64>(1);
+    let k = Kernel::new(func, {
+        let (x, y, acc) = (x.clone(), y.clone(), acc.clone());
+        move |tc: &mut ThreadCtx| {
+            // Grid-stride loop with a per-thread partial, one atomic each.
+            let mut partial = 0.0f64;
+            let stride = tc.global_size();
+            let mut i = tc.global_rank();
+            while i < n {
+                let xv = tc.read(&x, i);
+                let yv = tc.read(&y, i);
+                tc.flops(2);
+                partial += (xv * yv) as f64;
+                i += stride;
+            }
+            tc.atomic_add(&acc, 0, partial);
+        }
+    });
+    let blocks = n.div_ceil(BLOCK as usize).clamp(1, 1024) as u32;
+    let r = ctx
+        .launch_cfg(&k, LaunchConfig::new(Dim3::x(blocks), Dim3::x(BLOCK)))
+        .expect("sdot launch");
+    let result = acc.get(0);
+    ctx.free(&acc);
+    (result, r)
+}
+
+/// `C = alpha * A x B + beta * C` for row-major `m x k` / `k x n` matrices
+/// (single precision), tiled over a 2-D grid like the vendor kernels.
+#[allow(clippy::too_many_arguments)]
+pub fn sgemm(
+    vendor: BlasVendor,
+    ctx: &NativeCtx,
+    m: usize,
+    n: usize,
+    kk: usize,
+    alpha: f32,
+    a: &DBuf<f32>,
+    b: &DBuf<f32>,
+    beta: f32,
+    c: &DBuf<f32>,
+) -> LaunchResult {
+    let func = format!("{}Sgemm", vendor.prefix());
+    vendor.expect_ctx(ctx, &func);
+    assert!(a.len() >= m * kk, "A is {} elements, need {}", a.len(), m * kk);
+    assert!(b.len() >= kk * n, "B is {} elements, need {}", b.len(), kk * n);
+    assert!(c.len() >= m * n, "C is {} elements, need {}", c.len(), m * n);
+    const TILE: u32 = 16;
+    let k = Kernel::new(func, {
+        let (a, b, c) = (a.clone(), b.clone(), c.clone());
+        move |tc: &mut ThreadCtx| {
+            let col = tc.global_thread_id_x();
+            let row = tc.global_thread_id_y();
+            if row < m && col < n {
+                let mut sum = 0.0f32;
+                for p in 0..kk {
+                    let av = tc.read(&a, row * kk + p);
+                    let bv = tc.read(&b, p * n + col);
+                    tc.flops(2);
+                    sum += av * bv;
+                }
+                let cv = tc.read(&c, row * n + col);
+                tc.flops(3);
+                tc.write(&c, row * n + col, alpha * sum + beta * cv);
+            }
+        }
+    });
+    let grid = Dim3::xy(
+        (n as u32).div_ceil(TILE).max(1),
+        (m as u32).div_ceil(TILE).max(1),
+    );
+    ctx.launch_cfg(&k, LaunchConfig::new(grid, Dim3::xy(TILE, TILE))).expect("sgemm launch")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cuda::cuda_context_clang;
+    use crate::hip::hip_context_clang;
+
+    #[test]
+    fn saxpy_matches_reference() {
+        let ctx = cuda_context_clang();
+        let n = 1000;
+        let x = ctx.malloc_from(&(0..n).map(|i| i as f32).collect::<Vec<_>>());
+        let y = ctx.malloc_from(&vec![1.0f32; n]);
+        saxpy(BlasVendor::Cublas, &ctx, 2.0, &x, &y);
+        let got = y.to_vec();
+        for (i, v) in got.iter().enumerate() {
+            assert_eq!(*v, 2.0 * i as f32 + 1.0);
+        }
+    }
+
+    #[test]
+    fn sdot_exact_for_integers() {
+        let ctx = hip_context_clang();
+        let n = 4096;
+        let x = ctx.malloc_from(&vec![2.0f32; n]);
+        let y = ctx.malloc_from(&vec![3.0f32; n]);
+        let (dot, r) = sdot(BlasVendor::Rocblas, &ctx, &x, &y);
+        assert_eq!(dot, 6.0 * n as f64);
+        assert!(r.stats.atomic_ops > 0);
+    }
+
+    #[test]
+    fn sgemm_small_reference() {
+        let ctx = cuda_context_clang();
+        // 2x3 * 3x2 with known result.
+        let a = ctx.malloc_from(&[1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = ctx.malloc_from(&[7.0f32, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = ctx.malloc::<f32>(4);
+        sgemm(BlasVendor::Cublas, &ctx, 2, 2, 3, 1.0, &a, &b, 0.0, &c);
+        assert_eq!(c.to_vec(), vec![58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn sgemm_beta_accumulates() {
+        let ctx = cuda_context_clang();
+        let a = ctx.malloc_from(&[1.0f32]);
+        let b = ctx.malloc_from(&[2.0f32]);
+        let c = ctx.malloc_from(&[10.0f32]);
+        sgemm(BlasVendor::Cublas, &ctx, 1, 1, 1, 3.0, &a, &b, 0.5, &c);
+        assert_eq!(c.to_vec(), vec![3.0 * 2.0 + 0.5 * 10.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined reference")]
+    fn cublas_does_not_link_on_amd() {
+        let ctx = hip_context_clang();
+        let x = ctx.malloc_from(&[1.0f32]);
+        let y = ctx.malloc_from(&[1.0f32]);
+        saxpy(BlasVendor::Cublas, &ctx, 1.0, &x, &y);
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined reference")]
+    fn rocblas_does_not_link_on_nvidia() {
+        let ctx = cuda_context_clang();
+        let x = ctx.malloc_from(&[1.0f32]);
+        let y = ctx.malloc_from(&[1.0f32]);
+        saxpy(BlasVendor::Rocblas, &ctx, 1.0, &x, &y);
+    }
+}

@@ -1,0 +1,75 @@
+//! CUDA-flavoured surface over [`crate::runtime::NativeCtx`].
+//!
+//! Mirrors the program structure of the paper's Figure 1 so the HeCBench
+//! CUDA versions port almost mechanically:
+//!
+//! ```
+//! use ompx_klang::cuda;
+//! use ompx_sim::prelude::*;
+//!
+//! let ctx = cuda::cuda_context_clang();           // clang-compiled CUDA
+//! let n = 1000usize;
+//! let d_a = ctx.malloc_from(&vec![1.0f32; n]);    // cudaMalloc + cudaMemcpy
+//! let d_b = ctx.malloc::<f32>(n);
+//!
+//! let kernel = Kernel::new("scale2", {
+//!     let (a, b) = (d_a.clone(), d_b.clone());
+//!     move |tc: &mut ThreadCtx| {
+//!         let i = tc.global_thread_id_x();        // blockIdx.x*blockDim.x+threadIdx.x
+//!         if i < n {
+//!             let v = tc.read(&a, i);
+//!             tc.flops(1);
+//!             tc.write(&b, i, v * 2.0);
+//!         }
+//!     }
+//! });
+//!
+//! let bsize = 128u32;
+//! let gsize = (n as u32 + bsize - 1) / bsize;
+//! ctx.launch(&kernel, gsize, bsize).unwrap();     // kernel<<<gsize, bsize>>>
+//! assert_eq!(d_b.to_vec()[0], 2.0);
+//! ```
+
+use crate::runtime::NativeCtx;
+use crate::toolchain::Toolchain;
+use ompx_sim::device::{Device, DeviceProfile};
+
+/// A CUDA context is a native context whose device is (by construction in
+/// this crate's constructors) an NVIDIA profile.
+pub type CudaCtx = NativeCtx;
+
+/// CUDA on the paper's A100 system, compiled with LLVM/Clang
+/// (the `cuda` bars of Figure 8).
+pub fn cuda_context_clang() -> CudaCtx {
+    NativeCtx::new(Device::new(DeviceProfile::a100()), Toolchain::Clang)
+}
+
+/// CUDA on the paper's A100 system, compiled with `nvcc`
+/// (the `cuda-nvcc` bars of Figure 8).
+pub fn cuda_context_nvcc() -> CudaCtx {
+    NativeCtx::new(Device::new(DeviceProfile::a100()), Toolchain::Nvcc)
+}
+
+/// CUDA context on an explicit device/toolchain pair.
+pub fn cuda_context_on(device: Device, toolchain: Toolchain) -> CudaCtx {
+    NativeCtx::new(device, toolchain)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ompx_sim::Vendor;
+
+    #[test]
+    fn cuda_contexts_are_nvidia() {
+        assert_eq!(cuda_context_clang().device().profile().vendor, Vendor::Nvidia);
+        assert_eq!(cuda_context_nvcc().device().profile().vendor, Vendor::Nvidia);
+        assert_eq!(cuda_context_clang().toolchain(), Toolchain::Clang);
+        assert_eq!(cuda_context_nvcc().toolchain(), Toolchain::Nvcc);
+    }
+
+    #[test]
+    fn warp_width_is_32() {
+        assert_eq!(cuda_context_clang().device().profile().warp_size, 32);
+    }
+}

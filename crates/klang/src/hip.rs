@@ -1,0 +1,73 @@
+//! HIP-flavoured surface over [`crate::runtime::NativeCtx`].
+//!
+//! HIP's runtime API is deliberately a near-field-rename of CUDA's
+//! (`hipMalloc`/`hipMemcpy`/`hipLaunchKernelGGL`), which is why the paper
+//! can port the CUDA benchmark sources to HIP essentially by substitution.
+//! The same holds here: a HIP context *is* a [`NativeCtx`], constructed over
+//! the AMD MI250 profile with 64-lane wavefronts.
+
+use crate::runtime::NativeCtx;
+use crate::toolchain::Toolchain;
+use ompx_sim::device::{Device, DeviceProfile};
+
+/// A HIP context is a native context whose device is an AMD profile.
+pub type HipCtx = NativeCtx;
+
+/// HIP on the paper's MI250 system, compiled with LLVM/Clang
+/// (the `hip` bars of Figure 8).
+pub fn hip_context_clang() -> HipCtx {
+    NativeCtx::new(Device::new(DeviceProfile::mi250()), Toolchain::Clang)
+}
+
+/// HIP on the paper's MI250 system, compiled with `hipcc`
+/// (the `hip-hipcc` bars of Figure 8).
+pub fn hip_context_hipcc() -> HipCtx {
+    NativeCtx::new(Device::new(DeviceProfile::mi250()), Toolchain::Hipcc)
+}
+
+/// HIP context on an explicit device/toolchain pair.
+pub fn hip_context_on(device: Device, toolchain: Toolchain) -> HipCtx {
+    NativeCtx::new(device, toolchain)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ompx_sim::prelude::*;
+    use ompx_sim::Vendor;
+
+    #[test]
+    fn hip_contexts_are_amd_with_wave64() {
+        let c = hip_context_clang();
+        assert_eq!(c.device().profile().vendor, Vendor::Amd);
+        assert_eq!(c.device().profile().warp_size, 64);
+        assert_eq!(hip_context_hipcc().toolchain(), Toolchain::Hipcc);
+    }
+
+    #[test]
+    fn same_kernel_source_runs_on_both_vendors() {
+        // The portability premise: one kernel body, two vendor contexts.
+        let make = |ctx: &NativeCtx| {
+            let n = 256usize;
+            let x = ctx.malloc_from(&vec![3.0f32; n]);
+            let y = ctx.malloc::<f32>(n);
+            let k = Kernel::new("axpy_portable", {
+                let (x, y) = (x.clone(), y.clone());
+                move |tc: &mut ThreadCtx| {
+                    let i = tc.global_thread_id_x();
+                    if i < n {
+                        let v = tc.read(&x, i);
+                        tc.flops(1);
+                        tc.write(&y, i, v + 1.0);
+                    }
+                }
+            });
+            ctx.launch(&k, 2u32, 128u32).unwrap();
+            y.to_vec()
+        };
+        let nv = make(&crate::cuda::cuda_context_clang());
+        let amd = make(&hip_context_clang());
+        assert_eq!(nv, amd);
+        assert!(nv.iter().all(|&v| v == 4.0));
+    }
+}

@@ -1,0 +1,29 @@
+//! # ompx-klang — the "native" kernel languages of the reproduction
+//!
+//! The paper compares its OpenMP extensions against programs written in the
+//! vendors' kernel languages (CUDA on NVIDIA, HIP on AMD), compiled by both
+//! LLVM/Clang and the vendor compilers (`nvcc`, `hipcc`). This crate rebuilds
+//! that side of the experiment:
+//!
+//! * [`runtime::NativeCtx`] — a CUDA-runtime-shaped API (malloc/memcpy/launch
+//!   with chevron-style geometry, streams, events) lowered onto the
+//!   [`ompx_sim`] substrate. [`cuda`] and [`hip`] expose vendor-flavoured
+//!   constructors and naming so the ported HeCBench programs read like their
+//!   originals.
+//! * [`toolchain`] — the compiler model: which compiler produced the kernel
+//!   binary, and the resulting [`ompx_sim::timing::CodegenInfo`] (registers,
+//!   static shared memory, binary size, coalescing). The paper's profiling
+//!   narrative pins these values for the kernels it discusses; the database
+//!   carries them and derives defaults for everything else.
+//! * [`blaslib`] — simulated vendor BLAS libraries (cuBLAS-like and
+//!   rocBLAS-like), the proprietary libraries the paper's §3.6 wrapper layer
+//!   dispatches to.
+
+pub mod blaslib;
+pub mod cuda;
+pub mod hip;
+pub mod runtime;
+pub mod toolchain;
+
+pub use runtime::{LaunchResult, NativeCtx};
+pub use toolchain::{CodegenDb, Toolchain};

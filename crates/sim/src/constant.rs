@@ -1,0 +1,100 @@
+//! Constant memory: the fourth computational memory space of §2.5.
+//!
+//! CUDA's `__constant__` space is small, read-only during kernel execution,
+//! cached, and *broadcast-optimized*: when every thread of a warp reads the
+//! same address the constant cache serves the whole warp in one cycle.
+//! OpenMP reaches the same storage through `declare target` globals (and
+//! the allocator/`groupprivate` work the paper's footnote 2 describes).
+//!
+//! [`CBuf`] is immutable after upload, so it is plain shared data — no
+//! atomics needed — and reads are charged to the dedicated constant-read
+//! counter, which the timing model prices at near-register cost for
+//! uniform access.
+
+use crate::mem::DeviceScalar;
+use std::sync::Arc;
+
+/// A constant-memory buffer: written by the host before launch, read-only
+/// on the device.
+pub struct CBuf<T: DeviceScalar> {
+    data: Arc<[T]>,
+    device_id: usize,
+}
+
+impl<T: DeviceScalar> Clone for CBuf<T> {
+    fn clone(&self) -> Self {
+        CBuf { data: Arc::clone(&self.data), device_id: self.device_id }
+    }
+}
+
+impl<T: DeviceScalar> CBuf<T> {
+    pub(crate) fn from_slice(data: &[T], device_id: usize) -> Self {
+        CBuf { data: data.into(), device_id }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        std::mem::size_of_val::<[T]>(&self.data)
+    }
+
+    /// Owning device.
+    pub fn device_id(&self) -> usize {
+        self.device_id
+    }
+
+    /// Uncounted host-side read.
+    #[inline]
+    pub fn get(&self, i: usize) -> T {
+        self.data[i]
+    }
+
+    /// The whole buffer as a host vector.
+    pub fn to_vec(&self) -> Vec<T> {
+        self.data.to_vec()
+    }
+}
+
+impl<T: DeviceScalar> std::fmt::Debug for CBuf<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "CBuf<{}>(len={}, dev={})",
+            std::any::type_name::<T>(),
+            self.len(),
+            self.device_id
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_immutability() {
+        let c = CBuf::from_slice(&[1.0f32, 2.0, 3.0], 0);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(1), 2.0);
+        assert_eq!(c.to_vec(), vec![1.0, 2.0, 3.0]);
+        assert_eq!(c.size_bytes(), 12);
+        let c2 = c.clone();
+        assert_eq!(c2.get(2), 3.0);
+    }
+
+    #[test]
+    fn empty_buffer() {
+        let c = CBuf::<u32>::from_slice(&[], 0);
+        assert!(c.is_empty());
+        assert_eq!(c.size_bytes(), 0);
+    }
+}

@@ -1,0 +1,429 @@
+//! Simulated GPU devices and their hardware profiles.
+//!
+//! The paper's evaluation machines (Figure 7) are an NVIDIA A100 (40 GB) and
+//! an AMD MI250; [`DeviceProfile::a100`] and [`DeviceProfile::mi250`] encode
+//! their published micro-architectural parameters. The profile drives both
+//! *functional* differences (warp width 32 vs 64, limits validated at launch)
+//! and the *timing model* (SM count, clock, bandwidth, register file,
+//! occupancy limits — see [`crate::timing`]).
+
+use crate::dim::LaunchConfig;
+use crate::error::{SimError, SimResult};
+use crate::exec::{self, Kernel};
+use crate::mem::{DBuf, DeviceScalar};
+use crate::counters::StatsSnapshot;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Weak};
+
+/// GPU vendor, used by the paper's §3.6 wrapper layer to pick the matching
+/// "vendor library" implementation at launch-target resolution time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Vendor {
+    Nvidia,
+    Amd,
+    /// Small synthetic device used by unit tests.
+    Generic,
+}
+
+impl std::fmt::Display for Vendor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Vendor::Nvidia => write!(f, "NVIDIA"),
+            Vendor::Amd => write!(f, "AMD"),
+            Vendor::Generic => write!(f, "Generic"),
+        }
+    }
+}
+
+/// Micro-architectural description of a simulated GPU.
+///
+/// Field names use NVIDIA vocabulary ("SM", "warp") for uniformity; on the
+/// AMD profile an SM is a Compute Unit and a warp is a 64-lane wavefront.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceProfile {
+    pub name: String,
+    pub vendor: Vendor,
+    /// Streaming multiprocessors / compute units.
+    pub sm_count: u32,
+    /// Warp (NVIDIA) or wavefront (AMD) width.
+    pub warp_size: u32,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Global-memory bandwidth in bytes/second.
+    pub mem_bw_bytes_per_s: f64,
+    /// Average global-memory latency in core cycles.
+    pub mem_latency_cycles: f64,
+    /// Peak FP32 throughput in FLOP/s.
+    pub fp32_flops: f64,
+    /// Peak FP64 throughput in FLOP/s.
+    pub fp64_flops: f64,
+    /// Peak integer-op throughput in ops/s.
+    pub int_ops_per_s: f64,
+    /// Shared-memory accesses per second (all SMs).
+    pub shared_ops_per_s: f64,
+    /// 32-bit registers per SM.
+    pub regs_per_sm: u32,
+    /// Shared memory per SM in bytes.
+    pub smem_per_sm: usize,
+    /// Shared-memory limit for a single block in bytes.
+    pub max_smem_per_block: usize,
+    /// Maximum resident threads per SM.
+    pub max_threads_per_sm: u32,
+    /// Maximum resident blocks per SM.
+    pub max_blocks_per_sm: u32,
+    /// Maximum threads per block.
+    pub max_threads_per_block: u32,
+    /// Global memory capacity in bytes.
+    pub global_mem_bytes: usize,
+    /// Base kernel-launch latency in seconds (native kernel language).
+    pub base_launch_latency_s: f64,
+    /// Cost of one block-wide barrier in core cycles.
+    pub barrier_cycles: f64,
+    /// Global atomic throughput in ops/s.
+    pub atomic_ops_per_s: f64,
+    /// Instruction-cache-friendly binary size in bytes; kernels larger than
+    /// this pay an i-cache penalty (see SU3 analysis in the paper, §4.2.3).
+    pub icache_bytes: usize,
+    /// Host-device interconnect bandwidth in bytes/second (PCIe 4.0 x16 on
+    /// both of the paper's systems).
+    pub pcie_bw_bytes_per_s: f64,
+    /// Base latency of one host-device transfer in seconds.
+    pub pcie_latency_s: f64,
+}
+
+impl DeviceProfile {
+    /// NVIDIA A100-SXM4-40GB (Ampere GA100), per the paper's Figure 7 and
+    /// NVIDIA's published specifications.
+    pub fn a100() -> Self {
+        DeviceProfile {
+            name: "NVIDIA A100 (40 GB)".to_string(),
+            vendor: Vendor::Nvidia,
+            sm_count: 108,
+            warp_size: 32,
+            clock_ghz: 1.41,
+            mem_bw_bytes_per_s: 1.555e12,
+            mem_latency_cycles: 470.0,
+            fp32_flops: 19.5e12,
+            fp64_flops: 9.7e12,
+            int_ops_per_s: 19.5e12,
+            // 32 lanes/SM/cycle ideal; ~30 achieved with occasional bank
+            // conflicts.
+            shared_ops_per_s: 30.0 * 108.0 * 1.41e9,
+            regs_per_sm: 65536,
+            smem_per_sm: 164 * 1024,
+            max_smem_per_block: 163 * 1024,
+            max_threads_per_sm: 2048,
+            max_blocks_per_sm: 32,
+            max_threads_per_block: 1024,
+            global_mem_bytes: 40 * (1 << 30),
+            base_launch_latency_s: 2.0e-6,
+            barrier_cycles: 12.0,
+            atomic_ops_per_s: 2.0e10,
+            icache_bytes: 16 * 1024,
+            pcie_bw_bytes_per_s: 26.0e9,
+            pcie_latency_s: 8.0e-6,
+        }
+    }
+
+    /// AMD MI250, one Graphics Compute Die (CDNA2), per the paper's Figure 7
+    /// and AMD's published specifications. ROCm exposes each GCD as its own
+    /// device, which is how HeCBench runs it.
+    pub fn mi250() -> Self {
+        DeviceProfile {
+            name: "AMD MI250 (GCD)".to_string(),
+            vendor: Vendor::Amd,
+            sm_count: 104,
+            warp_size: 64,
+            clock_ghz: 1.7,
+            mem_bw_bytes_per_s: 1.6384e12,
+            mem_latency_cycles: 600.0,
+            fp32_flops: 22.6e12,
+            fp64_flops: 22.6e12,
+            int_ops_per_s: 22.6e12,
+            shared_ops_per_s: 64.0 * 104.0 * 1.7e9,
+            regs_per_sm: 2 * 65536,
+            smem_per_sm: 64 * 1024,
+            max_smem_per_block: 64 * 1024,
+            max_threads_per_sm: 2048,
+            max_blocks_per_sm: 32,
+            max_threads_per_block: 1024,
+            global_mem_bytes: 64 * (1 << 30),
+            base_launch_latency_s: 3.0e-6,
+            barrier_cycles: 15.0,
+            atomic_ops_per_s: 1.5e10,
+            icache_bytes: 32 * 1024,
+            pcie_bw_bytes_per_s: 26.0e9,
+            pcie_latency_s: 9.0e-6,
+        }
+    }
+
+    /// A tiny synthetic device for fast, deterministic unit tests:
+    /// 4-lane warps keep warp-collective tests small.
+    pub fn test_small() -> Self {
+        DeviceProfile {
+            name: "TestGPU".to_string(),
+            vendor: Vendor::Generic,
+            sm_count: 4,
+            warp_size: 4,
+            clock_ghz: 1.0,
+            mem_bw_bytes_per_s: 1.0e11,
+            mem_latency_cycles: 100.0,
+            fp32_flops: 1.0e12,
+            fp64_flops: 0.5e12,
+            int_ops_per_s: 1.0e12,
+            shared_ops_per_s: 4.0 * 4.0 * 1.0e9,
+            regs_per_sm: 4096,
+            smem_per_sm: 16 * 1024,
+            max_smem_per_block: 16 * 1024,
+            max_threads_per_sm: 256,
+            max_blocks_per_sm: 8,
+            max_threads_per_block: 128,
+            global_mem_bytes: 256 << 20,
+            base_launch_latency_s: 1.0e-6,
+            barrier_cycles: 20.0,
+            atomic_ops_per_s: 1.0e9,
+            icache_bytes: 8 * 1024,
+            pcie_bw_bytes_per_s: 8.0e9,
+            pcie_latency_s: 5.0e-6,
+        }
+    }
+
+    /// Clock frequency in Hz.
+    pub fn clock_hz(&self) -> f64 {
+        self.clock_ghz * 1e9
+    }
+
+    /// Modeled wall time of one host-device transfer of `bytes`
+    /// (the explicit `cudaMemcpy` / `omp_target_memcpy` / `map` clause
+    /// cost of the paper's §2.6).
+    pub fn transfer_seconds(&self, bytes: usize) -> f64 {
+        self.pcie_latency_s + bytes as f64 / self.pcie_bw_bytes_per_s
+    }
+}
+
+pub(crate) struct DeviceInner {
+    pub profile: DeviceProfile,
+    pub id: usize,
+    allocated: AtomicUsize,
+    pub(crate) streams: Mutex<Vec<Weak<crate::stream::StreamInner>>>,
+    trace: crate::trace::Trace,
+    trace_enabled: std::sync::atomic::AtomicBool,
+}
+
+static NEXT_DEVICE_ID: AtomicUsize = AtomicUsize::new(0);
+
+/// A handle to a simulated GPU. Cheap to clone (shared inner state), like a
+/// CUDA device ordinal plus its context.
+#[derive(Clone)]
+pub struct Device {
+    pub(crate) inner: Arc<DeviceInner>,
+}
+
+impl Device {
+    /// Bring up a device with the given hardware profile.
+    pub fn new(profile: DeviceProfile) -> Self {
+        Device {
+            inner: Arc::new(DeviceInner {
+                profile,
+                id: NEXT_DEVICE_ID.fetch_add(1, Ordering::Relaxed),
+                allocated: AtomicUsize::new(0),
+                streams: Mutex::new(Vec::new()),
+                trace: crate::trace::Trace::new(),
+                trace_enabled: std::sync::atomic::AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// The device's hardware profile.
+    pub fn profile(&self) -> &DeviceProfile {
+        &self.inner.profile
+    }
+
+    /// Process-unique device id.
+    pub fn id(&self) -> usize {
+        self.inner.id
+    }
+
+    /// Bytes of device memory currently allocated.
+    pub fn allocated_bytes(&self) -> usize {
+        self.inner.allocated.load(Ordering::Relaxed)
+    }
+
+    /// Allocate a zero-initialized buffer of `n` elements, or report memory
+    /// exhaustion (`cudaMalloc` returning `cudaErrorMemoryAllocation`).
+    pub fn try_alloc<T: DeviceScalar>(&self, n: usize) -> SimResult<DBuf<T>> {
+        let bytes = n * std::mem::size_of::<T>();
+        let cap = self.inner.profile.global_mem_bytes;
+        let prev = self.inner.allocated.fetch_add(bytes, Ordering::Relaxed);
+        if prev + bytes > cap {
+            self.inner.allocated.fetch_sub(bytes, Ordering::Relaxed);
+            return Err(SimError::OutOfDeviceMemory { requested: bytes, available: cap - prev.min(cap) });
+        }
+        Ok(DBuf::new_zeroed(n, self.inner.id))
+    }
+
+    /// Allocate a zero-initialized buffer of `n` elements. Panics on
+    /// exhaustion of the modeled device memory.
+    pub fn alloc<T: DeviceScalar>(&self, n: usize) -> DBuf<T> {
+        self.try_alloc(n).unwrap_or_else(|e| panic!("device allocation failed: {e}"))
+    }
+
+    /// Upload a constant-memory buffer (`cudaMemcpyToSymbol`).
+    pub fn alloc_const<T: DeviceScalar>(&self, data: &[T]) -> crate::constant::CBuf<T> {
+        self.inner.allocated.fetch_add(std::mem::size_of_val(data), Ordering::Relaxed);
+        crate::constant::CBuf::from_slice(data, self.inner.id)
+    }
+
+    /// Allocate and fill from a host slice (`cudaMalloc` + `cudaMemcpy` H2D).
+    pub fn alloc_from<T: DeviceScalar>(&self, data: &[T]) -> DBuf<T> {
+        let bytes = std::mem::size_of_val(data);
+        self.inner.allocated.fetch_add(bytes, Ordering::Relaxed);
+        DBuf::from_slice(data, self.inner.id)
+    }
+
+    /// Release the modeled capacity held by `buf` (`cudaFree`). The backing
+    /// store itself is reference-counted, so late readers stay safe.
+    pub fn free<T: DeviceScalar>(&self, buf: &DBuf<T>) {
+        self.inner.allocated.fetch_sub(buf.size_bytes(), Ordering::Relaxed);
+    }
+
+    /// Validate a launch configuration against the device limits.
+    pub fn validate_launch(&self, cfg: &LaunchConfig) -> SimResult<()> {
+        let p = &self.inner.profile;
+        if cfg.grid.is_degenerate() || cfg.block.is_degenerate() {
+            return Err(SimError::InvalidLaunch(format!(
+                "degenerate geometry grid={:?} block={:?}",
+                cfg.grid, cfg.block
+            )));
+        }
+        let tpb = cfg.threads_per_block();
+        if tpb > p.max_threads_per_block as usize {
+            return Err(SimError::InvalidLaunch(format!(
+                "{tpb} threads per block exceeds device limit {}",
+                p.max_threads_per_block
+            )));
+        }
+        let smem = cfg.shared_bytes_per_block();
+        if smem > p.max_smem_per_block {
+            return Err(SimError::SharedMemExceeded { requested: smem, limit: p.max_smem_per_block });
+        }
+        Ok(())
+    }
+
+    /// Enable launch tracing (the simulator's `nsys`-style recorder).
+    pub fn enable_tracing(&self) {
+        self.inner.trace_enabled.store(true, Ordering::Release);
+    }
+
+    /// Disable launch tracing.
+    pub fn disable_tracing(&self) {
+        self.inner.trace_enabled.store(false, Ordering::Release);
+    }
+
+    /// The device's launch trace (empty unless tracing was enabled).
+    pub fn trace(&self) -> &crate::trace::Trace {
+        &self.inner.trace
+    }
+
+    fn tracing(&self) -> bool {
+        self.inner.trace_enabled.load(Ordering::Acquire)
+    }
+
+    /// Synchronously execute a kernel and return the aggregated event counts.
+    ///
+    /// This is the functional half of a launch; converting the counts into a
+    /// modeled execution time is the job of [`crate::timing::model_kernel`]
+    /// (done by the language runtimes, which know the codegen profile and
+    /// execution mode).
+    pub fn launch(&self, kernel: &Kernel, cfg: LaunchConfig) -> SimResult<StatsSnapshot> {
+        self.validate_launch(&cfg)?;
+        let stats = exec::run(kernel, &cfg, self.inner.profile.warp_size);
+        if self.tracing() {
+            self.inner.trace.record(crate::trace::LaunchRecord {
+                kernel: kernel.name().to_string(),
+                grid: cfg.grid,
+                block: cfg.block,
+                stats,
+                modeled_seconds: 0.0,
+            });
+        }
+        Ok(stats)
+    }
+
+    /// Block until all streams created on this device have drained.
+    pub fn synchronize(&self) {
+        let streams: Vec<_> = self.inner.streams.lock().iter().filter_map(Weak::upgrade).collect();
+        for s in streams {
+            crate::stream::StreamInner::drain(&s);
+        }
+    }
+}
+
+impl std::fmt::Debug for Device {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Device#{} ({})", self.inner.id, self.inner.profile.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_have_sane_parameters() {
+        for p in [DeviceProfile::a100(), DeviceProfile::mi250(), DeviceProfile::test_small()] {
+            assert!(p.sm_count > 0);
+            assert!(p.warp_size.is_power_of_two());
+            assert!(p.mem_bw_bytes_per_s > 0.0);
+            assert!(p.max_threads_per_block <= p.max_threads_per_sm);
+            assert!(p.max_smem_per_block <= p.smem_per_sm);
+        }
+        assert_eq!(DeviceProfile::a100().warp_size, 32);
+        assert_eq!(DeviceProfile::mi250().warp_size, 64);
+    }
+
+    #[test]
+    fn allocation_accounting() {
+        let dev = Device::new(DeviceProfile::test_small());
+        assert_eq!(dev.allocated_bytes(), 0);
+        let buf = dev.alloc::<f64>(100);
+        assert_eq!(dev.allocated_bytes(), 800);
+        dev.free(&buf);
+        assert_eq!(dev.allocated_bytes(), 0);
+    }
+
+    #[test]
+    fn out_of_memory_is_reported() {
+        let dev = Device::new(DeviceProfile::test_small());
+        let cap = dev.profile().global_mem_bytes;
+        let err = dev.try_alloc::<u32>(cap).unwrap_err(); // 4x capacity
+        assert!(matches!(err, SimError::OutOfDeviceMemory { .. }));
+        // The failed allocation must not leak accounting.
+        assert_eq!(dev.allocated_bytes(), 0);
+    }
+
+    #[test]
+    fn launch_validation_rejects_bad_configs() {
+        let dev = Device::new(DeviceProfile::test_small());
+        let k = Kernel::new("noop", |_ctx: &mut crate::thread::ThreadCtx| {});
+        // too many threads per block
+        let err = dev.launch(&k, LaunchConfig::new(1u32, 256u32)).unwrap_err();
+        assert!(matches!(err, SimError::InvalidLaunch(_)));
+        // zero-sized grid
+        let err = dev.launch(&k, LaunchConfig::new([0u32, 1, 1], 32u32)).unwrap_err();
+        assert!(matches!(err, SimError::InvalidLaunch(_)));
+        // oversized shared memory
+        let cfg = LaunchConfig::new(1u32, 32u32).with_dynamic_shared(1 << 20);
+        let err = dev.launch(&k, cfg).unwrap_err();
+        assert!(matches!(err, SimError::SharedMemExceeded { .. }));
+    }
+
+    #[test]
+    fn device_ids_are_unique() {
+        let a = Device::new(DeviceProfile::test_small());
+        let b = Device::new(DeviceProfile::test_small());
+        assert_ne!(a.id(), b.id());
+    }
+}

@@ -1,0 +1,89 @@
+//! Error type shared across the simulator.
+
+use std::fmt;
+
+/// Errors produced by the simulator substrate.
+///
+/// The simulator deliberately panics on *simulated-program* bugs (e.g. an
+/// out-of-bounds device access, which on a real GPU would be a memory fault)
+/// and returns `SimError` for *host-side* misuse (bad launch configuration,
+/// type confusion on shared-memory slots, exhausted device memory).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// Grid or block dimension is zero or exceeds the device capability.
+    InvalidLaunch(String),
+    /// The device's modeled global memory capacity would be exceeded.
+    OutOfDeviceMemory { requested: usize, available: usize },
+    /// A shared-memory slot was accessed with the wrong element type.
+    SharedTypeMismatch { slot: usize, expected: &'static str },
+    /// A shared-memory slot index does not exist for this launch.
+    SharedSlotOutOfRange { slot: usize, declared: usize },
+    /// Per-block shared memory request exceeds the device limit.
+    SharedMemExceeded { requested: usize, limit: usize },
+    /// Host/device size mismatch in a memcpy-style operation.
+    SizeMismatch { src: usize, dst: usize },
+    /// Operation issued against a different device than the buffer's owner.
+    WrongDevice { buffer_device: usize, op_device: usize },
+    /// A kernel that uses warp primitives or barriers was launched through a
+    /// path that cannot honour them.
+    UnsupportedExecution(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidLaunch(msg) => write!(f, "invalid launch configuration: {msg}"),
+            SimError::OutOfDeviceMemory { requested, available } => write!(
+                f,
+                "out of device memory: requested {requested} bytes, {available} available"
+            ),
+            SimError::SharedTypeMismatch { slot, expected } => {
+                write!(f, "shared slot {slot} accessed with wrong type, expected {expected}")
+            }
+            SimError::SharedSlotOutOfRange { slot, declared } => {
+                write!(f, "shared slot {slot} out of range ({declared} declared)")
+            }
+            SimError::SharedMemExceeded { requested, limit } => {
+                write!(f, "shared memory request {requested} B exceeds device limit {limit} B")
+            }
+            SimError::SizeMismatch { src, dst } => {
+                write!(f, "size mismatch: source {src} elements vs destination {dst}")
+            }
+            SimError::WrongDevice { buffer_device, op_device } => {
+                write!(f, "buffer owned by device {buffer_device} used on device {op_device}")
+            }
+            SimError::UnsupportedExecution(msg) => write!(f, "unsupported execution: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Result alias for simulator operations.
+pub type SimResult<T> = Result<T, SimError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_carry_the_relevant_numbers() {
+        let cases: Vec<(SimError, &str)> = vec![
+            (SimError::InvalidLaunch("grid=0".into()), "grid=0"),
+            (SimError::OutOfDeviceMemory { requested: 128, available: 64 }, "128"),
+            (SimError::SharedTypeMismatch { slot: 3, expected: "f32" }, "slot 3"),
+            (SimError::SharedSlotOutOfRange { slot: 9, declared: 2 }, "9 out of range"),
+            (SimError::SharedMemExceeded { requested: 4096, limit: 1024 }, "4096"),
+            (SimError::SizeMismatch { src: 10, dst: 5 }, "source 10"),
+            (SimError::WrongDevice { buffer_device: 1, op_device: 2 }, "device 1"),
+            (SimError::UnsupportedExecution("warp ops".into()), "warp ops"),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} should contain {needle:?}");
+        }
+        // Errors are std errors (boxable, ?-compatible).
+        let boxed: Box<dyn std::error::Error> = Box::new(SimError::InvalidLaunch("x".into()));
+        assert!(boxed.to_string().contains("invalid launch"));
+    }
+}

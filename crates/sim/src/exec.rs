@@ -1,0 +1,493 @@
+//! The kernel executor: runs every simulated GPU thread, really.
+//!
+//! Two execution paths share identical semantics as far as a kernel can
+//! observe:
+//!
+//! * **Serial path** — for kernels with no intra-block synchronization
+//!   (`KernelFlags` default). Blocks are distributed over host worker
+//!   threads; within a block, lanes run one after another. This is the fast
+//!   path: most of the HeCBench kernels (XSBench, RSBench, Adam, SU3) are
+//!   barrier-free.
+//! * **Team path** — for kernels that use `sync_threads`, warp shuffles, or
+//!   warp barriers. A small number of *teams* is spawned, each consisting of
+//!   one OS thread per lane of a block; teams claim blocks from a shared
+//!   counter and execute them with true intra-block concurrency. Barriers
+//!   park rather than spin because lanes heavily oversubscribe host cores
+//!   (see [`crate::barrier`]).
+//!
+//! The choice mirrors what the MCUDA line of work (cited in the paper's
+//! related work) calls "deep fission" vs true threading; we keep kernels
+//! unmodified and pay for threads only when the kernel needs them.
+
+use crate::barrier::{RetireBarrier, SenseBarrier};
+use crate::counters::{CostCounters, KernelStats, StatsSnapshot};
+use crate::dim::LaunchConfig;
+use crate::shared::BlockShared;
+use crate::thread::ThreadCtx;
+use crate::warp::WarpGroup;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Static properties of a kernel that the executor must know up front.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelFlags {
+    /// Kernel calls `sync_threads` (block-wide barrier).
+    pub uses_block_sync: bool,
+    /// Kernel calls `sync_warp`, shuffles, or ballots.
+    pub uses_warp_ops: bool,
+}
+
+impl KernelFlags {
+    /// Does this kernel require the barrier-capable team path?
+    pub fn needs_team_execution(&self) -> bool {
+        self.uses_block_sync || self.uses_warp_ops
+    }
+}
+
+/// A device kernel: a name (for diagnostics and codegen-profile lookup),
+/// executor-relevant flags, and the per-thread body.
+#[derive(Clone)]
+pub struct Kernel {
+    name: String,
+    flags: KernelFlags,
+    body: Arc<dyn Fn(&mut ThreadCtx) + Send + Sync>,
+}
+
+impl Kernel {
+    /// A barrier-free kernel (eligible for the serial fast path).
+    pub fn new(name: impl Into<String>, body: impl Fn(&mut ThreadCtx) + Send + Sync + 'static) -> Self {
+        Kernel { name: name.into(), flags: KernelFlags::default(), body: Arc::new(body) }
+    }
+
+    /// A kernel with explicit executor flags.
+    pub fn with_flags(
+        name: impl Into<String>,
+        flags: KernelFlags,
+        body: impl Fn(&mut ThreadCtx) + Send + Sync + 'static,
+    ) -> Self {
+        Kernel { name: name.into(), flags, body: Arc::new(body) }
+    }
+
+    /// Mark the kernel as using block-wide barriers.
+    pub fn with_block_sync(mut self) -> Self {
+        self.flags.uses_block_sync = true;
+        self
+    }
+
+    /// Mark the kernel as using warp-level collectives.
+    pub fn with_warp_ops(mut self) -> Self {
+        self.flags.uses_warp_ops = true;
+        self
+    }
+
+    /// Kernel name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Executor flags.
+    pub fn flags(&self) -> KernelFlags {
+        self.flags
+    }
+}
+
+impl std::fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Kernel({}, {:?})", self.name, self.flags)
+    }
+}
+
+/// Execute `kernel` over the whole grid and return aggregated statistics.
+pub fn run(kernel: &Kernel, cfg: &LaunchConfig, warp_size: u32) -> StatsSnapshot {
+    let stats = KernelStats::new();
+    if kernel.flags.needs_team_execution() && cfg.threads_per_block() > 1 {
+        run_team(kernel, cfg, warp_size, &stats);
+    } else {
+        run_serial(kernel, cfg, warp_size, &stats);
+    }
+    stats.snapshot()
+}
+
+fn host_parallelism() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+}
+
+/// Serial path: blocks spread over workers, lanes of a block run in sequence.
+fn run_serial(kernel: &Kernel, cfg: &LaunchConfig, warp_size: u32, stats: &KernelStats) {
+    let num_blocks = cfg.num_blocks();
+    let workers = host_parallelism().min(num_blocks).max(1);
+    let next_block = AtomicUsize::new(0);
+
+    let panic_payload = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+            s.spawn(|| {
+                let tpb = cfg.threads_per_block();
+                loop {
+                    let b = next_block.fetch_add(1, Ordering::Relaxed);
+                    if b >= num_blocks {
+                        break;
+                    }
+                    let shared = BlockShared::with_racecheck(&cfg.shared_slots, cfg.racecheck);
+                    let (bx, by, bz) = cfg.grid.delinear(b);
+                    let mut block_counters = CostCounters::default();
+                    for t in 0..tpb {
+                        let (tx, ty, tz) = cfg.block.delinear(t);
+                        let mut ctx = ThreadCtx {
+                            block: (bx, by, bz),
+                            thread: (tx, ty, tz),
+                            grid_dim: cfg.grid,
+                            block_dim: cfg.block,
+                            warp_size,
+                            counters: CostCounters::default(),
+                            shared: &shared,
+                            block_barrier: None,
+                            warp: None,
+                            collective_count: 0,
+                        };
+                        (kernel.body)(&mut ctx);
+                        block_counters.merge(&ctx.counters);
+                    }
+                    stats.absorb_block(&block_counters, tpb as u64);
+                    stats.block_done();
+                }
+            })
+            })
+            .collect();
+        // Join every worker so a simulated-program panic surfaces with its
+        // original message instead of "a scoped thread panicked".
+        let mut payload = None;
+        for h in handles {
+            if let Err(p) = h.join() {
+                payload.get_or_insert(p);
+            }
+        }
+        payload
+    });
+    if let Some(p) = panic_payload {
+        std::panic::resume_unwind(p);
+    }
+}
+
+/// Shared state of one executing block on the team path.
+struct BlockExec {
+    shared: BlockShared,
+    warps: Vec<WarpGroup>,
+    barrier: RetireBarrier,
+}
+
+/// Per-team coordination state.
+struct TeamState {
+    /// Block index currently being executed (usize::MAX = none yet).
+    current_block: AtomicUsize,
+    /// Rendezvous for the team's lanes between protocol steps.
+    gate: SenseBarrier,
+    /// The state of the block being executed.
+    exec: Mutex<Option<Arc<BlockExec>>>,
+    /// Set when a lane panicked: the whole team stops after the current
+    /// block (a sticky error, like a device-side assert).
+    poisoned: std::sync::atomic::AtomicBool,
+}
+
+/// Team path: real intra-block concurrency with barrier support.
+fn run_team(kernel: &Kernel, cfg: &LaunchConfig, warp_size: u32, stats: &KernelStats) {
+    let num_blocks = cfg.num_blocks();
+    let tpb = cfg.threads_per_block();
+    let cores = host_parallelism();
+    // Enough teams to keep the host busy, but no more than there are blocks
+    // and never an absurd number of OS threads.
+    let teams = ((cores * 2) / tpb).clamp(1, 8).min(num_blocks).max(1);
+    let next_block = Arc::new(AtomicUsize::new(0));
+
+    let panic_payload = std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(teams * tpb);
+        for _ in 0..teams {
+            let team = Arc::new(TeamState {
+                current_block: AtomicUsize::new(usize::MAX),
+                gate: SenseBarrier::new(tpb),
+                exec: Mutex::new(None),
+                poisoned: std::sync::atomic::AtomicBool::new(false),
+            });
+            for lane in 0..tpb {
+                let team = Arc::clone(&team);
+                let next_block = Arc::clone(&next_block);
+                let stats = &*stats;
+                handles.push(s.spawn(move || {
+                    lane_loop(kernel, cfg, warp_size, lane, &team, &next_block, stats)
+                }));
+            }
+        }
+        let mut payload = None;
+        for h in handles {
+            if let Err(p) = h.join() {
+                payload.get_or_insert(p);
+            }
+        }
+        payload
+    });
+    if let Some(p) = panic_payload {
+        std::panic::resume_unwind(p);
+    }
+}
+
+fn build_warps(tpb: usize, warp_size: u32) -> Vec<WarpGroup> {
+    let ws = warp_size as usize;
+    let num_warps = tpb.div_ceil(ws);
+    (0..num_warps)
+        .map(|w| {
+            let lanes = ws.min(tpb - w * ws) as u32;
+            WarpGroup::new(lanes)
+        })
+        .collect()
+}
+
+fn lane_loop(
+    kernel: &Kernel,
+    cfg: &LaunchConfig,
+    warp_size: u32,
+    lane: usize,
+    team: &TeamState,
+    next_block: &AtomicUsize,
+    stats: &KernelStats,
+) {
+    let num_blocks = cfg.num_blocks();
+    let tpb = cfg.threads_per_block();
+    loop {
+        // Step 1: lane 0 claims the next block; everyone learns it.
+        if lane == 0 {
+            let b = next_block.fetch_add(1, Ordering::Relaxed);
+            team.current_block.store(b, Ordering::Release);
+            if b < num_blocks {
+                *team.exec.lock() = Some(Arc::new(BlockExec {
+                    shared: BlockShared::with_racecheck(&cfg.shared_slots, cfg.racecheck),
+                    warps: build_warps(tpb, warp_size),
+                    barrier: RetireBarrier::new(tpb),
+                }));
+            }
+        }
+        team.gate.wait();
+        let b = team.current_block.load(Ordering::Acquire);
+        if b >= num_blocks {
+            break; // all lanes observe the same sentinel and exit together
+        }
+        let exec = team.exec.lock().as_ref().expect("block exec must be set").clone();
+
+        // Step 2: run this lane. The body may panic (simulated-program bug,
+        // e.g. an out-of-bounds access or a detected data race); sibling
+        // lanes could then wait forever on this lane's barriers, so the
+        // panic is caught, the lane retires from its barriers, the block
+        // protocol completes, and the panic is resumed afterwards so the
+        // launch still fails loudly.
+        let (bx, by, bz) = cfg.grid.delinear(b);
+        let (tx, ty, tz) = cfg.block.delinear(lane);
+        let warp = &exec.warps[lane / warp_size as usize];
+        let mut ctx = ThreadCtx {
+            block: (bx, by, bz),
+            thread: (tx, ty, tz),
+            grid_dim: cfg.grid,
+            block_dim: cfg.block,
+            warp_size,
+            counters: CostCounters::default(),
+            shared: &exec.shared,
+            block_barrier: Some(&exec.barrier),
+            warp: Some(warp),
+            collective_count: 0,
+        };
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (kernel.body)(&mut ctx)));
+        if outcome.is_err() {
+            team.poisoned.store(true, Ordering::Release);
+        }
+        // Retire so barriers held by still-running lanes complete.
+        exec.barrier.retire();
+        warp.retire_lane();
+        stats.absorb(&ctx.counters);
+
+        // Step 3: whole team finishes the block before reusing the slot.
+        team.gate.wait();
+        if lane == 0 {
+            stats.block_done();
+        }
+        match outcome {
+            Err(payload) => std::panic::resume_unwind(payload),
+            Ok(()) if team.poisoned.load(Ordering::Acquire) => break,
+            Ok(()) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{Device, DeviceProfile};
+    use crate::mem::DBuf;
+
+    fn dev() -> Device {
+        Device::new(DeviceProfile::test_small())
+    }
+
+    #[test]
+    fn every_thread_runs_exactly_once_serial() {
+        let d = dev();
+        let hits = d.alloc::<u32>(4 * 32);
+        let k = Kernel::new("mark", {
+            let hits = hits.clone();
+            move |ctx: &mut ThreadCtx| {
+                let i = ctx.global_rank();
+                ctx.atomic_add(&hits, i, 1);
+            }
+        });
+        let stats = d.launch(&k, LaunchConfig::new(4u32, 32u32)).unwrap();
+        assert_eq!(stats.threads_executed, 128);
+        assert_eq!(stats.blocks_executed, 4);
+        assert!(hits.to_vec().iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn every_thread_runs_exactly_once_team() {
+        let d = dev();
+        let hits = d.alloc::<u32>(6 * 16);
+        let k = Kernel::with_flags("mark_sync", KernelFlags { uses_block_sync: true, uses_warp_ops: false }, {
+            let hits = hits.clone();
+            move |ctx: &mut ThreadCtx| {
+                ctx.sync_threads();
+                let i = ctx.global_rank();
+                ctx.atomic_add(&hits, i, 1);
+                ctx.sync_threads();
+            }
+        });
+        let stats = d.launch(&k, LaunchConfig::new(6u32, 16u32)).unwrap();
+        assert_eq!(stats.threads_executed, 96);
+        assert_eq!(stats.blocks_executed, 6);
+        assert!(hits.to_vec().iter().all(|&v| v == 1));
+        assert_eq!(stats.barriers, 2 * 96);
+    }
+
+    #[test]
+    fn shared_memory_tile_pattern() {
+        // The canonical use of shared memory: stage, barrier, read others'
+        // elements. Each thread writes its id, then reads its neighbour's.
+        let d = dev();
+        let tpb = 16usize;
+        let out: DBuf<u32> = d.alloc(3 * tpb);
+        let mut cfg = LaunchConfig::new(3u32, tpb as u32);
+        let slot = cfg.shared_array::<u32>(tpb);
+        let k = Kernel::with_flags(
+            "tile",
+            KernelFlags { uses_block_sync: true, uses_warp_ops: false },
+            {
+                let out = out.clone();
+                move |ctx: &mut ThreadCtx| {
+                    let tile = ctx.shared::<u32>(slot);
+                    let t = ctx.thread_rank();
+                    ctx.swrite(&tile, t, (ctx.global_rank() * 10) as u32);
+                    ctx.sync_threads();
+                    let neighbour = (t + 1) % ctx.block_dim_x();
+                    let v = ctx.sread(&tile, neighbour);
+                    ctx.write(&out, ctx.global_rank(), v);
+                }
+            },
+        );
+        d.launch(&k, cfg).unwrap();
+        let got = out.to_vec();
+        for b in 0..3usize {
+            for t in 0..tpb {
+                let neighbour_global = b * tpb + (t + 1) % tpb;
+                assert_eq!(got[b * tpb + t], (neighbour_global * 10) as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn early_return_does_not_hang_barriers() {
+        // Half the lanes return before the barrier (the guarded-if pattern);
+        // CUDA semantics: exited threads count as arrived.
+        let d = dev();
+        let out = d.alloc::<u32>(16);
+        let k = Kernel::with_flags("early", KernelFlags { uses_block_sync: true, uses_warp_ops: false }, {
+            let out = out.clone();
+            move |ctx: &mut ThreadCtx| {
+                let t = ctx.thread_rank();
+                if t >= 8 {
+                    return;
+                }
+                ctx.sync_threads();
+                ctx.write(&out, t, 1);
+            }
+        });
+        d.launch(&k, LaunchConfig::new(1u32, 16u32)).unwrap();
+        assert_eq!(out.to_vec()[..8], vec![1u32; 8][..]);
+    }
+
+    #[test]
+    fn warp_shuffle_inside_kernel() {
+        let d = dev(); // warp_size = 4
+        let out = d.alloc::<u32>(8);
+        let k = Kernel::with_flags("shfl", KernelFlags { uses_block_sync: false, uses_warp_ops: true }, {
+            let out = out.clone();
+            move |ctx: &mut ThreadCtx| {
+                let v = ctx.thread_rank() as u32;
+                let got = ctx.shfl(v, 0); // broadcast lane 0 of each warp
+                ctx.write(&out, ctx.thread_rank(), got);
+            }
+        });
+        d.launch(&k, LaunchConfig::new(1u32, 8u32)).unwrap();
+        // warps of width 4: lanes 0-3 get 0, lanes 4-7 get 4.
+        assert_eq!(out.to_vec(), vec![0, 0, 0, 0, 4, 4, 4, 4]);
+    }
+
+    #[test]
+    fn multidim_identity_is_consistent() {
+        let d = dev();
+        let cfg = LaunchConfig::new([2u32, 3, 1], [4u32, 2, 1]);
+        let total = cfg.total_threads();
+        let seen = d.alloc::<u32>(total);
+        let k = Kernel::new("ident", {
+            let seen = seen.clone();
+            move |ctx: &mut ThreadCtx| {
+                assert_eq!(
+                    ctx.global_thread_id_x(),
+                    ctx.block_id_x() * ctx.block_dim_x() + ctx.thread_id_x()
+                );
+                assert!(ctx.thread_id_y() < ctx.block_dim_y());
+                assert!(ctx.block_id_y() < ctx.grid_dim_y());
+                ctx.atomic_add(&seen, ctx.global_rank(), 1);
+            }
+        });
+        let stats = d.launch(&k, cfg).unwrap();
+        assert_eq!(stats.threads_executed as usize, total);
+        assert!(seen.to_vec().iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn stats_count_memory_traffic() {
+        let d = dev();
+        let a = d.alloc_from(&[1.0f32; 64]);
+        let b = d.alloc::<f32>(64);
+        let k = Kernel::new("copy", {
+            let (a, b) = (a.clone(), b.clone());
+            move |ctx: &mut ThreadCtx| {
+                let i = ctx.global_thread_id_x();
+                let v = ctx.read(&a, i);
+                ctx.flops(1);
+                ctx.write(&b, i, v + 1.0);
+            }
+        });
+        let stats = d.launch(&k, LaunchConfig::linear(64, 32)).unwrap();
+        assert_eq!(stats.global_load_bytes, 64 * 4);
+        assert_eq!(stats.global_store_bytes, 64 * 4);
+        assert_eq!(stats.flops, 64);
+        assert_eq!(b.to_vec(), vec![2.0f32; 64]);
+    }
+
+    #[test]
+    fn single_thread_block_sync_is_noop_on_serial_path() {
+        let d = dev();
+        let k = Kernel::new("solo", |ctx: &mut ThreadCtx| {
+            ctx.sync_threads(); // block of one: trivially fine
+        });
+        let stats = d.launch(&k, LaunchConfig::new(4u32, 1u32)).unwrap();
+        assert_eq!(stats.barriers, 4);
+    }
+}

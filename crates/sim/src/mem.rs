@@ -1,0 +1,441 @@
+//! Device global memory: typed buffers with well-defined concurrent access.
+//!
+//! A real GPU's global memory is shared by tens of thousands of concurrently
+//! executing threads; racy programs observe *some* value, never undefined
+//! behaviour at the ISA level. We reproduce that contract in safe Rust by
+//! backing every buffer element with an atomic cell accessed with `Relaxed`
+//! ordering: simultaneous unsynchronized accesses are a bug in the simulated
+//! program, but they are memory-safe and yield one of the written values —
+//! exactly the hardware behaviour.
+//!
+//! Buffers are reference-counted handles ([`DBuf`]); cloning a handle is the
+//! device-pointer copy of `cudaMalloc`-style APIs, not a data copy.
+
+use std::sync::atomic::{AtomicI32, AtomicI64, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Scalar types that can live in simulated device memory.
+///
+/// Each scalar maps onto an atomic representation so that concurrent access
+/// from simulated threads is defined behaviour (see module docs). The trait
+/// is sealed by construction: implement it only via the macro below.
+pub trait DeviceScalar: Copy + Send + Sync + Default + PartialEq + std::fmt::Debug + 'static {
+    /// The atomic cell type backing one element.
+    type Atomic: Send + Sync;
+
+    /// Create a cell holding `v`.
+    fn new_cell(v: Self) -> Self::Atomic;
+    /// Relaxed load.
+    fn load(cell: &Self::Atomic) -> Self;
+    /// Relaxed store.
+    fn store(cell: &Self::Atomic, v: Self);
+    /// Atomic fetch-add returning the previous value.
+    fn fetch_add(cell: &Self::Atomic, v: Self) -> Self;
+    /// Atomic fetch-min returning the previous value.
+    fn fetch_min(cell: &Self::Atomic, v: Self) -> Self;
+    /// Atomic fetch-max returning the previous value.
+    fn fetch_max(cell: &Self::Atomic, v: Self) -> Self;
+    /// Atomic compare-exchange; returns Ok(previous) on success.
+    fn compare_exchange(cell: &Self::Atomic, current: Self, new: Self) -> Result<Self, Self>;
+    /// Pack into a 64-bit transport word (used by warp shuffles).
+    fn to_word(self) -> u64;
+    /// Unpack from a 64-bit transport word.
+    fn from_word(w: u64) -> Self;
+}
+
+macro_rules! int_scalar {
+    ($t:ty, $atomic:ty) => {
+        impl DeviceScalar for $t {
+            type Atomic = $atomic;
+
+            fn new_cell(v: Self) -> Self::Atomic {
+                <$atomic>::new(v)
+            }
+            fn load(cell: &Self::Atomic) -> Self {
+                cell.load(Ordering::Relaxed)
+            }
+            fn store(cell: &Self::Atomic, v: Self) {
+                cell.store(v, Ordering::Relaxed)
+            }
+            fn fetch_add(cell: &Self::Atomic, v: Self) -> Self {
+                cell.fetch_add(v, Ordering::Relaxed)
+            }
+            fn fetch_min(cell: &Self::Atomic, v: Self) -> Self {
+                cell.fetch_min(v, Ordering::Relaxed)
+            }
+            fn fetch_max(cell: &Self::Atomic, v: Self) -> Self {
+                cell.fetch_max(v, Ordering::Relaxed)
+            }
+            fn compare_exchange(
+                cell: &Self::Atomic,
+                current: Self,
+                new: Self,
+            ) -> Result<Self, Self> {
+                cell.compare_exchange(current, new, Ordering::Relaxed, Ordering::Relaxed)
+            }
+            fn to_word(self) -> u64 {
+                self as u64
+            }
+            fn from_word(w: u64) -> Self {
+                w as $t
+            }
+        }
+    };
+}
+
+int_scalar!(u32, AtomicU32);
+int_scalar!(i32, AtomicI32);
+int_scalar!(u64, AtomicU64);
+int_scalar!(i64, AtomicI64);
+int_scalar!(usize, AtomicUsize);
+
+macro_rules! float_scalar {
+    ($t:ty, $bits:ty, $atomic:ty, $to_bits:ident, $from_bits:ident) => {
+        impl DeviceScalar for $t {
+            type Atomic = $atomic;
+
+            fn new_cell(v: Self) -> Self::Atomic {
+                <$atomic>::new(v.$to_bits())
+            }
+            fn load(cell: &Self::Atomic) -> Self {
+                <$t>::$from_bits(cell.load(Ordering::Relaxed))
+            }
+            fn store(cell: &Self::Atomic, v: Self) {
+                cell.store(v.$to_bits(), Ordering::Relaxed)
+            }
+            fn fetch_add(cell: &Self::Atomic, v: Self) -> Self {
+                // CAS loop, the same strategy GPUs use for FP atomics on
+                // architectures without native support.
+                let mut cur = cell.load(Ordering::Relaxed);
+                loop {
+                    let old = <$t>::$from_bits(cur);
+                    let new = (old + v).$to_bits();
+                    match cell.compare_exchange_weak(
+                        cur,
+                        new,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => return old,
+                        Err(actual) => cur = actual,
+                    }
+                }
+            }
+            fn fetch_min(cell: &Self::Atomic, v: Self) -> Self {
+                let mut cur = cell.load(Ordering::Relaxed);
+                loop {
+                    let old = <$t>::$from_bits(cur);
+                    let new = if v < old { v } else { old };
+                    match cell.compare_exchange_weak(
+                        cur,
+                        new.$to_bits(),
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => return old,
+                        Err(actual) => cur = actual,
+                    }
+                }
+            }
+            fn fetch_max(cell: &Self::Atomic, v: Self) -> Self {
+                let mut cur = cell.load(Ordering::Relaxed);
+                loop {
+                    let old = <$t>::$from_bits(cur);
+                    let new = if v > old { v } else { old };
+                    match cell.compare_exchange_weak(
+                        cur,
+                        new.$to_bits(),
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => return old,
+                        Err(actual) => cur = actual,
+                    }
+                }
+            }
+            fn compare_exchange(
+                cell: &Self::Atomic,
+                current: Self,
+                new: Self,
+            ) -> Result<Self, Self> {
+                cell.compare_exchange(
+                    current.$to_bits(),
+                    new.$to_bits(),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                )
+                .map(<$t>::$from_bits)
+                .map_err(<$t>::$from_bits)
+            }
+            fn to_word(self) -> u64 {
+                self.$to_bits() as u64
+            }
+            fn from_word(w: u64) -> Self {
+                <$t>::$from_bits(w as $bits)
+            }
+        }
+    };
+}
+
+float_scalar!(f32, u32, AtomicU32, to_bits, from_bits);
+float_scalar!(f64, u64, AtomicU64, to_bits, from_bits);
+
+struct DBufInner<T: DeviceScalar> {
+    cells: Box<[T::Atomic]>,
+    device_id: usize,
+}
+
+/// A typed device global-memory buffer.
+///
+/// `DBuf<T>` is the simulator's `T* /* device pointer */`: cloning the handle
+/// aliases the same memory, and all element access is bounds-checked (a real
+/// GPU would fault; we panic with a precise message). Host-side helpers
+/// (`to_vec`, `copy_from_host`, …) model `cudaMemcpy`; simulated threads
+/// should instead go through [`crate::thread::ThreadCtx`] so traffic is
+/// charged to the timing model.
+///
+/// ```
+/// use ompx_sim::prelude::*;
+/// let dev = Device::new(DeviceProfile::test_small());
+/// let buf = dev.alloc_from(&[1.0f32, 2.0, 3.0]);
+/// let alias = buf.clone();          // device-pointer copy, same storage
+/// alias.set(0, 10.0);
+/// assert_eq!(buf.to_vec(), vec![10.0, 2.0, 3.0]);
+/// assert_eq!(buf.atomic_add(1, 0.5), 2.0);
+/// ```
+pub struct DBuf<T: DeviceScalar> {
+    inner: Arc<DBufInner<T>>,
+}
+
+impl<T: DeviceScalar> Clone for DBuf<T> {
+    fn clone(&self) -> Self {
+        DBuf { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<T: DeviceScalar> DBuf<T> {
+    pub(crate) fn new_zeroed(len: usize, device_id: usize) -> Self {
+        let cells: Box<[T::Atomic]> =
+            (0..len).map(|_| T::new_cell(T::default())).collect::<Vec<_>>().into_boxed_slice();
+        DBuf { inner: Arc::new(DBufInner { cells, device_id }) }
+    }
+
+    pub(crate) fn from_slice(data: &[T], device_id: usize) -> Self {
+        let cells: Box<[T::Atomic]> =
+            data.iter().map(|&v| T::new_cell(v)).collect::<Vec<_>>().into_boxed_slice();
+        DBuf { inner: Arc::new(DBufInner { cells, device_id }) }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.inner.cells.len()
+    }
+
+    /// True when the buffer holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.inner.cells.is_empty()
+    }
+
+    /// Size in bytes (by element type, not atomic representation).
+    pub fn size_bytes(&self) -> usize {
+        self.len() * std::mem::size_of::<T>()
+    }
+
+    /// Id of the owning device.
+    pub fn device_id(&self) -> usize {
+        self.inner.device_id
+    }
+
+    /// Two handles alias the same device allocation.
+    pub fn same_allocation(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    #[inline]
+    fn cell(&self, i: usize) -> &T::Atomic {
+        &self.inner.cells[i]
+    }
+
+    /// Uncounted element load (host-side or runtime-internal use).
+    #[inline]
+    pub fn get(&self, i: usize) -> T {
+        T::load(self.cell(i))
+    }
+
+    /// Uncounted element store (host-side or runtime-internal use).
+    #[inline]
+    pub fn set(&self, i: usize, v: T) {
+        T::store(self.cell(i), v)
+    }
+
+    /// Uncounted atomic add; returns the previous value.
+    #[inline]
+    pub fn atomic_add(&self, i: usize, v: T) -> T {
+        T::fetch_add(self.cell(i), v)
+    }
+
+    /// Uncounted atomic min; returns the previous value.
+    #[inline]
+    pub fn atomic_min(&self, i: usize, v: T) -> T {
+        T::fetch_min(self.cell(i), v)
+    }
+
+    /// Uncounted atomic max; returns the previous value.
+    #[inline]
+    pub fn atomic_max(&self, i: usize, v: T) -> T {
+        T::fetch_max(self.cell(i), v)
+    }
+
+    /// Uncounted compare-exchange; `Ok(previous)` on success.
+    #[inline]
+    pub fn compare_exchange(&self, i: usize, current: T, new: T) -> Result<T, T> {
+        T::compare_exchange(self.cell(i), current, new)
+    }
+
+    /// Copy the whole buffer to a host `Vec` (device-to-host memcpy).
+    pub fn to_vec(&self) -> Vec<T> {
+        (0..self.len()).map(|i| self.get(i)).collect()
+    }
+
+    /// Copy `src` into the buffer starting at element 0 (host-to-device
+    /// memcpy). Panics if `src` is longer than the buffer.
+    pub fn copy_from_host(&self, src: &[T]) {
+        assert!(
+            src.len() <= self.len(),
+            "host-to-device copy of {} elements into buffer of {}",
+            src.len(),
+            self.len()
+        );
+        for (i, &v) in src.iter().enumerate() {
+            self.set(i, v);
+        }
+    }
+
+    /// Copy the buffer into `dst` (device-to-host memcpy). Panics if `dst`
+    /// is longer than the buffer.
+    pub fn copy_to_host(&self, dst: &mut [T]) {
+        assert!(
+            dst.len() <= self.len(),
+            "device-to-host copy of {} elements from buffer of {}",
+            dst.len(),
+            self.len()
+        );
+        for (i, v) in dst.iter_mut().enumerate() {
+            *v = self.get(i);
+        }
+    }
+
+    /// Device-to-device copy of `len` elements (`cudaMemcpyDeviceToDevice`).
+    pub fn copy_from_device(&self, src: &DBuf<T>, len: usize) {
+        assert!(len <= src.len() && len <= self.len(), "device-to-device copy out of range");
+        for i in 0..len {
+            self.set(i, src.get(i));
+        }
+    }
+
+    /// Fill every element with `v` (`cudaMemset` analogue for typed data).
+    pub fn fill(&self, v: T) {
+        for i in 0..self.len() {
+            self.set(i, v);
+        }
+    }
+}
+
+impl<T: DeviceScalar> std::fmt::Debug for DBuf<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "DBuf<{}>(len={}, dev={})",
+            std::any::type_name::<T>(),
+            self.len(),
+            self.device_id()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_host_copies() {
+        let buf = DBuf::<f32>::new_zeroed(8, 0);
+        assert_eq!(buf.to_vec(), vec![0.0; 8]);
+        buf.copy_from_host(&[1.0, 2.0, 3.0]);
+        assert_eq!(buf.get(1), 2.0);
+        let mut out = vec![0.0f32; 2];
+        buf.copy_to_host(&mut out);
+        assert_eq!(out, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn clone_aliases_same_memory() {
+        let a = DBuf::<u32>::from_slice(&[1, 2, 3], 0);
+        let b = a.clone();
+        b.set(0, 42);
+        assert_eq!(a.get(0), 42);
+        assert!(a.same_allocation(&b));
+        let c = DBuf::<u32>::from_slice(&[1, 2, 3], 0);
+        assert!(!a.same_allocation(&c));
+    }
+
+    #[test]
+    fn atomic_ops_integer() {
+        let buf = DBuf::<u32>::from_slice(&[10], 0);
+        assert_eq!(buf.atomic_add(0, 5), 10);
+        assert_eq!(buf.get(0), 15);
+        assert_eq!(buf.atomic_min(0, 3), 15);
+        assert_eq!(buf.get(0), 3);
+        assert_eq!(buf.atomic_max(0, 100), 3);
+        assert_eq!(buf.get(0), 100);
+        assert_eq!(buf.compare_exchange(0, 100, 7), Ok(100));
+        assert_eq!(buf.compare_exchange(0, 100, 9), Err(7));
+    }
+
+    #[test]
+    fn atomic_add_float_cas_loop() {
+        let buf = DBuf::<f64>::from_slice(&[1.5], 0);
+        assert_eq!(buf.atomic_add(0, 2.5), 1.5);
+        assert_eq!(buf.get(0), 4.0);
+    }
+
+    #[test]
+    fn concurrent_atomic_adds_are_exact() {
+        let buf = DBuf::<f32>::new_zeroed(1, 0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let b = buf.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        b.atomic_add(0, 1.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(buf.get(0), 8000.0);
+    }
+
+    #[test]
+    fn device_to_device_copy_and_fill() {
+        let a = DBuf::<i64>::from_slice(&[5, 6, 7, 8], 0);
+        let b = DBuf::<i64>::new_zeroed(4, 0);
+        b.copy_from_device(&a, 3);
+        assert_eq!(b.to_vec(), vec![5, 6, 7, 0]);
+        b.fill(-1);
+        assert_eq!(b.to_vec(), vec![-1; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "host-to-device copy")]
+    fn oversized_host_copy_panics() {
+        let buf = DBuf::<u32>::new_zeroed(2, 0);
+        buf.copy_from_host(&[1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_access_panics() {
+        let buf = DBuf::<u32>::new_zeroed(2, 0);
+        buf.get(2);
+    }
+}

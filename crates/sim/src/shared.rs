@@ -1,0 +1,248 @@
+//! Per-block shared memory (`__shared__` / `groupprivate(team:)`).
+//!
+//! Shared arrays are declared on the [`crate::dim::LaunchConfig`] before
+//! launch (the static layout a compiler would produce) and materialized once
+//! per thread block. Every element is backed by a 64-bit atomic transport
+//! word so that lanes of a block may access the array concurrently with
+//! defined behaviour, exactly like device global memory ([`crate::mem`]).
+//!
+//! Type safety: each slot records the element type name at declaration and
+//! validates it on access, turning the C "reinterpret the smem pointer" bug
+//! class into a loud simulator panic.
+
+use crate::dim::SharedSlotDecl;
+use crate::mem::DeviceScalar;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The shared-memory arena of a single thread block.
+pub struct BlockShared {
+    slots: Vec<SharedSlot>,
+}
+
+/// One shared array instance (a `__shared__ T name[len]`).
+pub struct SharedSlot {
+    words: Box<[AtomicU64]>,
+    /// Race-detector shadow cells (one per word) when racecheck is on.
+    shadow: Option<Box<[AtomicU64]>>,
+    decl: SharedSlotDecl,
+}
+
+impl BlockShared {
+    /// Materialize the declared layout for one block.
+    pub fn new(decls: &[SharedSlotDecl]) -> Self {
+        Self::with_racecheck(decls, false)
+    }
+
+    /// Materialize the layout, optionally with race-detector shadow state
+    /// (see [`SharedView::racecheck_access`]).
+    pub fn with_racecheck(decls: &[SharedSlotDecl], racecheck: bool) -> Self {
+        let slots = decls
+            .iter()
+            .map(|d| SharedSlot {
+                words: (0..d.len).map(|_| AtomicU64::new(0)).collect::<Vec<_>>().into_boxed_slice(),
+                shadow: racecheck.then(|| {
+                    (0..d.len).map(|_| AtomicU64::new(0)).collect::<Vec<_>>().into_boxed_slice()
+                }),
+                decl: *d,
+            })
+            .collect();
+        BlockShared { slots }
+    }
+
+    /// Number of declared slots.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Borrow a typed view of slot `idx`. Panics (simulated compiler/type
+    /// error) when the index or the element type is wrong.
+    pub fn view<T: DeviceScalar>(&self, idx: usize) -> SharedView<'_, T> {
+        let slot = self.slots.get(idx).unwrap_or_else(|| {
+            panic!("shared slot {idx} out of range ({} declared)", self.slots.len())
+        });
+        let expected = std::any::type_name::<T>();
+        // Pointer equality first: &'static str from type_name is usually
+        // deduplicated, making the hot-path check O(1); fall back to a
+        // content compare for correctness across codegen units.
+        if !std::ptr::eq(slot.decl.type_name, expected) && slot.decl.type_name != expected {
+            panic!(
+                "shared slot {idx} declared as {} but accessed as {expected}",
+                slot.decl.type_name
+            );
+        }
+        SharedView {
+            words: &slot.words,
+            shadow: slot.shadow.as_deref(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Reset all slots to zero (block reuse between executions).
+    pub fn clear(&self) {
+        for slot in &self.slots {
+            for w in slot.words.iter() {
+                w.store(0, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// A typed, bounds-checked view of one shared array, valid for the lifetime
+/// of the block execution.
+pub struct SharedView<'a, T: DeviceScalar> {
+    words: &'a [AtomicU64],
+    shadow: Option<&'a [AtomicU64]>,
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// Access kind for the race detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    Read,
+    Write,
+}
+
+impl<'a, T: DeviceScalar> SharedView<'a, T> {
+    /// Race-detector hook (the `compute-sanitizer --tool racecheck`
+    /// analogue): called by the thread context on counted accesses when the
+    /// launch enabled race checking. `epoch` is the caller's barrier count;
+    /// two threads touching the same cell in the same barrier epoch with at
+    /// least one write is a shared-memory data race — the bug class that
+    /// hand-ported SIMT tiling code introduces — and panics loudly.
+    ///
+    /// Best-effort: each shadow cell remembers only the most recent access,
+    /// like the hardware tools.
+    #[inline]
+    pub fn racecheck_access(&self, i: usize, lane: usize, epoch: u64, kind: AccessKind) {
+        let Some(shadow) = self.shadow else { return };
+        // Pack: epoch (39 bits) | kind (1 bit) | lane+1 (24 bits).
+        let kind_bit = u64::from(kind == AccessKind::Write);
+        let packed = (epoch << 25) | (kind_bit << 24) | ((lane as u64 + 1) & 0xFF_FFFF);
+        let prev = shadow[i].swap(packed, Ordering::Relaxed);
+        if prev == 0 {
+            return;
+        }
+        let prev_epoch = prev >> 25;
+        let prev_write = (prev >> 24) & 1 == 1;
+        let prev_lane = (prev & 0xFF_FFFF) as usize;
+        if prev_epoch == epoch
+            && prev_lane != lane + 1
+            && (kind == AccessKind::Write || prev_write)
+        {
+            panic!(
+                "shared-memory data race detected: cell {i} accessed by lane {} ({}) and \
+                 lane {lane} ({:?}) within the same barrier epoch {epoch} — \
+                 missing sync_threads()?",
+                prev_lane - 1,
+                if prev_write { "Write" } else { "Read" },
+                kind
+            );
+        }
+    }
+    /// Element count.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True when the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Load element `i` (uncounted; `ThreadCtx` wraps this with counting).
+    #[inline]
+    pub fn get(&self, i: usize) -> T {
+        T::from_word(self.words[i].load(Ordering::Relaxed))
+    }
+
+    /// Store element `i` (uncounted; `ThreadCtx` wraps this with counting).
+    #[inline]
+    pub fn set(&self, i: usize, v: T) {
+        self.words[i].store(v.to_word(), Ordering::Relaxed)
+    }
+
+    /// Atomic add on a shared element; returns the previous value.
+    ///
+    /// Implemented as a CAS loop over the transport word, matching how GPUs
+    /// implement shared-memory atomics for types without native support.
+    #[inline]
+    pub fn atomic_add(&self, i: usize, v: T) -> T
+    where
+        T: std::ops::Add<Output = T>,
+    {
+        let cell = &self.words[i];
+        let mut cur = cell.load(Ordering::Relaxed);
+        loop {
+            let old = T::from_word(cur);
+            let new = (old + v).to_word();
+            match cell.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return old,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+/// A shared arena wrapped for handoff to block lanes.
+pub type SharedArc = Arc<BlockShared>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dim::LaunchConfig;
+
+    fn decls() -> Vec<SharedSlotDecl> {
+        let mut cfg = LaunchConfig::new(1u32, 32u32);
+        cfg.shared_array::<f32>(8);
+        cfg.shared_array::<u32>(4);
+        cfg.shared_slots
+    }
+
+    #[test]
+    fn typed_views_roundtrip() {
+        let bs = BlockShared::new(&decls());
+        let f = bs.view::<f32>(0);
+        f.set(3, 2.5);
+        assert_eq!(f.get(3), 2.5);
+        assert_eq!(f.get(0), 0.0);
+        let u = bs.view::<u32>(1);
+        u.set(0, 42);
+        assert_eq!(u.get(0), 42);
+        assert_eq!(f.len(), 8);
+        assert_eq!(u.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "declared as f32 but accessed as u32")]
+    fn type_confusion_panics() {
+        let bs = BlockShared::new(&decls());
+        let _ = bs.view::<u32>(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn slot_out_of_range_panics() {
+        let bs = BlockShared::new(&decls());
+        let _ = bs.view::<f32>(2);
+    }
+
+    #[test]
+    fn clear_zeroes_all_slots() {
+        let bs = BlockShared::new(&decls());
+        bs.view::<f32>(0).set(0, 1.0);
+        bs.view::<u32>(1).set(1, 9);
+        bs.clear();
+        assert_eq!(bs.view::<f32>(0).get(0), 0.0);
+        assert_eq!(bs.view::<u32>(1).get(1), 0);
+    }
+
+    #[test]
+    fn shared_atomic_add() {
+        let bs = BlockShared::new(&decls());
+        let f = bs.view::<f32>(0);
+        assert_eq!(f.atomic_add(0, 1.5), 0.0);
+        assert_eq!(f.atomic_add(0, 2.0), 1.5);
+        assert_eq!(f.get(0), 3.5);
+    }
+}

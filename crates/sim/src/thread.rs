@@ -1,0 +1,537 @@
+//! `ThreadCtx`: the world as seen by one simulated GPU thread.
+//!
+//! Every kernel in this reproduction — CUDA-style, HIP-style, traditional
+//! OpenMP offloading, or the paper's `ompx` kernel-language style — is a Rust
+//! closure receiving a `&mut ThreadCtx`. The context provides:
+//!
+//! * **identity**: `threadIdx`/`blockIdx`/`blockDim`/`gridDim` equivalents,
+//!   warp id and lane id;
+//! * **memory**: counted accessors over device global memory ([`DBuf`]) and
+//!   per-block shared memory, so the timing model sees the same traffic the
+//!   hardware would;
+//! * **cost annotations**: `flops`, `int_ops`, `divergent` — explicit because
+//!   a closure's arithmetic cannot be introspected;
+//! * **synchronization**: `sync_threads` (block barrier), `sync_warp`,
+//!   shuffles and ballots.
+//!
+//! Whether lanes run on a dedicated thread team (barrier-capable) or are
+//! serialized lane-by-lane (fast path for barrier-free kernels) is decided
+//! by the executor; the kernel code is identical in both cases.
+
+use crate::barrier::RetireBarrier;
+use crate::counters::CostCounters;
+use crate::dim::Dim3;
+use crate::mem::{DBuf, DeviceScalar};
+use crate::shared::{BlockShared, SharedView};
+use crate::warp::WarpGroup;
+
+/// Execution identity and services for one simulated GPU thread.
+pub struct ThreadCtx<'a> {
+    pub(crate) block: (u32, u32, u32),
+    pub(crate) thread: (u32, u32, u32),
+    pub(crate) grid_dim: Dim3,
+    pub(crate) block_dim: Dim3,
+    pub(crate) warp_size: u32,
+    /// Cost counters for this thread; folded into the launch-wide stats when
+    /// the thread retires.
+    pub counters: CostCounters,
+    pub(crate) shared: &'a BlockShared,
+    pub(crate) block_barrier: Option<&'a RetireBarrier>,
+    pub(crate) warp: Option<&'a WarpGroup>,
+    pub(crate) collective_count: u64,
+}
+
+impl<'a> ThreadCtx<'a> {
+    /// Construct a detached context outside of a launch.
+    ///
+    /// Used by runtime layers that need to run kernel-style code on a
+    /// synthetic identity (e.g. the OpenMP generic-mode master emulation)
+    /// and by tests. Detached contexts run on the serial rules: block
+    /// barriers and warp collectives are only legal for 1-thread blocks.
+    pub fn detached(
+        grid_dim: Dim3,
+        block_dim: Dim3,
+        block: (u32, u32, u32),
+        thread: (u32, u32, u32),
+        warp_size: u32,
+        shared: &'a BlockShared,
+    ) -> Self {
+        ThreadCtx {
+            block,
+            thread,
+            grid_dim,
+            block_dim,
+            warp_size,
+            counters: CostCounters::default(),
+            shared,
+            block_barrier: None,
+            warp: None,
+            collective_count: 0,
+        }
+    }
+
+    // ---- identity -------------------------------------------------------
+
+    /// `threadIdx.x`
+    #[inline]
+    pub fn thread_id_x(&self) -> usize {
+        self.thread.0 as usize
+    }
+    /// `threadIdx.y`
+    #[inline]
+    pub fn thread_id_y(&self) -> usize {
+        self.thread.1 as usize
+    }
+    /// `threadIdx.z`
+    #[inline]
+    pub fn thread_id_z(&self) -> usize {
+        self.thread.2 as usize
+    }
+    /// `blockIdx.x`
+    #[inline]
+    pub fn block_id_x(&self) -> usize {
+        self.block.0 as usize
+    }
+    /// `blockIdx.y`
+    #[inline]
+    pub fn block_id_y(&self) -> usize {
+        self.block.1 as usize
+    }
+    /// `blockIdx.z`
+    #[inline]
+    pub fn block_id_z(&self) -> usize {
+        self.block.2 as usize
+    }
+    /// `blockDim.x`
+    #[inline]
+    pub fn block_dim_x(&self) -> usize {
+        self.block_dim.x as usize
+    }
+    /// `blockDim.y`
+    #[inline]
+    pub fn block_dim_y(&self) -> usize {
+        self.block_dim.y as usize
+    }
+    /// `blockDim.z`
+    #[inline]
+    pub fn block_dim_z(&self) -> usize {
+        self.block_dim.z as usize
+    }
+    /// `gridDim.x`
+    #[inline]
+    pub fn grid_dim_x(&self) -> usize {
+        self.grid_dim.x as usize
+    }
+    /// `gridDim.y`
+    #[inline]
+    pub fn grid_dim_y(&self) -> usize {
+        self.grid_dim.y as usize
+    }
+    /// `gridDim.z`
+    #[inline]
+    pub fn grid_dim_z(&self) -> usize {
+        self.grid_dim.z as usize
+    }
+
+    /// Linear thread index within the block (x fastest).
+    #[inline]
+    pub fn thread_rank(&self) -> usize {
+        self.block_dim.linear(self.thread.0, self.thread.1, self.thread.2)
+    }
+
+    /// Linear block index within the grid (x fastest).
+    #[inline]
+    pub fn block_rank(&self) -> usize {
+        self.grid_dim.linear(self.block.0, self.block.1, self.block.2)
+    }
+
+    /// The ubiquitous `blockIdx.x * blockDim.x + threadIdx.x`.
+    #[inline]
+    pub fn global_thread_id_x(&self) -> usize {
+        self.block_id_x() * self.block_dim_x() + self.thread_id_x()
+    }
+
+    /// `blockIdx.y * blockDim.y + threadIdx.y`.
+    #[inline]
+    pub fn global_thread_id_y(&self) -> usize {
+        self.block_id_y() * self.block_dim_y() + self.thread_id_y()
+    }
+
+    /// `blockIdx.z * blockDim.z + threadIdx.z`.
+    #[inline]
+    pub fn global_thread_id_z(&self) -> usize {
+        self.block_id_z() * self.block_dim_z() + self.thread_id_z()
+    }
+
+    /// Fully linearized global thread id across the whole grid.
+    #[inline]
+    pub fn global_rank(&self) -> usize {
+        self.block_rank() * self.block_dim.count() + self.thread_rank()
+    }
+
+    /// Total threads in the launch.
+    #[inline]
+    pub fn global_size(&self) -> usize {
+        self.grid_dim.count() * self.block_dim.count()
+    }
+
+    /// Device warp width (32 on the NVIDIA profile, 64 on the AMD profile).
+    #[inline]
+    pub fn warp_size(&self) -> usize {
+        self.warp_size as usize
+    }
+
+    /// Warp index of this thread within its block.
+    #[inline]
+    pub fn warp_id(&self) -> usize {
+        self.thread_rank() / self.warp_size as usize
+    }
+
+    /// Lane index of this thread within its warp.
+    #[inline]
+    pub fn lane_id(&self) -> usize {
+        self.thread_rank() % self.warp_size as usize
+    }
+
+    // ---- global memory (counted) ---------------------------------------
+
+    /// Counted global-memory load.
+    #[inline]
+    pub fn read<T: DeviceScalar>(&mut self, buf: &DBuf<T>, i: usize) -> T {
+        self.counters.global_load_bytes += std::mem::size_of::<T>() as u64;
+        buf.get(i)
+    }
+
+    /// Counted global-memory store.
+    #[inline]
+    pub fn write<T: DeviceScalar>(&mut self, buf: &DBuf<T>, i: usize, v: T) {
+        self.counters.global_store_bytes += std::mem::size_of::<T>() as u64;
+        buf.set(i, v)
+    }
+
+    /// Warp-uniform load: every lane of the warp reads the *same* address
+    /// (a broadcast — e.g. all threads scanning the same point list). The
+    /// hardware serves one transaction per warp, so the timing model
+    /// divides this counter by the warp width. Charging every lane into a
+    /// dedicated counter (rather than only lane 0) keeps the accounting
+    /// correct even when some lanes skip the load or exited early.
+    #[inline]
+    pub fn read_uniform<T: DeviceScalar>(&mut self, buf: &DBuf<T>, i: usize) -> T {
+        self.counters.uniform_load_bytes += std::mem::size_of::<T>() as u64;
+        buf.get(i)
+    }
+
+    /// Counted global atomic add; returns the previous value.
+    #[inline]
+    pub fn atomic_add<T: DeviceScalar>(&mut self, buf: &DBuf<T>, i: usize, v: T) -> T {
+        self.counters.atomic_ops += 1;
+        buf.atomic_add(i, v)
+    }
+
+    /// Counted global atomic min; returns the previous value.
+    #[inline]
+    pub fn atomic_min<T: DeviceScalar>(&mut self, buf: &DBuf<T>, i: usize, v: T) -> T {
+        self.counters.atomic_ops += 1;
+        buf.atomic_min(i, v)
+    }
+
+    /// Counted global atomic max; returns the previous value.
+    #[inline]
+    pub fn atomic_max<T: DeviceScalar>(&mut self, buf: &DBuf<T>, i: usize, v: T) -> T {
+        self.counters.atomic_ops += 1;
+        buf.atomic_max(i, v)
+    }
+
+    /// Counted global compare-exchange.
+    #[inline]
+    pub fn atomic_cas<T: DeviceScalar>(
+        &mut self,
+        buf: &DBuf<T>,
+        i: usize,
+        current: T,
+        new: T,
+    ) -> Result<T, T> {
+        self.counters.atomic_ops += 1;
+        buf.compare_exchange(i, current, new)
+    }
+
+    // ---- shared memory (counted) ----------------------------------------
+
+    /// Obtain the typed view of shared slot `slot` declared on the launch
+    /// config. The view's lifetime is the block execution.
+    #[inline]
+    pub fn shared<T: DeviceScalar>(&self, slot: usize) -> SharedView<'a, T> {
+        self.shared.view::<T>(slot)
+    }
+
+    /// Counted shared-memory load.
+    #[inline]
+    pub fn sread<T: DeviceScalar>(&mut self, view: &SharedView<'a, T>, i: usize) -> T {
+        self.counters.shared_accesses += 1;
+        view.racecheck_access(
+            i,
+            self.thread_rank(),
+            self.counters.barriers,
+            crate::shared::AccessKind::Read,
+        );
+        view.get(i)
+    }
+
+    /// Counted shared-memory store.
+    #[inline]
+    pub fn swrite<T: DeviceScalar>(&mut self, view: &SharedView<'a, T>, i: usize, v: T) {
+        self.counters.shared_accesses += 1;
+        view.racecheck_access(
+            i,
+            self.thread_rank(),
+            self.counters.barriers,
+            crate::shared::AccessKind::Write,
+        );
+        view.set(i, v)
+    }
+
+    /// Counted shared-memory atomic add.
+    #[inline]
+    pub fn satomic_add<T: DeviceScalar + std::ops::Add<Output = T>>(
+        &mut self,
+        view: &SharedView<'a, T>,
+        i: usize,
+        v: T,
+    ) -> T {
+        self.counters.shared_accesses += 1;
+        self.counters.atomic_ops += 1;
+        view.atomic_add(i, v)
+    }
+
+    // ---- cost annotations -------------------------------------------------
+
+    /// Charge `n` floating-point operations to this thread.
+    #[inline]
+    pub fn flops(&mut self, n: u64) {
+        self.counters.flops += n;
+    }
+
+    /// Charge `n` integer/logic operations to this thread.
+    #[inline]
+    pub fn int_ops(&mut self, n: u64) {
+        self.counters.int_ops += n;
+    }
+
+    /// Record a warp-divergent branch taken by this thread.
+    #[inline]
+    pub fn divergent(&mut self) {
+        self.counters.divergent_branches += 1;
+    }
+
+    /// Charge `n` operations executed in a serialized (master-only) runtime
+    /// section. Used by the OpenMP generic-mode device runtime model.
+    #[inline]
+    pub fn serial_ops(&mut self, n: u64) {
+        self.counters.serial_ops += n;
+    }
+
+    // ---- synchronization --------------------------------------------------
+
+    /// Block-wide barrier: `__syncthreads()` / `ompx_sync_thread_block()`.
+    ///
+    /// Panics if the kernel was launched without barrier support (its
+    /// [`crate::exec::KernelFlags`] must set `uses_block_sync`), except for
+    /// single-thread blocks where the barrier is trivially a no-op.
+    pub fn sync_threads(&mut self) {
+        self.counters.barriers += 1;
+        match self.block_barrier {
+            Some(b) => {
+                b.wait();
+            }
+            None => {
+                assert_eq!(
+                    self.block_dim.count(),
+                    1,
+                    "sync_threads in a multi-thread block requires \
+                     KernelFlags::uses_block_sync (kernel launched on the serial path)"
+                );
+            }
+        }
+    }
+
+    /// Warp-wide barrier: `__syncwarp()` / `ompx_sync_warp()`.
+    pub fn sync_warp(&mut self) {
+        self.counters.warp_ops += 1;
+        match self.warp {
+            Some(w) => w.sync(),
+            None => {
+                assert_eq!(
+                    self.block_dim.count(),
+                    1,
+                    "sync_warp requires KernelFlags::uses_warp_ops \
+                     (kernel launched on the serial path)"
+                );
+            }
+        }
+    }
+
+    /// True when this thread is alone in its block: warp collectives
+    /// degenerate to self-operations (a warp of one lane), so the serial
+    /// execution path handles them without a warp group.
+    #[inline]
+    fn solo(&self) -> bool {
+        self.block_dim.count() == 1
+    }
+
+    fn warp_group(&self) -> &'a WarpGroup {
+        self.warp.expect(
+            "warp primitives require KernelFlags::uses_warp_ops \
+             (kernel launched on the serial path)",
+        )
+    }
+
+    /// `__shfl_sync`: receive the value contributed by `src_lane`.
+    pub fn shfl<T: DeviceScalar>(&mut self, val: T, src_lane: usize) -> T {
+        self.counters.warp_ops += 1;
+        self.collective_count += 1;
+        if self.warp.is_none() && self.solo() {
+            return val; // one-lane warp: every source is yourself
+        }
+        let lane = self.lane_id() as u32;
+        self.warp_group().shfl(lane, val, src_lane as u32)
+    }
+
+    /// `__shfl_down_sync`: receive the value from `lane + delta`. Lanes past
+    /// the end of the warp receive their own value (CUDA semantics).
+    pub fn shfl_down<T: DeviceScalar>(&mut self, val: T, delta: usize) -> T {
+        self.counters.warp_ops += 1;
+        self.collective_count += 1;
+        if self.warp.is_none() && self.solo() {
+            return val;
+        }
+        let w = self.warp_group();
+        let lane = self.lane_id() as u32;
+        let src = lane + delta as u32;
+        let got = w.shfl(lane, val, src.min(w.lanes() - 1));
+        if src < w.lanes() {
+            got
+        } else {
+            val
+        }
+    }
+
+    /// `__shfl_up_sync`: receive the value from `lane - delta`. Lanes before
+    /// the start of the warp receive their own value.
+    pub fn shfl_up<T: DeviceScalar>(&mut self, val: T, delta: usize) -> T {
+        self.counters.warp_ops += 1;
+        self.collective_count += 1;
+        if self.warp.is_none() && self.solo() {
+            return val;
+        }
+        let w = self.warp_group();
+        let lane = self.lane_id() as u32;
+        let src = lane.checked_sub(delta as u32);
+        let got = w.shfl(lane, val, src.unwrap_or(0));
+        if src.is_some() {
+            got
+        } else {
+            val
+        }
+    }
+
+    /// `__shfl_xor_sync`: exchange with lane `lane ^ mask`.
+    pub fn shfl_xor<T: DeviceScalar>(&mut self, val: T, mask: usize) -> T {
+        self.counters.warp_ops += 1;
+        self.collective_count += 1;
+        if self.warp.is_none() && self.solo() {
+            return val;
+        }
+        let lane = self.lane_id() as u32;
+        self.warp_group().shfl(lane, val, lane ^ mask as u32)
+    }
+
+    /// `__ballot_sync`: bitmask of lanes whose predicate is true.
+    pub fn ballot(&mut self, pred: bool) -> u64 {
+        self.counters.warp_ops += 1;
+        let op = self.collective_count;
+        self.collective_count += 1;
+        if self.warp.is_none() && self.solo() {
+            return u64::from(pred);
+        }
+        let lane = self.lane_id() as u32;
+        self.warp_group().ballot(lane, pred, op)
+    }
+
+    /// `__any_sync`: true if any lane's predicate is true.
+    pub fn any_sync(&mut self, pred: bool) -> bool {
+        self.ballot(pred) != 0
+    }
+
+    /// `__all_sync`: true if every lane's predicate is true.
+    ///
+    /// Semantic note: the vote is counted against the warp's *original*
+    /// lane set (CUDA's full-mask `__all_sync` semantics); lanes that
+    /// returned from the kernel early count as not voting, so `all_sync`
+    /// after an early exit is conservatively false — on hardware, naming an
+    /// exited lane in the member mask is undefined behaviour.
+    pub fn all_sync(&mut self, pred: bool) -> bool {
+        let mask = self.ballot(pred);
+        let lanes = match self.warp {
+            Some(w) => w.lanes(),
+            None => 1,
+        };
+        let full = if lanes >= 64 { u64::MAX } else { (1u64 << lanes) - 1 };
+        mask == full
+    }
+
+    // ---- constant memory -----------------------------------------------------
+
+    /// Counted constant-memory read (`__constant__` data): served by the
+    /// broadcast-optimized constant cache, priced near register speed by
+    /// the timing model.
+    #[inline]
+    pub fn cread<T: DeviceScalar>(&mut self, buf: &crate::constant::CBuf<T>, i: usize) -> T {
+        self.counters.const_reads += 1;
+        buf.get(i)
+    }
+
+    // ---- local memory ------------------------------------------------------
+
+    /// Allocate a thread-local array that lives in *local memory*.
+    ///
+    /// On a GPU, a dynamically indexed per-thread array cannot live in
+    /// registers; the compiler places it in "local" memory, which is
+    /// thread-interleaved **global** memory — so every access is DRAM
+    /// traffic. This is the storage class behind the RSBench `sigTfactors`
+    /// array whose placement (local vs globalized-heap vs shared) drives
+    /// the paper's §4.2.2 result.
+    pub fn local_array<T: DeviceScalar>(&mut self, len: usize) -> LocalArray<T> {
+        LocalArray { data: vec![T::default(); len] }
+    }
+
+    /// Counted local-memory load.
+    #[inline]
+    pub fn lread<T: DeviceScalar>(&mut self, arr: &LocalArray<T>, i: usize) -> T {
+        self.counters.global_load_bytes += std::mem::size_of::<T>() as u64;
+        arr.data[i]
+    }
+
+    /// Counted local-memory store.
+    #[inline]
+    pub fn lwrite<T: DeviceScalar>(&mut self, arr: &mut LocalArray<T>, i: usize, v: T) {
+        self.counters.global_store_bytes += std::mem::size_of::<T>() as u64;
+        arr.data[i] = v;
+    }
+}
+
+/// A per-thread array in local memory (see [`ThreadCtx::local_array`]).
+pub struct LocalArray<T: DeviceScalar> {
+    data: Vec<T>,
+}
+
+impl<T: DeviceScalar> LocalArray<T> {
+    /// Element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}

@@ -1,0 +1,232 @@
+//! Warp-level execution state: shuffles, ballots and warp barriers.
+//!
+//! A warp (NVIDIA, 32 lanes) or wavefront (AMD, 64 lanes) is the unit of
+//! lockstep execution on a GPU. The paper's §3.3.2 extensions expose warp
+//! synchronization (`ompx_sync_warp`) and warp primitives (`ompx_shfl_sync`)
+//! so kernel-language programs can be ported verbatim; this module provides
+//! the substrate those APIs lower to.
+//!
+//! Lanes of a simulated warp run on independent OS threads, so collectives
+//! are implemented as rendezvous through per-warp exchange slots:
+//!
+//! * `shuffle`: every lane publishes its value, a warp barrier orders the
+//!   publishes before the reads, lanes read their source lane's slot, and a
+//!   second barrier keeps a later collective from overwriting the slots
+//!   while stragglers are still reading.
+//! * `ballot`: lanes OR their predicate bit into one of two parity-selected
+//!   mask words; the parity alternation plus the trailing barrier lets the
+//!   phase leader reset the word safely for its next use.
+//!
+//! As on real hardware, a warp collective must be executed by every
+//! still-active lane of the warp; lanes that return from the kernel early
+//! retire from the warp barrier, matching CUDA's "exited threads do not
+//! participate" semantics.
+
+use crate::barrier::RetireBarrier;
+use crate::mem::DeviceScalar;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Exchange state for one warp of a running thread block.
+pub struct WarpGroup {
+    /// Per-lane 64-bit transport slots used by shuffles.
+    slots: Box<[AtomicU64]>,
+    /// Parity-selected ballot accumulation words.
+    masks: [AtomicU64; 2],
+    /// Rendezvous barrier for the warp's lanes.
+    barrier: RetireBarrier,
+    /// Number of lanes in this warp (the trailing warp of a block may be
+    /// narrower than the device warp width).
+    lanes: u32,
+}
+
+impl WarpGroup {
+    /// Exchange state for a warp of `lanes` threads.
+    pub fn new(lanes: u32) -> Self {
+        assert!(lanes > 0 && lanes <= 64, "warp width must be in 1..=64, got {lanes}");
+        WarpGroup {
+            slots: (0..lanes).map(|_| AtomicU64::new(0)).collect::<Vec<_>>().into_boxed_slice(),
+            masks: [AtomicU64::new(0), AtomicU64::new(0)],
+            barrier: RetireBarrier::new(lanes as usize),
+            lanes,
+        }
+    }
+
+    /// Lanes in this warp.
+    pub fn lanes(&self) -> u32 {
+        self.lanes
+    }
+
+    /// Warp-wide barrier (`__syncwarp` / `ompx_sync_warp`).
+    pub fn sync(&self) {
+        self.barrier.wait();
+    }
+
+    /// Remove a lane that returned from the kernel early.
+    pub fn retire_lane(&self) {
+        self.barrier.retire();
+    }
+
+    /// Generic shuffle: lane `lane` contributes `val` and receives the value
+    /// contributed by `src_lane` (wrapped into range, like CUDA's modular
+    /// lane arithmetic).
+    ///
+    /// Semantic note: on a *partial* trailing warp (block size not a
+    /// multiple of the device warp width) the wrap uses the partial lane
+    /// count. On real hardware, reading a non-existent lane of a partial
+    /// warp is undefined; warp-width-based idioms (XOR butterflies) should
+    /// only be used on full warps, as the HeCBench kernels do.
+    pub fn shfl<T: DeviceScalar>(&self, lane: u32, val: T, src_lane: u32) -> T {
+        debug_assert!(lane < self.lanes);
+        self.slots[lane as usize].store(val.to_word(), Ordering::Release);
+        self.barrier.wait();
+        let src = (src_lane % self.lanes) as usize;
+        let word = self.slots[src].load(Ordering::Acquire);
+        self.barrier.wait();
+        T::from_word(word)
+    }
+
+    /// Ballot: every lane contributes a predicate; all lanes receive the
+    /// bitmask of lanes whose predicate was true. `op_index` selects the
+    /// parity word and must increase by one per collective per lane.
+    pub fn ballot(&self, lane: u32, pred: bool, op_index: u64) -> u64 {
+        debug_assert!(lane < self.lanes);
+        let mask = &self.masks[(op_index % 2) as usize];
+        if pred {
+            mask.fetch_or(1u64 << lane, Ordering::AcqRel);
+        }
+        self.barrier.wait();
+        let result = mask.load(Ordering::Acquire);
+        self.barrier.wait();
+        // Each lane clears its *own* bit after the read barrier. Self-
+        // clearing (instead of a phase-leader reset) is retirement-safe: a
+        // barrier phase completed by RetireBarrier::retire elects no leader,
+        // but every lane that contributed a bit clears it before it can
+        // return from the kernel and retire — so no stale bit can leak into
+        // a later same-parity ballot.
+        if pred {
+            mask.fetch_and(!(1u64 << lane), Ordering::AcqRel);
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn run_warp<F>(lanes: u32, f: F)
+    where
+        F: Fn(u32, &WarpGroup) + Send + Sync,
+    {
+        let warp = Arc::new(WarpGroup::new(lanes));
+        std::thread::scope(|s| {
+            for lane in 0..lanes {
+                let w = warp.clone();
+                let f = &f;
+                s.spawn(move || f(lane, &w));
+            }
+        });
+    }
+
+    #[test]
+    fn shfl_broadcast_from_lane_zero() {
+        run_warp(8, |lane, w| {
+            let got: u32 = w.shfl(lane, lane * 10, 0);
+            assert_eq!(got, 0, "lane {lane} should receive lane 0's value");
+        });
+    }
+
+    #[test]
+    fn shfl_rotation_is_a_permutation() {
+        run_warp(16, |lane, w| {
+            // shfl from (lane+1)%n implements a rotation.
+            let got: u64 = w.shfl(lane, lane as u64, lane + 1);
+            assert_eq!(got, ((lane + 1) % 16) as u64);
+        });
+    }
+
+    #[test]
+    fn shfl_floats_roundtrip_bit_exact() {
+        run_warp(4, |lane, w| {
+            let v = -1.5f32 * lane as f32;
+            let got: f32 = w.shfl(lane, v, lane); // self-shuffle
+            assert_eq!(got, v);
+        });
+    }
+
+    #[test]
+    fn consecutive_shuffles_do_not_interfere() {
+        run_warp(8, |lane, w| {
+            for round in 0..50u32 {
+                let got: u32 = w.shfl(lane, lane + round * 100, 3);
+                assert_eq!(got, 3 + round * 100);
+            }
+        });
+    }
+
+    #[test]
+    fn ballot_collects_predicates() {
+        run_warp(8, |lane, w| {
+            let m = w.ballot(lane, lane % 2 == 0, 0);
+            assert_eq!(m, 0b0101_0101);
+            // Second ballot (other parity) with a different predicate.
+            let m = w.ballot(lane, lane < 2, 1);
+            assert_eq!(m, 0b0000_0011);
+            // Third ballot reuses parity 0; the leader must have reset it.
+            let m = w.ballot(lane, lane == 7, 2);
+            assert_eq!(m, 0b1000_0000);
+        });
+    }
+
+    #[test]
+    fn warp_reduction_via_shfl_down() {
+        // The canonical butterfly reduction built from shuffles.
+        run_warp(32, |lane, w| {
+            let mut acc = (lane + 1) as u64; // values 1..=32
+            let mut offset = 16u32;
+            let mut op = 1_000; // arbitrary disjoint op counter space
+            while offset > 0 {
+                let other: u64 = w.shfl(lane, acc, lane + offset);
+                op += 1;
+                let _ = op;
+                acc += other;
+                offset /= 2;
+            }
+            if lane == 0 {
+                assert_eq!(acc, (1..=32u64).sum::<u64>());
+            }
+        });
+    }
+
+    #[test]
+    fn ballot_mask_clears_even_when_retirement_completes_the_phase() {
+        // Lane 3 votes true in ballot #0 and then retires; lanes 0-2 run a
+        // later same-parity ballot that must NOT see lane 3's stale bit.
+        let warp = Arc::new(WarpGroup::new(4));
+        std::thread::scope(|s| {
+            for lane in 0..4u32 {
+                let w = warp.clone();
+                s.spawn(move || {
+                    let m = w.ballot(lane, true, 0);
+                    assert_eq!(m, 0b1111);
+                    if lane == 3 {
+                        w.retire_lane();
+                        return;
+                    }
+                    // Different parity, then back to parity 0.
+                    let m = w.ballot(lane, false, 1);
+                    assert_eq!(m, 0);
+                    let m = w.ballot(lane, lane == 0, 2);
+                    assert_eq!(m, 0b0001, "stale bit from retired lane leaked");
+                });
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "warp width")]
+    fn oversized_warp_rejected() {
+        let _ = WarpGroup::new(65);
+    }
+}

@@ -1,0 +1,131 @@
+//! Golden tests for the timing model: lock the calibration.
+//!
+//! Every Figure 8 ordering in EXPERIMENTS.md depends on the model's
+//! constants (efficiency references, latency parameters, mode overheads).
+//! These tests pin the modeled seconds for five canonical kernel shapes;
+//! an intentional recalibration must update the constants here *and*
+//! re-validate the shape table in DESIGN.md §3.
+
+#![allow(clippy::excessive_precision)] // golden values are exact
+
+use ompx_sim::counters::StatsSnapshot;
+use ompx_sim::device::DeviceProfile;
+use ompx_sim::timing::{model_kernel, CodegenInfo, ModeOverheads};
+
+struct Case {
+    name: &'static str,
+    expected_seconds: f64,
+}
+
+fn run_case(name: &str) -> f64 {
+    let a100 = DeviceProfile::a100();
+    let mi250 = DeviceProfile::mi250();
+    match name {
+        // A bandwidth-bound streaming kernel (the SU3/Stencil shape).
+        "streaming_a100" => model_kernel(
+            &a100,
+            256,
+            4096,
+            0,
+            &StatsSnapshot {
+                global_load_bytes: 1 << 30,
+                global_store_bytes: 1 << 30,
+                flops: 1 << 28,
+                ..Default::default()
+            },
+            &CodegenInfo { coalescing: 0.95, ..Default::default() },
+            &ModeOverheads::none(),
+        )
+        .seconds,
+        // A latency-bound random-access kernel (the XSBench shape).
+        "latency_a100" => model_kernel(
+            &a100,
+            256,
+            4096,
+            0,
+            &StatsSnapshot { global_load_bytes: 1 << 28, ..Default::default() },
+            &CodegenInfo {
+                coalescing: 0.2,
+                regs_per_thread: 52,
+                fp64_fraction: 1.0,
+                ..Default::default()
+            },
+            &ModeOverheads::none(),
+        )
+        .seconds,
+        // A compute-bound fp64 kernel (the RSBench shape) on the MI250.
+        "compute_mi250" => model_kernel(
+            &mi250,
+            128,
+            8192,
+            0,
+            &StatsSnapshot { flops: 1 << 36, ..Default::default() },
+            &CodegenInfo { fp64_fraction: 1.0, ..Default::default() },
+            &ModeOverheads::none(),
+        )
+        .seconds,
+        // Generic-mode overhead with half a million teams (the Stencil-omp
+        // §4.2.6 shape).
+        "generic_mode_a100" => model_kernel(
+            &a100,
+            128,
+            524288,
+            0,
+            &StatsSnapshot {
+                global_load_bytes: 1 << 30,
+                barriers: 1 << 24,
+                serial_ops: 1 << 20,
+                ..Default::default()
+            },
+            &CodegenInfo::default(),
+            &ModeOverheads { extra_launch_s: 2.5e-6, body_multiplier: 1.0, per_block_cycles: 170.0 },
+        )
+        .seconds,
+        // A shared-memory-heavy tiled kernel with demotion (the AIDW shape).
+        "shared_heavy_a100" => model_kernel(
+            &a100,
+            64,
+            6400,
+            64 * 12,
+            &StatsSnapshot { shared_accesses: 1 << 32, flops: 1 << 30, ..Default::default() },
+            &CodegenInfo { shared_demotion: 0.55, ..Default::default() },
+            &ModeOverheads::none(),
+        )
+        .seconds,
+        other => panic!("unknown golden case {other}"),
+    }
+}
+
+#[test]
+fn timing_model_calibration_is_locked() {
+    let cases = [
+        Case { name: "streaming_a100", expected_seconds: 1.45570360331697410e-3 },
+        Case { name: "latency_a100", expected_seconds: 1.72827302893890683e-3 },
+        Case { name: "compute_mi250", expected_seconds: 3.04368481132743368e-3 },
+        Case { name: "generic_mode_a100", expected_seconds: 6.40706375634568503e-2 },
+        Case { name: "shared_heavy_a100", expected_seconds: 4.25066124507486175e-4 },
+    ];
+    for c in cases {
+        let got = run_case(c.name);
+        let rel = (got - c.expected_seconds).abs() / c.expected_seconds;
+        assert!(
+            rel < 1e-12,
+            "{}: modeled {got:.17e} deviates from golden {:.17e} (rel {rel:.3e}).\n\
+             If this recalibration is intentional, update the golden value AND\n\
+             re-run `figures fig8` to confirm the DESIGN.md shape table still holds.",
+            c.name,
+            c.expected_seconds
+        );
+    }
+}
+
+#[test]
+fn modeled_times_are_bit_reproducible() {
+    for name in
+        ["streaming_a100", "latency_a100", "compute_mi250", "generic_mode_a100", "shared_heavy_a100"]
+    {
+        let a = run_case(name);
+        let b = run_case(name);
+        assert_eq!(a.to_bits(), b.to_bits(), "{name} not deterministic");
+    }
+}

@@ -1,0 +1,31 @@
+//! # ompx-suite — the umbrella crate of the ompx-rs reproduction
+//!
+//! Re-exports every workspace crate so the examples under `examples/` and
+//! the cross-crate integration tests under `tests/` see one coherent
+//! surface. The crates, bottom-up:
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`ompx_sim`] | the GPU: functional SIMT simulator + analytical timing model |
+//! | [`ompx_klang`] | CUDA/HIP-like native kernel languages + toolchain codegen models + vendor BLAS |
+//! | [`ompx_devicert`] | LLVM OpenMP device runtime model (generic/SPMD modes, globalization) |
+//! | [`ompx_hostrt`] | LLVM OpenMP host runtime (target regions, mapping, tasks, interop, allocators) |
+//! | [`ompx`] | **the paper's contribution**: `ompx_bare`, multi-dim geometry, device/host APIs, `depend(interopobj:)`, vendor-library wrapper |
+//! | [`ompx_hecbench`] | the six evaluation applications in four program versions each |
+//!
+//! Start from the [README](https://example.org/ompx-rs) and DESIGN.md; the
+//! benchmark harness lives in the `ompx-bench` crate (`figures` and
+//! `hecbench` binaries).
+
+pub use ompx;
+pub use ompx_devicert;
+pub use ompx_hecbench;
+pub use ompx_hostrt;
+pub use ompx_klang;
+pub use ompx_sim;
+
+/// One-stop import for programs written against the extension surface.
+pub mod prelude {
+    pub use ompx::prelude::*;
+    pub use ompx_sim::prelude::*;
+}
