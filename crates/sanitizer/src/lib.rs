@@ -1,0 +1,1 @@
+//! ompx-sanitizer: compute-sanitizer-style correctness tools.

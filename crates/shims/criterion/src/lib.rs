@@ -1,0 +1,129 @@
+//! Offline shim for the `criterion` surface this workspace's benches use.
+//!
+//! Implements just enough of the Criterion API (`benchmark_group`,
+//! `bench_function`, `Bencher::iter`, the `criterion_group!`/
+//! `criterion_main!` macros) to compile and run the `harness = false`
+//! bench targets without crates.io access. Measurement is a simple
+//! best-of-N wall-clock timer printed per benchmark; no statistics,
+//! no HTML reports.
+
+use std::time::{Duration, Instant};
+
+/// Top-level handle passed to each `criterion_group!` function.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.into(), sample_size: 10 }
+    }
+
+    pub fn bench_function<S: Into<String>, F>(&mut self, name: S, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        let mut group = self.benchmark_group(name.clone());
+        group.bench_function("", f);
+        group.finish();
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<S: Into<String>, F>(&mut self, id: S, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = if id.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        let mut bencher = Bencher { best: Duration::MAX, iters: 0 };
+        for _ in 0..self.sample_size {
+            f(&mut bencher);
+        }
+        if bencher.iters > 0 {
+            println!("bench: {label:<48} best {:>12.3?}", bencher.best);
+        } else {
+            println!("bench: {label:<48} (no iterations)");
+        }
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Timer handle passed to each benchmark closure.
+pub struct Bencher {
+    best: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        let took = start.elapsed();
+        self.best = self.best.min(took);
+        self.iters += 1;
+    }
+}
+
+/// Re-export so `criterion::black_box` callers work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_closure() {
+        let mut c = Criterion::default();
+        let mut calls = 0u32;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3);
+            g.bench_function("f", |b| b.iter(|| calls += 1));
+            g.finish();
+        }
+        assert_eq!(calls, 3);
+    }
+}

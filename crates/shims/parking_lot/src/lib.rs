@@ -1,0 +1,206 @@
+//! Offline shim for the `parking_lot` API surface this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the handful of synchronization primitives it needs, backed by
+//! `std::sync`. Semantics match parking_lot where the workspace relies on
+//! them: `lock()`/`read()`/`write()` return guards directly (poisoning is
+//! swallowed — a panicking lane must not wedge the whole simulator), and
+//! `Condvar::wait` takes the guard by `&mut`.
+
+use std::ops::{Deref, DerefMut};
+use std::sync;
+
+/// Mutual exclusion primitive with parking_lot's non-poisoning `lock()`.
+pub struct Mutex<T: ?Sized> {
+    inner: sync::Mutex<T>,
+}
+
+/// RAII guard for [`Mutex`]. Holds the std guard in an `Option` so
+/// [`Condvar::wait`] can temporarily take ownership of it.
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: Option<sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(value: T) -> Self {
+        Mutex { inner: sync::Mutex::new(value) }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        MutexGuard { inner: Some(guard) }
+    }
+
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(guard) => Some(MutexGuard { inner: Some(guard) }),
+            Err(sync::TryLockError::Poisoned(e)) => {
+                Some(MutexGuard { inner: Some(e.into_inner()) })
+            }
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard stolen during condvar wait")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard stolen during condvar wait")
+    }
+}
+
+/// Condition variable with parking_lot's `wait(&mut guard)` signature.
+#[derive(Default)]
+pub struct Condvar {
+    inner: sync::Condvar,
+}
+
+impl Condvar {
+    pub const fn new() -> Self {
+        Condvar { inner: sync::Condvar::new() }
+    }
+
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.inner.take().expect("guard stolen during condvar wait");
+        let inner = self.inner.wait(inner).unwrap_or_else(|e| e.into_inner());
+        guard.inner = Some(inner);
+    }
+
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+/// Reader-writer lock with parking_lot's non-poisoning `read()`/`write()`.
+pub struct RwLock<T: ?Sized> {
+    inner: sync::RwLock<T>,
+}
+
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: sync::RwLockReadGuard<'a, T>,
+}
+
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: sync::RwLockWriteGuard<'a, T>,
+}
+
+impl<T> RwLock<T> {
+    pub const fn new(value: T) -> Self {
+        RwLock { inner: sync::RwLock::new(value) }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard { inner: self.inner.read().unwrap_or_else(|e| e.into_inner()) }
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard { inner: self.inner.write().unwrap_or_else(|e| e.into_inner()) }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_and_condvar_roundtrip() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = pair.clone();
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut guard = m.lock();
+            *guard = true;
+            cv.notify_all();
+        });
+        let (m, cv) = &*pair;
+        let mut guard = m.lock();
+        while !*guard {
+            cv.wait(&mut guard);
+        }
+        drop(guard);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn rwlock_read_write() {
+        let l = RwLock::new(7u32);
+        assert_eq!(*l.read(), 7);
+        *l.write() = 9;
+        assert_eq!(*l.read(), 9);
+    }
+
+    #[test]
+    fn poisoned_mutex_still_locks() {
+        let m = Arc::new(Mutex::new(1u32));
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison");
+        })
+        .join();
+        assert_eq!(*m.lock(), 1);
+    }
+}

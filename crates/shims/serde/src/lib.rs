@@ -1,0 +1,19 @@
+//! Offline shim for the `serde` API surface this workspace uses.
+//!
+//! The project derives `Serialize`/`Deserialize` on plain-old-data structs
+//! as forward-looking metadata, but never serializes through serde at
+//! runtime (trace JSON is hand-rolled). The traits are therefore empty
+//! markers with blanket impls, and the derives (re-exported from the
+//! sibling `serde_derive` shim) expand to nothing.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
