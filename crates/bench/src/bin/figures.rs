@@ -103,7 +103,9 @@ fn main() {
             let mut failed = false;
             for app in APP_NAMES {
                 match ompx_bench::verify_app(app, scale) {
-                    Ok(sum) => println!("{app:<10} OK  checksum {sum:#018x} across 8 version/system cells"),
+                    Ok(sum) => {
+                        println!("{app:<10} OK  checksum {sum:#018x} across 8 version/system cells")
+                    }
                     Err(e) => {
                         failed = true;
                         println!("{app:<10} FAIL {e}");

@@ -179,10 +179,7 @@ pub fn print_fig8(app: &str, sys: System, scale: WorkScale) {
         sys.label(),
         info.reported_metric
     );
-    println!(
-        "{:<12} {:>12} {:>12} {:>9}  notes",
-        "version", "modeled", "paper", "mod/paper"
-    );
+    println!("{:<12} {:>12} {:>12} {:>9}  notes", "version", "modeled", "paper", "mod/paper");
     // Baseline = the native LLVM/Clang version (the figure's dotted line).
     let baseline = outcomes
         .iter()
@@ -202,7 +199,11 @@ pub fn print_fig8(app: &str, sys: System, scale: WorkScale) {
         if let Some(n) = &o.note {
             notes.push(n.clone());
         }
-        notes.push(format!("{:.2}x of {}", o.reported_seconds / baseline, if sys == System::Nvidia { "cuda" } else { "hip" }));
+        notes.push(format!(
+            "{:.2}x of {}",
+            o.reported_seconds / baseline,
+            if sys == System::Nvidia { "cuda" } else { "hip" }
+        ));
         println!(
             "{:<12} {:>12} {:>12} {}  {}",
             o.label,
@@ -278,7 +279,8 @@ pub fn shape_checks(scale: WorkScale) -> Vec<ShapeCheck> {
 
     // XSBench
     for sys in [Nvidia, Amd] {
-        let (o, n, v) = (t("xsbench", sys, Ompx), t("xsbench", sys, Native), t("xsbench", sys, NativeVendor));
+        let (o, n, v) =
+            (t("xsbench", sys, Ompx), t("xsbench", sys, Native), t("xsbench", sys, NativeVendor));
         push(
             "XSBench: ompx beats native under both compilers",
             o < n && o < v,
@@ -293,13 +295,15 @@ pub fn shape_checks(scale: WorkScale) -> Vec<ShapeCheck> {
 
     // RSBench
     {
-        let (o, m, n) = (t("rsbench", Nvidia, Ompx), t("rsbench", Nvidia, Omp), t("rsbench", Nvidia, Native));
+        let (o, m, n) =
+            (t("rsbench", Nvidia, Ompx), t("rsbench", Nvidia, Omp), t("rsbench", Nvidia, Native));
         push(
             "RSBench A100: ompx < omp < cuda (omp beats cuda via heap-to-shared)",
             o < m && m < n,
             format!("ompx {o:.3}, omp {m:.3}, cuda {n:.3}"),
         );
-        let (o, m, n) = (t("rsbench", Amd, Ompx), t("rsbench", Amd, Omp), t("rsbench", Amd, Native));
+        let (o, m, n) =
+            (t("rsbench", Amd, Ompx), t("rsbench", Amd, Omp), t("rsbench", Amd, Native));
         push(
             "RSBench MI250: ompx < hip; omp slowest",
             o < n && n < m,
@@ -310,9 +314,17 @@ pub fn shape_checks(scale: WorkScale) -> Vec<ShapeCheck> {
     // SU3 crossover
     {
         let r = t("su3", Nvidia, Ompx) / t("su3", Nvidia, Native);
-        push("SU3 A100: ompx/cuda in 1.03..1.20 (paper ~1.09)", (1.03..1.20).contains(&r), format!("{r:.3}"));
+        push(
+            "SU3 A100: ompx/cuda in 1.03..1.20 (paper ~1.09)",
+            (1.03..1.20).contains(&r),
+            format!("{r:.3}"),
+        );
         let r = t("su3", Amd, Native) / t("su3", Amd, Ompx);
-        push("SU3 MI250: hip/ompx in 1.15..1.50 (paper ~1.28)", (1.15..1.50).contains(&r), format!("{r:.3}"));
+        push(
+            "SU3 MI250: hip/ompx in 1.15..1.50 (paper ~1.28)",
+            (1.15..1.50).contains(&r),
+            format!("{r:.3}"),
+        );
     }
 
     // AIDW
@@ -320,9 +332,17 @@ pub fn shape_checks(scale: WorkScale) -> Vec<ShapeCheck> {
         let times: Vec<f64> = ProgVersion::all().iter().map(|v| t("aidw", Amd, *v)).collect();
         let spread = times.iter().cloned().fold(0.0f64, f64::max)
             / times.iter().cloned().fold(f64::INFINITY, f64::min);
-        push("AIDW MI250: all four versions within 25%", spread < 1.25, format!("spread {spread:.3}"));
+        push(
+            "AIDW MI250: all four versions within 25%",
+            spread < 1.25,
+            format!("spread {spread:.3}"),
+        );
         let r = t("aidw", Nvidia, Ompx) / t("aidw", Nvidia, Native);
-        push("AIDW A100: ompx a few % behind clang-cuda", (1.01..1.20).contains(&r), format!("{r:.3}"));
+        push(
+            "AIDW A100: ompx a few % behind clang-cuda",
+            (1.01..1.20).contains(&r),
+            format!("{r:.3}"),
+        );
         let r = t("aidw", Nvidia, Ompx) / t("aidw", Nvidia, NativeVendor);
         push("AIDW A100: ompx matches cuda-nvcc", (0.9..1.1).contains(&r), format!("{r:.3}"));
     }
@@ -404,7 +424,11 @@ mod tests {
                     if app == "xsbench" && label == "omp" {
                         assert!(r.is_none());
                     } else {
-                        assert!(r.is_some(), "missing paper value for {app}/{}/{label}", sys.label());
+                        assert!(
+                            r.is_some(),
+                            "missing paper value for {app}/{}/{label}",
+                            sys.label()
+                        );
                     }
                 }
             }

@@ -16,9 +16,9 @@
 //! Launch cost is [`ExecMode::Bare`]: just the device's base latency — the
 //! whole point of the extension.
 
+use ompx_devicert::mode::ExecMode;
 use ompx_hostrt::target::{LaunchPlan, TargetResult};
 use ompx_hostrt::OpenMp;
-use ompx_devicert::mode::ExecMode;
 use ompx_sim::counters::StatsSnapshot;
 use ompx_sim::dim::{Dim3, LaunchConfig};
 use ompx_sim::error::SimResult;
@@ -101,11 +101,18 @@ impl BareTarget {
         self
     }
 
-    /// Enable the shared-memory race detector for this launch (the
-    /// `compute-sanitizer --tool racecheck` analogue): two threads touching
-    /// the same shared cell in the same barrier epoch, at least one writing,
-    /// aborts the launch with a diagnostic. Catches the missing-barrier
-    /// bugs SIMT ports introduce.
+    /// Enable the shared-memory race detector for this launch: two threads
+    /// touching the same shared cell in the same barrier epoch, at least one
+    /// writing, aborts the launch with a diagnostic. Catches the
+    /// missing-barrier bugs SIMT ports introduce.
+    ///
+    /// Deprecation shim: this per-launch flag predates the `ompx-sanitizer`
+    /// subsystem and is kept for compatibility. Prefer attaching a session
+    /// with racecheck (`Sanitizer::attach` in `ompx-sanitizer`, or
+    /// `ompx_sanitizer_enable` in `ompx-hostrt`), which covers global-memory
+    /// races too and records structured diagnostics instead of panicking.
+    /// When a session with racecheck is attached, a race on a launch with
+    /// this flag is recorded there rather than aborting.
     pub fn racecheck(mut self) -> Self {
         self.cfg_shared.racecheck = true;
         self
@@ -163,11 +170,7 @@ impl PreparedBare {
 
     /// Model a (possibly workload-scaled) snapshot for this bare kernel.
     pub fn model(&self, stats: &StatsSnapshot) -> TargetResult {
-        TargetResult {
-            stats: *stats,
-            modeled: self.modeled_time(stats),
-            plan: self.plan(),
-        }
+        TargetResult { stats: *stats, modeled: self.modeled_time(stats), plan: self.plan() }
     }
 
     fn modeled_time(&self, stats: &StatsSnapshot) -> ModeledTime {

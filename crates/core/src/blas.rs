@@ -30,7 +30,9 @@ fn vendor_binding(omp: &OpenMp) -> (BlasVendor, NativeCtx) {
         Vendor::Nvidia => {
             (BlasVendor::Cublas, NativeCtx::new(omp.device().clone(), Toolchain::Nvcc))
         }
-        Vendor::Amd => (BlasVendor::Rocblas, NativeCtx::new(omp.device().clone(), Toolchain::Hipcc)),
+        Vendor::Amd => {
+            (BlasVendor::Rocblas, NativeCtx::new(omp.device().clone(), Toolchain::Hipcc))
+        }
         Vendor::Generic => {
             use ompx_sim::device::Device;
             let mut profile = omp.device().profile().clone();

@@ -277,12 +277,8 @@ mod tests {
         let k = generic_kernel("reduce", &d, cfg, {
             let (buf, result) = (buf.clone(), result.clone());
             move |team| {
-                let s = team.parallel_for_reduce(
-                    100,
-                    0.0f64,
-                    |tc, i| tc.read(&buf, i),
-                    |a, b| a + b,
-                );
+                let s =
+                    team.parallel_for_reduce(100, 0.0f64, |tc, i| tc.read(&buf, i), |a, b| a + b);
                 let tc = team.thread();
                 tc.write(&result, 0, s);
             }

@@ -93,8 +93,7 @@ mod tests {
         let mut cfg = LaunchConfig::new(1u32, 1u32);
         cfg.shared_array::<f64>(16);
         let shared = BlockShared::new(&cfg.shared_slots);
-        let mut tc =
-            ThreadCtx::detached(Dim3::x(1), Dim3::x(1), (0, 0, 0), (0, 0, 0), 32, &shared);
+        let mut tc = ThreadCtx::detached(Dim3::x(1), Dim3::x(1), (0, 0, 0), (0, 0, 0), 32, &shared);
         f(&mut tc, &shared);
     }
 

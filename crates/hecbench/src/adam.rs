@@ -108,14 +108,34 @@ fn register_profiles(db: &CodegenDb) {
     let base = CodegenInfo { fp64_fraction: 0.0, ..CodegenInfo::default() };
     db.set(KERNEL, Toolchain::Clang, CodegenInfo { regs_per_thread: 24, coalescing: 0.85, ..base });
     db.set(KERNEL, Toolchain::Nvcc, CodegenInfo { regs_per_thread: 24, coalescing: 0.85, ..base });
-    db.set(KERNEL, Toolchain::OmpxPrototype, CodegenInfo { regs_per_thread: 26, coalescing: 0.85, binary_bytes: 12 * 1024, ..base });
-    db.set(KERNEL, Toolchain::ClangOpenmp, CodegenInfo { regs_per_thread: 40, coalescing: 0.8, binary_bytes: 32 * 1024, ..base });
+    db.set(
+        KERNEL,
+        Toolchain::OmpxPrototype,
+        CodegenInfo { regs_per_thread: 26, coalescing: 0.85, binary_bytes: 12 * 1024, ..base },
+    );
+    db.set(
+        KERNEL,
+        Toolchain::ClangOpenmp,
+        CodegenInfo { regs_per_thread: 40, coalescing: 0.8, binary_bytes: 32 * 1024, ..base },
+    );
     // §4.2.5 AMD: ompx is 16.6 % faster than HIP — the AMD backend's
     // native codegen for this tiny kernel is less efficient at issuing the
     // strided f32 accesses.
-    db.set(&vendor_key(KERNEL, Vendor::Amd), Toolchain::Clang, CodegenInfo { regs_per_thread: 28, coalescing: 0.72, ..base });
-    db.set(&vendor_key(KERNEL, Vendor::Amd), Toolchain::Hipcc, CodegenInfo { regs_per_thread: 28, coalescing: 0.75, ..base });
-    db.set(&vendor_key(KERNEL, Vendor::Amd), Toolchain::OmpxPrototype, CodegenInfo { regs_per_thread: 30, coalescing: 0.88, binary_bytes: 12 * 1024, ..base });
+    db.set(
+        &vendor_key(KERNEL, Vendor::Amd),
+        Toolchain::Clang,
+        CodegenInfo { regs_per_thread: 28, coalescing: 0.72, ..base },
+    );
+    db.set(
+        &vendor_key(KERNEL, Vendor::Amd),
+        Toolchain::Hipcc,
+        CodegenInfo { regs_per_thread: 28, coalescing: 0.75, ..base },
+    );
+    db.set(
+        &vendor_key(KERNEL, Vendor::Amd),
+        Toolchain::OmpxPrototype,
+        CodegenInfo { regs_per_thread: 30, coalescing: 0.88, binary_bytes: 12 * 1024, ..base },
+    );
 }
 
 /// Run one program version on one system.
@@ -167,7 +187,14 @@ pub fn run(sys: System, version: ProgVersion, scale: WorkScale) -> RunOutcome {
             }
             let per_launch = agg.scaled(factor / params.steps as f64);
             let modeled = ctx.model(KERNEL, BLOCK, 0, &per_launch);
-            finish(version.label(sys), checksum_f32_items(&state.p.to_vec()), modeled, per_launch, true, None)
+            finish(
+                version.label(sys),
+                checksum_f32_items(&state.p.to_vec()),
+                modeled,
+                per_launch,
+                true,
+                None,
+            )
         }
         ProgVersion::Ompx => {
             let omp = ompx_runtime(sys);
@@ -195,7 +222,14 @@ pub fn run(sys: System, version: ProgVersion, scale: WorkScale) -> RunOutcome {
             }
             let per_launch = agg.scaled(factor / params.steps as f64);
             let modeled = last.expect("at least one step").model(&per_launch).modeled;
-            finish(version.label(sys), checksum_f32_items(&state.p.to_vec()), modeled, per_launch, true, None)
+            finish(
+                version.label(sys),
+                checksum_f32_items(&state.p.to_vec()),
+                modeled,
+                per_launch,
+                true,
+                None,
+            )
         }
         ProgVersion::Omp => {
             let omp = omp_runtime(sys);
@@ -231,7 +265,14 @@ pub fn run(sys: System, version: ProgVersion, scale: WorkScale) -> RunOutcome {
                     plan.threads
                 )
             });
-            finish(version.label(sys), checksum_f32_items(&state.p.to_vec()), modeled, per_launch, false, note)
+            finish(
+                version.label(sys),
+                checksum_f32_items(&state.p.to_vec()),
+                modeled,
+                per_launch,
+                false,
+                note,
+            )
         }
     }
 }

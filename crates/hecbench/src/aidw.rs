@@ -53,9 +53,7 @@ pub struct Params {
 impl Params {
     pub fn for_scale(scale: WorkScale) -> Self {
         match scale {
-            WorkScale::Default => {
-                Params { n_points: 2048, n_queries: 2048, paper_points: 409_600 }
-            }
+            WorkScale::Default => Params { n_points: 2048, n_queries: 2048, paper_points: 409_600 },
             WorkScale::Test => Params { n_points: 256, n_queries: 256, paper_points: 409_600 },
         }
     }
@@ -130,11 +128,7 @@ fn tiled_kernel_body(
     let tile_v = tc.shared::<f32>(slot_v);
     let tid = tc.thread_rank();
     let q = tc.global_thread_id_x();
-    let (qx, qy) = if q < n_queries {
-        (tc.read(&d.qx, q), tc.read(&d.qy, q))
-    } else {
-        (0.0, 0.0)
-    };
+    let (qx, qy) = if q < n_queries { (tc.read(&d.qx, q), tc.read(&d.qy, q)) } else { (0.0, 0.0) };
 
     let mut wsum = 0.0f32;
     let mut vsum = 0.0f32;
@@ -172,16 +166,40 @@ fn tiled_kernel_body(
 /// prototype do not.
 fn register_profiles(db: &CodegenDb) {
     let base = CodegenInfo { coalescing: 0.92, fp64_fraction: 0.0, ..CodegenInfo::default() };
-    db.set(KERNEL, Toolchain::Clang, CodegenInfo { regs_per_thread: 30, shared_demotion: 0.55, ..base });
-    db.set(KERNEL, Toolchain::Nvcc, CodegenInfo { regs_per_thread: 32, shared_demotion: 0.0, ..base });
-    db.set(KERNEL, Toolchain::OmpxPrototype, CodegenInfo { regs_per_thread: 32, binary_bytes: 20 * 1024, shared_demotion: 0.0, ..base });
-    db.set(KERNEL, Toolchain::ClangOpenmp, CodegenInfo { regs_per_thread: 44, binary_bytes: 36 * 1024, coalescing: 0.95, ..base });
+    db.set(
+        KERNEL,
+        Toolchain::Clang,
+        CodegenInfo { regs_per_thread: 30, shared_demotion: 0.55, ..base },
+    );
+    db.set(
+        KERNEL,
+        Toolchain::Nvcc,
+        CodegenInfo { regs_per_thread: 32, shared_demotion: 0.0, ..base },
+    );
+    db.set(
+        KERNEL,
+        Toolchain::OmpxPrototype,
+        CodegenInfo { regs_per_thread: 32, binary_bytes: 20 * 1024, shared_demotion: 0.0, ..base },
+    );
+    db.set(
+        KERNEL,
+        Toolchain::ClangOpenmp,
+        CodegenInfo { regs_per_thread: 44, binary_bytes: 36 * 1024, coalescing: 0.95, ..base },
+    );
     // MI250: every compiler keeps the tiles in LDS and the figure shows the
     // four versions aligned; profiles are deliberately uniform.
     for t in [Toolchain::Clang, Toolchain::Hipcc, Toolchain::OmpxPrototype] {
-        db.set(&vendor_key(KERNEL, Vendor::Amd), t, CodegenInfo { regs_per_thread: 36, shared_demotion: 0.0, ..base });
+        db.set(
+            &vendor_key(KERNEL, Vendor::Amd),
+            t,
+            CodegenInfo { regs_per_thread: 36, shared_demotion: 0.0, ..base },
+        );
     }
-    db.set(&vendor_key(KERNEL, Vendor::Amd), Toolchain::ClangOpenmp, CodegenInfo { regs_per_thread: 48, binary_bytes: 36 * 1024, coalescing: 0.95, ..base });
+    db.set(
+        &vendor_key(KERNEL, Vendor::Amd),
+        Toolchain::ClangOpenmp,
+        CodegenInfo { regs_per_thread: 48, binary_bytes: 36 * 1024, coalescing: 0.95, ..base },
+    );
 }
 
 /// Run one program version on one system.
@@ -278,7 +296,9 @@ pub fn run(sys: System, version: ProgVersion, scale: WorkScale) -> RunOutcome {
                 omp.target(KERNEL).num_teams(teams).thread_limit(BLOCK as u32).prepare_dpf(nq, {
                     let (data, out) = (data.clone(), out.clone());
                     std::sync::Arc::new(
-                        move |tc: &mut ThreadCtx<'_>, q: usize, _s: &ompx_hostrt::target::Scratch| {
+                        move |tc: &mut ThreadCtx<'_>,
+                              q: usize,
+                              _s: &ompx_hostrt::target::Scratch| {
                             let qx = tc.read(&data.qx, q);
                             let qy = tc.read(&data.qy, q);
                             let mut wsum = 0.0f32;

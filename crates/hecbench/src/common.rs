@@ -4,8 +4,10 @@ use ompx_hostrt::OpenMp;
 use ompx_klang::cuda::{cuda_context_clang, cuda_context_nvcc};
 use ompx_klang::hip::{hip_context_clang, hip_context_hipcc};
 use ompx_klang::runtime::NativeCtx;
+use ompx_sim::san::{Diagnostic, SanState, ToolMask};
 use ompx_sim::timing::ModeledTime;
 use serde::{Deserialize, Serialize};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// The two evaluation systems of the paper's Figure 7.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -108,29 +110,84 @@ pub struct RunOutcome {
 /// Native context for (system, vendor-compiler?) — the `cuda`/`hip` and
 /// `cuda-nvcc`/`hip-hipcc` bars.
 pub fn native_ctx(sys: System, vendor_cc: bool) -> NativeCtx {
-    match (sys, vendor_cc) {
+    let ctx = match (sys, vendor_cc) {
         (System::Nvidia, false) => cuda_context_clang(),
         (System::Nvidia, true) => cuda_context_nvcc(),
         (System::Amd, false) => hip_context_clang(),
         (System::Amd, true) => hip_context_hipcc(),
+    };
+    if let Some(state) = active_sanitizer() {
+        ctx.sanitizer_attach(state);
     }
+    ctx
 }
 
 /// Traditional OpenMP runtime for a system (ClangOpenmp + the paper's
 /// observed LLVM quirks).
 pub fn omp_runtime(sys: System) -> OpenMp {
-    match sys {
+    let omp = match sys {
         System::Nvidia => OpenMp::nvidia_system(),
         System::Amd => OpenMp::amd_system(),
+    };
+    if let Some(state) = active_sanitizer() {
+        ompx_hostrt::ompx_sanitizer_attach(&omp, &state);
     }
+    omp
 }
 
 /// Prototype (`ompx`) runtime for a system.
 pub fn ompx_runtime(sys: System) -> OpenMp {
-    match sys {
+    let omp = match sys {
         System::Nvidia => ompx::runtime_nvidia(),
         System::Amd => ompx::runtime_amd(),
+    };
+    if let Some(state) = active_sanitizer() {
+        ompx_hostrt::ompx_sanitizer_attach(&omp, &state);
     }
+    omp
+}
+
+// ---- sanitizer integration ------------------------------------------------
+
+/// The sanitizer session installed by [`run_app_sanitized`], if one is
+/// active. Apps build their contexts *inside* `run`, so the session rides
+/// along ambiently: the constructors above attach it to every device they
+/// hand out.
+static ACTIVE_SANITIZER: Mutex<Option<Arc<SanState>>> = Mutex::new(None);
+
+/// Serialises sanitized runs so parallel tests cannot leak findings into
+/// each other's reports through the ambient session.
+static SANITIZED_RUN_GATE: Mutex<()> = Mutex::new(());
+
+fn active_sanitizer() -> Option<Arc<SanState>> {
+    ACTIVE_SANITIZER.lock().unwrap_or_else(|e| e.into_inner()).clone()
+}
+
+/// Clears the ambient session even if the benchmark panics.
+struct SanitizerInstall(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+impl Drop for SanitizerInstall {
+    fn drop(&mut self) {
+        *ACTIVE_SANITIZER.lock().unwrap_or_else(|e| e.into_inner()) = None;
+    }
+}
+
+/// Run one (app, system, version) cell under a fresh sanitizer session with
+/// the tools in `mask`, returning the benchmark outcome plus everything the
+/// enabled tools found. This is what `sanitize` (ompx-bench) runs per cell.
+pub fn run_app_sanitized(
+    app: &str,
+    sys: System,
+    version: ProgVersion,
+    scale: WorkScale,
+    mask: ToolMask,
+) -> (RunOutcome, Vec<Diagnostic>) {
+    let gate = SANITIZED_RUN_GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let state = SanState::new(mask);
+    *ACTIVE_SANITIZER.lock().unwrap_or_else(|e| e.into_inner()) = Some(Arc::clone(&state));
+    let _uninstall = SanitizerInstall(gate);
+    let outcome = crate::run_app(app, sys, version, scale);
+    (outcome, state.diagnostics())
 }
 
 // ---- checksums ------------------------------------------------------------
@@ -194,11 +251,8 @@ pub fn launch_issue_s(sys: System, version: ProgVersion) -> f64 {
 /// pipeline behind execution, so only one is exposed — but the host cannot
 /// issue faster than `issue_s` per launch.
 pub fn pipelined_total_at(per_kernel: &ModeledTime, launches: u64, issue_s: f64) -> f64 {
-    (per_kernel.seconds - per_kernel.t_launch).max(issue_s) * launches as f64
-        + per_kernel.t_launch
+    (per_kernel.seconds - per_kernel.t_launch).max(issue_s) * launches as f64 + per_kernel.t_launch
 }
-
-
 
 /// Total wall seconds of `launches` synchronous kernels (traditional
 /// `target` semantics: the host blocks after each region).
@@ -297,7 +351,8 @@ mod tests {
         // rate.
         let tiny = ModeledTime { seconds: 2.1e-6, t_launch: 2.0e-6, ..Default::default() };
         assert!(
-            (pipelined_total_at(&tiny, 100, LAUNCH_ISSUE_S) - (100.0 * LAUNCH_ISSUE_S + 2e-6)).abs()
+            (pipelined_total_at(&tiny, 100, LAUNCH_ISSUE_S) - (100.0 * LAUNCH_ISSUE_S + 2e-6))
+                .abs()
                 < 1e-12
         );
         assert!(launch_issue_s(System::Amd, ProgVersion::Ompx) < LAUNCH_ISSUE_S);

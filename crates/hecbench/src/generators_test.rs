@@ -57,12 +57,26 @@ fn generators_are_device_independent() {
 #[test]
 fn params_default_is_larger_than_test() {
     use crate::WorkScale::{Default, Test};
-    assert!(crate::xsbench::Params::for_scale(Default).lookups > crate::xsbench::Params::for_scale(Test).lookups);
-    assert!(crate::rsbench::Params::for_scale(Default).lookups > crate::rsbench::Params::for_scale(Test).lookups);
-    assert!(crate::su3::Params::for_scale(Default).sites > crate::su3::Params::for_scale(Test).sites);
-    assert!(crate::aidw::Params::for_scale(Default).n_points > crate::aidw::Params::for_scale(Test).n_points);
+    assert!(
+        crate::xsbench::Params::for_scale(Default).lookups
+            > crate::xsbench::Params::for_scale(Test).lookups
+    );
+    assert!(
+        crate::rsbench::Params::for_scale(Default).lookups
+            > crate::rsbench::Params::for_scale(Test).lookups
+    );
+    assert!(
+        crate::su3::Params::for_scale(Default).sites > crate::su3::Params::for_scale(Test).sites
+    );
+    assert!(
+        crate::aidw::Params::for_scale(Default).n_points
+            > crate::aidw::Params::for_scale(Test).n_points
+    );
     assert!(crate::adam::Params::for_scale(Default).n >= crate::adam::Params::for_scale(Test).n);
-    assert!(crate::stencil::Params::for_scale(Default).length > crate::stencil::Params::for_scale(Test).length);
+    assert!(
+        crate::stencil::Params::for_scale(Default).length
+            > crate::stencil::Params::for_scale(Test).length
+    );
 }
 
 #[test]

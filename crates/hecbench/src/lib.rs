@@ -30,27 +30,15 @@ pub mod stencil;
 pub mod su3;
 pub mod xsbench;
 
-pub use common::{BenchInfo, ProgVersion, RunOutcome, System, WorkScale};
+pub use common::{run_app_sanitized, BenchInfo, ProgVersion, RunOutcome, System, WorkScale};
 
 /// All six applications' metadata in the paper's Figure 6 order.
 pub fn all_benchmarks() -> Vec<BenchInfo> {
-    vec![
-        xsbench::info(),
-        rsbench::info(),
-        su3::info(),
-        aidw::info(),
-        adam::info(),
-        stencil::info(),
-    ]
+    vec![xsbench::info(), rsbench::info(), su3::info(), aidw::info(), adam::info(), stencil::info()]
 }
 
 /// Run one (app, system, version) cell of Figure 8.
-pub fn run_app(
-    app: &str,
-    sys: System,
-    version: ProgVersion,
-    scale: WorkScale,
-) -> RunOutcome {
+pub fn run_app(app: &str, sys: System, version: ProgVersion, scale: WorkScale) -> RunOutcome {
     match app {
         "xsbench" => xsbench::run(sys, version, scale),
         "rsbench" => rsbench::run(sys, version, scale),

@@ -58,12 +58,9 @@ pub struct Params {
 impl Params {
     pub fn for_scale(scale: WorkScale) -> Self {
         match scale {
-            WorkScale::Default => Params {
-                n_isotopes: 32,
-                n_windows: 64,
-                lookups: 4096,
-                paper_lookups: 10_000_000,
-            },
+            WorkScale::Default => {
+                Params { n_isotopes: 32, n_windows: 64, lookups: 4096, paper_lookups: 10_000_000 }
+            }
             WorkScale::Test => {
                 Params { n_isotopes: 6, n_windows: 16, lookups: 192, paper_lookups: 10_000_000 }
             }
@@ -246,17 +243,49 @@ fn lookup_one<S: F64Scratch>(tc: &mut ThreadCtx<'_>, i: usize, d: &RsData, scrat
 /// reproduce the figure's ordering through occupancy.
 fn register_profiles(db: &CodegenDb) {
     let base = CodegenInfo { coalescing: 0.40, fp64_fraction: 1.0, ..CodegenInfo::default() };
-    db.set(KERNEL, Toolchain::Clang, CodegenInfo { regs_per_thread: 88, binary_bytes: 18 * 1024, ..base });
-    db.set(KERNEL, Toolchain::Nvcc, CodegenInfo { regs_per_thread: 86, binary_bytes: 16 * 1024, ..base });
-    db.set(KERNEL, Toolchain::OmpxPrototype, CodegenInfo { regs_per_thread: 68, binary_bytes: 24 * 1024, ..base });
+    db.set(
+        KERNEL,
+        Toolchain::Clang,
+        CodegenInfo { regs_per_thread: 88, binary_bytes: 18 * 1024, ..base },
+    );
+    db.set(
+        KERNEL,
+        Toolchain::Nvcc,
+        CodegenInfo { regs_per_thread: 86, binary_bytes: 16 * 1024, ..base },
+    );
+    db.set(
+        KERNEL,
+        Toolchain::OmpxPrototype,
+        CodegenInfo { regs_per_thread: 68, binary_bytes: 24 * 1024, ..base },
+    );
     // §4.2.2: 162 registers, 2 KB shared (the shared bytes come from the
     // heap-to-shared scratch, accounted via the launch config).
-    db.set(KERNEL, Toolchain::ClangOpenmp, CodegenInfo { regs_per_thread: 162, binary_bytes: 48 * 1024, ..base });
+    db.set(
+        KERNEL,
+        Toolchain::ClangOpenmp,
+        CodegenInfo { regs_per_thread: 162, binary_bytes: 48 * 1024, ..base },
+    );
     // AMD backend: higher VGPR pressure across the board.
-    db.set(&vendor_key(KERNEL, Vendor::Amd), Toolchain::Clang, CodegenInfo { regs_per_thread: 100, binary_bytes: 18 * 1024, ..base });
-    db.set(&vendor_key(KERNEL, Vendor::Amd), Toolchain::Hipcc, CodegenInfo { regs_per_thread: 96, binary_bytes: 17 * 1024, ..base });
-    db.set(&vendor_key(KERNEL, Vendor::Amd), Toolchain::OmpxPrototype, CodegenInfo { regs_per_thread: 80, binary_bytes: 24 * 1024, ..base });
-    db.set(&vendor_key(KERNEL, Vendor::Amd), Toolchain::ClangOpenmp, CodegenInfo { regs_per_thread: 200, binary_bytes: 48 * 1024, ..base });
+    db.set(
+        &vendor_key(KERNEL, Vendor::Amd),
+        Toolchain::Clang,
+        CodegenInfo { regs_per_thread: 100, binary_bytes: 18 * 1024, ..base },
+    );
+    db.set(
+        &vendor_key(KERNEL, Vendor::Amd),
+        Toolchain::Hipcc,
+        CodegenInfo { regs_per_thread: 96, binary_bytes: 17 * 1024, ..base },
+    );
+    db.set(
+        &vendor_key(KERNEL, Vendor::Amd),
+        Toolchain::OmpxPrototype,
+        CodegenInfo { regs_per_thread: 80, binary_bytes: 24 * 1024, ..base },
+    );
+    db.set(
+        &vendor_key(KERNEL, Vendor::Amd),
+        Toolchain::ClangOpenmp,
+        CodegenInfo { regs_per_thread: 200, binary_bytes: 48 * 1024, ..base },
+    );
 }
 
 fn outcome(
@@ -347,7 +376,9 @@ pub fn run(sys: System, version: ProgVersion, scale: WorkScale) -> RunOutcome {
                 .prepare_dpf(n, {
                     let (data, out) = (data.clone(), out.clone());
                     std::sync::Arc::new(
-                        move |tc: &mut ThreadCtx<'_>, i: usize, s: &ompx_hostrt::target::Scratch| {
+                        move |tc: &mut ThreadCtx<'_>,
+                              i: usize,
+                              s: &ompx_hostrt::target::Scratch| {
                             let mut scratch = OmpScratch(s);
                             let v = lookup_one(tc, i, &data, &mut scratch);
                             tc.write(&out, i, v);
@@ -357,10 +388,9 @@ pub fn run(sys: System, version: ProgVersion, scale: WorkScale) -> RunOutcome {
             let r = prepared.execute().expect("omp launch");
             let scaled = fix_geometry(r.stats.scaled(factor), &r.stats, params.geometry_factor());
             let modeled = prepared.model(&scaled).modeled;
-            let note = r
-                .plan
-                .heap_to_shared
-                .then(|| "heap-to-shared optimization active (sigTfactors in shared memory)".to_string());
+            let note = r.plan.heap_to_shared.then(|| {
+                "heap-to-shared optimization active (sigTfactors in shared memory)".to_string()
+            });
             outcome(version.label(sys), checksum_f64_items(&out.to_vec()), modeled, scaled, note)
         }
     }

@@ -140,11 +140,31 @@ fn register_profiles(db: &CodegenDb) {
     // but consistent ompx win in Figures 8f/8l.
     db.set(KERNEL, Toolchain::Clang, CodegenInfo { regs_per_thread: 22, coalescing: 0.80, ..base });
     db.set(KERNEL, Toolchain::Nvcc, CodegenInfo { regs_per_thread: 22, coalescing: 0.78, ..base });
-    db.set(KERNEL, Toolchain::OmpxPrototype, CodegenInfo { regs_per_thread: 24, coalescing: 0.95, binary_bytes: 14 * 1024, ..base });
-    db.set(KERNEL, Toolchain::ClangOpenmp, CodegenInfo { regs_per_thread: 36, coalescing: 0.70, binary_bytes: 36 * 1024, ..base });
-    db.set(&vendor_key(KERNEL, Vendor::Amd), Toolchain::Clang, CodegenInfo { regs_per_thread: 26, coalescing: 0.82, ..base });
-    db.set(&vendor_key(KERNEL, Vendor::Amd), Toolchain::Hipcc, CodegenInfo { regs_per_thread: 26, coalescing: 0.80, ..base });
-    db.set(&vendor_key(KERNEL, Vendor::Amd), Toolchain::OmpxPrototype, CodegenInfo { regs_per_thread: 28, coalescing: 0.94, binary_bytes: 14 * 1024, ..base });
+    db.set(
+        KERNEL,
+        Toolchain::OmpxPrototype,
+        CodegenInfo { regs_per_thread: 24, coalescing: 0.95, binary_bytes: 14 * 1024, ..base },
+    );
+    db.set(
+        KERNEL,
+        Toolchain::ClangOpenmp,
+        CodegenInfo { regs_per_thread: 36, coalescing: 0.70, binary_bytes: 36 * 1024, ..base },
+    );
+    db.set(
+        &vendor_key(KERNEL, Vendor::Amd),
+        Toolchain::Clang,
+        CodegenInfo { regs_per_thread: 26, coalescing: 0.82, ..base },
+    );
+    db.set(
+        &vendor_key(KERNEL, Vendor::Amd),
+        Toolchain::Hipcc,
+        CodegenInfo { regs_per_thread: 26, coalescing: 0.80, ..base },
+    );
+    db.set(
+        &vendor_key(KERNEL, Vendor::Amd),
+        Toolchain::OmpxPrototype,
+        CodegenInfo { regs_per_thread: 28, coalescing: 0.94, binary_bytes: 14 * 1024, ..base },
+    );
 }
 
 /// Run one program version on one system. All versions ping-pong between
@@ -197,7 +217,13 @@ pub fn run(sys: System, version: ProgVersion, scale: WorkScale) -> RunOutcome {
             let per_launch = agg.scaled(factor / iters as f64);
             let modeled = ctx.model(KERNEL, BLOCK as u32, smem, &per_launch);
             let final_buf = if iters.is_multiple_of(2) { &a } else { &b };
-            finish(version.label(sys), checksum_f32_items(&final_buf.to_vec()), modeled, per_launch, None)
+            finish(
+                version.label(sys),
+                checksum_f32_items(&final_buf.to_vec()),
+                modeled,
+                per_launch,
+                None,
+            )
         }
         ProgVersion::Ompx => {
             let omp = ompx_runtime(sys);
@@ -224,7 +250,13 @@ pub fn run(sys: System, version: ProgVersion, scale: WorkScale) -> RunOutcome {
             let per_launch = agg.scaled(factor / iters as f64);
             let modeled = last.expect("iters > 0").model(&per_launch).modeled;
             let final_buf = if iters.is_multiple_of(2) { &a } else { &b };
-            finish(version.label(sys), checksum_f32_items(&final_buf.to_vec()), modeled, per_launch, None)
+            finish(
+                version.label(sys),
+                checksum_f32_items(&final_buf.to_vec()),
+                modeled,
+                per_launch,
+                None,
+            )
         }
         ProgVersion::Omp => {
             let omp = omp_runtime(sys);
@@ -236,16 +268,18 @@ pub fn run(sys: System, version: ProgVersion, scale: WorkScale) -> RunOutcome {
             let mut plan = None;
             for it in 0..iters {
                 let (input, output) = if it % 2 == 0 { (&a, &b) } else { (&b, &a) };
-                let prepared =
-                    omp.target(KERNEL).num_teams(teams).thread_limit(BLOCK as u32).prepare_dpf(n, {
+                let prepared = omp
+                    .target(KERNEL)
+                    .num_teams(teams)
+                    .thread_limit(BLOCK as u32)
+                    .prepare_dpf(n, {
                         let (input, output) = (input.clone(), output.clone());
                         std::sync::Arc::new(
                             move |tc: &mut ThreadCtx<'_>,
                                   i: usize,
                                   _s: &ompx_hostrt::target::Scratch| {
-                                let r = stencil_sum(tc, |tc, off| {
-                                    tc.read(&input, clamped(n, i, off))
-                                });
+                                let r =
+                                    stencil_sum(tc, |tc, off| tc.read(&input, clamped(n, i, off)));
                                 tc.write(&output, i, r);
                             },
                         )
@@ -258,9 +292,18 @@ pub fn run(sys: System, version: ProgVersion, scale: WorkScale) -> RunOutcome {
             let per_launch = agg.scaled(factor / iters as f64);
             let modeled = last.expect("iters > 0").model(&per_launch).modeled;
             let final_buf = if iters.is_multiple_of(2) { &a } else { &b };
-            let note = matches!(plan, Some(p) if p.mode == ompx_devicert::ExecMode::Generic)
-                .then(|| "generic-mode fallback: the state machine could not be rewritten (§4.2.6)".to_string());
-            finish(version.label(sys), checksum_f32_items(&final_buf.to_vec()), modeled, per_launch, note)
+            let note =
+                matches!(plan, Some(p) if p.mode == ompx_devicert::ExecMode::Generic).then(|| {
+                    "generic-mode fallback: the state machine could not be rewritten (§4.2.6)"
+                        .to_string()
+                });
+            finish(
+                version.label(sys),
+                checksum_f32_items(&final_buf.to_vec()),
+                modeled,
+                per_launch,
+                note,
+            )
         }
     }
 }

@@ -121,15 +121,47 @@ fn generate(device: &Device, sites: usize) -> (DBuf<f32>, DBuf<f32>, DBuf<f32>) 
 fn register_profiles(db: &CodegenDb) {
     let base = CodegenInfo { coalescing: 0.90, fp64_fraction: 0.0, ..CodegenInfo::default() };
     // NVIDIA: paper-reported registers and binary sizes.
-    db.set(KERNEL, Toolchain::Clang, CodegenInfo { regs_per_thread: 24, binary_bytes: 3_900, ..base });
-    db.set(KERNEL, Toolchain::Nvcc, CodegenInfo { regs_per_thread: 25, binary_bytes: 4_300, ..base });
-    db.set(KERNEL, Toolchain::OmpxPrototype, CodegenInfo { regs_per_thread: 26, binary_bytes: 29 * 1024, ..base });
-    db.set(KERNEL, Toolchain::ClangOpenmp, CodegenInfo { regs_per_thread: 40, binary_bytes: 44 * 1024, coalescing: 0.78, ..base });
+    db.set(
+        KERNEL,
+        Toolchain::Clang,
+        CodegenInfo { regs_per_thread: 24, binary_bytes: 3_900, ..base },
+    );
+    db.set(
+        KERNEL,
+        Toolchain::Nvcc,
+        CodegenInfo { regs_per_thread: 25, binary_bytes: 4_300, ..base },
+    );
+    db.set(
+        KERNEL,
+        Toolchain::OmpxPrototype,
+        CodegenInfo { regs_per_thread: 26, binary_bytes: 29 * 1024, ..base },
+    );
+    db.set(
+        KERNEL,
+        Toolchain::ClangOpenmp,
+        CodegenInfo { regs_per_thread: 40, binary_bytes: 44 * 1024, coalescing: 0.78, ..base },
+    );
     // AMD: the backend's addressing of the interleaved complex loads.
-    db.set(&vendor_key(KERNEL, Vendor::Amd), Toolchain::Clang, CodegenInfo { regs_per_thread: 42, binary_bytes: 5 * 1024, coalescing: 0.55, ..base });
-    db.set(&vendor_key(KERNEL, Vendor::Amd), Toolchain::Hipcc, CodegenInfo { regs_per_thread: 40, binary_bytes: 5 * 1024, coalescing: 0.60, ..base });
-    db.set(&vendor_key(KERNEL, Vendor::Amd), Toolchain::OmpxPrototype, CodegenInfo { regs_per_thread: 44, binary_bytes: 29 * 1024, coalescing: 0.75, ..base });
-    db.set(&vendor_key(KERNEL, Vendor::Amd), Toolchain::ClangOpenmp, CodegenInfo { regs_per_thread: 56, binary_bytes: 44 * 1024, coalescing: 0.50, ..base });
+    db.set(
+        &vendor_key(KERNEL, Vendor::Amd),
+        Toolchain::Clang,
+        CodegenInfo { regs_per_thread: 42, binary_bytes: 5 * 1024, coalescing: 0.55, ..base },
+    );
+    db.set(
+        &vendor_key(KERNEL, Vendor::Amd),
+        Toolchain::Hipcc,
+        CodegenInfo { regs_per_thread: 40, binary_bytes: 5 * 1024, coalescing: 0.60, ..base },
+    );
+    db.set(
+        &vendor_key(KERNEL, Vendor::Amd),
+        Toolchain::OmpxPrototype,
+        CodegenInfo { regs_per_thread: 44, binary_bytes: 29 * 1024, coalescing: 0.75, ..base },
+    );
+    db.set(
+        &vendor_key(KERNEL, Vendor::Amd),
+        Toolchain::ClangOpenmp,
+        CodegenInfo { regs_per_thread: 56, binary_bytes: 44 * 1024, coalescing: 0.50, ..base },
+    );
 }
 
 /// Run one program version on one system.
@@ -212,14 +244,17 @@ pub fn run(sys: System, version: ProgVersion, scale: WorkScale) -> RunOutcome {
             register_profiles(omp.codegen());
             let (a, b, c) = generate(omp.device(), n);
             let teams = (n as u32).div_ceil(BLOCK);
-            let prepared = omp.target(KERNEL).num_teams(teams).thread_limit(BLOCK).prepare_dpf(n, {
-                let (a, b, c) = (a.clone(), b.clone(), c.clone());
-                std::sync::Arc::new(
-                    move |tc: &mut ThreadCtx<'_>, i: usize, _s: &ompx_hostrt::target::Scratch| {
-                        site_mm(tc, i, &a, &b, &c);
-                    },
-                )
-            });
+            let prepared =
+                omp.target(KERNEL).num_teams(teams).thread_limit(BLOCK).prepare_dpf(n, {
+                    let (a, b, c) = (a.clone(), b.clone(), c.clone());
+                    std::sync::Arc::new(
+                        move |tc: &mut ThreadCtx<'_>,
+                              i: usize,
+                              _s: &ompx_hostrt::target::Scratch| {
+                            site_mm(tc, i, &a, &b, &c);
+                        },
+                    )
+                });
             let mut agg = ompx_sim::counters::StatsSnapshot::default();
             for _ in 0..iters {
                 agg = agg.merged(&prepared.execute().expect("omp launch").stats);
@@ -270,10 +305,14 @@ mod tests {
                     let mut re = 0.0f32;
                     let mut im = 0.0f32;
                     for k in 0..3 {
-                        let (are, aim) =
-                            (ha[site * MAT + (i * 3 + k) * 2], ha[site * MAT + (i * 3 + k) * 2 + 1]);
-                        let (bre, bim) =
-                            (hb[site * MAT + (k * 3 + j) * 2], hb[site * MAT + (k * 3 + j) * 2 + 1]);
+                        let (are, aim) = (
+                            ha[site * MAT + (i * 3 + k) * 2],
+                            ha[site * MAT + (i * 3 + k) * 2 + 1],
+                        );
+                        let (bre, bim) = (
+                            hb[site * MAT + (k * 3 + j) * 2],
+                            hb[site * MAT + (k * 3 + j) * 2 + 1],
+                        );
                         re += are * bre - aim * bim;
                         im += are * bim + aim * bre;
                     }

@@ -60,12 +60,9 @@ impl Params {
                 lookups: 8192,
                 paper_lookups: 17_000_000,
             },
-            WorkScale::Test => Params {
-                n_isotopes: 8,
-                n_gridpoints: 64,
-                lookups: 256,
-                paper_lookups: 17_000_000,
-            },
+            WorkScale::Test => {
+                Params { n_isotopes: 8, n_gridpoints: 64, lookups: 256, paper_lookups: 17_000_000 }
+            }
         }
     }
 
@@ -128,10 +125,7 @@ impl XsData {
 /// HeCBench/XSBench material mix: material 0 is fuel with the most
 /// nuclides; lookups are biased toward it like the real distribution.
 fn material_sizes(n_isotopes: usize) -> Vec<usize> {
-    [34usize, 12, 8, 6, 5, 4, 4, 3, 2, 2, 1, 1]
-        .iter()
-        .map(|&s| s.min(n_isotopes))
-        .collect()
+    [34usize, 12, 8, 6, 5, 4, 4, 3, 2, 2, 1, 1].iter().map(|&s| s.min(n_isotopes)).collect()
 }
 
 /// Generate the deterministic problem instance on `device`.
@@ -182,7 +176,8 @@ fn lookup_inputs(i: usize, n_mats: usize) -> (f64, usize) {
     let e = item_uniform(SEED ^ 0x44, i as u64);
     // Bias toward fuel (material 0) like XSBench's distribution.
     let pick = item_uniform(SEED ^ 0x55, i as u64);
-    let mat = if pick < 0.45 { 0 } else { 1 + (splitmix64(i as u64) % (n_mats as u64 - 1)) as usize };
+    let mat =
+        if pick < 0.45 { 0 } else { 1 + (splitmix64(i as u64) % (n_mats as u64 - 1)) as usize };
     (e, mat)
 }
 
@@ -245,15 +240,47 @@ fn register_profiles(db: &CodegenDb) {
         fp64_fraction: 1.0,
         ..CodegenInfo::default()
     };
-    db.set(KERNEL, Toolchain::Clang, CodegenInfo { regs_per_thread: 52, binary_bytes: 12 * 1024, ..base });
-    db.set(KERNEL, Toolchain::Nvcc, CodegenInfo { regs_per_thread: 52, binary_bytes: 11 * 1024, ..base });
-    db.set(KERNEL, Toolchain::Hipcc, CodegenInfo { regs_per_thread: 54, binary_bytes: 13 * 1024, ..base });
-    db.set(KERNEL, Toolchain::OmpxPrototype, CodegenInfo { regs_per_thread: 40, binary_bytes: 14 * 1024, ..base });
-    db.set(KERNEL, Toolchain::ClangOpenmp, CodegenInfo { regs_per_thread: 96, binary_bytes: 40 * 1024, ..base });
+    db.set(
+        KERNEL,
+        Toolchain::Clang,
+        CodegenInfo { regs_per_thread: 52, binary_bytes: 12 * 1024, ..base },
+    );
+    db.set(
+        KERNEL,
+        Toolchain::Nvcc,
+        CodegenInfo { regs_per_thread: 52, binary_bytes: 11 * 1024, ..base },
+    );
+    db.set(
+        KERNEL,
+        Toolchain::Hipcc,
+        CodegenInfo { regs_per_thread: 54, binary_bytes: 13 * 1024, ..base },
+    );
+    db.set(
+        KERNEL,
+        Toolchain::OmpxPrototype,
+        CodegenInfo { regs_per_thread: 40, binary_bytes: 14 * 1024, ..base },
+    );
+    db.set(
+        KERNEL,
+        Toolchain::ClangOpenmp,
+        CodegenInfo { regs_per_thread: 96, binary_bytes: 40 * 1024, ..base },
+    );
     // The AMD backend allocates noticeably more VGPRs (fp64 pairs).
-    db.set(&vendor_key(KERNEL, Vendor::Amd), Toolchain::Clang, CodegenInfo { regs_per_thread: 74, binary_bytes: 12 * 1024, ..base });
-    db.set(&vendor_key(KERNEL, Vendor::Amd), Toolchain::Hipcc, CodegenInfo { regs_per_thread: 76, binary_bytes: 13 * 1024, ..base });
-    db.set(&vendor_key(KERNEL, Vendor::Amd), Toolchain::OmpxPrototype, CodegenInfo { regs_per_thread: 48, binary_bytes: 14 * 1024, ..base });
+    db.set(
+        &vendor_key(KERNEL, Vendor::Amd),
+        Toolchain::Clang,
+        CodegenInfo { regs_per_thread: 74, binary_bytes: 12 * 1024, ..base },
+    );
+    db.set(
+        &vendor_key(KERNEL, Vendor::Amd),
+        Toolchain::Hipcc,
+        CodegenInfo { regs_per_thread: 76, binary_bytes: 13 * 1024, ..base },
+    );
+    db.set(
+        &vendor_key(KERNEL, Vendor::Amd),
+        Toolchain::OmpxPrototype,
+        CodegenInfo { regs_per_thread: 48, binary_bytes: 14 * 1024, ..base },
+    );
 }
 
 /// Run one program version on one system.
@@ -299,10 +326,8 @@ pub fn run(sys: System, version: ProgVersion, scale: WorkScale) -> RunOutcome {
             let data = generate(omp.device(), params);
             let out = omp.device().alloc::<f64>(n);
             let teams = (n as u32).div_ceil(BLOCK);
-            let prepared = BareTarget::new(&omp, KERNEL)
-                .num_teams([teams])
-                .thread_limit([BLOCK])
-                .prepare({
+            let prepared =
+                BareTarget::new(&omp, KERNEL).num_teams([teams]).thread_limit([BLOCK]).prepare({
                     let (data, out) = (data.clone(), out.clone());
                     move |tc| {
                         let i = tc.global_thread_id_x();
@@ -331,14 +356,13 @@ pub fn run(sys: System, version: ProgVersion, scale: WorkScale) -> RunOutcome {
             let data = generate(omp.device(), params);
             let out = omp.device().alloc::<f64>(n);
             let teams = (n as u32).div_ceil(BLOCK);
-            let prepared = omp
-                .target(KERNEL)
-                .num_teams(teams)
-                .thread_limit(BLOCK)
-                .prepare_dpf(n, {
+            let prepared =
+                omp.target(KERNEL).num_teams(teams).thread_limit(BLOCK).prepare_dpf(n, {
                     let (data, out) = (data.clone(), out.clone());
                     std::sync::Arc::new(
-                        move |tc: &mut ThreadCtx<'_>, i: usize, _s: &ompx_hostrt::target::Scratch| {
+                        move |tc: &mut ThreadCtx<'_>,
+                              i: usize,
+                              _s: &ompx_hostrt::target::Scratch| {
                             let v = lookup_one(tc, i, &data);
                             tc.write(&out, i, v);
                         },
@@ -354,10 +378,10 @@ pub fn run(sys: System, version: ProgVersion, scale: WorkScale) -> RunOutcome {
                 kernel_model: modeled,
                 stats: scaled,
                 excluded: r.plan.invalid_result,
-                note: r
-                    .plan
-                    .invalid_result
-                    .then(|| "excluded in the paper: LLVM OpenMP version reported an invalid checksum".to_string()),
+                note: r.plan.invalid_result.then(|| {
+                    "excluded in the paper: LLVM OpenMP version reported an invalid checksum"
+                        .to_string()
+                }),
             }
         }
     }

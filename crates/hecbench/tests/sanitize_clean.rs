@@ -1,0 +1,52 @@
+//! Clean-run suite: every HeCBench app × program-version cell must produce
+//! zero sanitizer findings with every tool enabled. The apps are the
+//! correctness baseline of the evaluation — a finding here is either a bug
+//! in an app port or a false positive in a tool, and both block CI.
+
+use ompx_hecbench::{run_app_sanitized, ProgVersion, System, WorkScale, APP_NAMES};
+use ompx_sim::san::ToolMask;
+
+fn assert_clean(app: &str, sys: System, version: ProgVersion) {
+    let (outcome, findings) =
+        ompx_hecbench::common::run_app_sanitized(app, sys, version, WorkScale::Test, ToolMask::ALL);
+    assert!(
+        findings.is_empty(),
+        "{app}/{} on {}: {} finding(s), first: {}",
+        outcome.label,
+        sys.label(),
+        findings.len(),
+        findings[0]
+    );
+}
+
+#[test]
+fn all_24_app_version_cells_are_clean_under_every_tool() {
+    for app in APP_NAMES {
+        for version in ProgVersion::all() {
+            assert_clean(app, System::Nvidia, version);
+        }
+    }
+}
+
+#[test]
+fn amd_spot_check_cells_are_clean_under_every_tool() {
+    for app in ["stencil", "rsbench"] {
+        for version in [ProgVersion::Ompx, ProgVersion::Omp] {
+            assert_clean(app, System::Amd, version);
+        }
+    }
+}
+
+#[test]
+fn sanitized_run_reproduces_the_unsanitized_checksum() {
+    let plain = ompx_hecbench::run_app("adam", System::Nvidia, ProgVersion::Ompx, WorkScale::Test);
+    let (sanitized, findings) = run_app_sanitized(
+        "adam",
+        System::Nvidia,
+        ProgVersion::Ompx,
+        WorkScale::Test,
+        ToolMask::ALL,
+    );
+    assert!(findings.is_empty());
+    assert_eq!(plain.checksum, sanitized.checksum, "observation must not perturb results");
+}

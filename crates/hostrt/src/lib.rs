@@ -24,6 +24,7 @@ pub mod interop;
 pub mod mapping;
 pub mod quirks;
 pub mod runtime;
+pub mod sanitizer;
 pub mod target;
 pub mod task;
 
@@ -33,5 +34,8 @@ pub use interop::InteropObj;
 pub use mapping::DataEnv;
 pub use quirks::{KnownIssues, QuirkSet};
 pub use runtime::OpenMp;
+pub use sanitizer::{
+    ompx_sanitizer_attach, ompx_sanitizer_disable, ompx_sanitizer_enable, ompx_sanitizer_findings,
+};
 pub use target::{LaunchPlan, ScratchSpec, TargetRegion, TargetResult};
 pub use task::{DepKey, TaskHandle};

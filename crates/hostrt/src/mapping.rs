@@ -200,11 +200,56 @@ impl DataEnv {
         self.charge_transfer(std::mem::size_of_val(&dst[..]));
     }
 
-    present_impl!(f32, F32, map_to_f32, map_from_f32, map_release_f32, update_to_f32, update_from_f32, present_f32);
-    present_impl!(f64, F64, map_to_f64, map_from_f64, map_release_f64, update_to_f64, update_from_f64, present_f64);
-    present_impl!(u32, U32, map_to_u32, map_from_u32, map_release_u32, update_to_u32, update_from_u32, present_u32);
-    present_impl!(u64, U64, map_to_u64, map_from_u64, map_release_u64, update_to_u64, update_from_u64, present_u64);
-    present_impl!(i32, I32, map_to_i32, map_from_i32, map_release_i32, update_to_i32, update_from_i32, present_i32);
+    present_impl!(
+        f32,
+        F32,
+        map_to_f32,
+        map_from_f32,
+        map_release_f32,
+        update_to_f32,
+        update_from_f32,
+        present_f32
+    );
+    present_impl!(
+        f64,
+        F64,
+        map_to_f64,
+        map_from_f64,
+        map_release_f64,
+        update_to_f64,
+        update_from_f64,
+        present_f64
+    );
+    present_impl!(
+        u32,
+        U32,
+        map_to_u32,
+        map_from_u32,
+        map_release_u32,
+        update_to_u32,
+        update_from_u32,
+        present_u32
+    );
+    present_impl!(
+        u64,
+        U64,
+        map_to_u64,
+        map_from_u64,
+        map_release_u64,
+        update_to_u64,
+        update_from_u64,
+        present_u64
+    );
+    present_impl!(
+        i32,
+        I32,
+        map_to_i32,
+        map_from_i32,
+        map_release_i32,
+        update_to_i32,
+        update_from_i32,
+        present_i32
+    );
 }
 
 #[cfg(test)]

@@ -50,10 +50,7 @@ impl KnownIssues {
     /// The registry describing LLVM/Clang as evaluated by the paper.
     pub fn llvm_as_evaluated() -> Self {
         let k = Self::new();
-        k.set(
-            "adam",
-            QuirkSet { thread_cap: Some(32), force_generic: true, ..Default::default() },
-        );
+        k.set("adam", QuirkSet { thread_cap: Some(32), force_generic: true, ..Default::default() });
         k.set("stencil1d", QuirkSet { force_generic: true, ..Default::default() });
         k.set("rsbench_lookup", QuirkSet { heap_to_shared: true, ..Default::default() });
         k.set("xsbench_lookup", QuirkSet { invalid_result: true, ..Default::default() });

@@ -102,8 +102,8 @@ impl OpenMp {
     /// Attach additional devices (a multi-GPU node). The default device
     /// keeps logical number 0; the attached devices are 1..=n.
     pub fn with_extra_devices(mut self, extra: Vec<Device>) -> Self {
-        let inner = Arc::get_mut(&mut self.inner)
-            .expect("attach extra devices before cloning the runtime");
+        let inner =
+            Arc::get_mut(&mut self.inner).expect("attach extra devices before cloning the runtime");
         inner.extra_devices = extra;
         self
     }
@@ -193,12 +193,7 @@ impl OpenMp {
 
 impl std::fmt::Debug for OpenMp {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "OpenMp({}, {})",
-            self.inner.device.profile().name,
-            self.inner.toolchain.label()
-        )
+        write!(f, "OpenMp({}, {})", self.inner.device.profile().name, self.inner.toolchain.label())
     }
 }
 

@@ -1,0 +1,73 @@
+//! `ompx_sanitizer_*`: the host-API surface of the sanitizer subsystem.
+//!
+//! The paper's `ompx` extensions expose kernel-language features as host and
+//! device APIs; the sanitizer follows the same pattern. These entry points
+//! attach/detach a `ompx_sim::san::SanState` session on the runtime's
+//! devices, so traditional `omp` target regions (and everything else that
+//! launches through those devices) are observed without touching program
+//! code. The full tool framework — named tools, reports, exit codes — lives
+//! in the `ompx-sanitizer` crate; this module deliberately talks to the
+//! simulator hooks directly so the host runtime does not depend on its own
+//! tooling.
+
+use crate::runtime::OpenMp;
+use ompx_sim::san::{Diagnostic, SanState, ToolMask};
+use std::sync::Arc;
+
+/// Enable sanitizing on every device of `omp` with the tools in `mask`,
+/// returning the shared session state. Replaces any previous session.
+pub fn ompx_sanitizer_enable(omp: &OpenMp, mask: ToolMask) -> Arc<SanState> {
+    let state = SanState::new(mask);
+    for n in 0..omp.num_devices() {
+        omp.device_n(n).attach_sanitizer(Arc::clone(&state));
+    }
+    state
+}
+
+/// Attach an existing session to every device of `omp` (e.g. one shared
+/// with a native context so all launch layers report into one report).
+pub fn ompx_sanitizer_attach(omp: &OpenMp, state: &Arc<SanState>) {
+    for n in 0..omp.num_devices() {
+        omp.device_n(n).attach_sanitizer(Arc::clone(state));
+    }
+}
+
+/// Detach the session from every device and return its findings.
+pub fn ompx_sanitizer_disable(omp: &OpenMp) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut seen_session = false;
+    for n in 0..omp.num_devices() {
+        if let Some(state) = omp.device_n(n).detach_sanitizer() {
+            // All devices share one session when enabled through this API;
+            // drain it only once.
+            if !seen_session {
+                out = state.diagnostics();
+                seen_session = true;
+            }
+        }
+    }
+    out
+}
+
+/// Findings recorded so far on the default device's session, without
+/// detaching (the `ompx_sanitizer_findings` query).
+pub fn ompx_sanitizer_findings(omp: &OpenMp) -> Vec<Diagnostic> {
+    omp.device().sanitizer().map(|s| s.diagnostics()).unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enable_query_disable_roundtrip() {
+        let omp = OpenMp::test_system();
+        let state = ompx_sanitizer_enable(&omp, ToolMask::ALL);
+        assert!(omp.device().sanitizer().is_some());
+        assert_eq!(state.finding_count(), 0);
+        assert!(ompx_sanitizer_findings(&omp).is_empty());
+        let findings = ompx_sanitizer_disable(&omp);
+        assert!(findings.is_empty());
+        assert!(omp.device().sanitizer().is_none());
+    }
+}

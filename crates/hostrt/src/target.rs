@@ -718,11 +718,8 @@ mod tests {
         let omp = OpenMp::test_system();
         let n = 100;
         // reduction(+:) with if(false): host execution, same value.
-        let (sum, r) = omp
-            .target("host_reduce")
-            .when(false)
-            .run_reduce_sum(n, |_tc, i| i as f64)
-            .unwrap();
+        let (sum, r) =
+            omp.target("host_reduce").when(false).run_reduce_sum(n, |_tc, i| i as f64).unwrap();
         assert_eq!(sum, (0..n).map(|i| i as f64).sum::<f64>());
         assert_eq!(r.plan.mode, ExecMode::Host);
 
@@ -767,27 +764,19 @@ mod tests {
         let key = DepKey::token(42);
         // Producer writes i, consumer doubles it; depend(out) then
         // depend(in) must order them.
-        let t1 = omp.target("producer").num_teams(2).thread_limit(16).run_dpf_nowait(
-            &[],
-            &[key],
-            n,
-            {
+        let t1 =
+            omp.target("producer").num_teams(2).thread_limit(16).run_dpf_nowait(&[], &[key], n, {
                 let buf = buf.clone();
                 move |tc, i, _s| tc.write(&buf, i, i as f32)
-            },
-        );
-        let t2 = omp.target("consumer").num_teams(2).thread_limit(16).run_dpf_nowait(
-            &[key],
-            &[],
-            n,
-            {
+            });
+        let t2 =
+            omp.target("consumer").num_teams(2).thread_limit(16).run_dpf_nowait(&[key], &[], n, {
                 let buf = buf.clone();
                 move |tc, i, _s| {
                     let v = tc.read(&buf, i);
                     tc.write(&buf, i, v * 2.0);
                 }
-            },
-        );
+            });
         t1.wait().unwrap();
         t2.wait().unwrap();
         omp.taskwait();

@@ -139,7 +139,11 @@ impl TaskSystem {
         }
         st.tasks.insert(
             id,
-            TaskRecord { remaining_deps: remaining, dependents: Vec::new(), work: Some(Box::new(work)) },
+            TaskRecord {
+                remaining_deps: remaining,
+                dependents: Vec::new(),
+                work: Some(Box::new(work)),
+            },
         );
         if remaining == 0 {
             st.ready.push_back(id);
@@ -198,8 +202,7 @@ fn helper_loop(inner: &TsInner) {
         // panic is reported on stderr by the default hook; OpenMP's own
         // model would abort the whole program here, which would be worse
         // for a simulator host).
-        let panicked =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(work)).is_err();
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(work)).is_err();
         let mut st = inner.state.lock();
         if panicked {
             st.panicked.insert(id);

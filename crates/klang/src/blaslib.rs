@@ -87,7 +87,12 @@ pub fn saxpy(
 /// Implemented the way the vendor libraries do it: a grid-wide reduction
 /// into a single accumulator via per-block partial sums and one atomic per
 /// block.
-pub fn sdot(vendor: BlasVendor, ctx: &NativeCtx, x: &DBuf<f32>, y: &DBuf<f32>) -> (f64, LaunchResult) {
+pub fn sdot(
+    vendor: BlasVendor,
+    ctx: &NativeCtx,
+    x: &DBuf<f32>,
+    y: &DBuf<f32>,
+) -> (f64, LaunchResult) {
     let func = format!("{}Sdot", vendor.prefix());
     vendor.expect_ctx(ctx, &func);
     let n = x.len().min(y.len());
@@ -158,10 +163,7 @@ pub fn sgemm(
             }
         }
     });
-    let grid = Dim3::xy(
-        (n as u32).div_ceil(TILE).max(1),
-        (m as u32).div_ceil(TILE).max(1),
-    );
+    let grid = Dim3::xy((n as u32).div_ceil(TILE).max(1), (m as u32).div_ceil(TILE).max(1));
     ctx.launch_cfg(&k, LaunchConfig::new(grid, Dim3::xy(TILE, TILE))).expect("sgemm launch")
 }
 

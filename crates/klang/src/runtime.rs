@@ -81,6 +81,25 @@ impl NativeCtx {
         &self.inner.codegen
     }
 
+    // ---- sanitizer (compute-sanitizer / ompx-sanitizer) -------------------
+
+    /// Attach a sanitizer session to this context's device: every
+    /// subsequent launch and allocation is observed. The thin wrapper of
+    /// running a CUDA/HIP binary under `compute-sanitizer`.
+    pub fn sanitizer_attach(&self, state: std::sync::Arc<ompx_sim::san::SanState>) {
+        self.inner.device.attach_sanitizer(state);
+    }
+
+    /// Detach the session, returning it with its findings.
+    pub fn sanitizer_detach(&self) -> Option<std::sync::Arc<ompx_sim::san::SanState>> {
+        self.inner.device.detach_sanitizer()
+    }
+
+    /// Findings recorded so far, without detaching.
+    pub fn sanitizer_findings(&self) -> Vec<ompx_sim::san::Diagnostic> {
+        self.inner.device.sanitizer().map(|s| s.diagnostics()).unwrap_or_default()
+    }
+
     // ---- memory management (cudaMalloc / cudaMemcpy / cudaFree) ----------
 
     /// `cudaMalloc`: allocate `n` zero-initialized elements.

@@ -1,0 +1,196 @@
+//! Deliberately-buggy fixture kernels, one per diagnostic the tools can
+//! raise. Each fixture builds a tiny device, attaches exactly the tool that
+//! should catch the bug, runs a kernel (or allocation sequence) containing
+//! it, and returns the report. They serve three purposes: regression tests
+//! that every tool actually fires, executable documentation of what each
+//! tool looks for, and demo targets for the `sanitize` CLI
+//! (`sanitize --tool memcheck --fixture oob-write`).
+//!
+//! The bugs mirror the classic `compute-sanitizer` demo kernels: an
+//! off-the-end write, a read through a freed pointer, a type-punned
+//! misaligned load, missing `__syncthreads()` races, a cross-block
+//! accumulation without atomics, divergent barriers, a `__shfl_sync` mask
+//! that omits callers, reads of `cudaMalloc`'d garbage, and an allocation
+//! never freed before `cudaDeviceReset`.
+
+use crate::{Report, Sanitizer, Tool};
+use ompx_sim::prelude::*;
+use ompx_sim::san::DiagKind;
+
+fn device() -> Device {
+    Device::new(DeviceProfile::test_small())
+}
+
+/// memcheck: the grid overhangs the buffer and the last threads write past
+/// the end (`buf[gid]` with `gid >= len`).
+pub fn oob_write() -> Report {
+    let dev = device();
+    let session = Sanitizer::attach(&dev, &[Tool::Memcheck]);
+    let buf = dev.alloc_labeled::<u32>(4, "undersized");
+    let k = Kernel::new("fixture_oob_write", {
+        let buf = buf.clone();
+        move |ctx: &mut ThreadCtx| {
+            let gid = ctx.global_thread_id_x();
+            ctx.write(&buf, gid, gid as u32); // gids 4..8 run off the end
+        }
+    });
+    dev.launch(&k, LaunchConfig::linear(8, 4)).unwrap();
+    session.finish()
+}
+
+/// memcheck: the host frees the buffer, then a kernel still reads it.
+pub fn use_after_free() -> Report {
+    let dev = device();
+    let session = Sanitizer::attach(&dev, &[Tool::Memcheck]);
+    let buf = dev.alloc_labeled::<f32>(4, "freed-early");
+    dev.free(&buf);
+    let k = Kernel::new("fixture_use_after_free", {
+        let buf = buf.clone();
+        move |ctx: &mut ThreadCtx| {
+            let gid = ctx.global_thread_id_x();
+            let _ = ctx.read(&buf, gid % 4);
+        }
+    });
+    dev.launch(&k, LaunchConfig::linear(4, 4)).unwrap();
+    session.finish()
+}
+
+/// memcheck: a type-punned load `*(double*)((char*)p + 4)` that breaks
+/// `f64` alignment — a fault on real hardware.
+pub fn misaligned_read() -> Report {
+    let dev = device();
+    let session = Sanitizer::attach(&dev, &[Tool::Memcheck]);
+    let buf = dev.alloc_labeled::<f64>(4, "punned");
+    let k = Kernel::new("fixture_misaligned_read", {
+        let buf = buf.clone();
+        move |ctx: &mut ThreadCtx| {
+            let _ = ctx.read_at_bytes::<f64>(&buf, 4);
+        }
+    });
+    dev.launch(&k, LaunchConfig::linear(1, 1)).unwrap();
+    session.finish()
+}
+
+/// racecheck: every thread of the block writes the same shared cell in the
+/// same barrier epoch — the missing-`sync_threads` reduction bug.
+pub fn shared_race() -> Report {
+    let dev = device();
+    let session = Sanitizer::attach(&dev, &[Tool::Racecheck]);
+    let cfg = LaunchConfig::linear(4, 4).with_shared_array::<u32>(1);
+    let k = Kernel::new("fixture_shared_race", move |ctx: &mut ThreadCtx| {
+        let tile = ctx.shared::<u32>(0);
+        ctx.swrite(&tile, 0, ctx.thread_id_x() as u32);
+    });
+    dev.launch(&k, cfg).unwrap();
+    session.finish()
+}
+
+/// racecheck: two blocks accumulate into the same global cell with plain
+/// writes instead of atomics — the cross-block histogram bug.
+pub fn global_race() -> Report {
+    let dev = device();
+    let session = Sanitizer::attach(&dev, &[Tool::Racecheck]);
+    let buf = dev.alloc_labeled::<u32>(1, "histogram");
+    let k = Kernel::new("fixture_global_race", {
+        let buf = buf.clone();
+        move |ctx: &mut ThreadCtx| {
+            let old = ctx.read(&buf, 0);
+            ctx.write(&buf, 0, old + 1); // should be ctx.atomic_add
+        }
+    });
+    dev.launch(&k, LaunchConfig::linear(2, 1)).unwrap();
+    session.finish()
+}
+
+/// synccheck: half the block takes an extra `sync_threads` the other half
+/// never reaches — barrier divergence (a hang on real hardware).
+pub fn barrier_divergence() -> Report {
+    let dev = device();
+    let session = Sanitizer::attach(&dev, &[Tool::Synccheck]);
+    let k = Kernel::new("fixture_barrier_divergence", move |ctx: &mut ThreadCtx| {
+        ctx.sync_threads();
+        if ctx.thread_id_x() >= 2 {
+            ctx.sync_threads(); // lanes 0..2 never arrive here
+        }
+    })
+    .with_block_sync();
+    dev.launch(&k, LaunchConfig::linear(4, 4)).unwrap();
+    session.finish()
+}
+
+/// synccheck: a `shfl_sync` member mask naming only lane 0 while every lane
+/// of the warp participates — undefined behaviour on real hardware.
+pub fn invalid_shfl_mask() -> Report {
+    let dev = device();
+    let session = Sanitizer::attach(&dev, &[Tool::Synccheck]);
+    let k = Kernel::new("fixture_invalid_shfl_mask", move |ctx: &mut ThreadCtx| {
+        let v = ctx.thread_id_x() as u32;
+        let _ = ctx.shfl_masked(0b0001, v, 0); // lanes 1..4 are not members
+    })
+    .with_warp_ops();
+    dev.launch(&k, LaunchConfig::linear(4, 4)).unwrap();
+    session.finish()
+}
+
+/// initcheck: the kernel reads an `alloc_uninit` buffer (the `cudaMalloc`
+/// analogue) that no one ever wrote.
+pub fn uninit_global_read() -> Report {
+    let dev = device();
+    let session = Sanitizer::attach(&dev, &[Tool::Initcheck]);
+    let buf = dev.alloc_uninit::<f32>(4);
+    let k = Kernel::new("fixture_uninit_global_read", {
+        let buf = buf.clone();
+        move |ctx: &mut ThreadCtx| {
+            let gid = ctx.global_thread_id_x();
+            let _ = ctx.read(&buf, gid);
+        }
+    });
+    dev.launch(&k, LaunchConfig::linear(4, 4)).unwrap();
+    session.finish()
+}
+
+/// initcheck: the kernel reads a shared-memory tile before any thread has
+/// filled it (shared memory is undefined at block start).
+pub fn uninit_shared_read() -> Report {
+    let dev = device();
+    let session = Sanitizer::attach(&dev, &[Tool::Initcheck]);
+    let cfg = LaunchConfig::linear(4, 4).with_shared_array::<f32>(4);
+    let k = Kernel::new("fixture_uninit_shared_read", move |ctx: &mut ThreadCtx| {
+        let tile = ctx.shared::<f32>(0);
+        let _ = ctx.sread(&tile, ctx.thread_id_x());
+    });
+    dev.launch(&k, cfg).unwrap();
+    session.finish()
+}
+
+/// leakcheck: an allocation is still live when the device is reset
+/// (`cudaDeviceReset` with an outstanding `cudaMalloc`).
+pub fn leak() -> Report {
+    let dev = device();
+    let session = Sanitizer::attach(&dev, &[Tool::Leakcheck]);
+    let _buf = dev.alloc_labeled::<f64>(16, "never-freed");
+    dev.reset();
+    session.finish()
+}
+
+/// One fixture entry: (CLI name, runner, the diagnostic it must raise).
+pub type Fixture = (&'static str, fn() -> Report, DiagKind);
+
+/// Every fixture.
+pub const ALL: [Fixture; 10] = [
+    ("oob-write", oob_write, DiagKind::OutOfBounds),
+    ("use-after-free", use_after_free, DiagKind::UseAfterFree),
+    ("misaligned-read", misaligned_read, DiagKind::MisalignedAccess),
+    ("shared-race", shared_race, DiagKind::SharedRace),
+    ("global-race", global_race, DiagKind::GlobalRace),
+    ("barrier-divergence", barrier_divergence, DiagKind::BarrierDivergence),
+    ("invalid-shfl-mask", invalid_shfl_mask, DiagKind::InvalidShflMask),
+    ("uninit-global-read", uninit_global_read, DiagKind::UninitGlobalRead),
+    ("uninit-shared-read", uninit_shared_read, DiagKind::UninitSharedRead),
+    ("leak", leak, DiagKind::DeviceLeak),
+];
+
+/// Look up a fixture by its CLI name.
+pub fn by_name(name: &str) -> Option<(fn() -> Report, DiagKind)> {
+    ALL.iter().find(|(n, _, _)| *n == name).map(|(_, f, k)| (*f, *k))
+}

@@ -1,0 +1,77 @@
+//! Every fixture kernel raises the diagnostic its tool exists to find, and
+//! nothing from any other tool (each fixture attaches only its own tool).
+
+use ompx_sanitizer::{fixtures, DiagKind, Report};
+
+fn kinds(report: &Report) -> Vec<DiagKind> {
+    report.diagnostics().iter().map(|d| d.kind).collect()
+}
+
+#[test]
+fn each_fixture_raises_its_diagnostic() {
+    for (name, run, expected) in fixtures::ALL {
+        let report = run();
+        assert!(
+            kinds(&report).contains(&expected),
+            "fixture {name}: expected {expected:?}, got {:?}\n{}",
+            kinds(&report),
+            report.to_text()
+        );
+        assert_ne!(report.exit_code(), 0, "fixture {name} must fail CI");
+        let tool = expected.tool();
+        for d in report.diagnostics() {
+            assert_eq!(d.kind.tool(), tool, "fixture {name} leaked a {:?}", d.kind);
+        }
+    }
+}
+
+#[test]
+fn fixture_lookup_by_cli_name() {
+    let (run, expected) = fixtures::by_name("oob-write").unwrap();
+    let report = run();
+    assert!(kinds(&report).contains(&expected));
+    assert!(fixtures::by_name("not-a-fixture").is_none());
+}
+
+#[test]
+fn oob_write_reports_coordinates_and_allocation() {
+    let report = fixtures::oob_write();
+    let d = &report.diagnostics()[0];
+    assert_eq!(d.kind, DiagKind::OutOfBounds);
+    assert_eq!(d.kernel, "fixture_oob_write");
+    assert_eq!(d.alloc.as_deref(), Some("undersized"));
+    assert!(d.address.is_some());
+    assert!(d.message.contains("past the end"), "message: {}", d.message);
+    // The overhanging block is block 1 — compute-sanitizer-style coords.
+    assert_eq!(d.block.0, 1);
+}
+
+#[test]
+fn barrier_divergence_flags_only_the_short_lanes() {
+    let report = fixtures::barrier_divergence();
+    assert!(!report.is_empty());
+    for d in report.diagnostics() {
+        assert_eq!(d.kind, DiagKind::BarrierDivergence);
+        // Lanes 0 and 1 exit after one barrier; lanes 2 and 3 reach both.
+        assert!(d.thread.0 < 2, "flagged thread {:?} is not divergent", d.thread);
+    }
+}
+
+#[test]
+fn leak_report_names_the_allocation() {
+    let report = fixtures::leak();
+    assert_eq!(report.len(), 1);
+    let d = &report.diagnostics()[0];
+    assert_eq!(d.kind, DiagKind::DeviceLeak);
+    assert_eq!(d.alloc.as_deref(), Some("never-freed"));
+    assert!(d.message.contains("128"), "16 f64s = 128 bytes: {}", d.message);
+}
+
+#[test]
+fn json_export_round_trips_fixture_findings() {
+    let report = fixtures::use_after_free();
+    let json = report.to_json();
+    assert!(json.contains("\"tool\": \"memcheck\""));
+    assert!(json.contains("\"kernel\": \"fixture_use_after_free\""));
+    assert!(json.contains("\"exit_code\": 1"));
+}

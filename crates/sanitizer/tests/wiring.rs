@@ -1,0 +1,128 @@
+//! The sanitizer hooks live at the device/executor layer, so one session
+//! observes every launch path. These tests drive a buggy kernel through
+//! each stack — ompx-klang chevron launches, ompx-hostrt target regions
+//! (lowered via ompx-devicert), and ompx-core bare launches — and check
+//! the findings arrive with correct attribution.
+
+use ompx_hostrt::{ompx_sanitizer_disable, ompx_sanitizer_enable, OpenMp};
+use ompx_sanitizer::{DiagKind, SanState, ToolMask};
+use ompx_sim::prelude::*;
+use ompx_sim::san::Diagnostic;
+use std::sync::Arc;
+
+fn has(findings: &[Diagnostic], kind: DiagKind) -> bool {
+    findings.iter().any(|d| d.kind == kind)
+}
+
+#[test]
+fn klang_chevron_launch_reports_oob() {
+    let ctx = ompx_klang::cuda::cuda_context_clang();
+    let state = SanState::new(ToolMask::MEMCHECK);
+    ctx.sanitizer_attach(Arc::clone(&state));
+    let buf = ctx.malloc::<u32>(4);
+    let k = Kernel::new("klang_oob", {
+        let buf = buf.clone();
+        move |tc: &mut ThreadCtx| {
+            let gid = tc.global_thread_id_x();
+            tc.write(&buf, gid + 2, 7);
+        }
+    });
+    ctx.launch(&k, 1u32, 8u32).unwrap();
+    let findings = ctx.sanitizer_findings();
+    assert!(has(&findings, DiagKind::OutOfBounds), "{findings:?}");
+    assert!(findings.iter().all(|d| d.kernel == "klang_oob"));
+    assert!(ctx.sanitizer_detach().is_some());
+}
+
+#[test]
+fn target_region_reports_oob_through_devicert_lowering() {
+    let omp = OpenMp::test_system();
+    ompx_sanitizer_enable(&omp, ToolMask::MEMCHECK);
+    let buf = omp.device().alloc::<f64>(4);
+    omp.target("omp_oob")
+        .num_teams(2)
+        .thread_limit(4)
+        .run_distribute_parallel_for(8, {
+            let buf = buf.clone();
+            move |tc, i, _scratch| tc.write(&buf, i + 2, 1.0)
+        })
+        .unwrap();
+    let findings = ompx_sanitizer_disable(&omp);
+    assert!(has(&findings, DiagKind::OutOfBounds), "{findings:?}");
+    assert!(omp.device().sanitizer().is_none());
+}
+
+#[test]
+fn bare_launch_reports_through_host_api_session() {
+    let omp = ompx::runtime_nvidia();
+    ompx_sanitizer_enable(&omp, ToolMask::MEMCHECK);
+    let buf = omp.device().alloc::<u32>(4);
+    ompx::BareTarget::new(&omp, "bare_oob")
+        .num_teams([2u32])
+        .thread_limit([4u32])
+        .launch({
+            let buf = buf.clone();
+            move |tc| {
+                let gid = tc.global_thread_id_x();
+                tc.write(&buf, gid, 1);
+            }
+        })
+        .unwrap();
+    let findings = ompx_sanitizer_disable(&omp);
+    assert!(has(&findings, DiagKind::OutOfBounds), "{findings:?}");
+    let d = findings.iter().find(|d| d.kind == DiagKind::OutOfBounds).unwrap();
+    assert_eq!(d.kernel, "bare_oob");
+    assert_eq!(d.block.0, 1, "only the second block overhangs");
+}
+
+/// Deprecation shim: the legacy per-launch `racecheck()` flag predates the
+/// sanitizer. Without a session it still aborts the launch (covered by the
+/// core crate's `should_panic` test); with a racecheck session attached the
+/// same race is recorded as a structured finding and the launch completes.
+#[test]
+fn legacy_racecheck_flag_records_into_session_instead_of_panicking() {
+    let omp = ompx::runtime_nvidia();
+    ompx_sanitizer_enable(&omp, ToolMask::RACECHECK);
+    let mut bt = ompx::BareTarget::new(&omp, "legacy_race")
+        .num_teams([1u32])
+        .thread_limit([4u32])
+        .racecheck();
+    let slot = bt.shared_array::<u32>(1);
+    bt.launch(move |tc| {
+        let tile = tc.shared::<u32>(slot);
+        tc.swrite(&tile, 0, tc.thread_id_x() as u32); // no panic under session
+    })
+    .unwrap();
+    let findings = ompx_sanitizer_disable(&omp);
+    assert!(has(&findings, DiagKind::SharedRace), "{findings:?}");
+}
+
+/// One session shared across layers: a native context and an OpenMP
+/// runtime on different devices report into the same report.
+#[test]
+fn one_session_spans_native_and_openmp_launches() {
+    let state = SanState::new(ToolMask::MEMCHECK);
+    let ctx = ompx_klang::hip::hip_context_clang();
+    ctx.sanitizer_attach(Arc::clone(&state));
+    let omp = OpenMp::test_system();
+    ompx_hostrt::ompx_sanitizer_attach(&omp, &state);
+
+    let nbuf = ctx.malloc::<u32>(2);
+    let k = Kernel::new("native_half", {
+        let nbuf = nbuf.clone();
+        move |tc: &mut ThreadCtx| tc.write(&nbuf, tc.global_thread_id_x() + 1, 1)
+    });
+    ctx.launch(&k, 1u32, 2u32).unwrap();
+
+    let obuf = omp.device().alloc::<f64>(2);
+    omp.target("omp_half")
+        .run_distribute_parallel_for(4, {
+            let obuf = obuf.clone();
+            move |tc, i, _s| tc.write(&obuf, i, 0.0)
+        })
+        .unwrap();
+
+    let kernels: Vec<_> = state.diagnostics().iter().map(|d| d.kernel.clone()).collect();
+    assert!(kernels.iter().any(|k| k == "native_half"), "{kernels:?}");
+    assert!(kernels.iter().any(|k| k.contains("omp_half")), "{kernels:?}");
+}

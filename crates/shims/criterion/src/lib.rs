@@ -50,11 +50,7 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
-        let label = if id.is_empty() {
-            self.name.clone()
-        } else {
-            format!("{}/{}", self.name, id)
-        };
+        let label = if id.is_empty() { self.name.clone() } else { format!("{}/{}", self.name, id) };
         let mut bencher = Bencher { best: Duration::MAX, iters: 0 };
         for _ in 0..self.sample_size {
             f(&mut bencher);

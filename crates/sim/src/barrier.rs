@@ -118,16 +118,22 @@ impl RetireBarrier {
     }
 
     /// Permanently stop participating. If this retirement completes the
-    /// current phase, the waiting lanes are released.
-    pub fn retire(&self) {
+    /// current phase, the waiting lanes are released; their count is
+    /// returned (zero otherwise). A non-zero return means lanes were
+    /// parked mid-`sync_threads` when this lane exited the kernel — the
+    /// signature synccheck uses to flag barrier divergence.
+    pub fn retire(&self) -> usize {
         let mut st = self.state.lock();
         debug_assert!(st.active > 0, "retire on an empty barrier");
         st.active -= 1;
         if st.active > 0 && st.arrived >= st.active {
+            let released = st.arrived;
             st.arrived = 0;
             st.phase += 1;
             self.cv.notify_all();
+            return released;
         }
+        0
     }
 
     /// Number of still-active participants.

@@ -7,11 +7,12 @@
 //! and the *timing model* (SM count, clock, bandwidth, register file,
 //! occupancy limits — see [`crate::timing`]).
 
+use crate::counters::StatsSnapshot;
 use crate::dim::LaunchConfig;
 use crate::error::{SimError, SimResult};
 use crate::exec::{self, Kernel};
 use crate::mem::{DBuf, DeviceScalar};
-use crate::counters::StatsSnapshot;
+use crate::san::{LaunchSan, SanState};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -210,6 +211,9 @@ pub(crate) struct DeviceInner {
     pub(crate) streams: Mutex<Vec<Weak<crate::stream::StreamInner>>>,
     trace: crate::trace::Trace,
     trace_enabled: std::sync::atomic::AtomicBool,
+    /// Attached sanitizer session, if any. All launches and allocations on
+    /// this device report into it while attached.
+    sanitizer: Mutex<Option<Arc<SanState>>>,
 }
 
 static NEXT_DEVICE_ID: AtomicUsize = AtomicUsize::new(0);
@@ -232,8 +236,26 @@ impl Device {
                 streams: Mutex::new(Vec::new()),
                 trace: crate::trace::Trace::new(),
                 trace_enabled: std::sync::atomic::AtomicBool::new(false),
+                sanitizer: Mutex::new(None),
             }),
         }
+    }
+
+    /// Attach a sanitizer session: subsequent launches and allocations on
+    /// this device report into `state` until [`Device::detach_sanitizer`].
+    /// Replaces any previously attached session.
+    pub fn attach_sanitizer(&self, state: Arc<SanState>) {
+        *self.inner.sanitizer.lock() = Some(state);
+    }
+
+    /// Detach the sanitizer session, returning it (with its findings).
+    pub fn detach_sanitizer(&self) -> Option<Arc<SanState>> {
+        self.inner.sanitizer.lock().take()
+    }
+
+    /// The currently attached sanitizer session, if any.
+    pub fn sanitizer(&self) -> Option<Arc<SanState>> {
+        self.inner.sanitizer.lock().clone()
     }
 
     /// The device's hardware profile.
@@ -259,15 +281,51 @@ impl Device {
         let prev = self.inner.allocated.fetch_add(bytes, Ordering::Relaxed);
         if prev + bytes > cap {
             self.inner.allocated.fetch_sub(bytes, Ordering::Relaxed);
-            return Err(SimError::OutOfDeviceMemory { requested: bytes, available: cap - prev.min(cap) });
+            return Err(SimError::OutOfDeviceMemory {
+                requested: bytes,
+                available: cap - prev.min(cap),
+            });
         }
-        Ok(DBuf::new_zeroed(n, self.inner.id))
+        let buf = DBuf::new_zeroed(n, self.inner.id);
+        self.register_alloc(&buf);
+        Ok(buf)
     }
 
     /// Allocate a zero-initialized buffer of `n` elements. Panics on
     /// exhaustion of the modeled device memory.
     pub fn alloc<T: DeviceScalar>(&self, n: usize) -> DBuf<T> {
         self.try_alloc(n).unwrap_or_else(|e| panic!("device allocation failed: {e}"))
+    }
+
+    /// Allocate like [`Device::alloc`] but with a diagnostic label — the
+    /// sanitizer's "allocation backtrace" handle, named after the variable
+    /// or array the buffer stands for.
+    pub fn alloc_labeled<T: DeviceScalar>(&self, n: usize, label: &str) -> DBuf<T> {
+        let buf = self.alloc(n);
+        buf.set_label(label);
+        if let Some(san) = &*self.inner.sanitizer.lock() {
+            san.relabel_alloc(buf.alloc_id(), label);
+        }
+        buf
+    }
+
+    /// Allocate `n` elements of *uninitialized* device memory — the
+    /// `cudaMalloc` contract, unlike [`Device::alloc`] which models
+    /// `cudaCalloc`-style zeroed storage. Reads of elements never written
+    /// are flagged by the sanitizer's initcheck tool (the storage is still
+    /// physically zeroed, so the simulated program stays deterministic).
+    pub fn alloc_uninit<T: DeviceScalar>(&self, n: usize) -> DBuf<T> {
+        let bytes = n * std::mem::size_of::<T>();
+        self.inner.allocated.fetch_add(bytes, Ordering::Relaxed);
+        let buf = DBuf::new_uninit(n, self.inner.id);
+        self.register_alloc(&buf);
+        buf
+    }
+
+    fn register_alloc<T: DeviceScalar>(&self, buf: &DBuf<T>) {
+        if let Some(san) = &*self.inner.sanitizer.lock() {
+            san.on_alloc(buf.alloc_id(), buf.label(), buf.size_bytes());
+        }
     }
 
     /// Upload a constant-memory buffer (`cudaMemcpyToSymbol`).
@@ -280,13 +338,34 @@ impl Device {
     pub fn alloc_from<T: DeviceScalar>(&self, data: &[T]) -> DBuf<T> {
         let bytes = std::mem::size_of_val(data);
         self.inner.allocated.fetch_add(bytes, Ordering::Relaxed);
-        DBuf::from_slice(data, self.inner.id)
+        let buf = DBuf::from_slice(data, self.inner.id);
+        self.register_alloc(&buf);
+        buf
     }
 
     /// Release the modeled capacity held by `buf` (`cudaFree`). The backing
-    /// store itself is reference-counted, so late readers stay safe.
+    /// store itself is reference-counted, so late readers stay memory-safe;
+    /// under the sanitizer's memcheck tool, device-side accesses through a
+    /// stale handle are reported as use-after-free.
     pub fn free<T: DeviceScalar>(&self, buf: &DBuf<T>) {
         self.inner.allocated.fetch_sub(buf.size_bytes(), Ordering::Relaxed);
+        buf.mark_freed();
+        if let Some(san) = &*self.inner.sanitizer.lock() {
+            san.on_free(buf.alloc_id());
+        }
+    }
+
+    /// Tear down the device context (`cudaDeviceReset`): drain streams,
+    /// forget modeled allocations, and — when a sanitizer session with
+    /// leakcheck is attached — report every allocation still live. Like the
+    /// hardware tool, implicit process-exit teardown is *not* a leak; only
+    /// this explicit reset triggers the scan.
+    pub fn reset(&self) {
+        self.synchronize();
+        if let Some(san) = &*self.inner.sanitizer.lock() {
+            san.on_device_reset(&self.inner.profile.name);
+        }
+        self.inner.allocated.store(0, Ordering::Relaxed);
     }
 
     /// Validate a launch configuration against the device limits.
@@ -307,7 +386,10 @@ impl Device {
         }
         let smem = cfg.shared_bytes_per_block();
         if smem > p.max_smem_per_block {
-            return Err(SimError::SharedMemExceeded { requested: smem, limit: p.max_smem_per_block });
+            return Err(SimError::SharedMemExceeded {
+                requested: smem,
+                limit: p.max_smem_per_block,
+            });
         }
         Ok(())
     }
@@ -339,7 +421,8 @@ impl Device {
     /// execution mode).
     pub fn launch(&self, kernel: &Kernel, cfg: LaunchConfig) -> SimResult<StatsSnapshot> {
         self.validate_launch(&cfg)?;
-        let stats = exec::run(kernel, &cfg, self.inner.profile.warp_size);
+        let san = self.sanitizer().map(|state| LaunchSan::new(state, kernel.name()));
+        let stats = exec::run(kernel, &cfg, self.inner.profile.warp_size, san.as_ref());
         if self.tracing() {
             self.inner.trace.record(crate::trace::LaunchRecord {
                 kernel: kernel.name().to_string(),

@@ -22,6 +22,7 @@
 use crate::barrier::{RetireBarrier, SenseBarrier};
 use crate::counters::{CostCounters, KernelStats, StatsSnapshot};
 use crate::dim::LaunchConfig;
+use crate::san::{AccessSite, LaunchSan, ToolMask};
 use crate::shared::BlockShared;
 use crate::thread::ThreadCtx;
 use crate::warp::WarpGroup;
@@ -56,7 +57,10 @@ pub struct Kernel {
 
 impl Kernel {
     /// A barrier-free kernel (eligible for the serial fast path).
-    pub fn new(name: impl Into<String>, body: impl Fn(&mut ThreadCtx) + Send + Sync + 'static) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        body: impl Fn(&mut ThreadCtx) + Send + Sync + 'static,
+    ) -> Self {
         Kernel { name: name.into(), flags: KernelFlags::default(), body: Arc::new(body) }
     }
 
@@ -99,14 +103,30 @@ impl std::fmt::Debug for Kernel {
 }
 
 /// Execute `kernel` over the whole grid and return aggregated statistics.
-pub fn run(kernel: &Kernel, cfg: &LaunchConfig, warp_size: u32) -> StatsSnapshot {
+/// `san` is the launch's sanitizer context when a session is attached to
+/// the device.
+pub fn run(
+    kernel: &Kernel,
+    cfg: &LaunchConfig,
+    warp_size: u32,
+    san: Option<&LaunchSan>,
+) -> StatsSnapshot {
     let stats = KernelStats::new();
     if kernel.flags.needs_team_execution() && cfg.threads_per_block() > 1 {
-        run_team(kernel, cfg, warp_size, &stats);
+        run_team(kernel, cfg, warp_size, &stats, san);
     } else {
-        run_serial(kernel, cfg, warp_size, &stats);
+        run_serial(kernel, cfg, warp_size, &stats, san);
     }
     stats.snapshot()
+}
+
+/// Shared-memory tooling configuration for a launch: the legacy
+/// `LaunchConfig::racecheck` flag or an attached session both turn the
+/// shadow cells on; only a session turns the init bitmap on.
+fn block_shared(cfg: &LaunchConfig, san: Option<&LaunchSan>) -> BlockShared {
+    let session_race = san.is_some_and(|s| s.state().tool_on(ToolMask::RACECHECK));
+    let session_init = san.is_some_and(|s| s.state().tool_on(ToolMask::INITCHECK));
+    BlockShared::with_tools(&cfg.shared_slots, cfg.racecheck || session_race, session_init)
 }
 
 fn host_parallelism() -> usize {
@@ -114,7 +134,13 @@ fn host_parallelism() -> usize {
 }
 
 /// Serial path: blocks spread over workers, lanes of a block run in sequence.
-fn run_serial(kernel: &Kernel, cfg: &LaunchConfig, warp_size: u32, stats: &KernelStats) {
+fn run_serial(
+    kernel: &Kernel,
+    cfg: &LaunchConfig,
+    warp_size: u32,
+    stats: &KernelStats,
+    san: Option<&LaunchSan>,
+) {
     let num_blocks = cfg.num_blocks();
     let workers = host_parallelism().min(num_blocks).max(1);
     let next_block = AtomicUsize::new(0);
@@ -122,37 +148,38 @@ fn run_serial(kernel: &Kernel, cfg: &LaunchConfig, warp_size: u32, stats: &Kerne
     let panic_payload = std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
-            s.spawn(|| {
-                let tpb = cfg.threads_per_block();
-                loop {
-                    let b = next_block.fetch_add(1, Ordering::Relaxed);
-                    if b >= num_blocks {
-                        break;
+                s.spawn(|| {
+                    let tpb = cfg.threads_per_block();
+                    loop {
+                        let b = next_block.fetch_add(1, Ordering::Relaxed);
+                        if b >= num_blocks {
+                            break;
+                        }
+                        let shared = block_shared(cfg, san);
+                        let (bx, by, bz) = cfg.grid.delinear(b);
+                        let mut block_counters = CostCounters::default();
+                        for t in 0..tpb {
+                            let (tx, ty, tz) = cfg.block.delinear(t);
+                            let mut ctx = ThreadCtx {
+                                block: (bx, by, bz),
+                                thread: (tx, ty, tz),
+                                grid_dim: cfg.grid,
+                                block_dim: cfg.block,
+                                warp_size,
+                                counters: CostCounters::default(),
+                                shared: &shared,
+                                block_barrier: None,
+                                warp: None,
+                                collective_count: 0,
+                                san,
+                            };
+                            (kernel.body)(&mut ctx);
+                            block_counters.merge(&ctx.counters);
+                        }
+                        stats.absorb_block(&block_counters, tpb as u64);
+                        stats.block_done();
                     }
-                    let shared = BlockShared::with_racecheck(&cfg.shared_slots, cfg.racecheck);
-                    let (bx, by, bz) = cfg.grid.delinear(b);
-                    let mut block_counters = CostCounters::default();
-                    for t in 0..tpb {
-                        let (tx, ty, tz) = cfg.block.delinear(t);
-                        let mut ctx = ThreadCtx {
-                            block: (bx, by, bz),
-                            thread: (tx, ty, tz),
-                            grid_dim: cfg.grid,
-                            block_dim: cfg.block,
-                            warp_size,
-                            counters: CostCounters::default(),
-                            shared: &shared,
-                            block_barrier: None,
-                            warp: None,
-                            collective_count: 0,
-                        };
-                        (kernel.body)(&mut ctx);
-                        block_counters.merge(&ctx.counters);
-                    }
-                    stats.absorb_block(&block_counters, tpb as u64);
-                    stats.block_done();
-                }
-            })
+                })
             })
             .collect();
         // Join every worker so a simulated-program panic surfaces with its
@@ -175,6 +202,11 @@ struct BlockExec {
     shared: BlockShared,
     warps: Vec<WarpGroup>,
     barrier: RetireBarrier,
+    /// Final `sync_threads` count of each lane, written as the lane retires
+    /// and scanned once the block completes: lanes that participated in
+    /// barriers but stopped short of the block's maximum diverged
+    /// (synccheck).
+    barrier_counts: Vec<std::sync::atomic::AtomicU64>,
 }
 
 /// Per-team coordination state.
@@ -191,7 +223,13 @@ struct TeamState {
 }
 
 /// Team path: real intra-block concurrency with barrier support.
-fn run_team(kernel: &Kernel, cfg: &LaunchConfig, warp_size: u32, stats: &KernelStats) {
+fn run_team(
+    kernel: &Kernel,
+    cfg: &LaunchConfig,
+    warp_size: u32,
+    stats: &KernelStats,
+    san: Option<&LaunchSan>,
+) {
     let num_blocks = cfg.num_blocks();
     let tpb = cfg.threads_per_block();
     let cores = host_parallelism();
@@ -214,7 +252,7 @@ fn run_team(kernel: &Kernel, cfg: &LaunchConfig, warp_size: u32, stats: &KernelS
                 let next_block = Arc::clone(&next_block);
                 let stats = &*stats;
                 handles.push(s.spawn(move || {
-                    lane_loop(kernel, cfg, warp_size, lane, &team, &next_block, stats)
+                    lane_loop(kernel, cfg, warp_size, lane, &team, &next_block, stats, san)
                 }));
             }
         }
@@ -242,6 +280,7 @@ fn build_warps(tpb: usize, warp_size: u32) -> Vec<WarpGroup> {
         .collect()
 }
 
+#[allow(clippy::too_many_arguments)]
 fn lane_loop(
     kernel: &Kernel,
     cfg: &LaunchConfig,
@@ -250,6 +289,7 @@ fn lane_loop(
     team: &TeamState,
     next_block: &AtomicUsize,
     stats: &KernelStats,
+    san: Option<&LaunchSan>,
 ) {
     let num_blocks = cfg.num_blocks();
     let tpb = cfg.threads_per_block();
@@ -260,9 +300,12 @@ fn lane_loop(
             team.current_block.store(b, Ordering::Release);
             if b < num_blocks {
                 *team.exec.lock() = Some(Arc::new(BlockExec {
-                    shared: BlockShared::with_racecheck(&cfg.shared_slots, cfg.racecheck),
+                    shared: block_shared(cfg, san),
                     warps: build_warps(tpb, warp_size),
                     barrier: RetireBarrier::new(tpb),
+                    barrier_counts: (0..tpb)
+                        .map(|_| std::sync::atomic::AtomicU64::new(0))
+                        .collect(),
                 }));
             }
         }
@@ -293,6 +336,7 @@ fn lane_loop(
             block_barrier: Some(&exec.barrier),
             warp: Some(warp),
             collective_count: 0,
+            san,
         };
         let outcome =
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (kernel.body)(&mut ctx)));
@@ -302,17 +346,55 @@ fn lane_loop(
         // Retire so barriers held by still-running lanes complete.
         exec.barrier.retire();
         warp.retire_lane();
+        exec.barrier_counts[lane].store(ctx.counters.barriers, Ordering::Relaxed);
         stats.absorb(&ctx.counters);
 
         // Step 3: whole team finishes the block before reusing the slot.
         team.gate.wait();
         if lane == 0 {
+            if let Some(san) = san {
+                scan_barrier_divergence(san, cfg, (bx, by, bz), &exec.barrier_counts);
+            }
             stats.block_done();
         }
         match outcome {
             Err(payload) => std::panic::resume_unwind(payload),
             Ok(()) if team.poisoned.load(Ordering::Acquire) => break,
             Ok(()) => {}
+        }
+    }
+}
+
+/// Synccheck's deterministic barrier-divergence scan, run once per block
+/// after all lanes retired. A lane that executed some `sync_threads` calls
+/// but fewer than the block's maximum abandoned its siblings at a barrier
+/// it never reached. Lanes with a zero count never entered the barrier
+/// protocol — the blessed guarded-early-return pattern (exited threads
+/// count as arrived) — and are not flagged.
+fn scan_barrier_divergence(
+    san: &LaunchSan,
+    cfg: &LaunchConfig,
+    block: (u32, u32, u32),
+    counts: &[std::sync::atomic::AtomicU64],
+) {
+    if !san.state().tool_on(ToolMask::SYNCCHECK) {
+        return;
+    }
+    let vals: Vec<u64> = counts.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+    let Some(&maxc) = vals.iter().max() else { return };
+    for (lane, &c) in vals.iter().enumerate() {
+        if c > 0 && c < maxc {
+            let (tx, ty, tz) = cfg.block.delinear(lane);
+            san.state().barrier_divergence(
+                AccessSite {
+                    kernel: san.kernel(),
+                    block,
+                    thread: (tx, ty, tz),
+                    block_rank: cfg.grid.linear(block.0, block.1, block.2),
+                },
+                c,
+                maxc,
+            );
         }
     }
 }
@@ -348,15 +430,19 @@ mod tests {
     fn every_thread_runs_exactly_once_team() {
         let d = dev();
         let hits = d.alloc::<u32>(6 * 16);
-        let k = Kernel::with_flags("mark_sync", KernelFlags { uses_block_sync: true, uses_warp_ops: false }, {
-            let hits = hits.clone();
-            move |ctx: &mut ThreadCtx| {
-                ctx.sync_threads();
-                let i = ctx.global_rank();
-                ctx.atomic_add(&hits, i, 1);
-                ctx.sync_threads();
-            }
-        });
+        let k = Kernel::with_flags(
+            "mark_sync",
+            KernelFlags { uses_block_sync: true, uses_warp_ops: false },
+            {
+                let hits = hits.clone();
+                move |ctx: &mut ThreadCtx| {
+                    ctx.sync_threads();
+                    let i = ctx.global_rank();
+                    ctx.atomic_add(&hits, i, 1);
+                    ctx.sync_threads();
+                }
+            },
+        );
         let stats = d.launch(&k, LaunchConfig::new(6u32, 16u32)).unwrap();
         assert_eq!(stats.threads_executed, 96);
         assert_eq!(stats.blocks_executed, 6);
@@ -405,17 +491,21 @@ mod tests {
         // CUDA semantics: exited threads count as arrived.
         let d = dev();
         let out = d.alloc::<u32>(16);
-        let k = Kernel::with_flags("early", KernelFlags { uses_block_sync: true, uses_warp_ops: false }, {
-            let out = out.clone();
-            move |ctx: &mut ThreadCtx| {
-                let t = ctx.thread_rank();
-                if t >= 8 {
-                    return;
+        let k = Kernel::with_flags(
+            "early",
+            KernelFlags { uses_block_sync: true, uses_warp_ops: false },
+            {
+                let out = out.clone();
+                move |ctx: &mut ThreadCtx| {
+                    let t = ctx.thread_rank();
+                    if t >= 8 {
+                        return;
+                    }
+                    ctx.sync_threads();
+                    ctx.write(&out, t, 1);
                 }
-                ctx.sync_threads();
-                ctx.write(&out, t, 1);
-            }
-        });
+            },
+        );
         d.launch(&k, LaunchConfig::new(1u32, 16u32)).unwrap();
         assert_eq!(out.to_vec()[..8], vec![1u32; 8][..]);
     }
@@ -424,14 +514,18 @@ mod tests {
     fn warp_shuffle_inside_kernel() {
         let d = dev(); // warp_size = 4
         let out = d.alloc::<u32>(8);
-        let k = Kernel::with_flags("shfl", KernelFlags { uses_block_sync: false, uses_warp_ops: true }, {
-            let out = out.clone();
-            move |ctx: &mut ThreadCtx| {
-                let v = ctx.thread_rank() as u32;
-                let got = ctx.shfl(v, 0); // broadcast lane 0 of each warp
-                ctx.write(&out, ctx.thread_rank(), got);
-            }
-        });
+        let k = Kernel::with_flags(
+            "shfl",
+            KernelFlags { uses_block_sync: false, uses_warp_ops: true },
+            {
+                let out = out.clone();
+                move |ctx: &mut ThreadCtx| {
+                    let v = ctx.thread_rank() as u32;
+                    let got = ctx.shfl(v, 0); // broadcast lane 0 of each warp
+                    ctx.write(&out, ctx.thread_rank(), got);
+                }
+            },
+        );
         d.launch(&k, LaunchConfig::new(1u32, 8u32)).unwrap();
         // warps of width 4: lanes 0-3 get 0, lanes 4-7 get 4.
         assert_eq!(out.to_vec(), vec![0, 0, 0, 0, 4, 4, 4, 4]);

@@ -11,15 +11,23 @@
 //! Buffers are reference-counted handles ([`DBuf`]); cloning a handle is the
 //! device-pointer copy of `cudaMalloc`-style APIs, not a data copy.
 
-use std::sync::atomic::{AtomicI32, AtomicI64, AtomicU32, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{
+    AtomicBool, AtomicI32, AtomicI64, AtomicU32, AtomicU64, AtomicUsize, Ordering,
+};
+use std::sync::{Arc, OnceLock};
+
+/// Monotonic allocation ids, unique process-wide. Sanitizer diagnostics and
+/// the leak registry key on these rather than addresses.
+static NEXT_ALLOC_ID: AtomicUsize = AtomicUsize::new(1);
 
 /// Scalar types that can live in simulated device memory.
 ///
 /// Each scalar maps onto an atomic representation so that concurrent access
 /// from simulated threads is defined behaviour (see module docs). The trait
 /// is sealed by construction: implement it only via the macro below.
-pub trait DeviceScalar: Copy + Send + Sync + Default + PartialEq + std::fmt::Debug + 'static {
+pub trait DeviceScalar:
+    Copy + Send + Sync + Default + PartialEq + std::fmt::Debug + 'static
+{
     /// The atomic cell type backing one element.
     type Atomic: Send + Sync;
 
@@ -110,12 +118,8 @@ macro_rules! float_scalar {
                 loop {
                     let old = <$t>::$from_bits(cur);
                     let new = (old + v).$to_bits();
-                    match cell.compare_exchange_weak(
-                        cur,
-                        new,
-                        Ordering::Relaxed,
-                        Ordering::Relaxed,
-                    ) {
+                    match cell.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed)
+                    {
                         Ok(_) => return old,
                         Err(actual) => cur = actual,
                     }
@@ -183,6 +187,18 @@ float_scalar!(f64, u64, AtomicU64, to_bits, from_bits);
 struct DBufInner<T: DeviceScalar> {
     cells: Box<[T::Atomic]>,
     device_id: usize,
+    /// Process-unique allocation id (sanitizer registry key).
+    alloc_id: usize,
+    /// Human-readable label for diagnostics (`alloc_labeled`), set at most
+    /// once; defaults to `alloc#<id>`.
+    label: OnceLock<String>,
+    /// Set by `Device::free`. Storage stays valid (refcounted), so stale
+    /// handles remain memory-safe; memcheck uses this to flag use-after-free.
+    freed: AtomicBool,
+    /// One bit per element when the buffer was created uninitialized
+    /// (`Device::alloc_uninit`, the `cudaMalloc` contract); `None` for
+    /// zero-initialised or host-seeded buffers, which are fully defined.
+    init: Option<Box<[AtomicU64]>>,
 }
 
 /// A typed device global-memory buffer.
@@ -217,13 +233,88 @@ impl<T: DeviceScalar> DBuf<T> {
     pub(crate) fn new_zeroed(len: usize, device_id: usize) -> Self {
         let cells: Box<[T::Atomic]> =
             (0..len).map(|_| T::new_cell(T::default())).collect::<Vec<_>>().into_boxed_slice();
-        DBuf { inner: Arc::new(DBufInner { cells, device_id }) }
+        Self::from_parts(cells, device_id, false)
+    }
+
+    /// Like [`DBuf::new_zeroed`] but with an initialization bitmap: elements
+    /// read before any write are flagged by initcheck, the contract of
+    /// `cudaMalloc` memory. (Storage is still physically zeroed — reads of
+    /// uninitialized cells yield `T::default()`, a defined value, just as the
+    /// rest of the simulator keeps racy programs memory-safe.)
+    pub(crate) fn new_uninit(len: usize, device_id: usize) -> Self {
+        let cells: Box<[T::Atomic]> =
+            (0..len).map(|_| T::new_cell(T::default())).collect::<Vec<_>>().into_boxed_slice();
+        Self::from_parts(cells, device_id, true)
     }
 
     pub(crate) fn from_slice(data: &[T], device_id: usize) -> Self {
         let cells: Box<[T::Atomic]> =
             data.iter().map(|&v| T::new_cell(v)).collect::<Vec<_>>().into_boxed_slice();
-        DBuf { inner: Arc::new(DBufInner { cells, device_id }) }
+        Self::from_parts(cells, device_id, false)
+    }
+
+    fn from_parts(cells: Box<[T::Atomic]>, device_id: usize, track_init: bool) -> Self {
+        let len = cells.len();
+        let init = track_init
+            .then(|| (0..len.div_ceil(64)).map(|_| AtomicU64::new(0)).collect::<Vec<_>>().into());
+        DBuf {
+            inner: Arc::new(DBufInner {
+                cells,
+                device_id,
+                alloc_id: NEXT_ALLOC_ID.fetch_add(1, Ordering::Relaxed),
+                label: OnceLock::new(),
+                freed: AtomicBool::new(false),
+                init,
+            }),
+        }
+    }
+
+    /// Process-unique id of this allocation (shared by all aliasing handles).
+    pub fn alloc_id(&self) -> usize {
+        self.inner.alloc_id
+    }
+
+    /// Diagnostic label: the name given at `alloc_labeled`, else `alloc#N`.
+    pub fn label(&self) -> String {
+        self.inner.label.get().cloned().unwrap_or_else(|| format!("alloc#{}", self.alloc_id()))
+    }
+
+    /// Attach a diagnostic label. First caller wins; later calls are no-ops.
+    pub fn set_label(&self, label: &str) {
+        let _ = self.inner.label.set(label.to_string());
+    }
+
+    /// True once `Device::free` released this allocation.
+    pub fn is_freed(&self) -> bool {
+        self.inner.freed.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn mark_freed(&self) {
+        self.inner.freed.store(true, Ordering::Relaxed);
+    }
+
+    /// True when the buffer tracks per-element initialization (initcheck).
+    pub fn init_tracked(&self) -> bool {
+        self.inner.init.is_some()
+    }
+
+    /// True when element `i` of an init-tracked buffer has never been
+    /// written. Always `false` for untracked buffers.
+    #[inline]
+    pub(crate) fn is_unwritten(&self, i: usize) -> bool {
+        match &self.inner.init {
+            Some(bits) => bits[i / 64].load(Ordering::Relaxed) & (1 << (i % 64)) == 0,
+            None => false,
+        }
+    }
+
+    #[inline]
+    fn mark_init(&self, i: usize) {
+        if let Some(bits) = &self.inner.init {
+            if i < self.len() {
+                bits[i / 64].fetch_or(1 << (i % 64), Ordering::Relaxed);
+            }
+        }
     }
 
     /// Number of elements.
@@ -265,30 +356,35 @@ impl<T: DeviceScalar> DBuf<T> {
     /// Uncounted element store (host-side or runtime-internal use).
     #[inline]
     pub fn set(&self, i: usize, v: T) {
+        self.mark_init(i);
         T::store(self.cell(i), v)
     }
 
     /// Uncounted atomic add; returns the previous value.
     #[inline]
     pub fn atomic_add(&self, i: usize, v: T) -> T {
+        self.mark_init(i);
         T::fetch_add(self.cell(i), v)
     }
 
     /// Uncounted atomic min; returns the previous value.
     #[inline]
     pub fn atomic_min(&self, i: usize, v: T) -> T {
+        self.mark_init(i);
         T::fetch_min(self.cell(i), v)
     }
 
     /// Uncounted atomic max; returns the previous value.
     #[inline]
     pub fn atomic_max(&self, i: usize, v: T) -> T {
+        self.mark_init(i);
         T::fetch_max(self.cell(i), v)
     }
 
     /// Uncounted compare-exchange; `Ok(previous)` on success.
     #[inline]
     pub fn compare_exchange(&self, i: usize, current: T, new: T) -> Result<T, T> {
+        self.mark_init(i);
         T::compare_exchange(self.cell(i), current, new)
     }
 

@@ -1,0 +1,679 @@
+//! Sanitizer instrumentation: the simulator half of `ompx-sanitizer`.
+//!
+//! This module is the `compute-sanitizer` analogue's data plane. It owns the
+//! diagnostic types and the per-device [`SanState`] that the executor and
+//! [`crate::thread::ThreadCtx`] consult on every counted access while a
+//! sanitizer session is attached (see [`crate::device::Device`]'s
+//! `attach_sanitizer`). The tool framework, CLI surface, and report
+//! formatting live in the `ompx-sanitizer` crate; keeping the hooks here
+//! avoids a dependency cycle — the simulator cannot depend on its own
+//! tooling.
+//!
+//! Tool semantics implemented by these hooks:
+//!
+//! * **memcheck** — out-of-bounds element indices and use-after-free on
+//!   [`crate::mem::DBuf`] global memory (the access is suppressed and
+//!   recorded instead of panicking, so one launch can report many findings),
+//!   plus misaligned typed accesses through the byte-offset accessor.
+//! * **racecheck** — the shared-memory shadow-cell detector (migrated from
+//!   the legacy `LaunchConfig::racecheck` panic into recorded diagnostics)
+//!   and cross-block conflicts on global memory: two blocks touching the
+//!   same element in one launch, at least one write, no atomics. Blocks
+//!   have no ordering within a launch, so this is exact, not timing-based.
+//! * **synccheck** — barrier divergence (a lane that participated in block
+//!   barriers abandons lanes still waiting at one) and invalid `shfl_sync`
+//!   member masks.
+//! * **initcheck** — reads of never-written cells in init-tracked global
+//!   buffers (`Device::alloc_uninit`, the `cudaMalloc` contract) and in
+//!   shared memory (undefined at block start on real hardware).
+//! * **leakcheck** — allocations still live when the program explicitly
+//!   resets the device (`Device::reset`, the `cudaDeviceReset` analogue);
+//!   like the hardware tool, implicit process-exit teardown is not a leak.
+
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Bitmask of enabled sanitizer tools.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ToolMask(u32);
+
+impl ToolMask {
+    pub const NONE: ToolMask = ToolMask(0);
+    pub const MEMCHECK: ToolMask = ToolMask(1 << 0);
+    pub const RACECHECK: ToolMask = ToolMask(1 << 1);
+    pub const SYNCCHECK: ToolMask = ToolMask(1 << 2);
+    pub const INITCHECK: ToolMask = ToolMask(1 << 3);
+    pub const LEAKCHECK: ToolMask = ToolMask(1 << 4);
+    pub const ALL: ToolMask = ToolMask(0b11111);
+
+    /// True when every tool in `other` is enabled in `self`.
+    pub fn contains(self, other: ToolMask) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Union of two masks.
+    pub fn union(self, other: ToolMask) -> ToolMask {
+        ToolMask(self.0 | other.0)
+    }
+
+    /// True when no tool is enabled.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl std::ops::BitOr for ToolMask {
+    type Output = ToolMask;
+    fn bitor(self, rhs: ToolMask) -> ToolMask {
+        self.union(rhs)
+    }
+}
+
+/// The kind of defect a diagnostic reports. Each kind belongs to exactly
+/// one tool (see [`DiagKind::tool`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DiagKind {
+    OutOfBounds,
+    UseAfterFree,
+    MisalignedAccess,
+    SharedRace,
+    GlobalRace,
+    BarrierDivergence,
+    InvalidShflMask,
+    UninitGlobalRead,
+    UninitSharedRead,
+    DeviceLeak,
+}
+
+impl DiagKind {
+    /// The owning tool's name, as spelled on the `sanitize --tool` CLI.
+    pub fn tool(self) -> &'static str {
+        match self {
+            DiagKind::OutOfBounds | DiagKind::UseAfterFree | DiagKind::MisalignedAccess => {
+                "memcheck"
+            }
+            DiagKind::SharedRace | DiagKind::GlobalRace => "racecheck",
+            DiagKind::BarrierDivergence | DiagKind::InvalidShflMask => "synccheck",
+            DiagKind::UninitGlobalRead | DiagKind::UninitSharedRead => "initcheck",
+            DiagKind::DeviceLeak => "leakcheck",
+        }
+    }
+
+    /// The mask bit of the owning tool.
+    pub fn tool_mask(self) -> ToolMask {
+        match self.tool() {
+            "memcheck" => ToolMask::MEMCHECK,
+            "racecheck" => ToolMask::RACECHECK,
+            "synccheck" => ToolMask::SYNCCHECK,
+            "initcheck" => ToolMask::INITCHECK,
+            _ => ToolMask::LEAKCHECK,
+        }
+    }
+
+    /// Short defect label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            DiagKind::OutOfBounds => "out-of-bounds access",
+            DiagKind::UseAfterFree => "use-after-free",
+            DiagKind::MisalignedAccess => "misaligned typed access",
+            DiagKind::SharedRace => "shared-memory data race",
+            DiagKind::GlobalRace => "global-memory data race",
+            DiagKind::BarrierDivergence => "barrier divergence",
+            DiagKind::InvalidShflMask => "invalid shfl member mask",
+            DiagKind::UninitGlobalRead => "uninitialized global read",
+            DiagKind::UninitSharedRead => "uninitialized shared read",
+            DiagKind::DeviceLeak => "device memory leak",
+        }
+    }
+}
+
+/// One structured sanitizer finding.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    pub kind: DiagKind,
+    /// Kernel the access executed in (empty for host-side findings such as
+    /// leaks).
+    pub kernel: String,
+    /// Block coordinates of the offending thread.
+    pub block: (u32, u32, u32),
+    /// Thread coordinates within the block.
+    pub thread: (u32, u32, u32),
+    /// Element index / byte offset of the access, when applicable.
+    pub address: Option<usize>,
+    /// Label of the allocation involved (the "backtrace label" given at
+    /// `alloc_labeled`, or a synthesized `alloc#N` tag).
+    pub alloc: Option<String>,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.kind.tool(), self.kind.label())?;
+        if !self.kernel.is_empty() {
+            write!(
+                f,
+                " in kernel `{}` block ({},{},{}) thread ({},{},{})",
+                self.kernel,
+                self.block.0,
+                self.block.1,
+                self.block.2,
+                self.thread.0,
+                self.thread.1,
+                self.thread.2
+            )?;
+        }
+        if let Some(a) = self.address {
+            write!(f, " at index {a}")?;
+        }
+        if let Some(l) = &self.alloc {
+            write!(f, " of {l}")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// A registered device allocation, tracked while a session is attached.
+#[derive(Debug, Clone)]
+pub struct AllocRecord {
+    pub id: usize,
+    pub label: String,
+    pub bytes: usize,
+    pub live: bool,
+}
+
+/// Identity of a global-memory access, for the cross-block race detector.
+#[derive(Clone, Copy)]
+struct GlobalAccess {
+    block_rank: usize,
+    block: (u32, u32, u32),
+    write: bool,
+}
+
+/// How a counted global access touches memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GlobalKind {
+    Read,
+    Write,
+    Atomic,
+}
+
+/// Identity fields a [`crate::thread::ThreadCtx`] passes with each hook
+/// call.
+#[derive(Clone, Copy)]
+pub struct AccessSite<'k> {
+    pub kernel: &'k str,
+    pub block: (u32, u32, u32),
+    pub thread: (u32, u32, u32),
+    pub block_rank: usize,
+}
+
+/// Cap on recorded diagnostics per session, to bound a pathological
+/// kernel's report (the hardware tools do the same).
+const MAX_DIAGNOSTICS: usize = 512;
+
+/// Per-device sanitizer session state: enabled tools, recorded findings,
+/// allocation registry, and the cross-block race shadow table.
+pub struct SanState {
+    enabled: ToolMask,
+    diagnostics: Mutex<Vec<Diagnostic>>,
+    /// Dedup: one report per (kind, allocation/site, address).
+    seen: Mutex<HashSet<(DiagKind, usize, usize)>>,
+    /// Cross-block race shadow: (alloc id, element) -> last plain access.
+    /// Cleared at each launch (blocks are unordered only within a launch).
+    global_shadow: Mutex<HashMap<(usize, usize), GlobalAccess>>,
+    allocs: Mutex<Vec<AllocRecord>>,
+}
+
+impl SanState {
+    /// Fresh session state with the given tools enabled.
+    pub fn new(enabled: ToolMask) -> Arc<SanState> {
+        Arc::new(SanState {
+            enabled,
+            diagnostics: Mutex::new(Vec::new()),
+            seen: Mutex::new(HashSet::new()),
+            global_shadow: Mutex::new(HashMap::new()),
+            allocs: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The session's enabled tools.
+    pub fn enabled(&self) -> ToolMask {
+        self.enabled
+    }
+
+    /// True when `tool` is enabled in this session.
+    pub fn tool_on(&self, tool: ToolMask) -> bool {
+        self.enabled.contains(tool)
+    }
+
+    /// Copy of the findings recorded so far.
+    pub fn diagnostics(&self) -> Vec<Diagnostic> {
+        self.diagnostics.lock().clone()
+    }
+
+    /// Move the findings out, leaving the session empty.
+    pub fn drain_diagnostics(&self) -> Vec<Diagnostic> {
+        std::mem::take(&mut *self.diagnostics.lock())
+    }
+
+    /// Number of findings recorded so far.
+    pub fn finding_count(&self) -> usize {
+        self.diagnostics.lock().len()
+    }
+
+    /// Snapshot of the allocation registry.
+    pub fn allocations(&self) -> Vec<AllocRecord> {
+        self.allocs.lock().clone()
+    }
+
+    fn record(&self, diag: Diagnostic, dedup_key: (DiagKind, usize, usize)) {
+        if !self.seen.lock().insert(dedup_key) {
+            return;
+        }
+        let mut diags = self.diagnostics.lock();
+        if diags.len() < MAX_DIAGNOSTICS {
+            diags.push(diag);
+        }
+    }
+
+    // ---- launch lifecycle ------------------------------------------------
+
+    /// Reset per-launch state (called by the device at each launch).
+    pub(crate) fn begin_launch(&self) {
+        self.global_shadow.lock().clear();
+    }
+
+    // ---- allocation registry (memcheck / leakcheck) ----------------------
+
+    /// Register a fresh allocation.
+    pub(crate) fn on_alloc(&self, id: usize, label: String, bytes: usize) {
+        self.allocs.lock().push(AllocRecord { id, label, bytes, live: true });
+    }
+
+    /// Rename a registered allocation (label attached after allocation).
+    pub(crate) fn relabel_alloc(&self, id: usize, label: &str) {
+        if let Some(rec) = self.allocs.lock().iter_mut().find(|r| r.id == id) {
+            rec.label = label.to_string();
+        }
+    }
+
+    /// Mark an allocation as freed.
+    pub(crate) fn on_free(&self, id: usize) {
+        if let Some(rec) = self.allocs.lock().iter_mut().find(|r| r.id == id) {
+            rec.live = false;
+        }
+    }
+
+    /// Leak scan at explicit device reset: every allocation registered in
+    /// this session and never freed becomes a `DeviceLeak` finding.
+    pub(crate) fn on_device_reset(&self, device_name: &str) {
+        if !self.tool_on(ToolMask::LEAKCHECK) {
+            return;
+        }
+        let leaks: Vec<AllocRecord> =
+            self.allocs.lock().iter().filter(|r| r.live).cloned().collect();
+        for rec in leaks {
+            self.record(
+                Diagnostic {
+                    kind: DiagKind::DeviceLeak,
+                    kernel: String::new(),
+                    block: (0, 0, 0),
+                    thread: (0, 0, 0),
+                    address: None,
+                    alloc: Some(rec.label.clone()),
+                    message: format!(
+                        "{} bytes allocated as {} still live at reset of {device_name}",
+                        rec.bytes, rec.label
+                    ),
+                },
+                (DiagKind::DeviceLeak, rec.id, 0),
+            );
+        }
+    }
+
+    // ---- device-side access hooks ---------------------------------------
+
+    /// Global-memory access check. Returns `true` when the access must be
+    /// suppressed (out-of-bounds or use-after-free under memcheck — the
+    /// simulated hardware access does not happen; reads yield zero).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn global_access(
+        &self,
+        site: AccessSite<'_>,
+        alloc_id: usize,
+        alloc_label: &str,
+        len: usize,
+        freed: bool,
+        index: usize,
+        kind: GlobalKind,
+        init_tracked_unwritten: bool,
+    ) -> bool {
+        if self.tool_on(ToolMask::MEMCHECK) {
+            if freed {
+                self.record(
+                    Diagnostic {
+                        kind: DiagKind::UseAfterFree,
+                        kernel: site.kernel.to_string(),
+                        block: site.block,
+                        thread: site.thread,
+                        address: Some(index),
+                        alloc: Some(alloc_label.to_string()),
+                        message: format!(
+                            "{:?} of element {index} in freed allocation {alloc_label}",
+                            kind
+                        ),
+                    },
+                    (DiagKind::UseAfterFree, alloc_id, index),
+                );
+                return true;
+            }
+            if index >= len {
+                self.record(
+                    Diagnostic {
+                        kind: DiagKind::OutOfBounds,
+                        kernel: site.kernel.to_string(),
+                        block: site.block,
+                        thread: site.thread,
+                        address: Some(index),
+                        alloc: Some(alloc_label.to_string()),
+                        message: format!(
+                            "{:?} of element {index} past the end of {alloc_label} (len {len})",
+                            kind
+                        ),
+                    },
+                    (DiagKind::OutOfBounds, alloc_id, index),
+                );
+                return true;
+            }
+        }
+        if index >= len || freed {
+            // Without memcheck the simulator keeps its panic-on-OOB
+            // contract; freed buffers retain their storage (refcounted).
+            return false;
+        }
+        if kind == GlobalKind::Read && init_tracked_unwritten && self.tool_on(ToolMask::INITCHECK) {
+            self.record(
+                Diagnostic {
+                    kind: DiagKind::UninitGlobalRead,
+                    kernel: site.kernel.to_string(),
+                    block: site.block,
+                    thread: site.thread,
+                    address: Some(index),
+                    alloc: Some(alloc_label.to_string()),
+                    message: format!("read of element {index} of {alloc_label} before any write"),
+                },
+                (DiagKind::UninitGlobalRead, alloc_id, index),
+            );
+        }
+        if kind != GlobalKind::Atomic && self.tool_on(ToolMask::RACECHECK) {
+            self.global_race_check(site, alloc_id, alloc_label, index, kind);
+        }
+        false
+    }
+
+    fn global_race_check(
+        &self,
+        site: AccessSite<'_>,
+        alloc_id: usize,
+        alloc_label: &str,
+        index: usize,
+        kind: GlobalKind,
+    ) {
+        let write = kind == GlobalKind::Write;
+        let me = GlobalAccess { block_rank: site.block_rank, block: site.block, write };
+        let prev = self.global_shadow.lock().insert((alloc_id, index), me);
+        if let Some(prev) = prev {
+            if prev.block_rank != site.block_rank && (write || prev.write) {
+                self.record(
+                    Diagnostic {
+                        kind: DiagKind::GlobalRace,
+                        kernel: site.kernel.to_string(),
+                        block: site.block,
+                        thread: site.thread,
+                        address: Some(index),
+                        alloc: Some(alloc_label.to_string()),
+                        message: format!(
+                            "element {index} of {alloc_label} {} by block ({},{},{}) and {} by \
+                             block ({},{},{}) in the same launch without atomics",
+                            if prev.write { "written" } else { "read" },
+                            prev.block.0,
+                            prev.block.1,
+                            prev.block.2,
+                            if write { "written" } else { "read" },
+                            site.block.0,
+                            site.block.1,
+                            site.block.2,
+                        ),
+                    },
+                    (DiagKind::GlobalRace, alloc_id, index),
+                );
+            }
+        }
+    }
+
+    /// Misaligned typed access through the byte-offset accessor.
+    pub(crate) fn misaligned_access(
+        &self,
+        site: AccessSite<'_>,
+        alloc_id: usize,
+        alloc_label: &str,
+        byte_offset: usize,
+        align: usize,
+        type_name: &str,
+    ) {
+        if !self.tool_on(ToolMask::MEMCHECK) {
+            return;
+        }
+        self.record(
+            Diagnostic {
+                kind: DiagKind::MisalignedAccess,
+                kernel: site.kernel.to_string(),
+                block: site.block,
+                thread: site.thread,
+                address: Some(byte_offset),
+                alloc: Some(alloc_label.to_string()),
+                message: format!(
+                    "{type_name} load at byte offset {byte_offset} of {alloc_label} \
+                     (requires {align}-byte alignment)"
+                ),
+            },
+            (DiagKind::MisalignedAccess, alloc_id, byte_offset),
+        );
+    }
+
+    /// Shared-memory race reported by the shadow-cell detector.
+    pub(crate) fn shared_race(
+        &self,
+        site: AccessSite<'_>,
+        slot: usize,
+        race: crate::shared::SharedRace,
+    ) {
+        self.record(
+            Diagnostic {
+                kind: DiagKind::SharedRace,
+                kernel: site.kernel.to_string(),
+                block: site.block,
+                thread: site.thread,
+                address: Some(race.cell),
+                alloc: Some(format!("shared slot {slot}")),
+                message: format!(
+                    "cell {} {} by lane {} and {} by lane {} within barrier epoch {} — \
+                     missing sync_threads()?",
+                    race.cell,
+                    if race.prev_write { "written" } else { "read" },
+                    race.prev_lane,
+                    if race.this_write { "written" } else { "read" },
+                    race.this_lane,
+                    race.epoch,
+                ),
+            },
+            (DiagKind::SharedRace, slot, race.cell),
+        );
+    }
+
+    /// Uninitialized shared-memory read.
+    pub(crate) fn uninit_shared_read(&self, site: AccessSite<'_>, slot: usize, index: usize) {
+        if !self.tool_on(ToolMask::INITCHECK) {
+            return;
+        }
+        self.record(
+            Diagnostic {
+                kind: DiagKind::UninitSharedRead,
+                kernel: site.kernel.to_string(),
+                block: site.block,
+                thread: site.thread,
+                address: Some(index),
+                alloc: Some(format!("shared slot {slot}")),
+                message: format!(
+                    "read of shared cell {index} before any write in this block \
+                     (shared memory is undefined at block start)"
+                ),
+            },
+            (DiagKind::UninitSharedRead, slot, index),
+        );
+    }
+
+    /// Barrier divergence: a lane that participated in block barriers
+    /// executed only `synced` of the `max` `sync_threads` its block
+    /// reached, abandoning siblings at a barrier it skipped.
+    pub(crate) fn barrier_divergence(&self, site: AccessSite<'_>, synced: u64, max: u64) {
+        if !self.tool_on(ToolMask::SYNCCHECK) {
+            return;
+        }
+        self.record(
+            Diagnostic {
+                kind: DiagKind::BarrierDivergence,
+                kernel: site.kernel.to_string(),
+                block: site.block,
+                thread: site.thread,
+                address: None,
+                alloc: None,
+                message: format!(
+                    "lane reached only {synced} of the block's {max} sync_threads barriers \
+                     before exiting — divergent barrier"
+                ),
+            },
+            (DiagKind::BarrierDivergence, site.block_rank, 0),
+        );
+    }
+
+    /// Invalid `shfl_sync` member mask.
+    pub(crate) fn invalid_shfl_mask(
+        &self,
+        site: AccessSite<'_>,
+        mask: u64,
+        lane: usize,
+        src_lane: usize,
+    ) {
+        if !self.tool_on(ToolMask::SYNCCHECK) {
+            return;
+        }
+        self.record(
+            Diagnostic {
+                kind: DiagKind::InvalidShflMask,
+                kernel: site.kernel.to_string(),
+                block: site.block,
+                thread: site.thread,
+                address: Some(src_lane),
+                alloc: None,
+                message: format!(
+                    "shfl_sync mask {mask:#x} does not cover participating lane {lane} \
+                     (source lane {src_lane})"
+                ),
+            },
+            (DiagKind::InvalidShflMask, site.block_rank, lane),
+        );
+    }
+}
+
+/// Per-launch sanitizer context handed to the executor: the session plus
+/// the kernel's name for diagnostics.
+pub struct LaunchSan {
+    pub(crate) state: Arc<SanState>,
+    pub(crate) kernel: String,
+}
+
+impl LaunchSan {
+    pub(crate) fn new(state: Arc<SanState>, kernel: &str) -> LaunchSan {
+        state.begin_launch();
+        LaunchSan { state, kernel: kernel.to_string() }
+    }
+
+    /// The session this launch reports into.
+    pub fn state(&self) -> &SanState {
+        &self.state
+    }
+
+    /// Kernel name for diagnostics.
+    pub fn kernel(&self) -> &str {
+        &self.kernel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tool_mask_algebra() {
+        let m = ToolMask::MEMCHECK | ToolMask::RACECHECK;
+        assert!(m.contains(ToolMask::MEMCHECK));
+        assert!(!m.contains(ToolMask::SYNCCHECK));
+        assert!(ToolMask::ALL.contains(m));
+        assert!(ToolMask::NONE.is_empty());
+        for kind in [
+            DiagKind::OutOfBounds,
+            DiagKind::SharedRace,
+            DiagKind::BarrierDivergence,
+            DiagKind::UninitGlobalRead,
+            DiagKind::DeviceLeak,
+        ] {
+            assert!(ToolMask::ALL.contains(kind.tool_mask()));
+        }
+    }
+
+    #[test]
+    fn dedup_and_cap() {
+        let s = SanState::new(ToolMask::ALL);
+        let site = AccessSite { kernel: "k", block: (0, 0, 0), thread: (0, 0, 0), block_rank: 0 };
+        for _ in 0..3 {
+            assert!(s.global_access(site, 1, "buf", 4, false, 9, GlobalKind::Read, false));
+        }
+        assert_eq!(s.finding_count(), 1);
+        assert_eq!(s.diagnostics()[0].kind, DiagKind::OutOfBounds);
+    }
+
+    #[test]
+    fn leak_scan_reports_live_allocations_only() {
+        let s = SanState::new(ToolMask::LEAKCHECK);
+        s.on_alloc(1, "a".into(), 64);
+        s.on_alloc(2, "b".into(), 128);
+        s.on_free(1);
+        s.on_device_reset("TestGPU");
+        let d = s.diagnostics();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].kind, DiagKind::DeviceLeak);
+        assert_eq!(d[0].alloc.as_deref(), Some("b"));
+    }
+
+    #[test]
+    fn cross_block_race_requires_distinct_blocks_and_a_write() {
+        let s = SanState::new(ToolMask::RACECHECK);
+        let b0 = AccessSite { kernel: "k", block: (0, 0, 0), thread: (0, 0, 0), block_rank: 0 };
+        let b1 = AccessSite { kernel: "k", block: (1, 0, 0), thread: (0, 0, 0), block_rank: 1 };
+        // Read/read from two blocks: not a race.
+        s.global_access(b0, 7, "buf", 16, false, 3, GlobalKind::Read, false);
+        s.global_access(b1, 7, "buf", 16, false, 3, GlobalKind::Read, false);
+        assert_eq!(s.finding_count(), 0);
+        // Write from a different block: race.
+        s.global_access(b0, 7, "buf", 16, false, 3, GlobalKind::Write, false);
+        assert_eq!(s.finding_count(), 1);
+        // Same-block write/write: not a cross-block race.
+        s.begin_launch();
+        s.global_access(b0, 7, "buf", 16, false, 5, GlobalKind::Write, false);
+        s.global_access(b0, 7, "buf", 16, false, 5, GlobalKind::Write, false);
+        assert_eq!(s.finding_count(), 1);
+    }
+}

@@ -25,24 +25,40 @@ pub struct SharedSlot {
     words: Box<[AtomicU64]>,
     /// Race-detector shadow cells (one per word) when racecheck is on.
     shadow: Option<Box<[AtomicU64]>>,
+    /// Initcheck bitmap (one bit per word) when initcheck is on: shared
+    /// memory is undefined at block start on real hardware, so reads before
+    /// any write in the block are flagged.
+    init: Option<Box<[AtomicU64]>>,
     decl: SharedSlotDecl,
 }
 
 impl BlockShared {
     /// Materialize the declared layout for one block.
     pub fn new(decls: &[SharedSlotDecl]) -> Self {
-        Self::with_racecheck(decls, false)
+        Self::with_tools(decls, false, false)
     }
 
     /// Materialize the layout, optionally with race-detector shadow state
     /// (see [`SharedView::racecheck_access`]).
     pub fn with_racecheck(decls: &[SharedSlotDecl], racecheck: bool) -> Self {
+        Self::with_tools(decls, racecheck, false)
+    }
+
+    /// Materialize the layout with any combination of per-cell tooling
+    /// state: racecheck shadow cells and/or the initcheck bitmap.
+    pub fn with_tools(decls: &[SharedSlotDecl], racecheck: bool, initcheck: bool) -> Self {
         let slots = decls
             .iter()
             .map(|d| SharedSlot {
                 words: (0..d.len).map(|_| AtomicU64::new(0)).collect::<Vec<_>>().into_boxed_slice(),
                 shadow: racecheck.then(|| {
                     (0..d.len).map(|_| AtomicU64::new(0)).collect::<Vec<_>>().into_boxed_slice()
+                }),
+                init: initcheck.then(|| {
+                    (0..d.len.div_ceil(64))
+                        .map(|_| AtomicU64::new(0))
+                        .collect::<Vec<_>>()
+                        .into_boxed_slice()
                 }),
                 decl: *d,
             })
@@ -74,15 +90,24 @@ impl BlockShared {
         SharedView {
             words: &slot.words,
             shadow: slot.shadow.as_deref(),
+            init: slot.init.as_deref(),
+            slot: idx,
             _marker: std::marker::PhantomData,
         }
     }
 
-    /// Reset all slots to zero (block reuse between executions).
+    /// Reset all slots to zero (block reuse between executions). Also
+    /// resets tooling state: the next block starts with a clean shadow and
+    /// an all-uninitialized bitmap.
     pub fn clear(&self) {
         for slot in &self.slots {
             for w in slot.words.iter() {
                 w.store(0, Ordering::Relaxed);
+            }
+            for extra in [slot.shadow.as_deref(), slot.init.as_deref()].into_iter().flatten() {
+                for w in extra.iter() {
+                    w.store(0, Ordering::Relaxed);
+                }
             }
         }
     }
@@ -93,6 +118,8 @@ impl BlockShared {
 pub struct SharedView<'a, T: DeviceScalar> {
     words: &'a [AtomicU64],
     shadow: Option<&'a [AtomicU64]>,
+    init: Option<&'a [AtomicU64]>,
+    slot: usize,
     _marker: std::marker::PhantomData<T>,
 }
 
@@ -103,41 +130,85 @@ pub enum AccessKind {
     Write,
 }
 
+/// A shared-memory race observed by the shadow-cell detector: the previous
+/// conflicting access on the same cell in the same barrier epoch. The
+/// caller ([`crate::thread::ThreadCtx`]) decides whether to panic (legacy
+/// `LaunchConfig::racecheck`) or record a diagnostic (sanitizer session).
+#[derive(Debug, Clone, Copy)]
+pub struct SharedRace {
+    pub cell: usize,
+    pub prev_lane: usize,
+    pub prev_write: bool,
+    pub this_lane: usize,
+    pub this_write: bool,
+    pub epoch: u64,
+}
+
 impl<'a, T: DeviceScalar> SharedView<'a, T> {
     /// Race-detector hook (the `compute-sanitizer --tool racecheck`
     /// analogue): called by the thread context on counted accesses when the
     /// launch enabled race checking. `epoch` is the caller's barrier count;
     /// two threads touching the same cell in the same barrier epoch with at
     /// least one write is a shared-memory data race — the bug class that
-    /// hand-ported SIMT tiling code introduces — and panics loudly.
+    /// hand-ported SIMT tiling code introduces. Returns the conflict for
+    /// the caller to report.
     ///
     /// Best-effort: each shadow cell remembers only the most recent access,
     /// like the hardware tools.
     #[inline]
-    pub fn racecheck_access(&self, i: usize, lane: usize, epoch: u64, kind: AccessKind) {
-        let Some(shadow) = self.shadow else { return };
+    #[must_use = "a detected race must be reported by the caller"]
+    pub fn racecheck_access(
+        &self,
+        i: usize,
+        lane: usize,
+        epoch: u64,
+        kind: AccessKind,
+    ) -> Option<SharedRace> {
+        let shadow = self.shadow?;
         // Pack: epoch (39 bits) | kind (1 bit) | lane+1 (24 bits).
         let kind_bit = u64::from(kind == AccessKind::Write);
         let packed = (epoch << 25) | (kind_bit << 24) | ((lane as u64 + 1) & 0xFF_FFFF);
         let prev = shadow[i].swap(packed, Ordering::Relaxed);
         if prev == 0 {
-            return;
+            return None;
         }
         let prev_epoch = prev >> 25;
         let prev_write = (prev >> 24) & 1 == 1;
         let prev_lane = (prev & 0xFF_FFFF) as usize;
-        if prev_epoch == epoch
-            && prev_lane != lane + 1
-            && (kind == AccessKind::Write || prev_write)
+        if prev_epoch == epoch && prev_lane != lane + 1 && (kind == AccessKind::Write || prev_write)
         {
-            panic!(
-                "shared-memory data race detected: cell {i} accessed by lane {} ({}) and \
-                 lane {lane} ({:?}) within the same barrier epoch {epoch} — \
-                 missing sync_threads()?",
-                prev_lane - 1,
-                if prev_write { "Write" } else { "Read" },
-                kind
-            );
+            return Some(SharedRace {
+                cell: i,
+                prev_lane: prev_lane - 1,
+                prev_write,
+                this_lane: lane,
+                this_write: kind == AccessKind::Write,
+                epoch,
+            });
+        }
+        None
+    }
+
+    /// Index of the declared slot this view borrows (for diagnostics).
+    #[inline]
+    pub fn slot_index(&self) -> usize {
+        self.slot
+    }
+
+    /// True when initcheck tracking is on and cell `i` has never been
+    /// written in this block.
+    #[inline]
+    pub fn is_unwritten(&self, i: usize) -> bool {
+        match self.init {
+            Some(bits) => bits[i / 64].load(Ordering::Relaxed) & (1 << (i % 64)) == 0,
+            None => false,
+        }
+    }
+
+    #[inline]
+    fn mark_init(&self, i: usize) {
+        if let Some(bits) = self.init {
+            bits[i / 64].fetch_or(1 << (i % 64), Ordering::Relaxed);
         }
     }
     /// Element count.
@@ -159,6 +230,7 @@ impl<'a, T: DeviceScalar> SharedView<'a, T> {
     /// Store element `i` (uncounted; `ThreadCtx` wraps this with counting).
     #[inline]
     pub fn set(&self, i: usize, v: T) {
+        self.mark_init(i);
         self.words[i].store(v.to_word(), Ordering::Relaxed)
     }
 
@@ -171,6 +243,7 @@ impl<'a, T: DeviceScalar> SharedView<'a, T> {
     where
         T: std::ops::Add<Output = T>,
     {
+        self.mark_init(i);
         let cell = &self.words[i];
         let mut cur = cell.load(Ordering::Relaxed);
         loop {

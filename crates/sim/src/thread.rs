@@ -22,7 +22,8 @@ use crate::barrier::RetireBarrier;
 use crate::counters::CostCounters;
 use crate::dim::Dim3;
 use crate::mem::{DBuf, DeviceScalar};
-use crate::shared::{BlockShared, SharedView};
+use crate::san::{AccessSite, GlobalKind, LaunchSan, ToolMask};
+use crate::shared::{BlockShared, SharedRace, SharedView};
 use crate::warp::WarpGroup;
 
 /// Execution identity and services for one simulated GPU thread.
@@ -39,6 +40,8 @@ pub struct ThreadCtx<'a> {
     pub(crate) block_barrier: Option<&'a RetireBarrier>,
     pub(crate) warp: Option<&'a WarpGroup>,
     pub(crate) collective_count: u64,
+    /// Sanitizer session of the enclosing launch, when one is attached.
+    pub(crate) san: Option<&'a LaunchSan>,
 }
 
 impl<'a> ThreadCtx<'a> {
@@ -67,6 +70,61 @@ impl<'a> ThreadCtx<'a> {
             block_barrier: None,
             warp: None,
             collective_count: 0,
+            san: None,
+        }
+    }
+
+    // ---- sanitizer plumbing --------------------------------------------
+
+    #[inline]
+    fn site(&self, san: &'a LaunchSan) -> AccessSite<'a> {
+        AccessSite {
+            kernel: san.kernel(),
+            block: self.block,
+            thread: self.thread,
+            block_rank: self.grid_dim.linear(self.block.0, self.block.1, self.block.2),
+        }
+    }
+
+    /// Run the memcheck/initcheck/racecheck global-memory hook. Returns
+    /// `true` when the access must be suppressed (OOB / use-after-free
+    /// under memcheck).
+    #[inline]
+    fn san_global<T: DeviceScalar>(&self, buf: &DBuf<T>, i: usize, kind: GlobalKind) -> bool {
+        match self.san {
+            Some(san) => san.state().global_access(
+                self.site(san),
+                buf.alloc_id(),
+                &buf.label(),
+                buf.len(),
+                buf.is_freed(),
+                i,
+                kind,
+                kind == GlobalKind::Read && buf.is_unwritten(i),
+            ),
+            None => false,
+        }
+    }
+
+    /// Dispatch a detected shared-memory race: record it when a sanitizer
+    /// session with racecheck is attached, else keep the legacy
+    /// `LaunchConfig::racecheck` behaviour of panicking the lane.
+    #[cold]
+    fn report_shared_race(&self, slot: usize, race: SharedRace) {
+        match self.san {
+            Some(san) if san.state().tool_on(ToolMask::RACECHECK) => {
+                san.state().shared_race(self.site(san), slot, race);
+            }
+            _ => panic!(
+                "shared-memory data race detected: cell {} accessed by lane {} ({}) and \
+                 lane {} ({}) within the same barrier epoch {} — missing sync_threads()?",
+                race.cell,
+                race.prev_lane,
+                if race.prev_write { "Write" } else { "Read" },
+                race.this_lane,
+                if race.this_write { "Write" } else { "Read" },
+                race.epoch
+            ),
         }
     }
 
@@ -199,13 +257,41 @@ impl<'a> ThreadCtx<'a> {
     #[inline]
     pub fn read<T: DeviceScalar>(&mut self, buf: &DBuf<T>, i: usize) -> T {
         self.counters.global_load_bytes += std::mem::size_of::<T>() as u64;
+        if self.san_global(buf, i, GlobalKind::Read) {
+            return T::default();
+        }
         buf.get(i)
+    }
+
+    /// Counted global-memory load through a raw byte offset, the pattern of
+    /// type-punned device pointers (`(double*)((char*)p + off)`). Memcheck
+    /// flags offsets that break `T`'s alignment — a fault on real hardware.
+    /// The simulated access reads the element containing the offset.
+    #[inline]
+    pub fn read_at_bytes<T: DeviceScalar>(&mut self, buf: &DBuf<T>, byte_offset: usize) -> T {
+        let align = std::mem::align_of::<T>();
+        if !byte_offset.is_multiple_of(align) {
+            if let Some(san) = self.san {
+                san.state().misaligned_access(
+                    self.site(san),
+                    buf.alloc_id(),
+                    &buf.label(),
+                    byte_offset,
+                    align,
+                    std::any::type_name::<T>(),
+                );
+            }
+        }
+        self.read(buf, byte_offset / std::mem::size_of::<T>())
     }
 
     /// Counted global-memory store.
     #[inline]
     pub fn write<T: DeviceScalar>(&mut self, buf: &DBuf<T>, i: usize, v: T) {
         self.counters.global_store_bytes += std::mem::size_of::<T>() as u64;
+        if self.san_global(buf, i, GlobalKind::Write) {
+            return;
+        }
         buf.set(i, v)
     }
 
@@ -218,6 +304,9 @@ impl<'a> ThreadCtx<'a> {
     #[inline]
     pub fn read_uniform<T: DeviceScalar>(&mut self, buf: &DBuf<T>, i: usize) -> T {
         self.counters.uniform_load_bytes += std::mem::size_of::<T>() as u64;
+        if self.san_global(buf, i, GlobalKind::Read) {
+            return T::default();
+        }
         buf.get(i)
     }
 
@@ -225,6 +314,9 @@ impl<'a> ThreadCtx<'a> {
     #[inline]
     pub fn atomic_add<T: DeviceScalar>(&mut self, buf: &DBuf<T>, i: usize, v: T) -> T {
         self.counters.atomic_ops += 1;
+        if self.san_global(buf, i, GlobalKind::Atomic) {
+            return T::default();
+        }
         buf.atomic_add(i, v)
     }
 
@@ -232,6 +324,9 @@ impl<'a> ThreadCtx<'a> {
     #[inline]
     pub fn atomic_min<T: DeviceScalar>(&mut self, buf: &DBuf<T>, i: usize, v: T) -> T {
         self.counters.atomic_ops += 1;
+        if self.san_global(buf, i, GlobalKind::Atomic) {
+            return T::default();
+        }
         buf.atomic_min(i, v)
     }
 
@@ -239,6 +334,9 @@ impl<'a> ThreadCtx<'a> {
     #[inline]
     pub fn atomic_max<T: DeviceScalar>(&mut self, buf: &DBuf<T>, i: usize, v: T) -> T {
         self.counters.atomic_ops += 1;
+        if self.san_global(buf, i, GlobalKind::Atomic) {
+            return T::default();
+        }
         buf.atomic_max(i, v)
     }
 
@@ -252,6 +350,9 @@ impl<'a> ThreadCtx<'a> {
         new: T,
     ) -> Result<T, T> {
         self.counters.atomic_ops += 1;
+        if self.san_global(buf, i, GlobalKind::Atomic) {
+            return Err(T::default());
+        }
         buf.compare_exchange(i, current, new)
     }
 
@@ -268,12 +369,19 @@ impl<'a> ThreadCtx<'a> {
     #[inline]
     pub fn sread<T: DeviceScalar>(&mut self, view: &SharedView<'a, T>, i: usize) -> T {
         self.counters.shared_accesses += 1;
-        view.racecheck_access(
+        if let Some(race) = view.racecheck_access(
             i,
             self.thread_rank(),
             self.counters.barriers,
             crate::shared::AccessKind::Read,
-        );
+        ) {
+            self.report_shared_race(view.slot_index(), race);
+        }
+        if view.is_unwritten(i) {
+            if let Some(san) = self.san {
+                san.state().uninit_shared_read(self.site(san), view.slot_index(), i);
+            }
+        }
         view.get(i)
     }
 
@@ -281,12 +389,14 @@ impl<'a> ThreadCtx<'a> {
     #[inline]
     pub fn swrite<T: DeviceScalar>(&mut self, view: &SharedView<'a, T>, i: usize, v: T) {
         self.counters.shared_accesses += 1;
-        view.racecheck_access(
+        if let Some(race) = view.racecheck_access(
             i,
             self.thread_rank(),
             self.counters.barriers,
             crate::shared::AccessKind::Write,
-        );
+        ) {
+            self.report_shared_race(view.slot_index(), race);
+        }
         view.set(i, v)
     }
 
@@ -394,6 +504,27 @@ impl<'a> ThreadCtx<'a> {
         }
         let lane = self.lane_id() as u32;
         self.warp_group().shfl(lane, val, src_lane as u32)
+    }
+
+    /// `__shfl_sync` with an explicit member mask, the form hardware exposes
+    /// (`ompx_shfl_sync(mask, ...)`). Synccheck flags masks that omit the
+    /// calling lane or name a source lane outside the mask / the warp —
+    /// undefined behaviour on real hardware. Functionally the shuffle then
+    /// proceeds as [`ThreadCtx::shfl`].
+    pub fn shfl_masked<T: DeviceScalar>(&mut self, mask: u64, val: T, src_lane: usize) -> T {
+        if let Some(san) = self.san {
+            let lane = self.lane_id();
+            let lanes = match self.warp {
+                Some(w) => w.lanes() as usize,
+                None => 1,
+            };
+            let lane_in = lane < 64 && mask & (1u64 << lane) != 0;
+            let src_in = src_lane < 64 && mask & (1u64 << src_lane) != 0 && src_lane < lanes;
+            if !lane_in || !src_in {
+                san.state().invalid_shfl_mask(self.site(san), mask, lane, src_lane);
+            }
+        }
+        self.shfl(val, src_lane)
     }
 
     /// `__shfl_down_sync`: receive the value from `lane + delta`. Lanes past

@@ -148,8 +148,7 @@ pub fn occupancy(
     } else {
         u32::MAX
     };
-    let by_smem =
-        dev.smem_per_sm.checked_div(smem_per_block).map(|b| b as u32).unwrap_or(u32::MAX);
+    let by_smem = dev.smem_per_sm.checked_div(smem_per_block).map(|b| b as u32).unwrap_or(u32::MAX);
 
     let (blocks, limiter) = [
         (by_regs, OccupancyLimiter::Registers),
@@ -288,7 +287,8 @@ pub fn model_kernel(
     let t_const = stats.const_reads as f64 / (2.0 * dev.shared_ops_per_s * comp_eff);
 
     // Shared-memory throughput, minus compiler-demoted accesses.
-    let effective_shared = stats.shared_accesses as f64 * (1.0 - cg.shared_demotion.clamp(0.0, 1.0));
+    let effective_shared =
+        stats.shared_accesses as f64 * (1.0 - cg.shared_demotion.clamp(0.0, 1.0));
     let t_shared = effective_shared / (dev.shared_ops_per_s * comp_eff);
 
     // Additive costs.
@@ -522,11 +522,8 @@ mod tests {
         let stats = StatsSnapshot { global_load_bytes: 1 << 30, ..Default::default() };
         let cg = CodegenInfo::default();
         let bare = model_kernel(&dev, 256, 4096, 0, &stats, &cg, &ModeOverheads::none());
-        let generic = ModeOverheads {
-            extra_launch_s: 10e-6,
-            body_multiplier: 1.3,
-            per_block_cycles: 2000.0,
-        };
+        let generic =
+            ModeOverheads { extra_launch_s: 10e-6, body_multiplier: 1.3, per_block_cycles: 2000.0 };
         let slow = model_kernel(&dev, 256, 4096, 0, &stats, &cg, &generic);
         assert!(slow.seconds > bare.seconds + 9e-6);
         assert!(slow.t_mode > 0.0);
@@ -536,7 +533,8 @@ mod tests {
     fn serial_ops_charge_single_thread_rate() {
         let dev = a100();
         let stats = StatsSnapshot { serial_ops: 1_410_000_000, ..Default::default() };
-        let t = model_kernel(&dev, 256, 1, 0, &stats, &CodegenInfo::default(), &ModeOverheads::none());
+        let t =
+            model_kernel(&dev, 256, 1, 0, &stats, &CodegenInfo::default(), &ModeOverheads::none());
         // 1.41e9 ops at 1.41 GHz, one block → one master → 1 second.
         assert!((t.t_serial - 1.0).abs() < 1e-9);
     }
@@ -557,7 +555,15 @@ mod tests {
     fn plus_and_times_compose() {
         let dev = a100();
         let stats = StatsSnapshot { global_load_bytes: 1 << 28, ..Default::default() };
-        let t = model_kernel(&dev, 256, 1024, 0, &stats, &CodegenInfo::default(), &ModeOverheads::none());
+        let t = model_kernel(
+            &dev,
+            256,
+            1024,
+            0,
+            &stats,
+            &CodegenInfo::default(),
+            &ModeOverheads::none(),
+        );
         let t3 = t.times(3);
         assert!((t3.seconds - 3.0 * t.seconds).abs() < 1e-12);
         let sum = t.plus(&t);

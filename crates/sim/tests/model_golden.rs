@@ -22,76 +22,90 @@ fn run_case(name: &str) -> f64 {
     let mi250 = DeviceProfile::mi250();
     match name {
         // A bandwidth-bound streaming kernel (the SU3/Stencil shape).
-        "streaming_a100" => model_kernel(
-            &a100,
-            256,
-            4096,
-            0,
-            &StatsSnapshot {
-                global_load_bytes: 1 << 30,
-                global_store_bytes: 1 << 30,
-                flops: 1 << 28,
-                ..Default::default()
-            },
-            &CodegenInfo { coalescing: 0.95, ..Default::default() },
-            &ModeOverheads::none(),
-        )
-        .seconds,
+        "streaming_a100" => {
+            model_kernel(
+                &a100,
+                256,
+                4096,
+                0,
+                &StatsSnapshot {
+                    global_load_bytes: 1 << 30,
+                    global_store_bytes: 1 << 30,
+                    flops: 1 << 28,
+                    ..Default::default()
+                },
+                &CodegenInfo { coalescing: 0.95, ..Default::default() },
+                &ModeOverheads::none(),
+            )
+            .seconds
+        }
         // A latency-bound random-access kernel (the XSBench shape).
-        "latency_a100" => model_kernel(
-            &a100,
-            256,
-            4096,
-            0,
-            &StatsSnapshot { global_load_bytes: 1 << 28, ..Default::default() },
-            &CodegenInfo {
-                coalescing: 0.2,
-                regs_per_thread: 52,
-                fp64_fraction: 1.0,
-                ..Default::default()
-            },
-            &ModeOverheads::none(),
-        )
-        .seconds,
+        "latency_a100" => {
+            model_kernel(
+                &a100,
+                256,
+                4096,
+                0,
+                &StatsSnapshot { global_load_bytes: 1 << 28, ..Default::default() },
+                &CodegenInfo {
+                    coalescing: 0.2,
+                    regs_per_thread: 52,
+                    fp64_fraction: 1.0,
+                    ..Default::default()
+                },
+                &ModeOverheads::none(),
+            )
+            .seconds
+        }
         // A compute-bound fp64 kernel (the RSBench shape) on the MI250.
-        "compute_mi250" => model_kernel(
-            &mi250,
-            128,
-            8192,
-            0,
-            &StatsSnapshot { flops: 1 << 36, ..Default::default() },
-            &CodegenInfo { fp64_fraction: 1.0, ..Default::default() },
-            &ModeOverheads::none(),
-        )
-        .seconds,
+        "compute_mi250" => {
+            model_kernel(
+                &mi250,
+                128,
+                8192,
+                0,
+                &StatsSnapshot { flops: 1 << 36, ..Default::default() },
+                &CodegenInfo { fp64_fraction: 1.0, ..Default::default() },
+                &ModeOverheads::none(),
+            )
+            .seconds
+        }
         // Generic-mode overhead with half a million teams (the Stencil-omp
         // §4.2.6 shape).
-        "generic_mode_a100" => model_kernel(
-            &a100,
-            128,
-            524288,
-            0,
-            &StatsSnapshot {
-                global_load_bytes: 1 << 30,
-                barriers: 1 << 24,
-                serial_ops: 1 << 20,
-                ..Default::default()
-            },
-            &CodegenInfo::default(),
-            &ModeOverheads { extra_launch_s: 2.5e-6, body_multiplier: 1.0, per_block_cycles: 170.0 },
-        )
-        .seconds,
+        "generic_mode_a100" => {
+            model_kernel(
+                &a100,
+                128,
+                524288,
+                0,
+                &StatsSnapshot {
+                    global_load_bytes: 1 << 30,
+                    barriers: 1 << 24,
+                    serial_ops: 1 << 20,
+                    ..Default::default()
+                },
+                &CodegenInfo::default(),
+                &ModeOverheads {
+                    extra_launch_s: 2.5e-6,
+                    body_multiplier: 1.0,
+                    per_block_cycles: 170.0,
+                },
+            )
+            .seconds
+        }
         // A shared-memory-heavy tiled kernel with demotion (the AIDW shape).
-        "shared_heavy_a100" => model_kernel(
-            &a100,
-            64,
-            6400,
-            64 * 12,
-            &StatsSnapshot { shared_accesses: 1 << 32, flops: 1 << 30, ..Default::default() },
-            &CodegenInfo { shared_demotion: 0.55, ..Default::default() },
-            &ModeOverheads::none(),
-        )
-        .seconds,
+        "shared_heavy_a100" => {
+            model_kernel(
+                &a100,
+                64,
+                6400,
+                64 * 12,
+                &StatsSnapshot { shared_accesses: 1 << 32, flops: 1 << 30, ..Default::default() },
+                &CodegenInfo { shared_demotion: 0.55, ..Default::default() },
+                &ModeOverheads::none(),
+            )
+            .seconds
+        }
         other => panic!("unknown golden case {other}"),
     }
 }
@@ -121,9 +135,13 @@ fn timing_model_calibration_is_locked() {
 
 #[test]
 fn modeled_times_are_bit_reproducible() {
-    for name in
-        ["streaming_a100", "latency_a100", "compute_mi250", "generic_mode_a100", "shared_heavy_a100"]
-    {
+    for name in [
+        "streaming_a100",
+        "latency_a100",
+        "compute_mi250",
+        "generic_mode_a100",
+        "shared_heavy_a100",
+    ] {
         let a = run_case(name);
         let b = run_case(name);
         assert_eq!(a.to_bits(), b.to_bits(), "{name} not deterministic");

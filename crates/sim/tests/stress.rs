@@ -19,10 +19,8 @@ fn barrier_storm_on_the_team_path() {
     let slot = cfg.shared_array::<u64>(tpb);
     let out = d.alloc::<u64>(blocks * tpb);
     const ROUNDS: usize = 24;
-    let k = Kernel::with_flags(
-        "storm",
-        KernelFlags { uses_block_sync: true, uses_warp_ops: false },
-        {
+    let k =
+        Kernel::with_flags("storm", KernelFlags { uses_block_sync: true, uses_warp_ops: false }, {
             let out = out.clone();
             move |tc: &mut ThreadCtx<'_>| {
                 let t = tc.thread_rank();
@@ -39,8 +37,7 @@ fn barrier_storm_on_the_team_path() {
                 let v = tc.sread(&tile, t);
                 tc.write(&out, tc.global_rank(), v);
             }
-        },
-    );
+        });
     let stats = d.launch(&k, cfg).unwrap();
     // After ROUNDS rotations, slot t holds (t + ROUNDS) % tpb.
     let got = out.to_vec();
@@ -98,10 +95,8 @@ fn mixed_warp_and_block_sync_kernel() {
     let mut cfg = LaunchConfig::new(3u32, tpb as u32);
     let slot = cfg.shared_array::<f64>(tpb);
     let out = d.alloc::<f64>(3);
-    let k = Kernel::with_flags(
-        "mixed",
-        KernelFlags { uses_block_sync: true, uses_warp_ops: true },
-        {
+    let k =
+        Kernel::with_flags("mixed", KernelFlags { uses_block_sync: true, uses_warp_ops: true }, {
             let out = out.clone();
             move |tc: &mut ThreadCtx<'_>| {
                 // Warp-level reduce, then block-level combine of warp sums.
@@ -124,8 +119,7 @@ fn mixed_warp_and_block_sync_kernel() {
                     tc.write(&out, tc.block_rank(), total);
                 }
             }
-        },
-    );
+        });
     d.launch(&k, cfg).unwrap();
     let expect = (1..=tpb).sum::<usize>() as f64;
     assert_eq!(out.to_vec(), vec![expect; 3]);

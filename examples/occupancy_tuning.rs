@@ -28,7 +28,8 @@ fn main() {
     let ctx = cuda_context_clang();
 
     // A random-gather kernel with a constant-memory coefficient table.
-    let table = ctx.memcpy_to_symbol(&(0..64).map(|i| 1.0 + (i % 7) as f64 * 0.1).collect::<Vec<_>>());
+    let table =
+        ctx.memcpy_to_symbol(&(0..64).map(|i| 1.0 + (i % 7) as f64 * 0.1).collect::<Vec<_>>());
     let src = ctx.malloc_from(&(0..N).map(|i| i as f64).collect::<Vec<_>>());
     let dst = ctx.malloc::<f64>(N);
 
@@ -71,8 +72,10 @@ fn main() {
             occ.occupancy,
             modeled.seconds * 1e6
         );
-        assert!(modeled.seconds >= last * 0.999 || occ.occupancy >= 0.999,
-            "more registers must not speed up a latency-bound kernel");
+        assert!(
+            modeled.seconds >= last * 0.999 || occ.occupancy >= 0.999,
+            "more registers must not speed up a latency-bound kernel"
+        );
         last = modeled.seconds.min(last);
     }
     println!("\nfewer registers -> more resident warps -> more loads in flight:");

@@ -44,8 +44,10 @@ fn run_on(name: &str, omp: &OpenMp) {
 
     // C = A x B for a 64x64 matrix pair.
     let m = 64;
-    let a = omp.device().alloc_from(&(0..m * m).map(|i| ((i % 7) as f32) - 3.0).collect::<Vec<_>>());
-    let b = omp.device().alloc_from(&(0..m * m).map(|i| ((i % 5) as f32) - 2.0).collect::<Vec<_>>());
+    let a =
+        omp.device().alloc_from(&(0..m * m).map(|i| ((i % 7) as f32) - 3.0).collect::<Vec<_>>());
+    let b =
+        omp.device().alloc_from(&(0..m * m).map(|i| ((i % 5) as f32) - 2.0).collect::<Vec<_>>());
     let c = omp.device().alloc::<f32>(m * m);
     blas::gemm(omp, m, m, m, 1.0, &a, &b, 0.0, &c);
     // Host reference for one element.

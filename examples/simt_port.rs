@@ -65,7 +65,11 @@ fn main() {
 
     assert_eq!(b3.to_vec(), b4.to_vec(), "both styles must compute the same result");
 
-    println!("figure 3 (omp, {} mode): modeled {:9.2} us/kernel", fig3.plan.mode.label(), fig3.modeled.seconds * 1e6);
+    println!(
+        "figure 3 (omp, {} mode): modeled {:9.2} us/kernel",
+        fig3.plan.mode.label(),
+        fig3.modeled.seconds * 1e6
+    );
     println!("figure 4 (ompx_bare):    modeled {:9.2} us/kernel", fig4.modeled.seconds * 1e6);
     println!(
         "\nompx_bare removes {:.2} us of per-kernel runtime overhead ({:.1}%)",
@@ -74,9 +78,13 @@ fn main() {
     );
 
     // ---- multi-dimensional geometry (§3.2) --------------------------------
-    let grid2d = BareTarget::new(&ompx_rt, "simt_2d").num_teams([64u32, 32]).thread_limit([16u32, 8]);
+    let grid2d =
+        BareTarget::new(&ompx_rt, "simt_2d").num_teams([64u32, 32]).thread_limit([16u32, 8]);
     let (g, b) = grid2d.geometry();
-    println!("\nmulti-dim launch (Section 3.2): num_teams({},{}) thread_limit({},{})", g.x, g.y, b.x, b.y);
+    println!(
+        "\nmulti-dim launch (Section 3.2): num_teams({},{}) thread_limit({},{})",
+        g.x, g.y, b.x, b.y
+    );
     let hits = ompx_rt.device().alloc::<u32>(1);
     grid2d
         .launch({

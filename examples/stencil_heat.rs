@@ -131,7 +131,12 @@ fn main() {
     assert_eq!(heat_bare[0], 100.0);
     assert!(heat_bare[1] > heat_bare[N / 4]);
     assert!((heat_bare[10] - heat_bare[N - 11]).abs() < 1e-9);
-    println!("temperature profile: end={:.2}  x=8: {:.4}  centre={:.6}", heat_bare[0], heat_bare[8], heat_bare[N / 2]);
+    println!(
+        "temperature profile: end={:.2}  x=8: {:.4}  centre={:.6}",
+        heat_bare[0],
+        heat_bare[8],
+        heat_bare[N / 2]
+    );
 
     println!("\nmodeled totals for {STEPS} steps:");
     println!("  ompx_bare (shared tile):     {:9.1} us", t_bare * 1e6);

@@ -57,9 +57,7 @@ fn main() {
     let half = N / 2;
     // Three dependent kernels per half; stream order is the only thing
     // sequencing them.
-    for (label, obj, lo, hi) in
-        [("lower", &obj_lo, 0, half), ("upper", &obj_hi, half, N)]
-    {
+    for (label, obj, lo, hi) in [("lower", &obj_lo, 0, half), ("upper", &obj_hi, half, N)] {
         let k1 = stage(&omp, &format!("scale_{label}"), &data, lo, hi, |v| v * 3.0);
         let k2 = stage(&omp, &format!("offset_{label}"), &data, lo, hi, |v| v + 1.0);
         let k3 = stage(&omp, &format!("square_{label}"), &data, lo, hi, |v| v * v);
@@ -88,27 +86,19 @@ fn main() {
     let omp2 = ompx::runtime_nvidia();
     let buf = omp2.device().alloc::<f32>(N);
     let key = ompx_hostrt::DepKey::token(1);
-    let producer = omp2.target("producer").num_teams(64).thread_limit(BSIZE).run_dpf_nowait(
-        &[],
-        &[key],
-        N,
-        {
+    let producer =
+        omp2.target("producer").num_teams(64).thread_limit(BSIZE).run_dpf_nowait(&[], &[key], N, {
             let buf = buf.clone();
             move |tc, i, _s| tc.write(&buf, i, i as f32)
-        },
-    );
-    let consumer = omp2.target("consumer").num_teams(64).thread_limit(BSIZE).run_dpf_nowait(
-        &[key],
-        &[],
-        N,
-        {
+        });
+    let consumer =
+        omp2.target("consumer").num_teams(64).thread_limit(BSIZE).run_dpf_nowait(&[key], &[], N, {
             let buf = buf.clone();
             move |tc, i, _s| {
                 let v = tc.read(&buf, i);
                 tc.write(&buf, i, v * 2.0);
             }
-        },
-    );
+        });
     producer.wait().expect("producer");
     consumer.wait().expect("consumer");
     omp2.taskwait();

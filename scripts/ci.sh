@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# CI gate: build, tests, lints, format, and a sanitizer smoke run.
+# Run from the repository root: ./scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q (tier-1 suite)"
+cargo test -q
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> sanitize smoke run (all tools, stencil omp, test scale)"
+cargo run --release -q -p ompx-bench --bin sanitize -- \
+    --tool all --app stencil --version omp --test-scale
+
+echo "==> sanitize fixture check (memcheck must fire)"
+if cargo run --release -q -p ompx-bench --bin sanitize -- \
+    --tool memcheck --fixture oob-write >/dev/null; then
+    echo "error: oob-write fixture reported no findings" >&2
+    exit 1
+fi
+
+echo "CI OK"

@@ -43,7 +43,8 @@ fn rsbench_orderings() {
 fn su3_crossover_between_vendors() {
     // The headline crossover: ompx loses ~9 % on the A100 but wins ~28 %
     // on the MI250 — performance portability with one source.
-    let nv = t("su3", System::Nvidia, ProgVersion::Ompx) / t("su3", System::Nvidia, ProgVersion::Native);
+    let nv =
+        t("su3", System::Nvidia, ProgVersion::Ompx) / t("su3", System::Nvidia, ProgVersion::Native);
     assert!((1.03..1.20).contains(&nv), "A100 ompx/cuda ratio {nv} not ~1.09");
     let amd = t("su3", System::Amd, ProgVersion::Native) / t("su3", System::Amd, ProgVersion::Ompx);
     assert!((1.15..1.50).contains(&amd), "MI250 hip/ompx ratio {amd} not ~1.28");
@@ -52,8 +53,7 @@ fn su3_crossover_between_vendors() {
 #[test]
 fn aidw_is_a_wash() {
     // MI250: spread under 25 % across all four versions.
-    let times: Vec<f64> =
-        ProgVersion::all().iter().map(|v| t("aidw", System::Amd, *v)).collect();
+    let times: Vec<f64> = ProgVersion::all().iter().map(|v| t("aidw", System::Amd, *v)).collect();
     let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = times.iter().cloned().fold(0.0f64, f64::max);
     assert!(max / min < 1.25, "AMD aidw spread: {times:?}");
@@ -78,9 +78,11 @@ fn adam_32_thread_bug() {
         );
     }
     // ompx matches native on NVIDIA, beats HIP on AMD.
-    let nv = t("adam", System::Nvidia, ProgVersion::Ompx) / t("adam", System::Nvidia, ProgVersion::Native);
+    let nv = t("adam", System::Nvidia, ProgVersion::Ompx)
+        / t("adam", System::Nvidia, ProgVersion::Native);
     assert!((0.9..1.1).contains(&nv));
-    let amd = t("adam", System::Amd, ProgVersion::Native) / t("adam", System::Amd, ProgVersion::Ompx);
+    let amd =
+        t("adam", System::Amd, ProgVersion::Native) / t("adam", System::Amd, ProgVersion::Ompx);
     assert!(amd > 1.05, "MI250 adam hip/ompx {amd} should show the ompx win");
 }
 

@@ -42,16 +42,18 @@ fn nowait_chain_with_taskwait() {
     let buf = omp.device().alloc::<f32>(512);
     let key = DepKey::token(99);
     for step in 0..8 {
-        omp.target(&format!("chain{step}"))
-            .num_teams(4)
-            .thread_limit(32)
-            .run_dpf_nowait(&[key], &[key], 512, {
+        omp.target(&format!("chain{step}")).num_teams(4).thread_limit(32).run_dpf_nowait(
+            &[key],
+            &[key],
+            512,
+            {
                 let buf = buf.clone();
                 move |tc, i, _s| {
                     let v = tc.read(&buf, i);
                     tc.write(&buf, i, v + 1.0);
                 }
-            });
+            },
+        );
     }
     omp.taskwait();
     assert!(buf.to_vec().iter().all(|&v| v == 8.0), "all 8 increments must apply in order");

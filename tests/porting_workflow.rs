@@ -17,12 +17,7 @@ const BLOCK: usize = 128;
 
 /// The kernel body, written once against the shared thread-context
 /// vocabulary: a block-tiled sum-reduce with a warp-shuffle finish.
-fn reduce_body(
-    tc: &mut ThreadCtx<'_>,
-    input: &DBuf<f64>,
-    total: &DBuf<f64>,
-    tile_slot: usize,
-) {
+fn reduce_body(tc: &mut ThreadCtx<'_>, input: &DBuf<f64>, total: &DBuf<f64>, tile_slot: usize) {
     let tile = tc.shared::<f64>(tile_slot);
     let tid = tc.thread_rank();
     let gid = tc.global_thread_id_x();

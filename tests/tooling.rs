@@ -105,10 +105,8 @@ fn occupancy_api_and_race_detector_compose() {
     let mut cfg = LaunchConfig::new(4u32, tpb as u32).with_racecheck();
     let slot = cfg.shared_array::<f32>(tpb);
     let out = ctx.malloc::<f32>(4 * tpb);
-    let kernel = Kernel::with_flags(
-        "tiled",
-        KernelFlags { uses_block_sync: true, uses_warp_ops: false },
-        {
+    let kernel =
+        Kernel::with_flags("tiled", KernelFlags { uses_block_sync: true, uses_warp_ops: false }, {
             let out = out.clone();
             move |tc: &mut ThreadCtx<'_>| {
                 let tile = tc.shared::<f32>(slot);
@@ -118,8 +116,7 @@ fn occupancy_api_and_race_detector_compose() {
                 let v = tc.sread(&tile, (t + tpb / 2) % tpb);
                 tc.write(&out, tc.global_rank(), v);
             }
-        },
-    );
+        });
     ctx.launch_cfg(&kernel, cfg).unwrap();
     assert_eq!(out.get(0), (tpb / 2) as f32);
 }
