@@ -1,0 +1,150 @@
+//! Affine normal form for the race engine's two-thread reduction.
+//!
+//! A race query compares one index expression per thread; symbols carry a
+//! *tag* (1 or 2) naming the thread they belong to, while symbols shared by
+//! both threads (e.g. the block id for a same-block shared-memory pair)
+//! stay tag 0. The difference of two tagged affine forms is again affine,
+//! and the disjointness rules in `check` reason about its coefficients.
+
+use crate::expr::{Expr, Var};
+use crate::interval::Interval;
+use std::collections::BTreeMap;
+
+/// A tagged symbol: `tag` 0 = shared between both threads of a pair,
+/// 1/2 = private to that thread.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Sym {
+    pub var: Var,
+    pub tag: u8,
+}
+
+/// `k + Σ coeff · sym`, coefficients in `i128`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Aff {
+    pub k: i128,
+    pub terms: BTreeMap<Sym, i128>,
+}
+
+impl Aff {
+    pub fn constant(k: i128) -> Aff {
+        Aff { k, terms: BTreeMap::new() }
+    }
+
+    pub fn sym(s: Sym) -> Aff {
+        let mut terms = BTreeMap::new();
+        terms.insert(s, 1);
+        Aff { k: 0, terms }
+    }
+
+    pub fn add(&self, other: &Aff) -> Aff {
+        let mut out = self.clone();
+        out.k += other.k;
+        for (s, c) in &other.terms {
+            *out.terms.entry(s.clone()).or_insert(0) += c;
+        }
+        out.prune();
+        out
+    }
+
+    pub fn scale(&self, f: i128) -> Aff {
+        let mut out = Aff { k: self.k * f, terms: BTreeMap::new() };
+        for (s, c) in &self.terms {
+            out.terms.insert(s.clone(), c * f);
+        }
+        out.prune();
+        out
+    }
+
+    pub fn sub(&self, other: &Aff) -> Aff {
+        self.add(&other.scale(-1))
+    }
+
+    pub fn coeff(&self, s: &Sym) -> i128 {
+        self.terms.get(s).copied().unwrap_or(0)
+    }
+
+    pub fn remove(&mut self, s: &Sym) {
+        self.terms.remove(s);
+    }
+
+    fn prune(&mut self) {
+        self.terms.retain(|_, c| *c != 0);
+    }
+
+    /// Interval of the form under per-symbol bounds.
+    pub fn interval(&self, lookup: &dyn Fn(&Sym) -> Interval) -> Interval {
+        let mut iv = Interval::point(self.k);
+        for (s, c) in &self.terms {
+            iv = iv.add(&lookup(s).mul(&Interval::point(*c)));
+            if iv.is_empty() {
+                return Interval::EMPTY;
+            }
+        }
+        iv
+    }
+}
+
+/// Lower an expression to affine normal form. `sym_of` applies the tag
+/// policy. Returns `None` for non-affine trees (symbolic `Div`/`Mod`/
+/// `Min`/`Max`, or a product of two symbolic terms) — callers fall back to
+/// pure interval reasoning.
+pub fn to_affine(e: &Expr, sym_of: &dyn Fn(&Var) -> Sym) -> Option<Aff> {
+    match e {
+        Expr::Const(k) => Some(Aff::constant(i128::from(*k))),
+        Expr::Var(v) => Some(Aff::sym(sym_of(v))),
+        Expr::Add(a, b) => Some(to_affine(a, sym_of)?.add(&to_affine(b, sym_of)?)),
+        Expr::Mul(a, b) => {
+            let fa = to_affine(a, sym_of)?;
+            let fb = to_affine(b, sym_of)?;
+            if fa.terms.is_empty() {
+                Some(fb.scale(fa.k))
+            } else if fb.terms.is_empty() {
+                Some(fa.scale(fb.k))
+            } else {
+                None
+            }
+        }
+        Expr::Div(_, _) | Expr::Mod(_, _) | Expr::Min(_, _) | Expr::Max(_, _) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::*;
+
+    fn tag1(v: &Var) -> Sym {
+        Sym { var: v.clone(), tag: 1 }
+    }
+
+    #[test]
+    fn lowering_and_difference() {
+        // idx = item * 18 + m  (su3's write pattern)
+        let idx = item() * c(18) + free("m");
+        let a1 = to_affine(&idx, &tag1).unwrap();
+        let a2 = to_affine(&idx, &|v| Sym { var: v.clone(), tag: 2 }).unwrap();
+        let d = a1.sub(&a2);
+        assert_eq!(d.coeff(&Sym { var: Var::Item, tag: 1 }), 18);
+        assert_eq!(d.coeff(&Sym { var: Var::Item, tag: 2 }), -18);
+        assert_eq!(d.k, 0);
+
+        // Residual after removing the driver is just the free-var terms.
+        let mut r = d.clone();
+        r.remove(&Sym { var: Var::Item, tag: 1 });
+        r.remove(&Sym { var: Var::Item, tag: 2 });
+        let iv = r.interval(&|s| match &s.var {
+            Var::Free(n) if n == "m" => Interval::new(0, 17),
+            _ => Interval::point(0),
+        });
+        assert_eq!(iv, Interval::new(-17, 17));
+    }
+
+    #[test]
+    fn non_affine_returns_none() {
+        assert!(to_affine(&min_e(item(), c(4)), &tag1).is_none());
+        assert!(to_affine(&(item() * tid_x()), &tag1).is_none());
+        assert!(to_affine(&div_e(item(), c(2)), &tag1).is_none());
+        // Constant * symbol stays affine even nested.
+        assert!(to_affine(&(c(3) * (item() + c(1))), &tag1).is_some());
+    }
+}

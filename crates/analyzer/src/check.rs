@@ -1,0 +1,791 @@
+//! The static checks: race freedom (two-thread reduction), barrier
+//! uniformity, index bounds, and launch-shape lints.
+//!
+//! ## Race engine
+//!
+//! Following GPUVerify's two-thread reduction, a race query quantifies
+//! over an arbitrary *pair* of distinct executing threads. Each side's
+//! index expression is lowered to affine form with tagged symbols
+//! (tag 1 / tag 2; symbols shared by both threads — the block id for a
+//! same-block shared-memory pair — stay tag 0), and the pair is proven
+//! disjoint by either rule:
+//!
+//! - **Rule B (interval):** the interval of `idx₁ − idx₂` under the
+//!   guard-tightened symbol bounds excludes zero.
+//! - **Rule A (driver):** both sides have the same nonzero coefficient
+//!   `α` on a *driver* symbol `D` known to differ between distinct
+//!   threads (`item` globally; `tid.x` or `item` for same-block shared
+//!   pairs), and the residual `idx₁ − idx₂ − α(D₁ − D₂)` has interval
+//!   within `[-(|α|-1), |α|-1]`. Since `|α(D₁ − D₂)| ≥ |α|`, the
+//!   difference cannot be zero.
+//!
+//! A pair that neither rule discharges is reported. Accesses in different
+//! phases are never compared: distinct phase labels assert barrier (or
+//! launch-boundary) ordering, which the analyzer trusts — replay mode
+//! validates the access *sets* but cannot refute phase placement.
+
+use crate::affine::{to_affine, Sym};
+use crate::expr::{Expr, Pred, Var};
+use crate::interval::{expr_interval, Interval};
+use crate::summary::{Access, Ground, KernelSummary, Mode, Space};
+use ompx_sanitizer::{Finding, Severity};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// CUDA/HIP hard limit on threads per block.
+const MAX_BLOCK: i64 = 1024;
+
+/// Run every static check on a summary, once per valuation, deduplicating
+/// identical findings (launch lints usually repeat across valuations).
+pub fn analyze(summary: &KernelSummary, warp_size: u32) -> Vec<Finding> {
+    let mut out = Vec::new();
+    if summary.valuations.is_empty() {
+        out.push(finding(
+            "summarycheck",
+            &summary.kernel,
+            "valuations",
+            Severity::Error,
+            "summary declares no valuations; every check needs at least one concrete \
+             parameter assignment"
+                .into(),
+        ));
+        return out;
+    }
+    if summary.valuations.len() < 2 {
+        out.push(finding(
+            "summarycheck",
+            &summary.kernel,
+            "valuations",
+            Severity::Warning,
+            "summary declares fewer than two valuations; replay cross-checking needs at \
+             least two grid shapes"
+                .into(),
+        ));
+    }
+    for val in &summary.valuations {
+        match summary.ground(val) {
+            Err(e) => out.push(finding(
+                "summarycheck",
+                &summary.kernel,
+                format!("valuation `{}`", val.name),
+                Severity::Error,
+                e,
+            )),
+            Ok(g) => check_ground(&g, warp_size, &mut out),
+        }
+    }
+    dedup(out)
+}
+
+/// All checks on one grounded summary.
+pub fn check_ground(g: &Ground, warp_size: u32, out: &mut Vec<Finding>) {
+    check_launch(g, warp_size, out);
+    check_barriers(g, out);
+    let valid = validate_accesses(g, out);
+    check_bounds(g, &valid, out);
+    check_races(g, &valid, out);
+}
+
+fn finding(
+    tool: &str,
+    kernel: &str,
+    location: impl Into<String>,
+    severity: Severity,
+    message: String,
+) -> Finding {
+    Finding {
+        tool: tool.to_string(),
+        kernel: kernel.to_string(),
+        location: location.into(),
+        severity,
+        message,
+    }
+}
+
+fn dedup(findings: Vec<Finding>) -> Vec<Finding> {
+    let mut seen = BTreeSet::new();
+    findings
+        .into_iter()
+        .filter(|f| seen.insert((f.tool.clone(), f.location.clone(), f.message.clone())))
+        .collect()
+}
+
+// ---------------------------------------------------------------- launch
+
+fn check_launch(g: &Ground, warp_size: u32, out: &mut Vec<Finding>) {
+    let loc = format!(
+        "launch block ({},{},{}) grid ({},{},{})",
+        g.block.0, g.block.1, g.block.2, g.grid.0, g.grid.1, g.grid.2
+    );
+    let bsize = g.block_size();
+    if g.block.0 == 0 || g.block.1 == 0 || g.block.2 == 0 {
+        out.push(finding(
+            "launchcheck",
+            &g.kernel,
+            loc.clone(),
+            Severity::Error,
+            format!("block dimension is zero under valuation `{}`", g.valuation),
+        ));
+        return;
+    }
+    if g.grid.0 == 0 || g.grid.1 == 0 || g.grid.2 == 0 {
+        out.push(finding(
+            "launchcheck",
+            &g.kernel,
+            loc.clone(),
+            Severity::Error,
+            format!("grid dimension is zero under valuation `{}`", g.valuation),
+        ));
+    }
+    if bsize > MAX_BLOCK {
+        out.push(finding(
+            "launchcheck",
+            &g.kernel,
+            loc.clone(),
+            Severity::Error,
+            format!("{bsize} threads per block exceeds the device limit of {MAX_BLOCK}"),
+        ));
+    }
+    if bsize > 1 && bsize % i64::from(warp_size) != 0 {
+        out.push(finding(
+            "launchcheck",
+            &g.kernel,
+            loc.clone(),
+            Severity::Warning,
+            format!(
+                "{bsize} threads per block is not a multiple of the warp size {warp_size}; \
+                 partial warps waste lanes"
+            ),
+        ));
+    }
+    if g.version == "omp" && (g.grid.1 > 1 || g.grid.2 > 1) {
+        out.push(finding(
+            "launchcheck",
+            &g.kernel,
+            loc.clone(),
+            Severity::Error,
+            "traditional OpenMP offload cannot express a multi-dimensional team grid \
+             (paper §3.2); flatten to num_teams(x*y*z)"
+                .into(),
+        ));
+    }
+    // KernelFlags drift: the executor silently runs the serial/no-sync
+    // path when a kernel synchronizes without declaring the capability.
+    if !g.barriers.is_empty() && bsize > 1 && !g.flags.uses_block_sync {
+        out.push(finding(
+            "synccheck",
+            &g.kernel,
+            loc.clone(),
+            Severity::Error,
+            "KernelFlags drift: kernel executes barriers but the launch does not declare \
+             uses_block_sync; the runtime degrades sync_threads to a no-op"
+                .into(),
+        ));
+    }
+    if g.warp_ops && !g.flags.uses_warp_ops {
+        out.push(finding(
+            "synccheck",
+            &g.kernel,
+            loc.clone(),
+            Severity::Error,
+            "KernelFlags drift: kernel executes warp collectives but the launch does not \
+             declare uses_warp_ops"
+                .into(),
+        ));
+    }
+    if g.flags.uses_block_sync && g.barriers.is_empty() && bsize > 1 {
+        out.push(finding(
+            "launchcheck",
+            &g.kernel,
+            loc,
+            Severity::Warning,
+            "launch declares uses_block_sync but the kernel has no barriers; the flag \
+             forfeits serial-path eligibility (paper §3.5) for nothing"
+                .into(),
+        ));
+    }
+}
+
+// --------------------------------------------------------------- barriers
+
+fn check_barriers(g: &Ground, out: &mut Vec<Finding>) {
+    for b in &g.barriers {
+        let mut vars = BTreeSet::new();
+        b.guard.vars(&mut vars);
+        let divergent: Vec<&Var> = vars
+            .iter()
+            .filter(|v| matches!(v, Var::TidX | Var::TidY | Var::TidZ | Var::Item | Var::Free(_)))
+            .collect();
+        if !divergent.is_empty() {
+            let names: Vec<String> = divergent.iter().map(|v| v.to_string()).collect();
+            out.push(finding(
+                "synccheck",
+                &g.kernel,
+                format!("barrier in phase `{}`", b.phase),
+                Severity::Error,
+                format!(
+                    "barrier executes under the thread-dependent predicate `{}` \
+                     (mentions {}); divergent threads deadlock at the barrier",
+                    b.guard,
+                    names.join(", ")
+                ),
+            ));
+        }
+    }
+}
+
+// ------------------------------------------------------------- validation
+
+/// Filter accesses down to those whose buffers and variables are declared,
+/// reporting malformed ones as `summarycheck` errors.
+fn validate_accesses<'a>(g: &'a Ground, out: &mut Vec<Finding>) -> Vec<&'a Access> {
+    let mut valid = Vec::new();
+    'acc: for a in &g.accesses {
+        let loc = access_loc(a);
+        match &a.space {
+            Space::Global(label) => {
+                if g.buffer_len(label).is_none() {
+                    out.push(finding(
+                        "summarycheck",
+                        &g.kernel,
+                        loc,
+                        Severity::Error,
+                        format!("access names undeclared buffer `{label}`"),
+                    ));
+                    continue;
+                }
+            }
+            Space::Shared(slot) => {
+                if g.shared_len(*slot).is_none() {
+                    out.push(finding(
+                        "summarycheck",
+                        &g.kernel,
+                        loc,
+                        Severity::Error,
+                        format!("access names undeclared shared slot {slot}"),
+                    ));
+                    continue;
+                }
+            }
+        }
+        let mut vars = BTreeSet::new();
+        a.index.vars(&mut vars);
+        a.guard.vars(&mut vars);
+        for v in vars {
+            match v {
+                Var::Param(p) => {
+                    out.push(finding(
+                        "summarycheck",
+                        &g.kernel,
+                        access_loc(a),
+                        Severity::Error,
+                        format!(
+                            "parameter `{p}` survives grounding under valuation `{}`; \
+                             add it to the valuation",
+                            g.valuation
+                        ),
+                    ));
+                    continue 'acc;
+                }
+                Var::Free(n) if g.free_range(&n).is_none() => {
+                    out.push(finding(
+                        "summarycheck",
+                        &g.kernel,
+                        access_loc(a),
+                        Severity::Error,
+                        format!("free variable `${n}` has no declared range"),
+                    ));
+                    continue 'acc;
+                }
+                _ => {}
+            }
+        }
+        valid.push(a);
+    }
+    valid
+}
+
+fn access_loc(a: &Access) -> String {
+    format!("{} {}[{}]", a.mode.label(), a.space, a.index)
+}
+
+// ----------------------------------------------------------- symbol bounds
+
+/// Base interval of one symbol for one thread of a pair (or tag 0 for the
+/// single-thread bounds check).
+fn base_interval(g: &Ground, var: &Var) -> Interval {
+    let dim = |v: u32| Interval::new(0, i128::from(v) - 1);
+    match var {
+        Var::TidX => dim(g.block.0),
+        Var::TidY => dim(g.block.1),
+        Var::TidZ => dim(g.block.2),
+        Var::BidX => dim(g.grid.0),
+        Var::BidY => dim(g.grid.1),
+        Var::BidZ => dim(g.grid.2),
+        Var::BDimX => Interval::point(i128::from(g.block.0)),
+        Var::BDimY => Interval::point(i128::from(g.block.1)),
+        Var::BDimZ => Interval::point(i128::from(g.block.2)),
+        Var::GDimX => Interval::point(i128::from(g.grid.0)),
+        Var::GDimY => Interval::point(i128::from(g.grid.1)),
+        Var::GDimZ => Interval::point(i128::from(g.grid.2)),
+        Var::Item => {
+            let (lo, hi) = g.item_range();
+            Interval::new(i128::from(lo), i128::from(hi))
+        }
+        Var::Free(n) => match g.free_range(n) {
+            Some((lo, hi)) => Interval::new(i128::from(lo), i128::from(hi)),
+            // Validation rejects undeclared frees; stay conservative if
+            // one slips through so nothing passes vacuously.
+            None => Interval::new(i128::from(i64::MIN), i128::from(i64::MAX)),
+        },
+        // Parameters are rejected during validation.
+        Var::Param(_) => Interval::new(i128::from(i64::MIN), i128::from(i64::MAX)),
+    }
+}
+
+type SymBounds = BTreeMap<Sym, Interval>;
+
+fn insert_thread_syms(g: &Ground, tag: u8, shared_bid: bool, m: &mut SymBounds) {
+    let tid_vars = [Var::TidX, Var::TidY, Var::TidZ, Var::Item];
+    for v in tid_vars {
+        m.insert(Sym { var: v.clone(), tag }, base_interval(g, &v));
+    }
+    let bid_tag = if shared_bid { 0 } else { tag };
+    for v in [Var::BidX, Var::BidY, Var::BidZ] {
+        m.insert(Sym { var: v.clone(), tag: bid_tag }, base_interval(g, &v));
+    }
+    for (name, lo, hi) in &g.frees {
+        m.insert(
+            Sym { var: Var::Free(name.clone()), tag },
+            Interval::new(i128::from(*lo), i128::from(*hi)),
+        );
+    }
+}
+
+/// Tighten symbol bounds using single-symbol affine guard conjuncts.
+/// Returns false when some symbol's interval empties (guard unreachable).
+fn tighten(m: &mut SymBounds, guard: &Pred, sym_of: &dyn Fn(&Var) -> Sym) -> bool {
+    for conj in guard.conjuncts() {
+        let cons: Vec<(&Expr, &Expr, bool)> = match conj {
+            Pred::Lt(a, b) => vec![(a, b, true)],
+            Pred::Le(a, b) => vec![(a, b, false)],
+            Pred::Eq(a, b) => vec![(a, b, false), (b, a, false)],
+            _ => continue, // Or/Not conjuncts don't tighten (sound: wider)
+        };
+        for (a, b, strict) in cons {
+            let (Some(fa), Some(fb)) = (to_affine(a, sym_of), to_affine(b, sym_of)) else {
+                continue;
+            };
+            let d = fa.sub(&fb);
+            if d.terms.len() != 1 {
+                continue;
+            }
+            let (s, alpha) = d.terms.iter().next().map(|(s, c)| (s.clone(), *c)).unwrap();
+            // alpha*s + k <= -strict  =>  alpha*s <= r
+            let r = -d.k - i128::from(strict);
+            let bound = r.div_euclid(alpha);
+            if let Some(iv) = m.get_mut(&s) {
+                if alpha > 0 {
+                    iv.hi = iv.hi.min(bound);
+                } else {
+                    iv.lo = iv.lo.max(bound);
+                }
+            }
+        }
+    }
+    !m.values().any(Interval::is_empty)
+}
+
+fn lookup_in<'a>(
+    m: &'a SymBounds,
+    sym_of: &'a dyn Fn(&Var) -> Sym,
+) -> impl Fn(&Var) -> Interval + 'a {
+    move |v: &Var| {
+        m.get(&sym_of(v))
+            .copied()
+            .unwrap_or(Interval::new(i128::from(i64::MIN), i128::from(i64::MAX)))
+    }
+}
+
+// ----------------------------------------------------------------- bounds
+
+fn check_bounds(g: &Ground, valid: &[&Access], out: &mut Vec<Finding>) {
+    let sym0 = |v: &Var| Sym { var: v.clone(), tag: 0 };
+    for a in valid {
+        let len = match &a.space {
+            Space::Global(l) => g.buffer_len(l).unwrap(),
+            Space::Shared(s) => g.shared_len(*s).unwrap(),
+        };
+        let mut m = SymBounds::new();
+        insert_thread_syms(g, 0, true, &mut m);
+        if !tighten(&mut m, &a.guard, &sym0) {
+            continue; // guard unsatisfiable: access unreachable
+        }
+        let mut iv = expr_interval(&a.index, &lookup_in(&m, &sym0));
+        if iv.is_empty() {
+            continue;
+        }
+        refine_by_guard(&mut iv, &a.index, &a.guard, &m, &sym0);
+        if iv.lo < 0 || iv.hi >= i128::from(len) {
+            out.push(finding(
+                "boundscheck",
+                &g.kernel,
+                access_loc(a),
+                Severity::Error,
+                format!(
+                    "index interval {iv} is not contained in [0, {}] (len {len}) under \
+                     valuation `{}`",
+                    len - 1,
+                    g.valuation
+                ),
+            ));
+        }
+    }
+}
+
+/// Refine an index interval using guard conjuncts that bound an expression
+/// affinely equal to the index (up to a constant). Catches multi-symbol
+/// guards like `t*64 + tid.x < n` protecting the very same index, which
+/// single-symbol tightening cannot express.
+fn refine_by_guard(
+    iv: &mut Interval,
+    index: &Expr,
+    guard: &Pred,
+    m: &SymBounds,
+    sym_of: &dyn Fn(&Var) -> Sym,
+) {
+    let Some(aidx) = to_affine(index, sym_of) else { return };
+    let sym_lookup = |s: &Sym| {
+        m.get(s).copied().unwrap_or(Interval::new(i128::from(i64::MIN), i128::from(i64::MAX)))
+    };
+    for conj in guard.conjuncts() {
+        let cons: Vec<(&Expr, &Expr, bool)> = match conj {
+            Pred::Lt(a, b) => vec![(a, b, true)],
+            Pred::Le(a, b) => vec![(a, b, false)],
+            Pred::Eq(a, b) => vec![(a, b, false), (b, a, false)],
+            _ => continue,
+        };
+        for (a, b, strict) in cons {
+            let (Some(fa), Some(fb)) = (to_affine(a, sym_of), to_affine(b, sym_of)) else {
+                continue;
+            };
+            // lhs == index + k  =>  index <= hi(rhs) - k - strict
+            let da = fa.sub(&aidx);
+            if da.terms.is_empty() {
+                let rhs = fb.interval(&sym_lookup);
+                if !rhs.is_empty() {
+                    iv.hi = iv.hi.min(rhs.hi - da.k - i128::from(strict));
+                }
+            }
+            // rhs == index + k  =>  index >= lo(lhs) - k + strict
+            let db = fb.sub(&aidx);
+            if db.terms.is_empty() {
+                let lhs = fa.interval(&sym_lookup);
+                if !lhs.is_empty() {
+                    iv.lo = iv.lo.max(lhs.lo - db.k + i128::from(strict));
+                }
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------------ races
+
+fn check_races(g: &Ground, valid: &[&Access], out: &mut Vec<Finding>) {
+    for i in 0..valid.len() {
+        for j in i..valid.len() {
+            check_pair(g, valid[i], valid[j], out);
+        }
+    }
+}
+
+fn check_pair(g: &Ground, a1: &Access, a2: &Access, out: &mut Vec<Finding>) {
+    if a1.space != a2.space || a1.phase != a2.phase {
+        return;
+    }
+    if a1.mode != Mode::Write && a2.mode != Mode::Write {
+        return; // read/read and atomic/atomic (and atomic/read) never race
+    }
+    let shared = matches!(a1.space, Space::Shared(_));
+    if shared && g.block_size() == 1 {
+        return; // single-thread blocks cannot have same-block pairs
+    }
+    let sym_of = |tag: u8| {
+        move |v: &Var| {
+            let t = if shared && matches!(v, Var::BidX | Var::BidY | Var::BidZ) { 0 } else { tag };
+            Sym { var: v.clone(), tag: t }
+        }
+    };
+    let s1 = sym_of(1);
+    let s2 = sym_of(2);
+    let mut m = SymBounds::new();
+    insert_thread_syms(g, 1, shared, &mut m);
+    insert_thread_syms(g, 2, shared, &mut m);
+    if !tighten(&mut m, &a1.guard, &s1) || !tighten(&mut m, &a2.guard, &s2) {
+        return; // pair unreachable together
+    }
+    let sym_lookup = |s: &Sym| {
+        m.get(s).copied().unwrap_or(Interval::new(i128::from(i64::MIN), i128::from(i64::MAX)))
+    };
+    let f1 = to_affine(&a1.index, &s1);
+    let f2 = to_affine(&a2.index, &s2);
+    if let (Some(f1), Some(f2)) = (&f1, &f2) {
+        let d = f1.sub(f2);
+        // Rule B: the difference can never be zero.
+        if !d.interval(&sym_lookup).contains_zero() {
+            return;
+        }
+        // Rule A: a driver symbol known distinct between the two threads.
+        let mut drivers = vec![Var::Item];
+        if shared && g.block.1 == 1 && g.block.2 == 1 {
+            drivers.push(Var::TidX);
+        }
+        for drv in drivers {
+            let d1 = Sym { var: drv.clone(), tag: 1 };
+            let d2 = Sym { var: drv.clone(), tag: 2 };
+            let alpha = f1.coeff(&d1);
+            if alpha != 0 && alpha == f2.coeff(&d2) {
+                let mut r = d.clone();
+                r.remove(&d1);
+                r.remove(&d2);
+                let iv = r.interval(&sym_lookup);
+                if !iv.is_empty() && iv.lo > -alpha.abs() && iv.hi < alpha.abs() {
+                    return; // |alpha·(D1-D2)| >= |alpha| dominates the residual
+                }
+            }
+        }
+    } else {
+        // Non-affine fallback: disjoint index ranges cannot collide.
+        let iv1 = expr_interval(&a1.index, &lookup_in(&m, &s1));
+        let iv2 = expr_interval(&a2.index, &lookup_in(&m, &s2));
+        if iv1.is_empty() || iv2.is_empty() || iv1.intersect(&iv2).is_empty() {
+            return;
+        }
+    }
+    out.push(finding(
+        "racecheck",
+        &g.kernel,
+        format!("{} vs {} in phase `{}`", access_loc(a1), access_loc(a2), a1.phase),
+        Severity::Error,
+        format!(
+            "two distinct threads may touch the same {} element with at least one write; \
+             no disjointness proof found under valuation `{}`",
+            a1.space, g.valuation
+        ),
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::*;
+    use crate::summary::*;
+
+    fn base(accesses: Vec<Access>) -> KernelSummary {
+        KernelSummary {
+            kernel: "k".into(),
+            app: "t".into(),
+            version: "ompx".into(),
+            launch: LaunchShape { block: (64, 1, 1), grid: [c(4), c(1), c(1)] },
+            flags: SummaryFlags::default(),
+            warp_ops: false,
+            domain: Domain::OnePerThread,
+            frees: vec![],
+            buffers: vec![BufferDecl { name: "buf".into(), len: param("n") }],
+            shared: vec![],
+            accesses,
+            barriers: vec![],
+            valuations: vec![
+                Valuation::new("a", &[("n", 256)]),
+                Valuation::new("b", &[("n", 100)]),
+            ],
+        }
+    }
+
+    fn acc(mode: Mode, index: Expr, guard: Pred) -> Access {
+        Access { space: Space::Global("buf".into()), mode, index, guard, phase: "main".into() }
+    }
+
+    fn errors(f: &[Finding]) -> usize {
+        f.iter().filter(|f| f.severity == Severity::Error).count()
+    }
+
+    #[test]
+    fn distinct_items_do_not_race() {
+        let s = base(vec![acc(Mode::Write, item(), lt(item(), param("n")))]);
+        let f = analyze(&s, 32);
+        assert_eq!(errors(&f), 0, "{f:?}");
+    }
+
+    #[test]
+    fn all_threads_writing_one_cell_races() {
+        let s = base(vec![acc(Mode::Write, c(0), Pred::True)]);
+        let f = analyze(&s, 32);
+        assert!(f.iter().any(|f| f.tool == "racecheck"), "{f:?}");
+    }
+
+    #[test]
+    fn rule_a_handles_strided_writes_with_offsets() {
+        // su3 shape: write buf[item*18 + m], m in [0,17], len n*18.
+        let mut s = base(vec![Access {
+            space: Space::Global("buf".into()),
+            mode: Mode::Write,
+            index: item() * c(18) + free("m"),
+            guard: lt(item(), param("n")),
+            phase: "main".into(),
+        }]);
+        s.frees = vec![FreeDecl { name: "m".into(), lo: c(0), hi: c(17) }];
+        s.buffers = vec![BufferDecl { name: "buf".into(), len: param("n") * c(18) }];
+        let f = analyze(&s, 32);
+        assert_eq!(errors(&f), 0, "{f:?}");
+    }
+
+    #[test]
+    fn unguarded_index_past_len_is_out_of_bounds() {
+        // Grid covers 256 threads; n=100 in the second valuation, and the
+        // write is unguarded.
+        let s = base(vec![acc(Mode::Write, item(), Pred::True)]);
+        let f = analyze(&s, 32);
+        assert!(f.iter().any(|f| f.tool == "boundscheck"), "{f:?}");
+        // Race-free though: distinct items.
+        assert!(!f.iter().any(|f| f.tool == "racecheck"), "{f:?}");
+    }
+
+    #[test]
+    fn multi_symbol_guard_protects_the_index_it_mentions() {
+        // aidw shape: read buf[t*64 + tid.x] guarded by t*64 + tid.x < n.
+        let mut s = base(vec![Access {
+            space: Space::Global("buf".into()),
+            mode: Mode::Read,
+            index: free("t") * c(64) + tid_x(),
+            guard: lt(free("t") * c(64) + tid_x(), param("n")),
+            phase: "main".into(),
+        }]);
+        s.frees =
+            vec![FreeDecl { name: "t".into(), lo: c(0), hi: ceil_div(param("n"), 64) - c(1) }];
+        let f = analyze(&s, 32);
+        assert_eq!(errors(&f), 0, "{f:?}");
+    }
+
+    #[test]
+    fn divergent_barrier_guard_is_reported() {
+        let mut s = base(vec![]);
+        s.flags.uses_block_sync = true;
+        s.barriers = vec![Barrier { guard: lt(tid_x(), c(1)), phase: "p".into() }];
+        let f = analyze(&s, 32);
+        assert!(
+            f.iter().any(|f| f.tool == "synccheck" && f.message.contains("thread-dependent")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn launch_lints_fire() {
+        // Oversized block.
+        let mut s = base(vec![]);
+        s.launch.block = (2048, 1, 1);
+        let f = analyze(&s, 32);
+        assert!(f.iter().any(|f| f.tool == "launchcheck" && f.message.contains("1024")), "{f:?}");
+        // Non-warp-multiple block is a warning, not an error.
+        let mut s = base(vec![]);
+        s.launch.block = (48, 1, 1);
+        let f = analyze(&s, 32);
+        assert!(
+            f.iter().any(|f| f.tool == "launchcheck" && f.severity == Severity::Warning),
+            "{f:?}"
+        );
+        assert_eq!(errors(&f), 0);
+        // Multi-dim grid under traditional omp.
+        let mut s = base(vec![]);
+        s.version = "omp".into();
+        s.launch.grid = [c(2), c(2), c(1)];
+        let f = analyze(&s, 32);
+        assert!(f.iter().any(|f| f.message.contains("§3.2")), "{f:?}");
+    }
+
+    #[test]
+    fn flags_drift_lint_fires() {
+        let mut s = base(vec![]);
+        s.barriers = vec![Barrier { guard: Pred::True, phase: "p".into() }];
+        s.flags.uses_block_sync = false;
+        let f = analyze(&s, 32);
+        assert!(
+            f.iter().any(|f| f.tool == "synccheck" && f.message.contains("KernelFlags drift")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn shared_tile_halo_is_race_free() {
+        // stencil load phase, slot 0 of len 262: three writes at disjoint
+        // shifted ranges.
+        let mut s = base(vec![]);
+        s.launch.block = (256, 1, 1);
+        s.shared = vec![SharedDecl { slot: 0, len: c(262) }];
+        s.accesses = vec![
+            Access {
+                space: Space::Shared(0),
+                mode: Mode::Write,
+                index: tid_x() + c(3),
+                guard: Pred::True,
+                phase: "load".into(),
+            },
+            Access {
+                space: Space::Shared(0),
+                mode: Mode::Write,
+                index: tid_x(),
+                guard: lt(tid_x(), c(3)),
+                phase: "load".into(),
+            },
+            Access {
+                space: Space::Shared(0),
+                mode: Mode::Write,
+                index: tid_x() + c(259),
+                guard: lt(tid_x(), c(3)),
+                phase: "load".into(),
+            },
+        ];
+        s.flags.uses_block_sync = true;
+        s.barriers = vec![Barrier { guard: Pred::True, phase: "load".into() }];
+        let f = analyze(&s, 32);
+        assert_eq!(errors(&f), 0, "{f:?}");
+    }
+
+    #[test]
+    fn shared_write_same_cell_races_across_threads() {
+        let mut s = base(vec![]);
+        s.shared = vec![SharedDecl { slot: 0, len: c(8) }];
+        s.flags.uses_block_sync = true;
+        s.barriers = vec![Barrier { guard: Pred::True, phase: "load".into() }];
+        s.accesses = vec![Access {
+            space: Space::Shared(0),
+            mode: Mode::Write,
+            index: mod_e(tid_x(), c(8)),
+            guard: Pred::True,
+            phase: "load".into(),
+        }];
+        let f = analyze(&s, 32);
+        assert!(f.iter().any(|f| f.tool == "racecheck"), "{f:?}");
+    }
+
+    #[test]
+    fn undeclared_buffer_is_a_summary_error() {
+        let mut s = base(vec![]);
+        s.accesses = vec![Access {
+            space: Space::Global("ghost".into()),
+            mode: Mode::Read,
+            index: c(0),
+            guard: Pred::True,
+            phase: "main".into(),
+        }];
+        let f = analyze(&s, 32);
+        assert!(f.iter().any(|f| f.tool == "summarycheck" && f.message.contains("ghost")), "{f:?}");
+    }
+
+    #[test]
+    fn grid_stride_domain_is_race_free_and_bounded() {
+        let mut s = base(vec![acc(Mode::Write, item(), Pred::True)]);
+        s.domain = Domain::GridStride(param("n"));
+        let f = analyze(&s, 32);
+        assert_eq!(errors(&f), 0, "{f:?}");
+    }
+}

@@ -1,0 +1,452 @@
+//! The symbolic expression language access summaries are written in.
+//!
+//! Expressions are integer-valued terms over a small set of variables:
+//! thread/block coordinates, block/grid dimensions, the kernel's logical
+//! *item* (the loop index a domain assigns to each executing thread),
+//! named launch parameters, and named *free* variables (data-dependent
+//! indices abstracted by a declared range). Guards are boolean predicates
+//! over the same terms.
+//!
+//! The analyzer never reasons about fully symbolic launch parameters:
+//! before any check runs, every `Param`/`BDim`/`GDim` variable is
+//! substituted with a concrete value from a [`crate::summary::Valuation`],
+//! leaving only thread coordinates, the item, and free variables symbolic.
+//! That keeps every index affine (or an interval-analyzable tree of
+//! `min`/`max`/`div`/`mod` over affine parts) without a general nonlinear
+//! solver.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A symbolic variable.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Var {
+    /// Thread coordinate within the block.
+    TidX,
+    TidY,
+    TidZ,
+    /// Block coordinate within the grid.
+    BidX,
+    BidY,
+    BidZ,
+    /// Block dimensions (substituted to constants before analysis).
+    BDimX,
+    BDimY,
+    BDimZ,
+    /// Grid dimensions (substituted to constants before analysis).
+    GDimX,
+    GDimY,
+    GDimZ,
+    /// The logical work item the executing thread is processing, as
+    /// assigned by the kernel's [`crate::summary::Domain`].
+    Item,
+    /// A named launch parameter (substituted to a constant before
+    /// analysis).
+    Param(String),
+    /// A named free variable with a declared inclusive range
+    /// ([`crate::summary::FreeDecl`]); models data-dependent indices.
+    Free(String),
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Var::TidX => write!(f, "tid.x"),
+            Var::TidY => write!(f, "tid.y"),
+            Var::TidZ => write!(f, "tid.z"),
+            Var::BidX => write!(f, "bid.x"),
+            Var::BidY => write!(f, "bid.y"),
+            Var::BidZ => write!(f, "bid.z"),
+            Var::BDimX => write!(f, "bdim.x"),
+            Var::BDimY => write!(f, "bdim.y"),
+            Var::BDimZ => write!(f, "bdim.z"),
+            Var::GDimX => write!(f, "gdim.x"),
+            Var::GDimY => write!(f, "gdim.y"),
+            Var::GDimZ => write!(f, "gdim.z"),
+            Var::Item => write!(f, "item"),
+            Var::Param(p) => write!(f, "{p}"),
+            Var::Free(n) => write!(f, "${n}"),
+        }
+    }
+}
+
+/// A symbolic integer expression.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    Const(i64),
+    Var(Var),
+    Add(Box<Expr>, Box<Expr>),
+    Mul(Box<Expr>, Box<Expr>),
+    /// Euclidean-style non-negative division as used by index math
+    /// (`div_euclid` semantics; operands in summaries are non-negative).
+    Div(Box<Expr>, Box<Expr>),
+    /// Remainder paired with [`Expr::Div`] (`rem_euclid` semantics).
+    Mod(Box<Expr>, Box<Expr>),
+    Min(Box<Expr>, Box<Expr>),
+    Max(Box<Expr>, Box<Expr>),
+}
+
+// Convenience builders, so summaries read close to the kernel source.
+pub fn c(v: i64) -> Expr {
+    Expr::Const(v)
+}
+pub fn v(var: Var) -> Expr {
+    Expr::Var(var)
+}
+pub fn tid_x() -> Expr {
+    v(Var::TidX)
+}
+pub fn bid_x() -> Expr {
+    v(Var::BidX)
+}
+pub fn item() -> Expr {
+    v(Var::Item)
+}
+pub fn param(name: &str) -> Expr {
+    v(Var::Param(name.to_string()))
+}
+pub fn free(name: &str) -> Expr {
+    v(Var::Free(name.to_string()))
+}
+pub fn min_e(a: Expr, b: Expr) -> Expr {
+    Expr::Min(Box::new(a), Box::new(b))
+}
+pub fn max_e(a: Expr, b: Expr) -> Expr {
+    Expr::Max(Box::new(a), Box::new(b))
+}
+pub fn div_e(a: Expr, b: Expr) -> Expr {
+    Expr::Div(Box::new(a), Box::new(b))
+}
+pub fn mod_e(a: Expr, b: Expr) -> Expr {
+    Expr::Mod(Box::new(a), Box::new(b))
+}
+/// `ceil(a / k)` for a positive literal divisor, as grid-size math writes it.
+pub fn ceil_div(a: Expr, k: i64) -> Expr {
+    div_e(a + c(k - 1), c(k))
+}
+
+impl std::ops::Add for Expr {
+    type Output = Expr;
+    fn add(self, rhs: Expr) -> Expr {
+        Expr::Add(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl std::ops::Sub for Expr {
+    type Output = Expr;
+    fn sub(self, rhs: Expr) -> Expr {
+        Expr::Add(Box::new(self), Box::new(Expr::Mul(Box::new(c(-1)), Box::new(rhs))))
+    }
+}
+
+impl std::ops::Mul for Expr {
+    type Output = Expr;
+    fn mul(self, rhs: Expr) -> Expr {
+        Expr::Mul(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl Expr {
+    /// Substitute variables via `f` (returning `None` keeps the variable),
+    /// folding constants where both operands become literals.
+    pub fn subst(&self, f: &dyn Fn(&Var) -> Option<i64>) -> Expr {
+        match self {
+            Expr::Const(k) => Expr::Const(*k),
+            Expr::Var(var) => match f(var) {
+                Some(k) => Expr::Const(k),
+                None => Expr::Var(var.clone()),
+            },
+            Expr::Add(a, b) => fold2(a.subst(f), b.subst(f), Expr::Add, |x, y| x + y),
+            Expr::Mul(a, b) => fold2(a.subst(f), b.subst(f), Expr::Mul, |x, y| x * y),
+            Expr::Div(a, b) => {
+                fold2(
+                    a.subst(f),
+                    b.subst(f),
+                    Expr::Div,
+                    |x, y| {
+                        if y == 0 {
+                            0
+                        } else {
+                            x.div_euclid(y)
+                        }
+                    },
+                )
+            }
+            Expr::Mod(a, b) => {
+                fold2(
+                    a.subst(f),
+                    b.subst(f),
+                    Expr::Mod,
+                    |x, y| {
+                        if y == 0 {
+                            0
+                        } else {
+                            x.rem_euclid(y)
+                        }
+                    },
+                )
+            }
+            Expr::Min(a, b) => fold2(a.subst(f), b.subst(f), Expr::Min, i64::min),
+            Expr::Max(a, b) => fold2(a.subst(f), b.subst(f), Expr::Max, i64::max),
+        }
+    }
+
+    /// Evaluate under a concrete environment. `None` on division by zero.
+    pub fn eval(&self, env: &Env<'_>) -> Option<i128> {
+        Some(match self {
+            Expr::Const(k) => i128::from(*k),
+            Expr::Var(var) => env.lookup(var)?,
+            Expr::Add(a, b) => a.eval(env)? + b.eval(env)?,
+            Expr::Mul(a, b) => a.eval(env)? * b.eval(env)?,
+            Expr::Div(a, b) => {
+                let d = b.eval(env)?;
+                if d == 0 {
+                    return None;
+                }
+                a.eval(env)?.div_euclid(d)
+            }
+            Expr::Mod(a, b) => {
+                let d = b.eval(env)?;
+                if d == 0 {
+                    return None;
+                }
+                a.eval(env)?.rem_euclid(d)
+            }
+            Expr::Min(a, b) => a.eval(env)?.min(b.eval(env)?),
+            Expr::Max(a, b) => a.eval(env)?.max(b.eval(env)?),
+        })
+    }
+
+    /// Collect every variable mentioned.
+    pub fn vars(&self, out: &mut BTreeSet<Var>) {
+        match self {
+            Expr::Const(_) => {}
+            Expr::Var(var) => {
+                out.insert(var.clone());
+            }
+            Expr::Add(a, b)
+            | Expr::Mul(a, b)
+            | Expr::Div(a, b)
+            | Expr::Mod(a, b)
+            | Expr::Min(a, b)
+            | Expr::Max(a, b) => {
+                a.vars(out);
+                b.vars(out);
+            }
+        }
+    }
+}
+
+fn fold2(a: Expr, b: Expr, mk: fn(Box<Expr>, Box<Expr>) -> Expr, op: fn(i64, i64) -> i64) -> Expr {
+    if let (Expr::Const(x), Expr::Const(y)) = (&a, &b) {
+        return Expr::Const(op(*x, *y));
+    }
+    mk(Box::new(a), Box::new(b))
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Const(k) => write!(f, "{k}"),
+            Expr::Var(var) => write!(f, "{var}"),
+            Expr::Add(a, b) => write!(f, "({a} + {b})"),
+            Expr::Mul(a, b) => write!(f, "({a} * {b})"),
+            Expr::Div(a, b) => write!(f, "({a} / {b})"),
+            Expr::Mod(a, b) => write!(f, "({a} % {b})"),
+            Expr::Min(a, b) => write!(f, "min({a}, {b})"),
+            Expr::Max(a, b) => write!(f, "max({a}, {b})"),
+        }
+    }
+}
+
+/// A boolean predicate over [`Expr`] terms.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Pred {
+    True,
+    Lt(Expr, Expr),
+    Le(Expr, Expr),
+    Eq(Expr, Expr),
+    And(Box<Pred>, Box<Pred>),
+    Or(Box<Pred>, Box<Pred>),
+    Not(Box<Pred>),
+}
+
+pub fn lt(a: Expr, b: Expr) -> Pred {
+    Pred::Lt(a, b)
+}
+pub fn le(a: Expr, b: Expr) -> Pred {
+    Pred::Le(a, b)
+}
+pub fn eq(a: Expr, b: Expr) -> Pred {
+    Pred::Eq(a, b)
+}
+pub fn and(a: Pred, b: Pred) -> Pred {
+    Pred::And(Box::new(a), Box::new(b))
+}
+
+impl Pred {
+    /// Substitute variables (see [`Expr::subst`]).
+    pub fn subst(&self, f: &dyn Fn(&Var) -> Option<i64>) -> Pred {
+        match self {
+            Pred::True => Pred::True,
+            Pred::Lt(a, b) => Pred::Lt(a.subst(f), b.subst(f)),
+            Pred::Le(a, b) => Pred::Le(a.subst(f), b.subst(f)),
+            Pred::Eq(a, b) => Pred::Eq(a.subst(f), b.subst(f)),
+            Pred::And(a, b) => and(a.subst(f), b.subst(f)),
+            Pred::Or(a, b) => Pred::Or(Box::new(a.subst(f)), Box::new(b.subst(f))),
+            Pred::Not(a) => Pred::Not(Box::new(a.subst(f))),
+        }
+    }
+
+    /// Evaluate under a concrete environment. `None` on division by zero.
+    pub fn eval(&self, env: &Env<'_>) -> Option<bool> {
+        Some(match self {
+            Pred::True => true,
+            Pred::Lt(a, b) => a.eval(env)? < b.eval(env)?,
+            Pred::Le(a, b) => a.eval(env)? <= b.eval(env)?,
+            Pred::Eq(a, b) => a.eval(env)? == b.eval(env)?,
+            Pred::And(a, b) => a.eval(env)? && b.eval(env)?,
+            Pred::Or(a, b) => a.eval(env)? || b.eval(env)?,
+            Pred::Not(a) => !a.eval(env)?,
+        })
+    }
+
+    /// Collect every variable mentioned.
+    pub fn vars(&self, out: &mut BTreeSet<Var>) {
+        match self {
+            Pred::True => {}
+            Pred::Lt(a, b) | Pred::Le(a, b) | Pred::Eq(a, b) => {
+                a.vars(out);
+                b.vars(out);
+            }
+            Pred::And(a, b) | Pred::Or(a, b) => {
+                a.vars(out);
+                b.vars(out);
+            }
+            Pred::Not(a) => a.vars(out),
+        }
+    }
+
+    /// Flatten nested conjunctions into a conjunct list. `Or`/`Not`
+    /// subtrees stay whole (the tightening pass skips them).
+    pub fn conjuncts(&self) -> Vec<&Pred> {
+        let mut out = Vec::new();
+        fn walk<'a>(p: &'a Pred, out: &mut Vec<&'a Pred>) {
+            match p {
+                Pred::And(a, b) => {
+                    walk(a, out);
+                    walk(b, out);
+                }
+                Pred::True => {}
+                other => out.push(other),
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pred::True => write!(f, "true"),
+            Pred::Lt(a, b) => write!(f, "{a} < {b}"),
+            Pred::Le(a, b) => write!(f, "{a} <= {b}"),
+            Pred::Eq(a, b) => write!(f, "{a} == {b}"),
+            Pred::And(a, b) => write!(f, "({a} && {b})"),
+            Pred::Or(a, b) => write!(f, "({a} || {b})"),
+            Pred::Not(a) => write!(f, "!({a})"),
+        }
+    }
+}
+
+/// A concrete environment for [`Expr::eval`]: one executing thread plus an
+/// assignment of free variables. Dimension variables come from the grounded
+/// launch shape; `Param` must already be substituted away (looking one up
+/// here is a bug and maps to `None`).
+#[derive(Debug, Clone)]
+pub struct Env<'a> {
+    pub tid: (i64, i64, i64),
+    pub bid: (i64, i64, i64),
+    pub bdim: (i64, i64, i64),
+    pub gdim: (i64, i64, i64),
+    pub item: i64,
+    /// Free-variable assignment, small enough for linear lookup.
+    pub frees: &'a [(String, i64)],
+}
+
+impl Env<'_> {
+    fn lookup(&self, var: &Var) -> Option<i128> {
+        let v = match var {
+            Var::TidX => self.tid.0,
+            Var::TidY => self.tid.1,
+            Var::TidZ => self.tid.2,
+            Var::BidX => self.bid.0,
+            Var::BidY => self.bid.1,
+            Var::BidZ => self.bid.2,
+            Var::BDimX => self.bdim.0,
+            Var::BDimY => self.bdim.1,
+            Var::BDimZ => self.bdim.2,
+            Var::GDimX => self.gdim.0,
+            Var::GDimY => self.gdim.1,
+            Var::GDimZ => self.gdim.2,
+            Var::Item => self.item,
+            Var::Param(_) => return None,
+            Var::Free(name) => self.frees.iter().find(|(n, _)| n == name).map(|(_, v)| *v)?,
+        };
+        Some(i128::from(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(frees: &[(String, i64)]) -> Env<'_> {
+        Env { tid: (3, 0, 0), bid: (2, 0, 0), bdim: (8, 1, 1), gdim: (4, 1, 1), item: 19, frees }
+    }
+
+    #[test]
+    fn eval_covers_every_operator() {
+        let frees = vec![("k".to_string(), 5)];
+        let e = env(&frees);
+        assert_eq!((tid_x() + bid_x() * c(8)).eval(&e), Some(19));
+        assert_eq!(min_e(item(), c(10)).eval(&e), Some(10));
+        assert_eq!(max_e(item(), c(100)).eval(&e), Some(100));
+        assert_eq!(div_e(item(), c(4)).eval(&e), Some(4));
+        assert_eq!(mod_e(item(), c(4)).eval(&e), Some(3));
+        assert_eq!(free("k").eval(&e), Some(5));
+        assert_eq!(free("missing").eval(&e), None);
+        assert_eq!(div_e(c(1), c(0)).eval(&e), None);
+        assert_eq!((c(7) - c(3)).eval(&e), Some(4));
+    }
+
+    #[test]
+    fn subst_folds_constants() {
+        let e = ceil_div(param("n"), 64);
+        let g = e.subst(&|v| match v {
+            Var::Param(p) if p == "n" => Some(100),
+            _ => None,
+        });
+        assert_eq!(g, Expr::Const(2));
+        // Unsubstituted variables survive.
+        let h = (tid_x() + param("n")).subst(&|v| match v {
+            Var::Param(p) if p == "n" => Some(7),
+            _ => None,
+        });
+        let mut vars = BTreeSet::new();
+        h.vars(&mut vars);
+        assert!(vars.contains(&Var::TidX));
+        assert_eq!(h.eval(&env(&[])), Some(10));
+    }
+
+    #[test]
+    fn pred_eval_and_conjuncts() {
+        let frees = vec![];
+        let e = env(&frees);
+        let p = and(lt(tid_x(), c(4)), and(le(item(), c(19)), Pred::True));
+        assert_eq!(p.eval(&e), Some(true));
+        assert_eq!(p.conjuncts().len(), 2);
+        assert_eq!(Pred::Not(Box::new(eq(tid_x(), c(3)))).eval(&e), Some(false));
+    }
+}

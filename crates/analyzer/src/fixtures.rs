@@ -1,0 +1,230 @@
+//! Deliberately unsound summaries (and one deliberately lying summary)
+//! proving that every analyzer diagnostic actually fires. CI runs each
+//! fixture through the `analyze` binary and requires a non-zero exit.
+
+use crate::check::analyze;
+use crate::expr::*;
+use crate::replay::validate_events;
+use crate::summary::*;
+use ompx_sanitizer::Finding;
+
+/// One named fixture and the tool expected to flag it.
+pub struct Fixture {
+    pub name: &'static str,
+    /// The tool whose diagnostic the fixture demonstrates.
+    pub tool: &'static str,
+    run: fn() -> Vec<Finding>,
+}
+
+impl Fixture {
+    pub fn run(&self) -> Vec<Finding> {
+        (self.run)()
+    }
+}
+
+/// Every fixture, one per diagnostic family.
+pub const ALL: [Fixture; 8] = [
+    Fixture { name: "race-global", tool: "racecheck", run: race_global },
+    Fixture { name: "race-shared", tool: "racecheck", run: race_shared },
+    Fixture { name: "barrier-divergence", tool: "synccheck", run: barrier_divergence },
+    Fixture { name: "oob-read", tool: "boundscheck", run: oob_read },
+    Fixture { name: "launch-oversized-block", tool: "launchcheck", run: oversized_block },
+    Fixture { name: "omp-multidim-grid", tool: "launchcheck", run: omp_multidim_grid },
+    Fixture { name: "flags-drift", tool: "synccheck", run: flags_drift },
+    Fixture { name: "summary-mismatch", tool: "summarycheck", run: summary_mismatch },
+];
+
+pub fn by_name(name: &str) -> Option<&'static Fixture> {
+    ALL.iter().find(|f| f.name == name)
+}
+
+/// A well-formed 1-D SIMT skeleton the fixtures then break.
+fn skeleton() -> KernelSummary {
+    KernelSummary {
+        kernel: "fixture".into(),
+        app: "fixture".into(),
+        version: "ompx".into(),
+        launch: LaunchShape { block: (64, 1, 1), grid: [ceil_div(param("n"), 64), c(1), c(1)] },
+        flags: SummaryFlags::default(),
+        warp_ops: false,
+        domain: Domain::OnePerThread,
+        frees: vec![],
+        buffers: vec![BufferDecl { name: "buf".into(), len: param("n") }],
+        shared: vec![],
+        accesses: vec![],
+        barriers: vec![],
+        valuations: vec![
+            Valuation::new("test", &[("n", 200)]),
+            Valuation::new("ragged", &[("n", 70)]),
+        ],
+    }
+}
+
+fn global_write(index: Expr, guard: Pred) -> Access {
+    Access {
+        space: Space::Global("buf".into()),
+        mode: Mode::Write,
+        index,
+        guard,
+        phase: "main".into(),
+    }
+}
+
+/// Every thread writes element 0 of a global buffer.
+fn race_global() -> Vec<Finding> {
+    let mut s = skeleton();
+    s.accesses = vec![global_write(c(0), Pred::True)];
+    analyze(&s, 32)
+}
+
+/// Threads collide on a shared cell (`tile[tid % 8]`).
+fn race_shared() -> Vec<Finding> {
+    let mut s = skeleton();
+    s.flags.uses_block_sync = true;
+    s.shared = vec![SharedDecl { slot: 0, len: c(8) }];
+    s.barriers = vec![Barrier { guard: Pred::True, phase: "load".into() }];
+    s.accesses = vec![Access {
+        space: Space::Shared(0),
+        mode: Mode::Write,
+        index: mod_e(tid_x(), c(8)),
+        guard: Pred::True,
+        phase: "load".into(),
+    }];
+    analyze(&s, 32)
+}
+
+/// A barrier guarded by `tid.x < 1`: only thread 0 arrives.
+fn barrier_divergence() -> Vec<Finding> {
+    let mut s = skeleton();
+    s.flags.uses_block_sync = true;
+    s.barriers = vec![Barrier { guard: lt(tid_x(), c(1)), phase: "p".into() }];
+    analyze(&s, 32)
+}
+
+/// A guarded read that still runs one element past the end.
+fn oob_read() -> Vec<Finding> {
+    let mut s = skeleton();
+    s.accesses = vec![Access {
+        space: Space::Global("buf".into()),
+        mode: Mode::Read,
+        index: item() + c(1),
+        guard: lt(item(), param("n")),
+        phase: "main".into(),
+    }];
+    analyze(&s, 32)
+}
+
+/// 2048 threads per block exceeds the device limit.
+fn oversized_block() -> Vec<Finding> {
+    let mut s = skeleton();
+    s.launch.block = (2048, 1, 1);
+    analyze(&s, 32)
+}
+
+/// A multi-dimensional team grid under traditional OpenMP offload (§3.2).
+fn omp_multidim_grid() -> Vec<Finding> {
+    let mut s = skeleton();
+    s.version = "omp".into();
+    s.launch.grid = [c(2), c(2), c(1)];
+    analyze(&s, 32)
+}
+
+/// The kernel synchronizes but the launch never declared
+/// `uses_block_sync`: the runtime silently degrades its barriers.
+fn flags_drift() -> Vec<Finding> {
+    let mut s = skeleton();
+    s.flags.uses_block_sync = false;
+    s.barriers = vec![Barrier { guard: Pred::True, phase: "p".into() }];
+    analyze(&s, 32)
+}
+
+/// A summary that *lies*: the real kernel (run on the simulator with the
+/// memory trace attached) reads `a`, but the summary only admits the
+/// write to `b`. Replay validation catches the omission.
+fn summary_mismatch() -> Vec<Finding> {
+    use ompx_sim::memtrace::MemTrace;
+    use ompx_sim::prelude::*;
+    use std::sync::Arc;
+
+    let n = 8usize;
+    let dev = Device::new(DeviceProfile::test_small());
+    let a = dev.alloc_from(&vec![1.0f32; n]);
+    a.set_label("a");
+    let b = dev.alloc::<f32>(n);
+    b.set_label("b");
+    let trace = MemTrace::new();
+    dev.attach_mem_trace(Arc::clone(&trace));
+    let k = Kernel::new("mismatch", {
+        let (a, b) = (a.clone(), b.clone());
+        move |tc: &mut ThreadCtx| {
+            let i = tc.global_thread_id_x();
+            if i < 8 {
+                let v = tc.read(&a, i); // not in the summary
+                tc.write(&b, i, v);
+            }
+        }
+    });
+    dev.launch(&k, LaunchConfig::linear(n, 4)).unwrap();
+    dev.detach_mem_trace();
+
+    let s = KernelSummary {
+        kernel: "mismatch".into(),
+        app: "fixture".into(),
+        version: "ompx".into(),
+        launch: LaunchShape { block: (4, 1, 1), grid: [ceil_div(param("n"), 4), c(1), c(1)] },
+        flags: SummaryFlags::default(),
+        warp_ops: false,
+        domain: Domain::OnePerThread,
+        frees: vec![],
+        buffers: vec![BufferDecl { name: "b".into(), len: param("n") }],
+        shared: vec![],
+        accesses: vec![Access {
+            space: Space::Global("b".into()),
+            mode: Mode::Write,
+            index: item(),
+            guard: lt(item(), param("n")),
+            phase: "main".into(),
+        }],
+        barriers: vec![],
+        valuations: vec![Valuation::new("test", &[("n", n as i64)])],
+    };
+    validate_events(&s, &s.valuations[0], &trace.events())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ompx_sanitizer::Severity;
+
+    #[test]
+    fn every_fixture_fires_its_diagnostic() {
+        for fx in &ALL {
+            let findings = fx.run();
+            assert!(
+                findings.iter().any(|f| f.tool == fx.tool && f.severity == Severity::Error),
+                "fixture `{}` expected a {} error, got {findings:?}",
+                fx.name,
+                fx.tool
+            );
+        }
+    }
+
+    #[test]
+    fn fixture_names_resolve() {
+        for fx in &ALL {
+            assert!(by_name(fx.name).is_some());
+        }
+        assert!(by_name("no-such-fixture").is_none());
+    }
+
+    #[test]
+    fn the_skeleton_itself_is_clean() {
+        let mut s = skeleton();
+        s.accesses = vec![global_write(crate::expr::item(), lt(crate::expr::item(), param("n")))];
+        let f = analyze(&s, 32);
+        assert!(
+            !f.iter().any(|f| f.severity == Severity::Error),
+            "unbroken skeleton should be clean: {f:?}"
+        );
+    }
+}

@@ -1,0 +1,206 @@
+//! Interval arithmetic over the symbolic expression language.
+//!
+//! Intervals are inclusive `[lo, hi]` ranges in `i128` (indices are `i64`,
+//! so products of two in-range values cannot overflow). An interval with
+//! `lo > hi` is empty and denotes an unreachable access; emptiness
+//! propagates through every operator.
+
+use crate::expr::{Expr, Var};
+
+/// An inclusive integer interval; `lo > hi` means empty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    pub lo: i128,
+    pub hi: i128,
+}
+
+impl Interval {
+    pub fn new(lo: i128, hi: i128) -> Interval {
+        Interval { lo, hi }
+    }
+
+    pub fn point(v: i128) -> Interval {
+        Interval { lo: v, hi: v }
+    }
+
+    pub const EMPTY: Interval = Interval { lo: 1, hi: 0 };
+
+    pub fn is_empty(&self) -> bool {
+        self.lo > self.hi
+    }
+
+    pub fn contains_zero(&self) -> bool {
+        self.lo <= 0 && 0 <= self.hi
+    }
+
+    pub fn intersect(&self, other: &Interval) -> Interval {
+        Interval { lo: self.lo.max(other.lo), hi: self.hi.min(other.hi) }
+    }
+
+    pub fn add(&self, other: &Interval) -> Interval {
+        if self.is_empty() || other.is_empty() {
+            return Interval::EMPTY;
+        }
+        Interval { lo: self.lo + other.lo, hi: self.hi + other.hi }
+    }
+
+    pub fn neg(&self) -> Interval {
+        if self.is_empty() {
+            return Interval::EMPTY;
+        }
+        Interval { lo: -self.hi, hi: -self.lo }
+    }
+
+    pub fn sub(&self, other: &Interval) -> Interval {
+        self.add(&other.neg())
+    }
+
+    pub fn mul(&self, other: &Interval) -> Interval {
+        if self.is_empty() || other.is_empty() {
+            return Interval::EMPTY;
+        }
+        let ps = [self.lo * other.lo, self.lo * other.hi, self.hi * other.lo, self.hi * other.hi];
+        Interval { lo: *ps.iter().min().unwrap(), hi: *ps.iter().max().unwrap() }
+    }
+
+    /// `div_euclid` image. For a fixed denominator the quotient is monotone
+    /// in the numerator, so numerator corners suffice; over a denominator
+    /// range the extremes occur at the endpoints or at `±1`.
+    pub fn div(&self, den: &Interval) -> Interval {
+        if self.is_empty() || den.is_empty() {
+            return Interval::EMPTY;
+        }
+        let mut dens = vec![den.lo, den.hi];
+        for unit in [-1i128, 1] {
+            if den.lo <= unit && unit <= den.hi {
+                dens.push(unit);
+            }
+        }
+        dens.retain(|d| *d != 0);
+        if dens.is_empty() {
+            // Division by a provably-zero denominator: unreachable in
+            // well-formed summaries; treat as empty (the bounds check on
+            // the denominator expression reports it separately).
+            return Interval::EMPTY;
+        }
+        let mut lo = i128::MAX;
+        let mut hi = i128::MIN;
+        for d in dens {
+            for n in [self.lo, self.hi] {
+                let q = n.div_euclid(d);
+                lo = lo.min(q);
+                hi = hi.max(q);
+            }
+        }
+        Interval { lo, hi }
+    }
+
+    /// `rem_euclid` image: always within `[0, max|d| - 1]`, refined to the
+    /// exact range when the numerator interval fits one residue window of a
+    /// constant positive modulus.
+    pub fn modulo(&self, den: &Interval) -> Interval {
+        if self.is_empty() || den.is_empty() {
+            return Interval::EMPTY;
+        }
+        let m = den.lo.abs().max(den.hi.abs());
+        if m == 0 {
+            return Interval::EMPTY;
+        }
+        if den.lo == den.hi && den.lo > 0 {
+            let k = den.lo;
+            if self.hi - self.lo < k {
+                let (rl, rh) = (self.lo.rem_euclid(k), self.hi.rem_euclid(k));
+                if rl <= rh {
+                    return Interval { lo: rl, hi: rh };
+                }
+            }
+        }
+        Interval { lo: 0, hi: m - 1 }
+    }
+
+    pub fn min(&self, other: &Interval) -> Interval {
+        if self.is_empty() || other.is_empty() {
+            return Interval::EMPTY;
+        }
+        Interval { lo: self.lo.min(other.lo), hi: self.hi.min(other.hi) }
+    }
+
+    pub fn max(&self, other: &Interval) -> Interval {
+        if self.is_empty() || other.is_empty() {
+            return Interval::EMPTY;
+        }
+        Interval { lo: self.lo.max(other.lo), hi: self.hi.max(other.hi) }
+    }
+}
+
+impl std::fmt::Display for Interval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_empty() {
+            write!(f, "[]")
+        } else {
+            write!(f, "[{}, {}]", self.lo, self.hi)
+        }
+    }
+}
+
+/// Interval of an expression under a per-variable bound lookup. The lookup
+/// closure owns the tag policy (which side of a two-thread pair a variable
+/// belongs to); unknown variables should map to a conservative wide range
+/// or `EMPTY` per the caller's policy.
+pub fn expr_interval(e: &Expr, lookup: &dyn Fn(&Var) -> Interval) -> Interval {
+    match e {
+        Expr::Const(k) => Interval::point(i128::from(*k)),
+        Expr::Var(var) => lookup(var),
+        Expr::Add(a, b) => expr_interval(a, lookup).add(&expr_interval(b, lookup)),
+        Expr::Mul(a, b) => expr_interval(a, lookup).mul(&expr_interval(b, lookup)),
+        Expr::Div(a, b) => expr_interval(a, lookup).div(&expr_interval(b, lookup)),
+        Expr::Mod(a, b) => expr_interval(a, lookup).modulo(&expr_interval(b, lookup)),
+        Expr::Min(a, b) => expr_interval(a, lookup).min(&expr_interval(b, lookup)),
+        Expr::Max(a, b) => expr_interval(a, lookup).max(&expr_interval(b, lookup)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::*;
+
+    fn wide(_: &Var) -> Interval {
+        Interval::new(-1000, 1000)
+    }
+
+    #[test]
+    fn operator_images() {
+        let a = Interval::new(2, 5);
+        let b = Interval::new(-3, 4);
+        assert_eq!(a.add(&b), Interval::new(-1, 9));
+        assert_eq!(a.sub(&b), Interval::new(-2, 8));
+        assert_eq!(a.mul(&b), Interval::new(-15, 20));
+        assert_eq!(Interval::new(0, 17).div(&Interval::point(4)), Interval::new(0, 4));
+        assert_eq!(Interval::new(-5, 5).div(&Interval::point(2)), Interval::new(-3, 2));
+        assert_eq!(Interval::new(0, 9).modulo(&Interval::point(4)), Interval::new(0, 3));
+        // One residue window refines exactly.
+        assert_eq!(Interval::new(5, 7).modulo(&Interval::point(10)), Interval::new(5, 7));
+        assert_eq!(a.min(&b), Interval::new(-3, 4));
+        assert_eq!(a.max(&b), Interval::new(2, 5));
+    }
+
+    #[test]
+    fn emptiness_propagates() {
+        assert!(Interval::EMPTY.add(&Interval::point(1)).is_empty());
+        assert!(Interval::point(1).mul(&Interval::EMPTY).is_empty());
+        assert!(Interval::new(3, 2).is_empty());
+        assert!(Interval::new(1, 4).div(&Interval::point(0)).is_empty());
+    }
+
+    #[test]
+    fn expr_interval_walks_the_tree() {
+        // min(tid + 3, 10) with tid in [0, 255] via a custom lookup.
+        let lookup = |v: &Var| match v {
+            Var::TidX => Interval::new(0, 255),
+            _ => wide(v),
+        };
+        let e = min_e(tid_x() + c(3), c(10));
+        assert_eq!(expr_interval(&e, &lookup), Interval::new(3, 10));
+    }
+}

@@ -1,0 +1,56 @@
+//! # ompx-analyzer — static kernel verifier with symbolic access summaries
+//!
+//! The static counterpart of `ompx-sanitizer`: instead of watching a
+//! kernel run, it proves properties of a hand-written symbolic *access
+//! summary* ([`summary::KernelSummary`]) describing what the kernel may
+//! touch — and then refuses to trust that summary, validating it against
+//! the real kernel via *replay*: the kernel runs on the simulator with
+//! memory-trace hooks attached ([`ompx_sim::memtrace`]) on the small
+//! concrete grids the summary's valuations describe, and every observed
+//! access must be predicted by the summary ([`replay`]).
+//!
+//! Checks (tool names match the unified finding schema in
+//! `ompx_sanitizer::report`):
+//!
+//! | tool | proves / flags |
+//! |------|----------------|
+//! | `racecheck` | two-thread-reduction race freedom (GPUVerify-style Rule A/B) |
+//! | `synccheck` | barrier uniformity; `KernelFlags` drift |
+//! | `boundscheck` | guard-tightened index intervals within buffer bounds |
+//! | `launchcheck` | block/grid shape lints (warp multiples, §3.2 multi-dim grids, serial-path eligibility) |
+//! | `summarycheck` | malformed summaries; replay mismatches |
+//!
+//! The analyzer works on *concrete valuations*: every launch parameter is
+//! substituted with a constant before checking, so the symbolic core
+//! ([`expr`], [`affine`], [`interval`]) only ever sees thread coordinates,
+//! the logical item, and range-declared free variables — everything stays
+//! affine or interval-analyzable. Each summary carries at least two
+//! valuations, which double as the replay grid shapes.
+//!
+//! Soundness caveats (documented in DESIGN.md): phase labels are trusted
+//! (barrier/launch ordering is not re-derived), atomic-atomic pairs never
+//! race (matching the dynamic racecheck), and the domains model the
+//! runtime's three 1-D lowering shapes only.
+
+pub mod affine;
+pub mod check;
+pub mod expr;
+pub mod fixtures;
+pub mod interval;
+pub mod replay;
+pub mod summary;
+
+pub use check::analyze;
+pub use replay::validate_events;
+pub use summary::{
+    Access, Barrier, BufferDecl, Domain, FreeDecl, Ground, KernelSummary, LaunchShape, Mode,
+    SharedDecl, Space, SummaryFlags, Valuation,
+};
+
+/// Warp size for a system name as the CLIs spell it (`nvidia` | `amd`).
+pub fn warp_size_for(system: &str) -> u32 {
+    match system {
+        "amd" => 64,
+        _ => 32,
+    }
+}

@@ -1,0 +1,506 @@
+//! Replay validation: summaries are checked against reality, not trusted.
+//!
+//! A replay run executes the real kernel on the simulator with the
+//! memory-trace hooks attached (`ompx_sim::memtrace`) on the small
+//! concrete grid a valuation describes, then checks that every observed
+//! access event is *predicted* by the summary: the predicted set is the
+//! union, over all executing threads, their assigned items, and all
+//! assignments of the mentioned free variables, of the guarded accesses'
+//! `(space, index, mode)` triples. An unpredicted event means the summary
+//! under-approximates the kernel — exactly the failure mode that would
+//! make a "race-free" verdict worthless — and is reported as a
+//! `summarycheck` error.
+//!
+//! The enumeration prunes loops an access cannot depend on (an access
+//! whose index and guard never mention `tid`/`item` is evaluated for one
+//! representative thread) and refuses to run past [`ENUM_CAP`]
+//! combinations rather than silently sampling.
+
+use crate::expr::Env;
+use crate::summary::{Access, Ground, GroundDomain, KernelSummary, Mode, Space, Valuation};
+use ompx_sanitizer::{Finding, Severity};
+use ompx_sim::memtrace::{MemAccessKind, MemEvent, MemSpace};
+use std::collections::{BTreeSet, HashSet};
+
+/// Upper bound on (thread × item × free) combinations enumerated per
+/// access. Hitting it is a finding, never a silent truncation.
+const ENUM_CAP: u64 = 8_000_000;
+
+/// How many unpredicted events are itemized before the rest collapse into
+/// one count.
+const MAX_REPORTED: usize = 5;
+
+/// One predicted (or observed) access in canonical form.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum EvKey {
+    Global {
+        label: String,
+        index: i64,
+        kind: Mode,
+    },
+    /// Shared memory is per-block, so the block coordinate is part of the
+    /// cell's identity.
+    Shared {
+        block: (u32, u32, u32),
+        slot: usize,
+        index: i64,
+        kind: Mode,
+    },
+}
+
+fn kind_of(k: MemAccessKind) -> Mode {
+    match k {
+        MemAccessKind::Read => Mode::Read,
+        MemAccessKind::Write => Mode::Write,
+        MemAccessKind::Atomic => Mode::Atomic,
+    }
+}
+
+/// Validate observed trace events against a summary under one valuation.
+pub fn validate_events(
+    summary: &KernelSummary,
+    val: &Valuation,
+    events: &[MemEvent],
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let g = match summary.ground(val) {
+        Ok(g) => g,
+        Err(e) => {
+            out.push(mismatch(&summary.kernel, "valuation", e));
+            return out;
+        }
+    };
+    let predicted = match predicted_set(&g, &mut out) {
+        Some(p) => p,
+        None => return out, // enumeration failed; findings already pushed
+    };
+    let mut unpredicted = Vec::new();
+    let mut observed = 0usize;
+    for e in events {
+        if e.kernel != g.kernel {
+            continue;
+        }
+        observed += 1;
+        let key = match &e.space {
+            MemSpace::Global { label, .. } => {
+                EvKey::Global { label: label.clone(), index: e.index as i64, kind: kind_of(e.kind) }
+            }
+            MemSpace::Shared { slot } => EvKey::Shared {
+                block: e.block,
+                slot: *slot,
+                index: e.index as i64,
+                kind: kind_of(e.kind),
+            },
+        };
+        if !predicted.contains(&key) {
+            unpredicted.push(e);
+        }
+    }
+    if observed == 0 && !g.accesses.is_empty() {
+        out.push(Finding {
+            tool: "summarycheck".into(),
+            kernel: g.kernel.clone(),
+            location: format!("valuation `{}`", g.valuation),
+            severity: Severity::Warning,
+            message: "replay observed no events for this kernel; trace not attached or \
+                      kernel name mismatch"
+                .into(),
+        });
+        return out;
+    }
+    for e in unpredicted.iter().take(MAX_REPORTED) {
+        let (what, idx) = match &e.space {
+            MemSpace::Global { label, .. } => (label.clone(), e.index),
+            MemSpace::Shared { slot } => (format!("shared[{slot}]"), e.index),
+        };
+        out.push(mismatch(
+            &g.kernel,
+            format!(
+                "block ({},{},{}) thread ({},{},{}) {} {what}[{idx}]",
+                e.block.0,
+                e.block.1,
+                e.block.2,
+                e.thread.0,
+                e.thread.1,
+                e.thread.2,
+                kind_of(e.kind).label(),
+            ),
+            format!(
+                "observed access is not predicted by the summary under valuation `{}`",
+                g.valuation
+            ),
+        ));
+    }
+    if unpredicted.len() > MAX_REPORTED {
+        out.push(mismatch(
+            &g.kernel,
+            format!("valuation `{}`", g.valuation),
+            format!(
+                "{} further unpredicted events suppressed (of {} observed)",
+                unpredicted.len() - MAX_REPORTED,
+                observed
+            ),
+        ));
+    }
+    out
+}
+
+fn mismatch(kernel: &str, location: impl Into<String>, message: String) -> Finding {
+    Finding {
+        tool: "summarycheck".into(),
+        kernel: kernel.to_string(),
+        location: location.into(),
+        severity: Severity::Error,
+        message,
+    }
+}
+
+/// The items one thread executes under the grounded domain.
+fn items_for(g: &Ground, rank: i64, is_master: bool) -> Vec<i64> {
+    match g.domain {
+        GroundDomain::OnePerThread => vec![rank],
+        GroundDomain::GridStride { n } => {
+            let total = g.block_size() * g.grid_size();
+            let mut items = Vec::new();
+            let mut i = rank;
+            while i < n {
+                items.push(i);
+                i += total;
+            }
+            items
+        }
+        GroundDomain::BlockChunked { n, chunk } => {
+            if !is_master {
+                return Vec::new();
+            }
+            let block_rank = rank / g.block_size();
+            let lo = block_rank * chunk;
+            let hi = n.min(lo + chunk);
+            (lo..hi).collect()
+        }
+    }
+}
+
+/// Build the predicted `(space, index, mode)` set for every access under
+/// every (thread, item, free-assignment) combination that passes its
+/// guard. Returns `None` (with findings) if the enumeration cannot run.
+fn predicted_set(g: &Ground, out: &mut Vec<Finding>) -> Option<HashSet<EvKey>> {
+    use crate::expr::Var;
+    let mut predicted = HashSet::new();
+    let bdim = (i64::from(g.block.0), i64::from(g.block.1), i64::from(g.block.2));
+    let gdim = (i64::from(g.grid.0), i64::from(g.grid.1), i64::from(g.grid.2));
+    for a in &g.accesses {
+        let mut vars = BTreeSet::new();
+        a.index.vars(&mut vars);
+        a.guard.vars(&mut vars);
+        let needs_threads =
+            vars.iter().any(|v| matches!(v, Var::TidX | Var::TidY | Var::TidZ | Var::Item))
+                || matches!(g.domain, GroundDomain::BlockChunked { .. });
+        let needs_blocks = needs_threads
+            || vars.iter().any(|v| matches!(v, Var::BidX | Var::BidY | Var::BidZ))
+            || matches!(a.space, Space::Shared(_));
+        let frees: Vec<(String, i64, i64)> = g
+            .frees
+            .iter()
+            .filter(|(n, _, _)| vars.contains(&Var::Free(n.clone())))
+            .cloned()
+            .collect();
+        // Cost estimate before enumerating.
+        let free_combos: u64 = frees
+            .iter()
+            .map(|(_, lo, hi)| u64::try_from((hi - lo + 1).max(0)).unwrap_or(u64::MAX))
+            .product();
+        let nthreads = if needs_threads { g.block_size().max(1) as u64 } else { 1 };
+        let nblocks = if needs_blocks { g.grid_size().max(1) as u64 } else { 1 };
+        let per_item: u64 = match g.domain {
+            GroundDomain::OnePerThread => 1,
+            GroundDomain::GridStride { n } | GroundDomain::BlockChunked { n, .. } => {
+                let total = (g.block_size() * g.grid_size()).max(1) as u64;
+                (n.max(0) as u64).div_ceil(total).max(1)
+            }
+        };
+        let cost = nblocks
+            .saturating_mul(nthreads)
+            .saturating_mul(per_item)
+            .saturating_mul(free_combos.max(1));
+        if cost > ENUM_CAP {
+            out.push(mismatch(
+                &g.kernel,
+                access_desc(a),
+                format!(
+                    "replay enumeration needs ~{cost} combinations (cap {ENUM_CAP}); \
+                     use a smaller valuation"
+                ),
+            ));
+            return None;
+        }
+        let mut eval_failure = false;
+        for bz in 0..gdim.2.max(1) {
+            for by in 0..gdim.1.max(1) {
+                for bx in 0..gdim.0.max(1) {
+                    if !needs_blocks && (bx, by, bz) != (0, 0, 0) {
+                        continue;
+                    }
+                    for tz in 0..bdim.2 {
+                        for ty in 0..bdim.1 {
+                            for tx in 0..bdim.0 {
+                                if !needs_threads && (tx, ty, tz) != (0, 0, 0) {
+                                    continue;
+                                }
+                                let block_rank = (bz * gdim.1 + by) * gdim.0 + bx;
+                                let thread_rank = (tz * bdim.1 + ty) * bdim.0 + tx;
+                                let rank = block_rank * g.block_size() + thread_rank;
+                                let is_master = thread_rank == 0;
+                                let items = if vars.contains(&Var::Item)
+                                    || matches!(g.domain, GroundDomain::BlockChunked { .. })
+                                {
+                                    items_for(g, rank, is_master)
+                                } else {
+                                    vec![0]
+                                };
+                                for item in items {
+                                    predict_one(
+                                        a,
+                                        &frees,
+                                        Env {
+                                            tid: (tx, ty, tz),
+                                            bid: (bx, by, bz),
+                                            bdim,
+                                            gdim,
+                                            item,
+                                            frees: &[],
+                                        },
+                                        (bx as u32, by as u32, bz as u32),
+                                        needs_blocks,
+                                        &mut predicted,
+                                        &mut eval_failure,
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if eval_failure {
+            out.push(mismatch(
+                &g.kernel,
+                access_desc(a),
+                "summary expression failed to evaluate (division by zero?) during replay \
+                 enumeration"
+                    .into(),
+            ));
+            return None;
+        }
+    }
+    Some(predicted)
+}
+
+/// Enumerate the access's free-variable assignments for one (thread, item)
+/// and insert the passing combinations.
+#[allow(clippy::too_many_arguments)]
+fn predict_one(
+    a: &Access,
+    frees: &[(String, i64, i64)],
+    env: Env<'_>,
+    block: (u32, u32, u32),
+    per_block: bool,
+    predicted: &mut HashSet<EvKey>,
+    eval_failure: &mut bool,
+) {
+    if frees.iter().any(|(_, lo, hi)| hi < lo) {
+        return; // an empty free range means zero assignments exist
+    }
+    let mut assignment: Vec<(String, i64)> =
+        frees.iter().map(|(n, lo, _)| (n.clone(), *lo)).collect();
+    loop {
+        let env = Env { frees: &assignment, ..env.clone() };
+        match a.guard.eval(&env) {
+            Some(true) => match a.index.eval(&env) {
+                Some(idx) => {
+                    let idx = idx.clamp(i128::from(i64::MIN), i128::from(i64::MAX)) as i64;
+                    let key = match &a.space {
+                        Space::Global(label) => {
+                            EvKey::Global { label: label.clone(), index: idx, kind: a.mode }
+                        }
+                        Space::Shared(slot) => {
+                            // Without block enumeration the prediction is
+                            // block-independent; replicate across blocks.
+                            debug_assert!(per_block);
+                            EvKey::Shared { block, slot: *slot, index: idx, kind: a.mode }
+                        }
+                    };
+                    predicted.insert(key);
+                }
+                None => *eval_failure = true,
+            },
+            Some(false) => {}
+            None => *eval_failure = true,
+        }
+        // Odometer over the free ranges.
+        let mut pos = 0;
+        loop {
+            if pos == assignment.len() {
+                return;
+            }
+            let (_, lo, hi) = &frees[pos];
+            if assignment[pos].1 < *hi {
+                assignment[pos].1 += 1;
+                break;
+            }
+            assignment[pos].1 = *lo;
+            pos += 1;
+        }
+    }
+}
+
+fn access_desc(a: &Access) -> String {
+    format!("{} {}[{}]", a.mode.label(), a.space, a.index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::*;
+    use crate::summary::*;
+
+    fn toy(n: i64) -> KernelSummary {
+        KernelSummary {
+            kernel: "copy".into(),
+            app: "toy".into(),
+            version: "ompx".into(),
+            launch: LaunchShape { block: (4, 1, 1), grid: [ceil_div(param("n"), 4), c(1), c(1)] },
+            flags: SummaryFlags::default(),
+            warp_ops: false,
+            domain: Domain::OnePerThread,
+            frees: vec![],
+            buffers: vec![
+                BufferDecl { name: "a".into(), len: param("n") },
+                BufferDecl { name: "b".into(), len: param("n") },
+            ],
+            shared: vec![],
+            accesses: vec![
+                Access {
+                    space: Space::Global("a".into()),
+                    mode: Mode::Read,
+                    index: item(),
+                    guard: lt(item(), param("n")),
+                    phase: "main".into(),
+                },
+                Access {
+                    space: Space::Global("b".into()),
+                    mode: Mode::Write,
+                    index: item(),
+                    guard: lt(item(), param("n")),
+                    phase: "main".into(),
+                },
+            ],
+            barriers: vec![],
+            valuations: vec![Valuation::new("test", &[("n", n)])],
+        }
+    }
+
+    fn ev(label: &str, index: usize, kind: MemAccessKind) -> MemEvent {
+        MemEvent {
+            kernel: "copy".into(),
+            block: (0, 0, 0),
+            thread: (index as u32 % 4, 0, 0),
+            space: MemSpace::Global { alloc_id: 0, label: label.into() },
+            index,
+            kind,
+        }
+    }
+
+    #[test]
+    fn predicted_events_validate_cleanly() {
+        let s = toy(7);
+        let events: Vec<MemEvent> = (0..7)
+            .flat_map(|i| [ev("a", i, MemAccessKind::Read), ev("b", i, MemAccessKind::Write)])
+            .collect();
+        let f = validate_events(&s, &s.valuations[0], &events);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn unpredicted_event_is_reported() {
+        let s = toy(7);
+        // A write to `a` is not in the summary (only reads are).
+        let f = validate_events(&s, &s.valuations[0], &[ev("a", 0, MemAccessKind::Write)]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].tool, "summarycheck");
+        assert!(f[0].message.contains("not predicted"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn out_of_range_index_is_unpredicted() {
+        let s = toy(7);
+        let f = validate_events(&s, &s.valuations[0], &[ev("b", 7, MemAccessKind::Write)]);
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn foreign_kernel_events_are_ignored() {
+        let s = toy(7);
+        let mut e = ev("b", 100, MemAccessKind::Write);
+        e.kernel = "other".into();
+        // Only foreign events: triggers the "no events observed" warning.
+        let f = validate_events(&s, &s.valuations[0], &[e]);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn shared_predictions_are_per_block() {
+        let mut s = toy(8);
+        s.shared = vec![SharedDecl { slot: 0, len: c(4) }];
+        s.accesses = vec![Access {
+            space: Space::Shared(0),
+            mode: Mode::Write,
+            index: tid_x(),
+            guard: Pred::True,
+            phase: "main".into(),
+        }];
+        let mk = |block: u32, index: usize| MemEvent {
+            kernel: "copy".into(),
+            block: (block, 0, 0),
+            thread: (index as u32, 0, 0),
+            space: MemSpace::Shared { slot: 0 },
+            index,
+            kind: MemAccessKind::Write,
+        };
+        // Both blocks of the 2-block grid are predicted.
+        let f = validate_events(&s, &s.valuations[0], &[mk(0, 3), mk(1, 0)]);
+        assert!(f.is_empty(), "{f:?}");
+        // A block beyond the grid is not.
+        let f = validate_events(&s, &s.valuations[0], &[mk(2, 0)]);
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn grid_stride_items_cover_the_tail() {
+        let mut s = toy(11);
+        s.domain = Domain::GridStride(param("n"));
+        s.launch.grid = [c(1), c(1), c(1)]; // 4 threads, 11 items
+        let events: Vec<MemEvent> = (0..11).map(|i| ev("b", i, MemAccessKind::Write)).collect();
+        let f = validate_events(&s, &s.valuations[0], &events);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn block_chunked_items_stay_in_their_chunk() {
+        let mut s = toy(10);
+        s.domain = Domain::BlockChunked(param("n"));
+        s.launch = LaunchShape { block: (1, 1, 1), grid: [c(3), c(1), c(1)] };
+        // chunk = ceil(10/3) = 4: block 0 -> 0..4, block 1 -> 4..8, block 2 -> 8..10.
+        let mk = |block: u32, index: usize| MemEvent {
+            kernel: "copy".into(),
+            block: (block, 0, 0),
+            thread: (0, 0, 0),
+            space: MemSpace::Global { alloc_id: 0, label: "b".into() },
+            index,
+            kind: MemAccessKind::Write,
+        };
+        let f = validate_events(&s, &s.valuations[0], &[mk(0, 3), mk(1, 7), mk(2, 9)]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

@@ -1,0 +1,423 @@
+//! Per-kernel access summaries: the analyzer's input language.
+//!
+//! A [`KernelSummary`] describes a kernel the way GPUVerify-style tools
+//! describe theirs: the launch shape, a work-distribution [`Domain`], the
+//! declared buffers (global, by label; shared, by slot), a set of guarded
+//! symbolic [`Access`]es partitioned into barrier-delimited *phases*, and
+//! the barriers themselves. Summaries are written by hand next to the
+//! kernels they describe (`ompx-hecbench/src/summaries.rs`) and are *not*
+//! trusted: replay mode re-runs the kernel on the simulator with the
+//! memory-trace hooks attached and checks every observed access against
+//! the summary's predicted set.
+//!
+//! Each summary carries at least two [`Valuation`]s — named assignments of
+//! concrete values to every launch parameter. All checks run once per
+//! valuation after substituting parameters (and the resulting block/grid
+//! dimensions) to constants, so the symbolic core stays affine.
+
+use crate::expr::{Expr, Pred, Var};
+
+/// How the kernel maps executing threads to logical work items.
+///
+/// All shipped kernels are one-dimensional in their work distribution;
+/// the domains mirror the three lowering shapes in the runtime:
+#[derive(Debug, Clone)]
+pub enum Domain {
+    /// SIMT style: `item = bid.x * bdim.x + tid.x`, one item per thread.
+    OnePerThread,
+    /// SPMD `distribute parallel for` lowering: thread with global rank
+    /// `r` executes items `r, r + total, r + 2·total, …` below `n`.
+    GridStride(Expr),
+    /// Generic-mode lowering: one master thread per team; team `b` covers
+    /// items `[b·chunk, min((b+1)·chunk, n))` with
+    /// `chunk = ceil(n / teams)`.
+    BlockChunked(Expr),
+}
+
+/// Launch geometry. Block dimensions are literal (the runtime always
+/// launches compile-time block shapes); grid dimensions may depend on
+/// parameters.
+#[derive(Debug, Clone)]
+pub struct LaunchShape {
+    pub block: (u32, u32, u32),
+    pub grid: [Expr; 3],
+}
+
+/// A named free variable with an inclusive symbolic range; models
+/// data-dependent indices (e.g. a material id read from memory).
+#[derive(Debug, Clone)]
+pub struct FreeDecl {
+    pub name: String,
+    pub lo: Expr,
+    pub hi: Expr,
+}
+
+/// A global buffer the kernel may touch, identified by its allocation
+/// label, with its symbolic element count.
+#[derive(Debug, Clone)]
+pub struct BufferDecl {
+    pub name: String,
+    pub len: Expr,
+}
+
+/// A shared-memory array, identified by its per-launch slot index.
+#[derive(Debug, Clone)]
+pub struct SharedDecl {
+    pub slot: usize,
+    pub len: Expr,
+}
+
+/// Which memory an access touches.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Space {
+    /// Global buffer, by allocation label.
+    Global(String),
+    /// Shared array, by slot.
+    Shared(usize),
+}
+
+impl std::fmt::Display for Space {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Space::Global(l) => write!(f, "{l}"),
+            Space::Shared(s) => write!(f, "shared[{s}]"),
+        }
+    }
+}
+
+/// Access mode. Atomic updates never conflict with each other (the
+/// hardware serializes them), matching the dynamic racecheck's model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    Read,
+    Write,
+    Atomic,
+}
+
+impl Mode {
+    pub fn label(self) -> &'static str {
+        match self {
+            Mode::Read => "read",
+            Mode::Write => "write",
+            Mode::Atomic => "atomic",
+        }
+    }
+}
+
+/// One guarded symbolic access.
+#[derive(Debug, Clone)]
+pub struct Access {
+    pub space: Space,
+    pub mode: Mode,
+    pub index: Expr,
+    pub guard: Pred,
+    /// Barrier-delimited phase label. The race check only compares
+    /// accesses with *identical* labels: distinct labels assert a barrier
+    /// (or launch boundary) orders them, which replay cannot refute — a
+    /// documented soundness caveat.
+    pub phase: String,
+}
+
+/// A barrier the kernel executes, with the predicate it executes under.
+#[derive(Debug, Clone)]
+pub struct Barrier {
+    pub guard: Pred,
+    pub phase: String,
+}
+
+/// The `KernelFlags` the launch site declares, mirrored here so the
+/// analyzer can lint drift between declared capabilities and actual use.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SummaryFlags {
+    pub uses_block_sync: bool,
+    pub uses_warp_ops: bool,
+}
+
+/// A named assignment of concrete values to launch parameters.
+#[derive(Debug, Clone)]
+pub struct Valuation {
+    pub name: String,
+    vals: Vec<(String, i64)>,
+}
+
+impl Valuation {
+    pub fn new(name: &str, vals: &[(&str, i64)]) -> Valuation {
+        Valuation {
+            name: name.to_string(),
+            vals: vals.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        }
+    }
+
+    pub fn get(&self, name: &str) -> Option<i64> {
+        self.vals.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+}
+
+/// The full static description of one kernel version.
+#[derive(Debug, Clone)]
+pub struct KernelSummary {
+    /// Kernel name as the simulator sees it (trace events filter on this).
+    pub kernel: String,
+    /// Benchmark app the kernel belongs to.
+    pub app: String,
+    /// Program version: `ompx`, `omp`, `native-clang`, or `native-vendor`.
+    pub version: String,
+    pub launch: LaunchShape,
+    pub flags: SummaryFlags,
+    /// Whether the kernel body actually executes warp collectives.
+    pub warp_ops: bool,
+    pub domain: Domain,
+    pub frees: Vec<FreeDecl>,
+    pub buffers: Vec<BufferDecl>,
+    pub shared: Vec<SharedDecl>,
+    pub accesses: Vec<Access>,
+    pub barriers: Vec<Barrier>,
+    /// Concrete parameter assignments to analyze under; at least two, so
+    /// replay exercises more than one grid shape.
+    pub valuations: Vec<Valuation>,
+}
+
+/// A summary grounded under one valuation: parameters and dimensions are
+/// gone, geometry is concrete, and every expression mentions only thread
+/// coordinates, the item, and free variables.
+#[derive(Debug, Clone)]
+pub struct Ground {
+    pub kernel: String,
+    pub app: String,
+    pub version: String,
+    pub valuation: String,
+    pub block: (u32, u32, u32),
+    pub grid: (u32, u32, u32),
+    pub flags: SummaryFlags,
+    pub warp_ops: bool,
+    pub domain: GroundDomain,
+    /// `(name, lo, hi)` inclusive.
+    pub frees: Vec<(String, i64, i64)>,
+    pub buffers: Vec<(String, i64)>,
+    pub shared: Vec<(usize, i64)>,
+    pub accesses: Vec<Access>,
+    pub barriers: Vec<Barrier>,
+}
+
+/// [`Domain`] with concrete sizes; `chunk` is derived from the grounded
+/// grid for the generic-mode shape.
+#[derive(Debug, Clone, Copy)]
+pub enum GroundDomain {
+    OnePerThread,
+    GridStride { n: i64 },
+    BlockChunked { n: i64, chunk: i64 },
+}
+
+impl Ground {
+    /// Threads per block.
+    pub fn block_size(&self) -> i64 {
+        i64::from(self.block.0) * i64::from(self.block.1) * i64::from(self.block.2)
+    }
+
+    /// Blocks in the grid.
+    pub fn grid_size(&self) -> i64 {
+        i64::from(self.grid.0) * i64::from(self.grid.1) * i64::from(self.grid.2)
+    }
+
+    /// Inclusive range of the `Item` variable (empty kernels get `[0,-1]`).
+    pub fn item_range(&self) -> (i64, i64) {
+        match self.domain {
+            GroundDomain::OnePerThread => (0, self.block_size() * self.grid_size() - 1),
+            GroundDomain::GridStride { n } | GroundDomain::BlockChunked { n, .. } => (0, n - 1),
+        }
+    }
+
+    pub fn free_range(&self, name: &str) -> Option<(i64, i64)> {
+        self.frees.iter().find(|(n, _, _)| n == name).map(|(_, lo, hi)| (*lo, *hi))
+    }
+
+    pub fn buffer_len(&self, label: &str) -> Option<i64> {
+        self.buffers.iter().find(|(n, _)| n == label).map(|(_, l)| *l)
+    }
+
+    pub fn shared_len(&self, slot: usize) -> Option<i64> {
+        self.shared.iter().find(|(s, _)| *s == slot).map(|(_, l)| *l)
+    }
+}
+
+impl KernelSummary {
+    /// Ground the summary under one valuation. Errors name the first
+    /// problem found (missing parameter, non-constant grid, …) and surface
+    /// as `summarycheck` findings.
+    pub fn ground(&self, val: &Valuation) -> Result<Ground, String> {
+        let subst = |v: &Var| -> Option<i64> {
+            match v {
+                Var::Param(p) => val.get(p),
+                Var::BDimX => Some(i64::from(self.launch.block.0)),
+                Var::BDimY => Some(i64::from(self.launch.block.1)),
+                Var::BDimZ => Some(i64::from(self.launch.block.2)),
+                _ => None,
+            }
+        };
+        // Grid dims first (they may reference params but nothing else).
+        let mut grid = [0u32; 3];
+        for (i, g) in self.launch.grid.iter().enumerate() {
+            match g.subst(&subst) {
+                Expr::Const(k) if (0..=i64::from(u32::MAX)).contains(&k) => grid[i] = k as u32,
+                other => {
+                    return Err(format!(
+                        "grid dim {i} of `{}` does not ground to a constant under valuation \
+                         `{}`: {other}",
+                        self.kernel, val.name
+                    ))
+                }
+            }
+        }
+        let subst_full = |v: &Var| -> Option<i64> {
+            match v {
+                Var::GDimX => Some(i64::from(grid[0])),
+                Var::GDimY => Some(i64::from(grid[1])),
+                Var::GDimZ => Some(i64::from(grid[2])),
+                other => subst(other),
+            }
+        };
+        let ground_expr = |e: &Expr, what: &str| -> Result<i64, String> {
+            match e.subst(&subst_full) {
+                Expr::Const(k) => Ok(k),
+                other => Err(format!(
+                    "{what} of `{}` does not ground to a constant under valuation `{}`: \
+                     {other} (missing parameter?)",
+                    self.kernel, val.name
+                )),
+            }
+        };
+        let teams = i64::from(grid[0]) * i64::from(grid[1]) * i64::from(grid[2]);
+        let domain = match &self.domain {
+            Domain::OnePerThread => GroundDomain::OnePerThread,
+            Domain::GridStride(n) => GroundDomain::GridStride { n: ground_expr(n, "domain size")? },
+            Domain::BlockChunked(n) => {
+                let n = ground_expr(n, "domain size")?;
+                if teams <= 0 {
+                    return Err(format!(
+                        "`{}` grounds to an empty grid under valuation `{}`",
+                        self.kernel, val.name
+                    ));
+                }
+                GroundDomain::BlockChunked {
+                    n,
+                    chunk: n.div_euclid(teams) + i64::from(n % teams != 0),
+                }
+            }
+        };
+        let mut frees = Vec::new();
+        for f in &self.frees {
+            frees.push((
+                f.name.clone(),
+                ground_expr(&f.lo, "free-variable bound")?,
+                ground_expr(&f.hi, "free-variable bound")?,
+            ));
+        }
+        let mut buffers = Vec::new();
+        for b in &self.buffers {
+            buffers.push((b.name.clone(), ground_expr(&b.len, "buffer length")?));
+        }
+        let mut shared = Vec::new();
+        for s in &self.shared {
+            shared.push((s.slot, ground_expr(&s.len, "shared length")?));
+        }
+        let accesses = self
+            .accesses
+            .iter()
+            .map(|a| Access {
+                space: a.space.clone(),
+                mode: a.mode,
+                index: a.index.subst(&subst_full),
+                guard: a.guard.subst(&subst_full),
+                phase: a.phase.clone(),
+            })
+            .collect();
+        let barriers = self
+            .barriers
+            .iter()
+            .map(|b| Barrier { guard: b.guard.subst(&subst_full), phase: b.phase.clone() })
+            .collect();
+        Ok(Ground {
+            kernel: self.kernel.clone(),
+            app: self.app.clone(),
+            version: self.version.clone(),
+            valuation: val.name.clone(),
+            block: self.launch.block,
+            grid: (grid[0], grid[1], grid[2]),
+            flags: self.flags,
+            warp_ops: self.warp_ops,
+            domain,
+            frees,
+            buffers,
+            shared,
+            accesses,
+            barriers,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::*;
+
+    fn toy() -> KernelSummary {
+        KernelSummary {
+            kernel: "toy".into(),
+            app: "toy".into(),
+            version: "ompx".into(),
+            launch: LaunchShape { block: (64, 1, 1), grid: [ceil_div(param("n"), 64), c(1), c(1)] },
+            flags: SummaryFlags::default(),
+            warp_ops: false,
+            domain: Domain::OnePerThread,
+            frees: vec![FreeDecl { name: "j".into(), lo: c(0), hi: param("n") - c(1) }],
+            buffers: vec![BufferDecl { name: "buf".into(), len: param("n") }],
+            shared: vec![],
+            accesses: vec![Access {
+                space: Space::Global("buf".into()),
+                mode: Mode::Write,
+                index: item(),
+                guard: lt(item(), param("n")),
+                phase: "main".into(),
+            }],
+            barriers: vec![],
+            valuations: vec![Valuation::new("test", &[("n", 100)])],
+        }
+    }
+
+    #[test]
+    fn grounding_substitutes_params_and_dims() {
+        let s = toy();
+        let g = s.ground(&s.valuations[0]).unwrap();
+        assert_eq!(g.grid, (2, 1, 1));
+        assert_eq!(g.block_size(), 64);
+        assert_eq!(g.item_range(), (0, 127));
+        assert_eq!(g.buffer_len("buf"), Some(99 + 1));
+        assert_eq!(g.free_range("j"), Some((0, 99)));
+        // The access guard is now parameter-free.
+        let mut vars = std::collections::BTreeSet::new();
+        g.accesses[0].guard.vars(&mut vars);
+        assert!(!vars.iter().any(|v| matches!(v, Var::Param(_))));
+    }
+
+    #[test]
+    fn grounding_reports_missing_parameters() {
+        let s = toy();
+        let err = s.ground(&Valuation::new("empty", &[])).unwrap_err();
+        assert!(err.contains("grid dim"), "{err}");
+    }
+
+    #[test]
+    fn block_chunked_chunk_is_ceil() {
+        let mut s = toy();
+        s.launch = LaunchShape { block: (1, 1, 1), grid: [ceil_div(param("n"), 256), c(1), c(1)] };
+        s.domain = Domain::BlockChunked(param("n"));
+        let g = s.ground(&Valuation::new("t", &[("n", 1000)])).unwrap();
+        match g.domain {
+            GroundDomain::BlockChunked { n, chunk } => {
+                assert_eq!(n, 1000);
+                assert_eq!(chunk, 250);
+            }
+            _ => panic!("wrong domain"),
+        }
+    }
+}

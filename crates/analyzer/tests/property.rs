@@ -1,0 +1,259 @@
+//! Property tests: on random small grids, the simulator's memory trace is
+//! always a subset of the symbolic evaluator's predicted access set — the
+//! core soundness contract replay validation rests on. Each property
+//! builds a real kernel, runs it on the simulator with the trace hooks
+//! attached, and asserts `validate_events` reports nothing.
+
+use proptest::proptest;
+use std::sync::Arc;
+
+use ompx_analyzer::expr::{c, free, item, lt, param, Pred};
+use ompx_analyzer::summary::{
+    Access, BufferDecl, Domain, FreeDecl, KernelSummary, LaunchShape, Mode, Space, SummaryFlags,
+    Valuation,
+};
+use ompx_analyzer::validate_events;
+use ompx_sanitizer::Severity;
+use ompx_sim::memtrace::MemTrace;
+use ompx_sim::prelude::*;
+
+/// A 1-D summary over one input and one output buffer of length `n`.
+fn summary(
+    kernel: &str,
+    teams: u32,
+    threads: u32,
+    n: usize,
+    domain: Domain,
+    accesses: Vec<Access>,
+    frees: Vec<FreeDecl>,
+) -> KernelSummary {
+    KernelSummary {
+        kernel: kernel.into(),
+        app: "prop".into(),
+        version: "ompx".into(),
+        launch: LaunchShape { block: (threads, 1, 1), grid: [c(i64::from(teams)), c(1), c(1)] },
+        flags: SummaryFlags::default(),
+        warp_ops: false,
+        domain,
+        frees,
+        buffers: vec![
+            BufferDecl { name: "inp".into(), len: param("n") },
+            BufferDecl { name: "out".into(), len: param("n") },
+        ],
+        shared: vec![],
+        accesses,
+        barriers: vec![],
+        valuations: vec![Valuation::new("prop", &[("n", n as i64)])],
+    }
+}
+
+/// Run `kernel` on a `teams x threads` grid with the trace attached.
+fn traced_run(
+    kernel: Kernel,
+    teams: u32,
+    threads: u32,
+    dev: &Device,
+) -> Vec<ompx_sim::memtrace::MemEvent> {
+    let trace = MemTrace::new();
+    dev.attach_mem_trace(Arc::clone(&trace));
+    dev.launch(&kernel, LaunchConfig::new(teams, threads)).expect("launch");
+    dev.detach_mem_trace();
+    trace.events()
+}
+
+fn assert_clean(s: &KernelSummary, events: &[ompx_sim::memtrace::MemEvent]) {
+    let findings = validate_events(s, &s.valuations[0], events);
+    let errors: Vec<_> = findings.iter().filter(|f| f.severity == Severity::Error).collect();
+    assert!(errors.is_empty(), "trace escaped the summary: {errors:#?}");
+}
+
+proptest! {
+    /// SIMT one-item-per-thread kernels stay inside their summary on any
+    /// small grid, including grids larger or smaller than `n`.
+    #[test]
+    fn one_per_thread_trace_is_predicted(teams in 1u32..5, threads in 1u32..17, n in 1usize..80) {
+        let dev = Device::new(DeviceProfile::test_small());
+        let inp = dev.alloc_from(&vec![1.0f32; n]);
+        inp.set_label("inp");
+        let out = dev.alloc::<f32>(n);
+        out.set_label("out");
+        let kernel = Kernel::new("prop_simt", {
+            let (inp, out) = (inp.clone(), out.clone());
+            move |tc: &mut ThreadCtx| {
+                let i = tc.global_thread_id_x();
+                if i < n {
+                    let v = tc.read(&inp, i);
+                    tc.write(&out, i, v + 1.0);
+                }
+            }
+        });
+        let events = traced_run(kernel, teams, threads, &dev);
+        let guard = lt(item(), param("n"));
+        let s = summary(
+            "prop_simt",
+            teams,
+            threads,
+            n,
+            Domain::OnePerThread,
+            vec![
+                Access {
+                    space: Space::Global("inp".into()),
+                    mode: Mode::Read,
+                    index: item(),
+                    guard: guard.clone(),
+                    phase: "main".into(),
+                },
+                Access {
+                    space: Space::Global("out".into()),
+                    mode: Mode::Write,
+                    index: item(),
+                    guard,
+                    phase: "main".into(),
+                },
+            ],
+            vec![],
+        );
+        assert_clean(&s, &events);
+    }
+
+    /// Grid-stride kernels cover exactly the items the GridStride domain
+    /// enumerates, whatever the grid/size ratio.
+    #[test]
+    fn grid_stride_trace_is_predicted(teams in 1u32..5, threads in 1u32..17, n in 1usize..80) {
+        let dev = Device::new(DeviceProfile::test_small());
+        let inp = dev.alloc_from(&vec![2.0f32; n]);
+        inp.set_label("inp");
+        let out = dev.alloc::<f32>(n);
+        out.set_label("out");
+        let total = (teams * threads) as usize;
+        let kernel = Kernel::new("prop_stride", {
+            let (inp, out) = (inp.clone(), out.clone());
+            move |tc: &mut ThreadCtx| {
+                let mut i = tc.global_thread_id_x();
+                while i < n {
+                    let v = tc.read(&inp, i);
+                    tc.write(&out, i, v * 2.0);
+                    i += total;
+                }
+            }
+        });
+        let events = traced_run(kernel, teams, threads, &dev);
+        let s = summary(
+            "prop_stride",
+            teams,
+            threads,
+            n,
+            Domain::GridStride(param("n")),
+            vec![
+                Access {
+                    space: Space::Global("inp".into()),
+                    mode: Mode::Read,
+                    index: item(),
+                    guard: Pred::True,
+                    phase: "main".into(),
+                },
+                Access {
+                    space: Space::Global("out".into()),
+                    mode: Mode::Write,
+                    index: item(),
+                    guard: Pred::True,
+                    phase: "main".into(),
+                },
+            ],
+            vec![],
+        );
+        assert_clean(&s, &events);
+    }
+
+    /// Free-variable indices: each thread reads a data-dependent cell
+    /// within a declared range; the summary's range covers every draw.
+    #[test]
+    fn free_variable_reads_are_predicted(teams in 1u32..4, threads in 1u32..9, n in 2usize..40) {
+        let dev = Device::new(DeviceProfile::test_small());
+        let inp = dev.alloc_from(&(0..n).map(|i| i as f32).collect::<Vec<_>>());
+        inp.set_label("inp");
+        let out = dev.alloc::<f32>(n);
+        out.set_label("out");
+        let kernel = Kernel::new("prop_free", {
+            let (inp, out) = (inp.clone(), out.clone());
+            move |tc: &mut ThreadCtx| {
+                let i = tc.global_thread_id_x();
+                if i < n {
+                    // Data-dependent gather: a pseudo-random in-range cell.
+                    let j = (i * 7 + 3) % n;
+                    let v = tc.read(&inp, j);
+                    tc.write(&out, i, v);
+                }
+            }
+        });
+        let events = traced_run(kernel, teams, threads, &dev);
+        let guard = lt(item(), param("n"));
+        let s = summary(
+            "prop_free",
+            teams,
+            threads,
+            n,
+            Domain::OnePerThread,
+            vec![
+                Access {
+                    space: Space::Global("inp".into()),
+                    mode: Mode::Read,
+                    index: free("j"),
+                    guard: Pred::True,
+                    phase: "main".into(),
+                },
+                Access {
+                    space: Space::Global("out".into()),
+                    mode: Mode::Write,
+                    index: item(),
+                    guard,
+                    phase: "main".into(),
+                },
+            ],
+            vec![FreeDecl { name: "j".into(), lo: c(0), hi: param("n") - c(1) }],
+        );
+        assert_clean(&s, &events);
+    }
+}
+
+/// A deliberately wrong summary must NOT validate: the kernel writes the
+/// whole buffer, the summary only admits the first half. (Replay compares
+/// access-key *sets*, so the lie has to be about coverage, not about which
+/// thread performed an access.)
+#[test]
+fn lying_summary_is_caught() {
+    let n = 16usize;
+    let dev = Device::new(DeviceProfile::test_small());
+    let out = dev.alloc::<f32>(n);
+    out.set_label("out");
+    let kernel = Kernel::new("prop_lie", {
+        let out = out.clone();
+        move |tc: &mut ThreadCtx| {
+            let i = tc.global_thread_id_x();
+            if i < n {
+                tc.write(&out, i, 1.0);
+            }
+        }
+    });
+    let events = traced_run(kernel, 4, 4, &dev);
+    let s = summary(
+        "prop_lie",
+        4,
+        4,
+        n,
+        Domain::OnePerThread,
+        vec![Access {
+            space: Space::Global("out".into()),
+            mode: Mode::Write,
+            index: item(),
+            guard: lt(item(), c(n as i64 / 2)),
+            phase: "main".into(),
+        }],
+        vec![],
+    );
+    let findings = validate_events(&s, &s.valuations[0], &events);
+    assert!(
+        findings.iter().any(|f| f.tool == "summarycheck" && f.severity == Severity::Error),
+        "writes past the claimed guard should be unpredicted: {findings:?}"
+    );
+}

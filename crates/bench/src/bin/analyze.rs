@@ -1,0 +1,169 @@
+//! `analyze` — static kernel verifier over the hand-written symbolic
+//! access summaries in `ompx-hecbench/src/summaries.rs`:
+//!
+//! ```text
+//! analyze                                 # all six apps x four versions
+//! analyze --app stencil --version omp
+//! analyze --app su3 --replay              # + replay validation on the simulator
+//! analyze --fixture race-global           # demonstrate one diagnostic
+//! analyze --list-fixtures
+//! ```
+//!
+//! Emits the same unified finding schema as `sanitize` (tool, kernel,
+//! location, severity, message) as text or `--json`, and exits non-zero
+//! when any error-severity finding is reported — wire it straight into CI.
+//! `--replay` additionally runs each kernel on the simulator with the
+//! memory-trace hooks attached, on each valuation's concrete grid, and
+//! cross-checks every observed access against the summary's predictions.
+
+use ompx_analyzer::{analyze, fixtures, validate_events, warp_size_for};
+use ompx_hecbench::summaries::{replay_events, summary_for};
+use ompx_hecbench::{ProgVersion, System, APP_NAMES};
+use ompx_sanitizer::report::{exit_code, render_json, render_text};
+use ompx_sanitizer::Finding;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: analyze [--app <name>] [--version ompx|omp|native|vendor]\n\
+         \x20              [--system nvidia|amd] [--replay]\n\
+         \x20              [--fixture <name> | --list-fixtures] [--json] [--out FILE]\n\
+         apps: {}\n\
+         fixtures: {}",
+        APP_NAMES.join(", "),
+        fixtures::ALL.iter().map(|f| f.name).collect::<Vec<_>>().join(", ")
+    );
+    std::process::exit(2);
+}
+
+struct Opts {
+    apps: Vec<String>,
+    versions: Vec<ProgVersion>,
+    system: System,
+    replay: bool,
+    fixture: Option<String>,
+    json: bool,
+    out: Option<String>,
+}
+
+fn parse(args: &[String]) -> Opts {
+    let mut o = Opts {
+        apps: APP_NAMES.iter().map(|s| s.to_string()).collect(),
+        versions: ProgVersion::all().to_vec(),
+        system: System::Nvidia,
+        replay: false,
+        fixture: None,
+        json: false,
+        out: None,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--app" => {
+                i += 1;
+                match args.get(i) {
+                    Some(a) if APP_NAMES.contains(&a.as_str()) => o.apps = vec![a.clone()],
+                    _ => usage(),
+                }
+            }
+            "--version" => {
+                i += 1;
+                o.versions = match args.get(i).map(String::as_str) {
+                    Some("ompx") => vec![ProgVersion::Ompx],
+                    Some("omp") => vec![ProgVersion::Omp],
+                    Some("native") => vec![ProgVersion::Native],
+                    Some("vendor") => vec![ProgVersion::NativeVendor],
+                    _ => usage(),
+                };
+            }
+            "--system" => {
+                i += 1;
+                o.system = match args.get(i).map(String::as_str) {
+                    Some("nvidia") => System::Nvidia,
+                    Some("amd") => System::Amd,
+                    _ => usage(),
+                };
+            }
+            "--replay" => o.replay = true,
+            "--fixture" => {
+                i += 1;
+                match args.get(i) {
+                    Some(f) if fixtures::by_name(f).is_some() => o.fixture = Some(f.clone()),
+                    _ => usage(),
+                }
+            }
+            "--list-fixtures" => {
+                for f in &fixtures::ALL {
+                    println!("{:24} -> {}", f.name, f.tool);
+                }
+                std::process::exit(0);
+            }
+            "--json" => o.json = true,
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => o.out = Some(p.clone()),
+                    None => usage(),
+                }
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    o
+}
+
+fn emit(findings: &[Finding], header: &str, o: &Opts) -> i32 {
+    if o.json {
+        print!("{}", render_json(findings));
+    } else {
+        println!("========= {header}");
+        print!("{}", render_text(findings));
+    }
+    if let Some(path) = &o.out {
+        if let Err(e) = std::fs::write(path, render_json(findings)) {
+            eprintln!("analyze: cannot write {path}: {e}");
+            return 2;
+        }
+    }
+    exit_code(findings)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let o = parse(&args);
+    let warp = warp_size_for(match o.system {
+        System::Amd => "amd",
+        _ => "nvidia",
+    });
+
+    if let Some(name) = &o.fixture {
+        let fx = fixtures::by_name(name).unwrap();
+        let findings = fx.run();
+        std::process::exit(emit(&findings, &format!("fixture {name} [{}]", fx.tool), &o));
+    }
+
+    let mut exit = 0;
+    for app in &o.apps {
+        for version in &o.versions {
+            let s = summary_for(app, *version);
+            let mut findings = analyze(&s, warp);
+            if o.replay {
+                for val in &s.valuations {
+                    let events = replay_events(app, o.system, *version, val);
+                    findings.extend(validate_events(&s, val, &events));
+                }
+            }
+            let header = format!(
+                "{app} / {} / {}{}",
+                match o.system {
+                    System::Amd => "amd",
+                    _ => "nvidia",
+                },
+                s.version,
+                if o.replay { " (+replay)" } else { "" }
+            );
+            exit = exit.max(emit(&findings, &header, &o));
+        }
+    }
+    std::process::exit(exit);
+}

@@ -31,9 +31,9 @@ pub fn info() -> BenchInfo {
     }
 }
 
-const KERNEL: &str = "adam";
+pub(crate) const KERNEL: &str = "adam";
 const SEED: u64 = 0x5eed45;
-const BLOCK: u32 = 256;
+pub(crate) const BLOCK: u32 = 256;
 
 const LR: f32 = 1e-3;
 const BETA1: f32 = 0.9;
@@ -75,12 +75,17 @@ fn generate(device: &Device, n: usize) -> AdamState {
     let mk = |tag: u64| -> Vec<f32> {
         (0..n).map(|i| (item_uniform(SEED ^ tag, i as u64) - 0.5) as f32).collect()
     };
-    AdamState {
+    let state = AdamState {
         p: device.alloc_from(&mk(0x91)),
         m: device.alloc_from(&vec![0.0f32; n]),
         v: device.alloc_from(&vec![0.0f32; n]),
         g: device.alloc_from(&mk(0x92)),
-    }
+    };
+    state.p.set_label("p");
+    state.m.set_label("m");
+    state.v.set_label("v");
+    state.g.set_label("g");
+    state
 }
 
 /// One parameter's Adam update at time step `t` (1-based) — shared by all
@@ -140,7 +145,10 @@ fn register_profiles(db: &CodegenDb) {
 
 /// Run one program version on one system.
 pub fn run(sys: System, version: ProgVersion, scale: WorkScale) -> RunOutcome {
-    let params = Params::for_scale(scale);
+    run_with_params(sys, version, Params::for_scale(scale))
+}
+
+pub(crate) fn run_with_params(sys: System, version: ProgVersion, params: Params) -> RunOutcome {
     let n = params.n;
     let factor = params.elem_factor();
 

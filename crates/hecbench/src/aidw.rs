@@ -36,9 +36,9 @@ pub fn info() -> BenchInfo {
     }
 }
 
-const KERNEL: &str = "aidw_interp";
+pub(crate) const KERNEL: &str = "aidw_interp";
 const SEED: u64 = 0x5eed35;
-const BLOCK: usize = 64;
+pub(crate) const BLOCK: usize = 64;
 const EPS: f32 = 1e-6;
 
 /// Workload parameters: `n` data points and `n` query points (the paper's
@@ -78,13 +78,19 @@ fn generate(device: &Device, params: Params) -> AidwData {
     let mk = |tag: u64, n: usize| -> Vec<f32> {
         (0..n).map(|i| item_uniform(SEED ^ tag, i as u64) as f32 * 100.0).collect()
     };
-    AidwData {
+    let data = AidwData {
         px: device.alloc_from(&mk(0x81, params.n_points)),
         py: device.alloc_from(&mk(0x82, params.n_points)),
         pv: device.alloc_from(&mk(0x83, params.n_points)),
         qx: device.alloc_from(&mk(0x84, params.n_queries)),
         qy: device.alloc_from(&mk(0x85, params.n_queries)),
-    }
+    };
+    data.px.set_label("px");
+    data.py.set_label("py");
+    data.pv.set_label("pv");
+    data.qx.set_label("qx");
+    data.qy.set_label("qy");
+    data
 }
 
 /// The shared per-(query, point) accumulation — identical arithmetic in
@@ -204,7 +210,10 @@ fn register_profiles(db: &CodegenDb) {
 
 /// Run one program version on one system.
 pub fn run(sys: System, version: ProgVersion, scale: WorkScale) -> RunOutcome {
-    let params = Params::for_scale(scale);
+    run_with_params(sys, version, Params::for_scale(scale))
+}
+
+pub(crate) fn run_with_params(sys: System, version: ProgVersion, params: Params) -> RunOutcome {
     let nq = params.n_queries;
     let np = params.n_points;
     let factor = params.pair_factor();
@@ -238,6 +247,7 @@ pub fn run(sys: System, version: ProgVersion, scale: WorkScale) -> RunOutcome {
             register_profiles(ctx.codegen());
             let data = generate(ctx.device(), params);
             let out = ctx.malloc::<f32>(nq);
+            out.set_label("out");
             let mut cfg = LaunchConfig::linear(nq, BLOCK as u32);
             let sx = cfg.shared_array::<f32>(BLOCK);
             let sy = cfg.shared_array::<f32>(BLOCK);
@@ -263,6 +273,7 @@ pub fn run(sys: System, version: ProgVersion, scale: WorkScale) -> RunOutcome {
             register_profiles(omp.codegen());
             let data = generate(omp.device(), params);
             let out = omp.device().alloc::<f32>(nq);
+            out.set_label("out");
             let teams = (nq as u32).div_ceil(BLOCK as u32);
             let mut target = BareTarget::new(&omp, KERNEL)
                 .num_teams([teams])
@@ -291,6 +302,7 @@ pub fn run(sys: System, version: ProgVersion, scale: WorkScale) -> RunOutcome {
             register_profiles(omp.codegen());
             let data = generate(omp.device(), params);
             let out = omp.device().alloc::<f32>(nq);
+            out.set_label("out");
             let teams = (nq as u32).div_ceil(BLOCK as u32);
             let prepared =
                 omp.target(KERNEL).num_teams(teams).thread_limit(BLOCK as u32).prepare_dpf(nq, {

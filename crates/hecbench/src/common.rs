@@ -4,6 +4,7 @@ use ompx_hostrt::OpenMp;
 use ompx_klang::cuda::{cuda_context_clang, cuda_context_nvcc};
 use ompx_klang::hip::{hip_context_clang, hip_context_hipcc};
 use ompx_klang::runtime::NativeCtx;
+use ompx_sim::memtrace::{MemEvent, MemTrace};
 use ompx_sim::san::{Diagnostic, SanState, ToolMask};
 use ompx_sim::timing::ModeledTime;
 use serde::{Deserialize, Serialize};
@@ -119,6 +120,9 @@ pub fn native_ctx(sys: System, vendor_cc: bool) -> NativeCtx {
     if let Some(state) = active_sanitizer() {
         ctx.sanitizer_attach(state);
     }
+    if let Some(trace) = active_mem_trace() {
+        ctx.device().attach_mem_trace(trace);
+    }
     ctx
 }
 
@@ -132,6 +136,9 @@ pub fn omp_runtime(sys: System) -> OpenMp {
     if let Some(state) = active_sanitizer() {
         ompx_hostrt::ompx_sanitizer_attach(&omp, &state);
     }
+    if let Some(trace) = active_mem_trace() {
+        omp.device().attach_mem_trace(trace);
+    }
     omp
 }
 
@@ -143,6 +150,9 @@ pub fn ompx_runtime(sys: System) -> OpenMp {
     };
     if let Some(state) = active_sanitizer() {
         ompx_hostrt::ompx_sanitizer_attach(&omp, &state);
+    }
+    if let Some(trace) = active_mem_trace() {
+        omp.device().attach_mem_trace(trace);
     }
     omp
 }
@@ -188,6 +198,39 @@ pub fn run_app_sanitized(
     let _uninstall = SanitizerInstall(gate);
     let outcome = crate::run_app(app, sys, version, scale);
     (outcome, state.diagnostics())
+}
+
+// ---- memory-trace integration (analyzer replay) ----------------------------
+
+/// The memory trace installed by [`with_mem_trace`], if one is active.
+/// Rides along ambiently exactly like the sanitizer session: the context
+/// constructors attach it to every device they hand out.
+static ACTIVE_MEM_TRACE: Mutex<Option<Arc<MemTrace>>> = Mutex::new(None);
+
+fn active_mem_trace() -> Option<Arc<MemTrace>> {
+    ACTIVE_MEM_TRACE.lock().unwrap_or_else(|e| e.into_inner()).clone()
+}
+
+/// Clears the ambient trace even if the benchmark panics.
+struct TraceInstall(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+impl Drop for TraceInstall {
+    fn drop(&mut self) {
+        *ACTIVE_MEM_TRACE.lock().unwrap_or_else(|e| e.into_inner()) = None;
+    }
+}
+
+/// Run a benchmark closure with a fresh ambient memory trace installed,
+/// returning its result plus every recorded access event. Shares the
+/// sanitized-run gate so traced and sanitized runs cannot cross-pollute
+/// through the ambient statics. This is the analyzer's replay data plane.
+pub fn with_mem_trace<R>(f: impl FnOnce() -> R) -> (R, Vec<MemEvent>) {
+    let gate = SANITIZED_RUN_GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let trace = MemTrace::new();
+    *ACTIVE_MEM_TRACE.lock().unwrap_or_else(|e| e.into_inner()) = Some(Arc::clone(&trace));
+    let _uninstall = TraceInstall(gate);
+    let result = f();
+    (result, trace.events())
 }
 
 // ---- checksums ------------------------------------------------------------

@@ -28,6 +28,7 @@ mod generators_test;
 pub mod rsbench;
 pub mod stencil;
 pub mod su3;
+pub mod summaries;
 pub mod xsbench;
 
 pub use common::{run_app_sanitized, BenchInfo, ProgVersion, RunOutcome, System, WorkScale};

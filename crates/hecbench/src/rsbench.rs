@@ -37,14 +37,14 @@ pub fn info() -> BenchInfo {
     }
 }
 
-const KERNEL: &str = "rsbench_lookup";
+pub(crate) const KERNEL: &str = "rsbench_lookup";
 const SEED: u64 = 0x5eed15;
-const BLOCK: u32 = 256;
+pub(crate) const BLOCK: u32 = 256;
 /// Number of Legendre orders — sigTfactors is `NUM_L` complex values.
-const NUM_L: usize = 4;
+pub(crate) const NUM_L: usize = 4;
 /// Poles per window (RSBench's large-problem windows hold dozens of poles;
 /// the pole sweep dominates both traffic and flops).
-const POLES_PER_WINDOW: usize = 16;
+pub(crate) const POLES_PER_WINDOW: usize = 16;
 
 /// Workload parameters.
 #[derive(Debug, Clone, Copy)]
@@ -109,7 +109,7 @@ pub struct RsData {
     mat_offsets: DBuf<u32>,
 }
 
-fn material_sizes(n_isotopes: usize) -> Vec<usize> {
+pub(crate) fn material_sizes(n_isotopes: usize) -> Vec<usize> {
     [12usize, 8, 6, 5, 4, 3, 3, 2, 2, 1, 1, 1].iter().map(|&s| s.min(n_isotopes)).collect()
 }
 
@@ -148,14 +148,20 @@ pub fn generate(device: &Device, params: Params) -> RsData {
         mat_offsets.push(mat_nuclides.len() as u32);
     }
 
-    RsData {
+    let data = RsData {
         params,
         poles: device.alloc_from(&poles),
         windows: device.alloc_from(&windows),
         pseudo_k0rs: device.alloc_from(&k0rs),
         mat_nuclides: device.alloc_from(&mat_nuclides),
         mat_offsets: device.alloc_from(&mat_offsets),
-    }
+    };
+    data.poles.set_label("poles");
+    data.windows.set_label("windows");
+    data.pseudo_k0rs.set_label("pseudo_k0rs");
+    data.mat_nuclides.set_label("mat_nuclides");
+    data.mat_offsets.set_label("mat_offsets");
+    data
 }
 
 #[inline]
@@ -308,7 +314,11 @@ fn outcome(
 
 /// Run one program version on one system.
 pub fn run(sys: System, version: ProgVersion, scale: WorkScale) -> RunOutcome {
-    let params = Params::for_scale(scale);
+    run_with_params(sys, version, Params::for_scale(scale))
+}
+
+/// Run with explicit workload parameters (the analyzer's replay entry).
+pub(crate) fn run_with_params(sys: System, version: ProgVersion, params: Params) -> RunOutcome {
     let n = params.lookups;
     let factor = params.scale_factor();
 
@@ -318,6 +328,7 @@ pub fn run(sys: System, version: ProgVersion, scale: WorkScale) -> RunOutcome {
             register_profiles(ctx.codegen());
             let data = generate(ctx.device(), params);
             let out = ctx.malloc::<f64>(n);
+            out.set_label("out");
             let kernel = Kernel::new(KERNEL, {
                 let (data, out) = (data.clone(), out.clone());
                 move |tc: &mut ThreadCtx<'_>| {
@@ -339,6 +350,7 @@ pub fn run(sys: System, version: ProgVersion, scale: WorkScale) -> RunOutcome {
             register_profiles(omp.codegen());
             let data = generate(omp.device(), params);
             let out = omp.device().alloc::<f64>(n);
+            out.set_label("out");
             let teams = (n as u32).div_ceil(BLOCK);
             let prepared =
                 BareTarget::new(&omp, KERNEL).num_teams([teams]).thread_limit([BLOCK]).prepare({
@@ -363,6 +375,7 @@ pub fn run(sys: System, version: ProgVersion, scale: WorkScale) -> RunOutcome {
             register_profiles(omp.codegen());
             let data = generate(omp.device(), params);
             let out = omp.device().alloc::<f64>(n);
+            out.set_label("out");
             // The HeCBench omp source leaves the launch geometry to the
             // runtime; LLVM defaults to 128 threads per team (this is part
             // of why its occupancy story differs from the CUDA version).

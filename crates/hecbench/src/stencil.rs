@@ -30,10 +30,10 @@ pub fn info() -> BenchInfo {
     }
 }
 
-const KERNEL: &str = "stencil1d";
+pub(crate) const KERNEL: &str = "stencil1d";
 const SEED: u64 = 0x5eed55;
-const BLOCK: usize = 256;
-const RADIUS: usize = 3;
+pub(crate) const BLOCK: usize = 256;
+pub(crate) const RADIUS: usize = 3;
 
 /// Workload parameters. The paper runs 2²⁷ elements for 1000 iterations
 /// and reports the average kernel time.
@@ -62,7 +62,11 @@ impl Params {
 fn generate(device: &Device, length: usize) -> (DBuf<f32>, DBuf<f32>) {
     let init: Vec<f32> =
         (0..length).map(|i| (item_uniform(SEED, i as u64) * 10.0) as f32).collect();
-    (device.alloc_from(&init), device.alloc::<f32>(length))
+    let a = device.alloc_from(&init);
+    let b = device.alloc::<f32>(length);
+    a.set_label("a");
+    b.set_label("b");
+    (a, b)
 }
 
 /// The stencil sum at element `i`, reading through `load` — identical
@@ -171,7 +175,10 @@ fn register_profiles(db: &CodegenDb) {
 /// two buffers for `iterations` kernels and report the average kernel time
 /// (extrapolated to the paper's 2²⁷ elements).
 pub fn run(sys: System, version: ProgVersion, scale: WorkScale) -> RunOutcome {
-    let params = Params::for_scale(scale);
+    run_with_params(sys, version, Params::for_scale(scale))
+}
+
+pub(crate) fn run_with_params(sys: System, version: ProgVersion, params: Params) -> RunOutcome {
     let n = params.length;
     let iters = params.iterations;
     let factor = params.elem_factor();

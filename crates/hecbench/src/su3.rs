@@ -32,11 +32,11 @@ pub fn info() -> BenchInfo {
     }
 }
 
-const KERNEL: &str = "su3_mm";
+pub(crate) const KERNEL: &str = "su3_mm";
 const SEED: u64 = 0x5eed25;
-const BLOCK: u32 = 128;
+pub(crate) const BLOCK: u32 = 128;
 /// 3x3 complex matrices: 18 f32 per site per matrix.
-const MAT: usize = 18;
+pub(crate) const MAT: usize = 18;
 
 /// Workload parameters. The paper's lattice is 32³ × 128 sites, 1000
 /// iterations.
@@ -113,7 +113,12 @@ fn generate(device: &Device, sites: usize) -> (DBuf<f32>, DBuf<f32>, DBuf<f32>) 
         a.push((item_uniform(SEED ^ 0x71, idx as u64) - 0.5) as f32);
         b.push((item_uniform(SEED ^ 0x72, idx as u64) - 0.5) as f32);
     }
-    (device.alloc_from(&a), device.alloc_from(&b), device.alloc::<f32>(sites * MAT))
+    let (a, b, c) =
+        (device.alloc_from(&a), device.alloc_from(&b), device.alloc::<f32>(sites * MAT));
+    a.set_label("a");
+    b.set_label("b");
+    c.set_label("c");
+    (a, b, c)
 }
 
 /// Paper-derived codegen profiles (§4.2.3 gives the NVIDIA numbers
@@ -166,7 +171,11 @@ fn register_profiles(db: &CodegenDb) {
 
 /// Run one program version on one system.
 pub fn run(sys: System, version: ProgVersion, scale: WorkScale) -> RunOutcome {
-    let params = Params::for_scale(scale);
+    run_with_params(sys, version, Params::for_scale(scale))
+}
+
+/// Run with explicit workload parameters (the analyzer's replay entry).
+pub(crate) fn run_with_params(sys: System, version: ProgVersion, params: Params) -> RunOutcome {
     let n = params.sites;
     let iters = params.iterations;
     let factor = params.site_factor();

@@ -1,0 +1,677 @@
+//! Symbolic access summaries for every app × program version, written
+//! next to the kernels they describe (ISSUE: the analyzer's 24-cell
+//! registry). Each summary is checked statically by `ompx_analyzer::analyze`
+//! and validated dynamically by replaying the real kernel on the simulator
+//! with memory-trace hooks attached ([`replay_events`]) under each of the
+//! summary's valuations.
+//!
+//! The three launch shapes mirror the runtime's lowering:
+//! * native / native-vendor / ompx: SIMT, one item per thread
+//!   ([`Domain::OnePerThread`]), bodies guarded by `item < n`;
+//! * omp on SPMD-eligible kernels (xsbench, rsbench, su3, aidw):
+//!   grid-strided `distribute parallel for` ([`Domain::GridStride`]);
+//! * omp on generic-mode kernels (adam, stencil — `force_generic`
+//!   quirks): one master per team over a contiguous chunk
+//!   ([`Domain::BlockChunked`]), simulated block size 1.
+
+use crate::common::{with_mem_trace, ProgVersion, System, WorkScale};
+use ompx_analyzer::expr::{c, free, item, lt, max_e, min_e, param, tid_x, Expr, Pred};
+use ompx_analyzer::{
+    Access, Barrier, BufferDecl, Domain, FreeDecl, KernelSummary, LaunchShape, Mode, SharedDecl,
+    Space, SummaryFlags, Valuation,
+};
+use ompx_sim::memtrace::MemEvent;
+
+/// The program-version string the analyzer's reports use.
+pub fn version_str(v: ProgVersion) -> &'static str {
+    match v {
+        ProgVersion::Native => "native-clang",
+        ProgVersion::NativeVendor => "native-vendor",
+        ProgVersion::Ompx => "ompx",
+        ProgVersion::Omp => "omp",
+    }
+}
+
+/// The summary for one app × version cell. Panics on an unknown app name
+/// (the caller validates against [`crate::APP_NAMES`]).
+pub fn summary_for(app: &str, version: ProgVersion) -> KernelSummary {
+    match app {
+        "xsbench" => xsbench(version),
+        "rsbench" => rsbench(version),
+        "su3" => su3(version),
+        "aidw" => aidw(version),
+        "adam" => adam(version),
+        "stencil" => stencil(version),
+        other => panic!("unknown app `{other}`"),
+    }
+}
+
+/// Run the cell's kernel(s) with the memory trace attached on the concrete
+/// grid the valuation describes, returning the observed events. Workload
+/// parameters not named by the valuation keep their `Test`-scale values.
+pub fn replay_events(
+    app: &str,
+    sys: System,
+    version: ProgVersion,
+    val: &Valuation,
+) -> Vec<MemEvent> {
+    let p = |k: &str| {
+        val.get(k).unwrap_or_else(|| panic!("valuation `{}` missing `{k}`", val.name)) as usize
+    };
+    let ((), events) = with_mem_trace(|| match app {
+        "xsbench" => {
+            let mut q = crate::xsbench::Params::for_scale(WorkScale::Test);
+            q.lookups = p("lookups");
+            q.n_isotopes = p("n_isotopes");
+            q.n_gridpoints = p("n_gridpoints");
+            crate::xsbench::run_with_params(sys, version, q);
+        }
+        "rsbench" => {
+            let mut q = crate::rsbench::Params::for_scale(WorkScale::Test);
+            q.lookups = p("lookups");
+            q.n_isotopes = p("n_isotopes");
+            q.n_windows = p("n_windows");
+            crate::rsbench::run_with_params(sys, version, q);
+        }
+        "su3" => {
+            let mut q = crate::su3::Params::for_scale(WorkScale::Test);
+            q.sites = p("sites");
+            q.iterations = p("iterations");
+            crate::su3::run_with_params(sys, version, q);
+        }
+        "aidw" => {
+            let mut q = crate::aidw::Params::for_scale(WorkScale::Test);
+            q.n_points = p("n_points");
+            q.n_queries = p("n_queries");
+            crate::aidw::run_with_params(sys, version, q);
+        }
+        "adam" => {
+            let mut q = crate::adam::Params::for_scale(WorkScale::Test);
+            q.n = p("n");
+            q.steps = p("steps");
+            crate::adam::run_with_params(sys, version, q);
+        }
+        "stencil" => {
+            let mut q = crate::stencil::Params::for_scale(WorkScale::Test);
+            q.length = p("length");
+            q.iterations = p("iterations");
+            crate::stencil::run_with_params(sys, version, q);
+        }
+        other => panic!("unknown app `{other}`"),
+    });
+    events
+}
+
+// ---- small constructors ------------------------------------------------
+
+fn gread(buf: &str, index: Expr, guard: Pred, phase: &str) -> Access {
+    Access { space: Space::Global(buf.into()), mode: Mode::Read, index, guard, phase: phase.into() }
+}
+
+fn gwrite(buf: &str, index: Expr, guard: Pred, phase: &str) -> Access {
+    Access {
+        space: Space::Global(buf.into()),
+        mode: Mode::Write,
+        index,
+        guard,
+        phase: phase.into(),
+    }
+}
+
+fn sread(slot: usize, index: Expr, guard: Pred, phase: &str) -> Access {
+    Access { space: Space::Shared(slot), mode: Mode::Read, index, guard, phase: phase.into() }
+}
+
+fn swrite(slot: usize, index: Expr, guard: Pred, phase: &str) -> Access {
+    Access { space: Space::Shared(slot), mode: Mode::Write, index, guard, phase: phase.into() }
+}
+
+fn gbuf(name: &str, len: Expr) -> BufferDecl {
+    BufferDecl { name: name.into(), len }
+}
+
+fn fdecl(name: &str, lo: Expr, hi: Expr) -> FreeDecl {
+    FreeDecl { name: name.into(), lo, hi }
+}
+
+fn grid1(x: Expr) -> [Expr; 3] {
+    [x, c(1), c(1)]
+}
+
+fn ceil_div_e(a: Expr, k: u32) -> Expr {
+    ompx_analyzer::expr::ceil_div(a, i64::from(k))
+}
+
+// ---- XSBench -----------------------------------------------------------
+
+/// Macroscopic XS lookup: per-lookup it walks one material's nuclide list
+/// and binary-searches each isotope's energy grid. All the data-dependent
+/// indices (material, entry, isotope, gridpoint) are modeled as range-bound
+/// free variables.
+fn xsbench(version: ProgVersion) -> KernelSummary {
+    let omp = matches!(version, ProgVersion::Omp);
+    let n = param("lookups");
+    let ni = param("n_isotopes");
+    let ng = param("n_gridpoints");
+    let block = crate::xsbench::BLOCK;
+    let guard = if omp { Pred::True } else { lt(item(), n.clone()) };
+    // Flattened grid coordinate `iso * n_gridpoints + j`.
+    let iso_j = free("iso") * ng.clone() + free("j");
+
+    KernelSummary {
+        kernel: crate::xsbench::KERNEL.into(),
+        app: "xsbench".into(),
+        version: version_str(version).into(),
+        launch: LaunchShape { block: (block, 1, 1), grid: grid1(ceil_div_e(n.clone(), block)) },
+        flags: SummaryFlags::default(),
+        warp_ops: false,
+        domain: if omp { Domain::GridStride(n.clone()) } else { Domain::OnePerThread },
+        frees: vec![
+            fdecl("m", c(0), param("n_mats")),
+            fdecl("entry", c(0), param("n_entries") - c(1)),
+            fdecl("iso", c(0), ni.clone() - c(1)),
+            fdecl("j", c(0), ng.clone() - c(1)),
+            fdecl("k", c(0), c(4)),
+        ],
+        buffers: vec![
+            gbuf("egrid", ni.clone() * ng.clone()),
+            gbuf("xs", ni * ng * c(5)),
+            gbuf("mat_nuclides", param("n_entries")),
+            gbuf("mat_conc", param("n_entries")),
+            gbuf("mat_offsets", param("n_mats") + c(1)),
+            gbuf("out", n),
+        ],
+        shared: vec![],
+        accesses: vec![
+            gread("mat_offsets", free("m"), Pred::True, "main"),
+            gread("mat_nuclides", free("entry"), Pred::True, "main"),
+            gread("mat_conc", free("entry"), Pred::True, "main"),
+            gread("egrid", iso_j.clone(), Pred::True, "main"),
+            gread("xs", iso_j * c(5) + free("k"), Pred::True, "main"),
+            gwrite("out", item(), guard, "main"),
+        ],
+        barriers: vec![],
+        valuations: xsbench_valuations(),
+    }
+}
+
+fn xsbench_valuations() -> Vec<Valuation> {
+    let mk = |name: &str, lookups: i64, ni: i64, ng: i64| {
+        let sizes = crate::xsbench::material_sizes(ni as usize);
+        let n_entries: usize = sizes.iter().sum();
+        Valuation::new(
+            name,
+            &[
+                ("lookups", lookups),
+                ("n_isotopes", ni),
+                ("n_gridpoints", ng),
+                ("n_entries", n_entries as i64),
+                ("n_mats", sizes.len() as i64),
+            ],
+        )
+    };
+    vec![mk("test", 256, 8, 64), mk("ragged", 100, 5, 16)]
+}
+
+// ---- RSBench -----------------------------------------------------------
+
+/// Multipole lookup. Compute-bound; the omp version additionally stages the
+/// per-thread `sigTfactors` scratch in shared memory (heap-to-shared,
+/// §4.2.2): slot 0, 8 f64 per thread, indexed `tid.x * 8 + j`.
+fn rsbench(version: ProgVersion) -> KernelSummary {
+    let omp = matches!(version, ProgVersion::Omp);
+    let n = param("lookups");
+    let ni = param("n_isotopes");
+    let nw = param("n_windows");
+    // The HeCBench omp source leaves geometry to the runtime (128/team).
+    let block: u32 = if omp { 128 } else { crate::rsbench::BLOCK };
+    let guard = if omp { Pred::True } else { lt(item(), n.clone()) };
+    let iso_w = free("iso") * nw.clone() + free("w");
+    let scratch_idx = tid_x() * c(2 * crate::rsbench::NUM_L as i64) + free("sj");
+
+    let mut frees = vec![
+        fdecl("m", c(0), param("n_mats")),
+        fdecl("entry", c(0), param("n_entries") - c(1)),
+        fdecl("iso", c(0), ni.clone() - c(1)),
+        fdecl("l", c(0), c(crate::rsbench::NUM_L as i64 - 1)),
+        fdecl("w", c(0), nw.clone() - c(1)),
+        fdecl("cw", c(0), c(2)),
+        fdecl("p", c(0), c(crate::rsbench::POLES_PER_WINDOW as i64 - 1)),
+        fdecl("cp", c(0), c(3)),
+    ];
+    let mut accesses = vec![
+        gread("mat_offsets", free("m"), Pred::True, "main"),
+        gread("mat_nuclides", free("entry"), Pred::True, "main"),
+        gread("pseudo_k0rs", free("iso") * c(4) + free("l"), Pred::True, "main"),
+        gread("windows", iso_w.clone() * c(3) + free("cw"), Pred::True, "main"),
+        gread("poles", iso_w * c(64) + free("p") * c(4) + free("cp"), Pred::True, "main"),
+        gwrite("out", item(), guard, "main"),
+    ];
+    let mut shared = vec![];
+    if omp {
+        let per = 2 * crate::rsbench::NUM_L;
+        frees.push(fdecl("sj", c(0), c(per as i64 - 1)));
+        shared.push(SharedDecl { slot: 0, len: c((per * block as usize) as i64) });
+        accesses.push(swrite(0, scratch_idx.clone(), Pred::True, "main"));
+        accesses.push(sread(0, scratch_idx, Pred::True, "main"));
+    }
+
+    KernelSummary {
+        kernel: crate::rsbench::KERNEL.into(),
+        app: "rsbench".into(),
+        version: version_str(version).into(),
+        launch: LaunchShape { block: (block, 1, 1), grid: grid1(ceil_div_e(n.clone(), block)) },
+        flags: SummaryFlags::default(),
+        warp_ops: false,
+        domain: if omp { Domain::GridStride(n.clone()) } else { Domain::OnePerThread },
+        frees,
+        buffers: vec![
+            gbuf("poles", ni.clone() * nw.clone() * c(64)),
+            gbuf("windows", ni.clone() * nw * c(3)),
+            gbuf("pseudo_k0rs", ni * c(4)),
+            gbuf("mat_nuclides", param("n_entries")),
+            gbuf("mat_offsets", param("n_mats") + c(1)),
+            gbuf("out", n),
+        ],
+        shared,
+        accesses,
+        barriers: vec![],
+        valuations: rsbench_valuations(),
+    }
+}
+
+fn rsbench_valuations() -> Vec<Valuation> {
+    let mk = |name: &str, lookups: i64, ni: i64, nw: i64| {
+        let sizes = crate::rsbench::material_sizes(ni as usize);
+        let n_entries: usize = sizes.iter().sum();
+        Valuation::new(
+            name,
+            &[
+                ("lookups", lookups),
+                ("n_isotopes", ni),
+                ("n_windows", nw),
+                ("n_entries", n_entries as i64),
+                ("n_mats", sizes.len() as i64),
+            ],
+        )
+    };
+    vec![mk("test", 192, 6, 16), mk("ragged", 100, 4, 8)]
+}
+
+// ---- SU3 ---------------------------------------------------------------
+
+/// Per-site 3×3 complex matrix multiply: 18 reads from each operand, 18
+/// writes to the product, all at `site * 18 + m`.
+fn su3(version: ProgVersion) -> KernelSummary {
+    let omp = matches!(version, ProgVersion::Omp);
+    let n = param("sites");
+    let block = crate::su3::BLOCK;
+    let guard = if omp { Pred::True } else { lt(item(), n.clone()) };
+    let idx = item() * c(crate::su3::MAT as i64) + free("m");
+
+    KernelSummary {
+        kernel: crate::su3::KERNEL.into(),
+        app: "su3".into(),
+        version: version_str(version).into(),
+        launch: LaunchShape { block: (block, 1, 1), grid: grid1(ceil_div_e(n.clone(), block)) },
+        flags: SummaryFlags::default(),
+        warp_ops: false,
+        domain: if omp { Domain::GridStride(n.clone()) } else { Domain::OnePerThread },
+        frees: vec![fdecl("m", c(0), c(crate::su3::MAT as i64 - 1))],
+        buffers: vec![
+            gbuf("a", n.clone() * c(18)),
+            gbuf("b", n.clone() * c(18)),
+            gbuf("c", n * c(18)),
+        ],
+        shared: vec![],
+        accesses: vec![
+            gread("a", idx.clone(), guard.clone(), "main"),
+            gread("b", idx.clone(), guard.clone(), "main"),
+            gwrite("c", idx, guard, "main"),
+        ],
+        barriers: vec![],
+        valuations: vec![
+            Valuation::new("test", &[("sites", 256), ("iterations", 2)]),
+            Valuation::new("ragged", &[("sites", 100), ("iterations", 1)]),
+        ],
+    }
+}
+
+// ---- AIDW --------------------------------------------------------------
+
+/// Tiled inverse-distance-weighting scan (the Figure 4 groupprivate
+/// pattern): tiles of 64 points staged into three shared arrays between
+/// barriers, then every query accumulates over the tile.
+fn aidw(version: ProgVersion) -> KernelSummary {
+    let np = param("n_points");
+    let nq = param("n_queries");
+    let block = crate::aidw::BLOCK as u32;
+    let launch = LaunchShape { block: (block, 1, 1), grid: grid1(ceil_div_e(nq.clone(), block)) };
+
+    if matches!(version, ProgVersion::Omp) {
+        // Traditional OpenMP cannot express the tile barrier: every thread
+        // scans all points straight from global memory.
+        return KernelSummary {
+            kernel: crate::aidw::KERNEL.into(),
+            app: "aidw".into(),
+            version: version_str(version).into(),
+            launch,
+            flags: SummaryFlags::default(),
+            warp_ops: false,
+            domain: Domain::GridStride(nq.clone()),
+            frees: vec![fdecl("p", c(0), np.clone() - c(1))],
+            buffers: vec![
+                gbuf("px", np.clone()),
+                gbuf("py", np.clone()),
+                gbuf("pv", np),
+                gbuf("qx", nq.clone()),
+                gbuf("qy", nq.clone()),
+                gbuf("out", nq),
+            ],
+            shared: vec![],
+            accesses: vec![
+                gread("qx", item(), Pred::True, "main"),
+                gread("qy", item(), Pred::True, "main"),
+                gread("px", free("p"), Pred::True, "main"),
+                gread("py", free("p"), Pred::True, "main"),
+                gread("pv", free("p"), Pred::True, "main"),
+                gwrite("out", item(), Pred::True, "main"),
+            ],
+            barriers: vec![],
+            valuations: aidw_valuations(),
+        };
+    }
+
+    let b = i64::from(block);
+    // Point index of tile trip `t`, lane `tid.x`.
+    let pt = free("t") * c(b) + tid_x();
+    let load_guard = lt(pt.clone(), np.clone());
+    let scan_guard = lt(item(), nq.clone());
+    KernelSummary {
+        kernel: crate::aidw::KERNEL.into(),
+        app: "aidw".into(),
+        version: version_str(version).into(),
+        launch,
+        flags: SummaryFlags { uses_block_sync: true, uses_warp_ops: false },
+        warp_ops: false,
+        domain: Domain::OnePerThread,
+        frees: vec![fdecl("t", c(0), param("n_tiles") - c(1)), fdecl("s", c(0), c(b - 1))],
+        buffers: vec![
+            gbuf("px", np.clone()),
+            gbuf("py", np.clone()),
+            gbuf("pv", np),
+            gbuf("qx", nq.clone()),
+            gbuf("qy", nq.clone()),
+            gbuf("out", nq),
+        ],
+        shared: vec![
+            SharedDecl { slot: 0, len: c(b) },
+            SharedDecl { slot: 1, len: c(b) },
+            SharedDecl { slot: 2, len: c(b) },
+        ],
+        accesses: vec![
+            gread("qx", item(), scan_guard.clone(), "load"),
+            gread("qy", item(), scan_guard.clone(), "load"),
+            gread("px", pt.clone(), load_guard.clone(), "load"),
+            gread("py", pt.clone(), load_guard.clone(), "load"),
+            gread("pv", pt, load_guard.clone(), "load"),
+            swrite(0, tid_x(), load_guard.clone(), "load"),
+            swrite(1, tid_x(), load_guard.clone(), "load"),
+            swrite(2, tid_x(), load_guard, "load"),
+            sread(0, free("s"), scan_guard.clone(), "scan"),
+            sread(1, free("s"), scan_guard.clone(), "scan"),
+            sread(2, free("s"), scan_guard.clone(), "scan"),
+            gwrite("out", item(), scan_guard, "scan"),
+        ],
+        barriers: vec![
+            Barrier { guard: Pred::True, phase: "load".into() },
+            Barrier { guard: Pred::True, phase: "scan".into() },
+        ],
+        valuations: aidw_valuations(),
+    }
+}
+
+fn aidw_valuations() -> Vec<Valuation> {
+    let mk = |name: &str, np: i64, nq: i64| {
+        let tiles = (np as usize).div_ceil(crate::aidw::BLOCK) as i64;
+        Valuation::new(name, &[("n_points", np), ("n_queries", nq), ("n_tiles", tiles)])
+    };
+    vec![mk("test", 256, 256), mk("ragged", 100, 96)]
+}
+
+// ---- Adam --------------------------------------------------------------
+
+/// Elementwise optimizer step. The omp version hits the §4.2.5 quirk
+/// (`force_generic` + 32-thread cap): the analyzer models the simulated
+/// shape — one master per team over a contiguous chunk.
+fn adam(version: ProgVersion) -> KernelSummary {
+    let omp = matches!(version, ProgVersion::Omp);
+    let n = param("n");
+    let block = crate::adam::BLOCK;
+    let (launch, domain, guard) = if omp {
+        (
+            LaunchShape { block: (1, 1, 1), grid: grid1(ceil_div_e(n.clone(), block)) },
+            Domain::BlockChunked(n.clone()),
+            Pred::True,
+        )
+    } else {
+        (
+            LaunchShape { block: (block, 1, 1), grid: grid1(ceil_div_e(n.clone(), block)) },
+            Domain::OnePerThread,
+            lt(item(), n.clone()),
+        )
+    };
+
+    KernelSummary {
+        kernel: crate::adam::KERNEL.into(),
+        app: "adam".into(),
+        version: version_str(version).into(),
+        launch,
+        flags: SummaryFlags::default(),
+        warp_ops: false,
+        domain,
+        frees: vec![],
+        buffers: vec![
+            gbuf("p", n.clone()),
+            gbuf("m", n.clone()),
+            gbuf("v", n.clone()),
+            gbuf("g", n),
+        ],
+        shared: vec![],
+        accesses: vec![
+            gread("g", item(), guard.clone(), "main"),
+            gread("m", item(), guard.clone(), "main"),
+            gread("v", item(), guard.clone(), "main"),
+            gread("p", item(), guard.clone(), "main"),
+            gwrite("m", item(), guard.clone(), "main"),
+            gwrite("v", item(), guard.clone(), "main"),
+            gwrite("p", item(), guard, "main"),
+        ],
+        barriers: vec![],
+        valuations: vec![
+            Valuation::new("test", &[("n", 1000), ("steps", 4)]),
+            Valuation::new("ragged", &[("n", 100), ("steps", 2)]),
+        ],
+    }
+}
+
+// ---- Stencil-1D --------------------------------------------------------
+
+/// 7-point tiled stencil, ping-ponging between `a` and `b`. Even
+/// iterations read `a` / write `b`; odd iterations swap — the per-parity
+/// phase labels keep the two launch directions from being race-paired.
+fn stencil(version: ProgVersion) -> KernelSummary {
+    let n = param("length");
+    let block = crate::stencil::BLOCK as u32;
+    let radius = crate::stencil::RADIUS as i64;
+    let b = i64::from(block);
+    let grid = grid1(ceil_div_e(n.clone(), block));
+
+    if matches!(version, ProgVersion::Omp) {
+        // Generic-mode fallback (§4.2.6): one master per team, global
+        // clamped reads instead of the shared tile.
+        let mut accesses = Vec::new();
+        for (input, output, phase) in [("a", "b", "main_even"), ("b", "a", "main_odd")] {
+            let clamped = min_e(max_e(item() + free("o") - c(radius), c(0)), n.clone() - c(1));
+            accesses.push(gread(input, clamped, Pred::True, phase));
+            accesses.push(gwrite(output, item(), Pred::True, phase));
+        }
+        return KernelSummary {
+            kernel: crate::stencil::KERNEL.into(),
+            app: "stencil".into(),
+            version: version_str(version).into(),
+            launch: LaunchShape { block: (1, 1, 1), grid },
+            flags: SummaryFlags::default(),
+            warp_ops: false,
+            domain: Domain::BlockChunked(n.clone()),
+            frees: vec![fdecl("o", c(0), c(2 * radius))],
+            buffers: vec![gbuf("a", n.clone()), gbuf("b", n)],
+            shared: vec![],
+            accesses,
+            barriers: vec![],
+            valuations: stencil_valuations(),
+        };
+    }
+
+    let mut accesses = Vec::new();
+    let mut barriers = Vec::new();
+    for (input, output, parity) in [("a", "b", "even"), ("b", "a", "odd")] {
+        let load = format!("load_{parity}");
+        let compute = format!("compute_{parity}");
+        let halo_guard = lt(tid_x(), c(radius));
+        // Interior element (lanes past the end stage the clamped boundary).
+        accesses.push(gread(input, min_e(item(), n.clone() - c(1)), Pred::True, &load));
+        accesses.push(swrite(0, tid_x() + c(radius), Pred::True, &load));
+        // Left halo: `(bid.x * BLOCK).saturating_sub(RADIUS - tid.x)`.
+        accesses.push(gread(
+            input,
+            min_e(
+                max_e(ompx_analyzer::expr::bid_x() * c(b) + tid_x() - c(radius), c(0)),
+                n.clone() - c(1),
+            ),
+            halo_guard.clone(),
+            &load,
+        ));
+        accesses.push(swrite(0, tid_x(), halo_guard.clone(), &load));
+        // Right halo.
+        accesses.push(gread(
+            input,
+            min_e(ompx_analyzer::expr::bid_x() * c(b) + c(b) + tid_x(), n.clone() - c(1)),
+            halo_guard.clone(),
+            &load,
+        ));
+        accesses.push(swrite(0, tid_x() + c(radius + b), halo_guard, &load));
+        barriers.push(Barrier { guard: Pred::True, phase: load });
+        // Compute from the tile.
+        let guard = lt(item(), n.clone());
+        accesses.push(sread(0, tid_x() + free("o"), guard.clone(), &compute));
+        accesses.push(gwrite(output, item(), guard, &compute));
+    }
+
+    KernelSummary {
+        kernel: crate::stencil::KERNEL.into(),
+        app: "stencil".into(),
+        version: version_str(version).into(),
+        launch: LaunchShape { block: (block, 1, 1), grid },
+        flags: SummaryFlags { uses_block_sync: true, uses_warp_ops: false },
+        warp_ops: false,
+        domain: Domain::OnePerThread,
+        frees: vec![fdecl("o", c(0), c(2 * radius))],
+        buffers: vec![gbuf("a", n.clone()), gbuf("b", n)],
+        shared: vec![SharedDecl { slot: 0, len: c(b + 2 * radius) }],
+        accesses,
+        barriers,
+        valuations: stencil_valuations(),
+    }
+}
+
+fn stencil_valuations() -> Vec<Valuation> {
+    vec![
+        Valuation::new("test", &[("length", 2048), ("iterations", 2)]),
+        Valuation::new("ragged", &[("length", 500), ("iterations", 1)]),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ompx_analyzer::{analyze, validate_events};
+    use ompx_sanitizer::Severity;
+
+    /// Statically analyze and replay-validate every version of one app.
+    fn cell_is_clean(app: &str) {
+        for version in ProgVersion::all() {
+            let s = summary_for(app, version);
+            assert!(s.valuations.len() >= 2, "{app}/{version:?} needs >= 2 valuations");
+            for warp in [32u32, 64] {
+                let findings = analyze(&s, warp);
+                let errors: Vec<_> =
+                    findings.iter().filter(|f| f.severity == Severity::Error).collect();
+                assert!(
+                    errors.is_empty(),
+                    "{app}/{} should analyze clean at warp {warp}: {errors:#?}",
+                    s.version
+                );
+            }
+            for val in &s.valuations {
+                let events = replay_events(app, System::Nvidia, version, val);
+                assert!(
+                    !events.is_empty(),
+                    "{app}/{}/{} produced no trace events",
+                    s.version,
+                    val.name
+                );
+                let findings = validate_events(&s, val, &events);
+                let errors: Vec<_> =
+                    findings.iter().filter(|f| f.severity == Severity::Error).collect();
+                assert!(
+                    errors.is_empty(),
+                    "{app}/{}/{} replay mismatch: {errors:#?}",
+                    s.version,
+                    val.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn xsbench_cells_are_clean() {
+        cell_is_clean("xsbench");
+    }
+
+    #[test]
+    fn rsbench_cells_are_clean() {
+        cell_is_clean("rsbench");
+    }
+
+    #[test]
+    fn su3_cells_are_clean() {
+        cell_is_clean("su3");
+    }
+
+    #[test]
+    fn aidw_cells_are_clean() {
+        cell_is_clean("aidw");
+    }
+
+    #[test]
+    fn adam_cells_are_clean() {
+        cell_is_clean("adam");
+    }
+
+    #[test]
+    fn stencil_cells_are_clean() {
+        cell_is_clean("stencil");
+    }
+
+    #[test]
+    fn every_cell_has_a_summary() {
+        for app in crate::APP_NAMES {
+            for version in ProgVersion::all() {
+                let s = summary_for(app, version);
+                assert_eq!(s.app, app);
+                assert_eq!(s.version, version_str(version));
+            }
+        }
+    }
+}

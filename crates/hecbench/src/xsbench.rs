@@ -35,10 +35,10 @@ pub fn info() -> BenchInfo {
     }
 }
 
-const KERNEL: &str = "xsbench_lookup";
+pub(crate) const KERNEL: &str = "xsbench_lookup";
 const SEED: u64 = 0x5eed05;
-const BLOCK: u32 = 256;
-const N_XS: usize = 5;
+pub(crate) const BLOCK: u32 = 256;
+pub(crate) const N_XS: usize = 5;
 
 /// Workload parameters. `paper_lookups` is fixed (XSBench event mode's
 /// default of 17M lookups); the `lookups`/`n_gridpoints` pair is what we
@@ -124,7 +124,7 @@ impl XsData {
 
 /// HeCBench/XSBench material mix: material 0 is fuel with the most
 /// nuclides; lookups are biased toward it like the real distribution.
-fn material_sizes(n_isotopes: usize) -> Vec<usize> {
+pub(crate) fn material_sizes(n_isotopes: usize) -> Vec<usize> {
     [34usize, 12, 8, 6, 5, 4, 4, 3, 2, 2, 1, 1].iter().map(|&s| s.min(n_isotopes)).collect()
 }
 
@@ -159,14 +159,20 @@ pub fn generate(device: &Device, params: Params) -> XsData {
         mat_offsets.push(mat_nuclides.len() as u32);
     }
 
-    XsData {
+    let data = XsData {
         params,
         egrid: device.alloc_from(&egrid),
         xs: device.alloc_from(&xs),
         mat_nuclides: device.alloc_from(&mat_nuclides),
         mat_conc: device.alloc_from(&mat_conc),
         mat_offsets: device.alloc_from(&mat_offsets),
-    }
+    };
+    data.egrid.set_label("egrid");
+    data.xs.set_label("xs");
+    data.mat_nuclides.set_label("mat_nuclides");
+    data.mat_conc.set_label("mat_conc");
+    data.mat_offsets.set_label("mat_offsets");
+    data
 }
 
 /// Pick the (energy, material) pair of lookup `i` — identical in every
@@ -285,7 +291,11 @@ fn register_profiles(db: &CodegenDb) {
 
 /// Run one program version on one system.
 pub fn run(sys: System, version: ProgVersion, scale: WorkScale) -> RunOutcome {
-    let params = Params::for_scale(scale);
+    run_with_params(sys, version, Params::for_scale(scale))
+}
+
+/// Run with explicit workload parameters (the analyzer's replay entry).
+pub(crate) fn run_with_params(sys: System, version: ProgVersion, params: Params) -> RunOutcome {
     let n = params.lookups;
     let factor = params.scale_factor();
 
@@ -295,6 +305,7 @@ pub fn run(sys: System, version: ProgVersion, scale: WorkScale) -> RunOutcome {
             register_profiles(ctx.codegen());
             let data = generate(ctx.device(), params);
             let out = ctx.malloc::<f64>(n);
+            out.set_label("out");
             let kernel = Kernel::new(KERNEL, {
                 let (data, out) = (data.clone(), out.clone());
                 move |tc: &mut ThreadCtx<'_>| {
@@ -325,6 +336,7 @@ pub fn run(sys: System, version: ProgVersion, scale: WorkScale) -> RunOutcome {
             register_profiles(omp.codegen());
             let data = generate(omp.device(), params);
             let out = omp.device().alloc::<f64>(n);
+            out.set_label("out");
             let teams = (n as u32).div_ceil(BLOCK);
             let prepared =
                 BareTarget::new(&omp, KERNEL).num_teams([teams]).thread_limit([BLOCK]).prepare({
@@ -355,6 +367,7 @@ pub fn run(sys: System, version: ProgVersion, scale: WorkScale) -> RunOutcome {
             register_profiles(omp.codegen());
             let data = generate(omp.device(), params);
             let out = omp.device().alloc::<f64>(n);
+            out.set_label("out");
             let teams = (n as u32).div_ceil(BLOCK);
             let prepared =
                 omp.target(KERNEL).num_teams(teams).thread_limit(BLOCK).prepare_dpf(n, {

@@ -37,6 +37,9 @@
 //! ```
 
 pub mod fixtures;
+pub mod report;
+
+pub use report::{Finding, Severity};
 
 use ompx_sim::device::Device;
 pub use ompx_sim::san::{AllocRecord, DiagKind, Diagnostic, SanState, ToolMask};
@@ -200,50 +203,23 @@ impl Report {
         i32::from(!self.diagnostics.is_empty())
     }
 
+    /// The findings in the unified schema shared with `analyze`
+    /// (see [`report`]).
+    pub fn findings(&self) -> Vec<Finding> {
+        self.diagnostics.iter().map(Finding::from_diagnostic).collect()
+    }
+
     /// Human-readable multi-line report, one finding per line plus a
     /// summary tail.
     pub fn to_text(&self) -> String {
-        let mut out = String::new();
-        for d in &self.diagnostics {
-            out.push_str(&format!("{d}\n"));
-        }
-        out.push_str(&format!(
-            "========= {} finding(s){}\n",
-            self.diagnostics.len(),
-            if self.diagnostics.is_empty() { " — clean run" } else { "" }
-        ));
-        out
+        report::render_text(&self.findings())
     }
 
-    /// Machine-readable JSON (exportable next to the Chrome-trace output).
-    /// Hand-rolled so the workspace needs no JSON dependency.
+    /// Machine-readable JSON in the unified finding schema (tool, kernel,
+    /// location, severity, message — see [`report`]). Hand-rolled so the
+    /// workspace needs no JSON dependency.
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n  \"findings\": [\n");
-        for (i, d) in self.diagnostics.iter().enumerate() {
-            out.push_str("    {");
-            out.push_str(&format!("\"tool\": \"{}\", ", d.kind.tool()));
-            out.push_str(&format!("\"kind\": \"{}\", ", json_escape(d.kind.label())));
-            out.push_str(&format!("\"kernel\": \"{}\", ", json_escape(&d.kernel)));
-            out.push_str(&format!("\"block\": [{}, {}, {}], ", d.block.0, d.block.1, d.block.2));
-            out.push_str(&format!(
-                "\"thread\": [{}, {}, {}], ",
-                d.thread.0, d.thread.1, d.thread.2
-            ));
-            match d.address {
-                Some(a) => out.push_str(&format!("\"address\": {a}, ")),
-                None => out.push_str("\"address\": null, "),
-            }
-            match &d.alloc {
-                Some(l) => out.push_str(&format!("\"alloc\": \"{}\", ", json_escape(l))),
-                None => out.push_str("\"alloc\": null, "),
-            }
-            out.push_str(&format!("\"message\": \"{}\"}}", json_escape(&d.message)));
-            out.push_str(if i + 1 < self.diagnostics.len() { ",\n" } else { "\n" });
-        }
-        out.push_str("  ],\n");
-        out.push_str(&format!("  \"count\": {},\n", self.diagnostics.len()));
-        out.push_str(&format!("  \"exit_code\": {}\n}}\n", self.exit_code()));
-        out
+        report::render_json(&self.findings())
     }
 
     /// The tools that were enabled for this session.
@@ -252,7 +228,7 @@ impl Report {
     }
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

@@ -12,6 +12,7 @@ use crate::dim::LaunchConfig;
 use crate::error::{SimError, SimResult};
 use crate::exec::{self, Kernel};
 use crate::mem::{DBuf, DeviceScalar};
+use crate::memtrace::{LaunchMemTrace, MemTrace};
 use crate::san::{LaunchSan, SanState};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -214,6 +215,10 @@ pub(crate) struct DeviceInner {
     /// Attached sanitizer session, if any. All launches and allocations on
     /// this device report into it while attached.
     sanitizer: Mutex<Option<Arc<SanState>>>,
+    /// Attached memory-access trace, if any. All launches on this device
+    /// record their counted memory accesses into it while attached (the
+    /// analyzer's replay-validation hook).
+    mem_trace: Mutex<Option<Arc<MemTrace>>>,
 }
 
 static NEXT_DEVICE_ID: AtomicUsize = AtomicUsize::new(0);
@@ -237,6 +242,7 @@ impl Device {
                 trace: crate::trace::Trace::new(),
                 trace_enabled: std::sync::atomic::AtomicBool::new(false),
                 sanitizer: Mutex::new(None),
+                mem_trace: Mutex::new(None),
             }),
         }
     }
@@ -256,6 +262,23 @@ impl Device {
     /// The currently attached sanitizer session, if any.
     pub fn sanitizer(&self) -> Option<Arc<SanState>> {
         self.inner.sanitizer.lock().clone()
+    }
+
+    /// Attach a memory-access trace: subsequent launches record every
+    /// counted global/shared access into `trace` until
+    /// [`Device::detach_mem_trace`]. Replaces any previously attached trace.
+    pub fn attach_mem_trace(&self, trace: Arc<MemTrace>) {
+        *self.inner.mem_trace.lock() = Some(trace);
+    }
+
+    /// Detach the memory-access trace, returning it (with its events).
+    pub fn detach_mem_trace(&self) -> Option<Arc<MemTrace>> {
+        self.inner.mem_trace.lock().take()
+    }
+
+    /// The currently attached memory-access trace, if any.
+    pub fn mem_trace(&self) -> Option<Arc<MemTrace>> {
+        self.inner.mem_trace.lock().clone()
     }
 
     /// The device's hardware profile.
@@ -422,7 +445,9 @@ impl Device {
     pub fn launch(&self, kernel: &Kernel, cfg: LaunchConfig) -> SimResult<StatsSnapshot> {
         self.validate_launch(&cfg)?;
         let san = self.sanitizer().map(|state| LaunchSan::new(state, kernel.name()));
-        let stats = exec::run(kernel, &cfg, self.inner.profile.warp_size, san.as_ref());
+        let mem = self.mem_trace().map(|trace| LaunchMemTrace::new(trace, kernel.name()));
+        let stats =
+            exec::run(kernel, &cfg, self.inner.profile.warp_size, san.as_ref(), mem.as_ref());
         if self.tracing() {
             self.inner.trace.record(crate::trace::LaunchRecord {
                 kernel: kernel.name().to_string(),

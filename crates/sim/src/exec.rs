@@ -22,6 +22,7 @@
 use crate::barrier::{RetireBarrier, SenseBarrier};
 use crate::counters::{CostCounters, KernelStats, StatsSnapshot};
 use crate::dim::LaunchConfig;
+use crate::memtrace::LaunchMemTrace;
 use crate::san::{AccessSite, LaunchSan, ToolMask};
 use crate::shared::BlockShared;
 use crate::thread::ThreadCtx;
@@ -110,12 +111,13 @@ pub fn run(
     cfg: &LaunchConfig,
     warp_size: u32,
     san: Option<&LaunchSan>,
+    mem: Option<&LaunchMemTrace>,
 ) -> StatsSnapshot {
     let stats = KernelStats::new();
     if kernel.flags.needs_team_execution() && cfg.threads_per_block() > 1 {
-        run_team(kernel, cfg, warp_size, &stats, san);
+        run_team(kernel, cfg, warp_size, &stats, san, mem);
     } else {
-        run_serial(kernel, cfg, warp_size, &stats, san);
+        run_serial(kernel, cfg, warp_size, &stats, san, mem);
     }
     stats.snapshot()
 }
@@ -140,6 +142,7 @@ fn run_serial(
     warp_size: u32,
     stats: &KernelStats,
     san: Option<&LaunchSan>,
+    mem: Option<&LaunchMemTrace>,
 ) {
     let num_blocks = cfg.num_blocks();
     let workers = host_parallelism().min(num_blocks).max(1);
@@ -172,6 +175,7 @@ fn run_serial(
                                 warp: None,
                                 collective_count: 0,
                                 san,
+                                mem,
                             };
                             (kernel.body)(&mut ctx);
                             block_counters.merge(&ctx.counters);
@@ -229,6 +233,7 @@ fn run_team(
     warp_size: u32,
     stats: &KernelStats,
     san: Option<&LaunchSan>,
+    mem: Option<&LaunchMemTrace>,
 ) {
     let num_blocks = cfg.num_blocks();
     let tpb = cfg.threads_per_block();
@@ -252,7 +257,7 @@ fn run_team(
                 let next_block = Arc::clone(&next_block);
                 let stats = &*stats;
                 handles.push(s.spawn(move || {
-                    lane_loop(kernel, cfg, warp_size, lane, &team, &next_block, stats, san)
+                    lane_loop(kernel, cfg, warp_size, lane, &team, &next_block, stats, san, mem)
                 }));
             }
         }
@@ -290,6 +295,7 @@ fn lane_loop(
     next_block: &AtomicUsize,
     stats: &KernelStats,
     san: Option<&LaunchSan>,
+    mem: Option<&LaunchMemTrace>,
 ) {
     let num_blocks = cfg.num_blocks();
     let tpb = cfg.threads_per_block();
@@ -337,6 +343,7 @@ fn lane_loop(
             warp: Some(warp),
             collective_count: 0,
             san,
+            mem,
         };
         let outcome =
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (kernel.body)(&mut ctx)));
@@ -573,6 +580,45 @@ mod tests {
         assert_eq!(stats.global_store_bytes, 64 * 4);
         assert_eq!(stats.flops, 64);
         assert_eq!(b.to_vec(), vec![2.0f32; 64]);
+    }
+
+    #[test]
+    fn flags_drift_is_reported_and_degraded_under_synccheck() {
+        use crate::san::{DiagKind, SanState, ToolMask};
+        let d = dev();
+        let out = d.alloc::<u32>(8);
+        // Uses sync_threads and a shuffle without declaring either flag:
+        // the executor picks the serial path, and the session must surface
+        // that as a structured KernelFlagsDrift finding instead of a panic.
+        let k = Kernel::new("drifted", {
+            let out = out.clone();
+            move |ctx: &mut ThreadCtx| {
+                let t = ctx.thread_rank();
+                ctx.sync_threads();
+                let v = ctx.shfl(t as u32, 0);
+                ctx.write(&out, t, v);
+            }
+        });
+        let san = SanState::new(ToolMask::SYNCCHECK);
+        d.attach_sanitizer(Arc::clone(&san));
+        d.launch(&k, LaunchConfig::new(1u32, 8u32)).unwrap();
+        d.detach_sanitizer();
+        let diags = san.diagnostics();
+        assert!(!diags.is_empty());
+        assert!(diags.iter().all(|g| g.kind == DiagKind::KernelFlagsDrift));
+        assert!(diags[0].message.contains("uses_block_sync"));
+        // Degraded shuffle: every lane received its own value.
+        assert_eq!(out.to_vec(), (0..8).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "uses_block_sync")]
+    fn flags_drift_panics_without_a_session() {
+        let d = dev();
+        let k = Kernel::new("drifted", |ctx: &mut ThreadCtx| {
+            ctx.sync_threads();
+        });
+        let _ = d.launch(&k, LaunchConfig::new(1u32, 8u32));
     }
 
     #[test]

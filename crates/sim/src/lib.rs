@@ -64,6 +64,7 @@ pub mod dim;
 pub mod error;
 pub mod exec;
 pub mod mem;
+pub mod memtrace;
 pub mod san;
 pub mod shared;
 pub mod stream;

@@ -1,0 +1,244 @@
+//! Memory-access tracing: the replay data plane for `ompx-analyzer`.
+//!
+//! While a [`MemTrace`] is attached to a [`crate::device::Device`], every
+//! counted global- and shared-memory access made by every simulated thread
+//! is recorded as a [`MemEvent`]. The static verifier's *replay validation*
+//! mode drives a kernel on a small concrete grid with a trace attached and
+//! then checks that its declared access summary predicts every observed
+//! event — the mechanism by which hand-written summaries are validated
+//! rather than trusted (see `crates/analyzer`).
+//!
+//! The hook mirrors the sanitizer attachment pattern ([`crate::san`]): the
+//! trace lives on the device, each launch wraps it in a [`LaunchMemTrace`]
+//! carrying the kernel name, and [`crate::thread::ThreadCtx`] records into
+//! it from the same accessor methods the sanitizer observes. Local-memory
+//! accesses (`lread`/`lwrite`) are *not* traced: local arrays are private
+//! to one thread and cannot race or go out of bounds at the buffer level.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Which address space an event touched.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum MemSpace {
+    /// Device global memory: the allocation's id and diagnostic label.
+    Global { alloc_id: usize, label: String },
+    /// Block shared memory: the launch-config slot index.
+    Shared { slot: usize },
+}
+
+/// How the access touched memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemAccessKind {
+    Read,
+    Write,
+    Atomic,
+}
+
+/// One recorded memory access by one simulated thread.
+#[derive(Debug, Clone)]
+pub struct MemEvent {
+    /// Kernel the access executed in.
+    pub kernel: String,
+    /// Block coordinates of the accessing thread.
+    pub block: (u32, u32, u32),
+    /// Thread coordinates within the block.
+    pub thread: (u32, u32, u32),
+    /// Address space and target.
+    pub space: MemSpace,
+    /// Element index within the buffer or slot.
+    pub index: usize,
+    /// Read, write, or atomic.
+    pub kind: MemAccessKind,
+}
+
+/// Cap on recorded events, bounding a runaway kernel's trace. Replay runs
+/// use deliberately tiny grids, so hitting the cap means the harness is
+/// misconfigured; [`MemTrace::truncated`] exposes the condition.
+const MAX_EVENTS: usize = 4_000_000;
+
+/// A device-attached memory-access trace (see [`crate::device::Device`]'s
+/// `attach_mem_trace`).
+pub struct MemTrace {
+    events: Mutex<Vec<MemEvent>>,
+    truncated: std::sync::atomic::AtomicBool,
+}
+
+impl MemTrace {
+    /// Fresh, empty trace.
+    pub fn new() -> Arc<MemTrace> {
+        Arc::new(MemTrace {
+            events: Mutex::new(Vec::new()),
+            truncated: std::sync::atomic::AtomicBool::new(false),
+        })
+    }
+
+    /// Copy of the events recorded so far, in recording order (order is
+    /// deterministic per thread, interleaving across threads is not).
+    pub fn events(&self) -> Vec<MemEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Move the events out, leaving the trace empty.
+    pub fn drain(&self) -> Vec<MemEvent> {
+        std::mem::take(&mut *self.events.lock())
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+
+    /// True when the event cap was hit and events were dropped.
+    pub fn truncated(&self) -> bool {
+        self.truncated.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    fn record(&self, event: MemEvent) {
+        let mut events = self.events.lock();
+        if events.len() < MAX_EVENTS {
+            events.push(event);
+        } else {
+            self.truncated.store(true, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+}
+
+/// Per-launch trace context handed to the executor: the trace plus the
+/// kernel's name.
+pub struct LaunchMemTrace {
+    trace: Arc<MemTrace>,
+    kernel: String,
+}
+
+impl LaunchMemTrace {
+    pub(crate) fn new(trace: Arc<MemTrace>, kernel: &str) -> LaunchMemTrace {
+        LaunchMemTrace { trace, kernel: kernel.to_string() }
+    }
+
+    /// Record a global-memory access.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn global(
+        &self,
+        block: (u32, u32, u32),
+        thread: (u32, u32, u32),
+        alloc_id: usize,
+        label: &str,
+        index: usize,
+        kind: MemAccessKind,
+    ) {
+        self.trace.record(MemEvent {
+            kernel: self.kernel.clone(),
+            block,
+            thread,
+            space: MemSpace::Global { alloc_id, label: label.to_string() },
+            index,
+            kind,
+        });
+    }
+
+    /// Record a shared-memory access.
+    pub(crate) fn shared(
+        &self,
+        block: (u32, u32, u32),
+        thread: (u32, u32, u32),
+        slot: usize,
+        index: usize,
+        kind: MemAccessKind,
+    ) {
+        self.trace.record(MemEvent {
+            kernel: self.kernel.clone(),
+            block,
+            thread,
+            space: MemSpace::Shared { slot },
+            index,
+            kind,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{Device, DeviceProfile};
+    use crate::dim::LaunchConfig;
+    use crate::exec::Kernel;
+    use crate::thread::ThreadCtx;
+
+    #[test]
+    fn trace_records_global_reads_and_writes() {
+        let d = Device::new(DeviceProfile::test_small());
+        let a = d.alloc_from(&[1.0f32, 2.0, 3.0, 4.0]);
+        let b = d.alloc::<f32>(4);
+        let trace = MemTrace::new();
+        d.attach_mem_trace(Arc::clone(&trace));
+        let k = Kernel::new("copy", {
+            let (a, b) = (a.clone(), b.clone());
+            move |tc: &mut ThreadCtx| {
+                let i = tc.global_thread_id_x();
+                let v = tc.read(&a, i);
+                tc.write(&b, i, v);
+            }
+        });
+        d.launch(&k, LaunchConfig::linear(4, 2)).unwrap();
+        d.detach_mem_trace();
+        let events = trace.events();
+        assert_eq!(events.len(), 8);
+        let reads = events.iter().filter(|e| e.kind == MemAccessKind::Read).count();
+        let writes = events.iter().filter(|e| e.kind == MemAccessKind::Write).count();
+        assert_eq!((reads, writes), (4, 4));
+        assert!(events.iter().all(|e| e.kernel == "copy"));
+        assert!(events
+            .iter()
+            .all(|e| matches!(e.space, MemSpace::Global { alloc_id, .. } if alloc_id == a.alloc_id() || alloc_id == b.alloc_id())));
+    }
+
+    #[test]
+    fn trace_records_shared_accesses_with_slot() {
+        let d = Device::new(DeviceProfile::test_small());
+        let trace = MemTrace::new();
+        d.attach_mem_trace(Arc::clone(&trace));
+        let mut cfg = LaunchConfig::new(1u32, 4u32);
+        let slot = cfg.shared_array::<u32>(4);
+        let k = Kernel::with_flags(
+            "stage",
+            crate::exec::KernelFlags { uses_block_sync: true, uses_warp_ops: false },
+            move |tc: &mut ThreadCtx| {
+                let tile = tc.shared::<u32>(slot);
+                let t = tc.thread_rank();
+                tc.swrite(&tile, t, t as u32);
+                tc.sync_threads();
+                let _ = tc.sread(&tile, (t + 1) % 4);
+            },
+        );
+        d.launch(&k, cfg).unwrap();
+        d.detach_mem_trace();
+        let events = trace.events();
+        assert_eq!(events.len(), 8);
+        assert!(events.iter().all(|e| e.space == MemSpace::Shared { slot }));
+    }
+
+    #[test]
+    fn detached_launches_record_nothing() {
+        let d = Device::new(DeviceProfile::test_small());
+        let a = d.alloc::<u32>(4);
+        let trace = MemTrace::new();
+        d.attach_mem_trace(Arc::clone(&trace));
+        d.detach_mem_trace();
+        let k = Kernel::new("w", {
+            let a = a.clone();
+            move |tc: &mut ThreadCtx| {
+                let i = tc.global_thread_id_x();
+                tc.write(&a, i, 1);
+            }
+        });
+        d.launch(&k, LaunchConfig::linear(4, 2)).unwrap();
+        assert!(trace.is_empty());
+        assert!(!trace.truncated());
+    }
+}

@@ -81,6 +81,7 @@ pub enum DiagKind {
     GlobalRace,
     BarrierDivergence,
     InvalidShflMask,
+    KernelFlagsDrift,
     UninitGlobalRead,
     UninitSharedRead,
     DeviceLeak,
@@ -94,7 +95,9 @@ impl DiagKind {
                 "memcheck"
             }
             DiagKind::SharedRace | DiagKind::GlobalRace => "racecheck",
-            DiagKind::BarrierDivergence | DiagKind::InvalidShflMask => "synccheck",
+            DiagKind::BarrierDivergence
+            | DiagKind::InvalidShflMask
+            | DiagKind::KernelFlagsDrift => "synccheck",
             DiagKind::UninitGlobalRead | DiagKind::UninitSharedRead => "initcheck",
             DiagKind::DeviceLeak => "leakcheck",
         }
@@ -121,6 +124,7 @@ impl DiagKind {
             DiagKind::GlobalRace => "global-memory data race",
             DiagKind::BarrierDivergence => "barrier divergence",
             DiagKind::InvalidShflMask => "invalid shfl member mask",
+            DiagKind::KernelFlagsDrift => "KernelFlags drift",
             DiagKind::UninitGlobalRead => "uninitialized global read",
             DiagKind::UninitSharedRead => "uninitialized shared read",
             DiagKind::DeviceLeak => "device memory leak",
@@ -557,6 +561,36 @@ impl SanState {
             },
             (DiagKind::BarrierDivergence, site.block_rank, 0),
         );
+    }
+
+    /// `KernelFlags` drift: a kernel that never declared `uses_block_sync` /
+    /// `uses_warp_ops` was launched on the serial path and then called a
+    /// block or warp collective in a multi-thread block. Without a session
+    /// the executor panics; under synccheck the collective degrades (barrier
+    /// no-op, shuffle self-value) and the drift becomes a structured
+    /// finding, so the whole launch can still be scanned. Returns `true`
+    /// when the caller should degrade instead of panicking.
+    pub(crate) fn flags_drift(&self, site: AccessSite<'_>, what: &str, missing: &str) -> bool {
+        if !self.tool_on(ToolMask::SYNCCHECK) {
+            return false;
+        }
+        self.record(
+            Diagnostic {
+                kind: DiagKind::KernelFlagsDrift,
+                kernel: site.kernel.to_string(),
+                block: site.block,
+                thread: site.thread,
+                address: None,
+                alloc: None,
+                message: format!(
+                    "{what} in a multi-thread block, but the kernel does not declare \
+                     KernelFlags::{missing} — it ran on the serial path, so the \
+                     collective degrades and results may be wrong"
+                ),
+            },
+            (DiagKind::KernelFlagsDrift, site.block_rank, 0),
+        );
+        true
     }
 
     /// Invalid `shfl_sync` member mask.

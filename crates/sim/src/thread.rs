@@ -22,6 +22,7 @@ use crate::barrier::RetireBarrier;
 use crate::counters::CostCounters;
 use crate::dim::Dim3;
 use crate::mem::{DBuf, DeviceScalar};
+use crate::memtrace::{LaunchMemTrace, MemAccessKind};
 use crate::san::{AccessSite, GlobalKind, LaunchSan, ToolMask};
 use crate::shared::{BlockShared, SharedRace, SharedView};
 use crate::warp::WarpGroup;
@@ -42,6 +43,8 @@ pub struct ThreadCtx<'a> {
     pub(crate) collective_count: u64,
     /// Sanitizer session of the enclosing launch, when one is attached.
     pub(crate) san: Option<&'a LaunchSan>,
+    /// Memory-access trace of the enclosing launch, when one is attached.
+    pub(crate) mem: Option<&'a LaunchMemTrace>,
 }
 
 impl<'a> ThreadCtx<'a> {
@@ -71,6 +74,7 @@ impl<'a> ThreadCtx<'a> {
             warp: None,
             collective_count: 0,
             san: None,
+            mem: None,
         }
     }
 
@@ -125,6 +129,33 @@ impl<'a> ThreadCtx<'a> {
                 if race.this_write { "Write" } else { "Read" },
                 race.epoch
             ),
+        }
+    }
+
+    /// Record a `KernelFlags` drift (collective used on the serial path) as
+    /// a structured finding when a synccheck session is attached; returns
+    /// `true` when the caller should degrade instead of panicking.
+    #[cold]
+    fn report_flags_drift(&self, what: &str, missing: &str) -> bool {
+        match self.san {
+            Some(san) => san.state().flags_drift(self.site(san), what, missing),
+            None => false,
+        }
+    }
+
+    // ---- memory-trace plumbing ------------------------------------------
+
+    #[inline]
+    fn trace_global<T: DeviceScalar>(&self, buf: &DBuf<T>, i: usize, kind: MemAccessKind) {
+        if let Some(mem) = self.mem {
+            mem.global(self.block, self.thread, buf.alloc_id(), &buf.label(), i, kind);
+        }
+    }
+
+    #[inline]
+    fn trace_shared(&self, slot: usize, i: usize, kind: MemAccessKind) {
+        if let Some(mem) = self.mem {
+            mem.shared(self.block, self.thread, slot, i, kind);
         }
     }
 
@@ -257,6 +288,7 @@ impl<'a> ThreadCtx<'a> {
     #[inline]
     pub fn read<T: DeviceScalar>(&mut self, buf: &DBuf<T>, i: usize) -> T {
         self.counters.global_load_bytes += std::mem::size_of::<T>() as u64;
+        self.trace_global(buf, i, MemAccessKind::Read);
         if self.san_global(buf, i, GlobalKind::Read) {
             return T::default();
         }
@@ -289,6 +321,7 @@ impl<'a> ThreadCtx<'a> {
     #[inline]
     pub fn write<T: DeviceScalar>(&mut self, buf: &DBuf<T>, i: usize, v: T) {
         self.counters.global_store_bytes += std::mem::size_of::<T>() as u64;
+        self.trace_global(buf, i, MemAccessKind::Write);
         if self.san_global(buf, i, GlobalKind::Write) {
             return;
         }
@@ -304,6 +337,7 @@ impl<'a> ThreadCtx<'a> {
     #[inline]
     pub fn read_uniform<T: DeviceScalar>(&mut self, buf: &DBuf<T>, i: usize) -> T {
         self.counters.uniform_load_bytes += std::mem::size_of::<T>() as u64;
+        self.trace_global(buf, i, MemAccessKind::Read);
         if self.san_global(buf, i, GlobalKind::Read) {
             return T::default();
         }
@@ -314,6 +348,7 @@ impl<'a> ThreadCtx<'a> {
     #[inline]
     pub fn atomic_add<T: DeviceScalar>(&mut self, buf: &DBuf<T>, i: usize, v: T) -> T {
         self.counters.atomic_ops += 1;
+        self.trace_global(buf, i, MemAccessKind::Atomic);
         if self.san_global(buf, i, GlobalKind::Atomic) {
             return T::default();
         }
@@ -324,6 +359,7 @@ impl<'a> ThreadCtx<'a> {
     #[inline]
     pub fn atomic_min<T: DeviceScalar>(&mut self, buf: &DBuf<T>, i: usize, v: T) -> T {
         self.counters.atomic_ops += 1;
+        self.trace_global(buf, i, MemAccessKind::Atomic);
         if self.san_global(buf, i, GlobalKind::Atomic) {
             return T::default();
         }
@@ -334,6 +370,7 @@ impl<'a> ThreadCtx<'a> {
     #[inline]
     pub fn atomic_max<T: DeviceScalar>(&mut self, buf: &DBuf<T>, i: usize, v: T) -> T {
         self.counters.atomic_ops += 1;
+        self.trace_global(buf, i, MemAccessKind::Atomic);
         if self.san_global(buf, i, GlobalKind::Atomic) {
             return T::default();
         }
@@ -350,6 +387,7 @@ impl<'a> ThreadCtx<'a> {
         new: T,
     ) -> Result<T, T> {
         self.counters.atomic_ops += 1;
+        self.trace_global(buf, i, MemAccessKind::Atomic);
         if self.san_global(buf, i, GlobalKind::Atomic) {
             return Err(T::default());
         }
@@ -369,6 +407,7 @@ impl<'a> ThreadCtx<'a> {
     #[inline]
     pub fn sread<T: DeviceScalar>(&mut self, view: &SharedView<'a, T>, i: usize) -> T {
         self.counters.shared_accesses += 1;
+        self.trace_shared(view.slot_index(), i, MemAccessKind::Read);
         if let Some(race) = view.racecheck_access(
             i,
             self.thread_rank(),
@@ -389,6 +428,7 @@ impl<'a> ThreadCtx<'a> {
     #[inline]
     pub fn swrite<T: DeviceScalar>(&mut self, view: &SharedView<'a, T>, i: usize, v: T) {
         self.counters.shared_accesses += 1;
+        self.trace_shared(view.slot_index(), i, MemAccessKind::Write);
         if let Some(race) = view.racecheck_access(
             i,
             self.thread_rank(),
@@ -410,6 +450,7 @@ impl<'a> ThreadCtx<'a> {
     ) -> T {
         self.counters.shared_accesses += 1;
         self.counters.atomic_ops += 1;
+        self.trace_shared(view.slot_index(), i, MemAccessKind::Atomic);
         view.atomic_add(i, v)
     }
 
@@ -454,12 +495,15 @@ impl<'a> ThreadCtx<'a> {
                 b.wait();
             }
             None => {
-                assert_eq!(
-                    self.block_dim.count(),
-                    1,
-                    "sync_threads in a multi-thread block requires \
-                     KernelFlags::uses_block_sync (kernel launched on the serial path)"
-                );
+                if self.block_dim.count() > 1
+                    && !self.report_flags_drift("sync_threads", "uses_block_sync")
+                {
+                    panic!(
+                        "sync_threads in a multi-thread block requires \
+                         KernelFlags::uses_block_sync (kernel launched on the serial path)"
+                    );
+                }
+                // Degraded under synccheck: the barrier is a no-op.
             }
         }
     }
@@ -470,12 +514,15 @@ impl<'a> ThreadCtx<'a> {
         match self.warp {
             Some(w) => w.sync(),
             None => {
-                assert_eq!(
-                    self.block_dim.count(),
-                    1,
-                    "sync_warp requires KernelFlags::uses_warp_ops \
-                     (kernel launched on the serial path)"
-                );
+                if self.block_dim.count() > 1
+                    && !self.report_flags_drift("sync_warp", "uses_warp_ops")
+                {
+                    panic!(
+                        "sync_warp requires KernelFlags::uses_warp_ops \
+                         (kernel launched on the serial path)"
+                    );
+                }
+                // Degraded under synccheck: the warp barrier is a no-op.
             }
         }
     }
@@ -499,8 +546,9 @@ impl<'a> ThreadCtx<'a> {
     pub fn shfl<T: DeviceScalar>(&mut self, val: T, src_lane: usize) -> T {
         self.counters.warp_ops += 1;
         self.collective_count += 1;
-        if self.warp.is_none() && self.solo() {
-            return val; // one-lane warp: every source is yourself
+        if self.warp.is_none() && (self.solo() || self.report_flags_drift("shfl", "uses_warp_ops"))
+        {
+            return val; // one-lane warp (or degraded): every source is yourself
         }
         let lane = self.lane_id() as u32;
         self.warp_group().shfl(lane, val, src_lane as u32)
@@ -532,7 +580,9 @@ impl<'a> ThreadCtx<'a> {
     pub fn shfl_down<T: DeviceScalar>(&mut self, val: T, delta: usize) -> T {
         self.counters.warp_ops += 1;
         self.collective_count += 1;
-        if self.warp.is_none() && self.solo() {
+        if self.warp.is_none()
+            && (self.solo() || self.report_flags_drift("shfl_down", "uses_warp_ops"))
+        {
             return val;
         }
         let w = self.warp_group();
@@ -551,7 +601,9 @@ impl<'a> ThreadCtx<'a> {
     pub fn shfl_up<T: DeviceScalar>(&mut self, val: T, delta: usize) -> T {
         self.counters.warp_ops += 1;
         self.collective_count += 1;
-        if self.warp.is_none() && self.solo() {
+        if self.warp.is_none()
+            && (self.solo() || self.report_flags_drift("shfl_up", "uses_warp_ops"))
+        {
             return val;
         }
         let w = self.warp_group();
@@ -569,7 +621,9 @@ impl<'a> ThreadCtx<'a> {
     pub fn shfl_xor<T: DeviceScalar>(&mut self, val: T, mask: usize) -> T {
         self.counters.warp_ops += 1;
         self.collective_count += 1;
-        if self.warp.is_none() && self.solo() {
+        if self.warp.is_none()
+            && (self.solo() || self.report_flags_drift("shfl_xor", "uses_warp_ops"))
+        {
             return val;
         }
         let lane = self.lane_id() as u32;
@@ -581,7 +635,9 @@ impl<'a> ThreadCtx<'a> {
         self.counters.warp_ops += 1;
         let op = self.collective_count;
         self.collective_count += 1;
-        if self.warp.is_none() && self.solo() {
+        if self.warp.is_none()
+            && (self.solo() || self.report_flags_drift("ballot", "uses_warp_ops"))
+        {
             return u64::from(pred);
         }
         let lane = self.lane_id() as u32;

@@ -30,4 +30,14 @@ if cargo run --release -q -p ompx-bench --bin sanitize -- \
     exit 1
 fi
 
+echo "==> analyze smoke run (all 6 apps x 4 versions, with replay)"
+cargo run --release -q -p ompx-bench --bin analyze -- --replay
+
+echo "==> analyze fixture check (racecheck must fire)"
+if cargo run --release -q -p ompx-bench --bin analyze -- \
+    --fixture race-global >/dev/null; then
+    echo "error: race-global fixture reported no findings" >&2
+    exit 1
+fi
+
 echo "CI OK"
