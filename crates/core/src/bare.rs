@@ -164,8 +164,22 @@ pub struct PreparedBare {
 impl PreparedBare {
     /// Execute synchronously; functional stats + modeled time.
     pub fn execute(&self) -> SimResult<TargetResult> {
+        let r = self.execute_silent()?;
+        // One kernel bar on the profiler's host track (synchronous target
+        // semantics occupy the submitting thread for the modeled time).
+        if let Some(log) = ompx_sim::span::active() {
+            log.host_op(&self.name, ompx_sim::span::SpanCategory::Kernel, r.modeled.seconds, 0);
+        }
+        Ok(r)
+    }
+
+    /// Execute without host-track span emission: the stream/nowait paths
+    /// run this from a stream worker and record a stream span instead.
+    pub(crate) fn execute_silent(&self) -> SimResult<TargetResult> {
         let stats = self.omp.device().launch(&self.kernel, self.cfg.clone())?;
-        Ok(self.model(&stats))
+        let r = self.model(&stats);
+        self.omp.device().trace().attribute_model(&self.name, r.modeled.seconds);
+        Ok(r)
     }
 
     /// Model a (possibly workload-scaled) snapshot for this bare kernel.

@@ -19,45 +19,73 @@
 
 use ompx_hostrt::OpenMp;
 use ompx_sim::mem::{DBuf, DeviceScalar};
+use ompx_sim::span::{self, SpanCategory};
+
+/// Record a host-API call on the profiler's host track, if a span log is
+/// installed. Transfers get their modeled PCIe duration so the timeline
+/// shows H2D/D2H bars whose width is the transfer time and whose args
+/// carry the byte count.
+fn host_span(omp: &OpenMp, name: &str, cat: SpanCategory, bytes: usize) {
+    if let Some(log) = span::active() {
+        let dur = match cat {
+            SpanCategory::MemcpyH2D | SpanCategory::MemcpyD2H | SpanCategory::MemcpyD2D => {
+                omp.device().profile().transfer_seconds(bytes)
+            }
+            _ => 0.0,
+        };
+        log.host_op(name, cat, dur, bytes as u64);
+    }
+}
 
 /// `ompx_malloc` — allocate `n` zero-initialized device elements.
 pub fn ompx_malloc<T: DeviceScalar>(omp: &OpenMp, n: usize) -> DBuf<T> {
-    omp.device().alloc(n)
+    let buf = omp.device().alloc(n);
+    host_span(omp, "ompx_malloc", SpanCategory::HostOp, buf.size_bytes());
+    buf
 }
 
 /// Allocate and copy in (`ompx_malloc` + `ompx_memcpy_h2d`).
 pub fn ompx_malloc_from<T: DeviceScalar>(omp: &OpenMp, data: &[T]) -> DBuf<T> {
-    omp.device().alloc_from(data)
+    let buf = omp.device().alloc_from(data);
+    host_span(omp, "ompx_malloc_from", SpanCategory::MemcpyH2D, buf.size_bytes());
+    buf
 }
 
 /// `ompx_free`.
 pub fn ompx_free<T: DeviceScalar>(omp: &OpenMp, buf: &DBuf<T>) {
     omp.device().free(buf);
+    host_span(omp, "ompx_free", SpanCategory::HostOp, buf.size_bytes());
 }
 
-/// `ompx_memcpy` host → device.
-pub fn ompx_memcpy_h2d<T: DeviceScalar>(dst: &DBuf<T>, src: &[T]) {
+/// `ompx_memcpy` host → device. Like the PACT'22 host API (and unlike
+/// `cudaMemcpy`), the runtime handle is explicit.
+pub fn ompx_memcpy_h2d<T: DeviceScalar>(omp: &OpenMp, dst: &DBuf<T>, src: &[T]) {
     dst.copy_from_host(src);
+    host_span(omp, "ompx_memcpy H2D", SpanCategory::MemcpyH2D, std::mem::size_of_val(src));
 }
 
 /// `ompx_memcpy` device → host.
-pub fn ompx_memcpy_d2h<T: DeviceScalar>(dst: &mut [T], src: &DBuf<T>) {
+pub fn ompx_memcpy_d2h<T: DeviceScalar>(omp: &OpenMp, dst: &mut [T], src: &DBuf<T>) {
     src.copy_to_host(dst);
+    host_span(omp, "ompx_memcpy D2H", SpanCategory::MemcpyD2H, std::mem::size_of_val(dst));
 }
 
 /// `ompx_memcpy` device → device.
-pub fn ompx_memcpy_d2d<T: DeviceScalar>(dst: &DBuf<T>, src: &DBuf<T>, n: usize) {
+pub fn ompx_memcpy_d2d<T: DeviceScalar>(omp: &OpenMp, dst: &DBuf<T>, src: &DBuf<T>, n: usize) {
     dst.copy_from_device(src, n);
+    host_span(omp, "ompx_memcpy D2D", SpanCategory::MemcpyD2D, n * std::mem::size_of::<T>());
 }
 
 /// `ompx_memset` (typed fill).
-pub fn ompx_memset<T: DeviceScalar>(buf: &DBuf<T>, v: T) {
+pub fn ompx_memset<T: DeviceScalar>(omp: &OpenMp, buf: &DBuf<T>, v: T) {
     buf.fill(v);
+    host_span(omp, "ompx_memset", SpanCategory::HostOp, buf.size_bytes());
 }
 
 /// `ompx_device_synchronize` — drain every stream on the device.
 pub fn ompx_device_synchronize(omp: &OpenMp) {
     omp.device().synchronize();
+    host_span(omp, "ompx_device_synchronize", SpanCategory::Sync, 0);
 }
 
 #[cfg(test)]
@@ -80,9 +108,9 @@ mod tests {
         let omp = omp();
         let before = omp.device().allocated_bytes();
         let buf = ompx_malloc::<f32>(&omp, 16);
-        ompx_memcpy_h2d(&buf, &[1.0, 2.0, 3.0]);
+        ompx_memcpy_h2d(&omp, &buf, &[1.0, 2.0, 3.0]);
         let mut out = vec![0.0f32; 3];
-        ompx_memcpy_d2h(&mut out, &buf);
+        ompx_memcpy_d2h(&omp, &mut out, &buf);
         assert_eq!(out, vec![1.0, 2.0, 3.0]);
         ompx_free(&omp, &buf);
         assert_eq!(omp.device().allocated_bytes(), before);
@@ -93,9 +121,9 @@ mod tests {
         let omp = omp();
         let a = ompx_malloc_from(&omp, &[5u32, 6, 7]);
         let b = ompx_malloc::<u32>(&omp, 3);
-        ompx_memcpy_d2d(&b, &a, 3);
+        ompx_memcpy_d2d(&omp, &b, &a, 3);
         assert_eq!(b.to_vec(), vec![5, 6, 7]);
-        ompx_memset(&b, 9);
+        ompx_memset(&omp, &b, 9);
         assert_eq!(b.to_vec(), vec![9, 9, 9]);
     }
 

@@ -20,18 +20,31 @@
 
 use crate::bare::PreparedBare;
 use ompx_hostrt::InteropObj;
+use ompx_sim::span::{self, SpanCategory};
 use ompx_sim::stream::Event;
 
 /// `#pragma omp target teams ompx_bare nowait depend(interopobj: obj)`:
 /// dispatch the kernel into the stream associated with `obj`. Returns an
 /// event completing when the kernel has executed (useful for tests; the
 /// paper's idiom is [`taskwait_interopobj`]).
+///
+/// When a profiler span log is installed, the submission is recorded on
+/// the host track with a flow arrow to the kernel's span on the stream's
+/// track — the `nowait` dependence made visible.
 pub fn launch_nowait_interopobj(prepared: &PreparedBare, obj: &InteropObj) -> Event {
     let p = prepared.clone();
     let stream = obj.stream().clone();
+    let flow = span::active().map(|log| {
+        log.host_op_flow(
+            &format!("nowait depend(interopobj) {}", prepared.name()),
+            SpanCategory::Task,
+            0.0,
+            0,
+        )
+    });
     obj.enqueue(move || {
-        if let Ok(r) = p.execute() {
-            stream.add_modeled_time(r.modeled.seconds);
+        if let Ok(r) = p.execute_silent() {
+            stream.add_modeled_span(p.name(), SpanCategory::Kernel, r.modeled.seconds, 0, flow);
         }
     });
     obj.record_event()
@@ -41,6 +54,9 @@ pub fn launch_nowait_interopobj(prepared: &PreparedBare, obj: &InteropObj) -> Ev
 /// object's stream.
 pub fn taskwait_interopobj(obj: &InteropObj) {
     obj.synchronize();
+    if let Some(log) = span::active() {
+        log.host_op("taskwait depend(interopobj)", SpanCategory::Sync, 0.0, 0);
+    }
 }
 
 #[cfg(test)]

@@ -233,6 +233,31 @@ pub fn with_mem_trace<R>(f: impl FnOnce() -> R) -> (R, Vec<MemEvent>) {
     (result, trace.events())
 }
 
+// ---- span-log integration (profiler timelines) -----------------------------
+
+/// Run a benchmark closure with a fresh ambient profiler [`SpanLog`]
+/// installed, returning its result plus every recorded timeline span.
+/// Shares the sanitized-run gate so profiled, traced and sanitized runs
+/// cannot cross-pollute through the process-wide statics. This is
+/// `ompx-prof`'s timeline data plane.
+///
+/// [`SpanLog`]: ompx_sim::span::SpanLog
+pub fn with_span_log<R>(f: impl FnOnce() -> R) -> (R, Vec<ompx_sim::span::Span>) {
+    let _gate = SANITIZED_RUN_GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let log = ompx_sim::span::SpanLog::new();
+    ompx_sim::span::SpanLog::install(Arc::clone(&log));
+    /// Uninstalls the ambient log even if the benchmark panics.
+    struct SpanInstall;
+    impl Drop for SpanInstall {
+        fn drop(&mut self) {
+            ompx_sim::span::SpanLog::uninstall();
+        }
+    }
+    let _uninstall = SpanInstall;
+    let result = f();
+    (result, log.spans())
+}
+
 // ---- checksums ------------------------------------------------------------
 
 /// splitmix64 — the standard 64-bit finalizer, used to decorrelate items.

@@ -31,7 +31,9 @@ pub mod su3;
 pub mod summaries;
 pub mod xsbench;
 
-pub use common::{run_app_sanitized, BenchInfo, ProgVersion, RunOutcome, System, WorkScale};
+pub use common::{
+    run_app_sanitized, with_span_log, BenchInfo, ProgVersion, RunOutcome, System, WorkScale,
+};
 
 /// All six applications' metadata in the paper's Figure 6 order.
 pub fn all_benchmarks() -> Vec<BenchInfo> {

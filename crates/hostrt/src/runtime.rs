@@ -178,6 +178,9 @@ impl OpenMp {
     /// `#pragma omp taskwait` — wait for all outstanding tasks.
     pub fn taskwait(&self) {
         self.inner.tasks.wait_all();
+        if let Some(log) = ompx_sim::span::active() {
+            log.host_op("taskwait", ompx_sim::span::SpanCategory::Sync, 0.0, 0);
+        }
     }
 
     /// Default team count when the program gives none.

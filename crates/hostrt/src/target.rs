@@ -398,16 +398,31 @@ impl TargetRegion {
         let omp = self.omp.clone();
         let slot: Arc<Mutex<Option<SimResult<TargetResult>>>> = Arc::new(Mutex::new(None));
         let slot2 = Arc::clone(&slot);
+        // Submission is instantaneous on the host track; the flow arrow
+        // connects it to the task's span on the helper-thread track.
+        let flow = ompx_sim::span::active().map(|log| {
+            log.host_op_flow(
+                &format!("nowait {}", self.kernel_name),
+                ompx_sim::span::SpanCategory::Task,
+                0.0,
+                0,
+            )
+        });
         if !self.offload {
             // if(false) + nowait: a host task executes the region body.
+            let name = self.kernel_name.clone();
             let handle = omp.inner.tasks.submit(deps_in, deps_out, move || {
-                *slot2.lock() = Some(Ok(self.run_on_host(n, &body)));
+                let r = self.run_on_host(n, &body);
+                if let Some(log) = ompx_sim::span::active() {
+                    log.task_span(&name, r.modeled.seconds, flow);
+                }
+                *slot2.lock() = Some(Ok(r));
             });
             return NowaitTarget { handle, result: slot };
         }
         let prepared = self.prepare_dpf(n, Arc::new(body));
         let handle = omp.inner.tasks.submit(deps_in, deps_out, move || {
-            *slot2.lock() = Some(prepared.execute());
+            *slot2.lock() = Some(prepared.execute_as_task(flow));
         });
         NowaitTarget { handle, result: slot }
     }
@@ -510,8 +525,40 @@ pub struct PreparedTarget {
 impl PreparedTarget {
     /// Execute synchronously and model the result.
     pub fn execute(&self) -> SimResult<TargetResult> {
+        let r = self.execute_quiet()?;
+        // A synchronous target region blocks the submitting thread for its
+        // modeled duration — one kernel bar on the profiler's host track.
+        if let Some(log) = ompx_sim::span::active() {
+            log.host_op(
+                &self.kernel_name,
+                ompx_sim::span::SpanCategory::Kernel,
+                r.modeled.seconds,
+                0,
+            );
+        }
+        Ok(r)
+    }
+
+    /// Execute without host-track span emission (the `nowait` task path
+    /// records a helper-thread span instead).
+    fn execute_quiet(&self) -> SimResult<TargetResult> {
         let stats = self.omp.device().launch(&self.kernel, self.cfg.clone())?;
-        Ok(self.model(&stats))
+        let r = self.model(&stats);
+        // Report the runtime's modeled time into the device launch trace
+        // (overwrites the device's default-codegen estimate).
+        self.omp.device().trace().attribute_model(&self.kernel_name, r.modeled.seconds);
+        Ok(r)
+    }
+
+    /// Like [`PreparedTarget::execute`], but recording the kernel span on
+    /// the profiler's helper-thread (task) track with `flow` as the
+    /// incoming dependence arrow — the `nowait` dispatch path.
+    pub(crate) fn execute_as_task(&self, flow: Option<u64>) -> SimResult<TargetResult> {
+        let r = self.execute_quiet()?;
+        if let Some(log) = ompx_sim::span::active() {
+            log.task_span(&self.kernel_name, r.modeled.seconds, flow);
+        }
+        Ok(r)
     }
 
     /// Model a statistics snapshot (possibly scaled) for this region.

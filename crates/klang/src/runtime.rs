@@ -18,6 +18,7 @@ use ompx_sim::dim::{Dim3, LaunchConfig};
 use ompx_sim::error::SimResult;
 use ompx_sim::exec::Kernel;
 use ompx_sim::mem::{DBuf, DeviceScalar};
+use ompx_sim::span::{self, SpanCategory};
 use ompx_sim::stream::{Event, Stream};
 use ompx_sim::timing::{model_kernel, CodegenInfo, ModeOverheads, ModeledTime};
 use parking_lot::Mutex;
@@ -115,16 +116,28 @@ impl NativeCtx {
     /// `cudaMemcpy(…, HostToDevice)`.
     pub fn memcpy_h2d<T: DeviceScalar>(&self, dst: &DBuf<T>, src: &[T]) {
         dst.copy_from_host(src);
+        self.memcpy_span("memcpy H2D", SpanCategory::MemcpyH2D, std::mem::size_of_val(src));
     }
 
     /// `cudaMemcpy(…, DeviceToHost)`.
     pub fn memcpy_d2h<T: DeviceScalar>(&self, dst: &mut [T], src: &DBuf<T>) {
         src.copy_to_host(dst);
+        self.memcpy_span("memcpy D2H", SpanCategory::MemcpyD2H, std::mem::size_of_val(dst));
     }
 
     /// `cudaMemcpy(…, DeviceToDevice)`.
     pub fn memcpy_d2d<T: DeviceScalar>(&self, dst: &DBuf<T>, src: &DBuf<T>, n: usize) {
         dst.copy_from_device(src, n);
+        self.memcpy_span("memcpy D2D", SpanCategory::MemcpyD2D, n * std::mem::size_of::<T>());
+    }
+
+    /// Record a synchronous memcpy on the profiler's host track, if a span
+    /// log is installed; the bar's width is the modeled transfer time.
+    fn memcpy_span(&self, name: &str, cat: SpanCategory, bytes: usize) {
+        if let Some(log) = span::active() {
+            let seconds = self.inner.device.profile().transfer_seconds(bytes);
+            log.host_op(name, cat, seconds, bytes as u64);
+        }
     }
 
     /// `cudaFree`: release the modeled capacity.
@@ -141,6 +154,7 @@ impl NativeCtx {
     /// returned (interconnect latency + bytes/bandwidth — the §2.6 cost).
     pub fn memcpy_h2d_timed<T: DeviceScalar>(&self, dst: &DBuf<T>, src: &[T]) -> f64 {
         dst.copy_from_host(src);
+        self.memcpy_span("memcpy H2D", SpanCategory::MemcpyH2D, std::mem::size_of_val(src));
         self.inner.device.profile().transfer_seconds(std::mem::size_of_val(src))
     }
 
@@ -150,11 +164,21 @@ impl NativeCtx {
     pub fn memcpy_h2d_async<T: DeviceScalar>(&self, dst: &DBuf<T>, src: &[T], stream: &Stream) {
         let dst = dst.clone();
         let data: Vec<T> = src.to_vec();
-        let seconds = self.inner.device.profile().transfer_seconds(std::mem::size_of_val(src));
+        let bytes = std::mem::size_of_val(src);
+        let seconds = self.inner.device.profile().transfer_seconds(bytes);
+        let flow = span::active().map(|log| {
+            log.host_op_flow("memcpyAsync H2D", SpanCategory::HostOp, 0.0, bytes as u64)
+        });
         let stream2 = stream.clone();
         stream.enqueue(move || {
             dst.copy_from_host(&data);
-            stream2.add_modeled_time(seconds);
+            stream2.add_modeled_span(
+                "memcpy H2D",
+                SpanCategory::MemcpyH2D,
+                seconds,
+                bytes as u64,
+                flow,
+            );
         });
     }
 
@@ -187,6 +211,9 @@ impl NativeCtx {
     /// `cudaDeviceSynchronize`.
     pub fn device_synchronize(&self) {
         self.inner.device.synchronize();
+        if let Some(log) = span::active() {
+            log.host_op("deviceSynchronize", SpanCategory::Sync, 0.0, 0);
+        }
     }
 
     // ---- launches ----------------------------------------------------------
@@ -203,6 +230,18 @@ impl NativeCtx {
 
     /// Launch with a full configuration (shared-memory slots etc.).
     pub fn launch_cfg(&self, kernel: &Kernel, cfg: LaunchConfig) -> SimResult<LaunchResult> {
+        let r = self.launch_cfg_inner(kernel, cfg)?;
+        // A synchronous launch occupies the host thread for its modeled
+        // duration — one kernel bar on the profiler's host track.
+        if let Some(log) = span::active() {
+            log.host_op(kernel.name(), SpanCategory::Kernel, r.modeled.seconds, 0);
+        }
+        Ok(r)
+    }
+
+    /// The launch without host-track span emission: the asynchronous path
+    /// runs this from the stream worker and records a stream span instead.
+    fn launch_cfg_inner(&self, kernel: &Kernel, cfg: LaunchConfig) -> SimResult<LaunchResult> {
         let stats = self.inner.device.launch(kernel, cfg.clone())?;
         let modeled = self.model(
             kernel.name(),
@@ -225,12 +264,21 @@ impl NativeCtx {
         if let Err(e) = self.inner.device.validate_launch(&cfg) {
             panic!("launch_async({}): {e}", kernel.name());
         }
+        let flow = span::active().map(|log| {
+            log.host_op_flow(&format!("launch {}", kernel.name()), SpanCategory::HostOp, 0.0, 0)
+        });
         let ctx = self.clone();
         let kernel = kernel.clone();
         let stream_handle = stream.clone();
         stream.enqueue(move || {
-            match ctx.launch_cfg(&kernel, cfg) {
-                Ok(r) => stream_handle.add_modeled_time(r.modeled.seconds),
+            match ctx.launch_cfg_inner(&kernel, cfg) {
+                Ok(r) => stream_handle.add_modeled_span(
+                    kernel.name(),
+                    SpanCategory::Kernel,
+                    r.modeled.seconds,
+                    0,
+                    flow,
+                ),
                 // Validation passed above; a failure here is a simulator
                 // invariant violation — poison the stream loudly.
                 Err(e) => panic!("async launch of {} failed: {e}", kernel.name()),

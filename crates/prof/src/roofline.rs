@@ -1,0 +1,113 @@
+//! Roofline placement: arithmetic intensity vs. achieved throughput.
+//!
+//! The classic log-log roofline plots a kernel at
+//! `(AI, achieved GFLOP/s)` under two ceilings: the memory roof
+//! `AI × peak_bandwidth` and the compute roof `peak_flops`. The ridge
+//! point `peak_flops / peak_bandwidth` separates memory-bound from
+//! compute-bound territory. The profiler emits one CSV row per kernel so
+//! any plotting tool (or a spreadsheet) can draw Figure-style rooflines
+//! without re-running the simulator.
+
+use crate::metrics::KernelMetrics;
+use ompx_sim::device::DeviceProfile;
+
+/// One kernel's position on a device's roofline.
+#[derive(Debug, Clone)]
+pub struct RooflinePoint {
+    /// Row label: `app/version/kernel`.
+    pub label: String,
+    /// Arithmetic intensity, FLOP/byte.
+    pub ai: f64,
+    /// Achieved GFLOP/s.
+    pub gflops: f64,
+    /// The roof at this AI (min of memory and compute roofs), GFLOP/s.
+    pub roof_gflops: f64,
+    /// Device ridge point, FLOP/byte.
+    pub ridge_ai: f64,
+    /// `"memory"` when `ai < ridge_ai`, else `"compute"`.
+    pub bound: &'static str,
+}
+
+/// Place one kernel on `dev`'s (fp32) roofline.
+pub fn place(dev: &DeviceProfile, label: &str, m: &KernelMetrics) -> RooflinePoint {
+    let peak_gflops = dev.fp32_flops / 1e9;
+    let peak_bw_gbs = dev.mem_bw_bytes_per_s / 1e9;
+    let ridge_ai = peak_gflops / peak_bw_gbs;
+    let roof_gflops = (m.arithmetic_intensity * peak_bw_gbs).min(peak_gflops);
+    RooflinePoint {
+        label: label.to_string(),
+        ai: m.arithmetic_intensity,
+        gflops: m.gflops,
+        roof_gflops,
+        ridge_ai,
+        bound: if m.arithmetic_intensity < ridge_ai { "memory" } else { "compute" },
+    }
+}
+
+/// Render points as CSV (header + one row per kernel).
+pub fn to_csv(points: &[RooflinePoint]) -> String {
+    let mut out =
+        String::from("label,ai_flop_per_byte,achieved_gflops,roof_gflops,ridge_ai,bound\n");
+    for p in points {
+        out.push_str(&format!(
+            "{},{:.6},{:.3},{:.3},{:.3},{}\n",
+            p.label, p.ai, p.gflops, p.roof_gflops, p.ridge_ai, p.bound
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Bottleneck;
+
+    fn metrics(ai: f64, gflops: f64) -> KernelMetrics {
+        KernelMetrics {
+            occupancy_pct: 50.0,
+            mem_throughput_pct: 50.0,
+            arithmetic_intensity: ai,
+            gflops,
+            coalescing_eff_pct: 100.0,
+            warp_exec_eff_pct: 100.0,
+            barrier_stall_pct: 0.0,
+            atomic_stall_pct: 0.0,
+            serialization_stall_pct: 0.0,
+            divergence_stall_pct: 0.0,
+            bottleneck: Bottleneck::MemoryBandwidth,
+        }
+    }
+
+    #[test]
+    fn low_ai_lands_under_the_memory_roof() {
+        let dev = DeviceProfile::a100();
+        let p = place(&dev, "x/ompx", &metrics(0.5, 700.0));
+        assert_eq!(p.bound, "memory");
+        // Memory roof at AI=0.5 on ~1.5TB/s is well under fp32 peak.
+        assert!(p.roof_gflops < dev.fp32_flops / 1e9);
+        // Achieved never exceeds the roof by construction of the model,
+        // but the placement itself does not enforce it; only sanity here.
+        assert!(p.ridge_ai > 1.0);
+    }
+
+    #[test]
+    fn high_ai_lands_under_the_compute_roof() {
+        let dev = DeviceProfile::a100();
+        let p = place(&dev, "x/cuda", &metrics(1e3, 9000.0));
+        assert_eq!(p.bound, "compute");
+        assert!((p.roof_gflops - dev.fp32_flops / 1e9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let dev = DeviceProfile::a100();
+        let pts =
+            vec![place(&dev, "a", &metrics(0.1, 10.0)), place(&dev, "b", &metrics(100.0, 100.0))];
+        let csv = to_csv(&pts);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("label,"));
+        assert!(lines[1].starts_with("a,"));
+        assert!(lines[2].contains("compute"));
+    }
+}

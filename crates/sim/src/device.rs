@@ -449,15 +449,35 @@ impl Device {
         let stats =
             exec::run(kernel, &cfg, self.inner.profile.warp_size, san.as_ref(), mem.as_ref());
         if self.tracing() {
+            // Give the record a usable duration immediately: model the
+            // launch's own stats with a default codegen profile and no
+            // mode overheads. Language runtimes overwrite this with their
+            // toolchain/mode-aware value via `Trace::attribute_model`.
+            let modeled = crate::timing::model_kernel(
+                &self.inner.profile,
+                cfg.threads_per_block() as u32,
+                cfg.num_blocks() as u64,
+                cfg.shared_bytes_per_block(),
+                &stats,
+                &crate::timing::CodegenInfo::default(),
+                &crate::timing::ModeOverheads::none(),
+            );
             self.inner.trace.record(crate::trace::LaunchRecord {
                 kernel: kernel.name().to_string(),
                 grid: cfg.grid,
                 block: cfg.block,
                 stats,
-                modeled_seconds: 0.0,
+                modeled_seconds: modeled.seconds,
+                runtime_attributed: false,
             });
         }
         Ok(stats)
+    }
+
+    /// Utilization snapshots of every live stream created on this device,
+    /// in creation order (the profiler's stream-overlap report).
+    pub fn stream_stats(&self) -> Vec<crate::stream::StreamStats> {
+        self.inner.streams.lock().iter().filter_map(Weak::upgrade).map(|s| s.stats()).collect()
     }
 
     /// Block until all streams created on this device have drained.

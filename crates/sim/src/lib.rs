@@ -67,6 +67,7 @@ pub mod mem;
 pub mod memtrace;
 pub mod san;
 pub mod shared;
+pub mod span;
 pub mod stream;
 pub mod thread;
 pub mod timing;
@@ -83,7 +84,8 @@ pub mod prelude {
     pub use crate::exec::{Kernel, KernelFlags};
     pub use crate::mem::{DBuf, DeviceScalar};
     pub use crate::shared::{SharedSlot, SharedView};
-    pub use crate::stream::{Event, Stream};
+    pub use crate::span::{Span, SpanCategory, SpanLog, Track};
+    pub use crate::stream::{Event, Stream, StreamStats};
     pub use crate::thread::ThreadCtx;
     pub use crate::timing::{CodegenInfo, ModeOverheads, ModeledTime};
 }

@@ -19,7 +19,30 @@ use std::sync::Arc;
 
 type Work = Box<dyn FnOnce() + Send>;
 
+/// Process-wide stream id allocator: ids name per-stream tracks in
+/// profiler timelines and stay unique for the life of the process.
+static NEXT_STREAM_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Utilization/overlap counters of one stream, as a plain snapshot — the
+/// public stats API `ompx-prof` reports stream overlap from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamStats {
+    /// Process-unique stream id (profiler track id).
+    pub id: u64,
+    /// Operations enqueued over the stream's lifetime.
+    pub submitted: u64,
+    /// Operations fully executed.
+    pub completed: u64,
+    /// Operations still pending.
+    pub pending: u64,
+    /// Modeled device-busy seconds accumulated on this stream.
+    pub modeled_busy_s: f64,
+    /// True when an enqueued operation panicked (sticky error).
+    pub poisoned: bool,
+}
+
 pub(crate) struct StreamInner {
+    id: u64,
     queue: Mutex<VecDeque<Work>>,
     cv: Condvar,
     /// Number of operations enqueued over the stream's lifetime.
@@ -39,6 +62,7 @@ pub(crate) struct StreamInner {
 impl StreamInner {
     fn new() -> Arc<Self> {
         Arc::new(StreamInner {
+            id: NEXT_STREAM_ID.fetch_add(1, Ordering::Relaxed),
             queue: Mutex::new(VecDeque::new()),
             cv: Condvar::new(),
             submitted: AtomicU64::new(0),
@@ -90,6 +114,22 @@ impl StreamInner {
             !self.poisoned.load(Ordering::Acquire),
             "stream poisoned: an enqueued operation panicked (see earlier output)"
         );
+    }
+
+    /// Utilization snapshot (see [`StreamStats`]).
+    pub(crate) fn stats(&self) -> StreamStats {
+        // Load `completed` before `submitted` so the pending difference
+        // cannot underflow (same reasoning as `Stream::pending`).
+        let completed = self.completed.load(Ordering::Acquire);
+        let submitted = self.submitted.load(Ordering::Acquire);
+        StreamStats {
+            id: self.id,
+            submitted,
+            completed,
+            pending: submitted.saturating_sub(completed),
+            modeled_busy_s: *self.modeled_busy_s.lock(),
+            poisoned: self.poisoned.load(Ordering::Acquire),
+        }
     }
 }
 
@@ -155,9 +195,42 @@ impl Stream {
         *self.inner.modeled_busy_s.lock() += seconds;
     }
 
+    /// Add modeled device-busy seconds *and* record a named span at the
+    /// timeline position the work occupied, if a profiler span log is
+    /// installed ([`crate::span::SpanLog::install`]). `flow_in` ties the
+    /// span to the host-side submission that enqueued it.
+    pub fn add_modeled_span(
+        &self,
+        name: &str,
+        cat: crate::span::SpanCategory,
+        seconds: f64,
+        bytes: u64,
+        flow_in: Option<u64>,
+    ) {
+        let start_s = {
+            let mut busy = self.inner.modeled_busy_s.lock();
+            let start = *busy;
+            *busy += seconds;
+            start
+        };
+        if let Some(log) = crate::span::active() {
+            log.stream_span(self.inner.id, name, cat, start_s, seconds, bytes, flow_in);
+        }
+    }
+
     /// Total modeled device-busy seconds accumulated on this stream.
     pub fn modeled_busy_seconds(&self) -> f64 {
         *self.inner.modeled_busy_s.lock()
+    }
+
+    /// Process-unique stream id (names this stream's profiler track).
+    pub fn id(&self) -> u64 {
+        self.inner.id
+    }
+
+    /// Utilization/overlap counters as a plain snapshot.
+    pub fn stats(&self) -> StreamStats {
+        self.inner.stats()
     }
 
     /// Block until the queue is empty (`cudaStreamSynchronize`).
@@ -372,6 +445,53 @@ mod tests {
         }
         d.synchronize();
         assert_eq!(counter.load(Ordering::SeqCst), 40);
+    }
+
+    #[test]
+    fn stats_snapshot_tracks_utilization() {
+        let d = dev();
+        let s = Stream::new(&d);
+        let s2 = Stream::new(&d);
+        assert_ne!(s.id(), s2.id(), "stream ids are process-unique");
+        for _ in 0..4 {
+            let s3 = s.clone();
+            s.enqueue(move || s3.add_modeled_time(1e-3));
+        }
+        s.synchronize();
+        let st = s.stats();
+        assert_eq!(st.id, s.id());
+        assert_eq!(st.submitted, 4);
+        assert_eq!(st.completed, 4);
+        assert_eq!(st.pending, 0);
+        assert!(!st.poisoned);
+        assert!((st.modeled_busy_s - 4e-3).abs() < 1e-12);
+        // Untouched stream: all zero.
+        let st2 = s2.stats();
+        assert_eq!((st2.submitted, st2.completed, st2.pending), (0, 0, 0));
+        assert_eq!(st2.modeled_busy_s, 0.0);
+    }
+
+    #[test]
+    fn add_modeled_span_records_to_installed_log() {
+        use crate::span::{SpanCategory, SpanLog, Track};
+        let d = dev();
+        let s = Stream::new(&d);
+        let log = SpanLog::new();
+        let prev = SpanLog::install(Arc::clone(&log));
+        s.add_modeled_span("k1", SpanCategory::Kernel, 2e-3, 0, None);
+        s.add_modeled_span("cpy", SpanCategory::MemcpyH2D, 1e-3, 4096, Some(9));
+        SpanLog::uninstall();
+        if let Some(p) = prev {
+            SpanLog::install(p);
+        }
+        assert!((s.modeled_busy_seconds() - 3e-3).abs() < 1e-12);
+        let spans: Vec<_> =
+            log.spans().into_iter().filter(|sp| sp.track == Track::Stream(s.id())).collect();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].start_s, 0.0);
+        assert!((spans[1].start_s - 2e-3).abs() < 1e-12);
+        assert_eq!(spans[1].bytes, 4096);
+        assert_eq!(spans[1].flow_in, Some(9));
     }
 
     #[test]

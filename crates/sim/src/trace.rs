@@ -24,9 +24,15 @@ pub struct LaunchRecord {
     pub block: Dim3,
     /// Counted events.
     pub stats: StatsSnapshot,
-    /// Modeled seconds, when the language runtime reported them
-    /// (0.0 for raw `Device::launch` calls).
+    /// Modeled seconds. Raw `Device::launch` calls fill this with a
+    /// default-codegen, no-overhead model of their own stats (so every
+    /// record has a usable duration); language runtimes then overwrite it
+    /// with their toolchain- and mode-aware value via
+    /// [`Trace::attribute_model`].
     pub modeled_seconds: f64,
+    /// True once a language runtime has overwritten `modeled_seconds`
+    /// with its toolchain/mode-aware model.
+    pub runtime_attributed: bool,
 }
 
 /// A launch trace: shared, thread-safe, append-only.
@@ -46,14 +52,16 @@ impl Trace {
         self.records.lock().push(rec);
     }
 
-    /// Attach a modeled duration to the most recent record of `kernel`
-    /// that does not have one yet (language runtimes model after launch).
+    /// Attach a language runtime's modeled duration to the most recent
+    /// record of `kernel` that only carries the device's default model
+    /// (language runtimes model after launch, with the real codegen
+    /// profile and execution-mode overheads).
     pub fn attribute_model(&self, kernel: &str, seconds: f64) {
         let mut recs = self.records.lock();
-        if let Some(r) =
-            recs.iter_mut().rev().find(|r| r.kernel == kernel && r.modeled_seconds == 0.0)
+        if let Some(r) = recs.iter_mut().rev().find(|r| r.kernel == kernel && !r.runtime_attributed)
         {
             r.modeled_seconds = seconds;
+            r.runtime_attributed = true;
         }
     }
 
@@ -78,14 +86,25 @@ impl Trace {
     }
 
     /// Export as Chrome trace-event JSON (open in `chrome://tracing` or
-    /// Perfetto). Records are laid out back-to-back on one timeline using
-    /// their modeled durations (1 µs placeholder when unmodeled).
+    /// Perfetto). Records are laid out back-to-back on one serialized
+    /// launch-order track using their modeled durations (every record has
+    /// one now that raw launches model their own stats); the modeled
+    /// seconds are included in each event's `args`.
+    ///
+    /// This is the quick launch-order view. The *timeline* view — host
+    /// track, one track per stream, flow arrows, memcpy bars — is built by
+    /// `ompx-prof` from [`crate::span::SpanLog`] events.
     pub fn to_chrome_trace(&self) -> String {
         fn escape(s: &str) -> String {
             s.replace('\\', "\\\\").replace('"', "\\\"")
         }
         let recs = self.records.lock();
         let mut out = String::from("[\n");
+        out.push_str(concat!(
+            "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,",
+            "\"args\":{\"name\":\"launches (serialized order)\"}}"
+        ));
+        out.push_str(if recs.is_empty() { "\n" } else { ",\n" });
         let mut cursor_us = 0.0f64;
         for (i, r) in recs.iter().enumerate() {
             let dur_us = if r.modeled_seconds > 0.0 { r.modeled_seconds * 1e6 } else { 1.0 };
@@ -94,7 +113,8 @@ impl Trace {
                 concat!(
                     "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},",
                     "\"pid\":0,\"tid\":0,\"args\":{{\"grid\":\"{}x{}x{}\",",
-                    "\"block\":\"{}x{}x{}\",\"flops\":{},\"global_bytes\":{}}}}}{}\n"
+                    "\"block\":\"{}x{}x{}\",\"flops\":{},\"global_bytes\":{},",
+                    "\"modeled_seconds\":{:e},\"runtime_attributed\":{}}}}}{}\n"
                 ),
                 escape(&r.kernel),
                 cursor_us,
@@ -107,6 +127,8 @@ impl Trace {
                 r.block.z,
                 r.stats.flops,
                 r.stats.global_bytes(),
+                r.modeled_seconds,
+                r.runtime_attributed,
                 comma
             ));
             cursor_us += dur_us;
@@ -127,6 +149,7 @@ mod tests {
             block: Dim3::x(64),
             stats: StatsSnapshot { flops: 100, ..Default::default() },
             modeled_seconds: 0.0,
+            runtime_attributed: false,
         }
     }
 
@@ -155,6 +178,24 @@ mod tests {
         assert_eq!(recs[0].modeled_seconds, 0.0);
         t.attribute_model("k", 2e-3);
         assert_eq!(t.records()[0].modeled_seconds, 2e-3);
+    }
+
+    #[test]
+    fn attribution_overwrites_the_device_default_model() {
+        // Raw launches now self-model (nonzero seconds, not runtime
+        // attributed); a language runtime's later attribution must replace
+        // that default rather than skip the record.
+        let t = Trace::new();
+        let mut r = rec("k");
+        r.modeled_seconds = 7e-6;
+        t.record(r);
+        t.attribute_model("k", 3e-6);
+        let recs = t.records();
+        assert_eq!(recs[0].modeled_seconds, 3e-6);
+        assert!(recs[0].runtime_attributed);
+        // A second attribution finds nothing left to claim.
+        t.attribute_model("k", 9e-6);
+        assert_eq!(t.records()[0].modeled_seconds, 3e-6);
     }
 
     #[test]

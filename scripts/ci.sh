@@ -30,8 +30,11 @@ if cargo run --release -q -p ompx-bench --bin sanitize -- \
     exit 1
 fi
 
-echo "==> analyze smoke run (all 6 apps x 4 versions, with replay)"
+echo "==> analyze smoke run (all 6 apps x 4 versions, with replay, A100)"
 cargo run --release -q -p ompx-bench --bin analyze -- --replay
+
+echo "==> analyze replay, AMD leg (MI250, warp 64)"
+cargo run --release -q -p ompx-bench --bin analyze -- --replay --system amd
 
 echo "==> analyze fixture check (racecheck must fire)"
 if cargo run --release -q -p ompx-bench --bin analyze -- \
@@ -39,5 +42,10 @@ if cargo run --release -q -p ompx-bench --bin analyze -- \
     echo "error: race-global fixture reported no findings" >&2
     exit 1
 fi
+
+echo "==> profile baseline gate (all apps x versions x both systems)"
+cargo run --release -q -p ompx-bench --bin profile -- --test-scale \
+    --baseline results/profile_baseline.json \
+    --bench-out results/BENCH_prof.json >/dev/null
 
 echo "CI OK"
