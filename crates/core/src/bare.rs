@@ -17,8 +17,8 @@
 //! whole point of the extension.
 
 use ompx_devicert::mode::ExecMode;
-use ompx_hostrt::target::{LaunchPlan, TargetResult};
-use ompx_hostrt::OpenMp;
+use ompx_hostrt::target::{host_model_seconds, LaunchPlan, TargetResult};
+use ompx_hostrt::{OmpxError, OpenMp};
 use ompx_sim::counters::StatsSnapshot;
 use ompx_sim::dim::{Dim3, LaunchConfig};
 use ompx_sim::error::SimResult;
@@ -163,8 +163,20 @@ pub struct PreparedBare {
 
 impl PreparedBare {
     /// Execute synchronously; functional stats + modeled time.
+    ///
+    /// Infallible wrapper over [`PreparedBare::try_execute`]: the
+    /// historical `SimResult` signature is preserved for existing callers.
     pub fn execute(&self) -> SimResult<TargetResult> {
-        let r = self.execute_silent()?;
+        self.try_execute().map_err(OmpxError::into_sim)
+    }
+
+    /// Execute synchronously with the typed host-runtime error. Injected
+    /// transient faults are retried under the device's retry policy; a
+    /// lost device re-dispatches the region through the host-fallback
+    /// path (a bare region is still an OpenMP `target` region, so host
+    /// execution remains legal — only the modeled cost changes).
+    pub fn try_execute(&self) -> Result<TargetResult, OmpxError> {
+        let r = self.try_execute_silent()?;
         // One kernel bar on the profiler's host track (synchronous target
         // semantics occupy the submitting thread for the modeled time).
         if let Some(log) = ompx_sim::span::active() {
@@ -176,10 +188,65 @@ impl PreparedBare {
     /// Execute without host-track span emission: the stream/nowait paths
     /// run this from a stream worker and record a stream span instead.
     pub(crate) fn execute_silent(&self) -> SimResult<TargetResult> {
-        let stats = self.omp.device().launch(&self.kernel, self.cfg.clone())?;
-        let r = self.model(&stats);
-        self.omp.device().trace().attribute_model(&self.name, r.modeled.seconds);
-        Ok(r)
+        self.try_execute_silent().map_err(OmpxError::into_sim)
+    }
+
+    fn try_execute_silent(&self) -> Result<TargetResult, OmpxError> {
+        let device = self.omp.device();
+        let policy = device.retry_policy();
+        match ompx_sim::fault::run_with_retry(device, &policy, &self.name, || {
+            device.launch(&self.kernel, self.cfg.clone())
+        }) {
+            Ok(stats) => {
+                let r = self.model(&stats);
+                device.trace().attribute_model(&self.name, r.modeled.seconds);
+                Ok(r)
+            }
+            // Device loss (or a persistent launch fault): degrade to the
+            // host rather than fail. Launch faults fire before any kernel
+            // side effects, so the re-dispatch computes from clean state.
+            Err(e) if e.is_injected() => self.execute_host_fallback(&e),
+            Err(e) if e.is_transient() => Err(OmpxError::RetriesExhausted {
+                op: self.name.clone(),
+                attempts: policy.max_attempts,
+                last: e,
+            }),
+            Err(e) => Err(OmpxError::Device(e)),
+        }
+    }
+
+    /// Re-dispatch the bare region on the host after a non-recoverable
+    /// injected fault: the lowered kernel is reused functionally
+    /// (simulated device memory is host-backed, so results are
+    /// bit-identical by construction), charged at a serial host core.
+    fn execute_host_fallback(
+        &self,
+        cause: &ompx_sim::error::SimError,
+    ) -> Result<TargetResult, OmpxError> {
+        let device = self.omp.device();
+        if let Some(f) = device.faults() {
+            f.note_fallback(&self.name);
+        }
+        if let Some(log) = ompx_sim::span::active() {
+            log.host_op(
+                &format!("fallback {} ({cause})", self.name),
+                ompx_sim::span::SpanCategory::Fallback,
+                0.0,
+                0,
+            );
+        }
+        let stats =
+            device.launch_unchecked(&self.kernel, self.cfg.clone()).map_err(OmpxError::Device)?;
+        let seconds = host_model_seconds(&stats);
+        let plan = LaunchPlan {
+            mode: ExecMode::Host,
+            teams: 1,
+            threads: 1,
+            heap_to_shared: false,
+            invalid_result: false,
+        };
+        let modeled = ModeledTime { seconds, ..Default::default() };
+        Ok(TargetResult { stats, modeled, plan })
     }
 
     /// Model a (possibly workload-scaled) snapshot for this bare kernel.

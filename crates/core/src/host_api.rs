@@ -17,7 +17,9 @@
 //! | `cudaDeviceSynchronize` | [`ompx_device_synchronize`] |
 //! | `cudaStreamCreate` | interop objects ([`crate::interop_depend`]) |
 
-use ompx_hostrt::OpenMp;
+use ompx_hostrt::{OmpxError, OpenMp};
+use ompx_sim::error::{SimError, SimResult};
+use ompx_sim::fault::{run_with_retry, RetryPolicy};
 use ompx_sim::mem::{DBuf, DeviceScalar};
 use ompx_sim::span::{self, SpanCategory};
 
@@ -37,11 +39,71 @@ fn host_span(omp: &OpenMp, name: &str, cat: SpanCategory, bytes: usize) {
     }
 }
 
+/// Classify the terminal error of a retried host-API call: a transient
+/// fault that outlived the retry budget reports the budget; everything
+/// else passes through as a device error.
+fn classify(policy: &RetryPolicy, op: &str, e: SimError) -> OmpxError {
+    if e.is_transient() {
+        OmpxError::RetriesExhausted { op: op.to_string(), attempts: policy.max_attempts, last: e }
+    } else {
+        OmpxError::Device(e)
+    }
+}
+
+/// Run a fallible device operation under the runtime's retry policy and
+/// produce the typed host-API error on failure.
+fn retried<T>(omp: &OpenMp, op: &str, f: impl FnMut() -> SimResult<T>) -> Result<T, OmpxError> {
+    let policy = omp.device().retry_policy();
+    run_with_retry(omp.device(), &policy, op, f).map_err(|e| classify(&policy, op, e))
+}
+
+/// Degrade an infallible-wrapper call after its `try_` variant failed on
+/// an *injected* fault: record the degradation and let the caller redo the
+/// operation outside the fault gate. Non-injected errors (size mismatch,
+/// genuine exhaustion) keep the historical panic — host-program misuse,
+/// per the error policy in ompx-sim's error.rs.
+fn degrade_or_panic(omp: &OpenMp, op: &str, e: OmpxError) {
+    let e = e.into_sim();
+    if e.is_injected() {
+        if let Some(f) = omp.device().faults() {
+            f.note_degraded(&format!("{op}: {e}"));
+        }
+    } else {
+        panic!("{op}: {e}");
+    }
+}
+
+/// `ompx_get_last_error` — take and clear the last device error (CUDA's
+/// `cudaGetLastError` analogue). Sticky errors — device loss — are
+/// reported but *not* cleared.
+pub fn ompx_get_last_error(omp: &OpenMp) -> Option<SimError> {
+    omp.ompx_get_last_error()
+}
+
+/// `ompx_peek_last_error` — inspect the last device error without
+/// clearing it (`cudaPeekAtLastError` analogue).
+pub fn ompx_peek_last_error(omp: &OpenMp) -> Option<SimError> {
+    omp.ompx_peek_last_error()
+}
+
 /// `ompx_malloc` — allocate `n` zero-initialized device elements.
+///
+/// Infallible wrapper: retries and degradation happen inside
+/// [`ompx_sim::device::Device::alloc`]; use [`ompx_try_malloc`] for the
+/// typed error.
 pub fn ompx_malloc<T: DeviceScalar>(omp: &OpenMp, n: usize) -> DBuf<T> {
     let buf = omp.device().alloc(n);
     host_span(omp, "ompx_malloc", SpanCategory::HostOp, buf.size_bytes());
     buf
+}
+
+/// Fallible `ompx_malloc`: transient faults are retried under the
+/// runtime's policy; persistent failure returns the typed error instead
+/// of degrading.
+pub fn ompx_try_malloc<T: DeviceScalar>(omp: &OpenMp, n: usize) -> Result<DBuf<T>, OmpxError> {
+    let buf = retried(omp, "ompx_malloc", || omp.device().try_alloc(n))?;
+    host_span(omp, "ompx_malloc", SpanCategory::HostOp, buf.size_bytes());
+    Ok(buf)
 }
 
 /// Allocate and copy in (`ompx_malloc` + `ompx_memcpy_h2d`).
@@ -59,21 +121,71 @@ pub fn ompx_free<T: DeviceScalar>(omp: &OpenMp, buf: &DBuf<T>) {
 
 /// `ompx_memcpy` host → device. Like the PACT'22 host API (and unlike
 /// `cudaMemcpy`), the runtime handle is explicit.
+///
+/// Infallible wrapper over [`ompx_try_memcpy_h2d`]: injected faults that
+/// outlive the retry budget degrade to a raw copy (memcpy injection is
+/// idempotent — recopying repairs any corruption) rather than failing.
 pub fn ompx_memcpy_h2d<T: DeviceScalar>(omp: &OpenMp, dst: &DBuf<T>, src: &[T]) {
-    dst.copy_from_host(src);
+    if let Err(e) = ompx_try_memcpy_h2d(omp, dst, src) {
+        degrade_or_panic(omp, "ompx_memcpy H2D", e);
+        dst.copy_from_host(src);
+        host_span(omp, "ompx_memcpy H2D", SpanCategory::MemcpyH2D, std::mem::size_of_val(src));
+    }
+}
+
+/// Fallible `ompx_memcpy` host → device with the typed error.
+pub fn ompx_try_memcpy_h2d<T: DeviceScalar>(
+    omp: &OpenMp,
+    dst: &DBuf<T>,
+    src: &[T],
+) -> Result<(), OmpxError> {
+    retried(omp, "ompx_memcpy H2D", || omp.device().try_memcpy_h2d(dst, src))?;
     host_span(omp, "ompx_memcpy H2D", SpanCategory::MemcpyH2D, std::mem::size_of_val(src));
+    Ok(())
 }
 
-/// `ompx_memcpy` device → host.
+/// `ompx_memcpy` device → host (infallible wrapper over
+/// [`ompx_try_memcpy_d2h`]; see [`ompx_memcpy_h2d`] for the degradation
+/// rules).
 pub fn ompx_memcpy_d2h<T: DeviceScalar>(omp: &OpenMp, dst: &mut [T], src: &DBuf<T>) {
-    src.copy_to_host(dst);
-    host_span(omp, "ompx_memcpy D2H", SpanCategory::MemcpyD2H, std::mem::size_of_val(dst));
+    if let Err(e) = ompx_try_memcpy_d2h(omp, dst, src) {
+        degrade_or_panic(omp, "ompx_memcpy D2H", e);
+        src.copy_to_host(dst);
+        host_span(omp, "ompx_memcpy D2H", SpanCategory::MemcpyD2H, std::mem::size_of_val(dst));
+    }
 }
 
-/// `ompx_memcpy` device → device.
+/// Fallible `ompx_memcpy` device → host with the typed error.
+pub fn ompx_try_memcpy_d2h<T: DeviceScalar>(
+    omp: &OpenMp,
+    dst: &mut [T],
+    src: &DBuf<T>,
+) -> Result<(), OmpxError> {
+    retried(omp, "ompx_memcpy D2H", || omp.device().try_memcpy_d2h(src, dst))?;
+    host_span(omp, "ompx_memcpy D2H", SpanCategory::MemcpyD2H, std::mem::size_of_val(dst));
+    Ok(())
+}
+
+/// `ompx_memcpy` device → device (infallible wrapper over
+/// [`ompx_try_memcpy_d2d`]).
 pub fn ompx_memcpy_d2d<T: DeviceScalar>(omp: &OpenMp, dst: &DBuf<T>, src: &DBuf<T>, n: usize) {
-    dst.copy_from_device(src, n);
+    if let Err(e) = ompx_try_memcpy_d2d(omp, dst, src, n) {
+        degrade_or_panic(omp, "ompx_memcpy D2D", e);
+        dst.copy_from_device(src, n);
+        host_span(omp, "ompx_memcpy D2D", SpanCategory::MemcpyD2D, n * std::mem::size_of::<T>());
+    }
+}
+
+/// Fallible `ompx_memcpy` device → device with the typed error.
+pub fn ompx_try_memcpy_d2d<T: DeviceScalar>(
+    omp: &OpenMp,
+    dst: &DBuf<T>,
+    src: &DBuf<T>,
+    n: usize,
+) -> Result<(), OmpxError> {
+    retried(omp, "ompx_memcpy D2D", || omp.device().try_memcpy_d2d(dst, src, n))?;
     host_span(omp, "ompx_memcpy D2D", SpanCategory::MemcpyD2D, n * std::mem::size_of::<T>());
+    Ok(())
 }
 
 /// `ompx_memset` (typed fill).
@@ -125,6 +237,74 @@ mod tests {
         assert_eq!(b.to_vec(), vec![5, 6, 7]);
         ompx_memset(&omp, &b, 9);
         assert_eq!(b.to_vec(), vec![9, 9, 9]);
+    }
+
+    #[test]
+    fn injected_transient_memcpy_recovers_via_retry() {
+        use ompx_sim::fault::{FaultKind, FaultPlan, FaultSite, FaultState};
+        let omp = omp();
+        let plan =
+            FaultPlan::none().with_injection(FaultSite::MemcpyH2D, 0, FaultKind::MemcpyCorrupt);
+        let faults = FaultState::new(plan);
+        omp.device().attach_faults(std::sync::Arc::clone(&faults));
+        let buf = ompx_try_malloc::<f32>(&omp, 4).unwrap();
+        // First H2D hits the injected corruption; the retry re-copies and
+        // repairs it, so the typed API still succeeds with correct data.
+        ompx_try_memcpy_h2d(&omp, &buf, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(buf.to_vec(), vec![1.0, 2.0, 3.0, 4.0]);
+        let snap = faults.snapshot();
+        assert_eq!(snap.recovered, 1, "the retry must be recorded as a recovery");
+        assert!(ompx_peek_last_error(&omp).is_none(), "recovered faults are not sticky");
+        omp.device().detach_faults();
+    }
+
+    #[test]
+    fn exhausted_retries_surface_the_typed_error() {
+        use ompx_sim::fault::{FaultKind, FaultPlan, FaultSite, FaultState, RetryPolicy};
+        let omp = omp();
+        let plan = FaultPlan::none().with_injection(FaultSite::MemcpyD2H, 0, FaultKind::MemcpyFail);
+        omp.device().attach_faults(FaultState::new(plan));
+        // A budget of one attempt means the injected fault is terminal.
+        omp.set_retry_policy(RetryPolicy { max_attempts: 1, backoff_base_s: 0.0 });
+        let buf = ompx_malloc_from(&omp, &[7.0f32, 8.0]);
+        let mut out = vec![0.0f32; 2];
+        let err = ompx_try_memcpy_d2h(&omp, &mut out, &buf).unwrap_err();
+        assert!(
+            matches!(err, OmpxError::RetriesExhausted { attempts: 1, .. }),
+            "expected RetriesExhausted, got {err}"
+        );
+        // The failure is recorded as the last error (cudaGetLastError
+        // style): peek preserves it, get clears it (it is not sticky).
+        assert!(ompx_peek_last_error(&omp).is_some());
+        assert!(ompx_get_last_error(&omp).is_some());
+        assert!(ompx_get_last_error(&omp).is_none());
+        omp.device().detach_faults();
+    }
+
+    #[test]
+    fn device_loss_degrades_wrappers_and_sticks() {
+        use ompx_sim::fault::{FaultPlan, FaultState};
+        let omp = omp();
+        let buf = ompx_malloc_from(&omp, &[7.0f32, 8.0]);
+        let faults = FaultState::new(FaultPlan::none().with_device_loss_at(0));
+        omp.device().attach_faults(std::sync::Arc::clone(&faults));
+        // The infallible wrapper degrades to a raw copy on the lost device.
+        let mut out = vec![0.0f32; 2];
+        ompx_memcpy_d2h(&omp, &mut out, &buf);
+        assert_eq!(out, vec![7.0, 8.0]);
+        assert!(!faults.snapshot().degraded.is_empty());
+        // Device loss is sticky: get does not clear it.
+        assert!(ompx_get_last_error(&omp).is_some());
+        assert!(ompx_get_last_error(&omp).is_some(), "sticky errors survive get");
+        omp.device().detach_faults();
+    }
+
+    #[test]
+    fn size_mismatch_is_a_typed_error_not_a_panic() {
+        let omp = omp();
+        let buf = ompx_try_malloc::<u32>(&omp, 2).unwrap();
+        let err = ompx_try_memcpy_h2d(&omp, &buf, &[1u32, 2, 3]).unwrap_err();
+        assert!(matches!(err, OmpxError::Device(SimError::SizeMismatch { .. })), "got {err}");
     }
 
     #[test]

@@ -56,7 +56,7 @@ pub mod host_api;
 pub mod interop_depend;
 
 pub use bare::BareTarget;
-pub use ompx_hostrt::{InteropObj, OpenMp};
+pub use ompx_hostrt::{InteropObj, OmpxError, OpenMp};
 
 use ompx_klang::toolchain::Toolchain;
 use ompx_sim::device::{Device, DeviceProfile};
@@ -93,6 +93,7 @@ pub mod prelude {
     pub use crate::device_api::*;
     pub use crate::host_api::*;
     pub use crate::interop_depend::*;
-    pub use ompx_hostrt::{InteropObj, OpenMp};
+    pub use ompx_hostrt::{InteropObj, OmpxError, OpenMp};
+    pub use ompx_sim::fault::{FaultKind, FaultPlan, FaultSite, RetryPolicy};
     pub use ompx_sim::thread::ThreadCtx;
 }

@@ -123,6 +123,9 @@ pub fn native_ctx(sys: System, vendor_cc: bool) -> NativeCtx {
     if let Some(trace) = active_mem_trace() {
         ctx.device().attach_mem_trace(trace);
     }
+    if let Some(faults) = active_faults() {
+        ctx.device().attach_faults(faults);
+    }
     ctx
 }
 
@@ -139,6 +142,9 @@ pub fn omp_runtime(sys: System) -> OpenMp {
     if let Some(trace) = active_mem_trace() {
         omp.device().attach_mem_trace(trace);
     }
+    if let Some(faults) = active_faults() {
+        omp.device().attach_faults(faults);
+    }
     omp
 }
 
@@ -153,6 +159,9 @@ pub fn ompx_runtime(sys: System) -> OpenMp {
     }
     if let Some(trace) = active_mem_trace() {
         omp.device().attach_mem_trace(trace);
+    }
+    if let Some(faults) = active_faults() {
+        omp.device().attach_faults(faults);
     }
     omp
 }
@@ -256,6 +265,85 @@ pub fn with_span_log<R>(f: impl FnOnce() -> R) -> (R, Vec<ompx_sim::span::Span>)
     let _uninstall = SpanInstall;
     let result = f();
     (result, log.spans())
+}
+
+// ---- fault-injection integration (chaos harness) ----------------------------
+
+/// The fault state installed by [`run_app_chaos`], if one is active. Rides
+/// along ambiently exactly like the sanitizer session: the context
+/// constructors attach it to every device they hand out.
+static ACTIVE_FAULTS: Mutex<Option<Arc<ompx_sim::fault::FaultState>>> = Mutex::new(None);
+
+fn active_faults() -> Option<Arc<ompx_sim::fault::FaultState>> {
+    ACTIVE_FAULTS.lock().unwrap_or_else(|e| e.into_inner()).clone()
+}
+
+/// What fault injection did to one chaos run, alongside the outcome.
+#[derive(Debug, Clone)]
+pub struct FaultReport {
+    /// Everything the fault state recorded: injections, recoveries,
+    /// fallbacks, degradations, sticky errors, device loss.
+    pub snapshot: ompx_sim::fault::FaultSnapshot,
+    /// Retry spans on the profiler timeline (retries + recoveries).
+    pub retry_spans: usize,
+    /// Fallback spans on the profiler timeline.
+    pub fallback_spans: usize,
+}
+
+/// Run one (app, system, version) cell under a seeded [`FaultPlan`],
+/// catching panics so the chaos harness can assert the trichotomy —
+/// success, clean typed error, or validated fallback — and returning what
+/// the injection did plus the full span timeline (where retries and
+/// fallbacks are visible). Shares the sanitized-run gate so chaos runs
+/// cannot cross-pollute sanitized/traced/profiled runs through the ambient
+/// statics.
+///
+/// [`FaultPlan`]: ompx_sim::fault::FaultPlan
+pub fn run_app_chaos(
+    app: &str,
+    sys: System,
+    version: ProgVersion,
+    scale: WorkScale,
+    plan: ompx_sim::fault::FaultPlan,
+) -> (Result<RunOutcome, String>, FaultReport, Vec<ompx_sim::span::Span>) {
+    let _gate = SANITIZED_RUN_GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let faults = ompx_sim::fault::FaultState::new(plan);
+    *ACTIVE_FAULTS.lock().unwrap_or_else(|e| e.into_inner()) = Some(Arc::clone(&faults));
+    let log = ompx_sim::span::SpanLog::new();
+    ompx_sim::span::SpanLog::install(Arc::clone(&log));
+    /// Uninstalls the ambient fault state and span log even on panic.
+    struct ChaosInstall;
+    impl Drop for ChaosInstall {
+        fn drop(&mut self) {
+            *ACTIVE_FAULTS.lock().unwrap_or_else(|e| e.into_inner()) = None;
+            ompx_sim::span::SpanLog::uninstall();
+        }
+    }
+    let _uninstall = ChaosInstall;
+
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        crate::run_app(app, sys, version, scale)
+    }))
+    .map_err(|payload| {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "panic with non-string payload".to_string()
+        }
+    });
+
+    let spans = log.spans();
+    let report = FaultReport {
+        snapshot: faults.snapshot(),
+        retry_spans: spans.iter().filter(|s| s.cat == ompx_sim::span::SpanCategory::Retry).count(),
+        fallback_spans: spans
+            .iter()
+            .filter(|s| s.cat == ompx_sim::span::SpanCategory::Fallback)
+            .count(),
+    };
+    (result, report, spans)
 }
 
 // ---- checksums ------------------------------------------------------------

@@ -1,0 +1,83 @@
+//! Property tests for the chaos harness: arbitrary seeded fault plans over
+//! the benchmark matrix must uphold the trichotomy — success, clean typed
+//! error, or validated fallback — and a fault-free plan must reproduce the
+//! baseline bit-for-bit.
+
+use ompx_hecbench::{run_app_chaos, ProgVersion, System, WorkScale, APP_NAMES};
+use ompx_sim::fault::FaultPlan;
+use proptest::prelude::*;
+
+const SYSTEMS: [System; 2] = [System::Nvidia, System::Amd];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any seeded rate-based plan (optionally with whole-device loss) over
+    /// any cell of the matrix ends in the trichotomy; a panic fails the
+    /// test via the Err arm below.
+    #[test]
+    fn seeded_fault_plans_uphold_the_trichotomy(
+        app_i in 0usize..6,
+        sys_i in 0usize..2,
+        ver_i in 0usize..4,
+        seed in 0u64..1_000_000,
+        rate in 0.0f64..0.15,
+        lose_sel in 0u64..400,
+    ) {
+        let app = APP_NAMES[app_i];
+        let sys = SYSTEMS[sys_i];
+        let version = ProgVersion::all()[ver_i];
+        let mut plan = FaultPlan::seeded(seed, rate);
+        // The upper half of `lose_sel` means "no device loss".
+        if lose_sel < 200 {
+            plan = plan.with_device_loss_at(lose_sel);
+        }
+        let (result, report, _spans) = run_app_chaos(app, sys, version, WorkScale::Test, plan);
+        match result {
+            Ok(outcome) => {
+                // Success or validated fallback: either way the results
+                // must match the fault-free baseline exactly.
+                let (baseline, _, _) =
+                    run_app_chaos(app, sys, version, WorkScale::Test, FaultPlan::none());
+                let baseline = baseline.expect("fault-free baseline must succeed");
+                prop_assert_eq!(
+                    outcome.checksum, baseline.checksum,
+                    "chaos run diverged from the fault-free baseline (app={}, recovered={}, \
+                     fallbacks={:?}, degraded={:?})",
+                    app, report.snapshot.recovered, report.snapshot.fallbacks,
+                    report.snapshot.degraded
+                );
+            }
+            Err(msg) => {
+                // The only legal failure is a clean *typed* error recorded
+                // by the fault layer — never a stray panic. Everything the
+                // runtimes deliberately panic on (simulated-program bugs)
+                // is fault-free by construction in these apps.
+                prop_assert!(
+                    !report.snapshot.sticky.is_empty() || report.snapshot.device_lost,
+                    "run failed without a recorded typed error: {}", msg
+                );
+            }
+        }
+    }
+
+    /// The quiet plan is indistinguishable from no fault state at all.
+    #[test]
+    fn fault_free_plan_reproduces_the_baseline_bit_for_bit(
+        app_i in 0usize..6,
+        sys_i in 0usize..2,
+        ver_i in 0usize..4,
+    ) {
+        let app = APP_NAMES[app_i];
+        let sys = SYSTEMS[sys_i];
+        let version = ProgVersion::all()[ver_i];
+        let (chaos, report, _spans) =
+            run_app_chaos(app, sys, version, WorkScale::Test, FaultPlan::none());
+        let chaos = chaos.expect("quiet plan must not fail");
+        prop_assert_eq!(report.snapshot.injected.len(), 0);
+        prop_assert_eq!(report.snapshot.recovered, 0);
+        let baseline = ompx_hecbench::run_app(app, sys, version, WorkScale::Test);
+        prop_assert_eq!(chaos.checksum, baseline.checksum);
+        prop_assert_eq!(chaos.stats.global_bytes(), baseline.stats.global_bytes());
+    }
+}

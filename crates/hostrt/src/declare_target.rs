@@ -36,6 +36,12 @@ impl DeclareTargetRegistry {
 /// the device instance of symbol `name` with `len` elements of `T`.
 /// Defining the same symbol twice returns the same device storage
 /// (one definition rule); defining it with a different type panics.
+///
+/// The panics here (and in [`lookup_target_global`]) are deliberate, per
+/// the error policy in ompx-sim's error.rs: a symbol redefined with a
+/// different type or length is an ODR violation in the simulated program
+/// — a link-time error in a real toolchain — not a runtime condition to
+/// report as `OmpxError`.
 pub fn declare_target_global<T: DeviceScalar>(omp: &OpenMp, name: &str, len: usize) -> DBuf<T> {
     let reg = omp.declare_target();
     let mut symbols = reg.symbols.lock();

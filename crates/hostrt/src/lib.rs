@@ -20,6 +20,7 @@
 
 pub mod allocator;
 pub mod declare_target;
+pub mod error;
 pub mod interop;
 pub mod mapping;
 pub mod quirks;
@@ -30,6 +31,7 @@ pub mod task;
 
 pub use allocator::{MemSpace, OmpAllocator};
 pub use declare_target::{declare_target_global, lookup_target_global};
+pub use error::OmpxError;
 pub use interop::InteropObj;
 pub use mapping::DataEnv;
 pub use quirks::{KnownIssues, QuirkSet};

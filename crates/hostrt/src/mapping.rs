@@ -39,6 +39,12 @@ enum PresentEntry {
     I32 { buf: DBuf<i32>, refs: usize },
 }
 
+// The `panic!`s below are deliberate, per the error policy in ompx-sim's
+// error.rs: a map-clause mismatch (wrong element type, exiting or updating
+// an array that was never mapped) is a bug in the simulated *program*'s
+// mapping structure — real libomptarget aborts with a fatal error here —
+// not a host-side condition to report, so none of them convert to
+// `OmpxError` returns and none are injectable faults.
 macro_rules! present_impl {
     ($t:ty, $variant:ident, $enter:ident, $exit_from:ident, $exit_release:ident, $update_to:ident, $update_from:ident, $lookup:ident) => {
         /// Enter the data environment: allocate-and-copy-in unless present,

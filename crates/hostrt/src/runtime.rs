@@ -102,10 +102,37 @@ impl OpenMp {
     /// Attach additional devices (a multi-GPU node). The default device
     /// keeps logical number 0; the attached devices are 1..=n.
     pub fn with_extra_devices(mut self, extra: Vec<Device>) -> Self {
+        // Deliberate panic, not an injectable fault: calling this after the
+        // runtime was cloned is a host-program construction bug (see the
+        // error-policy note in ompx-sim's error.rs).
         let inner =
             Arc::get_mut(&mut self.inner).expect("attach extra devices before cloning the runtime");
         inner.extra_devices = extra;
         self
+    }
+
+    /// Retry policy the runtime applies to transient device faults
+    /// (shared with the device; see [`ompx_sim::fault::RetryPolicy`]).
+    pub fn retry_policy(&self) -> ompx_sim::fault::RetryPolicy {
+        self.inner.device.retry_policy()
+    }
+
+    /// Replace the retry policy for transient device faults.
+    pub fn set_retry_policy(&self, policy: ompx_sim::fault::RetryPolicy) {
+        self.inner.device.set_retry_policy(policy);
+    }
+
+    /// Take and clear the last device error (CUDA's `cudaGetLastError`
+    /// analogue). Sticky errors — device loss — are reported but *not*
+    /// cleared; every later call keeps returning them.
+    pub fn ompx_get_last_error(&self) -> Option<ompx_sim::error::SimError> {
+        self.inner.device.take_last_error()
+    }
+
+    /// Inspect the last device error without clearing it
+    /// (`cudaPeekAtLastError` analogue).
+    pub fn ompx_peek_last_error(&self) -> Option<ompx_sim::error::SimError> {
+        self.inner.device.peek_last_error()
     }
 
     /// `omp_get_num_devices()`.

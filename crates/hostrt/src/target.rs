@@ -18,6 +18,7 @@
 //! Synchronous by default, like the `target` construct; `nowait` variants
 //! dispatch through the hidden-helper task system with `depend` keys.
 
+use crate::error::OmpxError;
 use crate::quirks::QuirkSet;
 use crate::runtime::OpenMp;
 use crate::task::{DepKey, TaskHandle};
@@ -294,16 +295,7 @@ impl TargetRegion {
             blocks_executed: 1,
         };
 
-        // Scalar host-core model: ~3 GHz, ~25 GB/s single-stream.
-        const HOST_OPS_PER_S: f64 = 3.0e9;
-        const HOST_BYTES_PER_S: f64 = 25.0e9;
-        let ops = (stats.flops
-            + stats.int_ops
-            + stats.shared_accesses
-            + stats.atomic_ops
-            + stats.const_reads) as f64;
-        let bytes = stats.global_bytes() as f64;
-        let seconds = ops / HOST_OPS_PER_S + bytes / HOST_BYTES_PER_S;
+        let seconds = host_model_seconds(&stats);
         let modeled = ompx_sim::timing::ModeledTime { seconds, ..Default::default() };
         TargetResult { stats, modeled, plan }
     }
@@ -510,6 +502,22 @@ impl TargetRegion {
 
 type ScratchFactory = dyn Fn() -> Scratch + Send + Sync;
 
+/// Modeled wall time of running a counted workload serially on one host
+/// core (~3 GHz, ~25 GB/s single-stream) — used for the `if(false)`
+/// conditional-offload path and for device-loss fallback (also by the
+/// core crate's bare-target fallback).
+pub fn host_model_seconds(stats: &StatsSnapshot) -> f64 {
+    const HOST_OPS_PER_S: f64 = 3.0e9;
+    const HOST_BYTES_PER_S: f64 = 25.0e9;
+    let ops = (stats.flops
+        + stats.int_ops
+        + stats.shared_accesses
+        + stats.atomic_ops
+        + stats.const_reads) as f64;
+    let bytes = stats.global_bytes() as f64;
+    ops / HOST_OPS_PER_S + bytes / HOST_BYTES_PER_S
+}
+
 /// A fully lowered target region, ready to execute (possibly repeatedly or
 /// asynchronously).
 #[derive(Clone)]
@@ -524,8 +532,22 @@ pub struct PreparedTarget {
 
 impl PreparedTarget {
     /// Execute synchronously and model the result.
+    ///
+    /// Infallible wrapper over [`PreparedTarget::try_execute`]: the
+    /// historical `SimResult` signature is preserved so existing callers
+    /// (the whole benchmark suite) compile unchanged.
     pub fn execute(&self) -> SimResult<TargetResult> {
-        let r = self.execute_quiet()?;
+        self.try_execute().map_err(OmpxError::into_sim)
+    }
+
+    /// Execute synchronously with the typed host-runtime error.
+    ///
+    /// Injected transient faults are retried under the device's
+    /// [`ompx_sim::fault::RetryPolicy`]; a lost device re-dispatches the
+    /// region through the host-fallback path (see
+    /// [`PreparedTarget::execute_host_fallback`]).
+    pub fn try_execute(&self) -> Result<TargetResult, OmpxError> {
+        let r = self.try_execute_quiet()?;
         // A synchronous target region blocks the submitting thread for its
         // modeled duration — one kernel bar on the profiler's host track.
         if let Some(log) = ompx_sim::span::active() {
@@ -541,20 +563,77 @@ impl PreparedTarget {
 
     /// Execute without host-track span emission (the `nowait` task path
     /// records a helper-thread span instead).
-    fn execute_quiet(&self) -> SimResult<TargetResult> {
-        let stats = self.omp.device().launch(&self.kernel, self.cfg.clone())?;
-        let r = self.model(&stats);
-        // Report the runtime's modeled time into the device launch trace
-        // (overwrites the device's default-codegen estimate).
-        self.omp.device().trace().attribute_model(&self.kernel_name, r.modeled.seconds);
-        Ok(r)
+    fn try_execute_quiet(&self) -> Result<TargetResult, OmpxError> {
+        let device = self.omp.device();
+        let policy = device.retry_policy();
+        match ompx_sim::fault::run_with_retry(device, &policy, &self.kernel_name, || {
+            device.launch(&self.kernel, self.cfg.clone())
+        }) {
+            Ok(stats) => {
+                let r = self.model(&stats);
+                // Report the runtime's modeled time into the device launch
+                // trace (overwrites the device's default-codegen estimate).
+                device.trace().attribute_model(&self.kernel_name, r.modeled.seconds);
+                Ok(r)
+            }
+            // Injected faults that survived the retry budget (device loss,
+            // a persistent launch fault): degrade to the host rather than
+            // fail the region. Launch faults fire *before* any kernel
+            // side effects, so the re-dispatch computes from clean state.
+            Err(e) if e.is_injected() => self.execute_host_fallback(&e),
+            Err(e) if e.is_transient() => Err(OmpxError::RetriesExhausted {
+                op: self.kernel_name.clone(),
+                attempts: policy.max_attempts,
+                last: e,
+            }),
+            Err(e) => Err(OmpxError::Device(e)),
+        }
+    }
+
+    /// Re-dispatch the region through the host-fallback path after a
+    /// non-recoverable injected fault.
+    ///
+    /// The lowered kernel is reused functionally — simulated device memory
+    /// is host-backed, so running it outside the fault gate produces
+    /// bit-identical results by construction — but the time model charges
+    /// a serial host core, and the reported plan says `ExecMode::Host`
+    /// with a 1×1 geometry, matching what a real runtime's `if(false)`
+    /// path would report.
+    fn execute_host_fallback(
+        &self,
+        cause: &ompx_sim::error::SimError,
+    ) -> Result<TargetResult, OmpxError> {
+        let device = self.omp.device();
+        if let Some(f) = device.faults() {
+            f.note_fallback(&self.kernel_name);
+        }
+        if let Some(log) = ompx_sim::span::active() {
+            log.host_op(
+                &format!("fallback {} ({cause})", self.kernel_name),
+                ompx_sim::span::SpanCategory::Fallback,
+                0.0,
+                0,
+            );
+        }
+        let stats =
+            device.launch_unchecked(&self.kernel, self.cfg.clone()).map_err(OmpxError::Device)?;
+        let seconds = host_model_seconds(&stats);
+        let plan = LaunchPlan {
+            mode: ExecMode::Host,
+            teams: 1,
+            threads: 1,
+            heap_to_shared: false,
+            invalid_result: self.plan.invalid_result,
+        };
+        let modeled = ompx_sim::timing::ModeledTime { seconds, ..Default::default() };
+        Ok(TargetResult { stats, modeled, plan })
     }
 
     /// Like [`PreparedTarget::execute`], but recording the kernel span on
     /// the profiler's helper-thread (task) track with `flow` as the
     /// incoming dependence arrow — the `nowait` dispatch path.
     pub(crate) fn execute_as_task(&self, flow: Option<u64>) -> SimResult<TargetResult> {
-        let r = self.execute_quiet()?;
+        let r = self.try_execute_quiet().map_err(OmpxError::into_sim)?;
         if let Some(log) = ompx_sim::span::active() {
             log.task_span(&self.kernel_name, r.modeled.seconds, flow);
         }
@@ -605,6 +684,10 @@ impl NowaitTarget {
     /// Wait for the target task and take its result.
     pub fn wait(self) -> SimResult<TargetResult> {
         self.handle.wait();
+        // Task-system invariant, not host-side misuse: the submitted
+        // closure always stores a result before the handle completes, so a
+        // missing slot is a runtime bug and deliberately panics (see the
+        // error-policy note in ompx-sim's error.rs).
         self.result.lock().take().expect("completed target task must have a result")
     }
 

@@ -15,8 +15,9 @@ use crate::toolchain::{CodegenDb, Toolchain};
 use ompx_sim::counters::StatsSnapshot;
 use ompx_sim::device::Device;
 use ompx_sim::dim::{Dim3, LaunchConfig};
-use ompx_sim::error::SimResult;
+use ompx_sim::error::{SimError, SimResult};
 use ompx_sim::exec::Kernel;
+use ompx_sim::fault::{run_with_retry, RetryPolicy};
 use ompx_sim::mem::{DBuf, DeviceScalar};
 use ompx_sim::span::{self, SpanCategory};
 use ompx_sim::stream::{Event, Stream};
@@ -101,6 +102,53 @@ impl NativeCtx {
         self.inner.device.sanitizer().map(|s| s.diagnostics()).unwrap_or_default()
     }
 
+    // ---- fault handling ---------------------------------------------------
+
+    /// Retry policy used for transient injected faults on this context's
+    /// device.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.inner.device.retry_policy()
+    }
+
+    /// Replace the retry policy (delegates to the device).
+    pub fn set_retry_policy(&self, policy: RetryPolicy) {
+        self.inner.device.set_retry_policy(policy);
+    }
+
+    /// `cudaGetLastError`: last recorded error, cleared on read unless
+    /// sticky (device loss).
+    pub fn get_last_error(&self) -> Option<SimError> {
+        self.inner.device.take_last_error()
+    }
+
+    /// `cudaPeekAtLastError`: last recorded error, not cleared.
+    pub fn peek_last_error(&self) -> Option<SimError> {
+        self.inner.device.peek_last_error()
+    }
+
+    /// Retry `attempt` under the device policy. Returns `Err` only for an
+    /// unrecovered *injected* fault — the caller then falls back to the
+    /// raw, injection-blind copy so the program keeps functionally correct
+    /// results (the error stays recorded as sticky device state). A
+    /// non-injected error is host-side misuse and panics, preserving the
+    /// infallible wrapper's historical contract.
+    fn retry_injected(
+        &self,
+        what: &str,
+        attempt: impl FnMut() -> SimResult<()>,
+    ) -> Result<(), SimError> {
+        match run_with_retry(&self.inner.device, &self.inner.device.retry_policy(), what, attempt) {
+            Ok(()) => Ok(()),
+            Err(e) if e.is_injected() => {
+                if let Some(f) = self.inner.device.faults() {
+                    f.note_degraded(&format!("{what}: {e}"));
+                }
+                Err(e)
+            }
+            Err(e) => panic!("{what}: {e}"),
+        }
+    }
+
     // ---- memory management (cudaMalloc / cudaMemcpy / cudaFree) ----------
 
     /// `cudaMalloc`: allocate `n` zero-initialized elements.
@@ -115,19 +163,33 @@ impl NativeCtx {
 
     /// `cudaMemcpy(…, HostToDevice)`.
     pub fn memcpy_h2d<T: DeviceScalar>(&self, dst: &DBuf<T>, src: &[T]) {
-        dst.copy_from_host(src);
+        if self.retry_injected("memcpy H2D", || self.inner.device.try_memcpy_h2d(dst, src)).is_err()
+        {
+            dst.copy_from_host(src);
+        }
         self.memcpy_span("memcpy H2D", SpanCategory::MemcpyH2D, std::mem::size_of_val(src));
     }
 
     /// `cudaMemcpy(…, DeviceToHost)`.
     pub fn memcpy_d2h<T: DeviceScalar>(&self, dst: &mut [T], src: &DBuf<T>) {
-        src.copy_to_host(dst);
-        self.memcpy_span("memcpy D2H", SpanCategory::MemcpyD2H, std::mem::size_of_val(dst));
+        let bytes = std::mem::size_of_val(&*dst);
+        if self
+            .retry_injected("memcpy D2H", || self.inner.device.try_memcpy_d2h(src, &mut *dst))
+            .is_err()
+        {
+            src.copy_to_host(dst);
+        }
+        self.memcpy_span("memcpy D2H", SpanCategory::MemcpyD2H, bytes);
     }
 
     /// `cudaMemcpy(…, DeviceToDevice)`.
     pub fn memcpy_d2d<T: DeviceScalar>(&self, dst: &DBuf<T>, src: &DBuf<T>, n: usize) {
-        dst.copy_from_device(src, n);
+        if self
+            .retry_injected("memcpy D2D", || self.inner.device.try_memcpy_d2d(dst, src, n))
+            .is_err()
+        {
+            dst.copy_from_device(src, n);
+        }
         self.memcpy_span("memcpy D2D", SpanCategory::MemcpyD2D, n * std::mem::size_of::<T>());
     }
 
@@ -153,8 +215,7 @@ impl NativeCtx {
     /// `cudaMemcpy(…, HostToDevice)` with the modeled transfer time
     /// returned (interconnect latency + bytes/bandwidth — the §2.6 cost).
     pub fn memcpy_h2d_timed<T: DeviceScalar>(&self, dst: &DBuf<T>, src: &[T]) -> f64 {
-        dst.copy_from_host(src);
-        self.memcpy_span("memcpy H2D", SpanCategory::MemcpyH2D, std::mem::size_of_val(src));
+        self.memcpy_h2d(dst, src);
         self.inner.device.profile().transfer_seconds(std::mem::size_of_val(src))
     }
 
@@ -170,8 +231,14 @@ impl NativeCtx {
             log.host_op_flow("memcpyAsync H2D", SpanCategory::HostOp, 0.0, bytes as u64)
         });
         let stream2 = stream.clone();
+        let ctx = self.clone();
         stream.enqueue(move || {
-            dst.copy_from_host(&data);
+            if ctx
+                .retry_injected("memcpyAsync H2D", || ctx.inner.device.try_memcpy_h2d(&dst, &data))
+                .is_err()
+            {
+                dst.copy_from_host(&data);
+            }
             stream2.add_modeled_span(
                 "memcpy H2D",
                 SpanCategory::MemcpyH2D,
@@ -241,8 +308,35 @@ impl NativeCtx {
 
     /// The launch without host-track span emission: the asynchronous path
     /// runs this from the stream worker and records a stream span instead.
+    ///
+    /// Injected transient faults are retried under the device policy; a
+    /// fault the retries cannot clear (watchdog, device loss, exhausted
+    /// episode) degrades: native kernel languages have no host-dispatch
+    /// alternative — unlike OpenMP target regions — so the launch executes
+    /// injection-blind and the error stays recorded as sticky device state.
     fn launch_cfg_inner(&self, kernel: &Kernel, cfg: LaunchConfig) -> SimResult<LaunchResult> {
-        let stats = self.inner.device.launch(kernel, cfg.clone())?;
+        let device = &self.inner.device;
+        let attempt = run_with_retry(device, &device.retry_policy(), kernel.name(), || {
+            device.launch(kernel, cfg.clone())
+        });
+        let stats = match attempt {
+            Ok(stats) => stats,
+            Err(e) if e.is_injected() => {
+                if let Some(f) = device.faults() {
+                    f.note_degraded(&format!("launch {}: {e}", kernel.name()));
+                }
+                if let Some(log) = span::active() {
+                    log.host_op(
+                        &format!("degraded {} ({e})", kernel.name()),
+                        SpanCategory::Fallback,
+                        0.0,
+                        0,
+                    );
+                }
+                device.launch_unchecked(kernel, cfg.clone())?
+            }
+            Err(e) => return Err(e),
+        };
         let modeled = self.model(
             kernel.name(),
             cfg.threads_per_block() as u32,
@@ -279,8 +373,10 @@ impl NativeCtx {
                     0,
                     flow,
                 ),
-                // Validation passed above; a failure here is a simulator
-                // invariant violation — poison the stream loudly.
+                // Validation passed above and injected faults are recovered
+                // or degraded inside `launch_cfg_inner`; a failure here is a
+                // simulator invariant violation — poison the stream loudly.
+                // (Deliberate panic, per the error.rs contract.)
                 Err(e) => panic!("async launch of {} failed: {e}", kernel.name()),
             }
         });

@@ -11,6 +11,7 @@ use crate::counters::StatsSnapshot;
 use crate::dim::LaunchConfig;
 use crate::error::{SimError, SimResult};
 use crate::exec::{self, Kernel};
+use crate::fault::{FaultKind, FaultSite, FaultState, Injected, RetryPolicy};
 use crate::mem::{DBuf, DeviceScalar};
 use crate::memtrace::{LaunchMemTrace, MemTrace};
 use crate::san::{LaunchSan, SanState};
@@ -219,6 +220,16 @@ pub(crate) struct DeviceInner {
     /// record their counted memory accesses into it while attached (the
     /// analyzer's replay-validation hook).
     mem_trace: Mutex<Option<Arc<MemTrace>>>,
+    /// Attached fault-injection state, if any. While attached, allocation,
+    /// memcpy, launch and stream-synchronize paths roll it before doing
+    /// real work.
+    faults: Mutex<Option<Arc<FaultState>>>,
+    /// Last error recorded on this device (CUDA's `cudaGetLastError`
+    /// model; sticky errors persist across reads).
+    last_error: Mutex<Option<SimError>>,
+    /// Retry policy the infallible wrappers and language runtimes use for
+    /// transient faults on this device.
+    retry: Mutex<RetryPolicy>,
 }
 
 static NEXT_DEVICE_ID: AtomicUsize = AtomicUsize::new(0);
@@ -243,6 +254,9 @@ impl Device {
                 trace_enabled: std::sync::atomic::AtomicBool::new(false),
                 sanitizer: Mutex::new(None),
                 mem_trace: Mutex::new(None),
+                faults: Mutex::new(None),
+                last_error: Mutex::new(None),
+                retry: Mutex::new(RetryPolicy::default()),
             }),
         }
     }
@@ -281,6 +295,78 @@ impl Device {
         self.inner.mem_trace.lock().clone()
     }
 
+    /// Attach a fault-injection state: subsequent allocations, memcpys,
+    /// launches and stream synchronizations on this device roll it until
+    /// [`Device::detach_faults`]. Replaces any previously attached state.
+    pub fn attach_faults(&self, state: Arc<FaultState>) {
+        *self.inner.faults.lock() = Some(state);
+    }
+
+    /// Detach the fault-injection state, returning it (with its records).
+    pub fn detach_faults(&self) -> Option<Arc<FaultState>> {
+        self.inner.faults.lock().take()
+    }
+
+    /// The currently attached fault-injection state, if any.
+    pub fn faults(&self) -> Option<Arc<FaultState>> {
+        self.inner.faults.lock().clone()
+    }
+
+    /// True once an attached plan's device loss has fired.
+    pub fn is_lost(&self) -> bool {
+        self.faults().is_some_and(|f| f.device_lost())
+    }
+
+    /// Retry policy used for transient faults on this device.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        *self.inner.retry.lock()
+    }
+
+    /// Replace the device's retry policy.
+    pub fn set_retry_policy(&self, policy: RetryPolicy) {
+        *self.inner.retry.lock() = policy;
+    }
+
+    /// Record `e` as the device's last error (`cudaGetLastError` model).
+    /// An already-recorded sticky error (device loss) is never overwritten.
+    pub fn record_error(&self, e: SimError) {
+        let mut slot = self.inner.last_error.lock();
+        if slot.as_ref().is_some_and(SimError::is_sticky) {
+            return;
+        }
+        *slot = Some(e);
+    }
+
+    /// `cudaPeekAtLastError`: the last recorded error, without clearing it.
+    pub fn peek_last_error(&self) -> Option<SimError> {
+        self.inner.last_error.lock().clone()
+    }
+
+    /// `cudaGetLastError`: the last recorded error, clearing it — unless it
+    /// is sticky (device loss), in which case it persists until
+    /// [`Device::reset`].
+    pub fn take_last_error(&self) -> Option<SimError> {
+        let mut slot = self.inner.last_error.lock();
+        if slot.as_ref().is_some_and(SimError::is_sticky) {
+            return slot.clone();
+        }
+        slot.take()
+    }
+
+    /// Roll the attached fault state at `site`, if any.
+    fn roll(&self, site: FaultSite) -> Option<Injected> {
+        self.faults().and_then(|f| f.roll(site))
+    }
+
+    /// Stream-synchronize injection decision (called by
+    /// [`crate::stream::Stream::try_synchronize`]).
+    pub(crate) fn roll_stream_fault(&self, stream_id: u64) -> Option<SimError> {
+        self.roll(FaultSite::StreamSync).map(|inj| match inj.kind {
+            FaultKind::DeviceLost => SimError::DeviceLost { device: self.inner.id },
+            _ => SimError::StreamFault { stream: stream_id },
+        })
+    }
+
     /// The device's hardware profile.
     pub fn profile(&self) -> &DeviceProfile {
         &self.inner.profile
@@ -297,8 +383,21 @@ impl Device {
     }
 
     /// Allocate a zero-initialized buffer of `n` elements, or report memory
-    /// exhaustion (`cudaMalloc` returning `cudaErrorMemoryAllocation`).
+    /// exhaustion (`cudaMalloc` returning `cudaErrorMemoryAllocation`) or
+    /// an injected allocation fault.
     pub fn try_alloc<T: DeviceScalar>(&self, n: usize) -> SimResult<DBuf<T>> {
+        let bytes = n * std::mem::size_of::<T>();
+        if let Some(inj) = self.roll(FaultSite::Alloc) {
+            return Err(match inj.kind {
+                FaultKind::DeviceLost => SimError::DeviceLost { device: self.inner.id },
+                _ => SimError::OutOfDeviceMemory { requested: bytes, available: 0 },
+            });
+        }
+        self.alloc_capacity_checked(n)
+    }
+
+    /// The fault-blind allocation path: capacity check plus accounting.
+    fn alloc_capacity_checked<T: DeviceScalar>(&self, n: usize) -> SimResult<DBuf<T>> {
         let bytes = n * std::mem::size_of::<T>();
         let cap = self.inner.profile.global_mem_bytes;
         let prev = self.inner.allocated.fetch_add(bytes, Ordering::Relaxed);
@@ -314,10 +413,50 @@ impl Device {
         Ok(buf)
     }
 
-    /// Allocate a zero-initialized buffer of `n` elements. Panics on
-    /// exhaustion of the modeled device memory.
+    /// Allocate a zero-initialized buffer of `n` elements. Injected faults
+    /// are retried under the device's [`RetryPolicy`]; if the retries are
+    /// exhausted the allocation bypasses injection and completes anyway
+    /// (the error stays recorded as sticky device state), so the
+    /// infallible API never fails the program over an *injected* fault.
+    /// Genuine exhaustion of the modeled device memory still panics.
     pub fn alloc<T: DeviceScalar>(&self, n: usize) -> DBuf<T> {
-        self.try_alloc(n).unwrap_or_else(|e| panic!("device allocation failed: {e}"))
+        let policy = self.retry_policy();
+        match crate::fault::run_with_retry(self, &policy, "alloc", || self.try_alloc(n)) {
+            Ok(buf) => buf,
+            Err(e) => match self.alloc_capacity_checked(n) {
+                Ok(buf) => {
+                    if let Some(f) = self.faults() {
+                        f.note_degraded(&format!("alloc of {n} elements: {e}"));
+                    }
+                    buf
+                }
+                Err(real) => panic!("device allocation failed: {real}"),
+            },
+        }
+    }
+
+    /// Roll (and, under the retry policy, re-roll) the allocation fault
+    /// site for an infallible allocation path that has no capacity check.
+    /// Exhausted retries degrade to an unchecked allocation.
+    fn alloc_gate(&self, what: &str, bytes: usize) {
+        if self.faults().is_none() {
+            return;
+        }
+        let policy = self.retry_policy();
+        let rolled = crate::fault::run_with_retry(self, &policy, what, || {
+            match self.roll(FaultSite::Alloc) {
+                Some(inj) => Err(match inj.kind {
+                    FaultKind::DeviceLost => SimError::DeviceLost { device: self.inner.id },
+                    _ => SimError::OutOfDeviceMemory { requested: bytes, available: 0 },
+                }),
+                None => Ok(()),
+            }
+        });
+        if let Err(e) = rolled {
+            if let Some(f) = self.faults() {
+                f.note_degraded(&format!("{what}: {e}"));
+            }
+        }
     }
 
     /// Allocate like [`Device::alloc`] but with a diagnostic label — the
@@ -339,6 +478,7 @@ impl Device {
     /// physically zeroed, so the simulated program stays deterministic).
     pub fn alloc_uninit<T: DeviceScalar>(&self, n: usize) -> DBuf<T> {
         let bytes = n * std::mem::size_of::<T>();
+        self.alloc_gate("alloc_uninit", bytes);
         self.inner.allocated.fetch_add(bytes, Ordering::Relaxed);
         let buf = DBuf::new_uninit(n, self.inner.id);
         self.register_alloc(&buf);
@@ -360,6 +500,7 @@ impl Device {
     /// Allocate and fill from a host slice (`cudaMalloc` + `cudaMemcpy` H2D).
     pub fn alloc_from<T: DeviceScalar>(&self, data: &[T]) -> DBuf<T> {
         let bytes = std::mem::size_of_val(data);
+        self.alloc_gate("alloc_from", bytes);
         self.inner.allocated.fetch_add(bytes, Ordering::Relaxed);
         let buf = DBuf::from_slice(data, self.inner.id);
         self.register_alloc(&buf);
@@ -389,6 +530,100 @@ impl Device {
             san.on_device_reset(&self.inner.profile.name);
         }
         self.inner.allocated.store(0, Ordering::Relaxed);
+        *self.inner.last_error.lock() = None;
+    }
+
+    /// Fallible host-to-device copy (`cudaMemcpy` H2D): reports size
+    /// mismatches as errors instead of panicking and is a fault-injection
+    /// site. An injected corruption *does* move the data but bit-flips one
+    /// deterministic element, so a retry re-copies and repairs it.
+    pub fn try_memcpy_h2d<T: DeviceScalar>(&self, dst: &DBuf<T>, src: &[T]) -> SimResult<()> {
+        if src.len() > dst.len() {
+            return Err(SimError::SizeMismatch { src: src.len(), dst: dst.len() });
+        }
+        match self.roll(FaultSite::MemcpyH2D) {
+            None => {
+                dst.copy_from_host(src);
+                Ok(())
+            }
+            Some(inj) => Err(self.memcpy_fault("H2D", std::mem::size_of_val(src), &inj, || {
+                dst.copy_from_host(src);
+                if !src.is_empty() {
+                    let i = (inj.salt as usize) % src.len();
+                    dst.set(i, T::from_word(dst.get(i).to_word() ^ 1));
+                }
+            })),
+        }
+    }
+
+    /// Fallible device-to-host copy (`cudaMemcpy` D2H); see
+    /// [`Device::try_memcpy_h2d`] for the injection semantics.
+    pub fn try_memcpy_d2h<T: DeviceScalar>(&self, src: &DBuf<T>, dst: &mut [T]) -> SimResult<()> {
+        if dst.len() > src.len() {
+            return Err(SimError::SizeMismatch { src: src.len(), dst: dst.len() });
+        }
+        let bytes = std::mem::size_of_val(&*dst);
+        match self.roll(FaultSite::MemcpyD2H) {
+            None => {
+                src.copy_to_host(dst);
+                Ok(())
+            }
+            Some(inj) => Err(self.memcpy_fault("D2H", bytes, &inj, || {
+                src.copy_to_host(dst);
+                if !dst.is_empty() {
+                    let i = (inj.salt as usize) % dst.len();
+                    dst[i] = T::from_word(dst[i].to_word() ^ 1);
+                }
+            })),
+        }
+    }
+
+    /// Fallible device-to-device copy (`cudaMemcpy` D2D); see
+    /// [`Device::try_memcpy_h2d`] for the injection semantics.
+    pub fn try_memcpy_d2d<T: DeviceScalar>(
+        &self,
+        dst: &DBuf<T>,
+        src: &DBuf<T>,
+        len: usize,
+    ) -> SimResult<()> {
+        if len > src.len() || len > dst.len() {
+            return Err(SimError::SizeMismatch { src: src.len(), dst: dst.len() });
+        }
+        match self.roll(FaultSite::MemcpyD2D) {
+            None => {
+                dst.copy_from_device(src, len);
+                Ok(())
+            }
+            Some(inj) => {
+                Err(self.memcpy_fault("D2D", len * std::mem::size_of::<T>(), &inj, || {
+                    dst.copy_from_device(src, len);
+                    if len > 0 {
+                        let i = (inj.salt as usize) % len;
+                        dst.set(i, T::from_word(dst.get(i).to_word() ^ 1));
+                    }
+                }))
+            }
+        }
+    }
+
+    /// Map an injected transfer fault to its error, running `corrupt` for
+    /// the corruption kind (which moves-then-damages the data).
+    fn memcpy_fault(
+        &self,
+        dir: &'static str,
+        bytes: usize,
+        inj: &Injected,
+        corrupt: impl FnOnce(),
+    ) -> SimError {
+        match inj.kind {
+            FaultKind::DeviceLost => SimError::DeviceLost { device: self.inner.id },
+            FaultKind::Ecc => SimError::EccTransient { op: format!("memcpy {dir}") },
+            FaultKind::MemcpyCorrupt => {
+                corrupt();
+                SimError::MemcpyFault { dir, bytes, corrupted: true }
+            }
+            _ => SimError::MemcpyFault { dir, bytes, corrupted: false },
+        }
     }
 
     /// Validate a launch configuration against the device limits.
@@ -443,6 +678,31 @@ impl Device {
     /// (done by the language runtimes, which know the codegen profile and
     /// execution mode).
     pub fn launch(&self, kernel: &Kernel, cfg: LaunchConfig) -> SimResult<StatsSnapshot> {
+        self.validate_launch(&cfg)?;
+        // Injection fires *before* execution: a failed launch has no side
+        // effects, so a retry or a host-path re-dispatch observes exactly
+        // the memory state the failed attempt did. (ROADMAP records the
+        // open item of modeling *partial* side effects on watchdog
+        // timeout; today the whole launch rolls back.)
+        if let Some(inj) = self.roll(FaultSite::Launch) {
+            return Err(match inj.kind {
+                FaultKind::DeviceLost => SimError::DeviceLost { device: self.inner.id },
+                FaultKind::Watchdog => {
+                    SimError::WatchdogTimeout { kernel: kernel.name().to_string() }
+                }
+                FaultKind::Ecc => {
+                    SimError::EccTransient { op: format!("launch of {}", kernel.name()) }
+                }
+                _ => SimError::LaunchFault { kernel: kernel.name().to_string() },
+            });
+        }
+        self.launch_unchecked(kernel, cfg)
+    }
+
+    /// [`Device::launch`] minus the fault-injection roll: the re-dispatch
+    /// path retries and host fallbacks go through, so a degraded execution
+    /// still produces functionally correct results.
+    pub fn launch_unchecked(&self, kernel: &Kernel, cfg: LaunchConfig) -> SimResult<StatsSnapshot> {
         self.validate_launch(&cfg)?;
         let san = self.sanitizer().map(|state| LaunchSan::new(state, kernel.name()));
         let mem = self.mem_trace().map(|trace| LaunchMemTrace::new(trace, kernel.name()));

@@ -27,6 +27,62 @@ pub enum SimError {
     /// A kernel that uses warp primitives or barriers was launched through a
     /// path that cannot honour them.
     UnsupportedExecution(String),
+    /// A host-device or device-device transfer failed (injected transfer
+    /// fault). With `corrupted`, the data moved but one element was
+    /// bit-flipped (ECC detected-uncorrected); a retry re-copies.
+    MemcpyFault { dir: &'static str, bytes: usize, corrupted: bool },
+    /// A kernel launch was rejected by the simulated driver (injected
+    /// fault); the kernel did not run.
+    LaunchFault { kernel: String },
+    /// A transient ECC-style error (injected fault); a retry is expected to
+    /// clear it.
+    EccTransient { op: String },
+    /// The kernel exceeded the modeled watchdog limit and the launch was
+    /// rolled back whole (injected fault; not retried — the same kernel
+    /// would time out again).
+    WatchdogTimeout { kernel: String },
+    /// A stream operation failed (injected fault).
+    StreamFault { stream: u64 },
+    /// The device was lost (injected fault; sticky — every later operation
+    /// on the device fails until it is reset).
+    DeviceLost { device: usize },
+}
+
+impl SimError {
+    /// True for failures a bounded retry may clear: injected transient
+    /// faults, plus memory exhaustion (the caller may free caches between
+    /// attempts; under injection, an OOM episode ends within the burst cap).
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            SimError::OutOfDeviceMemory { .. }
+                | SimError::MemcpyFault { .. }
+                | SimError::LaunchFault { .. }
+                | SimError::EccTransient { .. }
+                | SimError::StreamFault { .. }
+        )
+    }
+
+    /// True for errors that persist as device state across
+    /// `ompx_get_last_error` (CUDA's sticky-error model).
+    pub fn is_sticky(&self) -> bool {
+        matches!(self, SimError::DeviceLost { .. })
+    }
+
+    /// True for variants that only arise from fault injection — *not*
+    /// `OutOfDeviceMemory`, which a correct program can hit for real and
+    /// must see propagate.
+    pub fn is_injected(&self) -> bool {
+        matches!(
+            self,
+            SimError::MemcpyFault { .. }
+                | SimError::LaunchFault { .. }
+                | SimError::EccTransient { .. }
+                | SimError::WatchdogTimeout { .. }
+                | SimError::StreamFault { .. }
+                | SimError::DeviceLost { .. }
+        )
+    }
 }
 
 impl fmt::Display for SimError {
@@ -53,6 +109,17 @@ impl fmt::Display for SimError {
                 write!(f, "buffer owned by device {buffer_device} used on device {op_device}")
             }
             SimError::UnsupportedExecution(msg) => write!(f, "unsupported execution: {msg}"),
+            SimError::MemcpyFault { dir, bytes, corrupted } => {
+                let how = if *corrupted { "corrupted" } else { "failed" };
+                write!(f, "memcpy {dir} of {bytes} bytes {how}")
+            }
+            SimError::LaunchFault { kernel } => write!(f, "launch of kernel `{kernel}` failed"),
+            SimError::EccTransient { op } => write!(f, "transient ECC error during {op}"),
+            SimError::WatchdogTimeout { kernel } => {
+                write!(f, "kernel `{kernel}` exceeded the watchdog time limit, launch rolled back")
+            }
+            SimError::StreamFault { stream } => write!(f, "operation on stream {stream} failed"),
+            SimError::DeviceLost { device } => write!(f, "device {device} lost"),
         }
     }
 }
@@ -77,6 +144,13 @@ mod tests {
             (SimError::SizeMismatch { src: 10, dst: 5 }, "source 10"),
             (SimError::WrongDevice { buffer_device: 1, op_device: 2 }, "device 1"),
             (SimError::UnsupportedExecution("warp ops".into()), "warp ops"),
+            (SimError::MemcpyFault { dir: "H2D", bytes: 4096, corrupted: false }, "4096"),
+            (SimError::MemcpyFault { dir: "D2H", bytes: 64, corrupted: true }, "corrupted"),
+            (SimError::LaunchFault { kernel: "vecadd".into() }, "vecadd"),
+            (SimError::EccTransient { op: "memcpy h2d".into() }, "ECC"),
+            (SimError::WatchdogTimeout { kernel: "spin".into() }, "watchdog"),
+            (SimError::StreamFault { stream: 12 }, "stream 12"),
+            (SimError::DeviceLost { device: 3 }, "device 3"),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();
@@ -85,5 +159,27 @@ mod tests {
         // Errors are std errors (boxable, ?-compatible).
         let boxed: Box<dyn std::error::Error> = Box::new(SimError::InvalidLaunch("x".into()));
         assert!(boxed.to_string().contains("invalid launch"));
+    }
+
+    #[test]
+    fn fault_classification_is_consistent() {
+        let lost = SimError::DeviceLost { device: 0 };
+        assert!(lost.is_sticky() && lost.is_injected() && !lost.is_transient());
+        let watchdog = SimError::WatchdogTimeout { kernel: "k".into() };
+        assert!(watchdog.is_injected() && !watchdog.is_transient() && !watchdog.is_sticky());
+        for transient in [
+            SimError::MemcpyFault { dir: "H2D", bytes: 1, corrupted: true },
+            SimError::LaunchFault { kernel: "k".into() },
+            SimError::EccTransient { op: "x".into() },
+            SimError::StreamFault { stream: 1 },
+        ] {
+            assert!(transient.is_transient() && transient.is_injected() && !transient.is_sticky());
+        }
+        // Genuine OOM is retryable but must NOT be classed as injected —
+        // a real exhaustion has to propagate to the program.
+        let oom = SimError::OutOfDeviceMemory { requested: 8, available: 0 };
+        assert!(oom.is_transient() && !oom.is_injected());
+        let misuse = SimError::SizeMismatch { src: 1, dst: 2 };
+        assert!(!misuse.is_transient() && !misuse.is_injected() && !misuse.is_sticky());
     }
 }

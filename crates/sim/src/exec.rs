@@ -320,6 +320,9 @@ fn lane_loop(
         if b >= num_blocks {
             break; // all lanes observe the same sentinel and exit together
         }
+        // Executor invariant, not host-side misuse: the scheduler stores
+        // every team's exec before any lane reaches this point, so a miss
+        // here is a simulator bug and deliberately panics (see error.rs).
         let exec = team.exec.lock().as_ref().expect("block exec must be set").clone();
 
         // Step 2: run this lane. The body may panic (simulated-program bug,

@@ -63,6 +63,7 @@ pub mod device;
 pub mod dim;
 pub mod error;
 pub mod exec;
+pub mod fault;
 pub mod mem;
 pub mod memtrace;
 pub mod san;
@@ -82,6 +83,10 @@ pub mod prelude {
     pub use crate::dim::{Dim3, LaunchConfig};
     pub use crate::error::SimError;
     pub use crate::exec::{Kernel, KernelFlags};
+    pub use crate::fault::{
+        run_with_retry, FaultEvent, FaultKind, FaultPlan, FaultSite, FaultSnapshot, FaultState,
+        RetryPolicy,
+    };
     pub use crate::mem::{DBuf, DeviceScalar};
     pub use crate::shared::{SharedSlot, SharedView};
     pub use crate::span::{Span, SpanCategory, SpanLog, Track};

@@ -54,6 +54,12 @@ pub enum SpanCategory {
     Task,
     /// Synchronization (taskwait, stream/device synchronize).
     Sync,
+    /// Retry of a transiently failed operation (fault injection): the
+    /// backoff wait and the eventual recovery marker.
+    Retry,
+    /// Graceful degradation: a target region re-dispatched through the
+    /// host-fallback path, or an operation completed past a fault.
+    Fallback,
 }
 
 impl SpanCategory {
@@ -67,6 +73,8 @@ impl SpanCategory {
             SpanCategory::HostOp => "host_op",
             SpanCategory::Task => "task",
             SpanCategory::Sync => "sync",
+            SpanCategory::Retry => "retry",
+            SpanCategory::Fallback => "fallback",
         }
     }
 }

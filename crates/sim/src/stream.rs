@@ -233,9 +233,34 @@ impl Stream {
         self.inner.stats()
     }
 
-    /// Block until the queue is empty (`cudaStreamSynchronize`).
-    pub fn synchronize(&self) {
+    /// Block until the queue is empty, then roll the stream-synchronize
+    /// fault site (`cudaStreamSynchronize` with an error code). Panics if
+    /// an enqueued operation panicked: stream poisoning stands for a
+    /// simulated-*program* bug (device assert, detected race) and stays
+    /// deliberately fatal — it is not an injectable fault.
+    pub fn try_synchronize(&self) -> crate::error::SimResult<()> {
         self.inner.drain();
+        match self.device.roll_stream_fault(self.inner.id) {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Block until the queue is empty (`cudaStreamSynchronize`). Injected
+    /// faults are retried under the device's policy; if retries are
+    /// exhausted the sync degrades — the queue *is* drained by then, only
+    /// the modeled completion handshake failed — and the error stays
+    /// recorded as sticky device state.
+    pub fn synchronize(&self) {
+        let policy = self.device.retry_policy();
+        let result = crate::fault::run_with_retry(&self.device, &policy, "stream sync", || {
+            self.try_synchronize()
+        });
+        if result.is_err() {
+            if let Some(f) = self.device.faults() {
+                f.note_degraded("stream sync");
+            }
+        }
     }
 
     /// Record an event capturing the work submitted so far

@@ -1,0 +1,168 @@
+//! End-to-end fault injection through the public device API: retry
+//! recovery, sticky-error semantics, corruption repair, device loss, and
+//! the fault-free zero-overhead baseline.
+
+use ompx_sim::device::{Device, DeviceProfile};
+use ompx_sim::dim::LaunchConfig;
+use ompx_sim::exec::Kernel;
+use ompx_sim::prelude::*;
+
+fn device() -> Device {
+    Device::new(DeviceProfile::test_small())
+}
+
+fn fill_kernel(out: &ompx_sim::mem::DBuf<u32>, n: usize) -> Kernel {
+    let out = out.clone();
+    Kernel::new("fill", move |tc| {
+        let i = tc.global_thread_id_x();
+        if i < n {
+            tc.write(&out, i, (i * 2) as u32);
+        }
+    })
+}
+
+#[test]
+fn injected_launch_fault_recovers_via_retry_with_span_evidence() {
+    let d = device();
+    let plan = FaultPlan::none().with_injection(FaultSite::Launch, 0, FaultKind::LaunchFail);
+    let faults = FaultState::new(plan);
+    d.attach_faults(std::sync::Arc::clone(&faults));
+
+    let n = 64usize;
+    let out = d.alloc::<u32>(n);
+    let kernel = fill_kernel(&out, n);
+    let log = SpanLog::new();
+    let prev = SpanLog::install(std::sync::Arc::clone(&log));
+
+    let policy = d.retry_policy();
+    let stats =
+        run_with_retry(&d, &policy, "fill", || d.launch(&kernel, LaunchConfig::new(2u32, 32u32)))
+            .expect("the default retry budget must outlast a single-shot injection");
+    match prev {
+        Some(p) => drop(SpanLog::install(p)),
+        None => drop(SpanLog::uninstall()),
+    }
+    assert_eq!(stats.threads_executed, 64);
+    assert_eq!(out.to_vec()[10], 20);
+
+    let snap = faults.snapshot();
+    assert_eq!(snap.recovered, 1);
+    assert_eq!(snap.injected.len(), 1);
+    assert!(matches!(snap.injected[0].kind, FaultKind::LaunchFail));
+
+    // The retry and the recovery are visible on the span timeline.
+    let spans = log.spans();
+    let retries: Vec<_> = spans.iter().filter(|s| s.cat == SpanCategory::Retry).collect();
+    assert!(
+        retries.iter().any(|s| s.name.contains("retry fill #1")),
+        "expected a retry span, got {:?}",
+        retries.iter().map(|s| &s.name).collect::<Vec<_>>()
+    );
+    assert!(retries.iter().any(|s| s.name.contains("recovered fill")));
+    // No error left behind: the operation ultimately succeeded.
+    assert!(d.peek_last_error().is_none());
+}
+
+#[test]
+fn memcpy_corruption_is_repaired_by_the_retry() {
+    let d = device();
+    let plan = FaultPlan::none().with_injection(FaultSite::MemcpyH2D, 0, FaultKind::MemcpyCorrupt);
+    d.attach_faults(FaultState::new(plan));
+
+    let src: Vec<u32> = (0..256).collect();
+    let dst = d.alloc::<u32>(256);
+    // First attempt copies-then-corrupts one element; the recopy repairs it.
+    let policy = d.retry_policy();
+    run_with_retry(&d, &policy, "h2d", || d.try_memcpy_h2d(&dst, &src)).unwrap();
+    assert_eq!(dst.to_vec(), src);
+}
+
+#[test]
+fn single_failed_attempt_observes_the_corruption() {
+    let d = device();
+    let plan = FaultPlan::none().with_injection(FaultSite::MemcpyH2D, 0, FaultKind::MemcpyCorrupt);
+    d.attach_faults(FaultState::new(plan));
+
+    let src: Vec<u32> = (0..16).collect();
+    let dst = d.alloc::<u32>(16);
+    let err = d.try_memcpy_h2d(&dst, &src).unwrap_err();
+    assert!(matches!(err, SimError::MemcpyFault { corrupted: true, .. }), "got {err}");
+    // Exactly one element differs by exactly one bit.
+    let diff: Vec<usize> = dst
+        .to_vec()
+        .iter()
+        .zip(&src)
+        .enumerate()
+        .filter(|(_, (a, b))| a != b)
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(diff.len(), 1, "one deterministic element must be bit-flipped");
+    let i = diff[0];
+    assert_eq!(dst.get(i) ^ src[i], 1);
+}
+
+#[test]
+fn device_loss_is_sticky_and_survives_get() {
+    let d = device();
+    let buf = d.alloc::<u32>(4);
+    d.attach_faults(FaultState::new(FaultPlan::none().with_device_loss_at(0)));
+
+    let err = d.try_alloc::<f32>(8).unwrap_err();
+    assert!(matches!(err, SimError::DeviceLost { .. }));
+    assert!(d.is_lost());
+
+    // Everything after the loss fails the same way.
+    assert!(matches!(d.try_memcpy_h2d(&buf, &[1, 2]).unwrap_err(), SimError::DeviceLost { .. }));
+
+    // Sticky semantics: record once, peek and take both keep returning it.
+    d.record_error(SimError::DeviceLost { device: d.id() });
+    // A later transient error must not displace the sticky one.
+    d.record_error(SimError::EccTransient { op: "x".into() });
+    assert!(matches!(d.peek_last_error(), Some(SimError::DeviceLost { .. })));
+    assert!(matches!(d.take_last_error(), Some(SimError::DeviceLost { .. })));
+    assert!(
+        matches!(d.take_last_error(), Some(SimError::DeviceLost { .. })),
+        "sticky survives take"
+    );
+
+    // reset() clears even sticky errors (cudaDeviceReset semantics).
+    d.reset();
+    assert!(d.peek_last_error().is_none());
+}
+
+#[test]
+fn transient_error_is_cleared_by_take_but_not_peek() {
+    let d = device();
+    d.record_error(SimError::EccTransient { op: "launch of k".into() });
+    assert!(d.peek_last_error().is_some());
+    assert!(d.peek_last_error().is_some(), "peek never clears");
+    assert!(d.take_last_error().is_some());
+    assert!(d.take_last_error().is_none(), "take clears non-sticky errors");
+}
+
+#[test]
+fn fault_free_plan_is_bit_identical_to_no_faults_at_all() {
+    let run = |attach_quiet: bool| {
+        let d = device();
+        if attach_quiet {
+            d.attach_faults(FaultState::new(FaultPlan::none()));
+        }
+        let n = 128usize;
+        let src: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(2654435761)).collect();
+        let a = d.alloc_from(&src);
+        let b = d.alloc::<u32>(n);
+        let k = {
+            let (a, b) = (a.clone(), b.clone());
+            Kernel::new("xform", move |tc| {
+                let i = tc.global_thread_id_x();
+                if i < n {
+                    let v = tc.read(&a, i);
+                    tc.write(&b, i, v.rotate_left(7) ^ 0x9e37);
+                }
+            })
+        };
+        let stats = d.launch(&k, LaunchConfig::new(4u32, 32u32)).unwrap();
+        (b.to_vec(), stats.threads_executed, stats.global_bytes())
+    };
+    assert_eq!(run(false), run(true), "a quiet plan must not perturb results or counters");
+}
