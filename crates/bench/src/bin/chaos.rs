@@ -11,7 +11,11 @@
 //!
 //! Each schedule `k` runs the whole selected matrix under
 //! `FaultPlan::seeded(seed + k, rate)`; every third schedule additionally
-//! loses the device mid-run to exercise the host-fallback path. A run that
+//! loses the device mid-run to exercise the host-fallback path. With
+//! `--only watchdog` the schedules are watchdog-pure instead: rate-based
+//! episodes are restricted to watchdog timeouts, schedule `k` explicitly
+//! injects one at launch op `k`, and the device is never lost — every
+//! failure walks the partial-commit + checkpoint-restore path. A run that
 //! completes must reproduce the cell's fault-free checksum bit-for-bit
 //! (recoveries and fallbacks included); a run that fails must have a typed
 //! error recorded in the device's sticky state. Violations become findings
@@ -21,14 +25,14 @@
 use ompx_hecbench::{run_app_chaos, ProgVersion, System, WorkScale, APP_NAMES};
 use ompx_sanitizer::report::{exit_code, render_json, render_text};
 use ompx_sanitizer::{Finding, Severity};
-use ompx_sim::fault::FaultPlan;
+use ompx_sim::fault::{FaultKind, FaultPlan, FaultSite};
 
 fn usage() -> ! {
     eprintln!(
         "usage: chaos [--seed N] [--schedules N] [--rate F]\n\
          \x20            [--app <name>] [--system nvidia|amd]\n\
          \x20            [--version ompx|omp|native|vendor]\n\
-         \x20            [--test-scale] [--json] [--out FILE]\n\
+         \x20            [--only watchdog] [--test-scale] [--json] [--out FILE]\n\
          apps: {}",
         APP_NAMES.join(", ")
     );
@@ -43,6 +47,7 @@ struct Opts {
     systems: Vec<System>,
     versions: Vec<ProgVersion>,
     scale: WorkScale,
+    only: Option<FaultKind>,
     json: bool,
     out: Option<String>,
 }
@@ -56,6 +61,7 @@ fn parse(args: &[String]) -> Opts {
         systems: vec![System::Nvidia, System::Amd],
         versions: ProgVersion::all().to_vec(),
         scale: WorkScale::Default,
+        only: None,
         json: false,
         out: None,
     };
@@ -105,6 +111,13 @@ fn parse(args: &[String]) -> Opts {
                     Some("omp") => vec![ProgVersion::Omp],
                     Some("native") => vec![ProgVersion::Native],
                     Some("vendor") => vec![ProgVersion::NativeVendor],
+                    _ => usage(),
+                };
+            }
+            "--only" => {
+                i += 1;
+                o.only = match args.get(i).map(String::as_str) {
+                    Some("watchdog") => Some(FaultKind::Watchdog),
                     _ => usage(),
                 };
             }
@@ -188,13 +201,25 @@ fn main() {
                 for k in 0..o.schedules {
                     let seed = o.seed.wrapping_add(k);
                     let mut plan = FaultPlan::seeded(seed, o.rate);
-                    // Every third schedule also loses the device mid-run to
-                    // exercise the degradation paths.
-                    let lose = k % 3 == 2;
-                    if lose {
-                        // Early enough to fire even at test scale, staggered
-                        // per schedule so different ops take the hit.
-                        plan = plan.with_device_loss_at(2 + k);
+                    let mut lose = false;
+                    if let Some(kind) = o.only {
+                        // Kind-pure schedules: restrict the rate-based
+                        // episodes and pin one explicit injection at launch
+                        // op `k` (staggered so each schedule kills a
+                        // different launch). No device loss, so every
+                        // failure exercises the partial-commit +
+                        // checkpoint-restore recovery path.
+                        plan = plan.with_only_kind(kind).with_injection(FaultSite::Launch, k, kind);
+                    } else {
+                        // Every third schedule also loses the device mid-run
+                        // to exercise the degradation paths.
+                        lose = k % 3 == 2;
+                        if lose {
+                            // Early enough to fire even at test scale,
+                            // staggered per schedule so different ops take
+                            // the hit.
+                            plan = plan.with_device_loss_at(2 + k);
+                        }
                     }
                     let (result, report, _spans) = run_app_chaos(app, sys, version, o.scale, plan);
                     tally.runs += 1;

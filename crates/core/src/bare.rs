@@ -203,8 +203,10 @@ impl PreparedBare {
                 Ok(r)
             }
             // Device loss (or a persistent launch fault): degrade to the
-            // host rather than fail. Launch faults fire before any kernel
-            // side effects, so the re-dispatch computes from clean state.
+            // host rather than fail. Most launch faults fire before any
+            // kernel side effects; a watchdog timeout leaves a committed
+            // partial block prefix, which the fallback erases by restoring
+            // the device's pre-launch checkpoint before re-dispatching.
             Err(e) if e.is_injected() => self.execute_host_fallback(&e),
             Err(e) if e.is_transient() => Err(OmpxError::RetriesExhausted {
                 op: self.name.clone(),
@@ -227,17 +229,23 @@ impl PreparedBare {
         if let Some(f) = device.faults() {
             f.note_fallback(&self.name);
         }
-        if let Some(log) = ompx_sim::span::active() {
-            log.host_op(
-                &format!("fallback {} ({cause})", self.name),
-                ompx_sim::span::SpanCategory::Fallback,
-                0.0,
-                0,
-            );
-        }
+        // A watchdog timeout committed a partial block prefix; restore the
+        // pre-launch checkpoint so the host re-dispatch computes from clean
+        // state. No-op for side-effect-free faults.
+        device.restore_checkpoint(&self.name);
         let stats =
             device.launch_unchecked(&self.kernel, self.cfg.clone()).map_err(OmpxError::Device)?;
         let seconds = host_model_seconds(&stats);
+        if let Some(log) = ompx_sim::span::active() {
+            // Emitted after the re-dispatch so the fallback bar spans its
+            // modeled host duration instead of rendering zero-width.
+            log.host_op(
+                &format!("fallback {} ({cause})", self.name),
+                ompx_sim::span::SpanCategory::Fallback,
+                seconds,
+                0,
+            );
+        }
         let plan = LaunchPlan {
             mode: ExecMode::Host,
             teams: 1,

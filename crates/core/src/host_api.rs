@@ -200,6 +200,29 @@ pub fn ompx_device_synchronize(omp: &OpenMp) {
     host_span(omp, "ompx_device_synchronize", SpanCategory::Sync, 0);
 }
 
+/// `ompx_register_write_set` — install the write-set hint for `kernel`:
+/// the diagnostic labels of the buffers it may write (analyzer
+/// access-summary data). A watchdog checkpoint then snapshots only those
+/// buffers instead of every live allocation — see
+/// [`ompx_restore_watchdog_checkpoint`].
+pub fn ompx_register_write_set<S: AsRef<str>>(omp: &OpenMp, kernel: &str, labels: &[S]) {
+    omp.device().set_kernel_write_set(kernel, labels);
+}
+
+/// `ompx_restore_watchdog_checkpoint` — restore the pre-launch checkpoint
+/// taken when an injected watchdog timeout killed `kernel` mid-run,
+/// erasing its partially committed block prefix. Returns whether a
+/// checkpoint was pending. Programs hand-rolling their own re-dispatch
+/// after a `WatchdogTimeout` error call this before re-launching; the
+/// language runtimes' degraded/fallback paths restore implicitly.
+pub fn ompx_restore_watchdog_checkpoint(omp: &OpenMp, kernel: &str) -> bool {
+    let restored = omp.device().restore_checkpoint(kernel);
+    if restored {
+        host_span(omp, "ompx_restore_watchdog_checkpoint", SpanCategory::Fallback, 0);
+    }
+    restored
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -296,6 +319,43 @@ mod tests {
         // Device loss is sticky: get does not clear it.
         assert!(ompx_get_last_error(&omp).is_some());
         assert!(ompx_get_last_error(&omp).is_some(), "sticky errors survive get");
+        omp.device().detach_faults();
+    }
+
+    #[test]
+    fn watchdog_checkpoint_restores_partial_side_effects() {
+        use ompx_sim::dim::LaunchConfig;
+        use ompx_sim::exec::Kernel;
+        use ompx_sim::fault::{FaultKind, FaultPlan, FaultSite, FaultState};
+        let omp = omp();
+        let n = 64usize;
+        let out = ompx_malloc::<u32>(&omp, n);
+        out.set_label("out");
+        ompx_register_write_set(&omp, "stamp", &["out"]);
+        let kernel = Kernel::new("stamp", {
+            let out = out.clone();
+            move |tc| {
+                let i = tc.global_thread_id_x();
+                if i < n {
+                    tc.write(&out, i, i as u32 + 1);
+                }
+            }
+        });
+        let baseline = out.to_vec();
+        let plan = FaultPlan::none().with_injection(FaultSite::Launch, 0, FaultKind::Watchdog);
+        omp.device().attach_faults(FaultState::new(plan));
+        // The launch dies on the watchdog, leaving a committed block
+        // prefix behind (seed 0 commits 10 of 16 blocks).
+        let err = omp.device().launch(&kernel, LaunchConfig::new(16u32, 4u32)).unwrap_err();
+        assert!(matches!(err, SimError::WatchdogTimeout { .. }), "got {err}");
+        assert_ne!(out.to_vec(), baseline, "the partial prefix must be visible");
+        // The host API rolls the dirty state back; re-dispatching from the
+        // restored state gives the full fault-free result.
+        assert!(ompx_restore_watchdog_checkpoint(&omp, "stamp"));
+        assert_eq!(out.to_vec(), baseline, "restore must erase the partial prefix");
+        assert!(!ompx_restore_watchdog_checkpoint(&omp, "stamp"), "checkpoint is consumed");
+        omp.device().launch_unchecked(&kernel, LaunchConfig::new(16u32, 4u32)).unwrap();
+        assert_eq!(out.to_vec(), (1..=n as u32).collect::<Vec<_>>());
         omp.device().detach_faults();
     }
 

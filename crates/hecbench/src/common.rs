@@ -125,6 +125,7 @@ pub fn native_ctx(sys: System, vendor_cc: bool) -> NativeCtx {
     }
     if let Some(faults) = active_faults() {
         ctx.device().attach_faults(faults);
+        install_write_set_hints(ctx.device());
     }
     ctx
 }
@@ -144,6 +145,7 @@ pub fn omp_runtime(sys: System) -> OpenMp {
     }
     if let Some(faults) = active_faults() {
         omp.device().attach_faults(faults);
+        install_write_set_hints(omp.device());
     }
     omp
 }
@@ -162,6 +164,7 @@ pub fn ompx_runtime(sys: System) -> OpenMp {
     }
     if let Some(faults) = active_faults() {
         omp.device().attach_faults(faults);
+        install_write_set_hints(omp.device());
     }
     omp
 }
@@ -278,6 +281,27 @@ fn active_faults() -> Option<Arc<ompx_sim::fault::FaultState>> {
     ACTIVE_FAULTS.lock().unwrap_or_else(|e| e.into_inner()).clone()
 }
 
+/// Kernel write-set hints installed by [`run_app_chaos`]: `(kernel name,
+/// written global-buffer labels)` pairs from the cell's analyzer summary.
+/// The constructors above copy them onto every device they hand out, so a
+/// watchdog checkpoint snapshots only the buffers the killed kernel could
+/// have dirtied. Kernels without a hint (e.g. `adam`'s native convergence
+/// kernel, which the 24-cell registry does not summarize) fall back to a
+/// whole-buffer snapshot inside the simulator.
+static ACTIVE_WRITE_SETS: Mutex<Option<Arc<WriteSets>>> = Mutex::new(None);
+
+/// `(kernel name, written global-buffer labels)` hint pairs.
+type WriteSets = Vec<(String, Vec<String>)>;
+
+fn install_write_set_hints(device: &ompx_sim::device::Device) {
+    let hints = ACTIVE_WRITE_SETS.lock().unwrap_or_else(|e| e.into_inner()).clone();
+    if let Some(hints) = hints {
+        for (kernel, labels) in hints.iter() {
+            device.set_kernel_write_set(kernel, labels);
+        }
+    }
+}
+
 /// What fault injection did to one chaos run, alongside the outcome.
 #[derive(Debug, Clone)]
 pub struct FaultReport {
@@ -309,13 +333,17 @@ pub fn run_app_chaos(
     let _gate = SANITIZED_RUN_GATE.lock().unwrap_or_else(|e| e.into_inner());
     let faults = ompx_sim::fault::FaultState::new(plan);
     *ACTIVE_FAULTS.lock().unwrap_or_else(|e| e.into_inner()) = Some(Arc::clone(&faults));
+    let write_sets: Vec<_> = crate::summaries::write_set(app, version).into_iter().collect();
+    *ACTIVE_WRITE_SETS.lock().unwrap_or_else(|e| e.into_inner()) = Some(Arc::new(write_sets));
     let log = ompx_sim::span::SpanLog::new();
     ompx_sim::span::SpanLog::install(Arc::clone(&log));
-    /// Uninstalls the ambient fault state and span log even on panic.
+    /// Uninstalls the ambient fault state, write-set hints, and span log
+    /// even on panic.
     struct ChaosInstall;
     impl Drop for ChaosInstall {
         fn drop(&mut self) {
             *ACTIVE_FAULTS.lock().unwrap_or_else(|e| e.into_inner()) = None;
+            *ACTIVE_WRITE_SETS.lock().unwrap_or_else(|e| e.into_inner()) = None;
             ompx_sim::span::SpanLog::uninstall();
         }
     }

@@ -46,6 +46,32 @@ pub fn summary_for(app: &str, version: ProgVersion) -> KernelSummary {
     }
 }
 
+/// The write-set of the cell's summarized kernel: its simulator kernel
+/// name plus the labels of every global buffer it writes (plain or
+/// atomically). The chaos harness installs this as the device's
+/// checkpoint hint, so a watchdog snapshot covers exactly the buffers a
+/// killed kernel could have dirtied. Returns `None` for apps outside the
+/// 24-cell registry; kernels without a hint keep the whole-buffer
+/// snapshot fallback inside the simulator.
+pub fn write_set(app: &str, version: ProgVersion) -> Option<(String, Vec<String>)> {
+    if !matches!(app, "xsbench" | "rsbench" | "su3" | "aidw" | "adam" | "stencil") {
+        return None;
+    }
+    let s = summary_for(app, version);
+    let mut labels: Vec<String> = s
+        .accesses
+        .iter()
+        .filter(|a| a.mode != Mode::Read)
+        .filter_map(|a| match &a.space {
+            Space::Global(label) => Some(label.clone()),
+            Space::Shared(_) => None,
+        })
+        .collect();
+    labels.sort();
+    labels.dedup();
+    Some((s.kernel, labels))
+}
+
 /// Run the cell's kernel(s) with the memory trace attached on the concrete
 /// grid the valuation describes, returning the observed events. Workload
 /// parameters not named by the valuation keep their `Test`-scale values.

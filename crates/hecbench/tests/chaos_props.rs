@@ -4,7 +4,7 @@
 //! baseline bit-for-bit.
 
 use ompx_hecbench::{run_app_chaos, ProgVersion, System, WorkScale, APP_NAMES};
-use ompx_sim::fault::FaultPlan;
+use ompx_sim::fault::{FaultKind, FaultPlan, FaultSite};
 use proptest::prelude::*;
 
 const SYSTEMS: [System; 2] = [System::Nvidia, System::Amd];
@@ -59,6 +59,56 @@ proptest! {
                 );
             }
         }
+    }
+
+    /// Watchdog-heavy plans — rate-based episodes restricted to watchdog
+    /// timeouts plus one explicit kill at an arbitrary launch — uphold the
+    /// same trichotomy. This is the hostile case for partial side effects:
+    /// every injected failure commits a deterministic block prefix before
+    /// erroring, so a completed run proves the checkpoint restore rewound
+    /// the partial writes (a stale prefix would diverge the checksum, not
+    /// just fail).
+    #[test]
+    fn watchdog_heavy_plans_uphold_the_trichotomy(
+        app_i in 0usize..6,
+        sys_i in 0usize..2,
+        ver_i in 0usize..4,
+        seed in 0u64..1_000_000,
+        rate in 0.0f64..0.5,
+        kill_op in 0u64..6,
+    ) {
+        let app = APP_NAMES[app_i];
+        let sys = SYSTEMS[sys_i];
+        let version = ProgVersion::all()[ver_i];
+        let plan = FaultPlan::seeded(seed, rate)
+            .with_only_kind(FaultKind::Watchdog)
+            .with_injection(FaultSite::Launch, kill_op, FaultKind::Watchdog);
+        let (result, report, _spans) = run_app_chaos(app, sys, version, WorkScale::Test, plan);
+        match result {
+            Ok(outcome) => {
+                let (baseline, _, _) =
+                    run_app_chaos(app, sys, version, WorkScale::Test, FaultPlan::none());
+                let baseline = baseline.expect("fault-free baseline must succeed");
+                prop_assert_eq!(
+                    outcome.checksum, baseline.checksum,
+                    "watchdog-partial run diverged from the fault-free baseline (app={}, \
+                     injected={}, fallbacks={:?}, degraded={:?})",
+                    app, report.snapshot.injected.len(), report.snapshot.fallbacks,
+                    report.snapshot.degraded
+                );
+            }
+            Err(msg) => {
+                prop_assert!(
+                    !report.snapshot.sticky.is_empty() || report.snapshot.device_lost,
+                    "run failed without a recorded typed error: {}", msg
+                );
+            }
+        }
+        // Everything the plan injected really was a watchdog timeout.
+        prop_assert!(
+            report.snapshot.injected.iter().all(|e| e.kind == FaultKind::Watchdog),
+            "watchdog-only plan injected {:?}", report.snapshot.injected
+        );
     }
 
     /// The quiet plan is indistinguishable from no fault state at all.

@@ -578,8 +578,10 @@ impl PreparedTarget {
             }
             // Injected faults that survived the retry budget (device loss,
             // a persistent launch fault): degrade to the host rather than
-            // fail the region. Launch faults fire *before* any kernel
-            // side effects, so the re-dispatch computes from clean state.
+            // fail the region. Most launch faults fire *before* any kernel
+            // side effects; a watchdog timeout leaves a committed partial
+            // block prefix, which the fallback erases by restoring the
+            // device's pre-launch checkpoint before re-dispatching.
             Err(e) if e.is_injected() => self.execute_host_fallback(&e),
             Err(e) if e.is_transient() => Err(OmpxError::RetriesExhausted {
                 op: self.kernel_name.clone(),
@@ -607,17 +609,23 @@ impl PreparedTarget {
         if let Some(f) = device.faults() {
             f.note_fallback(&self.kernel_name);
         }
-        if let Some(log) = ompx_sim::span::active() {
-            log.host_op(
-                &format!("fallback {} ({cause})", self.kernel_name),
-                ompx_sim::span::SpanCategory::Fallback,
-                0.0,
-                0,
-            );
-        }
+        // A watchdog timeout committed a partial block prefix; restore the
+        // pre-launch checkpoint so the host re-dispatch computes from clean
+        // state. No-op for side-effect-free faults.
+        device.restore_checkpoint(self.kernel.name());
         let stats =
             device.launch_unchecked(&self.kernel, self.cfg.clone()).map_err(OmpxError::Device)?;
         let seconds = host_model_seconds(&stats);
+        if let Some(log) = ompx_sim::span::active() {
+            // Emitted after the re-dispatch so the fallback bar spans its
+            // modeled host duration instead of rendering zero-width.
+            log.host_op(
+                &format!("fallback {} ({cause})", self.kernel_name),
+                ompx_sim::span::SpanCategory::Fallback,
+                seconds,
+                0,
+            );
+        }
         let plan = LaunchPlan {
             mode: ExecMode::Host,
             teams: 1,

@@ -312,28 +312,26 @@ impl NativeCtx {
     /// Injected transient faults are retried under the device policy; a
     /// fault the retries cannot clear (watchdog, device loss, exhausted
     /// episode) degrades: native kernel languages have no host-dispatch
-    /// alternative — unlike OpenMP target regions — so the launch executes
-    /// injection-blind and the error stays recorded as sticky device state.
+    /// alternative — unlike OpenMP target regions — so the runtime restores
+    /// the device's pre-launch checkpoint (a watchdog timeout leaves a
+    /// committed partial block prefix behind) and re-executes
+    /// injection-blind; the error stays recorded as sticky device state.
     fn launch_cfg_inner(&self, kernel: &Kernel, cfg: LaunchConfig) -> SimResult<LaunchResult> {
         let device = &self.inner.device;
         let attempt = run_with_retry(device, &device.retry_policy(), kernel.name(), || {
             device.launch(kernel, cfg.clone())
         });
-        let stats = match attempt {
-            Ok(stats) => stats,
+        let (stats, degraded_by) = match attempt {
+            Ok(stats) => (stats, None),
             Err(e) if e.is_injected() => {
                 if let Some(f) = device.faults() {
                     f.note_degraded(&format!("launch {}: {e}", kernel.name()));
                 }
-                if let Some(log) = span::active() {
-                    log.host_op(
-                        &format!("degraded {} ({e})", kernel.name()),
-                        SpanCategory::Fallback,
-                        0.0,
-                        0,
-                    );
-                }
-                device.launch_unchecked(kernel, cfg.clone())?
+                // A watchdog timeout committed a partial block prefix;
+                // erase it so the blind re-dispatch computes from the
+                // pre-launch state. No-op for side-effect-free faults.
+                device.restore_checkpoint(kernel.name());
+                (device.launch_unchecked(kernel, cfg.clone())?, Some(e))
             }
             Err(e) => return Err(e),
         };
@@ -343,6 +341,18 @@ impl NativeCtx {
             cfg.shared_bytes_per_block(),
             &stats,
         );
+        if let Some(e) = degraded_by {
+            // Emitted after the re-dispatch so the fallback bar spans its
+            // modeled duration instead of rendering zero-width.
+            if let Some(log) = span::active() {
+                log.host_op(
+                    &format!("degraded {} ({e})", kernel.name()),
+                    SpanCategory::Fallback,
+                    modeled.seconds,
+                    0,
+                );
+            }
+        }
         self.record(kernel.name(), modeled.seconds);
         self.inner.device.trace().attribute_model(kernel.name(), modeled.seconds);
         Ok(LaunchResult { stats, modeled })

@@ -12,11 +12,12 @@ use crate::dim::LaunchConfig;
 use crate::error::{SimError, SimResult};
 use crate::exec::{self, Kernel};
 use crate::fault::{FaultKind, FaultSite, FaultState, Injected, RetryPolicy};
-use crate::mem::{DBuf, DeviceScalar};
+use crate::mem::{BufImage, CheckpointTarget, DBuf, DeviceScalar};
 use crate::memtrace::{LaunchMemTrace, MemTrace};
 use crate::san::{LaunchSan, SanState};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
 
@@ -230,7 +231,25 @@ pub(crate) struct DeviceInner {
     /// Retry policy the infallible wrappers and language runtimes use for
     /// transient faults on this device.
     retry: Mutex<RetryPolicy>,
+    /// Every live allocation, registered at alloc time so a watchdog
+    /// checkpoint can find the buffers to snapshot. Weak handles: the
+    /// registry must not keep dropped buffers alive. Registration is O(1)
+    /// bookkeeping — no snapshot is taken until a watchdog actually fires,
+    /// which is what keeps the fault-free baseline bit-identical.
+    allocs: Mutex<Vec<Weak<dyn CheckpointTarget>>>,
+    /// Per-kernel write-set hints: the diagnostic labels of buffers the
+    /// kernel may write, sourced from analyzer access summaries. Kernels
+    /// without a hint fall back to whole-buffer snapshots.
+    write_sets: Mutex<HashMap<String, Vec<String>>>,
+    /// Pre-launch checkpoints keyed by kernel name, taken when a watchdog
+    /// injection fires (before the partial block prefix commits) and
+    /// consumed by [`Device::restore_checkpoint`].
+    checkpoints: Mutex<HashMap<String, Checkpoint>>,
 }
+
+/// One kernel's pre-launch snapshot: the saved image of every buffer the
+/// watchdog checkpoint covered, alongside the (weak) buffer it restores to.
+type Checkpoint = Vec<(Weak<dyn CheckpointTarget>, BufImage)>;
 
 static NEXT_DEVICE_ID: AtomicUsize = AtomicUsize::new(0);
 
@@ -257,6 +276,9 @@ impl Device {
                 faults: Mutex::new(None),
                 last_error: Mutex::new(None),
                 retry: Mutex::new(RetryPolicy::default()),
+                allocs: Mutex::new(Vec::new()),
+                write_sets: Mutex::new(HashMap::new()),
+                checkpoints: Mutex::new(HashMap::new()),
             }),
         }
     }
@@ -486,6 +508,7 @@ impl Device {
     }
 
     fn register_alloc<T: DeviceScalar>(&self, buf: &DBuf<T>) {
+        self.inner.allocs.lock().push(Arc::downgrade(&buf.checkpoint_target()));
         if let Some(san) = &*self.inner.sanitizer.lock() {
             san.on_alloc(buf.alloc_id(), buf.label(), buf.size_bytes());
         }
@@ -679,17 +702,16 @@ impl Device {
     /// execution mode).
     pub fn launch(&self, kernel: &Kernel, cfg: LaunchConfig) -> SimResult<StatsSnapshot> {
         self.validate_launch(&cfg)?;
-        // Injection fires *before* execution: a failed launch has no side
-        // effects, so a retry or a host-path re-dispatch observes exactly
-        // the memory state the failed attempt did. (ROADMAP records the
-        // open item of modeling *partial* side effects on watchdog
-        // timeout; today the whole launch rolls back.)
+        // Most launch injections fire *before* execution: a failed launch
+        // has no side effects, so a retry or a host-path re-dispatch
+        // observes exactly the memory state the failed attempt did. The
+        // exception is the watchdog timeout, which kills the kernel
+        // mid-run and leaves a committed block prefix behind — see
+        // `watchdog_partial`.
         if let Some(inj) = self.roll(FaultSite::Launch) {
             return Err(match inj.kind {
                 FaultKind::DeviceLost => SimError::DeviceLost { device: self.inner.id },
-                FaultKind::Watchdog => {
-                    SimError::WatchdogTimeout { kernel: kernel.name().to_string() }
-                }
+                FaultKind::Watchdog => self.watchdog_partial(kernel, &cfg, &inj),
                 FaultKind::Ecc => {
                     SimError::EccTransient { op: format!("launch of {}", kernel.name()) }
                 }
@@ -697,6 +719,96 @@ impl Device {
             });
         }
         self.launch_unchecked(kernel, cfg)
+    }
+
+    /// A watchdog timeout kills the kernel mid-run: checkpoint the
+    /// kernel's write-set, execute (and commit) a deterministic prefix of
+    /// the grid's blocks, and hand back the timeout error. The committed
+    /// prefix `K = salt % num_blocks` is a pure function of the plan's
+    /// `(seed, site, op)` — the same salt that drives every other fault
+    /// decision — so reruns observe identical partial state. Sanitizer and
+    /// memtrace hooks run for exactly the committed blocks.
+    fn watchdog_partial(&self, kernel: &Kernel, cfg: &LaunchConfig, inj: &Injected) -> SimError {
+        self.checkpoint_write_set(kernel.name());
+        let committed = (inj.salt as usize) % cfg.num_blocks();
+        if committed > 0 {
+            let san = self.sanitizer().map(|state| LaunchSan::new(state, kernel.name()));
+            let mem = self.mem_trace().map(|trace| LaunchMemTrace::new(trace, kernel.name()));
+            let _ = exec::run_prefix(
+                kernel,
+                cfg,
+                self.inner.profile.warp_size,
+                san.as_ref(),
+                mem.as_ref(),
+                committed,
+            );
+        }
+        SimError::WatchdogTimeout { kernel: kernel.name().to_string() }
+    }
+
+    /// Install the write-set hint for `kernel`: the diagnostic labels of
+    /// every buffer the kernel may write (analyzer access-summary data).
+    /// With a hint installed, a watchdog checkpoint snapshots only those
+    /// buffers (plus unlabeled allocations, which a label hint cannot
+    /// exclude); without one it conservatively snapshots every live
+    /// allocation on the device.
+    pub fn set_kernel_write_set<S: AsRef<str>>(&self, kernel: &str, labels: &[S]) {
+        let labels = labels.iter().map(|s| s.as_ref().to_string()).collect();
+        self.inner.write_sets.lock().insert(kernel.to_string(), labels);
+    }
+
+    /// The installed write-set hint for `kernel`, if any.
+    pub fn kernel_write_set(&self, kernel: &str) -> Option<Vec<String>> {
+        self.inner.write_sets.lock().get(kernel).cloned()
+    }
+
+    /// True while a watchdog checkpoint for `kernel` is pending restore.
+    pub fn has_checkpoint(&self, kernel: &str) -> bool {
+        self.inner.checkpoints.lock().contains_key(kernel)
+    }
+
+    /// Restore the pre-launch checkpoint taken when a watchdog injection
+    /// fired on `kernel`, erasing its partially committed block prefix.
+    /// Consumes the checkpoint. Returns `false` (and restores nothing)
+    /// when no checkpoint is pending — the case for every non-watchdog
+    /// launch fault, which still fires before execution and leaves no
+    /// side effects to undo.
+    pub fn restore_checkpoint(&self, kernel: &str) -> bool {
+        match self.inner.checkpoints.lock().remove(kernel) {
+            Some(saved) => {
+                for (weak, image) in &saved {
+                    if let Some(target) = weak.upgrade() {
+                        target.restore(image);
+                    }
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Snapshot the buffers `kernel` may write, ahead of a partial-commit
+    /// watchdog failure. Only called once a watchdog injection has fired,
+    /// so fault-free launches never pay for it.
+    fn checkpoint_write_set(&self, kernel: &str) {
+        let hint = self.kernel_write_set(kernel);
+        let mut saved = Vec::new();
+        let mut allocs = self.inner.allocs.lock();
+        allocs.retain(|weak| weak.upgrade().is_some_and(|t| !t.target_freed()));
+        for weak in allocs.iter() {
+            let Some(target) = weak.upgrade() else { continue };
+            let include = match (&hint, target.target_label()) {
+                (Some(labels), Some(label)) => labels.contains(&label),
+                // No hint, or an unlabeled buffer the hint cannot speak
+                // for: snapshot conservatively.
+                _ => true,
+            };
+            if include {
+                saved.push((Weak::clone(weak), target.save()));
+            }
+        }
+        drop(allocs);
+        self.inner.checkpoints.lock().insert(kernel.to_string(), saved);
     }
 
     /// [`Device::launch`] minus the fault-injection roll: the re-dispatch

@@ -37,9 +37,12 @@ pub enum SimError {
     /// A transient ECC-style error (injected fault); a retry is expected to
     /// clear it.
     EccTransient { op: String },
-    /// The kernel exceeded the modeled watchdog limit and the launch was
-    /// rolled back whole (injected fault; not retried — the same kernel
-    /// would time out again).
+    /// The kernel exceeded the modeled watchdog limit and was killed
+    /// mid-run: a deterministic prefix of its blocks committed before the
+    /// error surfaced, so the buffers hold partial results (injected
+    /// fault; not retried — the same kernel would time out again).
+    /// Recovery paths restore the device's pre-launch checkpoint before
+    /// re-dispatching (`Device::restore_checkpoint`).
     WatchdogTimeout { kernel: String },
     /// A stream operation failed (injected fault).
     StreamFault { stream: u64 },
@@ -116,7 +119,11 @@ impl fmt::Display for SimError {
             SimError::LaunchFault { kernel } => write!(f, "launch of kernel `{kernel}` failed"),
             SimError::EccTransient { op } => write!(f, "transient ECC error during {op}"),
             SimError::WatchdogTimeout { kernel } => {
-                write!(f, "kernel `{kernel}` exceeded the watchdog time limit, launch rolled back")
+                write!(
+                    f,
+                    "kernel `{kernel}` exceeded the watchdog time limit and was killed mid-run \
+                     (partial block prefix committed)"
+                )
             }
             SimError::StreamFault { stream } => write!(f, "operation on stream {stream} failed"),
             SimError::DeviceLost { device } => write!(f, "device {device} lost"),
@@ -148,7 +155,7 @@ mod tests {
             (SimError::MemcpyFault { dir: "D2H", bytes: 64, corrupted: true }, "corrupted"),
             (SimError::LaunchFault { kernel: "vecadd".into() }, "vecadd"),
             (SimError::EccTransient { op: "memcpy h2d".into() }, "ECC"),
-            (SimError::WatchdogTimeout { kernel: "spin".into() }, "watchdog"),
+            (SimError::WatchdogTimeout { kernel: "spin".into() }, "killed mid-run"),
             (SimError::StreamFault { stream: 12 }, "stream 12"),
             (SimError::DeviceLost { device: 3 }, "device 3"),
         ];

@@ -113,11 +113,37 @@ pub fn run(
     san: Option<&LaunchSan>,
     mem: Option<&LaunchMemTrace>,
 ) -> StatsSnapshot {
+    run_bounded(kernel, cfg, warp_size, san, mem, cfg.num_blocks())
+}
+
+/// Execute only the first `limit` blocks (in grid-linearization order) —
+/// the committed prefix of a watchdog-killed launch. Semantics within the
+/// prefix are identical to [`run`]: sanitizer and memtrace hooks observe
+/// exactly the blocks that committed.
+pub(crate) fn run_prefix(
+    kernel: &Kernel,
+    cfg: &LaunchConfig,
+    warp_size: u32,
+    san: Option<&LaunchSan>,
+    mem: Option<&LaunchMemTrace>,
+    limit: usize,
+) -> StatsSnapshot {
+    run_bounded(kernel, cfg, warp_size, san, mem, limit.min(cfg.num_blocks()))
+}
+
+fn run_bounded(
+    kernel: &Kernel,
+    cfg: &LaunchConfig,
+    warp_size: u32,
+    san: Option<&LaunchSan>,
+    mem: Option<&LaunchMemTrace>,
+    num_blocks: usize,
+) -> StatsSnapshot {
     let stats = KernelStats::new();
     if kernel.flags.needs_team_execution() && cfg.threads_per_block() > 1 {
-        run_team(kernel, cfg, warp_size, &stats, san, mem);
+        run_team(kernel, cfg, warp_size, &stats, san, mem, num_blocks);
     } else {
-        run_serial(kernel, cfg, warp_size, &stats, san, mem);
+        run_serial(kernel, cfg, warp_size, &stats, san, mem, num_blocks);
     }
     stats.snapshot()
 }
@@ -136,6 +162,7 @@ fn host_parallelism() -> usize {
 }
 
 /// Serial path: blocks spread over workers, lanes of a block run in sequence.
+#[allow(clippy::too_many_arguments)]
 fn run_serial(
     kernel: &Kernel,
     cfg: &LaunchConfig,
@@ -143,8 +170,8 @@ fn run_serial(
     stats: &KernelStats,
     san: Option<&LaunchSan>,
     mem: Option<&LaunchMemTrace>,
+    num_blocks: usize,
 ) {
-    let num_blocks = cfg.num_blocks();
     let workers = host_parallelism().min(num_blocks).max(1);
     let next_block = AtomicUsize::new(0);
 
@@ -227,6 +254,7 @@ struct TeamState {
 }
 
 /// Team path: real intra-block concurrency with barrier support.
+#[allow(clippy::too_many_arguments)]
 fn run_team(
     kernel: &Kernel,
     cfg: &LaunchConfig,
@@ -234,8 +262,8 @@ fn run_team(
     stats: &KernelStats,
     san: Option<&LaunchSan>,
     mem: Option<&LaunchMemTrace>,
+    num_blocks: usize,
 ) {
-    let num_blocks = cfg.num_blocks();
     let tpb = cfg.threads_per_block();
     let cores = host_parallelism();
     // Enough teams to keep the host busy, but no more than there are blocks
@@ -257,7 +285,18 @@ fn run_team(
                 let next_block = Arc::clone(&next_block);
                 let stats = &*stats;
                 handles.push(s.spawn(move || {
-                    lane_loop(kernel, cfg, warp_size, lane, &team, &next_block, stats, san, mem)
+                    lane_loop(
+                        kernel,
+                        cfg,
+                        warp_size,
+                        lane,
+                        &team,
+                        &next_block,
+                        stats,
+                        san,
+                        mem,
+                        num_blocks,
+                    )
                 }));
             }
         }
@@ -296,8 +335,8 @@ fn lane_loop(
     stats: &KernelStats,
     san: Option<&LaunchSan>,
     mem: Option<&LaunchMemTrace>,
+    num_blocks: usize,
 ) {
-    let num_blocks = cfg.num_blocks();
     let tpb = cfg.threads_per_block();
     loop {
         // Step 1: lane 0 claims the next block; everyone learns it.

@@ -29,7 +29,14 @@
 //! Non-transient faults (watchdog timeout, device loss) are not retried;
 //! the language runtimes degrade instead (host fallback for OpenMP target
 //! regions, functional-only execution elsewhere) and record a sticky error,
-//! mirroring CUDA's sticky-error model.
+//! mirroring CUDA's sticky-error model. A watchdog timeout is the nasty
+//! one: the killed kernel has already *committed* a deterministic prefix
+//! of its blocks (`K = salt % num_blocks`, the same splitmix64 salt that
+//! drives every other decision), so the device checkpoints the kernel's
+//! write-set before the partial execution and the recovery paths restore
+//! it ([`Device::restore_checkpoint`]) before their injection-blind
+//! re-dispatch — which is what keeps degraded results bit-identical to
+//! the fault-free run.
 
 use crate::device::Device;
 use crate::error::SimResult;
@@ -53,8 +60,10 @@ pub enum FaultSite {
     MemcpyD2H,
     /// Device-to-device transfer.
     MemcpyD2D,
-    /// Kernel launch (fires before execution: a failed launch has no
-    /// side effects, which is what makes retry and fallback safe).
+    /// Kernel launch. Most launch faults fire before execution and leave
+    /// no side effects; an injected watchdog timeout instead executes and
+    /// commits a deterministic prefix of the grid's blocks first — see
+    /// [`FaultKind::Watchdog`].
     Launch,
     /// Stream synchronization.
     StreamSync,
@@ -121,8 +130,12 @@ pub enum FaultKind {
     MemcpyCorrupt,
     /// Kernel launch rejected by the simulated driver.
     LaunchFail,
-    /// Kernel exceeds the modeled watchdog limit; the launch rolls back
-    /// whole (no partial side effects — see ROADMAP open item).
+    /// Kernel exceeds the modeled watchdog limit and is killed mid-run:
+    /// the first `salt % num_blocks` blocks execute and **commit** before
+    /// the error surfaces, so the failed launch leaves partial side
+    /// effects behind, like a real GPU watchdog. The device checkpoints
+    /// the kernel's write-set first so recovery paths can restore the
+    /// pre-launch state (`Device::restore_checkpoint`).
     Watchdog,
     /// Transient ECC-style error; a retry is expected to clear it.
     Ecc,
@@ -163,12 +176,24 @@ pub struct FaultPlan {
     /// Explicit single-shot injections: `(site, site-local op index, kind)`.
     /// These fire exactly once (burst 1), independent of `rate`.
     pub injections: Vec<(FaultSite, u64, FaultKind)>,
+    /// When set, rate-based episodes fire only this kind: sites whose kind
+    /// table does not include it never fire, and sites that do always pick
+    /// it. Explicit injections and `lose_device_at` are unaffected. Used
+    /// for kind-focused chaos schedules (e.g. watchdog-only).
+    pub only: Option<FaultKind>,
 }
 
 impl FaultPlan {
     /// The empty plan: injects nothing, adds no overhead beyond the rolls.
     pub fn none() -> FaultPlan {
-        FaultPlan { seed: 0, rate: 0.0, max_burst: 1, lose_device_at: None, injections: Vec::new() }
+        FaultPlan {
+            seed: 0,
+            rate: 0.0,
+            max_burst: 1,
+            lose_device_at: None,
+            injections: Vec::new(),
+            only: None,
+        }
     }
 
     /// Rate-based plan: each operation starts an episode with probability
@@ -180,6 +205,7 @@ impl FaultPlan {
             max_burst: BURST_CAP,
             lose_device_at: None,
             injections: Vec::new(),
+            only: None,
         }
     }
 
@@ -193,6 +219,13 @@ impl FaultPlan {
     /// Add an explicit single-shot injection at `(site, op)`.
     pub fn with_injection(mut self, site: FaultSite, op: u64, kind: FaultKind) -> FaultPlan {
         self.injections.push((site, op, kind));
+        self
+    }
+
+    /// Restrict rate-based episodes to `kind` (e.g. watchdog-only chaos
+    /// schedules). Sites that cannot produce `kind` stop firing.
+    pub fn with_only_kind(mut self, kind: FaultKind) -> FaultPlan {
+        self.only = Some(kind);
         self
     }
 
@@ -381,8 +414,18 @@ impl FaultState {
             return None;
         }
         let h2 = splitmix64(h);
-        let kinds = site.kinds();
-        let kind = kinds[(h2 % kinds.len() as u64) as usize];
+        let kind = match self.plan.only {
+            Some(k) => {
+                if !site.kinds().contains(&k) {
+                    return None;
+                }
+                k
+            }
+            None => {
+                let kinds = site.kinds();
+                kinds[(h2 % kinds.len() as u64) as usize]
+            }
+        };
         let burst = 1 + ((h2 >> 8) as u32 % self.plan.max_burst.clamp(1, BURST_CAP));
         *episode = Some(Episode { kind, remaining: burst - 1, salt: h2 });
         self.injected.lock().push(FaultEvent { site, op, kind });
@@ -572,6 +615,25 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn only_kind_filter_restricts_rate_based_episodes() {
+        let st = FaultState::new(FaultPlan::seeded(7, 0.9).with_only_kind(FaultKind::Watchdog));
+        let mut fired = 0;
+        for site in FaultSite::ALL {
+            for _ in 0..100 {
+                if let Some(inj) = st.roll(site) {
+                    assert_eq!(inj.kind, FaultKind::Watchdog, "{site:?} leaked another kind");
+                    fired += 1;
+                }
+            }
+        }
+        assert!(fired > 0, "the launch site must fire watchdogs at rate 0.9");
+        assert!(
+            st.snapshot().injected.iter().all(|e| e.site == FaultSite::Launch),
+            "only the launch site can produce watchdogs"
+        );
     }
 
     #[test]

@@ -184,6 +184,65 @@ macro_rules! float_scalar {
 float_scalar!(f32, u32, AtomicU32, to_bits, from_bits);
 float_scalar!(f64, u64, AtomicU64, to_bits, from_bits);
 
+/// Point-in-time image of one buffer, taken by the device's watchdog
+/// checkpoint machinery before a partial-commit launch failure. Holds the
+/// element values (as 64-bit transport words) and, for init-tracked
+/// buffers, the raw initialization bitmap, so a restore rolls back
+/// initcheck state along with the data.
+pub(crate) struct BufImage {
+    words: Vec<u64>,
+    init: Option<Vec<u64>>,
+}
+
+/// Type-erased checkpoint access to one allocation. Implemented by the
+/// buffer's shared inner state so [`crate::device::Device`] can keep a
+/// registry of `Weak<dyn CheckpointTarget>` handles without knowing
+/// element types.
+pub(crate) trait CheckpointTarget: Send + Sync {
+    /// The diagnostic label, if one was attached. Unlabeled allocations
+    /// return `None` and cannot be excluded by a write-set hint.
+    fn target_label(&self) -> Option<String>;
+    /// True once `Device::free` released the allocation.
+    fn target_freed(&self) -> bool;
+    /// Snapshot the buffer's contents and init bitmap.
+    fn save(&self) -> BufImage;
+    /// Restore an image taken by [`CheckpointTarget::save`]. Writes the
+    /// init bitmap back verbatim (bypassing `mark_init`), so elements that
+    /// were uninitialized at checkpoint time become uninitialized again.
+    fn restore(&self, image: &BufImage);
+}
+
+impl<T: DeviceScalar> CheckpointTarget for DBufInner<T> {
+    fn target_label(&self) -> Option<String> {
+        self.label.get().cloned()
+    }
+
+    fn target_freed(&self) -> bool {
+        self.freed.load(Ordering::Relaxed)
+    }
+
+    fn save(&self) -> BufImage {
+        BufImage {
+            words: self.cells.iter().map(|c| T::load(c).to_word()).collect(),
+            init: self
+                .init
+                .as_ref()
+                .map(|bits| bits.iter().map(|b| b.load(Ordering::Relaxed)).collect()),
+        }
+    }
+
+    fn restore(&self, image: &BufImage) {
+        for (cell, &w) in self.cells.iter().zip(&image.words) {
+            T::store(cell, T::from_word(w));
+        }
+        if let (Some(bits), Some(saved)) = (&self.init, &image.init) {
+            for (bit, &w) in bits.iter().zip(saved) {
+                bit.store(w, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
 struct DBufInner<T: DeviceScalar> {
     cells: Box<[T::Atomic]>,
     device_id: usize,
@@ -267,6 +326,11 @@ impl<T: DeviceScalar> DBuf<T> {
                 init,
             }),
         }
+    }
+
+    /// Type-erased handle for the device's checkpoint registry.
+    pub(crate) fn checkpoint_target(&self) -> Arc<dyn CheckpointTarget> {
+        self.inner.clone()
     }
 
     /// Process-unique id of this allocation (shared by all aliasing handles).

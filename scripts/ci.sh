@@ -47,6 +47,10 @@ echo "==> chaos smoke run (fixed seed, 5 schedules, full matrix, both systems)"
 cargo run --release -q -p ompx-bench --bin chaos -- \
     --seed 20260807 --schedules 5 --test-scale >/dev/null
 
+echo "==> chaos watchdog-partial smoke run (fixed seed, kind-pure schedules)"
+cargo run --release -q -p ompx-bench --bin chaos -- \
+    --seed 20260807 --schedules 3 --test-scale --only watchdog >/dev/null
+
 echo "==> profile baseline gate (all apps x versions x both systems)"
 cargo run --release -q -p ompx-bench --bin profile -- --test-scale \
     --baseline results/profile_baseline.json \
