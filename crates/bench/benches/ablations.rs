@@ -151,16 +151,20 @@ fn ablation_block_exec(c: &mut Criterion) {
 }
 
 fn ablation_racecheck(c: &mut Criterion) {
-    // Cost of the shared-memory race detector on a barrier-heavy kernel.
+    // Cost of the shared-memory race detector on a barrier-heavy kernel,
+    // toggled by attaching a racecheck sanitizer session to the device.
+    use ompx_sim::san::{SanState, ToolMask};
     let mut group = c.benchmark_group("ablation_racecheck");
     group.sample_size(10);
     let dev = Device::new(DeviceProfile::test_small());
     for (name, racecheck) in [("off", false), ("on", true)] {
         group.bench_function(name, |b| {
-            let mut cfg = LaunchConfig::new(16u32, 64u32);
             if racecheck {
-                cfg = cfg.with_racecheck();
+                dev.attach_sanitizer(SanState::new(ToolMask::RACECHECK));
+            } else {
+                dev.detach_sanitizer();
             }
+            let mut cfg = LaunchConfig::new(16u32, 64u32);
             let slot = cfg.shared_array::<f32>(64);
             let k = Kernel::with_flags(
                 "abl_race",
@@ -177,6 +181,7 @@ fn ablation_racecheck(c: &mut Criterion) {
             b.iter(|| dev.launch(&k, cfg.clone()).unwrap());
         });
     }
+    dev.detach_sanitizer();
     group.finish();
 }
 

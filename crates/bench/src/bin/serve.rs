@@ -1,0 +1,352 @@
+//! `serve` — replay a deterministic multi-tenant load against the
+//! simulated device pool and assert the chaos trichotomy under load:
+//!
+//! ```text
+//! serve --seed 20260808 --clients 1000 --tenants 8
+//! serve --clients 200 --rate 0.05 --lose-at 10
+//! serve --clients 1000 --bench-out results/BENCH_serve.json
+//! serve --clients 1000 --baseline results/BENCH_serve.json
+//! ```
+//!
+//! Every request must end as success, a typed error, a bit-identical
+//! validated fallback, or a backpressure rejection — a corrupt response
+//! (wrong checksum) is a finding in the same `{tool, kernel, location,
+//! severity, message}` schema the other CLIs emit and drives a non-zero
+//! exit. `--baseline` diffs the run's report against a committed
+//! `BENCH_serve.json` (integer fields exact, floats to 1e-9 relative)
+//! and fails on drift, mirroring the profile gate.
+
+use ompx_prof::chrome::to_chrome_trace;
+use ompx_prof::jsonio;
+use ompx_sanitizer::report::{exit_code, render_json as findings_json, render_text};
+use ompx_sanitizer::{Finding, Severity};
+use ompx_serve::{
+    build_report, render_json, serve, DeviceKind, LoadSpec, ServeConfig, ServeReport, Verdict,
+};
+use ompx_sim::fault::FaultPlan;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: serve [--seed N] [--clients N] [--tenants N]\n\
+         \x20           [--devices a100,a100,mi250,mi250] [--max-batch N] [--queue-cap N]\n\
+         \x20           [--load-factor F] [--rate F] [--lose-at N] [--no-faults]\n\
+         \x20           [--default-scale] [--json] [--bench-out FILE] [--trace FILE]\n\
+         \x20           [--baseline FILE] [--write-baseline FILE]"
+    );
+    std::process::exit(2);
+}
+
+struct Opts {
+    cfg: ServeConfig,
+    spec: LoadSpec,
+    json: bool,
+    bench_out: Option<String>,
+    trace: Option<String>,
+    baseline: Option<String>,
+    write_baseline: Option<String>,
+}
+
+fn parse(args: &[String]) -> Opts {
+    let mut cfg = ServeConfig::new(20260808);
+    let mut spec = LoadSpec { seed: 20260808, clients: 1000, tenants: 8 };
+    // Default chaos: a low fault rate everywhere plus one scheduled
+    // device loss (member 0 only, per FaultPlan::for_pool_member).
+    let mut rate = 0.02;
+    let mut lose_at = Some(40);
+    let mut faults = true;
+    let mut o = Opts {
+        cfg: cfg.clone(),
+        spec,
+        json: false,
+        bench_out: None,
+        trace: None,
+        baseline: None,
+        write_baseline: None,
+    };
+    let mut i = 0;
+    macro_rules! val {
+        () => {{
+            i += 1;
+            match args.get(i) {
+                Some(v) => v,
+                None => usage(),
+            }
+        }};
+    }
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                let v: u64 = val!().parse().unwrap_or_else(|_| usage());
+                cfg.seed = v;
+                spec.seed = v;
+            }
+            "--clients" => spec.clients = val!().parse().unwrap_or_else(|_| usage()),
+            "--tenants" => spec.tenants = val!().parse().unwrap_or_else(|_| usage()),
+            "--devices" => {
+                cfg.devices = val!()
+                    .split(',')
+                    .map(|d| match d.trim() {
+                        "a100" => DeviceKind::A100,
+                        "mi250" => DeviceKind::Mi250,
+                        _ => usage(),
+                    })
+                    .collect();
+            }
+            "--max-batch" => cfg.max_batch = val!().parse().unwrap_or_else(|_| usage()),
+            "--queue-cap" => cfg.queue_cap = val!().parse().unwrap_or_else(|_| usage()),
+            "--load-factor" => cfg.load_factor = val!().parse().unwrap_or_else(|_| usage()),
+            "--rate" => rate = val!().parse().unwrap_or_else(|_| usage()),
+            "--lose-at" => lose_at = Some(val!().parse().unwrap_or_else(|_| usage())),
+            "--no-faults" => faults = false,
+            "--default-scale" => cfg.scale = ompx_hecbench::WorkScale::Default,
+            "--json" => o.json = true,
+            "--bench-out" => o.bench_out = Some(val!().clone()),
+            "--trace" => o.trace = Some(val!().clone()),
+            "--baseline" => o.baseline = Some(val!().clone()),
+            "--write-baseline" => o.write_baseline = Some(val!().clone()),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if faults {
+        let mut plan = FaultPlan::seeded(cfg.seed, rate);
+        if let Some(n) = lose_at {
+            plan = plan.with_device_loss_at(n);
+        }
+        cfg.plan = Some(plan);
+    }
+    if spec.tenants == 0 || spec.clients == 0 {
+        usage();
+    }
+    o.cfg = cfg;
+    o.spec = spec;
+    o
+}
+
+fn write_file(path: &str, text: &str) {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    if let Err(e) = std::fs::write(path, text) {
+        eprintln!("serve: cannot write {path}: {e}");
+        std::process::exit(2);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let o = parse(&args);
+
+    let start = std::time::Instant::now();
+    let out = serve(&o.cfg, &o.spec);
+    let wall = start.elapsed();
+    let report =
+        build_report(o.cfg.seed, o.spec.clients, o.spec.tenants, &out.responses, &out.pool);
+
+    // The trichotomy assertion: corrupt responses are findings.
+    let findings: Vec<Finding> = out
+        .responses
+        .iter()
+        .filter_map(|r| match &r.verdict {
+            Verdict::Corrupt(msg) => Some(Finding {
+                tool: "serve".to_string(),
+                kernel: format!("{}@{:?}", r.app, r.member),
+                location: format!("request {} tenant {}", r.id, r.tenant),
+                severity: Severity::Error,
+                message: format!("trichotomy violation: {msg}"),
+            }),
+            _ => None,
+        })
+        .collect();
+
+    let json = render_json(&report);
+    if o.json {
+        print!("{json}");
+    } else {
+        print_text(&report);
+    }
+    eprintln!(
+        "serve: {} clients over {} tenants on {} devices in {:.2}s wall ({:.3}s modeled)",
+        o.spec.clients,
+        o.spec.tenants,
+        o.cfg.devices.len(),
+        wall.as_secs_f64(),
+        report.makespan_s
+    );
+    if !findings.is_empty() {
+        if o.json {
+            print!("{}", findings_json(&findings));
+        } else {
+            print!("{}", render_text(&findings));
+        }
+    }
+
+    if let Some(path) = &o.bench_out {
+        write_file(path, &json);
+        eprintln!("serve: report written to {path}");
+    }
+    if let Some(path) = &o.write_baseline {
+        write_file(path, &json);
+        eprintln!("serve: baseline written to {path}");
+    }
+    if let Some(path) = &o.trace {
+        write_file(path, &to_chrome_trace(&out.spans));
+        eprintln!("serve: timeline trace written to {path} ({} spans)", out.spans.len());
+    }
+    if let Some(path) = &o.baseline {
+        match std::fs::read_to_string(path) {
+            Err(e) => {
+                eprintln!("serve: cannot read baseline {path}: {e}");
+                std::process::exit(2);
+            }
+            Ok(text) => {
+                let drifts = diff_baseline(&report, &text);
+                match drifts {
+                    Err(e) => {
+                        eprintln!("serve: bad baseline {path}: {e}");
+                        std::process::exit(2);
+                    }
+                    Ok(drifts) if drifts.is_empty() => {
+                        eprintln!("serve: baseline gate PASSED");
+                    }
+                    Ok(drifts) => {
+                        eprintln!("serve: baseline gate FAILED, {} drift(s):", drifts.len());
+                        for d in &drifts {
+                            eprintln!("  {d}");
+                        }
+                        std::process::exit(1);
+                    }
+                }
+            }
+        }
+    }
+    std::process::exit(exit_code(&findings));
+}
+
+fn print_text(r: &ServeReport) {
+    println!("serve report (seed {})", r.seed);
+    println!(
+        "  requests: {} total, {} completed ({} success / {} fallback / {} typed-error), {} rejected, {} corrupt",
+        r.total, r.completed, r.success, r.fallback, r.typed_error, r.rejected, r.corrupt
+    );
+    println!(
+        "  modeled: makespan {:.3}s, throughput {:.1} req/s, latency p50 {:.3}s p99 {:.3}s",
+        r.makespan_s, r.throughput_rps, r.latency_p50_s, r.latency_p99_s
+    );
+    println!("  batches: {} (max {}, mean {:.2})", r.batch_count, r.batch_max, r.batch_mean);
+    for d in &r.devices {
+        println!(
+            "  device {} [{}]: served {} in {} batches, busy {:.3}s{}",
+            d.member,
+            d.kind,
+            d.served,
+            d.batches,
+            d.busy_s,
+            if d.lost { " — LOST" } else { "" }
+        );
+    }
+    for t in &r.fairness {
+        println!(
+            "  tenant {}: served {} ({:.1}% share), rejected {}",
+            t.tenant,
+            t.served,
+            100.0 * t.share,
+            t.rejected
+        );
+    }
+}
+
+/// Integer fields must match exactly, floats to 1e-9 relative: the run is
+/// deterministic, so any drift is a real behavior change.
+fn diff_baseline(report: &ServeReport, baseline: &str) -> Result<Vec<String>, String> {
+    let b = jsonio::parse(baseline)?;
+    if b.get("schema").and_then(|s| s.as_str()) != Some("ompx-bench-serve-v1") {
+        return Err("missing or wrong schema tag".to_string());
+    }
+    let mut drifts = Vec::new();
+    let int = |name: &str| -> Result<i64, String> {
+        b.get(name)
+            .and_then(|v| v.as_f64())
+            .map(|f| f as i64)
+            .ok_or_else(|| format!("baseline missing {name}"))
+    };
+    let fl = |name: &str| -> Result<f64, String> {
+        b.get(name).and_then(|v| v.as_f64()).ok_or_else(|| format!("baseline missing {name}"))
+    };
+    let mut check_int = |name: &str, got: i64| -> Result<(), String> {
+        let want = int(name)?;
+        if want != got {
+            drifts.push(format!("{name}: baseline {want}, run {got}"));
+        }
+        Ok(())
+    };
+    check_int("seed", report.seed as i64)?;
+    check_int("clients", i64::from(report.clients))?;
+    check_int("tenants", i64::from(report.tenants))?;
+    check_int("total", report.total as i64)?;
+    check_int("completed", report.completed as i64)?;
+    let verdicts = b.get("verdicts").ok_or("baseline missing verdicts")?;
+    for (name, got) in [
+        ("success", report.success),
+        ("fallback", report.fallback),
+        ("typed_error", report.typed_error),
+        ("rejected", report.rejected),
+        ("corrupt", report.corrupt),
+    ] {
+        let want = verdicts
+            .get(name)
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("baseline missing verdicts.{name}"))? as u64;
+        if want != got {
+            drifts.push(format!("verdicts.{name}: baseline {want}, run {got}"));
+        }
+    }
+    let mut check_float = |name: &str, got: f64| -> Result<(), String> {
+        let want = fl(name)?;
+        let tol = want.abs().max(1e-12) * 1e-9;
+        if (want - got).abs() > tol {
+            drifts.push(format!("{name}: baseline {want:e}, run {got:e}"));
+        }
+        Ok(())
+    };
+    check_float("makespan_s", report.makespan_s)?;
+    check_float("throughput_rps", report.throughput_rps)?;
+    check_float("latency_p50_s", report.latency_p50_s)?;
+    check_float("latency_p99_s", report.latency_p99_s)?;
+    let batches = b.get("batches").ok_or("baseline missing batches")?;
+    for (name, got) in [("count", report.batch_count), ("max", report.batch_max)] {
+        let want = batches
+            .get(name)
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("baseline missing batches.{name}"))? as u64;
+        if want != got {
+            drifts.push(format!("batches.{name}: baseline {want}, run {got}"));
+        }
+    }
+    let devs = b.get("devices").and_then(|d| d.as_arr()).ok_or("baseline missing devices")?;
+    if devs.len() != report.devices.len() {
+        drifts.push(format!(
+            "devices: baseline has {}, run has {}",
+            devs.len(),
+            report.devices.len()
+        ));
+    } else {
+        for (want, got) in devs.iter().zip(&report.devices) {
+            let served = want.get("served").and_then(|v| v.as_f64()).unwrap_or(-1.0);
+            if served as i64 != got.served as i64 {
+                drifts.push(format!(
+                    "devices[{}].served: baseline {served}, run {}",
+                    got.member, got.served
+                ));
+            }
+            let lost = want.get("lost") == Some(&jsonio::Json::Bool(true));
+            if lost != got.lost {
+                drifts.push(format!(
+                    "devices[{}].lost: baseline {lost}, run {}",
+                    got.member, got.lost
+                ));
+            }
+        }
+    }
+    Ok(drifts)
+}

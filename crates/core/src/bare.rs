@@ -101,23 +101,6 @@ impl BareTarget {
         self
     }
 
-    /// Enable the shared-memory race detector for this launch: two threads
-    /// touching the same shared cell in the same barrier epoch, at least one
-    /// writing, aborts the launch with a diagnostic. Catches the
-    /// missing-barrier bugs SIMT ports introduce.
-    ///
-    /// Deprecation shim: this per-launch flag predates the `ompx-sanitizer`
-    /// subsystem and is kept for compatibility. Prefer attaching a session
-    /// with racecheck (`Sanitizer::attach` in `ompx-sanitizer`, or
-    /// `ompx_sanitizer_enable` in `ompx-hostrt`), which covers global-memory
-    /// races too and records structured diagnostics instead of panicking.
-    /// When a session with racecheck is attached, a race on a launch with
-    /// this flag is recorded there rather than aborting.
-    pub fn racecheck(mut self) -> Self {
-        self.cfg_shared.racecheck = true;
-        self
-    }
-
     /// The launch geometry after dimension handling.
     pub fn geometry(&self) -> (Dim3, Dim3) {
         (self.num_teams, self.thread_limit)
@@ -127,7 +110,6 @@ impl BareTarget {
         let mut cfg = LaunchConfig::new(self.num_teams, self.thread_limit);
         cfg.shared_slots = self.cfg_shared.shared_slots.clone();
         cfg.dynamic_shared_bytes = self.cfg_shared.dynamic_shared_bytes;
-        cfg.racecheck = self.cfg_shared.racecheck;
         cfg
     }
 
@@ -449,15 +431,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "shared-memory data race detected")]
     fn racecheck_catches_missing_groupprivate_barrier() {
+        use ompx_sim::san::{DiagKind, SanState, ToolMask};
         let omp = omp();
+        let san = SanState::new(ToolMask::RACECHECK);
+        omp.device().attach_sanitizer(std::sync::Arc::clone(&san));
         let tpb = 8usize;
         let mut t = BareTarget::new(&omp, "racy")
             .num_teams([1u32])
             .thread_limit([tpb as u32])
-            .uses_block_sync()
-            .racecheck();
+            .uses_block_sync();
         let slot = t.shared_array::<u32>(tpb);
         t.launch(move |tc| {
             let tile = tc.shared::<u32>(slot);
@@ -467,6 +450,9 @@ mod tests {
             let _ = tc.sread(&tile, (t + 1) % tpb);
         })
         .unwrap();
+        omp.device().detach_sanitizer();
+        let diags = san.drain_diagnostics();
+        assert!(diags.iter().any(|d| d.kind == DiagKind::SharedRace), "{diags:?}");
     }
 
     #[test]

@@ -314,13 +314,102 @@ pub struct FaultReport {
     pub fallback_spans: usize,
 }
 
+/// A held chaos-run scope: the sanitized-run gate acquired once, one
+/// ambient [`SpanLog`] installed for the whole scope, and per-cell swapping
+/// of the ambient fault state + write-set hints.
+///
+/// [`run_app_chaos`] uses one session per cell; `ompx-serve` holds a single
+/// session across thousands of requests so each pool member's persistent
+/// [`FaultState`] (with its sticky device-loss flag) can be attached for
+/// exactly the requests routed to it, while every request's spans land on
+/// one timeline. The gate is **not** reentrant: constructing a second
+/// session on the same thread (or inside `run_app_sanitized` /
+/// `with_mem_trace` / `with_span_log`) deadlocks.
+///
+/// [`SpanLog`]: ompx_sim::span::SpanLog
+/// [`FaultState`]: ompx_sim::fault::FaultState
+pub struct ChaosSession {
+    _gate: MutexGuard<'static, ()>,
+    log: Arc<ompx_sim::span::SpanLog>,
+}
+
+impl ChaosSession {
+    /// Acquire the gate and install a fresh ambient span log.
+    pub fn begin() -> ChaosSession {
+        let gate = SANITIZED_RUN_GATE.lock().unwrap_or_else(|e| e.into_inner());
+        let log = ompx_sim::span::SpanLog::new();
+        ompx_sim::span::SpanLog::install(Arc::clone(&log));
+        ChaosSession { _gate: gate, log }
+    }
+
+    /// The session's span log (shared with the ambient install), e.g. for
+    /// recording per-device pool timeline spans alongside the run spans.
+    pub fn span_log(&self) -> Arc<ompx_sim::span::SpanLog> {
+        Arc::clone(&self.log)
+    }
+
+    /// Everything recorded on the session timeline so far.
+    pub fn spans(&self) -> Vec<ompx_sim::span::Span> {
+        self.log.spans()
+    }
+
+    /// Run one (app, system, version) cell with `faults` attached
+    /// ambiently (plus the cell's analyzer write-set hints), catching
+    /// panics so callers can assert the chaos trichotomy. With
+    /// `faults: None` the cell runs fault-free (e.g. to establish expected
+    /// checksums). The fault state is the *caller's*: sticky errors and
+    /// the device-loss flag persist across calls that reuse it, which is
+    /// how a serving pool models a lost member.
+    pub fn run_cell(
+        &self,
+        app: &str,
+        sys: System,
+        version: ProgVersion,
+        scale: WorkScale,
+        faults: Option<&Arc<ompx_sim::fault::FaultState>>,
+    ) -> Result<RunOutcome, String> {
+        *ACTIVE_FAULTS.lock().unwrap_or_else(|e| e.into_inner()) = faults.map(Arc::clone);
+        let write_sets: Vec<_> = crate::summaries::write_set(app, version).into_iter().collect();
+        *ACTIVE_WRITE_SETS.lock().unwrap_or_else(|e| e.into_inner()) = Some(Arc::new(write_sets));
+        /// Clears the per-cell ambient state even if the cell panics in a
+        /// way `catch_unwind` cannot contain (e.g. panic-in-drop aborts
+        /// excluded, a resumed unwind still runs this).
+        struct CellInstall;
+        impl Drop for CellInstall {
+            fn drop(&mut self) {
+                *ACTIVE_FAULTS.lock().unwrap_or_else(|e| e.into_inner()) = None;
+                *ACTIVE_WRITE_SETS.lock().unwrap_or_else(|e| e.into_inner()) = None;
+            }
+        }
+        let _uninstall = CellInstall;
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            crate::run_app(app, sys, version, scale)
+        }))
+        .map_err(|payload| {
+            if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "panic with non-string payload".to_string()
+            }
+        })
+    }
+}
+
+impl Drop for ChaosSession {
+    fn drop(&mut self) {
+        ompx_sim::span::SpanLog::uninstall();
+    }
+}
+
 /// Run one (app, system, version) cell under a seeded [`FaultPlan`],
 /// catching panics so the chaos harness can assert the trichotomy —
 /// success, clean typed error, or validated fallback — and returning what
 /// the injection did plus the full span timeline (where retries and
 /// fallbacks are visible). Shares the sanitized-run gate so chaos runs
 /// cannot cross-pollute sanitized/traced/profiled runs through the ambient
-/// statics.
+/// statics. One-shot wrapper over [`ChaosSession`].
 ///
 /// [`FaultPlan`]: ompx_sim::fault::FaultPlan
 pub fn run_app_chaos(
@@ -330,39 +419,10 @@ pub fn run_app_chaos(
     scale: WorkScale,
     plan: ompx_sim::fault::FaultPlan,
 ) -> (Result<RunOutcome, String>, FaultReport, Vec<ompx_sim::span::Span>) {
-    let _gate = SANITIZED_RUN_GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let session = ChaosSession::begin();
     let faults = ompx_sim::fault::FaultState::new(plan);
-    *ACTIVE_FAULTS.lock().unwrap_or_else(|e| e.into_inner()) = Some(Arc::clone(&faults));
-    let write_sets: Vec<_> = crate::summaries::write_set(app, version).into_iter().collect();
-    *ACTIVE_WRITE_SETS.lock().unwrap_or_else(|e| e.into_inner()) = Some(Arc::new(write_sets));
-    let log = ompx_sim::span::SpanLog::new();
-    ompx_sim::span::SpanLog::install(Arc::clone(&log));
-    /// Uninstalls the ambient fault state, write-set hints, and span log
-    /// even on panic.
-    struct ChaosInstall;
-    impl Drop for ChaosInstall {
-        fn drop(&mut self) {
-            *ACTIVE_FAULTS.lock().unwrap_or_else(|e| e.into_inner()) = None;
-            *ACTIVE_WRITE_SETS.lock().unwrap_or_else(|e| e.into_inner()) = None;
-            ompx_sim::span::SpanLog::uninstall();
-        }
-    }
-    let _uninstall = ChaosInstall;
-
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        crate::run_app(app, sys, version, scale)
-    }))
-    .map_err(|payload| {
-        if let Some(s) = payload.downcast_ref::<&str>() {
-            (*s).to_string()
-        } else if let Some(s) = payload.downcast_ref::<String>() {
-            s.clone()
-        } else {
-            "panic with non-string payload".to_string()
-        }
-    });
-
-    let spans = log.spans();
+    let result = session.run_cell(app, sys, version, scale, Some(&faults));
+    let spans = session.spans();
     let report = FaultReport {
         snapshot: faults.snapshot(),
         retry_spans: spans.iter().filter(|s| s.cat == ompx_sim::span::SpanCategory::Retry).count(),

@@ -32,8 +32,8 @@ pub mod summaries;
 pub mod xsbench;
 
 pub use common::{
-    run_app_chaos, run_app_sanitized, with_span_log, BenchInfo, FaultReport, ProgVersion,
-    RunOutcome, System, WorkScale,
+    run_app_chaos, run_app_sanitized, with_span_log, BenchInfo, ChaosSession, FaultReport,
+    ProgVersion, RunOutcome, System, WorkScale,
 };
 
 /// All six applications' metadata in the paper's Figure 6 order.

@@ -18,6 +18,9 @@ use ompx_sim::span::{Span, Track};
 const HOST_TID: u32 = 0;
 const TASKS_TID: u32 = 1;
 const STREAM_TID_BASE: u32 = 10;
+/// Pool-device tracks (`ompx-serve`) sit above the stream range so a trace
+/// with both keeps stable ids: `tid 1000 + member index`.
+const DEVICE_TID_BASE: u32 = 1000;
 
 /// Minimal JSON string escaping (quotes, backslashes, control chars).
 fn esc(s: &str) -> String {
@@ -43,12 +46,14 @@ fn tid_of(track: &Track, stream_order: &[u64]) -> u32 {
             let k = stream_order.iter().position(|s| s == id).unwrap_or(0);
             STREAM_TID_BASE + k as u32
         }
+        Track::Device(member) => DEVICE_TID_BASE + *member as u32,
     }
 }
 
 /// Render `spans` as a Chrome trace-event JSON document.
 pub fn to_chrome_trace(spans: &[Span]) -> String {
     let mut stream_order: Vec<u64> = Vec::new();
+    let mut device_order: Vec<usize> = Vec::new();
     let mut saw_tasks = false;
     for s in spans {
         match s.track {
@@ -57,10 +62,16 @@ pub fn to_chrome_trace(spans: &[Span]) -> String {
                     stream_order.push(id);
                 }
             }
+            Track::Device(member) => {
+                if !device_order.contains(&member) {
+                    device_order.push(member);
+                }
+            }
             Track::Tasks => saw_tasks = true,
             Track::Host => {}
         }
     }
+    device_order.sort_unstable();
 
     let mut events: Vec<String> = Vec::new();
     // Thread-name metadata first, so viewers label tracks before any event.
@@ -72,6 +83,12 @@ pub fn to_chrome_trace(spans: &[Span]) -> String {
         events.push(meta_thread_name(
             STREAM_TID_BASE + k as u32,
             &format!("stream {id} (interop obj)"),
+        ));
+    }
+    for member in &device_order {
+        events.push(meta_thread_name(
+            DEVICE_TID_BASE + *member as u32,
+            &format!("pool device {member}"),
         ));
     }
 

@@ -75,22 +75,19 @@ fn bare_launch_reports_through_host_api_session() {
     assert_eq!(d.block.0, 1, "only the second block overhangs");
 }
 
-/// Deprecation shim: the legacy per-launch `racecheck()` flag predates the
-/// sanitizer. Without a session it still aborts the launch (covered by the
-/// core crate's `should_panic` test); with a racecheck session attached the
-/// same race is recorded as a structured finding and the launch completes.
+/// Racecheck is session-scoped (the legacy per-launch `racecheck()` flag
+/// was removed): a racecheck session attached through the hostrt entry
+/// points records shared-memory races on a `BareTarget` launch as
+/// structured findings and the launch completes.
 #[test]
-fn legacy_racecheck_flag_records_into_session_instead_of_panicking() {
+fn racecheck_session_records_bare_target_races() {
     let omp = ompx::runtime_nvidia();
     ompx_sanitizer_enable(&omp, ToolMask::RACECHECK);
-    let mut bt = ompx::BareTarget::new(&omp, "legacy_race")
-        .num_teams([1u32])
-        .thread_limit([4u32])
-        .racecheck();
+    let mut bt = ompx::BareTarget::new(&omp, "session_race").num_teams([1u32]).thread_limit([4u32]);
     let slot = bt.shared_array::<u32>(1);
     bt.launch(move |tc| {
         let tile = tc.shared::<u32>(slot);
-        tc.swrite(&tile, 0, tc.thread_id_x() as u32); // no panic under session
+        tc.swrite(&tile, 0, tc.thread_id_x() as u32); // recorded, not a panic
     })
     .unwrap();
     let findings = ompx_sanitizer_disable(&omp);

@@ -1,0 +1,122 @@
+//! Deterministic seeded load generator: thousands of clients of mixed
+//! hecbench traffic.
+//!
+//! Every field of every request is a pure splitmix64 function of `(seed,
+//! client id)`, so a load replay is bit-reproducible. Arrivals are
+//! generated normalized to `[0, 1)` and scaled by the server once it has
+//! estimated the pool's capacity — the generator does not need to know
+//! how long the apps take.
+
+use crate::request::Request;
+use ompx_hecbench::common::{item_uniform, splitmix64};
+use ompx_hecbench::ProgVersion;
+
+/// Shape of one load run.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadSpec {
+    /// Seed for every random decision in the load.
+    pub seed: u64,
+    /// Number of clients; each issues exactly one request.
+    pub clients: u32,
+    /// Number of tenants the clients are spread over (`client % tenants`).
+    pub tenants: u32,
+}
+
+/// Traffic mix in percent. Weighted by measured per-run cost so a
+/// 1000-client load stays fast: `stencil` and `aidw` are the two
+/// expensive apps at test scale and ride along at low rates, the
+/// launch-bound apps that batching actually helps dominate.
+const APP_WEIGHTS: [(&str, u64); 6] =
+    [("xsbench", 30), ("rsbench", 22), ("su3", 22), ("adam", 18), ("aidw", 6), ("stencil", 2)];
+
+/// Version mix in percent: mostly the prototype, a native slice, and a
+/// thin traditional-OpenMP slice (the generic path is the slowest).
+const VERSION_WEIGHTS: [(ProgVersion, u64); 3] =
+    [(ProgVersion::Ompx, 70), (ProgVersion::Native, 20), (ProgVersion::Omp, 10)];
+
+fn weighted<T: Copy>(table: &[(T, u64)], roll: u64) -> T {
+    let total: u64 = table.iter().map(|(_, w)| w).sum();
+    let mut x = roll % total;
+    for (item, w) in table {
+        if x < *w {
+            return *item;
+        }
+        x -= w;
+    }
+    table[table.len() - 1].0
+}
+
+/// Generate the offered load with arrivals normalized to `[0, 1)`,
+/// sorted by `(arrival, id)`.
+pub fn offered(spec: &LoadSpec) -> Vec<Request> {
+    assert!(spec.tenants > 0, "need at least one tenant");
+    let mut reqs: Vec<Request> = (0..spec.clients)
+        .map(|id| {
+            let h = splitmix64(spec.seed ^ splitmix64(0x6C6F_6164 ^ u64::from(id)));
+            Request {
+                id,
+                tenant: id % spec.tenants,
+                app: weighted(&APP_WEIGHTS, h % 1_000),
+                version: weighted(&VERSION_WEIGHTS, (h >> 10) % 1_000),
+                arrival_s: item_uniform(spec.seed ^ 0xA881, u64::from(id)),
+            }
+        })
+        .collect();
+    reqs.sort_by(|a, b| a.arrival_s.total_cmp(&b.arrival_s).then(a.id.cmp(&b.id)));
+    reqs
+}
+
+/// Scale normalized arrivals onto a modeled horizon in seconds.
+pub fn scale_arrivals(reqs: &mut [Request], horizon_s: f64) {
+    for r in reqs {
+        r.arrival_s *= horizon_s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> LoadSpec {
+        LoadSpec { seed: 2023, clients: 1000, tenants: 8 }
+    }
+
+    #[test]
+    fn load_is_deterministic() {
+        let a = offered(&spec());
+        let b = offered(&spec());
+        assert_eq!(a.len(), 1000);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.app, y.app);
+            assert_eq!(x.version, y.version);
+            assert_eq!(x.arrival_s.to_bits(), y.arrival_s.to_bits());
+        }
+    }
+
+    #[test]
+    fn mix_respects_weights() {
+        let reqs = offered(&spec());
+        let count = |app: &str| reqs.iter().filter(|r| r.app == app).count();
+        // The expensive tail apps must stay rare, the cheap heads common.
+        assert!(count("stencil") < 60, "stencil {}", count("stencil"));
+        assert!(count("aidw") < 120, "aidw {}", count("aidw"));
+        assert!(count("xsbench") > 200, "xsbench {}", count("xsbench"));
+        // All six apps and all eight tenants appear.
+        for (app, _) in APP_WEIGHTS {
+            assert!(count(app) > 0, "{app} missing");
+        }
+        for t in 0..8 {
+            assert!(reqs.iter().any(|r| r.tenant == t));
+        }
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_scale() {
+        let mut reqs = offered(&spec());
+        assert!(reqs.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s));
+        assert!(reqs.iter().all(|r| (0.0..1.0).contains(&r.arrival_s)));
+        scale_arrivals(&mut reqs, 40.0);
+        assert!(reqs.iter().all(|r| (0.0..40.0).contains(&r.arrival_s)));
+    }
+}

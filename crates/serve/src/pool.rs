@@ -1,0 +1,178 @@
+//! The device pool: a fixed set of logical pool members with mixed
+//! A100/MI250 profiles, each carrying its own persistent fault state.
+//!
+//! A member is *logical*: the hecbench apps construct their own simulated
+//! devices per run, so what a pool member owns is the part that must
+//! persist across requests — the profile kind (which picks the modeled
+//! system) and the member's [`FaultState`], whose sticky device-loss flag
+//! is exactly the "this pool member died" bit. Chaos schedules are
+//! decorrelated across members via [`FaultPlan::for_pool_member`], and
+//! only member 0 inherits a plan's scheduled device loss, so an injected
+//! loss is a single-member event the rest of the pool must survive.
+//!
+//! [`FaultState`]: ompx_sim::fault::FaultState
+//! [`FaultPlan::for_pool_member`]: ompx_sim::fault::FaultPlan::for_pool_member
+
+use ompx_hecbench::common::splitmix64;
+use ompx_hecbench::System;
+use ompx_sim::fault::{FaultPlan, FaultState};
+use std::sync::Arc;
+
+/// Hardware profile of one pool member.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceKind {
+    /// NVIDIA A100 — requests routed here run the `System::Nvidia` model.
+    A100,
+    /// AMD MI250 — requests routed here run the `System::Amd` model.
+    Mi250,
+}
+
+impl DeviceKind {
+    /// The benchmark system a member of this kind executes as.
+    pub fn system(self) -> System {
+        match self {
+            DeviceKind::A100 => System::Nvidia,
+            DeviceKind::Mi250 => System::Amd,
+        }
+    }
+
+    /// Stable report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            DeviceKind::A100 => "a100",
+            DeviceKind::Mi250 => "mi250",
+        }
+    }
+}
+
+/// One member of the serving pool.
+pub struct PoolMember {
+    pub kind: DeviceKind,
+    /// The member's persistent fault state (`None` = fault-free pool).
+    /// Sticky errors and the device-loss flag survive across requests.
+    pub faults: Option<Arc<FaultState>>,
+    /// Set once the server observes the member's fault state report loss;
+    /// a lost member takes no further traffic.
+    pub lost: bool,
+    /// Modeled time until which the member is executing.
+    pub busy_until_s: f64,
+    /// True while a batch is in flight.
+    pub busy: bool,
+    /// Requests served (batch followers included).
+    pub served: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Total modeled busy seconds.
+    pub busy_s: f64,
+}
+
+/// The pool: members plus the sharding function.
+pub struct DevicePool {
+    pub members: Vec<PoolMember>,
+    seed: u64,
+}
+
+impl DevicePool {
+    /// Build a pool of `kinds`, deriving each member's fault state from
+    /// `base_plan` with [`FaultPlan::for_pool_member`] so schedules do not
+    /// correlate across members.
+    pub fn new(kinds: &[DeviceKind], base_plan: Option<&FaultPlan>, seed: u64) -> DevicePool {
+        let members = kinds
+            .iter()
+            .enumerate()
+            .map(|(m, &kind)| PoolMember {
+                kind,
+                faults: base_plan.map(|p| FaultState::new(p.for_pool_member(m))),
+                lost: false,
+                busy_until_s: 0.0,
+                busy: false,
+                served: 0,
+                batches: 0,
+                busy_s: 0.0,
+            })
+            .collect();
+        DevicePool { members, seed }
+    }
+
+    /// Members still taking traffic, in index order.
+    pub fn alive(&self) -> Vec<usize> {
+        (0..self.members.len()).filter(|&m| !self.members[m].lost).collect()
+    }
+
+    /// Shard a tenant onto a live member: a pure hash of `(pool seed,
+    /// tenant)` reduced over the *alive* set, so the mapping is sticky
+    /// while the pool is stable and every tenant re-homes deterministically
+    /// the moment a member is lost. `None` when the whole pool is gone.
+    pub fn home_of(&self, tenant: u32) -> Option<usize> {
+        let alive = self.alive();
+        if alive.is_empty() {
+            return None;
+        }
+        let h = splitmix64(self.seed ^ 0x7365_7276_653A_7468 ^ u64::from(tenant));
+        Some(alive[(h % alive.len() as u64) as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds() -> Vec<DeviceKind> {
+        vec![DeviceKind::A100, DeviceKind::A100, DeviceKind::Mi250, DeviceKind::Mi250]
+    }
+
+    #[test]
+    fn kinds_map_to_systems() {
+        assert_eq!(DeviceKind::A100.system(), System::Nvidia);
+        assert_eq!(DeviceKind::Mi250.system(), System::Amd);
+    }
+
+    #[test]
+    fn sharding_is_sticky_and_rehomes_off_lost_members() {
+        let mut pool = DevicePool::new(&kinds(), None, 42);
+        let homes: Vec<_> = (0..64).map(|t| pool.home_of(t).unwrap()).collect();
+        // Sticky: same pool, same answer.
+        for (t, &h) in homes.iter().enumerate() {
+            assert_eq!(pool.home_of(t as u32), Some(h));
+        }
+        // All members get some tenant at this fan-out.
+        for m in 0..4 {
+            assert!(homes.contains(&m), "member {m} unused: {homes:?}");
+        }
+        // Losing member 0 re-homes exactly its tenants; others stay put...
+        pool.members[0].lost = true;
+        for (t, &h) in homes.iter().enumerate() {
+            let now = pool.home_of(t as u32).unwrap();
+            assert_ne!(now, 0, "tenant {t} routed to a lost member");
+            if h != 0 {
+                // ...modulo the hash reduction changing with the alive set;
+                // what we require is determinism and no lost-member routing.
+                assert_eq!(now, pool.home_of(t as u32).unwrap());
+            }
+        }
+        // Whole pool gone: nowhere to route.
+        for m in &mut pool.members {
+            m.lost = true;
+        }
+        assert_eq!(pool.home_of(3), None);
+    }
+
+    #[test]
+    fn fault_states_are_per_member_and_decorrelated() {
+        let plan = FaultPlan::seeded(7, 0.5).with_device_loss_at(3);
+        let pool = DevicePool::new(&kinds(), Some(&plan), 42);
+        let states: Vec<_> = pool.members.iter().map(|m| m.faults.clone().unwrap()).collect();
+        // Distinct Arcs — a sticky error on one member cannot leak into
+        // another member's state.
+        for i in 0..states.len() {
+            for j in i + 1..states.len() {
+                assert!(!Arc::ptr_eq(&states[i], &states[j]));
+            }
+        }
+        // Only member 0 inherits the scheduled loss.
+        assert!(pool.members[0].faults.as_ref().unwrap().plan().lose_device_at.is_some());
+        for m in 1..4 {
+            assert!(pool.members[m].faults.as_ref().unwrap().plan().lose_device_at.is_none());
+        }
+    }
+}

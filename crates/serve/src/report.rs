@@ -1,0 +1,275 @@
+//! Aggregation of a serve run into the `BENCH_serve.json` report:
+//! throughput, modeled latency percentiles, batch shape, per-device
+//! utilization, and per-tenant fairness shares.
+//!
+//! Every field is a pure function of the (deterministic) responses, so
+//! the rendered JSON is byte-stable for a fixed seed — which is what the
+//! CI baseline gate diffs against.
+
+use crate::pool::DevicePool;
+use crate::request::{Response, Verdict};
+
+/// Per-member rollup.
+#[derive(Debug, Clone)]
+pub struct DeviceSummary {
+    pub member: usize,
+    pub kind: &'static str,
+    pub served: u64,
+    pub batches: u64,
+    pub busy_s: f64,
+    pub lost: bool,
+}
+
+/// Per-tenant rollup. `share` is this tenant's fraction of all served
+/// (executed) requests — the fairness accounting the scheduler optimizes.
+#[derive(Debug, Clone)]
+pub struct TenantShare {
+    pub tenant: u32,
+    pub served: u64,
+    pub rejected: u64,
+    pub share: f64,
+}
+
+/// The full serve report.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    pub seed: u64,
+    pub clients: u32,
+    pub tenants: u32,
+    pub total: u64,
+    pub completed: u64,
+    pub success: u64,
+    pub fallback: u64,
+    pub typed_error: u64,
+    pub rejected: u64,
+    pub corrupt: u64,
+    /// Modeled time of the last completion.
+    pub makespan_s: f64,
+    /// Completed requests per modeled second.
+    pub throughput_rps: f64,
+    pub latency_p50_s: f64,
+    pub latency_p99_s: f64,
+    pub batch_count: u64,
+    pub batch_max: u64,
+    pub batch_mean: f64,
+    pub devices: Vec<DeviceSummary>,
+    pub fairness: Vec<TenantShare>,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Roll a run's responses and final pool state into the report.
+pub fn build(
+    seed: u64,
+    clients: u32,
+    tenants: u32,
+    responses: &[Response],
+    pool: &DevicePool,
+) -> ServeReport {
+    let mut success = 0u64;
+    let mut fallback = 0u64;
+    let mut typed_error = 0u64;
+    let mut rejected = 0u64;
+    let mut corrupt = 0u64;
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut served_per_tenant = vec![0u64; tenants as usize];
+    let mut rejected_per_tenant = vec![0u64; tenants as usize];
+    for r in responses {
+        match &r.verdict {
+            Verdict::Success => success += 1,
+            Verdict::Fallback => fallback += 1,
+            Verdict::TypedError(_) => typed_error += 1,
+            Verdict::Rejected(_) => rejected += 1,
+            Verdict::Corrupt(_) => corrupt += 1,
+        }
+        if matches!(r.verdict, Verdict::Rejected(_)) {
+            rejected_per_tenant[r.tenant as usize] += 1;
+        } else {
+            latencies.push(r.latency_s());
+            served_per_tenant[r.tenant as usize] += 1;
+        }
+    }
+    latencies.sort_by(f64::total_cmp);
+    let completed = latencies.len() as u64;
+    let makespan_s = responses.iter().map(|r| r.done_s).fold(0.0f64, f64::max);
+    let throughput_rps = if makespan_s > 0.0 { completed as f64 / makespan_s } else { 0.0 };
+
+    // Batch shape, one sample per executed batch: responses carry the
+    // batch size per member request, so count each (member, done) once
+    // via the per-pool batch counters and the per-response max.
+    let batch_count: u64 = pool.members.iter().map(|m| m.batches).sum();
+    let batch_max = responses.iter().map(|r| r.batch_size as u64).max().unwrap_or(0);
+    let batch_mean = if batch_count > 0 { completed as f64 / batch_count as f64 } else { 0.0 };
+
+    let devices = pool
+        .members
+        .iter()
+        .enumerate()
+        .map(|(i, m)| DeviceSummary {
+            member: i,
+            kind: m.kind.label(),
+            served: m.served,
+            batches: m.batches,
+            busy_s: m.busy_s,
+            lost: m.lost,
+        })
+        .collect();
+    let fairness = (0..tenants)
+        .map(|t| TenantShare {
+            tenant: t,
+            served: served_per_tenant[t as usize],
+            rejected: rejected_per_tenant[t as usize],
+            share: if completed > 0 {
+                served_per_tenant[t as usize] as f64 / completed as f64
+            } else {
+                0.0
+            },
+        })
+        .collect();
+
+    ServeReport {
+        seed,
+        clients,
+        tenants,
+        total: responses.len() as u64,
+        completed,
+        success,
+        fallback,
+        typed_error,
+        rejected,
+        corrupt,
+        makespan_s,
+        throughput_rps,
+        latency_p50_s: percentile(&latencies, 0.50),
+        latency_p99_s: percentile(&latencies, 0.99),
+        batch_count,
+        batch_max,
+        batch_mean,
+        devices,
+        fairness,
+    }
+}
+
+/// Render the report as the `BENCH_serve.json` document (schema
+/// `ompx-bench-serve-v1`). Field order and float formatting are fixed so
+/// the output is byte-stable for baseline diffing.
+pub fn render_json(r: &ServeReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"ompx-bench-serve-v1\",\n");
+    out.push_str(&format!("  \"seed\": {},\n", r.seed));
+    out.push_str(&format!("  \"clients\": {},\n", r.clients));
+    out.push_str(&format!("  \"tenants\": {},\n", r.tenants));
+    out.push_str(&format!("  \"total\": {},\n", r.total));
+    out.push_str(&format!("  \"completed\": {},\n", r.completed));
+    out.push_str(&format!(
+        "  \"verdicts\": {{\"success\":{},\"fallback\":{},\"typed_error\":{},\"rejected\":{},\"corrupt\":{}}},\n",
+        r.success, r.fallback, r.typed_error, r.rejected, r.corrupt
+    ));
+    out.push_str(&format!("  \"makespan_s\": {:e},\n", r.makespan_s));
+    out.push_str(&format!("  \"throughput_rps\": {:e},\n", r.throughput_rps));
+    out.push_str(&format!("  \"latency_p50_s\": {:e},\n", r.latency_p50_s));
+    out.push_str(&format!("  \"latency_p99_s\": {:e},\n", r.latency_p99_s));
+    out.push_str(&format!(
+        "  \"batches\": {{\"count\":{},\"max\":{},\"mean\":{:.4}}},\n",
+        r.batch_count, r.batch_max, r.batch_mean
+    ));
+    out.push_str("  \"devices\": [\n");
+    for (i, d) in r.devices.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"member\":{},\"kind\":\"{}\",\"served\":{},\"batches\":{},\"busy_s\":{:e},\"lost\":{}}}{}\n",
+            d.member,
+            d.kind,
+            d.served,
+            d.batches,
+            d.busy_s,
+            d.lost,
+            if i + 1 < r.devices.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"fairness\": [\n");
+    for (i, t) in r.fairness.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"tenant\":{},\"served\":{},\"rejected\":{},\"share\":{:.4}}}{}\n",
+            t.tenant,
+            t.served,
+            t.rejected,
+            t.share,
+            if i + 1 < r.fairness.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::{DeviceKind, DevicePool};
+    use ompx_hecbench::ProgVersion;
+
+    fn resp(
+        id: u32,
+        tenant: u32,
+        verdict: Verdict,
+        arrival: f64,
+        done: f64,
+        batch: usize,
+    ) -> Response {
+        Response {
+            id,
+            tenant,
+            app: "adam",
+            version: ProgVersion::Ompx,
+            member: Some(0),
+            batch_size: batch,
+            verdict,
+            arrival_s: arrival,
+            done_s: done,
+            checksum: Some(1),
+        }
+    }
+
+    #[test]
+    fn report_buckets_and_percentiles() {
+        let mut pool = DevicePool::new(&[DeviceKind::A100], None, 1);
+        pool.members[0].batches = 2;
+        pool.members[0].served = 3;
+        let responses = vec![
+            resp(0, 0, Verdict::Success, 0.0, 1.0, 2),
+            resp(1, 1, Verdict::Success, 0.0, 1.0, 2),
+            resp(2, 0, Verdict::Fallback, 1.0, 4.0, 1),
+            resp(3, 1, Verdict::Rejected("full".into()), 2.0, 2.0, 1),
+        ];
+        let r = build(9, 4, 2, &responses, &pool);
+        assert_eq!((r.success, r.fallback, r.rejected, r.corrupt), (2, 1, 1, 0));
+        assert_eq!(r.completed, 3);
+        assert_eq!(r.total, 4);
+        assert!((r.makespan_s - 4.0).abs() < 1e-12);
+        assert!((r.latency_p50_s - 1.0).abs() < 1e-12);
+        assert!((r.latency_p99_s - 3.0).abs() < 1e-12);
+        assert_eq!(r.batch_count, 2);
+        assert_eq!(r.batch_max, 2);
+        assert!((r.batch_mean - 1.5).abs() < 1e-12);
+        let shares: f64 = r.fairness.iter().map(|t| t.share).sum();
+        assert!((shares - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_is_stable_and_tagged() {
+        let pool = DevicePool::new(&[DeviceKind::A100, DeviceKind::Mi250], None, 1);
+        let responses = vec![resp(0, 0, Verdict::Success, 0.0, 2.0, 1)];
+        let r = build(9, 1, 1, &responses, &pool);
+        let a = render_json(&r);
+        let b = render_json(&r);
+        assert_eq!(a, b);
+        assert!(a.contains("\"schema\": \"ompx-bench-serve-v1\""));
+        assert!(a.contains("\"kind\":\"a100\""));
+        assert!(a.contains("\"kind\":\"mi250\""));
+    }
+}

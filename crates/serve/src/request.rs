@@ -1,0 +1,122 @@
+//! The serving wire types: requests, verdicts, responses.
+
+use ompx_hecbench::ProgVersion;
+
+/// One client's launch request: run one hecbench app (a stand-in for "a
+/// target region") and return its checksum. Arrival time is modeled
+/// seconds on the shared serving clock.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Dense request id (also the client id: one request per client).
+    pub id: u32,
+    /// The tenant this client belongs to. Sharding is by tenant, so all
+    /// of a tenant's traffic lands on one pool member at a time.
+    pub tenant: u32,
+    /// Which hecbench app the request runs.
+    pub app: &'static str,
+    /// Which program version of the app.
+    pub version: ProgVersion,
+    /// Modeled arrival time in seconds.
+    pub arrival_s: f64,
+}
+
+/// Short version tag that does not depend on the executing system (a
+/// request is version-tagged before it is sharded to a device).
+pub fn version_tag(v: ProgVersion) -> &'static str {
+    match v {
+        ProgVersion::Ompx => "ompx",
+        ProgVersion::Omp => "omp",
+        ProgVersion::Native => "native",
+        ProgVersion::NativeVendor => "native-vendor",
+    }
+}
+
+/// What the server concluded about one request. Executed requests must
+/// land in the chaos trichotomy (`Success` / `TypedError` / `Fallback`);
+/// `Rejected` is backpressure (never executed) and `Corrupt` is the
+/// must-never-happen fourth state the harness asserts against.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// Ran clean, checksum matched the fault-free expectation.
+    Success,
+    /// Ran through the retry/fallback machinery and still produced the
+    /// bit-identical expected checksum.
+    Fallback,
+    /// Failed with a clean typed error (injected fault, lost device).
+    TypedError(String),
+    /// Shed at admission by the backpressure policy.
+    Rejected(String),
+    /// Completed with a wrong checksum — a trichotomy violation.
+    Corrupt(String),
+}
+
+impl Verdict {
+    /// Stable bucket label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Verdict::Success => "success",
+            Verdict::Fallback => "fallback",
+            Verdict::TypedError(_) => "typed_error",
+            Verdict::Rejected(_) => "rejected",
+            Verdict::Corrupt(_) => "corrupt",
+        }
+    }
+}
+
+/// The server's answer to one request.
+#[derive(Debug, Clone)]
+pub struct Response {
+    pub id: u32,
+    pub tenant: u32,
+    pub app: &'static str,
+    pub version: ProgVersion,
+    /// Pool member that executed the request (`None` when rejected).
+    pub member: Option<usize>,
+    /// Size of the batch this request was served in (1 when rejected).
+    pub batch_size: usize,
+    pub verdict: Verdict,
+    /// Copied from the request.
+    pub arrival_s: f64,
+    /// Modeled completion (or rejection) time.
+    pub done_s: f64,
+    /// The app checksum the execution produced, when it completed.
+    pub checksum: Option<u64>,
+}
+
+impl Response {
+    /// Modeled queueing + service latency.
+    pub fn latency_s(&self) -> f64 {
+        self.done_s - self.arrival_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdict_labels_are_stable() {
+        assert_eq!(Verdict::Success.label(), "success");
+        assert_eq!(Verdict::Fallback.label(), "fallback");
+        assert_eq!(Verdict::TypedError("x".into()).label(), "typed_error");
+        assert_eq!(Verdict::Rejected("x".into()).label(), "rejected");
+        assert_eq!(Verdict::Corrupt("x".into()).label(), "corrupt");
+    }
+
+    #[test]
+    fn latency_is_done_minus_arrival() {
+        let r = Response {
+            id: 0,
+            tenant: 0,
+            app: "adam",
+            version: ProgVersion::Ompx,
+            member: Some(1),
+            batch_size: 2,
+            verdict: Verdict::Success,
+            arrival_s: 1.5,
+            done_s: 4.0,
+            checksum: Some(7),
+        };
+        assert!((r.latency_s() - 2.5).abs() < 1e-12);
+    }
+}

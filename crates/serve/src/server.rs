@@ -1,0 +1,496 @@
+//! The serving loop: event-driven dispatch over modeled time.
+//!
+//! Requests arrive on a modeled clock, are admitted or shed by the
+//! backpressure policy, shard by tenant onto pool members, and execute in
+//! batches. *Execution* is real — every batch runs its hecbench cell
+//! through [`ChaosSession::run_cell`] with the member's persistent fault
+//! state attached — while *time* is modeled: each member carries a busy
+//! cursor in modeled seconds and a batch occupies it for the run's
+//! reported time, with followers paying only the non-launch fraction
+//! (batching amortizes per-launch setup, which is the whole point for
+//! launch-bound kernels like Adam's). The loop itself is single-threaded
+//! and seeded, so a serve run is bit-reproducible end to end.
+//!
+//! [`ChaosSession::run_cell`]: ompx_hecbench::ChaosSession
+
+use crate::loadgen::{self, LoadSpec};
+use crate::pool::{DeviceKind, DevicePool};
+use crate::request::{version_tag, Request, Response, Verdict};
+use ompx_hecbench::{ChaosSession, ProgVersion, RunOutcome, System, WorkScale};
+use ompx_sim::fault::FaultPlan;
+use ompx_sim::span::{Span, SpanCategory};
+use std::collections::{BinaryHeap, HashMap};
+
+/// Server shape and policies.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Seed for sharding (load generation seeds separately via [`LoadSpec`]).
+    pub seed: u64,
+    /// Pool member profiles in member-index order.
+    pub devices: Vec<DeviceKind>,
+    /// Largest batch one dispatch may coalesce.
+    pub max_batch: usize,
+    /// Admission cap: a request is shed when the total backlog is at the
+    /// cap *and* its tenant holds at least its fair slice of it.
+    pub queue_cap: usize,
+    /// Offered load relative to estimated pool capacity (>1 keeps queues
+    /// non-empty so batching and backpressure actually engage).
+    pub load_factor: f64,
+    /// Base chaos plan; member `m` runs `plan.for_pool_member(m)`.
+    /// `None` = fault-free serving.
+    pub plan: Option<FaultPlan>,
+    /// Functional workload scale for the executed cells.
+    pub scale: WorkScale,
+}
+
+impl ServeConfig {
+    /// The default pool: two A100s and two MI250s, batch 8, cap 64,
+    /// offered at 1.3× capacity, fault-free.
+    pub fn new(seed: u64) -> ServeConfig {
+        ServeConfig {
+            seed,
+            devices: vec![DeviceKind::A100, DeviceKind::A100, DeviceKind::Mi250, DeviceKind::Mi250],
+            max_batch: 8,
+            queue_cap: 64,
+            load_factor: 1.3,
+            plan: None,
+            scale: WorkScale::Test,
+        }
+    }
+}
+
+/// Everything a serve run produced.
+pub struct ServeResult {
+    /// One response per request, sorted by request id.
+    pub responses: Vec<Response>,
+    /// Final pool state (served counts, busy seconds, loss flags).
+    pub pool: DevicePool,
+    /// The full session timeline, including per-member `Track::Device`
+    /// batch spans and the retry/fallback spans the runs recorded.
+    pub spans: Vec<Span>,
+    /// Fault-free checksum per app, established by the warmup runs.
+    pub expected: HashMap<&'static str, u64>,
+    /// The modeled arrival horizon the load was scaled onto.
+    pub horizon_s: f64,
+}
+
+/// Modeled service cost of a failed (typed-error) dispatch, as a fraction
+/// of the app's fault-free run estimate: the device was occupied while
+/// the launch path discovered the error.
+const FAIL_SERVICE_FRAC: f64 = 0.1;
+
+/// Event-queue entry. Frees sort before arrivals at equal time so a
+/// freed member immediately sees work that arrives on the same tick.
+struct Ev {
+    t: f64,
+    rank: u8,
+    seq: u64,
+    kind: EvKind,
+}
+
+enum EvKind {
+    Arrival(usize),
+    Free(usize),
+}
+
+impl PartialEq for Ev {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for Ev {}
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap: reverse so the earliest event pops.
+        other.t.total_cmp(&self.t).then(other.rank.cmp(&self.rank)).then(other.seq.cmp(&self.seq))
+    }
+}
+
+struct Server<'a> {
+    cfg: &'a ServeConfig,
+    session: &'a ChaosSession,
+    reqs: &'a [Request],
+    pool: DevicePool,
+    /// Per-member backlog of request indices (kept in push order; all
+    /// selection re-sorts by `(arrival, id)` explicitly).
+    queues: Vec<Vec<usize>>,
+    tenant_queued: Vec<usize>,
+    tenant_served: Vec<u64>,
+    total_queued: usize,
+    expected: HashMap<&'static str, u64>,
+    estimate: HashMap<&'static str, f64>,
+    responses: Vec<Response>,
+    events: BinaryHeap<Ev>,
+    seq: u64,
+}
+
+impl<'a> Server<'a> {
+    fn push_event(&mut self, t: f64, rank: u8, kind: EvKind) {
+        self.seq += 1;
+        self.events.push(Ev { t, rank, seq: self.seq, kind });
+    }
+
+    fn respond_unexecuted(&mut self, i: usize, t: f64, verdict: Verdict) {
+        let r = &self.reqs[i];
+        self.responses.push(Response {
+            id: r.id,
+            tenant: r.tenant,
+            app: r.app,
+            version: r.version,
+            member: None,
+            batch_size: 1,
+            verdict,
+            arrival_s: r.arrival_s,
+            done_s: t,
+            checksum: None,
+        });
+    }
+
+    /// Admission: shed when the backlog is full and this tenant already
+    /// holds its fair slice of it, so one tenant's burst cannot starve
+    /// the rest of the pool's queue space.
+    fn admit(&mut self, i: usize, t: f64) {
+        let r = &self.reqs[i];
+        let Some(m) = self.pool.home_of(r.tenant) else {
+            self.respond_unexecuted(i, t, Verdict::TypedError("no live pool members".into()));
+            return;
+        };
+        let per_tenant_cap = (self.cfg.queue_cap / self.tenant_queued.len().max(1)).max(1);
+        if self.total_queued >= self.cfg.queue_cap
+            && self.tenant_queued[r.tenant as usize] >= per_tenant_cap
+        {
+            self.respond_unexecuted(
+                i,
+                t,
+                Verdict::Rejected(format!(
+                    "backlog {} at cap {}, tenant {} over fair slice {per_tenant_cap}",
+                    self.total_queued, self.cfg.queue_cap, r.tenant
+                )),
+            );
+            return;
+        }
+        self.queues[m].push(i);
+        self.tenant_queued[r.tenant as usize] += 1;
+        self.total_queued += 1;
+        if !self.pool.members[m].busy {
+            self.dispatch(m, t);
+        }
+    }
+
+    /// Drain a lost member's backlog back through admission (its tenants
+    /// now hash to live members).
+    fn rehome(&mut self, m: usize, t: f64) {
+        let mut drained = std::mem::take(&mut self.queues[m]);
+        drained.sort_by_key(|&i| (self.reqs[i].arrival_s.to_bits(), self.reqs[i].id));
+        for i in drained {
+            self.tenant_queued[self.reqs[i].tenant as usize] -= 1;
+            self.total_queued -= 1;
+            self.admit(i, t);
+        }
+    }
+
+    /// Pick and execute one batch on an idle member at modeled time `t`.
+    fn dispatch(&mut self, m: usize, t: f64) {
+        if self.pool.members[m].lost {
+            self.rehome(m, t);
+            return;
+        }
+        if self.queues[m].is_empty() {
+            return;
+        }
+        // Fairness: among tenants with work queued here, serve the one
+        // with the fewest completed requests (ties to the lower tenant id).
+        let tenant = self.queues[m]
+            .iter()
+            .map(|&i| self.reqs[i].tenant)
+            .min_by_key(|&tn| (self.tenant_served[tn as usize], tn))
+            .expect("non-empty queue");
+        let head = self.queues[m]
+            .iter()
+            .copied()
+            .filter(|&i| self.reqs[i].tenant == tenant)
+            .min_by_key(|&i| (self.reqs[i].arrival_s.to_bits(), self.reqs[i].id))
+            .expect("tenant has queued work");
+        let (app, version) = (self.reqs[head].app, self.reqs[head].version);
+        // Batch: the head plus up to max_batch-1 queued requests for the
+        // same (app, version) — cross-tenant, since they run the same
+        // kernels — in arrival order.
+        let mut batch: Vec<usize> = self.queues[m]
+            .iter()
+            .copied()
+            .filter(|&i| self.reqs[i].app == app && self.reqs[i].version == version && i != head)
+            .collect();
+        batch.sort_by_key(|&i| (self.reqs[i].arrival_s.to_bits(), self.reqs[i].id));
+        batch.truncate(self.cfg.max_batch.saturating_sub(1));
+        batch.insert(0, head);
+        self.queues[m].retain(|i| !batch.contains(i));
+        for &i in &batch {
+            self.tenant_queued[self.reqs[i].tenant as usize] -= 1;
+            self.total_queued -= 1;
+        }
+
+        let sys = self.pool.members[m].kind.system();
+        let (service, verdict, checksum) = self.execute(m, sys, app, version, batch.len());
+        let member = &mut self.pool.members[m];
+        member.busy = true;
+        member.busy_until_s = t + service;
+        member.busy_s += service;
+        member.batches += 1;
+        member.served += batch.len() as u64;
+        let done = t + service;
+        self.session.span_log().device_span(
+            m,
+            &format!("{app}/{} ×{}", version_tag(version), batch.len()),
+            SpanCategory::Kernel,
+            t,
+            service,
+            None,
+        );
+        for &i in &batch {
+            let r = &self.reqs[i];
+            self.tenant_served[r.tenant as usize] += 1;
+            self.responses.push(Response {
+                id: r.id,
+                tenant: r.tenant,
+                app: r.app,
+                version: r.version,
+                member: Some(m),
+                batch_size: batch.len(),
+                verdict: verdict.clone(),
+                arrival_s: r.arrival_s,
+                done_s: done,
+                checksum,
+            });
+        }
+        // A loss surfaced by this batch: quarantine the member and move
+        // its remaining backlog before anything else lands on it.
+        if let Some(f) = &self.pool.members[m].faults {
+            if f.device_lost() && !self.pool.members[m].lost {
+                self.pool.members[m].lost = true;
+                self.rehome(m, done);
+            }
+        }
+        self.push_event(done, 0, EvKind::Free(m));
+    }
+
+    /// Run the batch's cell once (followers share the leader's execution
+    /// — they asked for the same kernels) and classify the verdict.
+    fn execute(
+        &self,
+        m: usize,
+        sys: System,
+        app: &'static str,
+        version: ProgVersion,
+        batch_len: usize,
+    ) -> (f64, Verdict, Option<u64>) {
+        let faults = self.pool.members[m].faults.as_ref();
+        let before_fallbacks = faults.map(|f| f.snapshot().fallbacks.len()).unwrap_or(0);
+        let result = self.session.run_cell(app, sys, version, self.cfg.scale, faults);
+        match result {
+            Err(msg) => (self.estimate[app] * FAIL_SERVICE_FRAC, Verdict::TypedError(msg), None),
+            Ok(o) => {
+                let service = batch_service(&o, batch_len);
+                let verdict = if o.checksum == self.expected[app] {
+                    let after_fallbacks = faults.map(|f| f.snapshot().fallbacks.len()).unwrap_or(0);
+                    if after_fallbacks > before_fallbacks {
+                        Verdict::Fallback
+                    } else {
+                        Verdict::Success
+                    }
+                } else {
+                    Verdict::Corrupt(format!(
+                        "checksum {:#x} != expected {:#x}",
+                        o.checksum, self.expected[app]
+                    ))
+                };
+                (service, verdict, Some(o.checksum))
+            }
+        }
+    }
+}
+
+/// Modeled busy time of a batch: the leader pays the full reported run,
+/// each follower only the non-launch fraction — per-launch setup is
+/// issued once for the coalesced batch. Launch-bound apps (Adam) amortize
+/// almost everything; kernel-bound apps gain little, as they should.
+fn batch_service(outcome: &RunOutcome, batch_len: usize) -> f64 {
+    let launch_frac = if outcome.kernel_model.seconds > 0.0 {
+        (outcome.kernel_model.t_launch / outcome.kernel_model.seconds).clamp(0.0, 0.9)
+    } else {
+        0.0
+    };
+    outcome.reported_seconds * (1.0 + (batch_len as f64 - 1.0) * (1.0 - launch_frac))
+}
+
+/// Run one complete serve load: warm up fault-free expectations, scale
+/// the offered arrivals to the pool's estimated capacity, then replay the
+/// load event by event. Deterministic for a fixed `(cfg, spec)`.
+pub fn serve(cfg: &ServeConfig, spec: &LoadSpec) -> ServeResult {
+    assert!(!cfg.devices.is_empty(), "pool needs at least one device");
+    assert!(cfg.max_batch >= 1, "max_batch must be at least 1");
+    let session = ChaosSession::begin();
+    let mut reqs = loadgen::offered(spec);
+
+    // Warmup: one fault-free run per distinct app in the mix pins the
+    // expected checksum (bit-identical across versions and systems — the
+    // repo's verify suite guarantees it, and it is what makes re-homing
+    // a tenant across A100/MI250 checksum-transparent) and yields the
+    // capacity estimate the horizon is derived from.
+    let mut expected = HashMap::new();
+    let mut estimate = HashMap::new();
+    for r in &reqs {
+        if expected.contains_key(r.app) {
+            continue;
+        }
+        let warm = session
+            .run_cell(r.app, System::Nvidia, ProgVersion::Ompx, cfg.scale, None)
+            .unwrap_or_else(|e| panic!("fault-free warmup of {} failed: {e}", r.app));
+        expected.insert(r.app, warm.checksum);
+        estimate.insert(r.app, warm.reported_seconds);
+    }
+    let total_work: f64 = reqs.iter().map(|r| estimate[r.app]).sum();
+    let horizon_s = total_work / cfg.devices.len() as f64 / cfg.load_factor;
+    loadgen::scale_arrivals(&mut reqs, horizon_s);
+
+    let n_tenants = spec.tenants as usize;
+    let mut server = Server {
+        cfg,
+        session: &session,
+        reqs: &reqs,
+        pool: DevicePool::new(&cfg.devices, cfg.plan.as_ref(), cfg.seed),
+        queues: vec![Vec::new(); cfg.devices.len()],
+        tenant_queued: vec![0; n_tenants],
+        tenant_served: vec![0; n_tenants],
+        total_queued: 0,
+        expected,
+        estimate,
+        responses: Vec::with_capacity(reqs.len()),
+        events: BinaryHeap::new(),
+        seq: 0,
+    };
+    for (idx, r) in reqs.iter().enumerate() {
+        server.push_event(r.arrival_s, 1, EvKind::Arrival(idx));
+    }
+    while let Some(ev) = server.events.pop() {
+        match ev.kind {
+            EvKind::Arrival(i) => server.admit(i, ev.t),
+            EvKind::Free(m) => {
+                server.pool.members[m].busy = false;
+                server.dispatch(m, ev.t);
+            }
+        }
+    }
+    assert_eq!(server.total_queued, 0, "drained event loop left queued work");
+
+    let mut responses = server.responses;
+    responses.sort_by_key(|r| r.id);
+    let spans = session.spans();
+    ServeResult { responses, pool: server.pool, spans, expected: server.expected, horizon_s }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ompx_sim::span::Track;
+
+    fn small_spec(clients: u32) -> LoadSpec {
+        LoadSpec { seed: 11, clients, tenants: 4 }
+    }
+
+    #[test]
+    fn fault_free_serving_is_all_success_and_deterministic() {
+        let cfg = ServeConfig::new(5);
+        let a = serve(&cfg, &small_spec(40));
+        let b = serve(&cfg, &small_spec(40));
+        assert_eq!(a.responses.len(), 40);
+        for (x, y) in a.responses.iter().zip(&b.responses) {
+            assert_eq!(x.verdict, y.verdict);
+            assert_eq!(x.member, y.member);
+            assert_eq!(x.checksum, y.checksum);
+            assert_eq!(x.done_s.to_bits(), y.done_s.to_bits());
+        }
+        for r in &a.responses {
+            match &r.verdict {
+                Verdict::Success | Verdict::Rejected(_) => {}
+                other => panic!("fault-free run produced {other:?}"),
+            }
+            if r.verdict == Verdict::Success {
+                assert_eq!(r.checksum, Some(a.expected[r.app]));
+                assert!(r.latency_s() >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn batching_engages_under_load_and_lands_device_spans() {
+        // Oversubscribed: 40 requests, one device, so the backlog builds
+        // and same-app requests coalesce.
+        let mut cfg = ServeConfig::new(5);
+        cfg.devices = vec![DeviceKind::A100];
+        cfg.load_factor = 3.0;
+        cfg.queue_cap = 100;
+        let out = serve(&cfg, &small_spec(40));
+        let max_batch = out.responses.iter().map(|r| r.batch_size).max().unwrap();
+        assert!(max_batch > 1, "no batch formed: {max_batch}");
+        assert!(max_batch <= cfg.max_batch);
+        let device_spans = out.spans.iter().filter(|s| s.track == Track::Device(0)).count();
+        assert_eq!(device_spans as u64, out.pool.members[0].batches);
+        // Batch accounting: spans cover exactly the member's busy time.
+        let span_s: f64 =
+            out.spans.iter().filter(|s| s.track == Track::Device(0)).map(|s| s.dur_s).sum();
+        assert!((span_s - out.pool.members[0].busy_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn injected_loss_quarantines_one_member_and_trichotomy_holds() {
+        let mut cfg = ServeConfig::new(5);
+        // A loss early in member 0's schedule; other members get quiet
+        // plans (rate 0, loss stripped by for_pool_member).
+        cfg.plan = Some(FaultPlan::seeded(99, 0.0).with_device_loss_at(2));
+        let out = serve(&cfg, &small_spec(60));
+        assert!(out.pool.members[0].lost, "member 0 should observe its loss");
+        for m in 1..out.pool.members.len() {
+            assert!(!out.pool.members[m].lost);
+        }
+        for r in &out.responses {
+            match &r.verdict {
+                Verdict::Success
+                | Verdict::Fallback
+                | Verdict::TypedError(_)
+                | Verdict::Rejected(_) => {}
+                Verdict::Corrupt(msg) => panic!("corruption on request {}: {msg}", r.id),
+            }
+            // Anything that completed cleanly has the expected checksum.
+            if matches!(r.verdict, Verdict::Success | Verdict::Fallback) {
+                assert_eq!(r.checksum, Some(out.expected[r.app]));
+            }
+        }
+        // The pool kept serving: most traffic still completes.
+        let ok = out
+            .responses
+            .iter()
+            .filter(|r| matches!(r.verdict, Verdict::Success | Verdict::Fallback))
+            .count();
+        assert!(ok > 40, "only {ok}/60 completed after single-member loss");
+    }
+
+    #[test]
+    fn backpressure_sheds_with_fair_slices() {
+        let mut cfg = ServeConfig::new(5);
+        cfg.devices = vec![DeviceKind::A100];
+        cfg.queue_cap = 4;
+        cfg.max_batch = 1;
+        cfg.load_factor = 4.0;
+        let out = serve(&cfg, &small_spec(60));
+        let rejected =
+            out.responses.iter().filter(|r| matches!(r.verdict, Verdict::Rejected(_))).count();
+        assert!(rejected > 0, "cap 4 at 4x load must shed");
+        // Everything is accounted for exactly once.
+        assert_eq!(out.responses.len(), 60);
+    }
+}

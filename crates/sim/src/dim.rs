@@ -140,9 +140,6 @@ pub struct LaunchConfig {
     pub shared_slots: Vec<SharedSlotDecl>,
     /// Extra dynamic shared memory in bytes (CUDA's third chevron argument).
     pub dynamic_shared_bytes: usize,
-    /// Enable the shared-memory race detector for this launch
-    /// (the `compute-sanitizer --tool racecheck` analogue).
-    pub racecheck: bool,
 }
 
 impl LaunchConfig {
@@ -153,7 +150,6 @@ impl LaunchConfig {
             block: block.into(),
             shared_slots: Vec::new(),
             dynamic_shared_bytes: 0,
-            racecheck: false,
         }
     }
 
@@ -187,12 +183,6 @@ impl LaunchConfig {
     /// Builder-style setter for dynamic shared memory bytes.
     pub fn with_dynamic_shared(mut self, bytes: usize) -> Self {
         self.dynamic_shared_bytes = bytes;
-        self
-    }
-
-    /// Enable the shared-memory race detector for this launch.
-    pub fn with_racecheck(mut self) -> Self {
-        self.racecheck = true;
         self
     }
 

@@ -148,13 +148,13 @@ fn run_bounded(
     stats.snapshot()
 }
 
-/// Shared-memory tooling configuration for a launch: the legacy
-/// `LaunchConfig::racecheck` flag or an attached session both turn the
-/// shadow cells on; only a session turns the init bitmap on.
+/// Shared-memory tooling configuration for a launch: an attached sanitizer
+/// session with racecheck turns the shadow cells on, one with initcheck
+/// turns the init bitmap on.
 fn block_shared(cfg: &LaunchConfig, san: Option<&LaunchSan>) -> BlockShared {
     let session_race = san.is_some_and(|s| s.state().tool_on(ToolMask::RACECHECK));
     let session_init = san.is_some_and(|s| s.state().tool_on(ToolMask::INITCHECK));
-    BlockShared::with_tools(&cfg.shared_slots, cfg.racecheck || session_race, session_init)
+    BlockShared::with_tools(&cfg.shared_slots, session_race, session_init)
 }
 
 fn host_parallelism() -> usize {

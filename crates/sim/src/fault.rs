@@ -229,6 +229,28 @@ impl FaultPlan {
         self
     }
 
+    /// Derive the plan for pool member `member` of a device pool: same
+    /// rate, burst, kind restriction and explicit injections, but an
+    /// *independent* seed (splitmix64 over the base seed and the member
+    /// index). A serving pool installs one base plan and derives each
+    /// member's from it, so chaos schedules do not correlate across
+    /// devices — member 0 faulting at operation `n` says nothing about
+    /// member 1's operation `n`. `lose_device_at` is kept only on member
+    /// 0 by default (losing *every* pool device at the same operation is
+    /// exactly the correlated schedule this exists to avoid); use
+    /// [`FaultPlan::with_device_loss_at`] after deriving to lose a
+    /// specific member.
+    pub fn for_pool_member(&self, member: usize) -> FaultPlan {
+        let mut plan = self.clone();
+        plan.seed = splitmix64(
+            self.seed ^ splitmix64(0x6F6D_7078_5F73_7276 ^ (member as u64).wrapping_mul(0x9E37)),
+        );
+        if member != 0 {
+            plan.lose_device_at = None;
+        }
+        plan
+    }
+
     /// True when the plan can never fire (the fault-free baseline).
     pub fn is_quiet(&self) -> bool {
         self.rate <= 0.0 && self.lose_device_at.is_none() && self.injections.is_empty()
@@ -634,6 +656,26 @@ mod tests {
             st.snapshot().injected.iter().all(|e| e.site == FaultSite::Launch),
             "only the launch site can produce watchdogs"
         );
+    }
+
+    #[test]
+    fn pool_member_plans_are_decorrelated() {
+        let base = FaultPlan::seeded(20260808, 0.15).with_device_loss_at(40);
+        let fired = |plan: FaultPlan| {
+            let st = FaultState::new(FaultPlan { lose_device_at: None, ..plan });
+            (0..400).map(|_| st.roll(FaultSite::Launch).is_some()).collect::<Vec<_>>()
+        };
+        let m0 = fired(base.for_pool_member(0));
+        let m1 = fired(base.for_pool_member(1));
+        let m2 = fired(base.for_pool_member(2));
+        assert_ne!(m0, m1, "members 0 and 1 share a schedule");
+        assert_ne!(m1, m2, "members 1 and 2 share a schedule");
+        // Derivation is deterministic: the same member gets the same seed.
+        assert_eq!(base.for_pool_member(1), base.for_pool_member(1));
+        // Rate/burst/injections carry over; device loss stays on member 0.
+        assert_eq!(base.for_pool_member(3).rate, base.rate);
+        assert_eq!(base.for_pool_member(0).lose_device_at, Some(40));
+        assert_eq!(base.for_pool_member(3).lose_device_at, None);
     }
 
     #[test]

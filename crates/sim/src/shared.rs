@@ -38,12 +38,6 @@ impl BlockShared {
         Self::with_tools(decls, false, false)
     }
 
-    /// Materialize the layout, optionally with race-detector shadow state
-    /// (see [`SharedView::racecheck_access`]).
-    pub fn with_racecheck(decls: &[SharedSlotDecl], racecheck: bool) -> Self {
-        Self::with_tools(decls, racecheck, false)
-    }
-
     /// Materialize the layout with any combination of per-cell tooling
     /// state: racecheck shadow cells and/or the initcheck bitmap.
     pub fn with_tools(decls: &[SharedSlotDecl], racecheck: bool, initcheck: bool) -> Self {
@@ -132,8 +126,8 @@ pub enum AccessKind {
 
 /// A shared-memory race observed by the shadow-cell detector: the previous
 /// conflicting access on the same cell in the same barrier epoch. The
-/// caller ([`crate::thread::ThreadCtx`]) decides whether to panic (legacy
-/// `LaunchConfig::racecheck`) or record a diagnostic (sanitizer session).
+/// caller ([`crate::thread::ThreadCtx`]) records it as a diagnostic on the
+/// attached sanitizer session.
 #[derive(Debug, Clone, Copy)]
 pub struct SharedRace {
     pub cell: usize,

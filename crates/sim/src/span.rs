@@ -35,6 +35,10 @@ pub enum Track {
     Stream(u64),
     /// OpenMP hidden helper threads (`nowait` target tasks).
     Tasks,
+    /// One member of a serving pool (`ompx-serve`), by pool-member index.
+    /// Each member gets its own timeline so a serve run renders as one
+    /// track per device, like a multi-GPU `nsys` capture.
+    Device(usize),
 }
 
 /// What kind of work a span represents (drives profiler coloring/legend).
@@ -224,6 +228,30 @@ impl SpanLog {
         });
     }
 
+    /// Record a span on a pool-device track at an explicit timeline
+    /// offset (the serving layer knows each member's modeled-busy cursor).
+    /// `flow_in` ties the span to the submission that enqueued it.
+    pub fn device_span(
+        &self,
+        device: usize,
+        name: &str,
+        cat: SpanCategory,
+        start_s: f64,
+        dur_s: f64,
+        flow_in: Option<u64>,
+    ) {
+        self.record(Span {
+            track: Track::Device(device),
+            name: name.to_string(),
+            cat,
+            start_s,
+            dur_s,
+            bytes: 0,
+            flow_in,
+            flow_out: None,
+        });
+    }
+
     /// Record a helper-thread (task) span at the task track's cursor,
     /// advancing it by `dur_s`.
     pub fn task_span(&self, name: &str, dur_s: f64, flow_in: Option<u64>) {
@@ -306,6 +334,17 @@ mod tests {
         if let Some(p) = prev {
             SpanLog::install(p);
         }
+    }
+
+    #[test]
+    fn device_spans_land_on_their_member_track() {
+        let log = SpanLog::new();
+        let flow = log.host_op_flow("dispatch batch", SpanCategory::Task, 0.0, 0);
+        log.device_span(2, "xsbench/ompx x4", SpanCategory::Kernel, 1e-3, 5e-4, Some(flow));
+        let spans = log.spans();
+        assert_eq!(spans[1].track, Track::Device(2));
+        assert_eq!(spans[1].flow_in, Some(flow));
+        assert!((spans[1].start_s - 1e-3).abs() < 1e-18);
     }
 
     #[test]

@@ -56,4 +56,9 @@ cargo run --release -q -p ompx-bench --bin profile -- --test-scale \
     --baseline results/profile_baseline.json \
     --bench-out results/BENCH_prof.json >/dev/null
 
+echo "==> serve smoke + baseline gate (1000 clients, fixed seed, injected faults)"
+cargo run --release -q -p ompx-bench --bin serve -- \
+    --clients 1000 --tenants 8 \
+    --baseline results/BENCH_serve.json >/dev/null
+
 echo "CI OK"
