@@ -411,6 +411,19 @@ fn lookup_in<'a>(
 fn check_bounds(g: &Ground, valid: &[&Access], out: &mut Vec<Finding>) {
     let sym0 = |v: &Var| Sym { var: v.clone(), tag: 0 };
     for a in valid {
+        if a.imprecise {
+            out.push(finding(
+                "boundscheck",
+                &g.kernel,
+                access_loc(a),
+                Severity::Warning,
+                "SummaryImprecise: access is a conservative whole-buffer over-approximation \
+                 (non-affine index degraded during extraction); bounds hold by construction \
+                 but nothing tighter is proven"
+                    .into(),
+            ));
+            continue;
+        }
         let len = match &a.space {
             Space::Global(l) => g.buffer_len(l).unwrap(),
             Space::Shared(s) => g.shared_len(*s).unwrap(),
@@ -509,6 +522,21 @@ fn check_pair(g: &Ground, a1: &Access, a2: &Access, out: &mut Vec<Finding>) {
     if shared && g.block_size() == 1 {
         return; // single-thread blocks cannot have same-block pairs
     }
+    if a1.imprecise || a2.imprecise {
+        // An opaque over-approximated access can neither be proven disjoint
+        // nor shown to collide; surface the imprecision instead of a
+        // definite race verdict.
+        out.push(finding(
+            "racecheck",
+            &g.kernel,
+            format!("{} vs {} in phase `{}`", access_loc(a1), access_loc(a2), a1.phase),
+            Severity::Warning,
+            "SummaryImprecise: pair involves a conservative over-approximated access; \
+             disjointness can be neither proven nor refuted"
+                .into(),
+        ));
+        return;
+    }
     let sym_of = |tag: u8| {
         move |v: &Var| {
             let t = if shared && matches!(v, Var::BidX | Var::BidY | Var::BidZ) { 0 } else { tag };
@@ -602,7 +630,14 @@ mod tests {
     }
 
     fn acc(mode: Mode, index: Expr, guard: Pred) -> Access {
-        Access { space: Space::Global("buf".into()), mode, index, guard, phase: "main".into() }
+        Access {
+            space: Space::Global("buf".into()),
+            mode,
+            index,
+            guard,
+            imprecise: false,
+            phase: "main".into(),
+        }
     }
 
     fn errors(f: &[Finding]) -> usize {
@@ -631,6 +666,7 @@ mod tests {
             mode: Mode::Write,
             index: item() * c(18) + free("m"),
             guard: lt(item(), param("n")),
+            imprecise: false,
             phase: "main".into(),
         }]);
         s.frees = vec![FreeDecl { name: "m".into(), lo: c(0), hi: c(17) }];
@@ -658,6 +694,7 @@ mod tests {
             mode: Mode::Read,
             index: free("t") * c(64) + tid_x(),
             guard: lt(free("t") * c(64) + tid_x(), param("n")),
+            imprecise: false,
             phase: "main".into(),
         }]);
         s.frees =
@@ -727,6 +764,7 @@ mod tests {
                 mode: Mode::Write,
                 index: tid_x() + c(3),
                 guard: Pred::True,
+                imprecise: false,
                 phase: "load".into(),
             },
             Access {
@@ -734,6 +772,7 @@ mod tests {
                 mode: Mode::Write,
                 index: tid_x(),
                 guard: lt(tid_x(), c(3)),
+                imprecise: false,
                 phase: "load".into(),
             },
             Access {
@@ -741,6 +780,7 @@ mod tests {
                 mode: Mode::Write,
                 index: tid_x() + c(259),
                 guard: lt(tid_x(), c(3)),
+                imprecise: false,
                 phase: "load".into(),
             },
         ];
@@ -761,6 +801,7 @@ mod tests {
             mode: Mode::Write,
             index: mod_e(tid_x(), c(8)),
             guard: Pred::True,
+            imprecise: false,
             phase: "load".into(),
         }];
         let f = analyze(&s, 32);
@@ -775,10 +816,41 @@ mod tests {
             mode: Mode::Read,
             index: c(0),
             guard: Pred::True,
+            imprecise: false,
             phase: "main".into(),
         }];
         let f = analyze(&s, 32);
         assert!(f.iter().any(|f| f.tool == "summarycheck" && f.message.contains("ghost")), "{f:?}");
+    }
+
+    #[test]
+    fn imprecise_access_warns_instead_of_erroring() {
+        // An opaque whole-buffer read (extraction's non-affine fallback)
+        // overlapping a precise write: no Error, but SummaryImprecise
+        // warnings from both boundscheck and racecheck.
+        let mut s = base(vec![]);
+        s.frees = vec![FreeDecl { name: "o".into(), lo: c(0), hi: param("n") - c(1) }];
+        s.accesses = vec![
+            Access {
+                space: Space::Global("buf".into()),
+                mode: Mode::Read,
+                index: free("o"),
+                guard: Pred::True,
+                imprecise: true,
+                phase: "main".into(),
+            },
+            acc(Mode::Write, item(), lt(item(), param("n"))),
+        ];
+        let f = analyze(&s, 32);
+        assert_eq!(errors(&f), 0, "{f:?}");
+        assert!(
+            f.iter().any(|f| f.tool == "boundscheck" && f.message.contains("SummaryImprecise")),
+            "{f:?}"
+        );
+        assert!(
+            f.iter().any(|f| f.tool == "racecheck" && f.message.contains("SummaryImprecise")),
+            "{f:?}"
+        );
     }
 
     #[test]

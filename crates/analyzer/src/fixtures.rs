@@ -1,18 +1,25 @@
-//! Deliberately unsound summaries (and one deliberately lying summary)
+//! Deliberately unsound summaries (and a few deliberately lying ones)
 //! proving that every analyzer diagnostic actually fires. CI runs each
-//! fixture through the `analyze` binary and requires a non-zero exit.
+//! fixture through the `analyze` binary and requires a non-zero exit for
+//! error-severity fixtures (warning fixtures are grepped for their
+//! expected message instead).
 
 use crate::check::analyze;
 use crate::expr::*;
-use crate::replay::validate_events;
+use crate::replay::{validate_events, validate_replay};
 use crate::summary::*;
-use ompx_sanitizer::Finding;
+use ompx_sanitizer::{Finding, Severity};
 
-/// One named fixture and the tool expected to flag it.
+/// One named fixture and the diagnostic expected to flag it.
 pub struct Fixture {
     pub name: &'static str,
     /// The tool whose diagnostic the fixture demonstrates.
     pub tool: &'static str,
+    /// The severity the expected diagnostic carries.
+    pub severity: Severity,
+    /// A substring the expected diagnostic's message must contain
+    /// (empty = any message), keeping same-tool fixtures distinct.
+    pub expect: &'static str,
     run: fn() -> Vec<Finding>,
 }
 
@@ -23,15 +30,77 @@ impl Fixture {
 }
 
 /// Every fixture, one per diagnostic family.
-pub const ALL: [Fixture; 8] = [
-    Fixture { name: "race-global", tool: "racecheck", run: race_global },
-    Fixture { name: "race-shared", tool: "racecheck", run: race_shared },
-    Fixture { name: "barrier-divergence", tool: "synccheck", run: barrier_divergence },
-    Fixture { name: "oob-read", tool: "boundscheck", run: oob_read },
-    Fixture { name: "launch-oversized-block", tool: "launchcheck", run: oversized_block },
-    Fixture { name: "omp-multidim-grid", tool: "launchcheck", run: omp_multidim_grid },
-    Fixture { name: "flags-drift", tool: "synccheck", run: flags_drift },
-    Fixture { name: "summary-mismatch", tool: "summarycheck", run: summary_mismatch },
+pub const ALL: [Fixture; 10] = [
+    Fixture {
+        name: "race-global",
+        tool: "racecheck",
+        severity: Severity::Error,
+        expect: "",
+        run: race_global,
+    },
+    Fixture {
+        name: "race-shared",
+        tool: "racecheck",
+        severity: Severity::Error,
+        expect: "",
+        run: race_shared,
+    },
+    Fixture {
+        name: "barrier-divergence",
+        tool: "synccheck",
+        severity: Severity::Error,
+        expect: "",
+        run: barrier_divergence,
+    },
+    Fixture {
+        name: "oob-read",
+        tool: "boundscheck",
+        severity: Severity::Error,
+        expect: "",
+        run: oob_read,
+    },
+    Fixture {
+        name: "launch-oversized-block",
+        tool: "launchcheck",
+        severity: Severity::Error,
+        expect: "",
+        run: oversized_block,
+    },
+    Fixture {
+        name: "omp-multidim-grid",
+        tool: "launchcheck",
+        severity: Severity::Error,
+        expect: "",
+        run: omp_multidim_grid,
+    },
+    Fixture {
+        name: "flags-drift",
+        tool: "synccheck",
+        severity: Severity::Error,
+        expect: "",
+        run: flags_drift,
+    },
+    Fixture {
+        name: "summary-mismatch",
+        tool: "summarycheck",
+        severity: Severity::Error,
+        expect: "not predicted",
+        run: summary_mismatch,
+    },
+    Fixture {
+        name: "barrier-wrong-order",
+        tool: "summarycheck",
+        severity: Severity::Error,
+        expect: "barrier ordering mismatch",
+        run: barrier_wrong_order,
+    },
+    Fixture {
+        name: "gather-nonaffine",
+        tool: "boundscheck",
+        severity: Severity::Warning,
+        expect: "SummaryImprecise",
+        run: gather_nonaffine,
+    },
 ];
 
 pub fn by_name(name: &str) -> Option<&'static Fixture> {
@@ -66,6 +135,7 @@ fn global_write(index: Expr, guard: Pred) -> Access {
         mode: Mode::Write,
         index,
         guard,
+        imprecise: false,
         phase: "main".into(),
     }
 }
@@ -88,6 +158,7 @@ fn race_shared() -> Vec<Finding> {
         mode: Mode::Write,
         index: mod_e(tid_x(), c(8)),
         guard: Pred::True,
+        imprecise: false,
         phase: "load".into(),
     }];
     analyze(&s, 32)
@@ -109,6 +180,7 @@ fn oob_read() -> Vec<Finding> {
         mode: Mode::Read,
         index: item() + c(1),
         guard: lt(item(), param("n")),
+        imprecise: false,
         phase: "main".into(),
     }];
     analyze(&s, 32)
@@ -183,6 +255,7 @@ fn summary_mismatch() -> Vec<Finding> {
             mode: Mode::Write,
             index: item(),
             guard: lt(item(), param("n")),
+            imprecise: false,
             phase: "main".into(),
         }],
         barriers: vec![],
@@ -191,20 +264,150 @@ fn summary_mismatch() -> Vec<Finding> {
     validate_events(&s, &s.valuations[0], &trace.events())
 }
 
+/// A summary with *correct access coverage* but the wrong barrier
+/// ordering: the real kernel writes the tile before the barrier and reads
+/// it after, while the summary claims the reverse. Set-coverage replay
+/// cannot see the lie; the barrier-ordering pass must.
+fn barrier_wrong_order() -> Vec<Finding> {
+    use ompx_sim::memtrace::MemTrace;
+    use ompx_sim::prelude::*;
+    use std::sync::Arc;
+
+    let dev = Device::new(DeviceProfile::test_small());
+    let trace = MemTrace::new();
+    dev.attach_mem_trace(Arc::clone(&trace));
+    let mut cfg = LaunchConfig::new(1u32, 4u32);
+    let slot = cfg.shared_array::<u32>(4);
+    let k = Kernel::with_flags(
+        "wrong-order",
+        ompx_sim::exec::KernelFlags { uses_block_sync: true, uses_warp_ops: false },
+        move |tc: &mut ThreadCtx| {
+            let tile = tc.shared::<u32>(slot);
+            let t = tc.thread_rank();
+            tc.swrite(&tile, t, t as u32);
+            tc.sync_threads();
+            let _ = tc.sread(&tile, t);
+        },
+    );
+    dev.launch(&k, cfg).unwrap();
+    dev.detach_mem_trace();
+
+    let s = KernelSummary {
+        kernel: "wrong-order".into(),
+        app: "fixture".into(),
+        version: "ompx".into(),
+        launch: LaunchShape { block: (4, 1, 1), grid: [c(1), c(1), c(1)] },
+        flags: SummaryFlags { uses_block_sync: true, uses_warp_ops: false },
+        warp_ops: false,
+        domain: Domain::OnePerThread,
+        frees: vec![],
+        buffers: vec![],
+        shared: vec![SharedDecl { slot: 0, len: c(4) }],
+        // Coverage-identical to the kernel, but phases are swapped: the
+        // summary claims the read happens before the barrier.
+        accesses: vec![
+            Access {
+                space: Space::Shared(0),
+                mode: Mode::Read,
+                index: tid_x(),
+                guard: Pred::True,
+                phase: "before".into(),
+                imprecise: false,
+            },
+            Access {
+                space: Space::Shared(0),
+                mode: Mode::Write,
+                index: tid_x(),
+                guard: Pred::True,
+                phase: "after".into(),
+                imprecise: false,
+            },
+        ],
+        barriers: vec![Barrier { guard: Pred::True, phase: "before".into() }],
+        valuations: vec![Valuation::new("test", &[])],
+    };
+    validate_replay(&s, &s.valuations[0], &trace.events(), &trace.barrier_events())
+}
+
+/// A data-dependent gather (`tbl[idx[i]]`) traced on the simulator and run
+/// through summary *extraction*: the non-affine read has no fit, so the
+/// draft degrades it to a conservative whole-buffer access that `analyze`
+/// surfaces as a `SummaryImprecise` warning — never a bogus proof.
+fn gather_nonaffine() -> Vec<Finding> {
+    use crate::extract::{extract, ExtractSpec, Trace};
+    use ompx_sim::memtrace::MemTrace;
+    use ompx_sim::prelude::*;
+    use std::sync::Arc;
+
+    let run = |n: usize| -> Trace {
+        let dev = Device::new(DeviceProfile::test_small());
+        let idx_host: Vec<u32> = (0..n).map(|i| ((i * 7 + 3) % n) as u32).collect();
+        let idx = dev.alloc_from(&idx_host);
+        idx.set_label("idx");
+        let tbl = dev.alloc_from(&vec![1.0f32; n]);
+        tbl.set_label("tbl");
+        let out = dev.alloc::<f32>(n);
+        out.set_label("out");
+        let trace = MemTrace::new();
+        dev.attach_mem_trace(Arc::clone(&trace));
+        let k = Kernel::new("gather", {
+            let (idx, tbl, out) = (idx.clone(), tbl.clone(), out.clone());
+            move |tc: &mut ThreadCtx| {
+                let i = tc.global_thread_id_x();
+                if i < n {
+                    let j = tc.read(&idx, i) as usize;
+                    let v = tc.read(&tbl, j);
+                    tc.write(&out, i, v);
+                }
+            }
+        });
+        dev.launch(&k, LaunchConfig::linear(n, 4)).unwrap();
+        dev.detach_mem_trace();
+        Trace { events: trace.events(), barriers: trace.barrier_events() }
+    };
+
+    let spec = ExtractSpec {
+        kernel: "gather".into(),
+        app: "fixture".into(),
+        version: "ompx".into(),
+        launch: LaunchShape { block: (4, 1, 1), grid: [ceil_div(param("n"), 4), c(1), c(1)] },
+        flags: SummaryFlags::default(),
+        warp_ops: false,
+        domain: Domain::OnePerThread,
+        buffers: vec![
+            BufferDecl { name: "idx".into(), len: param("n") },
+            BufferDecl { name: "tbl".into(), len: param("n") },
+            BufferDecl { name: "out".into(), len: param("n") },
+        ],
+        shared: vec![],
+        fit: vec![Valuation::new("fit-a", &[("n", 12)]), Valuation::new("fit-b", &[("n", 20)])],
+        validate: vec![Valuation::new("big", &[("n", 33)])],
+    };
+    let ext = extract(&spec, &[run(12), run(20)]).expect("gather extraction");
+    assert!(
+        ext.summary.accesses.iter().any(|a| a.imprecise),
+        "gather fixture must degrade to an opaque access"
+    );
+    analyze(&ext.summary, 32)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ompx_sanitizer::Severity;
 
     #[test]
     fn every_fixture_fires_its_diagnostic() {
         for fx in &ALL {
             let findings = fx.run();
             assert!(
-                findings.iter().any(|f| f.tool == fx.tool && f.severity == Severity::Error),
-                "fixture `{}` expected a {} error, got {findings:?}",
+                findings.iter().any(|f| f.tool == fx.tool
+                    && f.severity == fx.severity
+                    && f.message.contains(fx.expect)),
+                "fixture `{}` expected a {} {:?} containing {:?}, got {findings:?}",
                 fx.name,
-                fx.tool
+                fx.tool,
+                fx.severity,
+                fx.expect
             );
         }
     }

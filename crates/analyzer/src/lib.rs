@@ -35,13 +35,18 @@
 pub mod affine;
 pub mod check;
 pub mod expr;
+pub mod extract;
 pub mod fixtures;
 pub mod interval;
 pub mod replay;
 pub mod summary;
 
 pub use check::analyze;
-pub use replay::validate_events;
+pub use extract::{
+    describe, diff_summaries, extract, to_rust_literal, DiffClass, DiffEntry, ExtractSpec,
+    Extraction, Trace,
+};
+pub use replay::{validate_events, validate_replay};
 pub use summary::{
     Access, Barrier, BufferDecl, Domain, FreeDecl, Ground, KernelSummary, LaunchShape, Mode,
     SharedDecl, Space, SummaryFlags, Valuation,

@@ -19,8 +19,8 @@
 use crate::expr::Env;
 use crate::summary::{Access, Ground, GroundDomain, KernelSummary, Mode, Space, Valuation};
 use ompx_sanitizer::{Finding, Severity};
-use ompx_sim::memtrace::{MemAccessKind, MemEvent, MemSpace};
-use std::collections::{BTreeSet, HashSet};
+use ompx_sim::memtrace::{BarrierEvent, MemAccessKind, MemEvent, MemSpace};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Upper bound on (thread × item × free) combinations enumerated per
 /// access. Hitting it is a finding, never a silent truncation.
@@ -32,7 +32,7 @@ const MAX_REPORTED: usize = 5;
 
 /// One predicted (or observed) access in canonical form.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-enum EvKey {
+pub(crate) enum EvKey {
     Global {
         label: String,
         index: i64,
@@ -48,6 +48,23 @@ enum EvKey {
     },
 }
 
+impl EvKey {
+    /// Canonical key for an observed trace event.
+    pub(crate) fn of(e: &MemEvent) -> EvKey {
+        match &e.space {
+            MemSpace::Global { label, .. } => {
+                EvKey::Global { label: label.clone(), index: e.index as i64, kind: kind_of(e.kind) }
+            }
+            MemSpace::Shared { slot } => EvKey::Shared {
+                block: e.block,
+                slot: *slot,
+                index: e.index as i64,
+                kind: kind_of(e.kind),
+            },
+        }
+    }
+}
+
 fn kind_of(k: MemAccessKind) -> Mode {
     match k {
         MemAccessKind::Read => Mode::Read,
@@ -56,7 +73,9 @@ fn kind_of(k: MemAccessKind) -> Mode {
     }
 }
 
-/// Validate observed trace events against a summary under one valuation.
+/// Validate observed trace events against a summary under one valuation:
+/// access-set coverage only (see [`validate_replay`] for the full check
+/// including barrier ordering).
 pub fn validate_events(
     summary: &KernelSummary,
     val: &Valuation,
@@ -70,10 +89,50 @@ pub fn validate_events(
             return out;
         }
     };
-    let predicted = match predicted_set(&g, &mut out) {
-        Some(p) => p,
-        None => return out, // enumeration failed; findings already pushed
+    validate_coverage(&g, events, &mut out);
+    out
+}
+
+/// Validate a full replay trace — access-set coverage *and* barrier
+/// ordering — against a summary under one valuation.
+///
+/// The ordering check reconstructs, per (launch, block, thread), the
+/// barrier-delimited segments the thread executed (from each event's
+/// barrier counter) and requires the segment sequence to walk the
+/// summary's barrier list in order: there must be a start offset `s` such
+/// that the segment ended by the thread's `c`-th barrier only contains
+/// accesses of the phase `barriers[(s + c) mod L]` delimits. Coverage
+/// alone cannot see a kernel that reads before the barrier and writes
+/// after while the summary claims the reverse; this check can.
+pub fn validate_replay(
+    summary: &KernelSummary,
+    val: &Valuation,
+    events: &[MemEvent],
+    barriers: &[BarrierEvent],
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let g = match summary.ground(val) {
+        Ok(g) => g,
+        Err(e) => {
+            out.push(mismatch(&summary.kernel, "valuation", e));
+            return out;
+        }
     };
+    let phases = validate_coverage(&g, events, &mut out);
+    if let Some(phases) = phases {
+        validate_barrier_order(&g, events, barriers, &phases, &mut out);
+    }
+    out
+}
+
+/// Shared coverage pass: every observed event must be in the predicted
+/// set. Returns the key → predicting-phases map for the ordering pass.
+fn validate_coverage(
+    g: &Ground,
+    events: &[MemEvent],
+    out: &mut Vec<Finding>,
+) -> Option<HashMap<EvKey, BTreeSet<String>>> {
+    let predicted = predicted_set(g, out)?;
     let mut unpredicted = Vec::new();
     let mut observed = 0usize;
     for e in events {
@@ -81,18 +140,7 @@ pub fn validate_events(
             continue;
         }
         observed += 1;
-        let key = match &e.space {
-            MemSpace::Global { label, .. } => {
-                EvKey::Global { label: label.clone(), index: e.index as i64, kind: kind_of(e.kind) }
-            }
-            MemSpace::Shared { slot } => EvKey::Shared {
-                block: e.block,
-                slot: *slot,
-                index: e.index as i64,
-                kind: kind_of(e.kind),
-            },
-        };
-        if !predicted.contains(&key) {
+        if !predicted.contains_key(&EvKey::of(e)) {
             unpredicted.push(e);
         }
     }
@@ -106,7 +154,7 @@ pub fn validate_events(
                       kernel name mismatch"
                 .into(),
         });
-        return out;
+        return Some(predicted);
     }
     for e in unpredicted.iter().take(MAX_REPORTED) {
         let (what, idx) = match &e.space {
@@ -142,7 +190,155 @@ pub fn validate_events(
             ),
         ));
     }
-    out
+    Some(predicted)
+}
+
+/// Barrier-ordering pass (see [`validate_replay`]).
+fn validate_barrier_order(
+    g: &Ground,
+    events: &[MemEvent],
+    barriers: &[BarrierEvent],
+    phases: &HashMap<EvKey, BTreeSet<String>>,
+    out: &mut Vec<Finding>,
+) {
+    // The summary's barrier list, filtered to barriers whose guard holds.
+    // Barrier guards must be thread-uniform (check_barriers errors
+    // otherwise); evaluate with a representative thread. A guard that
+    // cannot be evaluated (free variables) disables the ordering check —
+    // check_barriers already reports it.
+    let bdim = (i64::from(g.block.0), i64::from(g.block.1), i64::from(g.block.2));
+    let gdim = (i64::from(g.grid.0), i64::from(g.grid.1), i64::from(g.grid.2));
+    let env = Env { tid: (0, 0, 0), bid: (0, 0, 0), bdim, gdim, item: 0, frees: &[] };
+    let mut blist: Vec<&str> = Vec::new();
+    for b in &g.barriers {
+        match b.guard.eval(&env) {
+            Some(true) => blist.push(&b.phase),
+            Some(false) => {}
+            None => return,
+        }
+    }
+    type ThreadKey = (u64, (u32, u32, u32), (u32, u32, u32));
+    // Observed barrier count per (launch, block, thread).
+    let mut bcount: BTreeMap<ThreadKey, u32> = BTreeMap::new();
+    for b in barriers {
+        if b.kernel != g.kernel {
+            continue;
+        }
+        let c = bcount.entry((b.launch, b.block, b.thread)).or_insert(0);
+        *c = (*c).max(b.ordinal + 1);
+    }
+    if blist.is_empty() {
+        if let Some(((launch, block, thread), n)) = bcount.iter().next() {
+            out.push(mismatch(
+                &g.kernel,
+                format!(
+                    "launch {launch} block ({},{},{}) thread ({},{},{})",
+                    block.0, block.1, block.2, thread.0, thread.1, thread.2
+                ),
+                format!(
+                    "barrier ordering mismatch: thread executed {n} barrier(s) but the \
+                     summary declares none (valuation `{}`)",
+                    g.valuation
+                ),
+            ));
+        }
+        return;
+    }
+    // Candidate phases per (thread, segment): the intersection of the
+    // phases predicting each event in the segment.
+    let mut segs: BTreeMap<(ThreadKey, u32), Option<BTreeSet<String>>> = BTreeMap::new();
+    for e in events {
+        if e.kernel != g.kernel {
+            continue;
+        }
+        let Some(cand) = phases.get(&EvKey::of(e)) else { continue };
+        let key = ((e.launch, e.block, e.thread), e.phase);
+        let entry = segs.entry(key).or_insert(None);
+        match entry {
+            None => *entry = Some(cand.clone()),
+            Some(cur) => {
+                cur.retain(|p| cand.contains(p));
+            }
+        }
+    }
+    let l = blist.len() as u32;
+    let mut reported = BTreeSet::new();
+    for ((tkey, seg), cand) in &segs {
+        let total = bcount.get(tkey).copied().unwrap_or(0);
+        if *seg >= total {
+            // Trailing segment: not ended by a barrier, so the barrier
+            // list does not constrain it.
+            continue;
+        }
+        let Some(cand) = cand else { continue };
+        if cand.is_empty() {
+            let msg = format!(
+                "barrier ordering mismatch: accesses in one barrier-delimited segment \
+                 are predicted by no single phase (valuation `{}`)",
+                g.valuation
+            );
+            if reported.insert(msg.clone()) && reported.len() <= MAX_REPORTED {
+                out.push(mismatch(&g.kernel, format!("segment {seg}"), msg));
+            }
+            continue;
+        }
+        // The segment ended by barrier `seg` must match position
+        // (s + seg) mod L of the barrier list for a start offset `s`
+        // consistent with the thread's other segments. Per-segment the
+        // requirement is: some list position's phase is a candidate.
+        let fits = (0..l).any(|s| cand.contains(blist[((s + seg) % l) as usize]));
+        if !fits {
+            let ph: Vec<&str> = cand.iter().map(String::as_str).collect();
+            let msg = format!(
+                "barrier ordering mismatch: the segment ended by barrier {seg} executed \
+                 phase(s) [{}], but the summary's barrier list [{}] delimits none of \
+                 them at that position (valuation `{}`)",
+                ph.join(", "),
+                blist.join(", "),
+                g.valuation
+            );
+            if reported.insert(msg.clone()) && reported.len() <= MAX_REPORTED {
+                out.push(mismatch(&g.kernel, format!("segment {seg}"), msg));
+            }
+        }
+    }
+    // Cross-segment consistency: within one thread the start offset must
+    // be the same for every segment.
+    let mut by_thread: BTreeMap<ThreadKey, Vec<(u32, &BTreeSet<String>)>> = BTreeMap::new();
+    for ((tkey, seg), cand) in &segs {
+        let total = bcount.get(tkey).copied().unwrap_or(0);
+        if *seg >= total {
+            continue;
+        }
+        if let Some(cand) = cand {
+            if !cand.is_empty() {
+                by_thread.entry(*tkey).or_default().push((*seg, cand));
+            }
+        }
+    }
+    for (tkey, list) in &by_thread {
+        let ok = (0..l)
+            .any(|s| list.iter().all(|(seg, cand)| cand.contains(blist[((s + seg) % l) as usize])));
+        if !ok {
+            let (launch, block, thread) = tkey;
+            let msg = format!(
+                "barrier ordering mismatch: launch {launch} block ({},{},{}) thread \
+                 ({},{},{}) interleaves phases in an order inconsistent with the \
+                 summary's barrier list [{}] (valuation `{}`)",
+                block.0,
+                block.1,
+                block.2,
+                thread.0,
+                thread.1,
+                thread.2,
+                blist.join(", "),
+                g.valuation
+            );
+            if reported.insert(msg.clone()) && reported.len() <= MAX_REPORTED {
+                out.push(mismatch(&g.kernel, "barrier order", msg));
+            }
+        }
+    }
 }
 
 fn mismatch(kernel: &str, location: impl Into<String>, message: String) -> Finding {
@@ -156,7 +352,7 @@ fn mismatch(kernel: &str, location: impl Into<String>, message: String) -> Findi
 }
 
 /// The items one thread executes under the grounded domain.
-fn items_for(g: &Ground, rank: i64, is_master: bool) -> Vec<i64> {
+pub(crate) fn items_for(g: &Ground, rank: i64, is_master: bool) -> Vec<i64> {
     match g.domain {
         GroundDomain::OnePerThread => vec![rank],
         GroundDomain::GridStride { n } => {
@@ -183,10 +379,14 @@ fn items_for(g: &Ground, rank: i64, is_master: bool) -> Vec<i64> {
 
 /// Build the predicted `(space, index, mode)` set for every access under
 /// every (thread, item, free-assignment) combination that passes its
-/// guard. Returns `None` (with findings) if the enumeration cannot run.
-fn predicted_set(g: &Ground, out: &mut Vec<Finding>) -> Option<HashSet<EvKey>> {
+/// guard, mapping each predicted key to the phase labels that predict it.
+/// Returns `None` (with findings) if the enumeration cannot run.
+pub(crate) fn predicted_set(
+    g: &Ground,
+    out: &mut Vec<Finding>,
+) -> Option<HashMap<EvKey, BTreeSet<String>>> {
     use crate::expr::Var;
-    let mut predicted = HashSet::new();
+    let mut predicted = HashMap::new();
     let bdim = (i64::from(g.block.0), i64::from(g.block.1), i64::from(g.block.2));
     let gdim = (i64::from(g.grid.0), i64::from(g.grid.1), i64::from(g.grid.2));
     for a in &g.accesses {
@@ -305,7 +505,7 @@ fn predict_one(
     env: Env<'_>,
     block: (u32, u32, u32),
     per_block: bool,
-    predicted: &mut HashSet<EvKey>,
+    predicted: &mut HashMap<EvKey, BTreeSet<String>>,
     eval_failure: &mut bool,
 ) {
     if frees.iter().any(|(_, lo, hi)| hi < lo) {
@@ -330,7 +530,7 @@ fn predict_one(
                             EvKey::Shared { block, slot: *slot, index: idx, kind: a.mode }
                         }
                     };
-                    predicted.insert(key);
+                    predicted.entry(key).or_default().insert(a.phase.clone());
                 }
                 None => *eval_failure = true,
             },
@@ -385,6 +585,7 @@ mod tests {
                     mode: Mode::Read,
                     index: item(),
                     guard: lt(item(), param("n")),
+                    imprecise: false,
                     phase: "main".into(),
                 },
                 Access {
@@ -392,6 +593,7 @@ mod tests {
                     mode: Mode::Write,
                     index: item(),
                     guard: lt(item(), param("n")),
+                    imprecise: false,
                     phase: "main".into(),
                 },
             ],
@@ -403,11 +605,13 @@ mod tests {
     fn ev(label: &str, index: usize, kind: MemAccessKind) -> MemEvent {
         MemEvent {
             kernel: "copy".into(),
+            launch: 0,
             block: (0, 0, 0),
             thread: (index as u32 % 4, 0, 0),
             space: MemSpace::Global { alloc_id: 0, label: label.into() },
             index,
             kind,
+            phase: 0,
         }
     }
 
@@ -459,14 +663,17 @@ mod tests {
             index: tid_x(),
             guard: Pred::True,
             phase: "main".into(),
+            imprecise: false,
         }];
         let mk = |block: u32, index: usize| MemEvent {
             kernel: "copy".into(),
+            launch: 0,
             block: (block, 0, 0),
             thread: (index as u32, 0, 0),
             space: MemSpace::Shared { slot: 0 },
             index,
             kind: MemAccessKind::Write,
+            phase: 0,
         };
         // Both blocks of the 2-block grid are predicted.
         let f = validate_events(&s, &s.valuations[0], &[mk(0, 3), mk(1, 0)]);
@@ -494,13 +701,114 @@ mod tests {
         // chunk = ceil(10/3) = 4: block 0 -> 0..4, block 1 -> 4..8, block 2 -> 8..10.
         let mk = |block: u32, index: usize| MemEvent {
             kernel: "copy".into(),
+            launch: 0,
             block: (block, 0, 0),
             thread: (0, 0, 0),
             space: MemSpace::Global { alloc_id: 0, label: "b".into() },
             index,
             kind: MemAccessKind::Write,
+            phase: 0,
         };
         let f = validate_events(&s, &s.valuations[0], &[mk(0, 3), mk(1, 7), mk(2, 9)]);
         assert!(f.is_empty(), "{f:?}");
+    }
+
+    /// A two-phase summary: write shared before the barrier ("load"),
+    /// read it after ("compute").
+    fn two_phase() -> KernelSummary {
+        let mut s = toy(4);
+        s.launch.grid = [c(1), c(1), c(1)];
+        s.shared = vec![SharedDecl { slot: 0, len: c(4) }];
+        s.frees = vec![FreeDecl { name: "s".into(), lo: c(0), hi: c(3) }];
+        s.accesses = vec![
+            Access {
+                space: Space::Shared(0),
+                mode: Mode::Write,
+                index: tid_x(),
+                guard: Pred::True,
+                phase: "load".into(),
+                imprecise: false,
+            },
+            Access {
+                space: Space::Shared(0),
+                mode: Mode::Read,
+                index: free("s"),
+                guard: Pred::True,
+                phase: "compute".into(),
+                imprecise: false,
+            },
+        ];
+        s.barriers = vec![Barrier { guard: Pred::True, phase: "load".into() }];
+        s
+    }
+
+    fn sev(index: usize, kind: MemAccessKind, phase: u32) -> MemEvent {
+        MemEvent {
+            kernel: "copy".into(),
+            launch: 0,
+            block: (0, 0, 0),
+            thread: (index as u32 % 4, 0, 0),
+            space: MemSpace::Shared { slot: 0 },
+            index,
+            kind,
+            phase,
+        }
+    }
+
+    fn bev(thread: u32, ordinal: u32) -> BarrierEvent {
+        BarrierEvent {
+            kernel: "copy".into(),
+            launch: 0,
+            block: (0, 0, 0),
+            thread: (thread, 0, 0),
+            ordinal,
+        }
+    }
+
+    #[test]
+    fn correct_barrier_order_validates_cleanly() {
+        let s = two_phase();
+        let mut events = Vec::new();
+        let mut barriers = Vec::new();
+        for t in 0..4usize {
+            events.push(sev(t, MemAccessKind::Write, 0));
+            barriers.push(bev(t as u32, 0));
+            events.push(sev((t + 1) % 4, MemAccessKind::Read, 1));
+        }
+        let f = validate_replay(&s, &s.valuations[0], &events, &barriers);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn swapped_phase_order_fails_with_distinct_diagnostic() {
+        // Same coverage — every key is predicted — but the kernel read the
+        // tile *before* the barrier and wrote it after.
+        let s = two_phase();
+        let mut events = Vec::new();
+        let mut barriers = Vec::new();
+        for t in 0..4usize {
+            events.push(sev((t + 1) % 4, MemAccessKind::Read, 0));
+            barriers.push(bev(t as u32, 0));
+            events.push(sev(t, MemAccessKind::Write, 1));
+        }
+        // Coverage alone stays clean…
+        let cov = validate_events(&s, &s.valuations[0], &events);
+        assert!(cov.is_empty(), "{cov:?}");
+        // …but the ordering check fires with its own diagnostic.
+        let f = validate_replay(&s, &s.valuations[0], &events, &barriers);
+        assert!(!f.is_empty());
+        assert!(f.iter().any(|x| x.message.contains("barrier ordering mismatch")), "{f:?}");
+        assert!(f.iter().all(|x| x.severity == Severity::Error));
+    }
+
+    #[test]
+    fn undeclared_barriers_are_reported() {
+        let mut s = two_phase();
+        s.barriers.clear();
+        s.accesses[1].phase = "load".into(); // single phase, no barriers
+        let events: Vec<MemEvent> = (0..4).map(|t| sev(t, MemAccessKind::Write, 0)).collect();
+        let barriers: Vec<BarrierEvent> = (0..4).map(|t| bev(t, 0)).collect();
+        let f = validate_replay(&s, &s.valuations[0], &events, &barriers);
+        assert!(f.iter().any(|x| x.message.contains("summary declares none")), "{f:?}");
     }
 }

@@ -116,6 +116,12 @@ pub struct Access {
     /// (or launch boundary) orders them, which replay cannot refute — a
     /// documented soundness caveat.
     pub phase: String,
+    /// Conservative over-approximation marker. Summary extraction sets
+    /// this when a non-affine residual degraded to a whole-buffer interval
+    /// access: boundscheck and racecheck treat the access as opaque and
+    /// report `SummaryImprecise` warnings instead of proving anything
+    /// about it. Hand-written summaries leave it `false`.
+    pub imprecise: bool,
 }
 
 /// A barrier the kernel executes, with the predicate it executes under.
@@ -150,6 +156,13 @@ impl Valuation {
 
     pub fn get(&self, name: &str) -> Option<i64> {
         self.vals.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// All `(parameter, value)` pairs, in declaration order. Summary
+    /// extraction iterates these to symbolize fitted constants back into
+    /// parameter expressions.
+    pub fn entries(&self) -> &[(String, i64)] {
+        &self.vals
     }
 }
 
@@ -329,6 +342,7 @@ impl KernelSummary {
                 index: a.index.subst(&subst_full),
                 guard: a.guard.subst(&subst_full),
                 phase: a.phase.clone(),
+                imprecise: a.imprecise,
             })
             .collect();
         let barriers = self
@@ -378,6 +392,7 @@ mod tests {
                 index: item(),
                 guard: lt(item(), param("n")),
                 phase: "main".into(),
+                imprecise: false,
             }],
             barriers: vec![],
             valuations: vec![Valuation::new("test", &[("n", 100)])],

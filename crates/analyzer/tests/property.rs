@@ -101,14 +101,14 @@ proptest! {
                     mode: Mode::Read,
                     index: item(),
                     guard: guard.clone(),
-                    phase: "main".into(),
+                    imprecise: false, phase: "main".into(),
                 },
                 Access {
                     space: Space::Global("out".into()),
                     mode: Mode::Write,
                     index: item(),
                     guard,
-                    phase: "main".into(),
+                    imprecise: false, phase: "main".into(),
                 },
             ],
             vec![],
@@ -150,14 +150,14 @@ proptest! {
                     mode: Mode::Read,
                     index: item(),
                     guard: Pred::True,
-                    phase: "main".into(),
+                    imprecise: false, phase: "main".into(),
                 },
                 Access {
                     space: Space::Global("out".into()),
                     mode: Mode::Write,
                     index: item(),
                     guard: Pred::True,
-                    phase: "main".into(),
+                    imprecise: false, phase: "main".into(),
                 },
             ],
             vec![],
@@ -200,14 +200,14 @@ proptest! {
                     mode: Mode::Read,
                     index: free("j"),
                     guard: Pred::True,
-                    phase: "main".into(),
+                    imprecise: false, phase: "main".into(),
                 },
                 Access {
                     space: Space::Global("out".into()),
                     mode: Mode::Write,
                     index: item(),
                     guard,
-                    phase: "main".into(),
+                    imprecise: false, phase: "main".into(),
                 },
             ],
             vec![FreeDecl { name: "j".into(), lo: c(0), hi: param("n") - c(1) }],
@@ -247,6 +247,7 @@ fn lying_summary_is_caught() {
             mode: Mode::Write,
             index: item(),
             guard: lt(item(), c(n as i64 / 2)),
+            imprecise: false,
             phase: "main".into(),
         }],
         vec![],

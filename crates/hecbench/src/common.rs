@@ -4,7 +4,7 @@ use ompx_hostrt::OpenMp;
 use ompx_klang::cuda::{cuda_context_clang, cuda_context_nvcc};
 use ompx_klang::hip::{hip_context_clang, hip_context_hipcc};
 use ompx_klang::runtime::NativeCtx;
-use ompx_sim::memtrace::{MemEvent, MemTrace};
+use ompx_sim::memtrace::{BarrierEvent, MemEvent, MemTrace};
 use ompx_sim::san::{Diagnostic, SanState, ToolMask};
 use ompx_sim::timing::ModeledTime;
 use serde::{Deserialize, Serialize};
@@ -237,12 +237,20 @@ impl Drop for TraceInstall {
 /// sanitized-run gate so traced and sanitized runs cannot cross-pollute
 /// through the ambient statics. This is the analyzer's replay data plane.
 pub fn with_mem_trace<R>(f: impl FnOnce() -> R) -> (R, Vec<MemEvent>) {
+    let (result, events, _) = with_mem_trace_full(f);
+    (result, events)
+}
+
+/// Like [`with_mem_trace`], but also returns the recorded barrier events.
+/// Summary extraction needs both streams: accesses to fit index
+/// expressions, barriers to delimit and order phases.
+pub fn with_mem_trace_full<R>(f: impl FnOnce() -> R) -> (R, Vec<MemEvent>, Vec<BarrierEvent>) {
     let gate = SANITIZED_RUN_GATE.lock().unwrap_or_else(|e| e.into_inner());
     let trace = MemTrace::new();
     *ACTIVE_MEM_TRACE.lock().unwrap_or_else(|e| e.into_inner()) = Some(Arc::clone(&trace));
     let _uninstall = TraceInstall(gate);
     let result = f();
-    (result, trace.events())
+    (result, trace.events(), trace.barrier_events())
 }
 
 // ---- span-log integration (profiler timelines) -----------------------------

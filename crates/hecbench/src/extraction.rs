@@ -1,0 +1,402 @@
+//! Summary auto-extraction over the 24-cell registry: run each kernel
+//! under the simulator's memory-trace hooks on two small *fit* grids,
+//! let `ompx_analyzer::extract` fit affine access expressions (plus
+//! guards and barrier phases) to the observed events, replay-validate
+//! the draft on a larger grid the fit never saw, and diff the result
+//! against the hand-written summary in [`crate::summaries`].
+//!
+//! The extraction spec reuses the registry's *geometry* — launch shape,
+//! flags, domain, buffer/shared declarations — but none of its accesses,
+//! guards, frees or barriers: those are exactly what extraction must
+//! rediscover (or soundly give up on: data-dependent gathers degrade to
+//! whole-buffer opaque accesses flagged `SummaryImprecise`).
+//!
+//! Grid choices are deliberate:
+//! * every app has at least one multi-block fit grid, so thread-id,
+//!   block-id and item terms are distinguishable (on a single block
+//!   `tid == rank == item` and any of the three would fit);
+//! * parameter values are pairwise distinct within each valuation and
+//!   vary across the fit valuations, so fitted constants symbolize to
+//!   the right parameter;
+//! * stencil grids are multiples of its 256-thread block: the kernel's
+//!   edge clamps still fire at the grid boundary, but no ragged-tail
+//!   behavior is baked in that a larger exact-multiple grid would miss.
+
+use crate::common::{with_mem_trace_full, ProgVersion, System, WorkScale};
+use crate::summaries::{summary_for, version_str};
+use ompx_analyzer::{
+    analyze, diff_summaries, extract, validate_replay, warp_size_for, DiffClass, DiffEntry,
+    ExtractSpec, Extraction, Trace, Valuation,
+};
+use ompx_sanitizer::{Finding, Severity};
+
+// ---- per-app grid choices ----------------------------------------------
+
+fn xsbench_val(name: &str, lookups: i64, ni: i64, ng: i64) -> Valuation {
+    let sizes = crate::xsbench::material_sizes(ni as usize);
+    let n_entries: usize = sizes.iter().sum();
+    Valuation::new(
+        name,
+        &[
+            ("lookups", lookups),
+            ("n_isotopes", ni),
+            ("n_gridpoints", ng),
+            ("n_entries", n_entries as i64),
+            ("n_mats", sizes.len() as i64),
+        ],
+    )
+}
+
+fn rsbench_val(name: &str, lookups: i64, ni: i64, nw: i64) -> Valuation {
+    let sizes = crate::rsbench::material_sizes(ni as usize);
+    let n_entries: usize = sizes.iter().sum();
+    Valuation::new(
+        name,
+        &[
+            ("lookups", lookups),
+            ("n_isotopes", ni),
+            ("n_windows", nw),
+            ("n_entries", n_entries as i64),
+            ("n_mats", sizes.len() as i64),
+        ],
+    )
+}
+
+fn aidw_val(name: &str, np: i64, nq: i64) -> Valuation {
+    let tiles = (np as usize).div_ceil(crate::aidw::BLOCK) as i64;
+    Valuation::new(name, &[("n_points", np), ("n_queries", nq), ("n_tiles", tiles)])
+}
+
+/// The small grids a cell is traced on for fitting. Panics on an unknown
+/// app name (callers validate against [`crate::APP_NAMES`]).
+pub fn fit_valuations(app: &str) -> Vec<Valuation> {
+    match app {
+        "xsbench" => vec![xsbench_val("fit-a", 96, 5, 16), xsbench_val("fit-b", 320, 7, 24)],
+        "rsbench" => vec![rsbench_val("fit-a", 64, 5, 10), rsbench_val("fit-b", 320, 7, 20)],
+        "su3" => vec![
+            Valuation::new("fit-a", &[("sites", 96), ("iterations", 1)]),
+            Valuation::new("fit-b", &[("sites", 320), ("iterations", 1)]),
+        ],
+        "aidw" => vec![aidw_val("fit-a", 100, 96), aidw_val("fit-b", 230, 160)],
+        "adam" => vec![
+            Valuation::new("fit-a", &[("n", 300), ("steps", 2)]),
+            Valuation::new("fit-b", &[("n", 600), ("steps", 2)]),
+        ],
+        "stencil" => vec![
+            Valuation::new("fit-a", &[("length", 512), ("iterations", 2)]),
+            Valuation::new("fit-b", &[("length", 1024), ("iterations", 2)]),
+        ],
+        other => panic!("unknown app `{other}`"),
+    }
+}
+
+/// The larger, unseen grids the draft summary must replay-validate on
+/// before anything consumes it. Strictly bigger than every fit grid.
+pub fn validate_valuations(app: &str) -> Vec<Valuation> {
+    match app {
+        "xsbench" => vec![xsbench_val("valid", 520, 9, 32)],
+        "rsbench" => vec![rsbench_val("valid", 520, 9, 28)],
+        "su3" => vec![Valuation::new("valid", &[("sites", 520), ("iterations", 1)])],
+        "aidw" => vec![aidw_val("valid", 420, 288)],
+        "adam" => vec![Valuation::new("valid", &[("n", 1000), ("steps", 2)])],
+        "stencil" => vec![Valuation::new("valid", &[("length", 1536), ("iterations", 2)])],
+        other => panic!("unknown app `{other}`"),
+    }
+}
+
+/// A pseudo-random concrete grid for one app, honoring its structural
+/// constraints (derived parameters, stencil's exact-multiple tiles) while
+/// varying every independent workload dimension with `s`. Property tests
+/// replay extracted summaries on these unseen grids to check the
+/// `observed ⊆ predicted` invariant generalizes beyond the fit grids.
+pub fn random_valuation(app: &str, s: u64) -> Valuation {
+    let s = s as i64;
+    match app {
+        "xsbench" => xsbench_val("random", 64 + (s * 13) % 448, 4 + s % 7, 8 + (s * 5) % 40),
+        "rsbench" => rsbench_val("random", 64 + (s * 17) % 448, 4 + s % 6, 6 + (s * 3) % 26),
+        "su3" => {
+            Valuation::new("random", &[("sites", 32 + (s * 11) % 600), ("iterations", 1 + s % 2)])
+        }
+        "aidw" => aidw_val("random", 64 + (s * 7) % 400, 32 + (s * 9) % 300),
+        "adam" => Valuation::new("random", &[("n", 100 + (s * 19) % 1100), ("steps", 1 + s % 3)]),
+        // The tiled stencil's clamp behavior is fit (and declared valid)
+        // on exact block multiples; randomize the number of tiles.
+        "stencil" => {
+            Valuation::new("random", &[("length", 256 * (1 + s % 7)), ("iterations", 1 + s % 3)])
+        }
+        other => panic!("unknown app `{other}`"),
+    }
+}
+
+/// The extraction spec for one cell: the hand-written summary's geometry
+/// (launch, flags, domain, buffer/shared declarations) with all of its
+/// *behavior* — accesses, guards, frees, barriers — stripped, plus the
+/// fit and validation grids above.
+pub fn extract_spec_for(app: &str, version: ProgVersion) -> ExtractSpec {
+    let hand = summary_for(app, version);
+    ExtractSpec {
+        kernel: hand.kernel,
+        app: hand.app,
+        version: hand.version,
+        launch: hand.launch,
+        flags: hand.flags,
+        warp_ops: hand.warp_ops,
+        domain: hand.domain,
+        buffers: hand.buffers,
+        shared: hand.shared,
+        fit: fit_valuations(app),
+        validate: validate_valuations(app),
+    }
+}
+
+/// Run one cell with the memory trace attached on the concrete grid the
+/// valuation describes, returning both event streams (accesses and
+/// barriers). Workload parameters not named by the valuation keep their
+/// `Test`-scale values.
+pub fn trace_cell(app: &str, sys: System, version: ProgVersion, val: &Valuation) -> Trace {
+    let p = |k: &str| {
+        val.get(k).unwrap_or_else(|| panic!("valuation `{}` missing `{k}`", val.name)) as usize
+    };
+    let ((), events, barriers) = with_mem_trace_full(|| match app {
+        "xsbench" => {
+            let mut q = crate::xsbench::Params::for_scale(WorkScale::Test);
+            q.lookups = p("lookups");
+            q.n_isotopes = p("n_isotopes");
+            q.n_gridpoints = p("n_gridpoints");
+            crate::xsbench::run_with_params(sys, version, q);
+        }
+        "rsbench" => {
+            let mut q = crate::rsbench::Params::for_scale(WorkScale::Test);
+            q.lookups = p("lookups");
+            q.n_isotopes = p("n_isotopes");
+            q.n_windows = p("n_windows");
+            crate::rsbench::run_with_params(sys, version, q);
+        }
+        "su3" => {
+            let mut q = crate::su3::Params::for_scale(WorkScale::Test);
+            q.sites = p("sites");
+            q.iterations = p("iterations");
+            crate::su3::run_with_params(sys, version, q);
+        }
+        "aidw" => {
+            let mut q = crate::aidw::Params::for_scale(WorkScale::Test);
+            q.n_points = p("n_points");
+            q.n_queries = p("n_queries");
+            crate::aidw::run_with_params(sys, version, q);
+        }
+        "adam" => {
+            let mut q = crate::adam::Params::for_scale(WorkScale::Test);
+            q.n = p("n");
+            q.steps = p("steps");
+            crate::adam::run_with_params(sys, version, q);
+        }
+        "stencil" => {
+            let mut q = crate::stencil::Params::for_scale(WorkScale::Test);
+            q.length = p("length");
+            q.iterations = p("iterations");
+            crate::stencil::run_with_params(sys, version, q);
+        }
+        other => panic!("unknown app `{other}`"),
+    });
+    Trace { events, barriers }
+}
+
+// ---- per-cell orchestration --------------------------------------------
+
+/// Everything one cell's extraction produced: the draft summary, its
+/// static analysis, the replay validation on each unseen grid, and the
+/// diff against the hand-written summary.
+pub struct CellReport {
+    pub app: String,
+    pub version: String,
+    pub system: String,
+    pub warp_size: u32,
+    pub extraction: Extraction,
+    /// `analyze(extracted, warp)` — `SummaryImprecise` warnings expected
+    /// for degraded gathers; errors are failures.
+    pub analysis: Vec<Finding>,
+    /// Replay findings per validation valuation, `(name, findings)`.
+    pub validation: Vec<(String, Vec<Finding>)>,
+    /// Predicted-set diff vs the hand-written summary, under the first
+    /// (largest) validation valuation.
+    pub diff: Vec<DiffEntry>,
+}
+
+impl CellReport {
+    /// Every reason this cell fails acceptance: static-analysis errors on
+    /// the draft, replay mismatches on the unseen grids, or predicted-set
+    /// divergence from the hand-written summary that no opaque access
+    /// explains. `SummaryImprecise` warnings and strictly-more-precise
+    /// refinements are not failures.
+    pub fn failures(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for f in &self.analysis {
+            if f.severity == Severity::Error {
+                out.push(format!("analysis: [{}] {}", f.tool, f.message));
+            }
+        }
+        for (name, findings) in &self.validation {
+            for f in findings {
+                if f.severity == Severity::Error {
+                    out.push(format!("replay `{name}`: [{}] {}", f.tool, f.message));
+                }
+            }
+        }
+        for d in &self.diff {
+            if d.class == DiffClass::Unexplained {
+                out.push(format!("diff {} {:?}: {}", d.space, d.mode, d.detail));
+            }
+        }
+        out
+    }
+
+    /// The grid shapes the draft replay-validated cleanly on, as
+    /// `name: grid (gx,gy,gz) x block (bx,by,bz)` strings. Empty while any
+    /// validation grid still has an error — a draft nobody may consume.
+    pub fn validated_grids(&self) -> Vec<String> {
+        if self.validation.iter().any(|(_, fs)| fs.iter().any(|f| f.severity == Severity::Error)) {
+            return Vec::new();
+        }
+        let s = &self.extraction.summary;
+        self.validation
+            .iter()
+            .filter_map(|(name, _)| {
+                let val = s.valuations.iter().find(|v| &v.name == name)?;
+                let g = s.ground(val).ok()?;
+                Some(format!(
+                    "{name}: grid ({},{},{}) x block ({},{},{})",
+                    g.grid.0,
+                    g.grid.1,
+                    g.grid.2,
+                    s.launch.block.0,
+                    s.launch.block.1,
+                    s.launch.block.2,
+                ))
+            })
+            .collect()
+    }
+}
+
+/// Trace, fit, replay-validate and diff one app x version cell on one
+/// system. The system picks the warp size the static analysis runs at
+/// (nvidia: 32, amd: 64).
+pub fn extract_cell(app: &str, sys: System, version: ProgVersion) -> Result<CellReport, String> {
+    let spec = extract_spec_for(app, version);
+    let traces: Vec<Trace> = spec.fit.iter().map(|v| trace_cell(app, sys, version, v)).collect();
+    let ext = extract(&spec, &traces)?;
+
+    let warp = warp_size_for(sys.label());
+    let analysis = analyze(&ext.summary, warp);
+    let mut validation = Vec::new();
+    for val in &spec.validate {
+        let t = trace_cell(app, sys, version, val);
+        validation
+            .push((val.name.clone(), validate_replay(&ext.summary, val, &t.events, &t.barriers)));
+    }
+
+    let hand = summary_for(app, version);
+    let dval = spec.validate.first().ok_or("no validation valuations")?;
+    let diff = diff_summaries(&ext.summary, &hand, dval)?;
+
+    Ok(CellReport {
+        app: app.into(),
+        version: version_str(version).into(),
+        system: sys.label().into(),
+        warp_size: warp,
+        extraction: ext,
+        analysis,
+        validation,
+        diff,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Extract every version of one app on nvidia and require acceptance:
+    /// analysis clean of errors, replay clean on the unseen grid, diff
+    /// free of unexplained divergence.
+    fn cell_extracts_clean(app: &str) {
+        for version in ProgVersion::all() {
+            let r = extract_cell(app, System::Nvidia, version)
+                .unwrap_or_else(|e| panic!("{app}/{version:?} extraction failed: {e}"));
+            let failures = r.failures();
+            assert!(
+                failures.is_empty(),
+                "{app}/{} extraction not accepted:\n{}",
+                r.version,
+                failures.join("\n")
+            );
+            assert!(!r.validated_grids().is_empty(), "{app}/{} has no validated grids", r.version);
+        }
+    }
+
+    #[test]
+    fn xsbench_extracts_clean() {
+        cell_extracts_clean("xsbench");
+    }
+
+    #[test]
+    fn rsbench_extracts_clean() {
+        cell_extracts_clean("rsbench");
+    }
+
+    #[test]
+    fn su3_extracts_clean() {
+        cell_extracts_clean("su3");
+    }
+
+    #[test]
+    fn aidw_extracts_clean() {
+        cell_extracts_clean("aidw");
+    }
+
+    #[test]
+    fn adam_extracts_clean() {
+        cell_extracts_clean("adam");
+    }
+
+    #[test]
+    fn stencil_extracts_clean() {
+        cell_extracts_clean("stencil");
+    }
+
+    /// XSBench's data-dependent table walks cannot be affine-fit: the
+    /// draft must degrade them to opaque whole-buffer accesses that the
+    /// checks surface as `SummaryImprecise`, never silently tighten.
+    #[test]
+    fn xsbench_gathers_degrade_to_imprecise() {
+        let r = extract_cell("xsbench", System::Nvidia, ProgVersion::Ompx).unwrap();
+        assert!(
+            !r.extraction.imprecise.is_empty(),
+            "expected opaque fallbacks for the gather buffers"
+        );
+        assert!(r.extraction.summary.accesses.iter().any(|a| a.imprecise));
+        assert!(
+            r.analysis
+                .iter()
+                .any(|f| f.severity == Severity::Warning && f.message.contains("SummaryImprecise")),
+            "imprecise access should surface as a SummaryImprecise warning"
+        );
+    }
+
+    /// SU3 is fully affine: extraction should reproduce it without any
+    /// opaque fallback, and the fitted summary must be in-register with
+    /// the hand-written one (equal or strictly more precise everywhere).
+    #[test]
+    fn su3_extraction_is_fully_affine() {
+        let r = extract_cell("su3", System::Nvidia, ProgVersion::Ompx).unwrap();
+        assert!(r.extraction.imprecise.is_empty(), "{:?}", r.extraction.imprecise);
+        assert!(r.extraction.summary.accesses.iter().all(|a| !a.imprecise));
+    }
+
+    /// The staged aidw kernel's two barrier phases (tile load / scan) must
+    /// be rediscovered from the trace, not copied from the registry.
+    #[test]
+    fn aidw_extraction_infers_two_phases() {
+        let r = extract_cell("aidw", System::Nvidia, ProgVersion::Ompx).unwrap();
+        assert_eq!(r.extraction.phases, 2, "{}", ompx_analyzer::describe(&r.extraction.summary));
+        assert_eq!(r.extraction.summary.barriers.len(), 2);
+    }
+}

@@ -23,6 +23,7 @@
 pub mod adam;
 pub mod aidw;
 pub mod common;
+pub mod extraction;
 #[cfg(test)]
 mod generators_test;
 pub mod rsbench;

@@ -14,7 +14,7 @@
 //!   quirks): one master per team over a contiguous chunk
 //!   ([`Domain::BlockChunked`]), simulated block size 1.
 
-use crate::common::{with_mem_trace, ProgVersion, System, WorkScale};
+use crate::common::{ProgVersion, System};
 use ompx_analyzer::expr::{c, free, item, lt, max_e, min_e, param, tid_x, Expr, Pred};
 use ompx_analyzer::{
     Access, Barrier, BufferDecl, Domain, FreeDecl, KernelSummary, LaunchShape, Mode, SharedDecl,
@@ -81,57 +81,20 @@ pub fn replay_events(
     version: ProgVersion,
     val: &Valuation,
 ) -> Vec<MemEvent> {
-    let p = |k: &str| {
-        val.get(k).unwrap_or_else(|| panic!("valuation `{}` missing `{k}`", val.name)) as usize
-    };
-    let ((), events) = with_mem_trace(|| match app {
-        "xsbench" => {
-            let mut q = crate::xsbench::Params::for_scale(WorkScale::Test);
-            q.lookups = p("lookups");
-            q.n_isotopes = p("n_isotopes");
-            q.n_gridpoints = p("n_gridpoints");
-            crate::xsbench::run_with_params(sys, version, q);
-        }
-        "rsbench" => {
-            let mut q = crate::rsbench::Params::for_scale(WorkScale::Test);
-            q.lookups = p("lookups");
-            q.n_isotopes = p("n_isotopes");
-            q.n_windows = p("n_windows");
-            crate::rsbench::run_with_params(sys, version, q);
-        }
-        "su3" => {
-            let mut q = crate::su3::Params::for_scale(WorkScale::Test);
-            q.sites = p("sites");
-            q.iterations = p("iterations");
-            crate::su3::run_with_params(sys, version, q);
-        }
-        "aidw" => {
-            let mut q = crate::aidw::Params::for_scale(WorkScale::Test);
-            q.n_points = p("n_points");
-            q.n_queries = p("n_queries");
-            crate::aidw::run_with_params(sys, version, q);
-        }
-        "adam" => {
-            let mut q = crate::adam::Params::for_scale(WorkScale::Test);
-            q.n = p("n");
-            q.steps = p("steps");
-            crate::adam::run_with_params(sys, version, q);
-        }
-        "stencil" => {
-            let mut q = crate::stencil::Params::for_scale(WorkScale::Test);
-            q.length = p("length");
-            q.iterations = p("iterations");
-            crate::stencil::run_with_params(sys, version, q);
-        }
-        other => panic!("unknown app `{other}`"),
-    });
-    events
+    crate::extraction::trace_cell(app, sys, version, val).events
 }
 
 // ---- small constructors ------------------------------------------------
 
 fn gread(buf: &str, index: Expr, guard: Pred, phase: &str) -> Access {
-    Access { space: Space::Global(buf.into()), mode: Mode::Read, index, guard, phase: phase.into() }
+    Access {
+        space: Space::Global(buf.into()),
+        mode: Mode::Read,
+        index,
+        guard,
+        imprecise: false,
+        phase: phase.into(),
+    }
 }
 
 fn gwrite(buf: &str, index: Expr, guard: Pred, phase: &str) -> Access {
@@ -140,16 +103,31 @@ fn gwrite(buf: &str, index: Expr, guard: Pred, phase: &str) -> Access {
         mode: Mode::Write,
         index,
         guard,
+        imprecise: false,
         phase: phase.into(),
     }
 }
 
 fn sread(slot: usize, index: Expr, guard: Pred, phase: &str) -> Access {
-    Access { space: Space::Shared(slot), mode: Mode::Read, index, guard, phase: phase.into() }
+    Access {
+        space: Space::Shared(slot),
+        mode: Mode::Read,
+        index,
+        guard,
+        imprecise: false,
+        phase: phase.into(),
+    }
 }
 
 fn swrite(slot: usize, index: Expr, guard: Pred, phase: &str) -> Access {
-    Access { space: Space::Shared(slot), mode: Mode::Write, index, guard, phase: phase.into() }
+    Access {
+        space: Space::Shared(slot),
+        mode: Mode::Write,
+        index,
+        guard,
+        imprecise: false,
+        phase: phase.into(),
+    }
 }
 
 fn gbuf(name: &str, len: Expr) -> BufferDecl {

@@ -1,0 +1,65 @@
+//! Property tests for summary auto-extraction: whatever grid a cell later
+//! runs on, every access the kernel actually performs must be inside the
+//! extracted summary's predicted set (`observed ⊆ predicted`). The fit
+//! grids are fixed and small; the replay grid here is randomized per case,
+//! so the invariant exercises generalization, not memorization.
+
+use ompx_analyzer::validate_replay;
+use ompx_hecbench::extraction::{extract_cell, random_valuation, trace_cell};
+use ompx_hecbench::{ProgVersion, System, APP_NAMES};
+use ompx_sanitizer::Severity;
+use proptest::prelude::*;
+
+const SYSTEMS: [System; 2] = [System::Nvidia, System::Amd];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Extract a random cell on its fixed fit grids, then replay it on a
+    /// random unseen grid: every observed access (and the barrier phase
+    /// walk) must be predicted by the extracted summary.
+    #[test]
+    fn observed_trace_is_within_extracted_prediction(
+        app_i in 0usize..6,
+        sys_i in 0usize..2,
+        ver_i in 0usize..4,
+        scale in 0u64..10_000,
+    ) {
+        let app = APP_NAMES[app_i];
+        let sys = SYSTEMS[sys_i];
+        let version = ProgVersion::all()[ver_i];
+
+        let report = extract_cell(app, sys, version)
+            .unwrap_or_else(|e| panic!("{app}/{version:?} extraction: {e}"));
+        prop_assert!(
+            report.failures().is_empty(),
+            "{app}/{version:?} not accepted: {:?}",
+            report.failures()
+        );
+
+        let val = random_valuation(app, scale);
+        let trace = trace_cell(app, sys, version, &val);
+        let findings =
+            validate_replay(&report.extraction.summary, &val, &trace.events, &trace.barriers);
+        let errors: Vec<_> =
+            findings.iter().filter(|f| f.severity == Severity::Error).collect();
+        prop_assert!(
+            errors.is_empty(),
+            "{app}/{version:?} observed access outside prediction on {:?}: {errors:#?}",
+            val
+        );
+    }
+}
+
+/// Extraction over a real cell is a pure function of the spec and traces:
+/// two runs must produce byte-identical summaries. (The analyzer's own
+/// unit test covers a synthetic kernel; this covers the full harness.)
+#[test]
+fn real_cell_extraction_is_deterministic() {
+    let a = extract_cell("su3", System::Nvidia, ProgVersion::Ompx).unwrap();
+    let b = extract_cell("su3", System::Nvidia, ProgVersion::Ompx).unwrap();
+    assert_eq!(
+        ompx_analyzer::to_rust_literal(&a.extraction.summary),
+        ompx_analyzer::to_rust_literal(&b.extraction.summary),
+    );
+}

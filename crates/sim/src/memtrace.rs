@@ -8,6 +8,14 @@
 //! event — the mechanism by which hand-written summaries are validated
 //! rather than trusted (see `crates/analyzer`).
 //!
+//! Each event also carries its *barrier context*: the launch sequence
+//! number (several launches of the same kernel share one trace) and the
+//! number of block barriers the accessing thread had executed when the
+//! access happened. Barrier executions themselves are recorded as
+//! [`BarrierEvent`]s. Together these let the analyzer validate barrier
+//! *ordering* — which phase ran between which barriers — and let summary
+//! extraction reconstruct barrier-delimited phases from a raw trace.
+//!
 //! The hook mirrors the sanitizer attachment pattern ([`crate::san`]): the
 //! trace lives on the device, each launch wraps it in a [`LaunchMemTrace`]
 //! carrying the kernel name, and [`crate::thread::ThreadCtx`] records into
@@ -16,6 +24,7 @@
 //! to one thread and cannot race or go out of bounds at the buffer level.
 
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Which address space an event touched.
@@ -40,6 +49,9 @@ pub enum MemAccessKind {
 pub struct MemEvent {
     /// Kernel the access executed in.
     pub kernel: String,
+    /// Sequence number of the launch within the trace (several launches of
+    /// the same kernel may share one attached trace).
+    pub launch: u64,
     /// Block coordinates of the accessing thread.
     pub block: (u32, u32, u32),
     /// Thread coordinates within the block.
@@ -50,6 +62,25 @@ pub struct MemEvent {
     pub index: usize,
     /// Read, write, or atomic.
     pub kind: MemAccessKind,
+    /// Block barriers the accessing thread had executed before this access
+    /// — the access's barrier-delimited segment within its launch.
+    pub phase: u32,
+}
+
+/// One block-barrier execution by one simulated thread.
+#[derive(Debug, Clone)]
+pub struct BarrierEvent {
+    /// Kernel the barrier executed in.
+    pub kernel: String,
+    /// Sequence number of the launch within the trace.
+    pub launch: u64,
+    /// Block coordinates of the thread.
+    pub block: (u32, u32, u32),
+    /// Thread coordinates within the block.
+    pub thread: (u32, u32, u32),
+    /// Zero-based ordinal of this barrier for this thread within the
+    /// launch (how many barriers the thread had executed before it).
+    pub ordinal: u32,
 }
 
 /// Cap on recorded events, bounding a runaway kernel's trace. Replay runs
@@ -61,7 +92,9 @@ const MAX_EVENTS: usize = 4_000_000;
 /// `attach_mem_trace`).
 pub struct MemTrace {
     events: Mutex<Vec<MemEvent>>,
-    truncated: std::sync::atomic::AtomicBool,
+    barriers: Mutex<Vec<BarrierEvent>>,
+    truncated: AtomicBool,
+    launches: AtomicU64,
 }
 
 impl MemTrace {
@@ -69,7 +102,9 @@ impl MemTrace {
     pub fn new() -> Arc<MemTrace> {
         Arc::new(MemTrace {
             events: Mutex::new(Vec::new()),
-            truncated: std::sync::atomic::AtomicBool::new(false),
+            barriers: Mutex::new(Vec::new()),
+            truncated: AtomicBool::new(false),
+            launches: AtomicU64::new(0),
         })
     }
 
@@ -77,6 +112,11 @@ impl MemTrace {
     /// deterministic per thread, interleaving across threads is not).
     pub fn events(&self) -> Vec<MemEvent> {
         self.events.lock().clone()
+    }
+
+    /// Copy of the barrier executions recorded so far.
+    pub fn barrier_events(&self) -> Vec<BarrierEvent> {
+        self.barriers.lock().clone()
     }
 
     /// Move the events out, leaving the trace empty.
@@ -96,7 +136,7 @@ impl MemTrace {
 
     /// True when the event cap was hit and events were dropped.
     pub fn truncated(&self) -> bool {
-        self.truncated.load(std::sync::atomic::Ordering::Relaxed)
+        self.truncated.load(Ordering::Relaxed)
     }
 
     fn record(&self, event: MemEvent) {
@@ -104,21 +144,32 @@ impl MemTrace {
         if events.len() < MAX_EVENTS {
             events.push(event);
         } else {
-            self.truncated.store(true, std::sync::atomic::Ordering::Relaxed);
+            self.truncated.store(true, Ordering::Relaxed);
+        }
+    }
+
+    fn record_barrier(&self, event: BarrierEvent) {
+        let mut barriers = self.barriers.lock();
+        if barriers.len() < MAX_EVENTS {
+            barriers.push(event);
+        } else {
+            self.truncated.store(true, Ordering::Relaxed);
         }
     }
 }
 
-/// Per-launch trace context handed to the executor: the trace plus the
-/// kernel's name.
+/// Per-launch trace context handed to the executor: the trace, the
+/// kernel's name, and the launch's sequence number.
 pub struct LaunchMemTrace {
     trace: Arc<MemTrace>,
     kernel: String,
+    launch: u64,
 }
 
 impl LaunchMemTrace {
     pub(crate) fn new(trace: Arc<MemTrace>, kernel: &str) -> LaunchMemTrace {
-        LaunchMemTrace { trace, kernel: kernel.to_string() }
+        let launch = trace.launches.fetch_add(1, Ordering::Relaxed);
+        LaunchMemTrace { trace, kernel: kernel.to_string(), launch }
     }
 
     /// Record a global-memory access.
@@ -131,18 +182,22 @@ impl LaunchMemTrace {
         label: &str,
         index: usize,
         kind: MemAccessKind,
+        phase: u32,
     ) {
         self.trace.record(MemEvent {
             kernel: self.kernel.clone(),
+            launch: self.launch,
             block,
             thread,
             space: MemSpace::Global { alloc_id, label: label.to_string() },
             index,
             kind,
+            phase,
         });
     }
 
     /// Record a shared-memory access.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn shared(
         &self,
         block: (u32, u32, u32),
@@ -150,14 +205,28 @@ impl LaunchMemTrace {
         slot: usize,
         index: usize,
         kind: MemAccessKind,
+        phase: u32,
     ) {
         self.trace.record(MemEvent {
             kernel: self.kernel.clone(),
+            launch: self.launch,
             block,
             thread,
             space: MemSpace::Shared { slot },
             index,
             kind,
+            phase,
+        });
+    }
+
+    /// Record a block-barrier execution by one thread.
+    pub(crate) fn barrier(&self, block: (u32, u32, u32), thread: (u32, u32, u32), ordinal: u32) {
+        self.trace.record_barrier(BarrierEvent {
+            kernel: self.kernel.clone(),
+            launch: self.launch,
+            block,
+            thread,
+            ordinal,
         });
     }
 }
@@ -193,6 +262,9 @@ mod tests {
         let writes = events.iter().filter(|e| e.kind == MemAccessKind::Write).count();
         assert_eq!((reads, writes), (4, 4));
         assert!(events.iter().all(|e| e.kernel == "copy"));
+        // A barrier-free kernel records every access in segment 0 of launch 0.
+        assert!(events.iter().all(|e| e.phase == 0 && e.launch == 0));
+        assert!(trace.barrier_events().is_empty());
         assert!(events
             .iter()
             .all(|e| matches!(e.space, MemSpace::Global { alloc_id, .. } if alloc_id == a.alloc_id() || alloc_id == b.alloc_id())));
@@ -221,6 +293,34 @@ mod tests {
         let events = trace.events();
         assert_eq!(events.len(), 8);
         assert!(events.iter().all(|e| e.space == MemSpace::Shared { slot }));
+        // Writes happened before the barrier (segment 0), reads after
+        // (segment 1) — the phase counter separates them.
+        assert!(events.iter().all(|e| e.phase == u32::from(e.kind == MemAccessKind::Read)));
+        // One barrier execution per thread, all the thread's first.
+        let barriers = trace.barrier_events();
+        assert_eq!(barriers.len(), 4);
+        assert!(barriers.iter().all(|b| b.ordinal == 0 && b.launch == 0));
+    }
+
+    #[test]
+    fn launch_ids_separate_back_to_back_launches() {
+        let d = Device::new(DeviceProfile::test_small());
+        let a = d.alloc::<u32>(4);
+        let trace = MemTrace::new();
+        d.attach_mem_trace(Arc::clone(&trace));
+        let k = Kernel::new("w", {
+            let a = a.clone();
+            move |tc: &mut ThreadCtx| {
+                let i = tc.global_thread_id_x();
+                tc.write(&a, i, 1);
+            }
+        });
+        d.launch(&k, LaunchConfig::linear(4, 2)).unwrap();
+        d.launch(&k, LaunchConfig::linear(4, 2)).unwrap();
+        d.detach_mem_trace();
+        let launches: std::collections::BTreeSet<u64> =
+            trace.events().iter().map(|e| e.launch).collect();
+        assert_eq!(launches.len(), 2);
     }
 
     #[test]

@@ -136,14 +136,16 @@ impl<'a> ThreadCtx<'a> {
     #[inline]
     fn trace_global<T: DeviceScalar>(&self, buf: &DBuf<T>, i: usize, kind: MemAccessKind) {
         if let Some(mem) = self.mem {
-            mem.global(self.block, self.thread, buf.alloc_id(), &buf.label(), i, kind);
+            let phase = self.counters.barriers as u32;
+            mem.global(self.block, self.thread, buf.alloc_id(), &buf.label(), i, kind, phase);
         }
     }
 
     #[inline]
     fn trace_shared(&self, slot: usize, i: usize, kind: MemAccessKind) {
         if let Some(mem) = self.mem {
-            mem.shared(self.block, self.thread, slot, i, kind);
+            let phase = self.counters.barriers as u32;
+            mem.shared(self.block, self.thread, slot, i, kind, phase);
         }
     }
 
@@ -477,6 +479,9 @@ impl<'a> ThreadCtx<'a> {
     /// [`crate::exec::KernelFlags`] must set `uses_block_sync`), except for
     /// single-thread blocks where the barrier is trivially a no-op.
     pub fn sync_threads(&mut self) {
+        if let Some(mem) = self.mem {
+            mem.barrier(self.block, self.thread, self.counters.barriers as u32);
+        }
         self.counters.barriers += 1;
         match self.block_barrier {
             Some(b) => {

@@ -36,6 +36,26 @@ cargo run --release -q -p ompx-bench --bin analyze -- --replay
 echo "==> analyze replay, AMD leg (MI250, warp 64)"
 cargo run --release -q -p ompx-bench --bin analyze -- --replay --system amd
 
+echo "==> summary extraction, A100 leg (all 24 cells: fit, replay-validate, diff)"
+cargo run --release -q -p ompx-bench --bin analyze -- extract --diff
+
+echo "==> summary extraction, MI250 leg (warp 64)"
+cargo run --release -q -p ompx-bench --bin analyze -- extract --diff --system amd
+
+echo "==> analyze fixture check (barrier ordering mismatch must fire)"
+if cargo run --release -q -p ompx-bench --bin analyze -- \
+    --fixture barrier-wrong-order >/dev/null; then
+    echo "error: barrier-wrong-order fixture reported no findings" >&2
+    exit 1
+fi
+
+echo "==> analyze fixture check (non-affine gather must degrade to SummaryImprecise)"
+if ! cargo run --release -q -p ompx-bench --bin analyze -- \
+    --fixture gather-nonaffine | grep -q SummaryImprecise; then
+    echo "error: gather-nonaffine fixture did not surface SummaryImprecise" >&2
+    exit 1
+fi
+
 echo "==> analyze fixture check (racecheck must fire)"
 if cargo run --release -q -p ompx-bench --bin analyze -- \
     --fixture race-global >/dev/null; then
