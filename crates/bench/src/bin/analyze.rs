@@ -34,7 +34,7 @@ use ompx_analyzer::{
 use ompx_hecbench::extraction::extract_cell;
 use ompx_hecbench::summaries::{replay_events, summary_for, version_str};
 use ompx_hecbench::{ProgVersion, System, APP_NAMES};
-use ompx_sanitizer::report::{exit_code, render_json, render_text};
+use ompx_sanitizer::report::{exit_code, record_findings_metrics, render_json, render_text};
 use ompx_sanitizer::Finding;
 
 fn usage() -> ! {
@@ -42,6 +42,7 @@ fn usage() -> ! {
         "usage: analyze [extract] [--app <name>] [--version ompx|omp|native|vendor]\n\
          \x20              [--system nvidia|amd] [--replay] [--emit-rust] [--diff]\n\
          \x20              [--fixture <name> | --list-fixtures] [--json] [--out FILE]\n\
+         \x20              [--metrics-out FILE]\n\
          apps: {}\n\
          fixtures: {}",
         APP_NAMES.join(", "),
@@ -61,6 +62,7 @@ struct Opts {
     fixture: Option<String>,
     json: bool,
     out: Option<String>,
+    metrics_out: Option<String>,
 }
 
 fn parse(args: &[String]) -> Opts {
@@ -75,6 +77,7 @@ fn parse(args: &[String]) -> Opts {
         fixture: None,
         json: false,
         out: None,
+        metrics_out: None,
     };
     let mut i = 0;
     if args.first().map(String::as_str) == Some("extract") {
@@ -132,6 +135,13 @@ fn parse(args: &[String]) -> Opts {
                     None => usage(),
                 }
             }
+            "--metrics-out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => o.metrics_out = Some(p.clone()),
+                    None => usage(),
+                }
+            }
             _ => usage(),
         }
         i += 1;
@@ -171,7 +181,21 @@ fn write_out(o: &Opts, doc: &str) -> i32 {
     0
 }
 
+/// Write the ambient metrics snapshot (if `--metrics-out` installed one)
+/// as Prometheus text. Call before every exit path.
+fn flush_metrics(o: &Opts) -> i32 {
+    let Some(path) = &o.metrics_out else { return 0 };
+    let Some(reg) = ompx_telemetry::uninstall() else { return 0 };
+    let text = ompx_telemetry::to_prometheus(&reg.snapshot());
+    if let Err(e) = std::fs::write(path, text) {
+        eprintln!("analyze: cannot write {path}: {e}");
+        return 2;
+    }
+    0
+}
+
 fn emit(findings: &[Finding], header: &str, extra_json: &str, o: &Opts) -> i32 {
+    record_findings_metrics(findings);
     let doc = with_fields(findings, extra_json);
     if o.json {
         print!("{doc}");
@@ -216,6 +240,7 @@ fn run_extract(o: &Opts) -> i32 {
             for (_, fs) in &report.validation {
                 findings.extend(fs.iter().cloned());
             }
+            record_findings_metrics(&findings);
 
             if o.json {
                 let mut extra = String::new();
@@ -307,15 +332,22 @@ fn run_extract(o: &Opts) -> i32 {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let o = parse(&args);
+    if o.metrics_out.is_some() {
+        let reg = ompx_telemetry::MetricRegistry::new();
+        ompx_telemetry::describe_base_families(&reg);
+        ompx_telemetry::install(reg);
+    }
     if o.extract {
-        std::process::exit(run_extract(&o));
+        let code = run_extract(&o);
+        std::process::exit(flush_metrics(&o).max(code));
     }
     let warp = warp_size_for(o.system.label());
 
     if let Some(name) = &o.fixture {
         let fx = fixtures::by_name(name).unwrap();
         let findings = fx.run();
-        std::process::exit(emit(&findings, &format!("fixture {name} [{}]", fx.tool), "", &o));
+        let code = emit(&findings, &format!("fixture {name} [{}]", fx.tool), "", &o);
+        std::process::exit(flush_metrics(&o).max(code));
     }
 
     let mut exit = 0;
@@ -356,5 +388,5 @@ fn main() {
             exit = exit.max(emit(&findings, &header, &extra, &o));
         }
     }
-    std::process::exit(exit);
+    std::process::exit(flush_metrics(&o).max(exit));
 }

@@ -13,8 +13,12 @@
 //! anything was found — wire it straight into CI. `--json` emits the
 //! machine-readable report instead (exportable alongside the Chrome-trace
 //! output); `--out FILE` writes that JSON to a file as well.
+//! `--metrics-out FILE` meters the run — `sanitizer_findings_total` by
+//! tool at detection time, `findings_total` by tool and severity at
+//! report time — and writes the Prometheus text snapshot.
 
 use ompx_hecbench::{run_app_sanitized, ProgVersion, System, WorkScale, APP_NAMES};
+use ompx_sanitizer::report::record_findings_metrics;
 use ompx_sanitizer::{fixtures, Report, Tool};
 
 fn usage() -> ! {
@@ -22,7 +26,7 @@ fn usage() -> ! {
         "usage: sanitize --tool memcheck|racecheck|synccheck|initcheck|leakcheck|all\n\
          \x20               (--app <name> | --fixture <name> | --list-fixtures)\n\
          \x20               [--system nvidia|amd] [--version ompx|omp|native|vendor]\n\
-         \x20               [--test-scale] [--json] [--out FILE]\n\
+         \x20               [--test-scale] [--json] [--out FILE] [--metrics-out FILE]\n\
          apps: {}\n\
          fixtures: {}",
         APP_NAMES.join(", "),
@@ -40,6 +44,7 @@ struct Opts {
     scale: WorkScale,
     json: bool,
     out: Option<String>,
+    metrics_out: Option<String>,
 }
 
 fn parse(args: &[String]) -> Opts {
@@ -52,6 +57,7 @@ fn parse(args: &[String]) -> Opts {
         scale: WorkScale::Default,
         json: false,
         out: None,
+        metrics_out: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -110,6 +116,13 @@ fn parse(args: &[String]) -> Opts {
                     None => usage(),
                 }
             }
+            "--metrics-out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => o.metrics_out = Some(p.clone()),
+                    None => usage(),
+                }
+            }
             _ => usage(),
         }
         i += 1;
@@ -141,19 +154,40 @@ fn main() {
     let o = parse(&args);
     let mask = o.tool.mask();
 
+    // With --metrics-out, install a session registry so detection-time
+    // counters (`sanitizer_findings_total`) land alongside the
+    // report-time `findings_total` rollup.
+    let registry = o.metrics_out.as_ref().map(|_| {
+        let reg = ompx_telemetry::MetricRegistry::new();
+        ompx_telemetry::describe_base_families(&reg);
+        ompx_telemetry::install(std::sync::Arc::clone(&reg));
+        reg
+    });
+
     let mut exit = 0;
     if let Some(fixture) = &o.fixture {
         let (run, _kind) = fixtures::by_name(fixture).unwrap();
         let report = run();
+        record_findings_metrics(&report.findings());
         exit = exit.max(emit(&report, &format!("fixture {fixture} [{}]", o.tool), &o));
     }
     if let Some(app) = &o.app {
         for version in &o.versions {
             let (outcome, findings) = run_app_sanitized(app, o.system, *version, o.scale, mask);
             let report = Report::from_findings(mask, findings);
+            record_findings_metrics(&report.findings());
             let header = format!("{app} / {} / {} [{}]", o.system.label(), outcome.label, o.tool);
             exit = exit.max(emit(&report, &header, &o));
         }
+    }
+    if let (Some(path), Some(reg)) = (&o.metrics_out, registry) {
+        ompx_telemetry::uninstall();
+        let text = ompx_telemetry::to_prometheus(&reg.snapshot());
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("sanitize: cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("sanitize: Prometheus metrics written to {path}");
     }
     std::process::exit(exit);
 }

@@ -15,15 +15,26 @@
 //! exit. `--baseline` diffs the run's report against a committed
 //! `BENCH_serve.json` (integer fields exact, floats to 1e-9 relative)
 //! and fails on drift, mirroring the profile gate.
+//!
+//! `--sweep` replays the same seeded load at a ladder of load factors
+//! (`--sweep-factors`, default 0.5..3.0, 7 points) and emits the
+//! throughput / p50/p95/p99-vs-load curve as `BENCH_sweep.json`
+//! (`--bench-out`) and CSV (`--csv-out`); `--baseline` then gates the
+//! sweep document instead of the single-point report. `--metrics-out` /
+//! `--metrics-json` dump the run's deterministic metric snapshot in
+//! Prometheus text / JSON form — identical seeded runs produce
+//! bit-identical files, which CI diffs directly.
 
 use ompx_prof::chrome::to_chrome_trace;
 use ompx_prof::jsonio;
 use ompx_sanitizer::report::{exit_code, render_json as findings_json, render_text};
 use ompx_sanitizer::{Finding, Severity};
 use ompx_serve::{
-    build_report, render_json, serve, DeviceKind, LoadSpec, ServeConfig, ServeReport, Verdict,
+    build_report, render_json, render_sweep_csv, render_sweep_json, serve, sweep, DeviceKind,
+    LoadSpec, ServeConfig, ServeReport, SweepResult, Verdict,
 };
 use ompx_sim::fault::FaultPlan;
+use ompx_telemetry::{to_json as metrics_json, to_prometheus};
 
 fn usage() -> ! {
     eprintln!(
@@ -31,7 +42,9 @@ fn usage() -> ! {
          \x20           [--devices a100,a100,mi250,mi250] [--max-batch N] [--queue-cap N]\n\
          \x20           [--load-factor F] [--rate F] [--lose-at N] [--no-faults]\n\
          \x20           [--default-scale] [--json] [--bench-out FILE] [--trace FILE]\n\
-         \x20           [--baseline FILE] [--write-baseline FILE]"
+         \x20           [--baseline FILE] [--write-baseline FILE]\n\
+         \x20           [--metrics-out FILE] [--metrics-json FILE]\n\
+         \x20           [--sweep] [--sweep-factors F,F,...] [--csv-out FILE]"
     );
     std::process::exit(2);
 }
@@ -44,6 +57,11 @@ struct Opts {
     trace: Option<String>,
     baseline: Option<String>,
     write_baseline: Option<String>,
+    metrics_out: Option<String>,
+    metrics_json: Option<String>,
+    sweep: bool,
+    sweep_factors: Vec<f64>,
+    csv_out: Option<String>,
 }
 
 fn parse(args: &[String]) -> Opts {
@@ -62,6 +80,11 @@ fn parse(args: &[String]) -> Opts {
         trace: None,
         baseline: None,
         write_baseline: None,
+        metrics_out: None,
+        metrics_json: None,
+        sweep: false,
+        sweep_factors: ompx_serve::DEFAULT_FACTORS.to_vec(),
+        csv_out: None,
     };
     let mut i = 0;
     macro_rules! val {
@@ -104,6 +127,19 @@ fn parse(args: &[String]) -> Opts {
             "--trace" => o.trace = Some(val!().clone()),
             "--baseline" => o.baseline = Some(val!().clone()),
             "--write-baseline" => o.write_baseline = Some(val!().clone()),
+            "--metrics-out" => o.metrics_out = Some(val!().clone()),
+            "--metrics-json" => o.metrics_json = Some(val!().clone()),
+            "--sweep" => o.sweep = true,
+            "--sweep-factors" => {
+                o.sweep_factors = val!()
+                    .split(',')
+                    .map(|f| f.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+                if o.sweep_factors.is_empty() {
+                    usage();
+                }
+            }
+            "--csv-out" => o.csv_out = Some(val!().clone()),
             _ => usage(),
         }
         i += 1;
@@ -136,6 +172,10 @@ fn write_file(path: &str, text: &str) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let o = parse(&args);
+    if o.sweep {
+        run_sweep(&o);
+        return;
+    }
 
     let start = std::time::Instant::now();
     let out = serve(&o.cfg, &o.spec);
@@ -193,6 +233,17 @@ fn main() {
         write_file(path, &to_chrome_trace(&out.spans));
         eprintln!("serve: timeline trace written to {path} ({} spans)", out.spans.len());
     }
+    if o.metrics_out.is_some() || o.metrics_json.is_some() {
+        let snap = out.metrics.as_ref().expect("serve sessions install a metric registry");
+        if let Some(path) = &o.metrics_out {
+            write_file(path, &to_prometheus(snap));
+            eprintln!("serve: Prometheus metrics written to {path}");
+        }
+        if let Some(path) = &o.metrics_json {
+            write_file(path, &metrics_json(snap));
+            eprintln!("serve: JSON metrics written to {path}");
+        }
+    }
     if let Some(path) = &o.baseline {
         match std::fs::read_to_string(path) {
             Err(e) => {
@@ -221,6 +272,73 @@ fn main() {
         }
     }
     std::process::exit(exit_code(&findings));
+}
+
+/// The `--sweep` mode: one seeded run per load factor, curve outputs,
+/// and the sweep-document baseline gate.
+fn run_sweep(o: &Opts) {
+    let start = std::time::Instant::now();
+    let s = sweep(&o.cfg, &o.spec, &o.sweep_factors);
+    let wall = start.elapsed();
+    let json = render_sweep_json(&s);
+    if o.json {
+        print!("{json}");
+    } else {
+        println!("serve sweep (seed {}, {} clients, {} tenants)", s.seed, s.clients, s.tenants);
+        println!(
+            "  {:>11} {:>10} {:>9} {:>12} {:>10} {:>10} {:>10}",
+            "load_factor", "completed", "rejected", "rps", "p50_s", "p95_s", "p99_s"
+        );
+        for p in &s.points {
+            println!(
+                "  {:>11.2} {:>10} {:>9} {:>12.1} {:>10.4} {:>10.4} {:>10.4}",
+                p.load_factor,
+                p.completed,
+                p.rejected,
+                p.throughput_rps,
+                p.latency_p50_s,
+                p.latency_p95_s,
+                p.latency_p99_s
+            );
+        }
+    }
+    eprintln!("serve: swept {} load factors in {:.2}s wall", s.points.len(), wall.as_secs_f64());
+    if let Some(path) = &o.bench_out {
+        write_file(path, &json);
+        eprintln!("serve: sweep report written to {path}");
+    }
+    if let Some(path) = &o.write_baseline {
+        write_file(path, &json);
+        eprintln!("serve: sweep baseline written to {path}");
+    }
+    if let Some(path) = &o.csv_out {
+        write_file(path, &render_sweep_csv(&s));
+        eprintln!("serve: sweep CSV written to {path}");
+    }
+    if let Some(path) = &o.baseline {
+        match std::fs::read_to_string(path) {
+            Err(e) => {
+                eprintln!("serve: cannot read sweep baseline {path}: {e}");
+                std::process::exit(2);
+            }
+            Ok(text) => match diff_sweep_baseline(&s, &text) {
+                Err(e) => {
+                    eprintln!("serve: bad sweep baseline {path}: {e}");
+                    std::process::exit(2);
+                }
+                Ok(drifts) if drifts.is_empty() => {
+                    eprintln!("serve: sweep baseline gate PASSED");
+                }
+                Ok(drifts) => {
+                    eprintln!("serve: sweep baseline gate FAILED, {} drift(s):", drifts.len());
+                    for d in &drifts {
+                        eprintln!("  {d}");
+                    }
+                    std::process::exit(1);
+                }
+            },
+        }
+    }
 }
 
 fn print_text(r: &ServeReport) {
@@ -312,6 +430,7 @@ fn diff_baseline(report: &ServeReport, baseline: &str) -> Result<Vec<String>, St
     check_float("makespan_s", report.makespan_s)?;
     check_float("throughput_rps", report.throughput_rps)?;
     check_float("latency_p50_s", report.latency_p50_s)?;
+    check_float("latency_p95_s", report.latency_p95_s)?;
     check_float("latency_p99_s", report.latency_p99_s)?;
     let batches = b.get("batches").ok_or("baseline missing batches")?;
     for (name, got) in [("count", report.batch_count), ("max", report.batch_max)] {
@@ -345,6 +464,66 @@ fn diff_baseline(report: &ServeReport, baseline: &str) -> Result<Vec<String>, St
                     "devices[{}].lost: baseline {lost}, run {}",
                     got.member, got.lost
                 ));
+            }
+        }
+    }
+    Ok(drifts)
+}
+
+/// Sweep drift gate: same contract as [`diff_baseline`] — the curve is
+/// deterministic, so integer fields must match exactly and floats to
+/// 1e-9 relative.
+fn diff_sweep_baseline(s: &SweepResult, baseline: &str) -> Result<Vec<String>, String> {
+    let b = jsonio::parse(baseline)?;
+    if b.get("schema").and_then(|v| v.as_str()) != Some("ompx-bench-sweep-v1") {
+        return Err("missing or wrong schema tag".to_string());
+    }
+    let mut drifts = Vec::new();
+    for (name, got) in [
+        ("seed", s.seed as i64),
+        ("clients", i64::from(s.clients)),
+        ("tenants", i64::from(s.tenants)),
+    ] {
+        let want = b
+            .get(name)
+            .and_then(|v| v.as_f64())
+            .map(|f| f as i64)
+            .ok_or_else(|| format!("baseline missing {name}"))?;
+        if want != got {
+            drifts.push(format!("{name}: baseline {want}, run {got}"));
+        }
+    }
+    let points = b.get("points").and_then(|p| p.as_arr()).ok_or("baseline missing points")?;
+    if points.len() != s.points.len() {
+        drifts.push(format!("points: baseline has {}, run has {}", points.len(), s.points.len()));
+        return Ok(drifts);
+    }
+    for (k, (want, got)) in points.iter().zip(&s.points).enumerate() {
+        for (name, got_v) in [("completed", got.completed), ("rejected", got.rejected)] {
+            let want_v = want
+                .get(name)
+                .and_then(|v| v.as_f64())
+                .ok_or_else(|| format!("baseline missing points[{k}].{name}"))?
+                as u64;
+            if want_v != got_v {
+                drifts.push(format!("points[{k}].{name}: baseline {want_v}, run {got_v}"));
+            }
+        }
+        for (name, got_v) in [
+            ("load_factor", got.load_factor),
+            ("makespan_s", got.makespan_s),
+            ("throughput_rps", got.throughput_rps),
+            ("latency_p50_s", got.latency_p50_s),
+            ("latency_p95_s", got.latency_p95_s),
+            ("latency_p99_s", got.latency_p99_s),
+        ] {
+            let want_v = want
+                .get(name)
+                .and_then(|v| v.as_f64())
+                .ok_or_else(|| format!("baseline missing points[{k}].{name}"))?;
+            let tol = want_v.abs().max(1e-12) * 1e-9;
+            if (want_v - got_v).abs() > tol {
+                drifts.push(format!("points[{k}].{name}: baseline {want_v:e}, run {got_v:e}"));
             }
         }
     }

@@ -339,15 +339,26 @@ pub struct FaultReport {
 pub struct ChaosSession {
     _gate: MutexGuard<'static, ()>,
     log: Arc<ompx_sim::span::SpanLog>,
+    metrics: Arc<ompx_telemetry::MetricRegistry>,
 }
 
 impl ChaosSession {
-    /// Acquire the gate and install a fresh ambient span log.
+    /// Acquire the gate and install a fresh ambient span log and metric
+    /// registry (with the base families pre-declared), so every chaos and
+    /// serve run is metered without further wiring.
     pub fn begin() -> ChaosSession {
         let gate = SANITIZED_RUN_GATE.lock().unwrap_or_else(|e| e.into_inner());
         let log = ompx_sim::span::SpanLog::new();
         ompx_sim::span::SpanLog::install(Arc::clone(&log));
-        ChaosSession { _gate: gate, log }
+        let metrics = ompx_telemetry::MetricRegistry::new();
+        ompx_telemetry::describe_base_families(&metrics);
+        ompx_telemetry::install(Arc::clone(&metrics));
+        ChaosSession { _gate: gate, log, metrics }
+    }
+
+    /// The session's metric registry (shared with the ambient install).
+    pub fn metrics(&self) -> Arc<ompx_telemetry::MetricRegistry> {
+        Arc::clone(&self.metrics)
     }
 
     /// The session's span log (shared with the ambient install), e.g. for
@@ -407,6 +418,7 @@ impl ChaosSession {
 
 impl Drop for ChaosSession {
     fn drop(&mut self) {
+        ompx_telemetry::uninstall();
         ompx_sim::span::SpanLog::uninstall();
     }
 }

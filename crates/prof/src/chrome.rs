@@ -96,14 +96,19 @@ pub fn to_chrome_trace(spans: &[Span]) -> String {
         let tid = tid_of(&s.track, &stream_order);
         let ts_us = s.start_s * 1e6;
         let dur_us = s.dur_s * 1e6;
+        let trace_arg = match s.trace {
+            Some(id) => format!(",\"trace\":{id}"),
+            None => String::new(),
+        };
         events.push(format!(
-            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"pid\":0,\"tid\":{},\"ts\":{:.6},\"dur\":{:.6},\"args\":{{\"bytes\":{}}}}}",
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"pid\":0,\"tid\":{},\"ts\":{:.6},\"dur\":{:.6},\"args\":{{\"bytes\":{}{}}}}}",
             esc(&s.name),
             s.cat.label(),
             tid,
             ts_us,
             dur_us,
-            s.bytes
+            s.bytes,
+            trace_arg
         ));
         // Flow arrows: tail ("s") rides at the end of the emitting span,
         // head ("f", bp:"e") binds to the enclosing receiving slice.
@@ -151,6 +156,7 @@ mod tests {
             bytes: 64,
             flow_in,
             flow_out,
+            trace: None,
         }
     }
 
@@ -190,5 +196,13 @@ mod tests {
         let json = to_chrome_trace(&[s]);
         assert!(json.contains("memcpy \\\"H2D\\\""));
         assert!(json.contains("\"args\":{\"bytes\":4096}"));
+    }
+
+    #[test]
+    fn trace_ids_ride_in_args() {
+        let mut s = span(Track::Device(0), "batch", None, None);
+        s.trace = Some(17);
+        let json = to_chrome_trace(&[s]);
+        assert!(json.contains("\"args\":{\"bytes\":64,\"trace\":17}"));
     }
 }

@@ -112,6 +112,23 @@ pub fn exit_code(findings: &[Finding]) -> i32 {
     i32::from(findings.iter().any(|f| f.severity == Severity::Error))
 }
 
+/// Count `findings` into the ambient metric registry (if one is
+/// installed) as `findings_total{tool, severity}` — the reporting-side
+/// companion to the per-diagnostic `sanitizer_findings_total` the dynamic
+/// sanitizer records at detection time. CLIs call this once per report so
+/// a metrics snapshot covers static-analyzer findings too.
+pub fn record_findings_metrics(findings: &[Finding]) {
+    if let Some(reg) = ompx_telemetry::active() {
+        for f in findings {
+            reg.counter_add(
+                "findings_total",
+                &[("tool", &f.tool), ("severity", f.severity.label())],
+                1,
+            );
+        }
+    }
+}
+
 /// Render a finding list as the unified JSON document.
 pub fn render_json(findings: &[Finding]) -> String {
     let mut out = String::from("{\n  \"findings\": [\n");
@@ -176,6 +193,19 @@ mod tests {
         assert_eq!(exit_code(&[w.clone()]), 0);
         assert_eq!(exit_code(&[w, sample()]), 1);
         assert_eq!(exit_code(&[]), 0);
+    }
+
+    #[test]
+    fn findings_metrics_count_by_tool_and_severity() {
+        let ((), snap) = ompx_telemetry::with_metrics(|| {
+            let mut w = sample();
+            w.severity = Severity::Warning;
+            record_findings_metrics(&[sample(), sample(), w]);
+        });
+        let errors = [("severity", "error"), ("tool", "boundscheck")];
+        let warns = [("severity", "warning"), ("tool", "boundscheck")];
+        assert_eq!(snap.counter("findings_total", &errors), 2);
+        assert_eq!(snap.counter("findings_total", &warns), 1);
     }
 
     #[test]

@@ -37,9 +37,13 @@ pub mod pool;
 pub mod report;
 pub mod request;
 pub mod server;
+pub mod sweep;
 
 pub use loadgen::LoadSpec;
 pub use pool::{DeviceKind, DevicePool, PoolMember};
 pub use report::{build as build_report, render_json, ServeReport};
 pub use request::{Request, Response, Verdict};
 pub use server::{serve, ServeConfig, ServeResult};
+pub use sweep::{
+    render_sweep_csv, render_sweep_json, sweep, SweepPoint, SweepResult, DEFAULT_FACTORS,
+};

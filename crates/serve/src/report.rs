@@ -8,6 +8,7 @@
 
 use crate::pool::DevicePool;
 use crate::request::{Response, Verdict};
+use ompx_telemetry::percentile_interp;
 
 /// Per-member rollup.
 #[derive(Debug, Clone)]
@@ -22,12 +23,18 @@ pub struct DeviceSummary {
 
 /// Per-tenant rollup. `share` is this tenant's fraction of all served
 /// (executed) requests — the fairness accounting the scheduler optimizes.
+/// The latency percentiles are over the tenant's own served requests
+/// (modeled queueing + service), so tail unfairness is visible even when
+/// the served shares balance.
 #[derive(Debug, Clone)]
 pub struct TenantShare {
     pub tenant: u32,
     pub served: u64,
     pub rejected: u64,
     pub share: f64,
+    pub latency_p50_s: f64,
+    pub latency_p95_s: f64,
+    pub latency_p99_s: f64,
 }
 
 /// The full serve report.
@@ -48,20 +55,13 @@ pub struct ServeReport {
     /// Completed requests per modeled second.
     pub throughput_rps: f64,
     pub latency_p50_s: f64,
+    pub latency_p95_s: f64,
     pub latency_p99_s: f64,
     pub batch_count: u64,
     pub batch_max: u64,
     pub batch_mean: f64,
     pub devices: Vec<DeviceSummary>,
     pub fairness: Vec<TenantShare>,
-}
-
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
 }
 
 /// Roll a run's responses and final pool state into the report.
@@ -80,6 +80,7 @@ pub fn build(
     let mut latencies: Vec<f64> = Vec::new();
     let mut served_per_tenant = vec![0u64; tenants as usize];
     let mut rejected_per_tenant = vec![0u64; tenants as usize];
+    let mut tenant_latencies: Vec<Vec<f64>> = vec![Vec::new(); tenants as usize];
     for r in responses {
         match &r.verdict {
             Verdict::Success => success += 1,
@@ -93,9 +94,13 @@ pub fn build(
         } else {
             latencies.push(r.latency_s());
             served_per_tenant[r.tenant as usize] += 1;
+            tenant_latencies[r.tenant as usize].push(r.latency_s());
         }
     }
     latencies.sort_by(f64::total_cmp);
+    for tl in &mut tenant_latencies {
+        tl.sort_by(f64::total_cmp);
+    }
     let completed = latencies.len() as u64;
     let makespan_s = responses.iter().map(|r| r.done_s).fold(0.0f64, f64::max);
     let throughput_rps = if makespan_s > 0.0 { completed as f64 / makespan_s } else { 0.0 };
@@ -121,15 +126,21 @@ pub fn build(
         })
         .collect();
     let fairness = (0..tenants)
-        .map(|t| TenantShare {
-            tenant: t,
-            served: served_per_tenant[t as usize],
-            rejected: rejected_per_tenant[t as usize],
-            share: if completed > 0 {
-                served_per_tenant[t as usize] as f64 / completed as f64
-            } else {
-                0.0
-            },
+        .map(|t| {
+            let tl = &tenant_latencies[t as usize];
+            TenantShare {
+                tenant: t,
+                served: served_per_tenant[t as usize],
+                rejected: rejected_per_tenant[t as usize],
+                share: if completed > 0 {
+                    served_per_tenant[t as usize] as f64 / completed as f64
+                } else {
+                    0.0
+                },
+                latency_p50_s: percentile_interp(tl, 0.50),
+                latency_p95_s: percentile_interp(tl, 0.95),
+                latency_p99_s: percentile_interp(tl, 0.99),
+            }
         })
         .collect();
 
@@ -146,8 +157,9 @@ pub fn build(
         corrupt,
         makespan_s,
         throughput_rps,
-        latency_p50_s: percentile(&latencies, 0.50),
-        latency_p99_s: percentile(&latencies, 0.99),
+        latency_p50_s: percentile_interp(&latencies, 0.50),
+        latency_p95_s: percentile_interp(&latencies, 0.95),
+        latency_p99_s: percentile_interp(&latencies, 0.99),
         batch_count,
         batch_max,
         batch_mean,
@@ -174,6 +186,7 @@ pub fn render_json(r: &ServeReport) -> String {
     out.push_str(&format!("  \"makespan_s\": {:e},\n", r.makespan_s));
     out.push_str(&format!("  \"throughput_rps\": {:e},\n", r.throughput_rps));
     out.push_str(&format!("  \"latency_p50_s\": {:e},\n", r.latency_p50_s));
+    out.push_str(&format!("  \"latency_p95_s\": {:e},\n", r.latency_p95_s));
     out.push_str(&format!("  \"latency_p99_s\": {:e},\n", r.latency_p99_s));
     out.push_str(&format!(
         "  \"batches\": {{\"count\":{},\"max\":{},\"mean\":{:.4}}},\n",
@@ -195,11 +208,14 @@ pub fn render_json(r: &ServeReport) -> String {
     out.push_str("  ],\n  \"fairness\": [\n");
     for (i, t) in r.fairness.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"tenant\":{},\"served\":{},\"rejected\":{},\"share\":{:.4}}}{}\n",
+            "    {{\"tenant\":{},\"served\":{},\"rejected\":{},\"share\":{:.4},\"latency_p50_s\":{:e},\"latency_p95_s\":{:e},\"latency_p99_s\":{:e}}}{}\n",
             t.tenant,
             t.served,
             t.rejected,
             t.share,
+            t.latency_p50_s,
+            t.latency_p95_s,
+            t.latency_p99_s,
             if i + 1 < r.fairness.len() { "," } else { "" }
         ));
     }
@@ -232,6 +248,7 @@ mod tests {
             arrival_s: arrival,
             done_s: done,
             checksum: Some(1),
+            trace: None,
         }
     }
 
@@ -252,12 +269,59 @@ mod tests {
         assert_eq!(r.total, 4);
         assert!((r.makespan_s - 4.0).abs() < 1e-12);
         assert!((r.latency_p50_s - 1.0).abs() < 1e-12);
-        assert!((r.latency_p99_s - 3.0).abs() < 1e-12);
+        // Interpolated ranks over sorted [1, 1, 3]: rank 1.9 and 1.98.
+        assert!((r.latency_p95_s - 2.8).abs() < 1e-12);
+        assert!((r.latency_p99_s - 2.96).abs() < 1e-12);
         assert_eq!(r.batch_count, 2);
         assert_eq!(r.batch_max, 2);
         assert!((r.batch_mean - 1.5).abs() < 1e-12);
         let shares: f64 = r.fairness.iter().map(|t| t.share).sum();
         assert!((shares - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_rejected_percentiles_are_zero() {
+        // No completed request: every percentile (global and per-tenant)
+        // must come out 0.0, not panic or index out of range.
+        let pool = DevicePool::new(&[DeviceKind::A100], None, 1);
+        let responses = vec![
+            resp(0, 0, Verdict::Rejected("full".into()), 0.0, 0.0, 1),
+            resp(1, 1, Verdict::Rejected("full".into()), 1.0, 1.0, 1),
+        ];
+        let r = build(9, 2, 2, &responses, &pool);
+        assert_eq!(r.completed, 0);
+        assert_eq!(r.latency_p50_s, 0.0);
+        assert_eq!(r.latency_p95_s, 0.0);
+        assert_eq!(r.latency_p99_s, 0.0);
+        for t in &r.fairness {
+            assert_eq!(t.latency_p50_s, 0.0);
+            assert_eq!(t.latency_p99_s, 0.0);
+        }
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let pool = DevicePool::new(&[DeviceKind::A100], None, 1);
+        let responses = vec![resp(0, 0, Verdict::Success, 0.5, 2.5, 1)];
+        let r = build(9, 1, 1, &responses, &pool);
+        assert!((r.latency_p50_s - 2.0).abs() < 1e-12);
+        assert!((r.latency_p95_s - 2.0).abs() < 1e-12);
+        assert!((r.latency_p99_s - 2.0).abs() < 1e-12);
+        assert!((r.fairness[0].latency_p99_s - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_tenant_percentiles_cover_only_that_tenants_requests() {
+        let pool = DevicePool::new(&[DeviceKind::A100], None, 1);
+        let responses = vec![
+            resp(0, 0, Verdict::Success, 0.0, 1.0, 1),
+            resp(1, 0, Verdict::Success, 0.0, 3.0, 1),
+            resp(2, 1, Verdict::Success, 0.0, 10.0, 1),
+        ];
+        let r = build(9, 3, 2, &responses, &pool);
+        assert!((r.fairness[0].latency_p50_s - 2.0).abs() < 1e-12);
+        assert!((r.fairness[1].latency_p50_s - 10.0).abs() < 1e-12);
+        assert!(r.fairness[0].latency_p99_s < r.fairness[1].latency_p99_s);
     }
 
     #[test]

@@ -81,6 +81,10 @@ pub struct Response {
     pub done_s: f64,
     /// The app checksum the execution produced, when it completed.
     pub checksum: Option<u64>,
+    /// Request-scoped trace id: set for executed requests, shared by the
+    /// whole batch, and stamped onto every span the batch's execution
+    /// recorded — so a response can be joined against its timeline slice.
+    pub trace: Option<u64>,
 }
 
 impl Response {
@@ -116,6 +120,7 @@ mod tests {
             arrival_s: 1.5,
             done_s: 4.0,
             checksum: Some(7),
+            trace: None,
         };
         assert!((r.latency_s() - 2.5).abs() < 1e-12);
     }

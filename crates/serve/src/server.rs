@@ -18,7 +18,8 @@ use crate::pool::{DeviceKind, DevicePool};
 use crate::request::{version_tag, Request, Response, Verdict};
 use ompx_hecbench::{ChaosSession, ProgVersion, RunOutcome, System, WorkScale};
 use ompx_sim::fault::FaultPlan;
-use ompx_sim::span::{Span, SpanCategory};
+use ompx_sim::span::{set_trace_context, Span, SpanCategory};
+use ompx_telemetry::{MetricRegistry, Snapshot};
 use std::collections::{BinaryHeap, HashMap};
 
 /// Server shape and policies.
@@ -72,6 +73,18 @@ pub struct ServeResult {
     pub expected: HashMap<&'static str, u64>,
     /// The modeled arrival horizon the load was scaled onto.
     pub horizon_s: f64,
+    /// Metric snapshot taken at drain time from the session's registry:
+    /// queue/batch/backpressure counters, per-tenant latency histograms,
+    /// and the substrate families (`sim_*`, `fault_*`, sanitizer) the
+    /// executed cells recorded. Deterministic for a fixed `(cfg, spec)`.
+    pub metrics: Option<Snapshot>,
+}
+
+/// Run `f` against the ambient metric registry, if one is installed.
+fn meter(f: impl FnOnce(&MetricRegistry)) {
+    if let Some(reg) = ompx_telemetry::active() {
+        f(&reg);
+    }
 }
 
 /// Modeled service cost of a failed (typed-error) dispatch, as a fraction
@@ -148,6 +161,19 @@ impl<'a> Server<'a> {
             arrival_s: r.arrival_s,
             done_s: t,
             checksum: None,
+            trace: None,
+        });
+        let resp = self.responses.last().expect("just pushed");
+        meter(|reg| {
+            reg.counter_add(
+                "serve_requests_total",
+                &[
+                    ("app", resp.app),
+                    ("verdict", resp.verdict.label()),
+                    ("version", version_tag(resp.version)),
+                ],
+                1,
+            );
         });
     }
 
@@ -164,22 +190,40 @@ impl<'a> Server<'a> {
         if self.total_queued >= self.cfg.queue_cap
             && self.tenant_queued[r.tenant as usize] >= per_tenant_cap
         {
+            let tenant = r.tenant;
             self.respond_unexecuted(
                 i,
                 t,
                 Verdict::Rejected(format!(
                     "backlog {} at cap {}, tenant {} over fair slice {per_tenant_cap}",
-                    self.total_queued, self.cfg.queue_cap, r.tenant
+                    self.total_queued, self.cfg.queue_cap, tenant
                 )),
             );
+            meter(|reg| {
+                reg.counter_add("serve_shed_total", &[("tenant", &tenant.to_string())], 1);
+            });
             return;
         }
         self.queues[m].push(i);
         self.tenant_queued[r.tenant as usize] += 1;
         self.total_queued += 1;
+        self.meter_queue_depth(m);
         if !self.pool.members[m].busy {
             self.dispatch(m, t);
         }
+    }
+
+    /// Record the member's backlog depth and the global high-water mark.
+    fn meter_queue_depth(&self, m: usize) {
+        meter(|reg| {
+            let member_label = m.to_string();
+            reg.gauge_set(
+                "serve_queue_depth",
+                &[("member", &member_label)],
+                self.queues[m].len() as f64,
+            );
+            reg.gauge_max("serve_queue_depth_peak", &[], self.total_queued as f64);
+        });
     }
 
     /// Drain a lost member's backlog back through admission (its tenants
@@ -187,6 +231,7 @@ impl<'a> Server<'a> {
     fn rehome(&mut self, m: usize, t: f64) {
         let mut drained = std::mem::take(&mut self.queues[m]);
         drained.sort_by_key(|&i| (self.reqs[i].arrival_s.to_bits(), self.reqs[i].id));
+        meter(|reg| reg.counter_add("serve_rehomed_total", &[], drained.len() as u64));
         for i in drained {
             self.tenant_queued[self.reqs[i].tenant as usize] -= 1;
             self.total_queued -= 1;
@@ -234,6 +279,14 @@ impl<'a> Server<'a> {
             self.total_queued -= 1;
         }
 
+        self.meter_queue_depth(m);
+
+        // One trace id per batch (the leader's request id, offset past
+        // the zero sentinel): every span the execution records — launches,
+        // retries, fallbacks, and the device-track batch span below —
+        // carries it, as do all of the batch's responses.
+        let trace_id = self.reqs[head].id as u64 + 1;
+        set_trace_context(Some(trace_id));
         let sys = self.pool.members[m].kind.system();
         let (service, verdict, checksum) = self.execute(m, sys, app, version, batch.len());
         let member = &mut self.pool.members[m];
@@ -251,6 +304,21 @@ impl<'a> Server<'a> {
             service,
             None,
         );
+        set_trace_context(None);
+        meter(|reg| {
+            let member_label = m.to_string();
+            reg.counter_add(
+                "serve_batches_total",
+                &[("kind", self.pool.members[m].kind.label()), ("member", &member_label)],
+                1,
+            );
+            reg.hist_record("serve_batch_occupancy", &[], batch.len() as f64);
+            reg.gauge_set(
+                "serve_busy_seconds",
+                &[("member", &member_label)],
+                self.pool.members[m].busy_s,
+            );
+        });
         for &i in &batch {
             let r = &self.reqs[i];
             self.tenant_served[r.tenant as usize] += 1;
@@ -265,6 +333,23 @@ impl<'a> Server<'a> {
                 arrival_s: r.arrival_s,
                 done_s: done,
                 checksum,
+                trace: Some(trace_id),
+            });
+            meter(|reg| {
+                reg.counter_add(
+                    "serve_requests_total",
+                    &[
+                        ("app", r.app),
+                        ("verdict", verdict.label()),
+                        ("version", version_tag(r.version)),
+                    ],
+                    1,
+                );
+                reg.hist_record(
+                    "serve_latency_seconds",
+                    &[("tenant", &r.tenant.to_string())],
+                    done - r.arrival_s,
+                );
             });
         }
         // A loss surfaced by this batch: quarantine the member and move
@@ -390,7 +475,15 @@ pub fn serve(cfg: &ServeConfig, spec: &LoadSpec) -> ServeResult {
     let mut responses = server.responses;
     responses.sort_by_key(|r| r.id);
     let spans = session.spans();
-    ServeResult { responses, pool: server.pool, spans, expected: server.expected, horizon_s }
+    let metrics = ompx_telemetry::active().map(|reg| reg.snapshot());
+    ServeResult {
+        responses,
+        pool: server.pool,
+        spans,
+        expected: server.expected,
+        horizon_s,
+        metrics,
+    }
 }
 
 #[cfg(test)]
@@ -422,6 +515,41 @@ mod tests {
             if r.verdict == Verdict::Success {
                 assert_eq!(r.checksum, Some(a.expected[r.app]));
                 assert!(r.latency_s() >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn metrics_cover_serve_and_substrate_and_traces_join_responses_to_spans() {
+        let cfg = ServeConfig::new(5);
+        let out = serve(&cfg, &small_spec(40));
+        let snap = out.metrics.expect("session installs a registry");
+        // Serve-side accounting matches the response stream exactly.
+        let requests_total: u64 = snap
+            .samples
+            .iter()
+            .filter(|s| s.name == "serve_requests_total")
+            .map(|s| match s.value {
+                ompx_telemetry::MetricValue::Counter(c) => c,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(requests_total, out.responses.len() as u64);
+        // Substrate families recorded through the same ambient registry.
+        assert!(snap.counter("sim_launches_total", &[]) > 0);
+        assert!(snap.samples.iter().any(|s| s.name == "sim_memcpys_total"));
+        assert!(snap.samples.iter().any(|s| s.name == "serve_latency_seconds"));
+        // Executed responses carry a trace id that joins them to their
+        // batch's device span; rejected ones carry none.
+        for r in &out.responses {
+            if matches!(r.verdict, Verdict::Rejected(_)) {
+                assert_eq!(r.trace, None);
+            } else {
+                let t = r.trace.expect("executed response has a trace id");
+                assert!(out
+                    .spans
+                    .iter()
+                    .any(|s| s.trace == Some(t) && matches!(s.track, Track::Device(_))));
             }
         }
     }

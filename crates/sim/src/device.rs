@@ -709,6 +709,9 @@ impl Device {
         // mid-run and leaves a committed block prefix behind — see
         // `watchdog_partial`.
         if let Some(inj) = self.roll(FaultSite::Launch) {
+            if let Some(reg) = ompx_telemetry::active() {
+                reg.counter_add("sim_launch_faults_total", &[("kind", inj.kind.label())], 1);
+            }
             return Err(match inj.kind {
                 FaultKind::DeviceLost => SimError::DeviceLost { device: self.inner.id },
                 FaultKind::Watchdog => self.watchdog_partial(kernel, &cfg, &inj),
@@ -816,6 +819,9 @@ impl Device {
     /// still produces functionally correct results.
     pub fn launch_unchecked(&self, kernel: &Kernel, cfg: LaunchConfig) -> SimResult<StatsSnapshot> {
         self.validate_launch(&cfg)?;
+        if let Some(reg) = ompx_telemetry::active() {
+            reg.counter_add("sim_launches_total", &[], 1);
+        }
         let san = self.sanitizer().map(|state| LaunchSan::new(state, kernel.name()));
         let mem = self.mem_trace().map(|trace| LaunchMemTrace::new(trace, kernel.name()));
         let stats =

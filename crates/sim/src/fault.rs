@@ -381,6 +381,18 @@ impl FaultState {
         &self.plan
     }
 
+    /// Count an injection on the ambient metric registry, if one is
+    /// installed, labeled by fault kind and injection site.
+    fn meter_injection(site: FaultSite, kind: FaultKind) {
+        if let Some(reg) = ompx_telemetry::active() {
+            reg.counter_add(
+                "fault_injected_total",
+                &[("kind", kind.label()), ("site", site.label())],
+                1,
+            );
+        }
+    }
+
     /// Decide whether the next operation at `site` faults.
     pub(crate) fn roll(&self, site: FaultSite) -> Option<Injected> {
         let slot = site.code() as usize;
@@ -394,6 +406,7 @@ impl FaultState {
             if gop >= at {
                 self.lost.store(true, Ordering::Release);
                 self.injected.lock().push(FaultEvent { site, op, kind: FaultKind::DeviceLost });
+                Self::meter_injection(site, FaultKind::DeviceLost);
                 return Some(Injected { kind: FaultKind::DeviceLost, salt: 0 });
             }
         }
@@ -418,6 +431,7 @@ impl FaultState {
             let salt = splitmix64(self.plan.seed ^ site.code() ^ op);
             *episode = Some(Episode { kind, remaining: 0, salt });
             self.injected.lock().push(FaultEvent { site, op, kind });
+            Self::meter_injection(site, kind);
             return Some(Injected { kind, salt });
         }
 
@@ -451,27 +465,40 @@ impl FaultState {
         let burst = 1 + ((h2 >> 8) as u32 % self.plan.max_burst.clamp(1, BURST_CAP));
         *episode = Some(Episode { kind, remaining: burst - 1, salt: h2 });
         self.injected.lock().push(FaultEvent { site, op, kind });
+        Self::meter_injection(site, kind);
         Some(Injected { kind, salt: h2 })
     }
 
     /// Record a retry that ultimately succeeded.
     pub fn note_recovered(&self) {
         self.recovered.fetch_add(1, Ordering::Relaxed);
+        if let Some(reg) = ompx_telemetry::active() {
+            reg.counter_add("fault_recovered_total", &[], 1);
+        }
     }
 
     /// Record a target region re-dispatched through the host fallback.
     pub fn note_fallback(&self, what: &str) {
         self.fallbacks.lock().push(what.to_string());
+        if let Some(reg) = ompx_telemetry::active() {
+            reg.counter_add("fault_fallbacks_total", &[], 1);
+        }
     }
 
     /// Record an operation that bypassed injection and completed unchecked.
     pub fn note_degraded(&self, what: &str) {
         self.degraded.lock().push(what.to_string());
+        if let Some(reg) = ompx_telemetry::active() {
+            reg.counter_add("fault_degraded_total", &[], 1);
+        }
     }
 
     /// Record an error that became sticky device state.
     pub fn note_sticky(&self, what: &str) {
         self.sticky.lock().push(what.to_string());
+        if let Some(reg) = ompx_telemetry::active() {
+            reg.counter_add("fault_sticky_total", &[], 1);
+        }
     }
 
     /// True once the plan's device loss has fired.

@@ -454,6 +454,7 @@ impl<T: DeviceScalar> DBuf<T> {
 
     /// Copy the whole buffer to a host `Vec` (device-to-host memcpy).
     pub fn to_vec(&self) -> Vec<T> {
+        meter_copy("d2h", self.len() * std::mem::size_of::<T>());
         (0..self.len()).map(|i| self.get(i)).collect()
     }
 
@@ -466,6 +467,7 @@ impl<T: DeviceScalar> DBuf<T> {
             src.len(),
             self.len()
         );
+        meter_copy("h2d", std::mem::size_of_val(src));
         for (i, &v) in src.iter().enumerate() {
             self.set(i, v);
         }
@@ -480,6 +482,7 @@ impl<T: DeviceScalar> DBuf<T> {
             dst.len(),
             self.len()
         );
+        meter_copy("d2h", std::mem::size_of_val(dst));
         for (i, v) in dst.iter_mut().enumerate() {
             *v = self.get(i);
         }
@@ -488,6 +491,7 @@ impl<T: DeviceScalar> DBuf<T> {
     /// Device-to-device copy of `len` elements (`cudaMemcpyDeviceToDevice`).
     pub fn copy_from_device(&self, src: &DBuf<T>, len: usize) {
         assert!(len <= src.len() && len <= self.len(), "device-to-device copy out of range");
+        meter_copy("d2d", len * std::mem::size_of::<T>());
         for i in 0..len {
             self.set(i, src.get(i));
         }
@@ -498,6 +502,17 @@ impl<T: DeviceScalar> DBuf<T> {
         for i in 0..self.len() {
             self.set(i, v);
         }
+    }
+}
+
+/// Count a modeled transfer on the ambient metric registry, if one is
+/// installed, labeled by direction. Sits on the `DBuf` copy methods — the
+/// one choke point every runtime's memcpy path (fallible device API,
+/// hostrt mapping, klang) flows through.
+fn meter_copy(dir: &'static str, bytes: usize) {
+    if let Some(reg) = ompx_telemetry::active() {
+        reg.counter_add("sim_memcpys_total", &[("dir", dir)], 1);
+        reg.counter_add("sim_memcpy_bytes_total", &[("dir", dir)], bytes as u64);
     }
 }
 

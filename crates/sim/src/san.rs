@@ -276,6 +276,9 @@ impl SanState {
         if !self.seen.lock().insert(dedup_key) {
             return;
         }
+        if let Some(reg) = ompx_telemetry::active() {
+            reg.counter_add("sanitizer_findings_total", &[("tool", diag.kind.tool())], 1);
+        }
         let mut diags = self.diagnostics.lock();
         if diags.len() < MAX_DIAGNOSTICS {
             diags.push(diag);

@@ -102,11 +102,36 @@ pub struct Span {
     pub flow_in: Option<u64>,
     /// Outgoing flow-arrow id (this span is the arrow's tail).
     pub flow_out: Option<u64>,
+    /// Request-scoped trace id: spans recorded while a trace context is
+    /// set ([`set_trace_context`]) are stamped with it, so one serving
+    /// request's path — batch dispatch, launches, retries, fallbacks —
+    /// can be followed across tracks in the exported timeline.
+    pub trace: Option<u64>,
 }
 
 /// Cheap gate so un-profiled runs pay one atomic load per hook.
 static SPAN_LOG_ENABLED: AtomicBool = AtomicBool::new(false);
 static ACTIVE_SPAN_LOG: Mutex<Option<Arc<SpanLog>>> = Mutex::new(None);
+
+/// The ambient request-scoped trace id (`0` = none). A serving layer sets
+/// it around one request's execution so every span the runtimes record in
+/// that window — launches, memcpys, retries, fallbacks — carries the id.
+static CURRENT_TRACE: AtomicU64 = AtomicU64::new(0);
+
+/// Set (or clear, with `None`) the ambient trace id stamped onto every
+/// span recorded until the next call. Ids are caller-chosen and must be
+/// non-zero (zero is the "no trace" sentinel).
+pub fn set_trace_context(trace: Option<u64>) {
+    CURRENT_TRACE.store(trace.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// The ambient trace id, if one is set.
+pub fn current_trace() -> Option<u64> {
+    match CURRENT_TRACE.load(Ordering::Relaxed) {
+        0 => None,
+        id => Some(id),
+    }
+}
 
 /// The process-wide span log a profiling harness installs, if any.
 pub fn active() -> Option<Arc<SpanLog>> {
@@ -152,8 +177,12 @@ impl SpanLog {
         ACTIVE_SPAN_LOG.lock().take()
     }
 
-    /// Append a fully described span.
-    pub fn record(&self, span: Span) {
+    /// Append a fully described span, stamping the ambient trace id onto
+    /// spans that do not already carry one.
+    pub fn record(&self, mut span: Span) {
+        if span.trace.is_none() {
+            span.trace = current_trace();
+        }
         self.spans.lock().push(span);
     }
 
@@ -200,6 +229,7 @@ impl SpanLog {
             bytes,
             flow_in: None,
             flow_out,
+            trace: None,
         });
     }
 
@@ -225,6 +255,7 @@ impl SpanLog {
             bytes,
             flow_in,
             flow_out: None,
+            trace: None,
         });
     }
 
@@ -249,6 +280,7 @@ impl SpanLog {
             bytes: 0,
             flow_in,
             flow_out: None,
+            trace: None,
         });
     }
 
@@ -270,6 +302,7 @@ impl SpanLog {
             bytes: 0,
             flow_in,
             flow_out: None,
+            trace: None,
         });
     }
 
@@ -345,6 +378,20 @@ mod tests {
         assert_eq!(spans[1].track, Track::Device(2));
         assert_eq!(spans[1].flow_in, Some(flow));
         assert!((spans[1].start_s - 1e-3).abs() < 1e-18);
+    }
+
+    #[test]
+    fn trace_context_stamps_recorded_spans() {
+        let log = SpanLog::new();
+        log.host_op("before", SpanCategory::HostOp, 0.0, 0);
+        set_trace_context(Some(41));
+        log.host_op("traced", SpanCategory::Kernel, 1e-6, 0);
+        set_trace_context(None);
+        log.host_op("after", SpanCategory::HostOp, 0.0, 0);
+        let spans = log.spans();
+        assert_eq!(spans[0].trace, None);
+        assert_eq!(spans[1].trace, Some(41));
+        assert_eq!(spans[2].trace, None);
     }
 
     #[test]

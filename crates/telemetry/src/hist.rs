@@ -1,0 +1,246 @@
+//! Log-linear (HDR/DDSketch-style) histograms with a bounded relative
+//! quantile error.
+//!
+//! Buckets are geometric: bucket `i` covers `(γ^(i-1), γ^i]` with
+//! `γ = (1 + ε) / (1 - ε)` for the configured relative error `ε`, and the
+//! bucket's representative value `2·γ^i / (γ + 1)` (the harmonic midpoint)
+//! is within `ε` relative error of *every* value the bucket can hold —
+//! which is what makes a histogram quantile trustworthy without keeping
+//! the samples. Values at or below [`MIN_TRACKABLE`] land in a dedicated
+//! zero bucket represented exactly as `0.0`.
+//!
+//! The state is a sparse `BTreeMap` of bucket counts, so merging two
+//! histograms is exact bucket-wise integer addition — recording the
+//! concatenation of two sample streams and merging their histograms
+//! produce identical bucket maps (the property tests pin this). All
+//! iteration is in bucket order, so snapshots render deterministically.
+
+use std::collections::BTreeMap;
+
+/// Values at or below this magnitude (including zero and anything
+/// negative, which a latency or occupancy metric never produces) are
+/// recorded in the zero bucket and reported as exactly `0.0`.
+pub const MIN_TRACKABLE: f64 = 1e-12;
+
+/// Default relative bucket error for registry-created histograms: 1%.
+pub const DEFAULT_REL_ERR: f64 = 0.01;
+
+/// A mergeable log-linear histogram with bounded relative quantile error.
+#[derive(Debug, Clone)]
+pub struct LogLinearHistogram {
+    rel_err: f64,
+    gamma: f64,
+    inv_log_gamma: f64,
+    /// Sparse bucket counts for values above [`MIN_TRACKABLE`].
+    buckets: BTreeMap<i32, u64>,
+    /// Count of values at or below [`MIN_TRACKABLE`].
+    zero_count: u64,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl LogLinearHistogram {
+    /// Empty histogram with relative bucket error `rel_err` (clamped to
+    /// a sane `(0, 0.5]` range; the default is [`DEFAULT_REL_ERR`]).
+    pub fn new(rel_err: f64) -> LogLinearHistogram {
+        let rel_err = if rel_err > 0.0 { rel_err.min(0.5) } else { DEFAULT_REL_ERR };
+        let gamma = (1.0 + rel_err) / (1.0 - rel_err);
+        LogLinearHistogram {
+            rel_err,
+            gamma,
+            inv_log_gamma: 1.0 / gamma.ln(),
+            buckets: BTreeMap::new(),
+            zero_count: 0,
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The configured relative bucket error.
+    pub fn rel_err(&self) -> f64 {
+        self.rel_err
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: f64) {
+        let v = if v.is_finite() { v } else { 0.0 };
+        if v <= MIN_TRACKABLE {
+            self.zero_count += 1;
+        } else {
+            *self.buckets.entry(self.index_of(v)).or_insert(0) += 1;
+        }
+        self.count += 1;
+        self.sum += v.max(0.0);
+        self.min = self.min.min(v.max(0.0));
+        self.max = self.max.max(v.max(0.0));
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded samples (negative inputs clamp to zero).
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (`0.0` when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (`0.0` when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    fn index_of(&self, v: f64) -> i32 {
+        (v.ln() * self.inv_log_gamma).ceil() as i32
+    }
+
+    fn value_of(&self, i: i32) -> f64 {
+        2.0 * self.gamma.powi(i) / (self.gamma + 1.0)
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`) by nearest rank over the bucket
+    /// counts: within `rel_err` relative error of the exact nearest-rank
+    /// percentile of the recorded samples. Returns `0.0` when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = self.zero_count;
+        if rank <= seen {
+            return 0.0;
+        }
+        for (&i, &c) in &self.buckets {
+            seen += c;
+            if rank <= seen {
+                return self.value_of(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merge `other` into `self`: exactly equivalent (bucket-wise) to
+    /// having recorded both sample streams into one histogram. Panics if
+    /// the relative errors differ — merged buckets would be meaningless.
+    pub fn merge(&mut self, other: &LogLinearHistogram) {
+        assert!(
+            (self.rel_err - other.rel_err).abs() < 1e-15,
+            "cannot merge histograms with different bucket errors ({} vs {})",
+            self.rel_err,
+            other.rel_err
+        );
+        for (&i, &c) in &other.buckets {
+            *self.buckets.entry(i).or_insert(0) += c;
+        }
+        self.zero_count += other.zero_count;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The sparse bucket map (bucket index → count), for tests and
+    /// merge-equivalence checks.
+    pub fn bucket_counts(&self) -> (&BTreeMap<i32, u64>, u64) {
+        (&self.buckets, self.zero_count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = LogLinearHistogram::new(0.01);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+    }
+
+    #[test]
+    fn single_sample_is_every_quantile() {
+        let mut h = LogLinearHistogram::new(0.01);
+        h.record(3.5);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let got = h.quantile(q);
+            assert!((got - 3.5).abs() <= 0.01 * 3.5 + 1e-12, "q{q}: {got}");
+        }
+    }
+
+    #[test]
+    fn zero_and_negative_samples_report_exactly_zero() {
+        let mut h = LogLinearHistogram::new(0.01);
+        h.record(0.0);
+        h.record(-1.0);
+        h.record(5.0);
+        assert_eq!(h.quantile(0.5), 0.0, "rank 2 of 3 is the second zero");
+        assert!((h.quantile(1.0) - 5.0).abs() <= 0.05 + 1e-12);
+        assert_eq!(h.min(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_stay_within_relative_error_on_a_ladder() {
+        let mut h = LogLinearHistogram::new(0.01);
+        let samples: Vec<f64> = (1..=1000).map(|i| i as f64 * 1e-3).collect();
+        for &s in &samples {
+            h.record(s);
+        }
+        for q in [0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+            let exact = samples[rank - 1];
+            let got = h.quantile(q);
+            assert!((got - exact).abs() <= 0.01 * exact + 1e-12, "q{q}: got {got}, exact {exact}");
+        }
+    }
+
+    #[test]
+    fn merge_is_bucketwise_exact() {
+        let mut a = LogLinearHistogram::new(0.01);
+        let mut b = LogLinearHistogram::new(0.01);
+        let mut both = LogLinearHistogram::new(0.01);
+        for i in 0..100 {
+            let v = 0.5 + i as f64 * 0.37;
+            a.record(v);
+            both.record(v);
+        }
+        for i in 0..77 {
+            let v = 3.0 + i as f64 * 1.21;
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.bucket_counts(), both.bucket_counts());
+        assert_eq!(a.count(), both.count());
+        assert_eq!(a.min().to_bits(), both.min().to_bits());
+        assert_eq!(a.max().to_bits(), both.max().to_bits());
+        assert_eq!(a.quantile(0.5).to_bits(), both.quantile(0.5).to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "different bucket errors")]
+    fn merging_mismatched_errors_panics() {
+        let mut a = LogLinearHistogram::new(0.01);
+        let b = LogLinearHistogram::new(0.02);
+        a.merge(&b);
+    }
+}

@@ -1,0 +1,56 @@
+//! The one percentile implementation the serving stack shares.
+//!
+//! Linear interpolation between closest ranks (the "exclusive" R-7 /
+//! NumPy `linear` definition): for a sorted sample of size `n`, the
+//! `p`-percentile sits at fractional rank `(n - 1) · p`, interpolating
+//! between the two neighbouring order statistics. Both the serve report
+//! and the load sweep call this, so their percentiles cannot diverge.
+
+/// Interpolated percentile of an ascending-sorted slice. `p` is clamped
+/// to `[0, 1]`. Empty input returns `0.0`; a single sample is every
+/// percentile of itself.
+pub fn percentile_interp(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let p = p.clamp(0.0, 1.0);
+    let rank = (sorted.len() - 1) as f64 * p;
+    let lo = rank.floor() as usize;
+    let hi = (lo + 1).min(sorted.len() - 1);
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_single_sample_edges() {
+        assert_eq!(percentile_interp(&[], 0.5), 0.0);
+        assert_eq!(percentile_interp(&[2.5], 0.0), 2.5);
+        assert_eq!(percentile_interp(&[2.5], 0.99), 2.5);
+        assert_eq!(percentile_interp(&[2.5], 1.0), 2.5);
+    }
+
+    #[test]
+    fn interpolates_between_ranks() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert!((percentile_interp(&v, 0.0) - 1.0).abs() < 1e-12);
+        assert!((percentile_interp(&v, 1.0) - 4.0).abs() < 1e-12);
+        // Rank 1.5 → midway between 2.0 and 3.0.
+        assert!((percentile_interp(&v, 0.5) - 2.5).abs() < 1e-12);
+        // Rank 2.97 → 3.0 + 0.97 · (4.0 − 3.0).
+        assert!((percentile_interp(&v, 0.99) - 3.97).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_range_p_clamps() {
+        let v = [1.0, 5.0];
+        assert_eq!(percentile_interp(&v, -1.0), 1.0);
+        assert_eq!(percentile_interp(&v, 2.0), 5.0);
+    }
+}

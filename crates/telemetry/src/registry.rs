@@ -1,0 +1,269 @@
+//! The metric registry: labeled counters, gauges, and log-linear
+//! histograms behind one deterministic map.
+//!
+//! Every series is keyed by `(metric name, sorted label pairs)` in a
+//! `BTreeMap`, so iteration — and therefore every exporter — is in one
+//! stable order regardless of recording order. Values are either exact
+//! integers (counters) or pure functions of the recorded modeled-time
+//! quantities (gauges, histogram buckets), so two identical seeded runs
+//! produce bit-identical snapshots.
+//!
+//! Metric *families* can be pre-declared with [`MetricRegistry::describe`]
+//! so exporters emit their `HELP`/`TYPE` headers even when a run recorded
+//! no samples for them — a fault-free serve run still shows the fault and
+//! sanitizer families at rest, which is what makes snapshots comparable
+//! across runs.
+
+use crate::hist::{LogLinearHistogram, DEFAULT_REL_ERR};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Label pairs at a recording site (unsorted; the registry sorts by key).
+pub type Labels<'a> = &'a [(&'a str, &'a str)];
+
+/// What a metric family measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotone event count (`u64`).
+    Counter,
+    /// Last-written (or accumulated) modeled value (`f64`).
+    Gauge,
+    /// Log-linear distribution of modeled values.
+    Histogram,
+}
+
+impl MetricKind {
+    /// Stable exporter label (Prometheus `TYPE` spelling; histograms are
+    /// exported as quantile summaries).
+    pub fn label(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "summary",
+        }
+    }
+}
+
+/// One live series value.
+#[derive(Debug, Clone)]
+pub enum MetricValue {
+    Counter(u64),
+    Gauge(f64),
+    Histogram(LogLinearHistogram),
+}
+
+/// One series in a snapshot: resolved name, sorted labels, value.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    pub name: String,
+    /// Sorted by label key (the series identity).
+    pub labels: Vec<(String, String)>,
+    pub value: MetricValue,
+}
+
+/// A point-in-time copy of the whole registry, in stable order.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// `name → (kind, help)` for every described or recorded family.
+    pub families: BTreeMap<String, (MetricKind, String)>,
+    /// Every series, sorted by `(name, labels)`.
+    pub samples: Vec<Sample>,
+}
+
+impl Snapshot {
+    /// The sample for `(name, labels)`, if recorded (labels in any order).
+    pub fn get(&self, name: &str, labels: Labels) -> Option<&MetricValue> {
+        let key = sort_labels(labels);
+        self.samples.iter().find(|s| s.name == name && s.labels == key).map(|s| &s.value)
+    }
+
+    /// Counter value for `(name, labels)`, defaulting to 0.
+    pub fn counter(&self, name: &str, labels: Labels) -> u64 {
+        match self.get(name, labels) {
+            Some(MetricValue::Counter(c)) => *c,
+            _ => 0,
+        }
+    }
+}
+
+fn sort_labels(labels: Labels) -> Vec<(String, String)> {
+    let mut v: Vec<(String, String)> =
+        labels.iter().map(|(k, val)| (k.to_string(), val.to_string())).collect();
+    v.sort();
+    v
+}
+
+/// Series key: name plus sorted labels.
+type Key = (String, Vec<(String, String)>);
+
+/// A deterministic, thread-safe metric registry.
+pub struct MetricRegistry {
+    series: Mutex<BTreeMap<Key, MetricValue>>,
+    families: Mutex<BTreeMap<String, (MetricKind, String)>>,
+}
+
+impl MetricRegistry {
+    /// Fresh, empty registry.
+    pub fn new() -> Arc<MetricRegistry> {
+        Arc::new(MetricRegistry {
+            series: Mutex::new(BTreeMap::new()),
+            families: Mutex::new(BTreeMap::new()),
+        })
+    }
+
+    /// Declare a family so exporters emit it even when no samples exist.
+    /// The first declaration of a name wins (recording auto-declares with
+    /// an empty help string).
+    pub fn describe(&self, name: &str, kind: MetricKind, help: &str) {
+        self.families.lock().entry(name.to_string()).or_insert_with(|| (kind, help.to_string()));
+    }
+
+    fn note_family(&self, name: &str, kind: MetricKind) {
+        self.families.lock().entry(name.to_string()).or_insert_with(|| (kind, String::new()));
+    }
+
+    /// Add `delta` to the counter series `(name, labels)`.
+    pub fn counter_add(&self, name: &str, labels: Labels, delta: u64) {
+        self.note_family(name, MetricKind::Counter);
+        let mut series = self.series.lock();
+        let entry = series
+            .entry((name.to_string(), sort_labels(labels)))
+            .or_insert(MetricValue::Counter(0));
+        if let MetricValue::Counter(c) = entry {
+            *c += delta;
+        }
+    }
+
+    /// Set the gauge series `(name, labels)` to `v`.
+    pub fn gauge_set(&self, name: &str, labels: Labels, v: f64) {
+        self.with_gauge(name, labels, |g| *g = v);
+    }
+
+    /// Add `v` to the gauge series (modeled-seconds accumulators).
+    pub fn gauge_add(&self, name: &str, labels: Labels, v: f64) {
+        self.with_gauge(name, labels, |g| *g += v);
+    }
+
+    /// Raise the gauge series to `v` if `v` is larger (high-water marks).
+    pub fn gauge_max(&self, name: &str, labels: Labels, v: f64) {
+        self.with_gauge(name, labels, |g| *g = g.max(v));
+    }
+
+    fn with_gauge(&self, name: &str, labels: Labels, f: impl FnOnce(&mut f64)) {
+        self.note_family(name, MetricKind::Gauge);
+        let mut series = self.series.lock();
+        let entry = series
+            .entry((name.to_string(), sort_labels(labels)))
+            .or_insert(MetricValue::Gauge(0.0));
+        if let MetricValue::Gauge(g) = entry {
+            f(g);
+        }
+    }
+
+    /// Record `v` into the histogram series `(name, labels)` (created on
+    /// first use with the default relative bucket error).
+    pub fn hist_record(&self, name: &str, labels: Labels, v: f64) {
+        self.hist_record_err(name, labels, v, DEFAULT_REL_ERR);
+    }
+
+    /// [`MetricRegistry::hist_record`] with an explicit relative bucket
+    /// error (applies when the series is created).
+    pub fn hist_record_err(&self, name: &str, labels: Labels, v: f64, rel_err: f64) {
+        self.note_family(name, MetricKind::Histogram);
+        let mut series = self.series.lock();
+        let entry = series
+            .entry((name.to_string(), sort_labels(labels)))
+            .or_insert_with(|| MetricValue::Histogram(LogLinearHistogram::new(rel_err)));
+        if let MetricValue::Histogram(h) = entry {
+            h.record(v);
+        }
+    }
+
+    /// Copy out every family and series in stable sorted order.
+    pub fn snapshot(&self) -> Snapshot {
+        let series = self.series.lock();
+        let families = self.families.lock();
+        Snapshot {
+            families: families.clone(),
+            samples: series
+                .iter()
+                .map(|((name, labels), value)| Sample {
+                    name: name.clone(),
+                    labels: labels.clone(),
+                    value: value.clone(),
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_label_set() {
+        let reg = MetricRegistry::new();
+        reg.counter_add("reqs", &[("tenant", "0")], 1);
+        reg.counter_add("reqs", &[("tenant", "0")], 2);
+        reg.counter_add("reqs", &[("tenant", "1")], 5);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("reqs", &[("tenant", "0")]), 3);
+        assert_eq!(snap.counter("reqs", &[("tenant", "1")]), 5);
+        assert_eq!(snap.counter("reqs", &[("tenant", "2")]), 0);
+    }
+
+    #[test]
+    fn label_order_does_not_split_series() {
+        let reg = MetricRegistry::new();
+        reg.counter_add("m", &[("a", "1"), ("b", "2")], 1);
+        reg.counter_add("m", &[("b", "2"), ("a", "1")], 1);
+        let snap = reg.snapshot();
+        assert_eq!(snap.samples.len(), 1);
+        assert_eq!(snap.counter("m", &[("b", "2"), ("a", "1")]), 2);
+    }
+
+    #[test]
+    fn gauges_set_add_and_max() {
+        let reg = MetricRegistry::new();
+        reg.gauge_set("depth", &[], 4.0);
+        reg.gauge_max("peak", &[], 4.0);
+        reg.gauge_max("peak", &[], 2.0);
+        reg.gauge_add("busy_s", &[], 1.5);
+        reg.gauge_add("busy_s", &[], 2.5);
+        let snap = reg.snapshot();
+        assert!(matches!(snap.get("depth", &[]), Some(MetricValue::Gauge(g)) if *g == 4.0));
+        assert!(matches!(snap.get("peak", &[]), Some(MetricValue::Gauge(g)) if *g == 4.0));
+        assert!(matches!(snap.get("busy_s", &[]), Some(MetricValue::Gauge(g)) if *g == 4.0));
+    }
+
+    #[test]
+    fn described_families_survive_into_empty_snapshots() {
+        let reg = MetricRegistry::new();
+        reg.describe("quiet_total", MetricKind::Counter, "never fired");
+        let snap = reg.snapshot();
+        assert!(snap.samples.is_empty());
+        assert_eq!(
+            snap.families.get("quiet_total"),
+            Some(&(MetricKind::Counter, "never fired".to_string()))
+        );
+    }
+
+    #[test]
+    fn snapshot_order_is_independent_of_recording_order() {
+        let fwd = MetricRegistry::new();
+        fwd.counter_add("a_total", &[], 1);
+        fwd.counter_add("b_total", &[("x", "1")], 1);
+        fwd.counter_add("b_total", &[("x", "0")], 1);
+        let rev = MetricRegistry::new();
+        rev.counter_add("b_total", &[("x", "0")], 1);
+        rev.counter_add("b_total", &[("x", "1")], 1);
+        rev.counter_add("a_total", &[], 1);
+        let (a, b) = (fwd.snapshot(), rev.snapshot());
+        let keys = |s: &Snapshot| {
+            s.samples.iter().map(|m| (m.name.clone(), m.labels.clone())).collect::<Vec<_>>()
+        };
+        assert_eq!(keys(&a), keys(&b));
+    }
+}

@@ -1,0 +1,68 @@
+//! Property tests pinning the histogram's two contracts: quantiles stay
+//! within the configured relative error of the exact nearest-rank
+//! percentile of the recorded samples, and merging two histograms is
+//! exactly equivalent (bucket-wise, hence quantile-wise) to recording the
+//! concatenated sample stream into one.
+
+use ompx_telemetry::LogLinearHistogram;
+use proptest::prelude::*;
+
+/// Exact nearest-rank percentile of `samples` (the estimator the
+/// histogram's `quantile` doc guarantees against).
+fn nearest_rank(samples: &[f64], q: f64) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn quantiles_track_exact_percentiles(
+        samples in proptest::collection::vec(1e-3f64..1e4, 1..400),
+        q in 0.0f64..1.0,
+    ) {
+        let rel_err = 0.01;
+        let mut h = LogLinearHistogram::new(rel_err);
+        for &s in &samples {
+            h.record(s);
+        }
+        let exact = nearest_rank(&samples, q);
+        let got = h.quantile(q);
+        // The 1.0001 factor absorbs float rounding when a sample lands
+        // exactly on a bucket boundary; the bound is still ~rel_err.
+        prop_assert!(
+            (got - exact).abs() <= rel_err * exact * 1.0001 + 1e-12,
+            "q={q}: got {got}, exact {exact} over {} samples",
+            samples.len()
+        );
+    }
+
+    #[test]
+    fn merge_equals_concatenated_recording(
+        a in proptest::collection::vec(1e-3f64..1e4, 0..200),
+        b in proptest::collection::vec(1e-3f64..1e4, 0..200),
+    ) {
+        let mut ha = LogLinearHistogram::new(0.01);
+        let mut hb = LogLinearHistogram::new(0.01);
+        let mut concat = LogLinearHistogram::new(0.01);
+        for &v in &a {
+            ha.record(v);
+            concat.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            concat.record(v);
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.bucket_counts(), concat.bucket_counts());
+        prop_assert_eq!(ha.count(), concat.count());
+        prop_assert_eq!(ha.min().to_bits(), concat.min().to_bits());
+        prop_assert_eq!(ha.max().to_bits(), concat.max().to_bits());
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            prop_assert_eq!(ha.quantile(q).to_bits(), concat.quantile(q).to_bits());
+        }
+    }
+}
