@@ -24,14 +24,24 @@
 //! `--metrics-json` dump the run's deterministic metric snapshot in
 //! Prometheus text / JSON form — identical seeded runs produce
 //! bit-identical files, which CI diffs directly.
+//!
+//! `--escalate` runs the chaos-escalation campaign instead: the same
+//! seeded load replayed at a ladder of fault-rate multipliers
+//! (`--multipliers`, default 1,2,4,8,16), asserting the per-rung SLO
+//! contract (interactive p99 within deadline, zero corrupt verdicts,
+//! shed fraction monotone in pressure) and emitting
+//! `BENCH_resilience.json` (`--bench-out`) and CSV (`--csv-out`);
+//! contract breaches are findings and drive a non-zero exit. `--spares N`
+//! benches N warm spares that promote on device loss in any mode.
 
 use ompx_prof::chrome::to_chrome_trace;
 use ompx_prof::jsonio;
 use ompx_sanitizer::report::{exit_code, render_json as findings_json, render_text};
 use ompx_sanitizer::{Finding, Severity};
 use ompx_serve::{
-    build_report, render_json, render_sweep_csv, render_sweep_json, serve, sweep, DeviceKind,
-    LoadSpec, ServeConfig, ServeReport, SweepResult, Verdict,
+    build_report, escalate, render_escalate_csv, render_escalate_json, render_json,
+    render_sweep_csv, render_sweep_json, serve, sweep, DeviceKind, EscalateResult, LoadSpec,
+    ServeConfig, ServeError, ServeReport, SweepResult, Verdict,
 };
 use ompx_sim::fault::FaultPlan;
 use ompx_telemetry::{to_json as metrics_json, to_prometheus};
@@ -39,12 +49,13 @@ use ompx_telemetry::{to_json as metrics_json, to_prometheus};
 fn usage() -> ! {
     eprintln!(
         "usage: serve [--seed N] [--clients N] [--tenants N]\n\
-         \x20           [--devices a100,a100,mi250,mi250] [--max-batch N] [--queue-cap N]\n\
-         \x20           [--load-factor F] [--rate F] [--lose-at N] [--no-faults]\n\
-         \x20           [--default-scale] [--json] [--bench-out FILE] [--trace FILE]\n\
-         \x20           [--baseline FILE] [--write-baseline FILE]\n\
+         \x20           [--devices a100,a100,mi250,mi250] [--spares N] [--max-batch N]\n\
+         \x20           [--queue-cap N] [--load-factor F] [--rate F] [--lose-at N]\n\
+         \x20           [--no-faults] [--default-scale] [--json] [--bench-out FILE]\n\
+         \x20           [--trace FILE] [--baseline FILE] [--write-baseline FILE]\n\
          \x20           [--metrics-out FILE] [--metrics-json FILE]\n\
-         \x20           [--sweep] [--sweep-factors F,F,...] [--csv-out FILE]"
+         \x20           [--sweep] [--sweep-factors F,F,...] [--csv-out FILE]\n\
+         \x20           [--escalate] [--multipliers F,F,...]"
     );
     std::process::exit(2);
 }
@@ -61,7 +72,31 @@ struct Opts {
     metrics_json: Option<String>,
     sweep: bool,
     sweep_factors: Vec<f64>,
+    escalate: bool,
+    multipliers: Vec<f64>,
     csv_out: Option<String>,
+}
+
+/// A serve-layer failure rendered as a finding, so every error path
+/// exits through the same reporting machinery (and non-zero).
+fn error_findings(e: &ServeError) -> Vec<Finding> {
+    vec![Finding {
+        tool: "serve".to_string(),
+        kernel: "-".to_string(),
+        location: "serve".to_string(),
+        severity: Severity::Error,
+        message: e.to_string(),
+    }]
+}
+
+fn fail(o: &Opts, e: &ServeError) -> ! {
+    let findings = error_findings(e);
+    if o.json {
+        print!("{}", findings_json(&findings));
+    } else {
+        print!("{}", render_text(&findings));
+    }
+    std::process::exit(exit_code(&findings));
 }
 
 fn parse(args: &[String]) -> Opts {
@@ -84,6 +119,8 @@ fn parse(args: &[String]) -> Opts {
         metrics_json: None,
         sweep: false,
         sweep_factors: ompx_serve::DEFAULT_FACTORS.to_vec(),
+        escalate: false,
+        multipliers: ompx_serve::DEFAULT_MULTIPLIERS.to_vec(),
         csv_out: None,
     };
     let mut i = 0;
@@ -115,6 +152,14 @@ fn parse(args: &[String]) -> Opts {
                     })
                     .collect();
             }
+            "--spares" => {
+                let n: usize = val!().parse().unwrap_or_else(|_| usage());
+                // Alternate profiles starting with A100 so a mixed bench
+                // can cover either side of the pool.
+                cfg.spares = (0..n)
+                    .map(|i| if i % 2 == 0 { DeviceKind::A100 } else { DeviceKind::Mi250 })
+                    .collect();
+            }
             "--max-batch" => cfg.max_batch = val!().parse().unwrap_or_else(|_| usage()),
             "--queue-cap" => cfg.queue_cap = val!().parse().unwrap_or_else(|_| usage()),
             "--load-factor" => cfg.load_factor = val!().parse().unwrap_or_else(|_| usage()),
@@ -136,6 +181,16 @@ fn parse(args: &[String]) -> Opts {
                     .map(|f| f.trim().parse().unwrap_or_else(|_| usage()))
                     .collect();
                 if o.sweep_factors.is_empty() {
+                    usage();
+                }
+            }
+            "--escalate" => o.escalate = true,
+            "--multipliers" => {
+                o.multipliers = val!()
+                    .split(',')
+                    .map(|f| f.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+                if o.multipliers.is_empty() {
                     usage();
                 }
             }
@@ -172,16 +227,29 @@ fn write_file(path: &str, text: &str) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let o = parse(&args);
+    if o.escalate {
+        run_escalate(&o);
+        return;
+    }
     if o.sweep {
         run_sweep(&o);
         return;
     }
 
     let start = std::time::Instant::now();
-    let out = serve(&o.cfg, &o.spec);
+    let out = match serve(&o.cfg, &o.spec) {
+        Ok(out) => out,
+        Err(e) => fail(&o, &e),
+    };
     let wall = start.elapsed();
-    let report =
-        build_report(o.cfg.seed, o.spec.clients, o.spec.tenants, &out.responses, &out.pool);
+    let report = build_report(
+        o.cfg.seed,
+        o.spec.clients,
+        o.spec.tenants,
+        &out.responses,
+        &out.pool,
+        &out.stats,
+    );
 
     // The trichotomy assertion: corrupt responses are findings.
     let findings: Vec<Finding> = out
@@ -278,7 +346,10 @@ fn main() {
 /// and the sweep-document baseline gate.
 fn run_sweep(o: &Opts) {
     let start = std::time::Instant::now();
-    let s = sweep(&o.cfg, &o.spec, &o.sweep_factors);
+    let s = match sweep(&o.cfg, &o.spec, &o.sweep_factors) {
+        Ok(s) => s,
+        Err(e) => fail(o, &e),
+    };
     let wall = start.elapsed();
     let json = render_sweep_json(&s);
     if o.json {
@@ -341,6 +412,110 @@ fn run_sweep(o: &Opts) {
     }
 }
 
+/// The `--escalate` mode: one seeded chaos run per fault-rate
+/// multiplier, the per-rung SLO contract, campaign outputs, and the
+/// resilience-document baseline gate.
+fn run_escalate(o: &Opts) {
+    let start = std::time::Instant::now();
+    let e = match escalate(&o.cfg, &o.spec, &o.multipliers) {
+        Ok(e) => e,
+        Err(err) => fail(o, &err),
+    };
+    let wall = start.elapsed();
+    let json = render_escalate_json(&e);
+    if o.json {
+        print!("{json}");
+    } else {
+        println!(
+            "serve escalation (seed {}, {} clients, {} tenants, base rate {:.4})",
+            e.seed, e.clients, e.tenants, e.base_rate
+        );
+        println!(
+            "  {:>10} {:>9} {:>9} {:>8} {:>9} {:>9} {:>7} {:>8} {:>7}",
+            "multiplier",
+            "completed",
+            "rejected",
+            "corrupt",
+            "shed_frac",
+            "int_p99r",
+            "hedges",
+            "breakers",
+            "spares"
+        );
+        for r in &e.rungs {
+            println!(
+                "  {:>10.1} {:>9} {:>9} {:>8} {:>9.4} {:>9.4} {:>7} {:>8} {:>7}",
+                r.multiplier,
+                r.completed,
+                r.rejected,
+                r.corrupt,
+                r.shed_frac,
+                r.interactive_p99_ratio,
+                r.hedges_launched,
+                r.breaker_opens,
+                r.spares_promoted
+            );
+        }
+    }
+    eprintln!("serve: escalated over {} rungs in {:.2}s wall", e.rungs.len(), wall.as_secs_f64());
+    // SLO contract breaches are findings: same schema, non-zero exit.
+    let findings: Vec<Finding> = e
+        .violations
+        .iter()
+        .map(|v| Finding {
+            tool: "serve".to_string(),
+            kernel: "-".to_string(),
+            location: "escalate".to_string(),
+            severity: Severity::Error,
+            message: format!("SLO contract breach: {v}"),
+        })
+        .collect();
+    if !findings.is_empty() {
+        if o.json {
+            print!("{}", findings_json(&findings));
+        } else {
+            print!("{}", render_text(&findings));
+        }
+    }
+    if let Some(path) = &o.bench_out {
+        write_file(path, &json);
+        eprintln!("serve: resilience report written to {path}");
+    }
+    if let Some(path) = &o.write_baseline {
+        write_file(path, &json);
+        eprintln!("serve: resilience baseline written to {path}");
+    }
+    if let Some(path) = &o.csv_out {
+        write_file(path, &render_escalate_csv(&e));
+        eprintln!("serve: resilience CSV written to {path}");
+    }
+    if let Some(path) = &o.baseline {
+        match std::fs::read_to_string(path) {
+            Err(err) => {
+                eprintln!("serve: cannot read resilience baseline {path}: {err}");
+                std::process::exit(2);
+            }
+            Ok(text) => match diff_resilience_baseline(&e, &text) {
+                Err(err) => {
+                    eprintln!("serve: bad resilience baseline {path}: {err}");
+                    std::process::exit(2);
+                }
+                Ok(drifts) if drifts.is_empty() => {
+                    eprintln!("serve: resilience baseline gate PASSED");
+                }
+                Ok(drifts) => {
+                    eprintln!("serve: resilience baseline gate FAILED, {} drift(s):", drifts.len());
+                    for d in &drifts {
+                        eprintln!("  {d}");
+                    }
+                    std::process::exit(1);
+                }
+            },
+        }
+    }
+    std::process::exit(exit_code(&findings));
+}
+
 fn print_text(r: &ServeReport) {
     println!("serve report (seed {})", r.seed);
     println!(
@@ -352,15 +527,27 @@ fn print_text(r: &ServeReport) {
         r.makespan_s, r.throughput_rps, r.latency_p50_s, r.latency_p99_s
     );
     println!("  batches: {} (max {}, mean {:.2})", r.batch_count, r.batch_max, r.batch_mean);
+    for c in &r.classes {
+        println!(
+            "  class {}: {} completed, {} shed, {} deadline misses (lateness p99 {:.3})",
+            c.class, c.completed, c.shed, c.deadline_misses, c.lateness_p99
+        );
+    }
+    let s = &r.resilience;
+    println!(
+        "  resilience: {} hedges ({} won, {} skipped), {} breaker opens, {} spares promoted",
+        s.hedges_launched, s.hedges_won, s.hedges_skipped, s.breaker_opens, s.spares_promoted
+    );
     for d in &r.devices {
         println!(
-            "  device {} [{}]: served {} in {} batches, busy {:.3}s{}",
+            "  device {} [{}]: served {} in {} batches, busy {:.3}s{}{}",
             d.member,
             d.kind,
             d.served,
             d.batches,
             d.busy_s,
-            if d.lost { " — LOST" } else { "" }
+            if d.lost { " — LOST" } else { "" },
+            if d.standby { " — SPARE" } else { "" }
         );
     }
     for t in &r.fairness {
@@ -378,7 +565,7 @@ fn print_text(r: &ServeReport) {
 /// deterministic, so any drift is a real behavior change.
 fn diff_baseline(report: &ServeReport, baseline: &str) -> Result<Vec<String>, String> {
     let b = jsonio::parse(baseline)?;
-    if b.get("schema").and_then(|s| s.as_str()) != Some("ompx-bench-serve-v1") {
+    if b.get("schema").and_then(|s| s.as_str()) != Some("ompx-bench-serve-v2") {
         return Err("missing or wrong schema tag".to_string());
     }
     let mut drifts = Vec::new();
@@ -442,6 +629,23 @@ fn diff_baseline(report: &ServeReport, baseline: &str) -> Result<Vec<String>, St
             drifts.push(format!("batches.{name}: baseline {want}, run {got}"));
         }
     }
+    let resilience = b.get("resilience").ok_or("baseline missing resilience")?;
+    for (name, got) in [
+        ("hedges_launched", report.resilience.hedges_launched),
+        ("hedges_won", report.resilience.hedges_won),
+        ("breaker_opens", report.resilience.breaker_opens),
+        ("spares_promoted", report.resilience.spares_promoted),
+        ("deadline_misses", report.resilience.deadline_misses),
+    ] {
+        let want = resilience
+            .get(name)
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("baseline missing resilience.{name}"))?
+            as u64;
+        if want != got {
+            drifts.push(format!("resilience.{name}: baseline {want}, run {got}"));
+        }
+    }
     let devs = b.get("devices").and_then(|d| d.as_arr()).ok_or("baseline missing devices")?;
     if devs.len() != report.devices.len() {
         drifts.push(format!(
@@ -465,7 +669,106 @@ fn diff_baseline(report: &ServeReport, baseline: &str) -> Result<Vec<String>, St
                     got.member, got.lost
                 ));
             }
+            let standby = want.get("standby") == Some(&jsonio::Json::Bool(true));
+            if standby != got.standby {
+                drifts.push(format!(
+                    "devices[{}].standby: baseline {standby}, run {}",
+                    got.member, got.standby
+                ));
+            }
         }
+    }
+    Ok(drifts)
+}
+
+/// Resilience drift gate: the campaign is deterministic, so integer
+/// fields must match exactly and floats to 1e-9 relative.
+fn diff_resilience_baseline(e: &EscalateResult, baseline: &str) -> Result<Vec<String>, String> {
+    let b = jsonio::parse(baseline)?;
+    if b.get("schema").and_then(|v| v.as_str()) != Some("ompx-bench-resilience-v1") {
+        return Err("missing or wrong schema tag".to_string());
+    }
+    let mut drifts = Vec::new();
+    for (name, got) in [
+        ("seed", e.seed as i64),
+        ("clients", i64::from(e.clients)),
+        ("tenants", i64::from(e.tenants)),
+    ] {
+        let want = b
+            .get(name)
+            .and_then(|v| v.as_f64())
+            .map(|f| f as i64)
+            .ok_or_else(|| format!("baseline missing {name}"))?;
+        if want != got {
+            drifts.push(format!("{name}: baseline {want}, run {got}"));
+        }
+    }
+    let rungs = b.get("rungs").and_then(|r| r.as_arr()).ok_or("baseline missing rungs")?;
+    if rungs.len() != e.rungs.len() {
+        drifts.push(format!("rungs: baseline has {}, run has {}", rungs.len(), e.rungs.len()));
+        return Ok(drifts);
+    }
+    for (k, (want, got)) in rungs.iter().zip(&e.rungs).enumerate() {
+        for (name, got_v) in [
+            ("completed", got.completed),
+            ("deadline_misses", got.deadline_misses),
+            ("hedges_launched", got.hedges_launched),
+            ("hedges_won", got.hedges_won),
+            ("breaker_opens", got.breaker_opens),
+            ("spares_promoted", got.spares_promoted),
+        ] {
+            let want_v = want
+                .get(name)
+                .and_then(|v| v.as_f64())
+                .ok_or_else(|| format!("baseline missing rungs[{k}].{name}"))?
+                as u64;
+            if want_v != got_v {
+                drifts.push(format!("rungs[{k}].{name}: baseline {want_v}, run {got_v}"));
+            }
+        }
+        let verdicts =
+            want.get("verdicts").ok_or_else(|| format!("rungs[{k}] missing verdicts"))?;
+        for (name, got_v) in [
+            ("success", got.success),
+            ("fallback", got.fallback),
+            ("typed_error", got.typed_error),
+            ("rejected", got.rejected),
+            ("corrupt", got.corrupt),
+        ] {
+            let want_v = verdicts
+                .get(name)
+                .and_then(|v| v.as_f64())
+                .ok_or_else(|| format!("baseline missing rungs[{k}].verdicts.{name}"))?
+                as u64;
+            if want_v != got_v {
+                drifts.push(format!("rungs[{k}].verdicts.{name}: baseline {want_v}, run {got_v}"));
+            }
+        }
+        for (name, got_v) in [
+            ("multiplier", got.multiplier),
+            ("fault_rate", got.fault_rate),
+            ("shed_frac", got.shed_frac),
+            ("interactive_p99_ratio", got.interactive_p99_ratio),
+            ("throughput_rps", got.throughput_rps),
+            ("latency_p99_s", got.latency_p99_s),
+        ] {
+            let want_v = want
+                .get(name)
+                .and_then(|v| v.as_f64())
+                .ok_or_else(|| format!("baseline missing rungs[{k}].{name}"))?;
+            let tol = want_v.abs().max(1e-12) * 1e-9;
+            if (want_v - got_v).abs() > tol {
+                drifts.push(format!("rungs[{k}].{name}: baseline {want_v:e}, run {got_v:e}"));
+            }
+        }
+    }
+    let want_violations =
+        b.get("violations").and_then(|v| v.as_arr()).map(|v| v.len()).unwrap_or(0);
+    if want_violations != e.violations.len() {
+        drifts.push(format!(
+            "violations: baseline has {want_violations}, run has {}",
+            e.violations.len()
+        ));
     }
     Ok(drifts)
 }

@@ -1,0 +1,271 @@
+//! Per-device circuit breakers: closed → open → half-open with
+//! deterministic trip and recovery thresholds.
+//!
+//! The breaker scores a pool member's recent dispatch outcomes with an
+//! exponentially-decayed failure score (`score ← α·fail + (1-α)·score`):
+//! the member's fault state already decides *which* dispatches fail (the
+//! seeded plan), so the score — and therefore every trip and recovery —
+//! is a pure function of the seeded outcome stream and modeled time.
+//! When the score crosses the trip threshold the breaker opens and the
+//! member stops receiving work; after a modeled cooldown it half-opens
+//! and admits probe traffic; enough consecutive clean probes close it,
+//! one failed probe re-opens it.
+
+/// Breaker position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: traffic flows, outcomes feed the failure score.
+    Closed,
+    /// Tripped: no traffic until the cooldown elapses.
+    Open,
+    /// Probing: traffic flows; clean probes close, one failure re-opens.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable label used in metric series and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+}
+
+/// One recorded state change, for metric accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transition {
+    pub from: BreakerState,
+    pub to: BreakerState,
+}
+
+/// Trip/recovery thresholds. All values are deterministic constants; the
+/// only run-to-run variation comes from the seeded outcome stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerConfig {
+    /// EWMA weight of the newest outcome in the failure score.
+    pub decay: f64,
+    /// Open once the failure score reaches this (after `min_observed`).
+    pub trip_score: f64,
+    /// Outcomes required before the score is trusted enough to trip.
+    pub min_observed: u32,
+    /// Modeled seconds an open breaker waits before half-opening.
+    pub cooldown_s: f64,
+    /// Consecutive clean half-open probes required to close.
+    pub probe_successes: u32,
+}
+
+impl Default for BreakerConfig {
+    /// `decay` 0.35 / `trip_score` 0.5 trips on the 2nd–3rd consecutive
+    /// failure from a clean score; `min_observed` 3 keeps a single early
+    /// fault from tripping a barely-used member; the cooldown is set by
+    /// the server relative to its mean service estimate.
+    fn default() -> Self {
+        BreakerConfig {
+            decay: 0.35,
+            trip_score: 0.5,
+            min_observed: 3,
+            cooldown_s: 1.0,
+            probe_successes: 2,
+        }
+    }
+}
+
+/// The per-member breaker state machine.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: BreakerState,
+    /// Exponentially-decayed failure score in `[0, 1]`.
+    score: f64,
+    /// Outcomes observed since the last close (gates the trip).
+    observed: u32,
+    /// Modeled time the breaker last opened.
+    opened_at_s: f64,
+    /// Clean probes accumulated while half-open.
+    probes_ok: u32,
+    /// Lifetime count of opens (for reports).
+    opens: u64,
+}
+
+impl CircuitBreaker {
+    /// Fresh closed breaker.
+    pub fn new(cfg: BreakerConfig) -> CircuitBreaker {
+        CircuitBreaker {
+            cfg,
+            state: BreakerState::Closed,
+            score: 0.0,
+            observed: 0,
+            opened_at_s: 0.0,
+            probes_ok: 0,
+            opens: 0,
+        }
+    }
+
+    /// Current position (without advancing time).
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Current failure score.
+    pub fn score(&self) -> f64 {
+        self.score
+    }
+
+    /// Lifetime number of times the breaker opened.
+    pub fn opens(&self) -> u64 {
+        self.opens
+    }
+
+    /// Whether the member may receive traffic at modeled time `now_s`.
+    /// An open breaker whose cooldown has elapsed half-opens here (the
+    /// lazy time-based edge), returning the transition for metering.
+    pub fn accepting(&mut self, now_s: f64) -> (bool, Option<Transition>) {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => (true, None),
+            BreakerState::Open => {
+                if now_s - self.opened_at_s >= self.cfg.cooldown_s {
+                    self.state = BreakerState::HalfOpen;
+                    self.probes_ok = 0;
+                    (
+                        true,
+                        Some(Transition { from: BreakerState::Open, to: BreakerState::HalfOpen }),
+                    )
+                } else {
+                    (false, None)
+                }
+            }
+        }
+    }
+
+    /// Feed one dispatch outcome (`ok` = the batch completed without a
+    /// typed error) at modeled time `now_s`. Returns a transition when
+    /// the outcome tripped, re-opened, or closed the breaker.
+    pub fn on_outcome(&mut self, ok: bool, now_s: f64) -> Option<Transition> {
+        match self.state {
+            BreakerState::Closed => {
+                self.observed = self.observed.saturating_add(1);
+                let fail = if ok { 0.0 } else { 1.0 };
+                self.score = self.cfg.decay * fail + (1.0 - self.cfg.decay) * self.score;
+                if self.observed >= self.cfg.min_observed && self.score >= self.cfg.trip_score {
+                    self.open_at(now_s);
+                    return Some(Transition { from: BreakerState::Closed, to: BreakerState::Open });
+                }
+                None
+            }
+            BreakerState::HalfOpen => {
+                if ok {
+                    self.probes_ok += 1;
+                    if self.probes_ok >= self.cfg.probe_successes {
+                        self.state = BreakerState::Closed;
+                        self.score = 0.0;
+                        self.observed = 0;
+                        return Some(Transition {
+                            from: BreakerState::HalfOpen,
+                            to: BreakerState::Closed,
+                        });
+                    }
+                    None
+                } else {
+                    self.open_at(now_s);
+                    Some(Transition { from: BreakerState::HalfOpen, to: BreakerState::Open })
+                }
+            }
+            // Outcomes can still arrive while open (a hedge losing late);
+            // they neither reset the cooldown nor change the score.
+            BreakerState::Open => None,
+        }
+    }
+
+    fn open_at(&mut self, now_s: f64) {
+        self.state = BreakerState::Open;
+        self.opened_at_s = now_s;
+        self.probes_ok = 0;
+        self.opens += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig { cooldown_s: 10.0, ..BreakerConfig::default() }
+    }
+
+    #[test]
+    fn trips_after_consecutive_failures_and_not_before_min_observed() {
+        let mut b = CircuitBreaker::new(cfg());
+        // Two early failures: score 0.35, then 0.5775 — but only 2
+        // observations, so min_observed gates the trip.
+        assert!(b.on_outcome(false, 0.0).is_none());
+        assert!(b.on_outcome(false, 1.0).is_none());
+        assert_eq!(b.state(), BreakerState::Closed);
+        let t = b.on_outcome(false, 2.0).expect("third failure trips");
+        assert_eq!(t, Transition { from: BreakerState::Closed, to: BreakerState::Open });
+        assert_eq!(b.opens(), 1);
+        assert!(!b.accepting(2.5).0, "open breaker takes no traffic inside the cooldown");
+    }
+
+    #[test]
+    fn successes_decay_the_score_and_keep_it_closed() {
+        let mut b = CircuitBreaker::new(cfg());
+        for i in 0..51 {
+            // One failure in three: the score peaks at
+            // 0.35 / (1 - 0.65^3) ≈ 0.48, just under the 0.5 trip line —
+            // a moderate failure rate degrades but never trips.
+            let t = b.on_outcome(i % 3 != 0, i as f64);
+            assert!(t.is_none(), "1-in-3 failures tripped at {i}");
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn cooldown_half_opens_then_probes_close() {
+        let mut b = CircuitBreaker::new(cfg());
+        for i in 0..3 {
+            b.on_outcome(false, i as f64);
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        // Still cooling at t=11.9 (opened at 2.0, cooldown 10).
+        assert!(!b.accepting(11.9).0);
+        let (ok, t) = b.accepting(12.0);
+        assert!(ok);
+        assert_eq!(t, Some(Transition { from: BreakerState::Open, to: BreakerState::HalfOpen }));
+        // Two clean probes close it and reset the score.
+        assert!(b.on_outcome(true, 12.5).is_none());
+        let t = b.on_outcome(true, 13.0).expect("second probe closes");
+        assert_eq!(t.to, BreakerState::Closed);
+        assert_eq!(b.score(), 0.0);
+    }
+
+    #[test]
+    fn failed_probe_reopens_and_restarts_the_cooldown() {
+        let mut b = CircuitBreaker::new(cfg());
+        for i in 0..3 {
+            b.on_outcome(false, i as f64);
+        }
+        assert!(b.accepting(12.0).0, "half-open after cooldown");
+        let t = b.on_outcome(false, 12.5).expect("failed probe re-opens");
+        assert_eq!(t, Transition { from: BreakerState::HalfOpen, to: BreakerState::Open });
+        assert_eq!(b.opens(), 2);
+        // The cooldown restarts from the re-open time.
+        assert!(!b.accepting(20.0).0);
+        assert!(b.accepting(22.5).0);
+    }
+
+    #[test]
+    fn deterministic_replay_produces_identical_state() {
+        let outcomes = [true, false, false, false, true, false, true, true, true];
+        let run = || {
+            let mut b = CircuitBreaker::new(cfg());
+            let mut trace = Vec::new();
+            for (i, &ok) in outcomes.iter().enumerate() {
+                trace.push((b.accepting(i as f64).0, b.on_outcome(ok, i as f64)));
+            }
+            (trace, b.state(), b.score().to_bits(), b.opens())
+        };
+        assert_eq!(run(), run());
+    }
+}

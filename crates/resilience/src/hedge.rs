@@ -1,0 +1,126 @@
+//! Hedged re-dispatch thresholds derived from telemetry latency
+//! histograms.
+//!
+//! The classic tail-tolerance move: once a dispatch has run longer than a
+//! high quantile of its peers, issue a speculative second attempt on
+//! another healthy device and take whichever completes first. The
+//! threshold must be *derived*, not guessed — a [`HedgeTracker`] folds
+//! every observed per-key (per-app) service time into the telemetry
+//! layer's [`LogLinearHistogram`] and reports
+//! `quantile(q) · multiplier` once enough samples exist. Everything is a
+//! pure function of the observed (seeded, deterministic) service stream,
+//! so the hedge decision replays bit-identically.
+
+use ompx_telemetry::LogLinearHistogram;
+use std::collections::BTreeMap;
+
+/// Threshold shape: which quantile anchors the hedge and how much slack
+/// it gets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HedgeConfig {
+    /// Quantile of the observed service distribution the threshold
+    /// anchors on.
+    pub quantile: f64,
+    /// Multiplier on the anchored quantile (hedging at exactly p95 would
+    /// hedge 5% of healthy traffic; 1.5× gives faults room to stand out).
+    pub multiplier: f64,
+    /// Observations required per key before a threshold is derived at
+    /// all — hedging off two samples is noise, not policy.
+    pub min_samples: u64,
+}
+
+impl Default for HedgeConfig {
+    fn default() -> Self {
+        HedgeConfig { quantile: 0.95, multiplier: 1.5, min_samples: 16 }
+    }
+}
+
+/// Per-key service-time tracker (keys are app names in `ompx-serve`).
+#[derive(Debug, Clone)]
+pub struct HedgeTracker {
+    cfg: HedgeConfig,
+    observed: BTreeMap<String, LogLinearHistogram>,
+}
+
+impl HedgeTracker {
+    /// Fresh tracker with `cfg` thresholds.
+    pub fn new(cfg: HedgeConfig) -> HedgeTracker {
+        HedgeTracker { cfg, observed: BTreeMap::new() }
+    }
+
+    /// The threshold shape in use.
+    pub fn config(&self) -> HedgeConfig {
+        self.cfg
+    }
+
+    /// Record one completed primary dispatch of `key` that took
+    /// `service_s` modeled seconds. (Hedge attempts are *not* recorded —
+    /// they are conditioned on being slow, and would drag the threshold
+    /// up toward the tail it exists to cut.)
+    pub fn observe(&mut self, key: &str, service_s: f64) {
+        self.observed
+            .entry(key.to_string())
+            .or_insert_with(|| LogLinearHistogram::new(ompx_telemetry::DEFAULT_REL_ERR))
+            .record(service_s);
+    }
+
+    /// Samples observed for `key`.
+    pub fn samples(&self, key: &str) -> u64 {
+        self.observed.get(key).map_or(0, |h| h.count())
+    }
+
+    /// The hedge threshold for `key`: `quantile(q) · multiplier`, or
+    /// `None` until `min_samples` observations exist.
+    pub fn threshold_s(&self, key: &str) -> Option<f64> {
+        let h = self.observed.get(key)?;
+        if h.count() < self.cfg.min_samples {
+            return None;
+        }
+        Some(h.quantile(self.cfg.quantile) * self.cfg.multiplier)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_threshold_until_min_samples() {
+        let mut t = HedgeTracker::new(HedgeConfig { min_samples: 4, ..HedgeConfig::default() });
+        for _ in 0..3 {
+            t.observe("adam", 0.010);
+        }
+        assert_eq!(t.threshold_s("adam"), None);
+        t.observe("adam", 0.010);
+        assert!(t.threshold_s("adam").is_some());
+        assert_eq!(t.threshold_s("xsbench"), None, "keys are independent");
+    }
+
+    #[test]
+    fn threshold_tracks_the_quantile_times_multiplier() {
+        let cfg = HedgeConfig { quantile: 0.95, multiplier: 1.5, min_samples: 10 };
+        let mut t = HedgeTracker::new(cfg);
+        // 100 samples at 10ms: every quantile is ~10ms (within the 1%
+        // histogram error), so the threshold is ~15ms.
+        for _ in 0..100 {
+            t.observe("su3", 0.010);
+        }
+        let th = t.threshold_s("su3").unwrap();
+        assert!((th - 0.015).abs() < 0.015 * 0.02, "threshold {th}");
+        // A normal sample sits under it, a 3× straggler over it.
+        assert!(0.010 < th);
+        assert!(0.030 > th);
+    }
+
+    #[test]
+    fn tracker_is_deterministic_for_a_fixed_stream() {
+        let run = || {
+            let mut t = HedgeTracker::new(HedgeConfig::default());
+            for i in 0..200u32 {
+                t.observe("rsbench", 1e-3 * (1.0 + f64::from(i % 17)));
+            }
+            t.threshold_s("rsbench").unwrap().to_bits()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,50 @@
+//! # ompx-resilience — SLO-aware serving policies
+//!
+//! `ompx-serve` survives faults; this crate decides *how well* it must
+//! survive them. It packages the four policy mechanisms the serving loop
+//! wires together, each a pure deterministic state machine over modeled
+//! time so every decision is bit-reproducible for a fixed seed:
+//!
+//! * **priority classes & deadlines** ([`priority`]) — every request is
+//!   `Interactive`, `Batch`, or `BestEffort`; a [`DeadlinePolicy`] turns a
+//!   request's fault-free service estimate into an absolute modeled
+//!   deadline, and the server schedules earliest-deadline-first within
+//!   priority while a brownout ladder sheds `BestEffort` first under
+//!   overload;
+//! * **hedged re-dispatch thresholds** ([`hedge`]) — a [`HedgeTracker`]
+//!   folds observed per-app service times into the telemetry layer's
+//!   log-linear histograms and derives the deterministic quantile
+//!   threshold past which a dispatch should be speculatively re-issued on
+//!   a second healthy device;
+//! * **per-device circuit breakers** ([`breaker`]) — a
+//!   [`CircuitBreaker`] per pool member scores the member's recent
+//!   dispatch outcomes (an exponentially-decayed failure score over the
+//!   fault state's typed-error verdicts) and walks the classic
+//!   closed → open → half-open machine with deterministic trip and
+//!   recovery thresholds, so a flaky member stops receiving work before
+//!   it burns retry budget;
+//! * **the escalation SLO contract** ([`slo`]) — given one
+//!   [`RungSlo`] summary per fault-rate rung of a chaos-escalation
+//!   campaign, [`check_contract`] returns the exact list of violations:
+//!   interactive p99 lateness over budget, any `Corrupt` verdict, or a
+//!   shed fraction that fails to grow monotonically with pressure.
+//!
+//! The crate deliberately knows nothing about devices, queues, or the
+//! event loop — `ompx-serve` owns the wiring; this crate owns the policy
+//! arithmetic, which keeps every threshold unit-testable in isolation.
+//!
+//! [`DeadlinePolicy`]: priority::DeadlinePolicy
+//! [`HedgeTracker`]: hedge::HedgeTracker
+//! [`CircuitBreaker`]: breaker::CircuitBreaker
+//! [`RungSlo`]: slo::RungSlo
+//! [`check_contract`]: slo::check_contract
+
+pub mod breaker;
+pub mod hedge;
+pub mod priority;
+pub mod slo;
+
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker, Transition};
+pub use hedge::{HedgeConfig, HedgeTracker};
+pub use priority::{DeadlinePolicy, Priority};
+pub use slo::{check_contract, RungSlo};

@@ -1,0 +1,106 @@
+//! Priority classes and the deadline model.
+//!
+//! Three classes, ordered: `Interactive` traffic is latency-sensitive and
+//! scheduled first, `Batch` tolerates queueing, `BestEffort` is the
+//! scavenger class the brownout ladder sheds first. Deadlines are
+//! *relative to a fault-free service estimate* supplied by the caller
+//! (the serve loop passes the mix-wide mean, so heterogeneous apps
+//! sharing a device see a common queueing allowance) — which keeps the
+//! deadline model scale-free across `WorkScale`s and app mixes.
+
+/// Scheduling class of one request. Order is scheduling order: a lower
+/// [`Priority::rank`] is always served before a higher one on the same
+/// member.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Priority {
+    /// Latency-sensitive: tight deadline, shed last, hedged eagerly.
+    Interactive,
+    /// Throughput traffic: loose deadline, shed under heavy overload.
+    Batch,
+    /// Scavenger: no deadline, first class shed by the brownout ladder.
+    BestEffort,
+}
+
+impl Priority {
+    /// Every class, in scheduling (and shedding-review) order.
+    pub const ALL: [Priority; 3] = [Priority::Interactive, Priority::Batch, Priority::BestEffort];
+
+    /// Scheduling rank: lower is served first.
+    pub fn rank(self) -> u8 {
+        match self {
+            Priority::Interactive => 0,
+            Priority::Batch => 1,
+            Priority::BestEffort => 2,
+        }
+    }
+
+    /// Stable label used in reports and metric series.
+    pub fn label(self) -> &'static str {
+        match self {
+            Priority::Interactive => "interactive",
+            Priority::Batch => "batch",
+            Priority::BestEffort => "best_effort",
+        }
+    }
+}
+
+/// Deadline assignment: a request's absolute deadline is
+/// `arrival + factor(class) * service_estimate`, with `BestEffort`
+/// carrying no deadline at all. The defaults are sized against the serve
+/// loop's operating point (offered ~1.3× capacity with EDF-within-priority
+/// scheduling and a bounded backlog): interactive requests cut the line,
+/// so a 100× mean-service budget absorbs in-flight-batch blocking plus
+/// the interactive class's own queueing with margin at the p99; batch
+/// rides the backlog and gets 800×.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeadlinePolicy {
+    /// Deadline factor for [`Priority::Interactive`].
+    pub interactive_factor: f64,
+    /// Deadline factor for [`Priority::Batch`].
+    pub batch_factor: f64,
+}
+
+impl Default for DeadlinePolicy {
+    fn default() -> Self {
+        DeadlinePolicy { interactive_factor: 100.0, batch_factor: 800.0 }
+    }
+}
+
+impl DeadlinePolicy {
+    /// Absolute modeled deadline for a request of `class` arriving at
+    /// `arrival_s` whose app's fault-free service estimate is
+    /// `estimate_s`. `None` for [`Priority::BestEffort`].
+    pub fn deadline(&self, class: Priority, arrival_s: f64, estimate_s: f64) -> Option<f64> {
+        let factor = match class {
+            Priority::Interactive => self.interactive_factor,
+            Priority::Batch => self.batch_factor,
+            Priority::BestEffort => return None,
+        };
+        Some(arrival_s + factor * estimate_s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_and_labels_are_stable() {
+        assert!(Priority::Interactive.rank() < Priority::Batch.rank());
+        assert!(Priority::Batch.rank() < Priority::BestEffort.rank());
+        assert_eq!(Priority::Interactive.label(), "interactive");
+        assert_eq!(Priority::Batch.label(), "batch");
+        assert_eq!(Priority::BestEffort.label(), "best_effort");
+        assert_eq!(Priority::ALL.len(), 3);
+    }
+
+    #[test]
+    fn deadlines_scale_with_the_service_estimate() {
+        let p = DeadlinePolicy::default();
+        let d = p.deadline(Priority::Interactive, 2.0, 0.1).unwrap();
+        assert!((d - (2.0 + 100.0 * 0.1)).abs() < 1e-12);
+        let b = p.deadline(Priority::Batch, 2.0, 0.1).unwrap();
+        assert!(b > d, "batch deadlines are looser than interactive");
+        assert_eq!(p.deadline(Priority::BestEffort, 2.0, 0.1), None);
+    }
+}

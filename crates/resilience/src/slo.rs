@@ -1,0 +1,103 @@
+//! The chaos-escalation SLO contract.
+//!
+//! An escalation campaign replays one seeded serve load at a ladder of
+//! fault-rate multipliers and summarizes each rung as a [`RungSlo`].
+//! [`check_contract`] then asserts the three properties the serving layer
+//! promises to hold *at every pressure level*:
+//!
+//! 1. **Interactive p99 ≤ deadline** — the 99th percentile of
+//!    `latency / deadline_budget` over completed interactive requests
+//!    stays ≤ 1 (a ratio, so per-app deadline scaling is already folded
+//!    in);
+//! 2. **zero `Corrupt` verdicts** — faults may slow or shed traffic but
+//!    never silently corrupt it;
+//! 3. **shed fraction monotone in pressure** — the brownout ladder
+//!    degrades *gracefully*: more pressure may shed more, never less
+//!    (within a tolerance for exact ties).
+//!
+//! Violations come back as human-readable strings so the CLI can print
+//! them and exit non-zero; an empty list is the passing gate.
+
+/// One rung of the escalation campaign, as consumed by the contract.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RungSlo {
+    /// Fault-rate multiplier this rung ran at.
+    pub multiplier: f64,
+    /// p99 of `latency / deadline_budget` over completed interactive
+    /// requests (0 when the rung completed none).
+    pub interactive_p99_ratio: f64,
+    /// Responses that completed with a wrong checksum.
+    pub corrupt: u64,
+    /// Fraction of all requests shed by admission control.
+    pub shed_frac: f64,
+}
+
+/// Slack allowed when comparing shed fractions across rungs: exact ties
+/// and float noise are fine, a real regression is not.
+pub const SHED_MONOTONE_TOL: f64 = 1e-9;
+
+/// Check the contract over the campaign's rungs (assumed sorted by
+/// ascending multiplier). Returns every violation found; empty = pass.
+pub fn check_contract(rungs: &[RungSlo]) -> Vec<String> {
+    let mut violations = Vec::new();
+    for r in rungs {
+        if r.interactive_p99_ratio > 1.0 {
+            violations.push(format!(
+                "rung {}x: interactive p99 lateness ratio {:.4} exceeds the deadline budget",
+                r.multiplier, r.interactive_p99_ratio
+            ));
+        }
+        if r.corrupt > 0 {
+            violations.push(format!(
+                "rung {}x: {} corrupt verdict(s) — the trichotomy must hold at every rung",
+                r.multiplier, r.corrupt
+            ));
+        }
+    }
+    for w in rungs.windows(2) {
+        if w[1].shed_frac + SHED_MONOTONE_TOL < w[0].shed_frac {
+            violations.push(format!(
+                "shed fraction not monotone in pressure: {:.4} at {}x but {:.4} at {}x",
+                w[0].shed_frac, w[0].multiplier, w[1].shed_frac, w[1].multiplier
+            ));
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rung(multiplier: f64, ratio: f64, corrupt: u64, shed: f64) -> RungSlo {
+        RungSlo { multiplier, interactive_p99_ratio: ratio, corrupt, shed_frac: shed }
+    }
+
+    #[test]
+    fn clean_campaign_passes() {
+        let rungs = [
+            rung(1.0, 0.2, 0, 0.00),
+            rung(2.0, 0.3, 0, 0.00),
+            rung(4.0, 0.5, 0, 0.02),
+            rung(8.0, 0.8, 0, 0.02),
+            rung(16.0, 0.95, 0, 0.10),
+        ];
+        assert!(check_contract(&rungs).is_empty());
+    }
+
+    #[test]
+    fn deadline_corrupt_and_monotonicity_violations_are_all_reported() {
+        let rungs = [rung(1.0, 0.5, 0, 0.10), rung(2.0, 1.2, 1, 0.05)];
+        let v = check_contract(&rungs);
+        assert_eq!(v.len(), 3, "{v:?}");
+        assert!(v[0].contains("p99 lateness"));
+        assert!(v[1].contains("corrupt"));
+        assert!(v[2].contains("monotone"));
+    }
+
+    #[test]
+    fn exact_ties_and_float_noise_do_not_trip_monotonicity() {
+        let rungs = [rung(1.0, 0.1, 0, 0.05), rung(2.0, 0.1, 0, 0.05 - 1e-12)];
+        assert!(check_contract(&rungs).is_empty());
+    }
+}

@@ -1,0 +1,74 @@
+//! Typed serving errors.
+//!
+//! The serving loop used to panic on conditions that injected-fault runs
+//! can legitimately reach (a warmup failure, a drained loop with work
+//! still queued). Those are now [`ServeError`] variants: callers get a
+//! `Result`, the CLI renders them as findings and exits non-zero, and no
+//! panic is reachable from a fault path.
+
+use std::fmt;
+
+/// Why a serve run could not produce a result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The configuration cannot describe a runnable pool (no devices,
+    /// zero batch size, empty sweep ladder, ...).
+    InvalidConfig(String),
+    /// A fault-free warmup run failed outright — the harness cannot even
+    /// establish the expected checksum for `app`.
+    WarmupFailed {
+        /// The app whose warmup failed.
+        app: &'static str,
+        /// The underlying run error.
+        msg: String,
+    },
+    /// A fault-free warmup completed but disagreed with the already
+    /// pinned expectation — the "unexpected fault-free verdict" case a
+    /// spare promotion must surface instead of serving corrupt data.
+    WarmupUnexpected {
+        /// The app whose re-warmup diverged.
+        app: &'static str,
+        /// Checksum the re-warmup produced.
+        got: u64,
+        /// Checksum pinned by the original warmup.
+        expected: u64,
+    },
+    /// An internal invariant broke (the event loop drained with work
+    /// still queued, a pending hedge never resolved). A bug, reported as
+    /// an error instead of a panic so fault campaigns fail cleanly.
+    Internal(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::InvalidConfig(msg) => write!(f, "invalid serve config: {msg}"),
+            ServeError::WarmupFailed { app, msg } => {
+                write!(f, "fault-free warmup of {app} failed: {msg}")
+            }
+            ServeError::WarmupUnexpected { app, got, expected } => {
+                write!(f, "fault-free warmup of {app} produced {got:#x}, expected {expected:#x}")
+            }
+            ServeError::Internal(msg) => write!(f, "serve internal invariant broke: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_specific() {
+        let e = ServeError::WarmupFailed { app: "su3", msg: "boom".into() };
+        assert!(e.to_string().contains("su3"));
+        assert!(e.to_string().contains("boom"));
+        let e = ServeError::WarmupUnexpected { app: "adam", got: 0xab, expected: 0xcd };
+        assert!(e.to_string().contains("0xab"));
+        assert!(e.to_string().contains("0xcd"));
+        assert!(ServeError::InvalidConfig("x".into()).to_string().contains("invalid"));
+        assert!(ServeError::Internal("x".into()).to_string().contains("invariant"));
+    }
+}

@@ -20,7 +20,13 @@
 //!   [`FaultState`] (via [`FaultPlan::for_pool_member`]); sticky errors
 //!   and device loss stay on the member, and the chaos trichotomy
 //!   (success / typed error / bit-identical validated fallback) is
-//!   asserted per response.
+//!   asserted per response;
+//! * **resilience** — per-request deadlines with EDF-within-priority
+//!   scheduling and a brownout admission ladder, hedged re-dispatch off
+//!   telemetry latency quantiles, per-member circuit breakers, and warm
+//!   spare promotion on device loss ([`server`], policies from
+//!   `ompx-resilience`), stress-tested by the [`escalate`]
+//!   chaos-escalation campaign and its per-rung SLO contract.
 //!
 //! Time is *modeled* (the pool's busy cursors advance by each run's
 //! reported seconds) while execution is *real* (every batch runs its
@@ -32,6 +38,8 @@
 //! [`FaultPlan::for_pool_member`]: ompx_sim::fault::FaultPlan::for_pool_member
 //! [`ChaosSession`]: ompx_hecbench::ChaosSession
 
+pub mod error;
+pub mod escalate;
 pub mod loadgen;
 pub mod pool;
 pub mod report;
@@ -39,11 +47,16 @@ pub mod request;
 pub mod server;
 pub mod sweep;
 
+pub use error::ServeError;
+pub use escalate::{
+    escalate, render_escalate_csv, render_escalate_json, EscalateResult, EscalateRung,
+    DEFAULT_MULTIPLIERS,
+};
 pub use loadgen::LoadSpec;
 pub use pool::{DeviceKind, DevicePool, PoolMember};
-pub use report::{build as build_report, render_json, ServeReport};
+pub use report::{build as build_report, render_json, ClassStat, ServeReport};
 pub use request::{Request, Response, Verdict};
-pub use server::{serve, ServeConfig, ServeResult};
+pub use server::{serve, ResilienceStats, ServeConfig, ServeResult};
 pub use sweep::{
     render_sweep_csv, render_sweep_json, sweep, SweepPoint, SweepResult, DEFAULT_FACTORS,
 };

@@ -10,6 +10,7 @@
 use crate::request::Request;
 use ompx_hecbench::common::{item_uniform, splitmix64};
 use ompx_hecbench::ProgVersion;
+use ompx_resilience::Priority;
 
 /// Shape of one load run.
 #[derive(Debug, Clone, Copy)]
@@ -33,6 +34,12 @@ const APP_WEIGHTS: [(&str, u64); 6] =
 /// thin traditional-OpenMP slice (the generic path is the slowest).
 const VERSION_WEIGHTS: [(ProgVersion, u64); 3] =
     [(ProgVersion::Ompx, 70), (ProgVersion::Native, 20), (ProgVersion::Omp, 10)];
+
+/// Priority mix in percent: a production-shaped blend of latency-bound
+/// interactive traffic, a throughput-bound batch majority, and a
+/// scavenger best-effort slice for the brownout ladder to shed first.
+const PRIORITY_WEIGHTS: [(Priority, u64); 3] =
+    [(Priority::Interactive, 30), (Priority::Batch, 50), (Priority::BestEffort, 20)];
 
 fn weighted<T: Copy>(table: &[(T, u64)], roll: u64) -> T {
     let total: u64 = table.iter().map(|(_, w)| w).sum();
@@ -59,6 +66,10 @@ pub fn offered(spec: &LoadSpec) -> Vec<Request> {
                 app: weighted(&APP_WEIGHTS, h % 1_000),
                 version: weighted(&VERSION_WEIGHTS, (h >> 10) % 1_000),
                 arrival_s: item_uniform(spec.seed ^ 0xA881, u64::from(id)),
+                priority: weighted(&PRIORITY_WEIGHTS, (h >> 20) % 1_000),
+                // Priced by the server after warmup (deadlines are
+                // relative to the app's fault-free service estimate).
+                deadline_s: None,
             }
         })
         .collect();
@@ -109,6 +120,22 @@ mod tests {
         for t in 0..8 {
             assert!(reqs.iter().any(|r| r.tenant == t));
         }
+    }
+
+    #[test]
+    fn priority_mix_covers_all_classes_with_batch_majority() {
+        let reqs = offered(&spec());
+        let count = |p: Priority| reqs.iter().filter(|r| r.priority == p).count();
+        let (i, b, e) =
+            (count(Priority::Interactive), count(Priority::Batch), count(Priority::BestEffort));
+        assert_eq!(i + b + e, 1000);
+        // The weights are 30/50/20; at 1000 clients every class must be
+        // well represented and batch must dominate.
+        assert!(i > 200 && i < 400, "interactive {i}");
+        assert!(b > 400, "batch {b}");
+        assert!(e > 120 && e < 300, "best-effort {e}");
+        // Deadlines are not priced by the generator.
+        assert!(reqs.iter().all(|r| r.deadline_s.is_none()));
     }
 
     #[test]

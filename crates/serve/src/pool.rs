@@ -1,20 +1,29 @@
 //! The device pool: a fixed set of logical pool members with mixed
-//! A100/MI250 profiles, each carrying its own persistent fault state.
+//! A100/MI250 profiles, each carrying its own persistent fault state,
+//! per-member circuit breaker, and (optionally) a bench of warm spares.
 //!
 //! A member is *logical*: the hecbench apps construct their own simulated
 //! devices per run, so what a pool member owns is the part that must
 //! persist across requests — the profile kind (which picks the modeled
-//! system) and the member's [`FaultState`], whose sticky device-loss flag
-//! is exactly the "this pool member died" bit. Chaos schedules are
-//! decorrelated across members via [`FaultPlan::for_pool_member`], and
-//! only member 0 inherits a plan's scheduled device loss, so an injected
-//! loss is a single-member event the rest of the pool must survive.
+//! system), the member's [`FaultState`] (whose sticky device-loss flag is
+//! exactly the "this pool member died" bit), and a [`CircuitBreaker`]
+//! scoring its dispatch outcomes. Chaos schedules are decorrelated across
+//! members via [`FaultPlan::for_pool_member`], and only member 0 inherits
+//! a plan's scheduled device loss, so an injected loss is a single-member
+//! event the rest of the pool must survive.
+//!
+//! **Warm spares** are members appended with `standby = true`: they take
+//! no traffic and do not appear in the sharding set until
+//! [`DevicePool::promote_spare`] flips them in — the serving loop does
+//! that when it observes a device loss, after re-running the fault-free
+//! warmup against the spare to re-pin the expected checksums.
 //!
 //! [`FaultState`]: ompx_sim::fault::FaultState
 //! [`FaultPlan::for_pool_member`]: ompx_sim::fault::FaultPlan::for_pool_member
 
 use ompx_hecbench::common::splitmix64;
 use ompx_hecbench::System;
+use ompx_resilience::{BreakerConfig, CircuitBreaker, Transition};
 use ompx_sim::fault::{FaultPlan, FaultState};
 use std::sync::Arc;
 
@@ -54,6 +63,11 @@ pub struct PoolMember {
     /// Set once the server observes the member's fault state report loss;
     /// a lost member takes no further traffic.
     pub lost: bool,
+    /// True while the member is a warm spare: warmed up but outside the
+    /// serving (and sharding) set until promoted.
+    pub standby: bool,
+    /// Circuit breaker over this member's dispatch outcomes.
+    pub breaker: CircuitBreaker,
     /// Modeled time until which the member is executing.
     pub busy_until_s: f64,
     /// True while a batch is in flight.
@@ -77,13 +91,30 @@ impl DevicePool {
     /// `base_plan` with [`FaultPlan::for_pool_member`] so schedules do not
     /// correlate across members.
     pub fn new(kinds: &[DeviceKind], base_plan: Option<&FaultPlan>, seed: u64) -> DevicePool {
+        DevicePool::with_spares(kinds, &[], base_plan, seed, BreakerConfig::default())
+    }
+
+    /// [`DevicePool::new`] plus a bench of warm spares appended after the
+    /// serving members (so spare indices continue the member numbering),
+    /// and the breaker thresholds every member starts with.
+    pub fn with_spares(
+        kinds: &[DeviceKind],
+        spares: &[DeviceKind],
+        base_plan: Option<&FaultPlan>,
+        seed: u64,
+        breaker: BreakerConfig,
+    ) -> DevicePool {
         let members = kinds
             .iter()
+            .map(|&k| (k, false))
+            .chain(spares.iter().map(|&k| (k, true)))
             .enumerate()
-            .map(|(m, &kind)| PoolMember {
+            .map(|(m, (kind, standby))| PoolMember {
                 kind,
                 faults: base_plan.map(|p| FaultState::new(p.for_pool_member(m))),
                 lost: false,
+                standby,
+                breaker: CircuitBreaker::new(breaker),
                 busy_until_s: 0.0,
                 busy: false,
                 served: 0,
@@ -94,22 +125,67 @@ impl DevicePool {
         DevicePool { members, seed }
     }
 
-    /// Members still taking traffic, in index order.
+    /// Members in the serving set (not lost, not standby), in index order.
     pub fn alive(&self) -> Vec<usize> {
-        (0..self.members.len()).filter(|&m| !self.members[m].lost).collect()
+        (0..self.members.len())
+            .filter(|&m| !self.members[m].lost && !self.members[m].standby)
+            .collect()
     }
 
     /// Shard a tenant onto a live member: a pure hash of `(pool seed,
     /// tenant)` reduced over the *alive* set, so the mapping is sticky
     /// while the pool is stable and every tenant re-homes deterministically
-    /// the moment a member is lost. `None` when the whole pool is gone.
+    /// the moment a member is lost (or a spare is promoted). `None` when
+    /// the whole pool is gone.
     pub fn home_of(&self, tenant: u32) -> Option<usize> {
-        let alive = self.alive();
-        if alive.is_empty() {
+        Self::reduce(self.seed, tenant, &self.alive())
+    }
+
+    /// Breaker-aware routing: shard over the serving members whose
+    /// breakers accept traffic at modeled time `now_s` (an open breaker
+    /// whose cooldown elapsed half-opens here; the transitions are
+    /// returned for metering). When every breaker refuses, routing falls
+    /// back to the plain alive set — breakers shift load while capacity
+    /// exists, they do not fabricate a total outage.
+    pub fn route_of(
+        &mut self,
+        tenant: u32,
+        now_s: f64,
+    ) -> (Option<usize>, Vec<(usize, Transition)>) {
+        let mut transitions = Vec::new();
+        let mut accepting = Vec::new();
+        for m in self.alive() {
+            let (ok, t) = self.members[m].breaker.accepting(now_s);
+            if let Some(t) = t {
+                transitions.push((m, t));
+            }
+            if ok {
+                accepting.push(m);
+            }
+        }
+        let home = if accepting.is_empty() {
+            self.home_of(tenant)
+        } else {
+            Self::reduce(self.seed, tenant, &accepting)
+        };
+        (home, transitions)
+    }
+
+    /// Promote the first available warm spare into the serving set,
+    /// returning its member index. `None` when the bench is empty.
+    pub fn promote_spare(&mut self) -> Option<usize> {
+        let m =
+            (0..self.members.len()).find(|&m| self.members[m].standby && !self.members[m].lost)?;
+        self.members[m].standby = false;
+        Some(m)
+    }
+
+    fn reduce(seed: u64, tenant: u32, set: &[usize]) -> Option<usize> {
+        if set.is_empty() {
             return None;
         }
-        let h = splitmix64(self.seed ^ 0x7365_7276_653A_7468 ^ u64::from(tenant));
-        Some(alive[(h % alive.len() as u64) as usize])
+        let h = splitmix64(seed ^ 0x7365_7276_653A_7468 ^ u64::from(tenant));
+        Some(set[(h % set.len() as u64) as usize])
     }
 }
 
@@ -174,5 +250,57 @@ mod tests {
         for m in 1..4 {
             assert!(pool.members[m].faults.as_ref().unwrap().plan().lose_device_at.is_none());
         }
+    }
+
+    #[test]
+    fn spares_stay_out_of_sharding_until_promoted() {
+        let mut pool = DevicePool::with_spares(
+            &kinds(),
+            &[DeviceKind::A100],
+            None,
+            42,
+            BreakerConfig::default(),
+        );
+        assert_eq!(pool.members.len(), 5);
+        assert!(pool.members[4].standby);
+        assert_eq!(pool.alive(), vec![0, 1, 2, 3]);
+        for t in 0..64 {
+            assert_ne!(pool.home_of(t), Some(4), "tenant {t} routed to a standby spare");
+        }
+        // Lose a member, promote: the spare joins the serving set and the
+        // lost member stays out of it.
+        pool.members[1].lost = true;
+        assert_eq!(pool.promote_spare(), Some(4));
+        assert_eq!(pool.alive(), vec![0, 2, 3, 4]);
+        assert!((0..64).any(|t| pool.home_of(t) == Some(4)), "promoted spare gets no tenants");
+        // Bench exhausted.
+        assert_eq!(pool.promote_spare(), None);
+    }
+
+    #[test]
+    fn routing_skips_open_breakers_and_falls_back_when_all_trip() {
+        let mut pool = DevicePool::new(&kinds(), None, 42);
+        // Trip member 0's breaker outright. Routing happens inside the
+        // cooldown window (default 1.0 s), so the breaker stays open.
+        for i in 0..3 {
+            pool.members[0].breaker.on_outcome(false, f64::from(i));
+        }
+        for t in 0..64 {
+            let (home, _) = pool.route_of(t, 2.5);
+            assert_ne!(home, Some(0), "tenant {t} routed through an open breaker");
+        }
+        // Trip every breaker: routing falls back to the alive set rather
+        // than reporting an outage.
+        for m in 0..4 {
+            for i in 0..3 {
+                pool.members[m].breaker.on_outcome(false, f64::from(i));
+            }
+        }
+        let (home, _) = pool.route_of(9, 2.5);
+        assert!(home.is_some(), "all-tripped pool must still route");
+        // After the cooldown the breakers half-open and the transitions
+        // are surfaced for metering.
+        let (_, transitions) = pool.route_of(9, 1e9);
+        assert!(!transitions.is_empty());
     }
 }

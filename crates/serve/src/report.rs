@@ -1,6 +1,8 @@
 //! Aggregation of a serve run into the `BENCH_serve.json` report:
 //! throughput, modeled latency percentiles, batch shape, per-device
-//! utilization, and per-tenant fairness shares.
+//! utilization, per-tenant fairness shares, per-class deadline
+//! accounting, and the resilience counters (hedges, breaker activity,
+//! spare promotions).
 //!
 //! Every field is a pure function of the (deterministic) responses, so
 //! the rendered JSON is byte-stable for a fixed seed — which is what the
@@ -8,6 +10,8 @@
 
 use crate::pool::DevicePool;
 use crate::request::{Response, Verdict};
+use crate::server::ResilienceStats;
+use ompx_resilience::Priority;
 use ompx_telemetry::percentile_interp;
 
 /// Per-member rollup.
@@ -19,6 +23,9 @@ pub struct DeviceSummary {
     pub batches: u64,
     pub busy_s: f64,
     pub lost: bool,
+    /// Still benched as a warm spare at drain time (a promoted spare
+    /// reports `false` and its serving counters).
+    pub standby: bool,
 }
 
 /// Per-tenant rollup. `share` is this tenant's fraction of all served
@@ -35,6 +42,19 @@ pub struct TenantShare {
     pub latency_p50_s: f64,
     pub latency_p95_s: f64,
     pub latency_p99_s: f64,
+}
+
+/// Per-priority-class rollup: what the deadline scheduler delivered.
+/// `lateness_p99` is the p99 of `latency / deadline budget` over the
+/// class's completed requests (≤ 1 means the SLO held at the tail);
+/// 0 for deadline-free classes.
+#[derive(Debug, Clone)]
+pub struct ClassStat {
+    pub class: &'static str,
+    pub completed: u64,
+    pub shed: u64,
+    pub deadline_misses: u64,
+    pub lateness_p99: f64,
 }
 
 /// The full serve report.
@@ -60,17 +80,21 @@ pub struct ServeReport {
     pub batch_count: u64,
     pub batch_max: u64,
     pub batch_mean: f64,
+    pub classes: Vec<ClassStat>,
+    pub resilience: ResilienceStats,
     pub devices: Vec<DeviceSummary>,
     pub fairness: Vec<TenantShare>,
 }
 
-/// Roll a run's responses and final pool state into the report.
+/// Roll a run's responses, final pool state, and resilience counters
+/// into the report.
 pub fn build(
     seed: u64,
     clients: u32,
     tenants: u32,
     responses: &[Response],
     pool: &DevicePool,
+    stats: &ResilienceStats,
 ) -> ServeReport {
     let mut success = 0u64;
     let mut fallback = 0u64;
@@ -112,6 +136,37 @@ pub fn build(
     let batch_max = responses.iter().map(|r| r.batch_size as u64).max().unwrap_or(0);
     let batch_mean = if batch_count > 0 { completed as f64 / batch_count as f64 } else { 0.0 };
 
+    let classes = Priority::ALL
+        .iter()
+        .map(|&p| {
+            let mut done = 0u64;
+            let mut shed = 0u64;
+            let mut misses = 0u64;
+            let mut lateness: Vec<f64> = Vec::new();
+            for r in responses.iter().filter(|r| r.priority == p) {
+                if matches!(r.verdict, Verdict::Rejected(_)) {
+                    shed += 1;
+                    continue;
+                }
+                done += 1;
+                if r.missed_deadline() {
+                    misses += 1;
+                }
+                if let Some(l) = r.lateness_ratio() {
+                    lateness.push(l);
+                }
+            }
+            lateness.sort_by(f64::total_cmp);
+            ClassStat {
+                class: p.label(),
+                completed: done,
+                shed,
+                deadline_misses: misses,
+                lateness_p99: percentile_interp(&lateness, 0.99),
+            }
+        })
+        .collect();
+
     let devices = pool
         .members
         .iter()
@@ -123,6 +178,7 @@ pub fn build(
             batches: m.batches,
             busy_s: m.busy_s,
             lost: m.lost,
+            standby: m.standby,
         })
         .collect();
     let fairness = (0..tenants)
@@ -163,17 +219,19 @@ pub fn build(
         batch_count,
         batch_max,
         batch_mean,
+        classes,
+        resilience: stats.clone(),
         devices,
         fairness,
     }
 }
 
 /// Render the report as the `BENCH_serve.json` document (schema
-/// `ompx-bench-serve-v1`). Field order and float formatting are fixed so
+/// `ompx-bench-serve-v2`). Field order and float formatting are fixed so
 /// the output is byte-stable for baseline diffing.
 pub fn render_json(r: &ServeReport) -> String {
     let mut out = String::new();
-    out.push_str("{\n  \"schema\": \"ompx-bench-serve-v1\",\n");
+    out.push_str("{\n  \"schema\": \"ompx-bench-serve-v2\",\n");
     out.push_str(&format!("  \"seed\": {},\n", r.seed));
     out.push_str(&format!("  \"clients\": {},\n", r.clients));
     out.push_str(&format!("  \"tenants\": {},\n", r.tenants));
@@ -192,16 +250,41 @@ pub fn render_json(r: &ServeReport) -> String {
         "  \"batches\": {{\"count\":{},\"max\":{},\"mean\":{:.4}}},\n",
         r.batch_count, r.batch_max, r.batch_mean
     ));
+    out.push_str("  \"classes\": [\n");
+    for (i, c) in r.classes.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"class\":\"{}\",\"completed\":{},\"shed\":{},\"deadline_misses\":{},\"lateness_p99\":{:e}}}{}\n",
+            c.class,
+            c.completed,
+            c.shed,
+            c.deadline_misses,
+            c.lateness_p99,
+            if i + 1 < r.classes.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    let s = &r.resilience;
+    out.push_str(&format!(
+        "  \"resilience\": {{\"hedges_launched\":{},\"hedges_won\":{},\"hedges_skipped\":{},\"breaker_transitions\":{},\"breaker_opens\":{},\"spares_promoted\":{},\"deadline_misses\":{}}},\n",
+        s.hedges_launched,
+        s.hedges_won,
+        s.hedges_skipped,
+        s.breaker_transitions,
+        s.breaker_opens,
+        s.spares_promoted,
+        s.deadline_misses
+    ));
     out.push_str("  \"devices\": [\n");
     for (i, d) in r.devices.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"member\":{},\"kind\":\"{}\",\"served\":{},\"batches\":{},\"busy_s\":{:e},\"lost\":{}}}{}\n",
+            "    {{\"member\":{},\"kind\":\"{}\",\"served\":{},\"batches\":{},\"busy_s\":{:e},\"lost\":{},\"standby\":{}}}{}\n",
             d.member,
             d.kind,
             d.served,
             d.batches,
             d.busy_s,
             d.lost,
+            d.standby,
             if i + 1 < r.devices.len() { "," } else { "" }
         ));
     }
@@ -246,10 +329,17 @@ mod tests {
             batch_size: batch,
             verdict,
             arrival_s: arrival,
+            priority: Priority::Batch,
+            deadline_s: None,
+            hedged: false,
             done_s: done,
             checksum: Some(1),
             trace: None,
         }
+    }
+
+    fn no_stats() -> ResilienceStats {
+        ResilienceStats::default()
     }
 
     #[test]
@@ -263,7 +353,7 @@ mod tests {
             resp(2, 0, Verdict::Fallback, 1.0, 4.0, 1),
             resp(3, 1, Verdict::Rejected("full".into()), 2.0, 2.0, 1),
         ];
-        let r = build(9, 4, 2, &responses, &pool);
+        let r = build(9, 4, 2, &responses, &pool, &no_stats());
         assert_eq!((r.success, r.fallback, r.rejected, r.corrupt), (2, 1, 1, 0));
         assert_eq!(r.completed, 3);
         assert_eq!(r.total, 4);
@@ -280,6 +370,30 @@ mod tests {
     }
 
     #[test]
+    fn class_stats_split_by_priority_and_count_misses() {
+        let pool = DevicePool::new(&[DeviceKind::A100], None, 1);
+        let mut interactive_met = resp(0, 0, Verdict::Success, 0.0, 1.0, 1);
+        interactive_met.priority = Priority::Interactive;
+        interactive_met.deadline_s = Some(2.0);
+        let mut interactive_missed = resp(1, 0, Verdict::Success, 0.0, 5.0, 1);
+        interactive_missed.priority = Priority::Interactive;
+        interactive_missed.deadline_s = Some(2.0);
+        let mut be_shed = resp(2, 1, Verdict::Rejected("brownout".into()), 0.0, 0.0, 1);
+        be_shed.priority = Priority::BestEffort;
+        let responses = vec![interactive_met, interactive_missed, be_shed];
+        let r = build(9, 3, 2, &responses, &pool, &no_stats());
+        assert_eq!(r.classes.len(), 3);
+        let by = |label: &str| r.classes.iter().find(|c| c.class == label).unwrap().clone();
+        let i = by("interactive");
+        assert_eq!((i.completed, i.shed, i.deadline_misses), (2, 0, 1));
+        // Lateness over [0.5, 2.5]: p99 interpolates toward the miss.
+        assert!(i.lateness_p99 > 1.0);
+        let b = by("best_effort");
+        assert_eq!((b.completed, b.shed, b.deadline_misses), (0, 1, 0));
+        assert_eq!(by("batch").completed, 0);
+    }
+
+    #[test]
     fn all_rejected_percentiles_are_zero() {
         // No completed request: every percentile (global and per-tenant)
         // must come out 0.0, not panic or index out of range.
@@ -288,7 +402,7 @@ mod tests {
             resp(0, 0, Verdict::Rejected("full".into()), 0.0, 0.0, 1),
             resp(1, 1, Verdict::Rejected("full".into()), 1.0, 1.0, 1),
         ];
-        let r = build(9, 2, 2, &responses, &pool);
+        let r = build(9, 2, 2, &responses, &pool, &no_stats());
         assert_eq!(r.completed, 0);
         assert_eq!(r.latency_p50_s, 0.0);
         assert_eq!(r.latency_p95_s, 0.0);
@@ -303,7 +417,7 @@ mod tests {
     fn single_sample_is_every_percentile() {
         let pool = DevicePool::new(&[DeviceKind::A100], None, 1);
         let responses = vec![resp(0, 0, Verdict::Success, 0.5, 2.5, 1)];
-        let r = build(9, 1, 1, &responses, &pool);
+        let r = build(9, 1, 1, &responses, &pool, &no_stats());
         assert!((r.latency_p50_s - 2.0).abs() < 1e-12);
         assert!((r.latency_p95_s - 2.0).abs() < 1e-12);
         assert!((r.latency_p99_s - 2.0).abs() < 1e-12);
@@ -318,7 +432,7 @@ mod tests {
             resp(1, 0, Verdict::Success, 0.0, 3.0, 1),
             resp(2, 1, Verdict::Success, 0.0, 10.0, 1),
         ];
-        let r = build(9, 3, 2, &responses, &pool);
+        let r = build(9, 3, 2, &responses, &pool, &no_stats());
         assert!((r.fairness[0].latency_p50_s - 2.0).abs() < 1e-12);
         assert!((r.fairness[1].latency_p50_s - 10.0).abs() < 1e-12);
         assert!(r.fairness[0].latency_p99_s < r.fairness[1].latency_p99_s);
@@ -328,12 +442,19 @@ mod tests {
     fn json_is_stable_and_tagged() {
         let pool = DevicePool::new(&[DeviceKind::A100, DeviceKind::Mi250], None, 1);
         let responses = vec![resp(0, 0, Verdict::Success, 0.0, 2.0, 1)];
-        let r = build(9, 1, 1, &responses, &pool);
+        let mut stats = no_stats();
+        stats.hedges_launched = 3;
+        stats.spares_promoted = 1;
+        let r = build(9, 1, 1, &responses, &pool, &stats);
         let a = render_json(&r);
         let b = render_json(&r);
         assert_eq!(a, b);
-        assert!(a.contains("\"schema\": \"ompx-bench-serve-v1\""));
+        assert!(a.contains("\"schema\": \"ompx-bench-serve-v2\""));
         assert!(a.contains("\"kind\":\"a100\""));
         assert!(a.contains("\"kind\":\"mi250\""));
+        assert!(a.contains("\"standby\":false"));
+        assert!(a.contains("\"hedges_launched\":3"));
+        assert!(a.contains("\"spares_promoted\":1"));
+        assert!(a.contains("\"class\":\"interactive\""));
     }
 }

@@ -1,6 +1,7 @@
 //! The serving wire types: requests, verdicts, responses.
 
 use ompx_hecbench::ProgVersion;
+use ompx_resilience::Priority;
 
 /// One client's launch request: run one hecbench app (a stand-in for "a
 /// target region") and return its checksum. Arrival time is modeled
@@ -18,6 +19,12 @@ pub struct Request {
     pub version: ProgVersion,
     /// Modeled arrival time in seconds.
     pub arrival_s: f64,
+    /// Scheduling class: interactive cuts the line, best-effort is shed
+    /// first by the brownout ladder.
+    pub priority: Priority,
+    /// Absolute modeled deadline, assigned by the server once it knows
+    /// the app's fault-free service estimate (`None` for best-effort).
+    pub deadline_s: Option<f64>,
 }
 
 /// Short version tag that does not depend on the executing system (a
@@ -77,6 +84,14 @@ pub struct Response {
     pub verdict: Verdict,
     /// Copied from the request.
     pub arrival_s: f64,
+    /// Scheduling class, copied from the request.
+    pub priority: Priority,
+    /// Absolute modeled deadline the scheduler worked against (`None`
+    /// for best-effort and for requests shed before warmup pricing).
+    pub deadline_s: Option<f64>,
+    /// True when a hedged second attempt was launched for this request's
+    /// batch (whichever attempt won).
+    pub hedged: bool,
     /// Modeled completion (or rejection) time.
     pub done_s: f64,
     /// The app checksum the execution produced, when it completed.
@@ -91,6 +106,26 @@ impl Response {
     /// Modeled queueing + service latency.
     pub fn latency_s(&self) -> f64 {
         self.done_s - self.arrival_s
+    }
+
+    /// Whether a completed request finished past its deadline. Rejected
+    /// requests never count (they did not complete), and deadline-free
+    /// (best-effort) requests cannot miss.
+    pub fn missed_deadline(&self) -> bool {
+        !matches!(self.verdict, Verdict::Rejected(_))
+            && self.deadline_s.is_some_and(|d| self.done_s > d)
+    }
+
+    /// Lateness as a fraction of the deadline budget:
+    /// `latency / (deadline - arrival)`. `None` when no deadline was set
+    /// or the request was rejected. ≤ 1 means the deadline was met.
+    pub fn lateness_ratio(&self) -> Option<f64> {
+        if matches!(self.verdict, Verdict::Rejected(_)) {
+            return None;
+        }
+        let d = self.deadline_s?;
+        let budget = d - self.arrival_s;
+        (budget > 0.0).then(|| self.latency_s() / budget)
     }
 }
 
@@ -107,21 +142,46 @@ mod tests {
         assert_eq!(Verdict::Corrupt("x".into()).label(), "corrupt");
     }
 
-    #[test]
-    fn latency_is_done_minus_arrival() {
-        let r = Response {
+    fn resp(verdict: Verdict, deadline_s: Option<f64>) -> Response {
+        Response {
             id: 0,
             tenant: 0,
             app: "adam",
             version: ProgVersion::Ompx,
             member: Some(1),
             batch_size: 2,
-            verdict: Verdict::Success,
+            verdict,
             arrival_s: 1.5,
+            priority: Priority::Interactive,
+            deadline_s,
+            hedged: false,
             done_s: 4.0,
             checksum: Some(7),
             trace: None,
-        };
+        }
+    }
+
+    #[test]
+    fn latency_is_done_minus_arrival() {
+        let r = resp(Verdict::Success, None);
         assert!((r.latency_s() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deadline_miss_and_lateness_follow_the_deadline() {
+        // done_s = 4.0, arrival 1.5: a deadline of 6.5 is met at ratio
+        // 0.5, one of 3.0 is missed at ratio > 1.
+        let met = resp(Verdict::Success, Some(6.5));
+        assert!(!met.missed_deadline());
+        assert!((met.lateness_ratio().unwrap() - 0.5).abs() < 1e-12);
+        let missed = resp(Verdict::Fallback, Some(3.0));
+        assert!(missed.missed_deadline());
+        assert!(missed.lateness_ratio().unwrap() > 1.0);
+        // No deadline: cannot miss, no ratio.
+        assert!(!resp(Verdict::Success, None).missed_deadline());
+        assert_eq!(resp(Verdict::Success, None).lateness_ratio(), None);
+        // Rejected: never a miss even with a stale deadline attached.
+        assert!(!resp(Verdict::Rejected("full".into()), Some(0.1)).missed_deadline());
+        assert_eq!(resp(Verdict::Rejected("full".into()), Some(0.1)).lateness_ratio(), None);
     }
 }

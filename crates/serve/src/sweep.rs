@@ -10,6 +10,7 @@
 //! rendered JSON/CSV are byte-stable for a fixed `(cfg, spec, factors)`
 //! and CI gates on them exactly like the single-point serve baseline.
 
+use crate::error::ServeError;
 use crate::loadgen::LoadSpec;
 use crate::report::{build, ServeReport};
 use crate::server::{serve, ServeConfig};
@@ -58,20 +59,24 @@ pub struct SweepResult {
 
 /// Run `cfg` at every factor in `factors` (ascending order is
 /// conventional but not required) against the same seeded `spec`.
-/// Panics if `factors` is empty.
-pub fn sweep(cfg: &ServeConfig, spec: &LoadSpec, factors: &[f64]) -> SweepResult {
-    assert!(!factors.is_empty(), "sweep needs at least one load factor");
-    let points = factors
-        .iter()
-        .map(|&f| {
-            let mut c = cfg.clone();
-            c.load_factor = f;
-            let out = serve(&c, spec);
-            let report = build(c.seed, spec.clients, spec.tenants, &out.responses, &out.pool);
-            SweepPoint::from_report(f, &report)
-        })
-        .collect();
-    SweepResult { seed: cfg.seed, clients: spec.clients, tenants: spec.tenants, points }
+pub fn sweep(
+    cfg: &ServeConfig,
+    spec: &LoadSpec,
+    factors: &[f64],
+) -> Result<SweepResult, ServeError> {
+    if factors.is_empty() {
+        return Err(ServeError::InvalidConfig("sweep needs at least one load factor".into()));
+    }
+    let mut points = Vec::with_capacity(factors.len());
+    for &f in factors {
+        let mut c = cfg.clone();
+        c.load_factor = f;
+        let out = serve(&c, spec)?;
+        let report =
+            build(c.seed, spec.clients, spec.tenants, &out.responses, &out.pool, &out.stats);
+        points.push(SweepPoint::from_report(f, &report));
+    }
+    Ok(SweepResult { seed: cfg.seed, clients: spec.clients, tenants: spec.tenants, points })
 }
 
 /// Render a sweep as the `BENCH_sweep.json` document (schema
@@ -141,8 +146,8 @@ mod tests {
         let cfg = tiny_cfg();
         let spec = LoadSpec { seed: 7, clients: 24, tenants: 4 };
         let factors = [0.5, 1.5, 3.0];
-        let a = sweep(&cfg, &spec, &factors);
-        let b = sweep(&cfg, &spec, &factors);
+        let a = sweep(&cfg, &spec, &factors).expect("sweep");
+        let b = sweep(&cfg, &spec, &factors).expect("sweep");
         assert_eq!(render_sweep_json(&a), render_sweep_json(&b));
         assert_eq!(render_sweep_csv(&a), render_sweep_csv(&b));
         assert_eq!(a.points.len(), 3);
@@ -161,9 +166,16 @@ mod tests {
     fn csv_has_one_row_per_point_plus_header() {
         let cfg = tiny_cfg();
         let spec = LoadSpec { seed: 7, clients: 8, tenants: 2 };
-        let s = sweep(&cfg, &spec, &[1.0, 2.0]);
+        let s = sweep(&cfg, &spec, &[1.0, 2.0]).expect("sweep");
         let csv = render_sweep_csv(&s);
         assert_eq!(csv.lines().count(), 3);
         assert!(csv.starts_with("load_factor,"));
+    }
+
+    #[test]
+    fn empty_factor_ladder_is_a_typed_error() {
+        let cfg = tiny_cfg();
+        let spec = LoadSpec { seed: 7, clients: 4, tenants: 2 };
+        assert!(matches!(sweep(&cfg, &spec, &[]), Err(crate::error::ServeError::InvalidConfig(_))));
     }
 }

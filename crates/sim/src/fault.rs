@@ -283,9 +283,13 @@ impl RetryPolicy {
     }
 
     /// Modeled backoff (seconds) charged before retry number `attempt`
-    /// (1-based count of already-failed attempts).
+    /// (1-based count of already-failed attempts; 0 is treated as 1).
+    /// The doubling ladder saturates instead of wrapping: once the shift
+    /// exceeds the width of `u64` the factor pins at `u64::MAX`, so the
+    /// backoff is monotone non-decreasing for *every* attempt number.
     pub fn backoff_s(&self, attempt: u32) -> f64 {
-        self.backoff_base_s * f64::from(1u32 << (attempt - 1).min(16))
+        let factor = 1u64.checked_shl(attempt.saturating_sub(1)).unwrap_or(u64::MAX);
+        self.backoff_base_s * factor as f64
     }
 }
 
@@ -710,5 +714,27 @@ mod tests {
         let p = RetryPolicy::default();
         assert!(p.max_attempts > BURST_CAP);
         assert!(p.backoff_s(2) > p.backoff_s(1), "backoff grows");
+    }
+
+    #[test]
+    fn backoff_ladder_doubles_then_saturates() {
+        let base = 20e-6;
+        let p = RetryPolicy { max_attempts: 4, backoff_base_s: base };
+        // Attempt 0 is out-of-contract input; it maps onto attempt 1
+        // rather than underflowing the shift.
+        assert_eq!(p.backoff_s(0), base);
+        // The doubling ladder: 2^(k-1) * base.
+        assert_eq!(p.backoff_s(1), base);
+        assert_eq!(p.backoff_s(2), 2.0 * base);
+        assert_eq!(p.backoff_s(3), 4.0 * base);
+        assert_eq!(p.backoff_s(17), 65536.0 * base);
+        // Largest in-width shift, then the saturation boundary: attempt
+        // 65 shifts by 64 (out of range for u64) and must pin, not wrap.
+        assert_eq!(p.backoff_s(64), (1u64 << 63) as f64 * base);
+        assert_eq!(p.backoff_s(65), u64::MAX as f64 * base);
+        assert_eq!(p.backoff_s(u32::MAX), u64::MAX as f64 * base);
+        // Monotone non-decreasing across the boundary.
+        assert!(p.backoff_s(65) >= p.backoff_s(64));
+        assert!(p.backoff_s(66) >= p.backoff_s(65));
     }
 }

@@ -24,7 +24,9 @@
 //! Family naming: `sim_*` (launches, memcpys), `fault_*` (injections and
 //! recoveries by kind/site), `sanitizer_findings_total` / `findings_total`
 //! (findings by tool and severity), `serve_*` (queue, batching,
-//! backpressure, per-tenant latency). [`describe_base_families`]
+//! backpressure, per-tenant latency), `resilience_*` (breaker
+//! transitions, hedges, spare promotions, deadline misses, brownout
+//! shedding). [`describe_base_families`]
 //! pre-declares all of them so a snapshot always shows the full surface,
 //! including families that stayed at rest.
 
@@ -96,6 +98,20 @@ pub fn describe_base_families(reg: &MetricRegistry) {
         ("serve_busy_seconds", Gauge, "accumulated modeled busy seconds per member"),
         ("serve_batch_occupancy", Histogram, "requests coalesced per dispatched batch"),
         ("serve_latency_seconds", Histogram, "modeled request latency, by tenant"),
+        ("serve_service_seconds", Histogram, "modeled batch service time, by app"),
+        (
+            "resilience_breaker_transitions_total",
+            Counter,
+            "circuit-breaker state changes, by member and edge",
+        ),
+        ("resilience_hedges_total", Counter, "hedged re-dispatches, by app and outcome"),
+        ("resilience_spare_promotions_total", Counter, "warm spares promoted into the serving set"),
+        (
+            "resilience_deadline_miss_total",
+            Counter,
+            "completed requests that missed their deadline, by class",
+        ),
+        ("resilience_shed_total", Counter, "requests shed by the brownout ladder, by class"),
     ] {
         reg.describe(name, kind, help);
     }

@@ -95,7 +95,10 @@ cargo run --release -q -p ompx-bench --bin serve -- \
 diff "$MET/a.prom" "$MET/b.prom"
 diff "$MET/a.json" "$MET/b.json"
 for fam in serve_requests_total serve_latency_seconds fault_injected_total \
-    sim_launches_total sim_memcpy_bytes_total; do
+    sim_launches_total sim_memcpy_bytes_total \
+    resilience_breaker_transitions_total resilience_hedges_total \
+    resilience_spare_promotions_total resilience_deadline_miss_total \
+    resilience_shed_total; do
     if ! grep -q "^$fam" "$MET/a.prom"; then
         echo "error: metrics snapshot is missing family $fam" >&2
         exit 1
@@ -107,5 +110,22 @@ echo "==> sweep baseline gate (7 load factors, fixed seed)"
 cargo run --release -q -p ompx-bench --bin serve -- \
     --clients 1000 --tenants 8 --sweep \
     --baseline results/BENCH_sweep.json >/dev/null
+
+echo "==> chaos-escalation SLO gate (5 fault-rate rungs, fixed seed)"
+cargo run --release -q -p ompx-bench --bin serve -- \
+    --clients 400 --tenants 8 --escalate \
+    --baseline results/BENCH_resilience.json >/dev/null
+
+echo "==> escalation determinism gate (two identical campaigns, byte-identical JSON)"
+ESC=$(mktemp -d)
+cargo run --release -q -p ompx-bench --bin serve -- \
+    --clients 400 --tenants 8 --escalate \
+    --bench-out "$ESC/a.json" --csv-out "$ESC/a.csv" >/dev/null
+cargo run --release -q -p ompx-bench --bin serve -- \
+    --clients 400 --tenants 8 --escalate \
+    --bench-out "$ESC/b.json" --csv-out "$ESC/b.csv" >/dev/null
+diff "$ESC/a.json" "$ESC/b.json"
+diff "$ESC/a.csv" "$ESC/b.csv"
+rm -rf "$ESC"
 
 echo "CI OK"

@@ -33,8 +33,8 @@ fn device_loss_on_tenant_a_leaves_tenant_b_bit_identical() {
     // plan is quiet (rate 0; for_pool_member strips the scheduled loss).
     let mut faulty_cfg = config();
     faulty_cfg.plan = Some(FaultPlan::seeded(SEED, 0.0).with_device_loss_at(2));
-    let faulty = serve(&faulty_cfg, &load());
-    let clean = serve(&config(), &load());
+    let faulty = serve(&faulty_cfg, &load()).expect("faulty serve run");
+    let clean = serve(&config(), &load()).expect("fault-free serve run");
 
     assert!(faulty.pool.members[0].lost, "scheduled loss never fired");
     for m in 1..faulty.pool.members.len() {
