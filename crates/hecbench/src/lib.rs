@@ -33,8 +33,8 @@ pub mod summaries;
 pub mod xsbench;
 
 pub use common::{
-    run_app_chaos, run_app_sanitized, with_span_log, BenchInfo, ChaosSession, FaultReport,
-    ProgVersion, RunOutcome, System, WorkScale,
+    run_app_chaos, run_app_sanitized, with_mem_trace, with_mem_trace_full, with_span_log,
+    BenchInfo, ChaosSession, FaultReport, ProgVersion, RunOutcome, System, WorkScale,
 };
 
 /// All six applications' metadata in the paper's Figure 6 order.

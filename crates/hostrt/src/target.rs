@@ -302,8 +302,11 @@ impl TargetRegion {
 
     /// `distribute parallel for reduction(+: acc)` over `0..n`: every
     /// iteration's value is summed. Lowered the way LLVM lowers GPU
-    /// reductions: per-thread partials combined with one global atomic per
-    /// thread (SPMD) or per-team accumulation by the master (generic).
+    /// reductions, but deterministically: each team commits its partial
+    /// into its own cell of a per-team scratch buffer and the host combines
+    /// the partials in team-linear order. A single shared accumulator would
+    /// sum the non-associative float partials in whatever order the OS
+    /// scheduled the teams, so repeated runs could drift bit-by-bit.
     /// Returns the reduction value alongside the target result.
     pub fn run_reduce_sum(
         self,
@@ -320,14 +323,14 @@ impl TargetRegion {
             });
             return Ok((acc.get(), result));
         }
-        let acc = self.omp.device().alloc::<f64>(1);
+        let partials = self.omp.device().alloc::<f64>(plan.teams.max(1) as usize);
         let body = Arc::new(body);
 
         let (kernel, cfg) = match plan.mode {
             ExecMode::Generic => {
                 let teams = plan.teams as usize;
                 let chunk = n.div_ceil(teams.max(1));
-                let acc2 = acc.clone();
+                let partials2 = partials.clone();
                 let body = Arc::clone(&body);
                 let k = generic_kernel(
                     self.kernel_name.clone(),
@@ -343,13 +346,14 @@ impl TargetRegion {
                             |tc, i| body(tc, lo + i),
                             |a, b| a + b,
                         );
-                        team.thread().atomic_add(&acc2, 0, partial);
+                        let slot = team.team_num();
+                        team.thread().atomic_add(&partials2, slot, partial);
                     },
                 );
                 (k, generic_launch_config(teams))
             }
             _ => {
-                let acc2 = acc.clone();
+                let partials2 = partials.clone();
                 let body = Arc::clone(&body);
                 let k = spmd_kernel(self.kernel_name.clone(), move |ctx: &mut SpmdCtx<'_, '_>| {
                     let body = &body;
@@ -359,7 +363,8 @@ impl TargetRegion {
                         |tc, i| body(tc, i),
                         |a, b| a + b,
                     );
-                    ctx.thread().atomic_add(&acc2, 0, partial);
+                    let slot = ctx.team_num();
+                    ctx.thread().atomic_add(&partials2, slot, partial);
                 });
                 (k, LaunchConfig::new(plan.teams, plan.threads))
             }
@@ -374,7 +379,7 @@ impl TargetRegion {
             scratch_shared_bytes: 0,
         };
         let result = prepared.execute()?;
-        Ok((acc.get(0), result))
+        Ok((partials.to_vec().iter().sum(), result))
     }
 
     /// `nowait` variant: dispatch as a target task on the hidden helper

@@ -84,9 +84,12 @@ pub fn saxpy(
 
 /// Dot product of two single-precision vectors.
 ///
-/// Implemented the way the vendor libraries do it: a grid-wide reduction
-/// into a single accumulator via per-block partial sums and one atomic per
-/// block.
+/// Implemented the way the deterministic vendor libraries do it: each block
+/// accumulates a partial sum in its own cell of a per-block scratch buffer,
+/// and the host combines the partials in block-linear order. Float addition
+/// is not associative, so a single-cell accumulator hit by concurrently
+/// scheduled blocks would make the result depend on OS scheduling —
+/// breaking the simulator's bit-identical-runs contract.
 pub fn sdot(
     vendor: BlasVendor,
     ctx: &NativeCtx,
@@ -96,11 +99,14 @@ pub fn sdot(
     let func = format!("{}Sdot", vendor.prefix());
     vendor.expect_ctx(ctx, &func);
     let n = x.len().min(y.len());
-    let acc = ctx.malloc::<f64>(1);
+    let blocks = n.div_ceil(BLOCK as usize).clamp(1, 1024);
+    let partials = ctx.malloc::<f64>(blocks);
     let k = Kernel::new(func, {
-        let (x, y, acc) = (x.clone(), y.clone(), acc.clone());
+        let (x, y, partials) = (x.clone(), y.clone(), partials.clone());
         move |tc: &mut ThreadCtx| {
-            // Grid-stride loop with a per-thread partial, one atomic each.
+            // Grid-stride loop with a per-thread partial, one atomic each —
+            // into this block's cell. Lanes of a block run in a fixed
+            // order, so each cell's sum has a deterministic association.
             let mut partial = 0.0f64;
             let stride = tc.global_size();
             let mut i = tc.global_rank();
@@ -111,15 +117,14 @@ pub fn sdot(
                 partial += (xv * yv) as f64;
                 i += stride;
             }
-            tc.atomic_add(&acc, 0, partial);
+            tc.atomic_add(&partials, tc.block_rank(), partial);
         }
     });
-    let blocks = n.div_ceil(BLOCK as usize).clamp(1, 1024) as u32;
     let r = ctx
-        .launch_cfg(&k, LaunchConfig::new(Dim3::x(blocks), Dim3::x(BLOCK)))
+        .launch_cfg(&k, LaunchConfig::new(Dim3::x(blocks as u32), Dim3::x(BLOCK)))
         .expect("sdot launch");
-    let result = acc.get(0);
-    ctx.free(&acc);
+    let result: f64 = partials.to_vec().iter().sum();
+    ctx.free(&partials);
     (result, r)
 }
 

@@ -245,6 +245,10 @@ pub(crate) struct DeviceInner {
     /// injection fires (before the partial block prefix commits) and
     /// consumed by [`Device::restore_checkpoint`].
     checkpoints: Mutex<HashMap<String, Checkpoint>>,
+    /// Per-device worker-thread override for the executor (0 = unset; fall
+    /// back to [`exec::default_workers`]). `1` is the reference serial
+    /// mode; results are bit-identical at any setting.
+    sim_workers: AtomicUsize,
 }
 
 /// One kernel's pre-launch snapshot: the saved image of every buffer the
@@ -279,7 +283,24 @@ impl Device {
                 allocs: Mutex::new(Vec::new()),
                 write_sets: Mutex::new(HashMap::new()),
                 checkpoints: Mutex::new(HashMap::new()),
+                sim_workers: AtomicUsize::new(0),
             }),
+        }
+    }
+
+    /// Set (or with `None`, clear) this device's executor worker-thread
+    /// count. `Some(1)` selects the reference serial mode. Unset devices
+    /// resolve through [`exec::default_workers`]: the process-global
+    /// override, then `OMPX_SIM_WORKERS`, then the host's parallelism.
+    pub fn set_sim_workers(&self, workers: Option<usize>) {
+        self.inner.sim_workers.store(workers.map_or(0, |w| w.max(1)), Ordering::Relaxed);
+    }
+
+    /// The worker-thread count the next launch on this device will use.
+    pub fn sim_workers(&self) -> usize {
+        match self.inner.sim_workers.load(Ordering::Relaxed) {
+            0 => exec::default_workers(),
+            n => n,
         }
     }
 
@@ -743,6 +764,7 @@ impl Device {
                 self.inner.profile.warp_size,
                 san.as_ref(),
                 mem.as_ref(),
+                self.sim_workers(),
                 committed,
             );
         }
@@ -824,8 +846,14 @@ impl Device {
         }
         let san = self.sanitizer().map(|state| LaunchSan::new(state, kernel.name()));
         let mem = self.mem_trace().map(|trace| LaunchMemTrace::new(trace, kernel.name()));
-        let stats =
-            exec::run(kernel, &cfg, self.inner.profile.warp_size, san.as_ref(), mem.as_ref());
+        let stats = exec::run(
+            kernel,
+            &cfg,
+            self.inner.profile.warp_size,
+            san.as_ref(),
+            mem.as_ref(),
+            self.sim_workers(),
+        );
         if self.tracing() {
             // Give the record a usable duration immediately: model the
             // launch's own stats with a default codegen profile and no

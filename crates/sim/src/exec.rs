@@ -23,13 +23,17 @@ use crate::barrier::{RetireBarrier, SenseBarrier};
 use crate::counters::{CostCounters, KernelStats, StatsSnapshot};
 use crate::dim::LaunchConfig;
 use crate::memtrace::LaunchMemTrace;
-use crate::san::{AccessSite, LaunchSan, ToolMask};
+use crate::san::{AccessSite, DiagLog, LaunchSan, ToolMask};
 use crate::shared::BlockShared;
 use crate::thread::ThreadCtx;
 use crate::warp::WarpGroup;
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// A panic payload carried out of a worker thread so the launch can finish
+/// its deterministic merges before the panic resumes.
+type PanicPayload = Box<dyn std::any::Any + Send>;
 
 /// Static properties of a kernel that the executor must know up front.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -105,30 +109,34 @@ impl std::fmt::Debug for Kernel {
 
 /// Execute `kernel` over the whole grid and return aggregated statistics.
 /// `san` is the launch's sanitizer context when a session is attached to
-/// the device.
+/// the device. `workers` is the host worker-thread budget (see
+/// [`default_workers`]); `1` is the reference serial mode.
 pub fn run(
     kernel: &Kernel,
     cfg: &LaunchConfig,
     warp_size: u32,
     san: Option<&LaunchSan>,
     mem: Option<&LaunchMemTrace>,
+    workers: usize,
 ) -> StatsSnapshot {
-    run_bounded(kernel, cfg, warp_size, san, mem, cfg.num_blocks())
+    run_bounded(kernel, cfg, warp_size, san, mem, workers, cfg.num_blocks())
 }
 
 /// Execute only the first `limit` blocks (in grid-linearization order) —
 /// the committed prefix of a watchdog-killed launch. Semantics within the
 /// prefix are identical to [`run`]: sanitizer and memtrace hooks observe
 /// exactly the blocks that committed.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_prefix(
     kernel: &Kernel,
     cfg: &LaunchConfig,
     warp_size: u32,
     san: Option<&LaunchSan>,
     mem: Option<&LaunchMemTrace>,
+    workers: usize,
     limit: usize,
 ) -> StatsSnapshot {
-    run_bounded(kernel, cfg, warp_size, san, mem, limit.min(cfg.num_blocks()))
+    run_bounded(kernel, cfg, warp_size, san, mem, workers, limit.min(cfg.num_blocks()))
 }
 
 fn run_bounded(
@@ -137,28 +145,66 @@ fn run_bounded(
     warp_size: u32,
     san: Option<&LaunchSan>,
     mem: Option<&LaunchMemTrace>,
+    workers: usize,
     num_blocks: usize,
 ) -> StatsSnapshot {
     let stats = KernelStats::new();
-    if kernel.flags.needs_team_execution() && cfg.threads_per_block() > 1 {
-        run_team(kernel, cfg, warp_size, &stats, san, mem, num_blocks);
+    let payload = if kernel.flags.needs_team_execution() && cfg.threads_per_block() > 1 {
+        run_team(kernel, cfg, warp_size, &stats, san, mem, workers, num_blocks)
     } else {
-        run_serial(kernel, cfg, warp_size, &stats, san, mem, num_blocks);
+        run_serial(kernel, cfg, warp_size, &stats, san, mem, workers, num_blocks)
+    };
+    // Deterministic merges happen even when the launch panicked, so a
+    // failing kernel still leaves canonically ordered partial evidence.
+    if let Some(san) = san {
+        san.finish();
+    }
+    if let Some(mem) = mem {
+        mem.finish();
+    }
+    if let Some(p) = payload {
+        std::panic::resume_unwind(p);
     }
     stats.snapshot()
 }
 
 /// Shared-memory tooling configuration for a launch: an attached sanitizer
-/// session with racecheck turns the shadow cells on, one with initcheck
-/// turns the init bitmap on.
+/// session with racecheck turns the per-cell race fold on, one with
+/// initcheck turns the init bitmap on.
 fn block_shared(cfg: &LaunchConfig, san: Option<&LaunchSan>) -> BlockShared {
     let session_race = san.is_some_and(|s| s.state().tool_on(ToolMask::RACECHECK));
     let session_init = san.is_some_and(|s| s.state().tool_on(ToolMask::INITCHECK));
     BlockShared::with_tools(&cfg.shared_slots, session_race, session_init)
 }
 
-fn host_parallelism() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+/// Process-global worker override set by [`set_global_workers`] (0 = unset).
+static GLOBAL_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Override the worker count for every subsequent launch in this process,
+/// taking precedence over `OMPX_SIM_WORKERS`. `None` removes the override.
+/// Benchmarks use this to switch between the reference serial mode
+/// (`Some(1)`) and full parallelism without re-execing.
+pub fn set_global_workers(workers: Option<usize>) {
+    GLOBAL_WORKERS.store(workers.map_or(0, |w| w.max(1)), Ordering::Relaxed);
+}
+
+/// Resolve the launch worker-thread budget: the process-global override,
+/// then the `OMPX_SIM_WORKERS` environment variable, then the host's
+/// available parallelism. `1` selects the reference serial mode (one worker
+/// claims every block); results are bit-identical at any setting.
+pub fn default_workers() -> usize {
+    let forced = GLOBAL_WORKERS.load(Ordering::Relaxed);
+    if forced > 0 {
+        return forced;
+    }
+    if let Ok(v) = std::env::var("OMPX_SIM_WORKERS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
 /// Serial path: blocks spread over workers, lanes of a block run in sequence.
@@ -170,17 +216,25 @@ fn run_serial(
     stats: &KernelStats,
     san: Option<&LaunchSan>,
     mem: Option<&LaunchMemTrace>,
+    workers: usize,
     num_blocks: usize,
-) {
-    let workers = host_parallelism().min(num_blocks).max(1);
+) -> Option<PanicPayload> {
+    let workers = workers.clamp(1, num_blocks.max(1));
     let next_block = AtomicUsize::new(0);
+    // Sticky poison: once any worker sees a lane panic, no worker claims
+    // another block, so sanitizer/memtrace state never includes
+    // post-failure blocks (matching the team path's semantics).
+    let poisoned = AtomicBool::new(false);
 
-    let panic_payload = std::thread::scope(|s| {
+    std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 s.spawn(|| {
                     let tpb = cfg.threads_per_block();
                     loop {
+                        if poisoned.load(Ordering::Acquire) {
+                            break;
+                        }
                         let b = next_block.fetch_add(1, Ordering::Relaxed);
                         if b >= num_blocks {
                             break;
@@ -188,6 +242,7 @@ fn run_serial(
                         let shared = block_shared(cfg, san);
                         let (bx, by, bz) = cfg.grid.delinear(b);
                         let mut block_counters = CostCounters::default();
+                        let mut failed = None;
                         for t in 0..tpb {
                             let (tx, ty, tz) = cfg.block.delinear(t);
                             let mut ctx = ThreadCtx {
@@ -203,9 +258,26 @@ fn run_serial(
                                 collective_count: 0,
                                 san,
                                 mem,
+                                trace_log: Default::default(),
+                                diag_log: Default::default(),
                             };
-                            (kernel.body)(&mut ctx);
+                            let outcome =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    (kernel.body)(&mut ctx)
+                                }));
                             block_counters.merge(&ctx.counters);
+                            ctx.stage_logs();
+                            if let Err(p) = outcome {
+                                failed = Some(p);
+                                break;
+                            }
+                        }
+                        stage_block_scan(san, cfg, (bx, by, bz), b, &shared, None);
+                        if let Some(p) = failed {
+                            poisoned.store(true, Ordering::Release);
+                            // Re-raise with the original message; the block's
+                            // stats are not absorbed (it did not commit).
+                            std::panic::resume_unwind(p);
                         }
                         stats.absorb_block(&block_counters, tpb as u64);
                         stats.block_done();
@@ -222,10 +294,31 @@ fn run_serial(
             }
         }
         payload
-    });
-    if let Some(p) = panic_payload {
-        std::panic::resume_unwind(p);
+    })
+}
+
+/// Block-end deterministic scans, staged as the block's final diagnostic
+/// group: the shared-memory race folds in (slot, cell, epoch) order, then
+/// synccheck's barrier-divergence scan (team path only).
+fn stage_block_scan(
+    san: Option<&LaunchSan>,
+    cfg: &LaunchConfig,
+    block: (u32, u32, u32),
+    block_rank: usize,
+    shared: &BlockShared,
+    barrier_counts: Option<&[std::sync::atomic::AtomicU64]>,
+) {
+    let Some(san) = san else { return };
+    let mut log = DiagLog::default();
+    for (slot, race) in shared.collect_races() {
+        let (tx, ty, tz) = cfg.block.delinear(race.this_lane);
+        let site = AccessSite { kernel: san.kernel(), block, thread: (tx, ty, tz), block_rank };
+        san.state().shared_race(site, slot, race, &mut log);
     }
+    if let Some(counts) = barrier_counts {
+        scan_barrier_divergence(san, cfg, block, block_rank, counts, &mut log);
+    }
+    san.stage_block_scan(block_rank, log);
 }
 
 /// Shared state of one executing block on the team path.
@@ -250,7 +343,7 @@ struct TeamState {
     exec: Mutex<Option<Arc<BlockExec>>>,
     /// Set when a lane panicked: the whole team stops after the current
     /// block (a sticky error, like a device-side assert).
-    poisoned: std::sync::atomic::AtomicBool,
+    poisoned: AtomicBool,
 }
 
 /// Team path: real intra-block concurrency with barrier support.
@@ -262,27 +355,32 @@ fn run_team(
     stats: &KernelStats,
     san: Option<&LaunchSan>,
     mem: Option<&LaunchMemTrace>,
+    workers: usize,
     num_blocks: usize,
-) {
+) -> Option<PanicPayload> {
     let tpb = cfg.threads_per_block();
-    let cores = host_parallelism();
-    // Enough teams to keep the host busy, but no more than there are blocks
-    // and never an absurd number of OS threads.
-    let teams = ((cores * 2) / tpb).clamp(1, 8).min(num_blocks).max(1);
+    // Enough teams to keep the workers busy, but no more than there are
+    // blocks and never an absurd number of OS threads. `workers == 1` is
+    // the reference serial mode: a single team claims every block.
+    let teams = ((workers * 2) / tpb).clamp(1, 8).min(num_blocks).max(1);
     let next_block = Arc::new(AtomicUsize::new(0));
+    // Launch-wide sticky poison: after any lane panics, no team claims
+    // another block.
+    let launch_poisoned = Arc::new(AtomicBool::new(false));
 
-    let panic_payload = std::thread::scope(|s| {
+    std::thread::scope(|s| {
         let mut handles = Vec::with_capacity(teams * tpb);
         for _ in 0..teams {
             let team = Arc::new(TeamState {
                 current_block: AtomicUsize::new(usize::MAX),
                 gate: SenseBarrier::new(tpb),
                 exec: Mutex::new(None),
-                poisoned: std::sync::atomic::AtomicBool::new(false),
+                poisoned: AtomicBool::new(false),
             });
             for lane in 0..tpb {
                 let team = Arc::clone(&team);
                 let next_block = Arc::clone(&next_block);
+                let launch_poisoned = Arc::clone(&launch_poisoned);
                 let stats = &*stats;
                 handles.push(s.spawn(move || {
                     lane_loop(
@@ -292,6 +390,7 @@ fn run_team(
                         lane,
                         &team,
                         &next_block,
+                        &launch_poisoned,
                         stats,
                         san,
                         mem,
@@ -307,10 +406,7 @@ fn run_team(
             }
         }
         payload
-    });
-    if let Some(p) = panic_payload {
-        std::panic::resume_unwind(p);
-    }
+    })
 }
 
 fn build_warps(tpb: usize, warp_size: u32) -> Vec<WarpGroup> {
@@ -332,6 +428,7 @@ fn lane_loop(
     lane: usize,
     team: &TeamState,
     next_block: &AtomicUsize,
+    launch_poisoned: &AtomicBool,
     stats: &KernelStats,
     san: Option<&LaunchSan>,
     mem: Option<&LaunchMemTrace>,
@@ -339,9 +436,15 @@ fn lane_loop(
 ) {
     let tpb = cfg.threads_per_block();
     loop {
-        // Step 1: lane 0 claims the next block; everyone learns it.
+        // Step 1: lane 0 claims the next block; everyone learns it. A
+        // poisoned launch claims nothing more: the sentinel makes every
+        // lane of every team exit at its next claim.
         if lane == 0 {
-            let b = next_block.fetch_add(1, Ordering::Relaxed);
+            let b = if launch_poisoned.load(Ordering::Acquire) {
+                num_blocks
+            } else {
+                next_block.fetch_add(1, Ordering::Relaxed)
+            };
             team.current_block.store(b, Ordering::Release);
             if b < num_blocks {
                 *team.exec.lock() = Some(Arc::new(BlockExec {
@@ -386,24 +489,26 @@ fn lane_loop(
             collective_count: 0,
             san,
             mem,
+            trace_log: Default::default(),
+            diag_log: Default::default(),
         };
         let outcome =
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (kernel.body)(&mut ctx)));
         if outcome.is_err() {
             team.poisoned.store(true, Ordering::Release);
+            launch_poisoned.store(true, Ordering::Release);
         }
         // Retire so barriers held by still-running lanes complete.
         exec.barrier.retire();
         warp.retire_lane();
         exec.barrier_counts[lane].store(ctx.counters.barriers, Ordering::Relaxed);
         stats.absorb(&ctx.counters);
+        ctx.stage_logs();
 
         // Step 3: whole team finishes the block before reusing the slot.
         team.gate.wait();
         if lane == 0 {
-            if let Some(san) = san {
-                scan_barrier_divergence(san, cfg, (bx, by, bz), &exec.barrier_counts);
-            }
+            stage_block_scan(san, cfg, (bx, by, bz), b, &exec.shared, Some(&exec.barrier_counts));
             stats.block_done();
         }
         match outcome {
@@ -424,7 +529,9 @@ fn scan_barrier_divergence(
     san: &LaunchSan,
     cfg: &LaunchConfig,
     block: (u32, u32, u32),
+    block_rank: usize,
     counts: &[std::sync::atomic::AtomicU64],
+    log: &mut DiagLog,
 ) {
     if !san.state().tool_on(ToolMask::SYNCCHECK) {
         return;
@@ -435,14 +542,10 @@ fn scan_barrier_divergence(
         if c > 0 && c < maxc {
             let (tx, ty, tz) = cfg.block.delinear(lane);
             san.state().barrier_divergence(
-                AccessSite {
-                    kernel: san.kernel(),
-                    block,
-                    thread: (tx, ty, tz),
-                    block_rank: cfg.grid.linear(block.0, block.1, block.2),
-                },
+                AccessSite { kernel: san.kernel(), block, thread: (tx, ty, tz), block_rank },
                 c,
                 maxc,
+                log,
             );
         }
     }

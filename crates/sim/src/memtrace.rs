@@ -108,8 +108,10 @@ impl MemTrace {
         })
     }
 
-    /// Copy of the events recorded so far, in recording order (order is
-    /// deterministic per thread, interleaving across threads is not).
+    /// Copy of the events recorded so far. Per-lane streams are merged in
+    /// canonical (block-rank, thread-rank, program-order) order as each
+    /// launch completes, so the trace is byte-stable across runs and
+    /// worker counts.
     pub fn events(&self) -> Vec<MemEvent> {
         self.events.lock().clone()
     }
@@ -119,9 +121,18 @@ impl MemTrace {
         self.barriers.lock().clone()
     }
 
-    /// Move the events out, leaving the trace empty.
+    /// Move the memory events out, leaving the trace empty. Barrier events
+    /// are cleared too: a consumer draining a launch must not leak that
+    /// launch's stale barrier context into the next analysis.
     pub fn drain(&self) -> Vec<MemEvent> {
-        std::mem::take(&mut *self.events.lock())
+        let events = std::mem::take(&mut *self.events.lock());
+        self.barriers.lock().clear();
+        events
+    }
+
+    /// Move both event streams out, leaving the trace empty.
+    pub fn take_events(&self) -> (Vec<MemEvent>, Vec<BarrierEvent>) {
+        (std::mem::take(&mut *self.events.lock()), std::mem::take(&mut *self.barriers.lock()))
     }
 
     /// Number of events recorded so far.
@@ -158,76 +169,100 @@ impl MemTrace {
     }
 }
 
+/// A lane-local trace buffer. [`crate::thread::ThreadCtx`] records into it
+/// in program order with no locking; the executor stages each lane's buffer
+/// when the lane finishes, and [`LaunchMemTrace::finish`] merges all staged
+/// buffers into the shared trace in canonical (block-rank, thread-rank)
+/// order — so the trace bytes are identical run to run no matter how the
+/// OS interleaves the lanes.
+///
+/// Events are buffered with empty `kernel` / zero `launch` fields; the
+/// merge stamps the launch identity once, avoiding a per-event string clone
+/// on the hot path.
+#[derive(Debug, Default)]
+pub(crate) struct TraceLog {
+    events: Vec<MemEvent>,
+    barriers: Vec<BarrierEvent>,
+    truncated: bool,
+}
+
+impl TraceLog {
+    pub(crate) fn push_event(&mut self, event: MemEvent) {
+        if self.events.len() < MAX_EVENTS {
+            self.events.push(event);
+        } else {
+            self.truncated = true;
+        }
+    }
+
+    pub(crate) fn push_barrier(&mut self, event: BarrierEvent) {
+        if self.barriers.len() < MAX_EVENTS {
+            self.barriers.push(event);
+        } else {
+            self.truncated = true;
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.barriers.is_empty() && !self.truncated
+    }
+}
+
+/// One lane's trace buffer staged for the canonical launch-end merge.
+struct StagedLane {
+    block_rank: usize,
+    thread_rank: usize,
+    log: TraceLog,
+}
+
 /// Per-launch trace context handed to the executor: the trace, the
-/// kernel's name, and the launch's sequence number.
+/// kernel's name, the launch's sequence number, and the staged per-lane
+/// buffers awaiting the canonical merge.
 pub struct LaunchMemTrace {
     trace: Arc<MemTrace>,
     kernel: String,
     launch: u64,
+    staged: Mutex<Vec<StagedLane>>,
 }
 
 impl LaunchMemTrace {
     pub(crate) fn new(trace: Arc<MemTrace>, kernel: &str) -> LaunchMemTrace {
         let launch = trace.launches.fetch_add(1, Ordering::Relaxed);
-        LaunchMemTrace { trace, kernel: kernel.to_string(), launch }
+        LaunchMemTrace { trace, kernel: kernel.to_string(), launch, staged: Mutex::new(Vec::new()) }
     }
 
-    /// Record a global-memory access.
-    #[allow(clippy::too_many_arguments)]
-    pub(crate) fn global(
-        &self,
-        block: (u32, u32, u32),
-        thread: (u32, u32, u32),
-        alloc_id: usize,
-        label: &str,
-        index: usize,
-        kind: MemAccessKind,
-        phase: u32,
-    ) {
-        self.trace.record(MemEvent {
-            kernel: self.kernel.clone(),
-            launch: self.launch,
-            block,
-            thread,
-            space: MemSpace::Global { alloc_id, label: label.to_string() },
-            index,
-            kind,
-            phase,
-        });
+    /// Stage a finished lane's buffer for the launch-end merge. Called once
+    /// per lane (including when the lane is unwound by a panic, so partial
+    /// traces survive).
+    pub(crate) fn stage_lane(&self, block_rank: usize, thread_rank: usize, log: &mut TraceLog) {
+        if log.is_empty() {
+            return;
+        }
+        let log = std::mem::take(log);
+        self.staged.lock().push(StagedLane { block_rank, thread_rank, log });
     }
 
-    /// Record a shared-memory access.
-    #[allow(clippy::too_many_arguments)]
-    pub(crate) fn shared(
-        &self,
-        block: (u32, u32, u32),
-        thread: (u32, u32, u32),
-        slot: usize,
-        index: usize,
-        kind: MemAccessKind,
-        phase: u32,
-    ) {
-        self.trace.record(MemEvent {
-            kernel: self.kernel.clone(),
-            launch: self.launch,
-            block,
-            thread,
-            space: MemSpace::Shared { slot },
-            index,
-            kind,
-            phase,
-        });
-    }
-
-    /// Record a block-barrier execution by one thread.
-    pub(crate) fn barrier(&self, block: (u32, u32, u32), thread: (u32, u32, u32), ordinal: u32) {
-        self.trace.record_barrier(BarrierEvent {
-            kernel: self.kernel.clone(),
-            launch: self.launch,
-            block,
-            thread,
-            ordinal,
-        });
+    /// Merge every staged lane into the shared trace in canonical
+    /// (block-rank, thread-rank) order, stamping the launch identity.
+    /// Called exactly once by the executor after all workers have stopped.
+    pub(crate) fn finish(&self) {
+        let mut staged = std::mem::take(&mut *self.staged.lock());
+        staged.sort_by_key(|s| (s.block_rank, s.thread_rank));
+        for lane in staged {
+            if lane.log.truncated {
+                self.trace.truncated.store(true, Ordering::Relaxed);
+            }
+            for mut e in lane.log.events {
+                e.kernel = self.kernel.clone();
+                e.launch = self.launch;
+                self.trace.record(e);
+            }
+            for mut b in lane.log.barriers {
+                b.kernel = self.kernel.clone();
+                b.launch = self.launch;
+                self.trace.record_barrier(b);
+            }
+        }
     }
 }
 
@@ -321,6 +356,66 @@ mod tests {
         let launches: std::collections::BTreeSet<u64> =
             trace.events().iter().map(|e| e.launch).collect();
         assert_eq!(launches.len(), 2);
+    }
+
+    #[test]
+    fn drain_clears_barrier_events_too() {
+        let d = Device::new(DeviceProfile::test_small());
+        let trace = MemTrace::new();
+        d.attach_mem_trace(Arc::clone(&trace));
+        let mut cfg = LaunchConfig::new(1u32, 4u32);
+        let slot = cfg.shared_array::<u32>(4);
+        let k = Kernel::with_flags(
+            "stage",
+            crate::exec::KernelFlags { uses_block_sync: true, uses_warp_ops: false },
+            move |tc: &mut ThreadCtx| {
+                let tile = tc.shared::<u32>(slot);
+                let t = tc.thread_rank();
+                tc.swrite(&tile, t, t as u32);
+                tc.sync_threads();
+            },
+        );
+        d.launch(&k, cfg).unwrap();
+        d.detach_mem_trace();
+        assert!(!trace.barrier_events().is_empty());
+        let drained = trace.drain();
+        assert!(!drained.is_empty());
+        // The drained launch's barrier context must not leak into the next
+        // analysis.
+        assert!(trace.barrier_events().is_empty());
+        assert!(trace.is_empty());
+    }
+
+    #[test]
+    fn take_events_moves_both_streams() {
+        let trace = MemTrace::new();
+        let launch = LaunchMemTrace::new(Arc::clone(&trace), "k");
+        let mut log = TraceLog::default();
+        log.push_event(MemEvent {
+            kernel: String::new(),
+            launch: 0,
+            block: (0, 0, 0),
+            thread: (0, 0, 0),
+            space: MemSpace::Shared { slot: 0 },
+            index: 0,
+            kind: MemAccessKind::Write,
+            phase: 0,
+        });
+        log.push_barrier(BarrierEvent {
+            kernel: String::new(),
+            launch: 0,
+            block: (0, 0, 0),
+            thread: (0, 0, 0),
+            ordinal: 0,
+        });
+        launch.stage_lane(0, 0, &mut log);
+        launch.finish();
+        let (events, barriers) = trace.take_events();
+        assert_eq!((events.len(), barriers.len()), (1, 1));
+        assert!(events.iter().all(|e| e.kernel == "k"));
+        assert!(barriers.iter().all(|b| b.kernel == "k"));
+        assert!(trace.is_empty());
+        assert!(trace.barrier_events().is_empty());
     }
 
     #[test]

@@ -15,11 +15,14 @@
 //!   [`crate::mem::DBuf`] global memory (the access is suppressed and
 //!   recorded instead of panicking, so one launch can report many findings),
 //!   plus misaligned typed accesses through the byte-offset accessor.
-//! * **racecheck** — the shared-memory shadow-cell detector (migrated from
-//!   the legacy `LaunchConfig::racecheck` panic into recorded diagnostics)
-//!   and cross-block conflicts on global memory: two blocks touching the
-//!   same element in one launch, at least one write, no atomics. Blocks
-//!   have no ordering within a launch, so this is exact, not timing-based.
+//! * **racecheck** — the shared-memory per-cell fold detector (migrated
+//!   from the legacy `LaunchConfig::racecheck` panic into recorded
+//!   diagnostics) and cross-block conflicts on global memory: two blocks
+//!   touching the same element in one launch, at least one write, no
+//!   atomics. Blocks have no ordering within a launch, so this is exact,
+//!   not timing-based — and because both detectors fold accesses into
+//!   commutative summaries scanned at block/launch end, the findings are
+//!   identical run to run regardless of host scheduling.
 //! * **synccheck** — barrier divergence (a lane that participated in block
 //!   barriers abandons lanes still waiting at one) and invalid `shfl_sync`
 //!   member masks.
@@ -187,12 +190,72 @@ pub struct AllocRecord {
     pub live: bool,
 }
 
-/// Identity of a global-memory access, for the cross-block race detector.
-#[derive(Clone, Copy)]
-struct GlobalAccess {
-    block_rank: usize,
-    block: (u32, u32, u32),
-    write: bool,
+/// One party to a potential cross-block race: a plain global access with
+/// enough identity to rank it canonically and name it in a report.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Party {
+    pub(crate) block_rank: usize,
+    pub(crate) thread_rank: usize,
+    pub(crate) block: (u32, u32, u32),
+    pub(crate) thread: (u32, u32, u32),
+    pub(crate) write: bool,
+}
+
+impl Party {
+    /// Canonical ordering key: block-linear first, thread-linear second; on
+    /// the same thread a write outranks a read so the representative's kind
+    /// is deterministic.
+    fn rank(self) -> (usize, usize, bool) {
+        (self.block_rank, self.thread_rank, !self.write)
+    }
+}
+
+/// Order-independent per-(allocation, element) access summary for the
+/// cross-block race detector: the minimum-ranked write, the minimum-ranked
+/// access, and the minimum-ranked access from a different block than that
+/// one. Every fold step is commutative, so concurrent blocks can feed it in
+/// any real-time order and the launch-end scan still reports the same
+/// canonical conflicting pair.
+#[derive(Debug, Default)]
+struct GlobalCellFold {
+    label: String,
+    wmin: Option<Party>,
+    amin: Option<Party>,
+    amin2: Option<Party>,
+}
+
+impl GlobalCellFold {
+    fn offer(&mut self, p: Party) {
+        if p.write && self.wmin.is_none_or(|w| p.rank() < w.rank()) {
+            self.wmin = Some(p);
+        }
+        match self.amin {
+            None => self.amin = Some(p),
+            Some(a) if p.rank() < a.rank() => {
+                self.amin = Some(p);
+                let mut runner = self.amin2.filter(|r| r.block_rank != p.block_rank);
+                if a.block_rank != p.block_rank && runner.is_none_or(|r| a.rank() < r.rank()) {
+                    runner = Some(a);
+                }
+                self.amin2 = runner;
+            }
+            Some(a) => {
+                if p.block_rank != a.block_rank && self.amin2.is_none_or(|r| p.rank() < r.rank()) {
+                    self.amin2 = Some(p);
+                }
+            }
+        }
+    }
+
+    /// The canonical conflicting pair, if this summary is a cross-block
+    /// race: at least one write and accesses from at least two blocks.
+    fn conflict(&self) -> Option<(Party, Party)> {
+        let w = self.wmin?;
+        let second = self.amin2?;
+        let a = self.amin?;
+        let other = if a.block_rank != w.block_rank { a } else { second };
+        Some(if w.rank() <= other.rank() { (w, other) } else { (other, w) })
+    }
 }
 
 /// How a counted global access touches memory.
@@ -217,16 +280,40 @@ pub struct AccessSite<'k> {
 /// kernel's report (the hardware tools do the same).
 const MAX_DIAGNOSTICS: usize = 512;
 
+/// Dedup key: one report per (kind, allocation/site, address).
+pub(crate) type DedupKey = (DiagKind, usize, usize);
+
+/// A lane-local (or block-scan-local) diagnostic buffer. Device-side hooks
+/// push here instead of into the shared session, so the set and order of a
+/// lane's findings depend only on its own program order; the buffers are
+/// merged into the session in canonical (block-rank, thread-rank) order at
+/// launch end (see [`LaunchSan::finish`]).
+#[derive(Debug, Default)]
+pub(crate) struct DiagLog {
+    diags: Vec<(Diagnostic, DedupKey)>,
+    seen: HashSet<DedupKey>,
+}
+
+impl DiagLog {
+    fn push(&mut self, diag: Diagnostic, key: DedupKey) {
+        if self.diags.len() >= MAX_DIAGNOSTICS || !self.seen.insert(key) {
+            return;
+        }
+        self.diags.push((diag, key));
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.diags.is_empty()
+    }
+}
+
 /// Per-device sanitizer session state: enabled tools, recorded findings,
-/// allocation registry, and the cross-block race shadow table.
+/// and the allocation registry.
 pub struct SanState {
     enabled: ToolMask,
     diagnostics: Mutex<Vec<Diagnostic>>,
     /// Dedup: one report per (kind, allocation/site, address).
-    seen: Mutex<HashSet<(DiagKind, usize, usize)>>,
-    /// Cross-block race shadow: (alloc id, element) -> last plain access.
-    /// Cleared at each launch (blocks are unordered only within a launch).
-    global_shadow: Mutex<HashMap<(usize, usize), GlobalAccess>>,
+    seen: Mutex<HashSet<DedupKey>>,
     allocs: Mutex<Vec<AllocRecord>>,
 }
 
@@ -237,7 +324,6 @@ impl SanState {
             enabled,
             diagnostics: Mutex::new(Vec::new()),
             seen: Mutex::new(HashSet::new()),
-            global_shadow: Mutex::new(HashMap::new()),
             allocs: Mutex::new(Vec::new()),
         })
     }
@@ -272,7 +358,7 @@ impl SanState {
         self.allocs.lock().clone()
     }
 
-    fn record(&self, diag: Diagnostic, dedup_key: (DiagKind, usize, usize)) {
+    fn record(&self, diag: Diagnostic, dedup_key: DedupKey) {
         if !self.seen.lock().insert(dedup_key) {
             return;
         }
@@ -283,13 +369,6 @@ impl SanState {
         if diags.len() < MAX_DIAGNOSTICS {
             diags.push(diag);
         }
-    }
-
-    // ---- launch lifecycle ------------------------------------------------
-
-    /// Reset per-launch state (called by the device at each launch).
-    pub(crate) fn begin_launch(&self) {
-        self.global_shadow.lock().clear();
     }
 
     // ---- allocation registry (memcheck / leakcheck) ----------------------
@@ -345,6 +424,10 @@ impl SanState {
     /// Global-memory access check. Returns `true` when the access must be
     /// suppressed (out-of-bounds or use-after-free under memcheck — the
     /// simulated hardware access does not happen; reads yield zero).
+    ///
+    /// Findings go into the caller's lane-local `log`; the cross-block race
+    /// fold is a separate per-launch step ([`LaunchSan::fold_global_access`])
+    /// driven by [`crate::thread::ThreadCtx`].
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn global_access(
         &self,
@@ -356,10 +439,11 @@ impl SanState {
         index: usize,
         kind: GlobalKind,
         init_tracked_unwritten: bool,
+        log: &mut DiagLog,
     ) -> bool {
         if self.tool_on(ToolMask::MEMCHECK) {
             if freed {
-                self.record(
+                log.push(
                     Diagnostic {
                         kind: DiagKind::UseAfterFree,
                         kernel: site.kernel.to_string(),
@@ -377,7 +461,7 @@ impl SanState {
                 return true;
             }
             if index >= len {
-                self.record(
+                log.push(
                     Diagnostic {
                         kind: DiagKind::OutOfBounds,
                         kernel: site.kernel.to_string(),
@@ -401,7 +485,7 @@ impl SanState {
             return false;
         }
         if kind == GlobalKind::Read && init_tracked_unwritten && self.tool_on(ToolMask::INITCHECK) {
-            self.record(
+            log.push(
                 Diagnostic {
                     kind: DiagKind::UninitGlobalRead,
                     kernel: site.kernel.to_string(),
@@ -414,53 +498,11 @@ impl SanState {
                 (DiagKind::UninitGlobalRead, alloc_id, index),
             );
         }
-        if kind != GlobalKind::Atomic && self.tool_on(ToolMask::RACECHECK) {
-            self.global_race_check(site, alloc_id, alloc_label, index, kind);
-        }
         false
     }
 
-    fn global_race_check(
-        &self,
-        site: AccessSite<'_>,
-        alloc_id: usize,
-        alloc_label: &str,
-        index: usize,
-        kind: GlobalKind,
-    ) {
-        let write = kind == GlobalKind::Write;
-        let me = GlobalAccess { block_rank: site.block_rank, block: site.block, write };
-        let prev = self.global_shadow.lock().insert((alloc_id, index), me);
-        if let Some(prev) = prev {
-            if prev.block_rank != site.block_rank && (write || prev.write) {
-                self.record(
-                    Diagnostic {
-                        kind: DiagKind::GlobalRace,
-                        kernel: site.kernel.to_string(),
-                        block: site.block,
-                        thread: site.thread,
-                        address: Some(index),
-                        alloc: Some(alloc_label.to_string()),
-                        message: format!(
-                            "element {index} of {alloc_label} {} by block ({},{},{}) and {} by \
-                             block ({},{},{}) in the same launch without atomics",
-                            if prev.write { "written" } else { "read" },
-                            prev.block.0,
-                            prev.block.1,
-                            prev.block.2,
-                            if write { "written" } else { "read" },
-                            site.block.0,
-                            site.block.1,
-                            site.block.2,
-                        ),
-                    },
-                    (DiagKind::GlobalRace, alloc_id, index),
-                );
-            }
-        }
-    }
-
     /// Misaligned typed access through the byte-offset accessor.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn misaligned_access(
         &self,
         site: AccessSite<'_>,
@@ -469,11 +511,12 @@ impl SanState {
         byte_offset: usize,
         align: usize,
         type_name: &str,
+        log: &mut DiagLog,
     ) {
         if !self.tool_on(ToolMask::MEMCHECK) {
             return;
         }
-        self.record(
+        log.push(
             Diagnostic {
                 kind: DiagKind::MisalignedAccess,
                 kernel: site.kernel.to_string(),
@@ -490,14 +533,16 @@ impl SanState {
         );
     }
 
-    /// Shared-memory race reported by the shadow-cell detector.
+    /// Shared-memory race found by the block-end fold scan
+    /// ([`crate::shared::BlockShared::collect_races`]).
     pub(crate) fn shared_race(
         &self,
         site: AccessSite<'_>,
         slot: usize,
         race: crate::shared::SharedRace,
+        log: &mut DiagLog,
     ) {
-        self.record(
+        log.push(
             Diagnostic {
                 kind: DiagKind::SharedRace,
                 kernel: site.kernel.to_string(),
@@ -521,11 +566,17 @@ impl SanState {
     }
 
     /// Uninitialized shared-memory read.
-    pub(crate) fn uninit_shared_read(&self, site: AccessSite<'_>, slot: usize, index: usize) {
+    pub(crate) fn uninit_shared_read(
+        &self,
+        site: AccessSite<'_>,
+        slot: usize,
+        index: usize,
+        log: &mut DiagLog,
+    ) {
         if !self.tool_on(ToolMask::INITCHECK) {
             return;
         }
-        self.record(
+        log.push(
             Diagnostic {
                 kind: DiagKind::UninitSharedRead,
                 kernel: site.kernel.to_string(),
@@ -545,11 +596,17 @@ impl SanState {
     /// Barrier divergence: a lane that participated in block barriers
     /// executed only `synced` of the `max` `sync_threads` its block
     /// reached, abandoning siblings at a barrier it skipped.
-    pub(crate) fn barrier_divergence(&self, site: AccessSite<'_>, synced: u64, max: u64) {
+    pub(crate) fn barrier_divergence(
+        &self,
+        site: AccessSite<'_>,
+        synced: u64,
+        max: u64,
+        log: &mut DiagLog,
+    ) {
         if !self.tool_on(ToolMask::SYNCCHECK) {
             return;
         }
-        self.record(
+        log.push(
             Diagnostic {
                 kind: DiagKind::BarrierDivergence,
                 kernel: site.kernel.to_string(),
@@ -573,11 +630,17 @@ impl SanState {
     /// no-op, shuffle self-value) and the drift becomes a structured
     /// finding, so the whole launch can still be scanned. Returns `true`
     /// when the caller should degrade instead of panicking.
-    pub(crate) fn flags_drift(&self, site: AccessSite<'_>, what: &str, missing: &str) -> bool {
+    pub(crate) fn flags_drift(
+        &self,
+        site: AccessSite<'_>,
+        what: &str,
+        missing: &str,
+        log: &mut DiagLog,
+    ) -> bool {
         if !self.tool_on(ToolMask::SYNCCHECK) {
             return false;
         }
-        self.record(
+        log.push(
             Diagnostic {
                 kind: DiagKind::KernelFlagsDrift,
                 kernel: site.kernel.to_string(),
@@ -603,11 +666,12 @@ impl SanState {
         mask: u64,
         lane: usize,
         src_lane: usize,
+        log: &mut DiagLog,
     ) {
         if !self.tool_on(ToolMask::SYNCCHECK) {
             return;
         }
-        self.record(
+        log.push(
             Diagnostic {
                 kind: DiagKind::InvalidShflMask,
                 kernel: site.kernel.to_string(),
@@ -625,17 +689,39 @@ impl SanState {
     }
 }
 
-/// Per-launch sanitizer context handed to the executor: the session plus
-/// the kernel's name for diagnostics.
+/// A lane's (or block scan's) diagnostic buffer staged for the canonical
+/// launch-end merge.
+struct StagedDiagLog {
+    block_rank: usize,
+    /// Thread-linear rank for lane logs; `u64::MAX` for the block-end scan
+    /// so it sorts after every lane of its block.
+    order: u64,
+    diags: Vec<(Diagnostic, DedupKey)>,
+}
+
+/// Per-launch sanitizer context handed to the executor: the session, the
+/// kernel's name for diagnostics, the staged per-lane diagnostic buffers,
+/// and the cross-block global-race fold. Nothing reaches the shared
+/// [`SanState`] until [`LaunchSan::finish`] merges everything in canonical
+/// order, so the session's findings are bit-identical run to run no matter
+/// how the OS schedules the blocks.
 pub struct LaunchSan {
     pub(crate) state: Arc<SanState>,
     pub(crate) kernel: String,
+    staged: Mutex<Vec<StagedDiagLog>>,
+    /// Cross-block race fold: (alloc id, element) -> access summary.
+    /// Per-launch (blocks are unordered only within a launch).
+    cells: Mutex<HashMap<(usize, usize), GlobalCellFold>>,
 }
 
 impl LaunchSan {
     pub(crate) fn new(state: Arc<SanState>, kernel: &str) -> LaunchSan {
-        state.begin_launch();
-        LaunchSan { state, kernel: kernel.to_string() }
+        LaunchSan {
+            state,
+            kernel: kernel.to_string(),
+            staged: Mutex::new(Vec::new()),
+            cells: Mutex::new(HashMap::new()),
+        }
     }
 
     /// The session this launch reports into.
@@ -646,6 +732,94 @@ impl LaunchSan {
     /// Kernel name for diagnostics.
     pub fn kernel(&self) -> &str {
         &self.kernel
+    }
+
+    /// Fold one plain (non-atomic, in-bounds) global access into the
+    /// cross-block race summary. Commutative, so concurrent lanes may call
+    /// it in any order.
+    pub(crate) fn fold_global_access(
+        &self,
+        alloc_id: usize,
+        alloc_label: &str,
+        index: usize,
+        party: Party,
+    ) {
+        let mut cells = self.cells.lock();
+        let fold = cells.entry((alloc_id, index)).or_default();
+        if fold.label.is_empty() {
+            fold.label = alloc_label.to_string();
+        }
+        fold.offer(party);
+    }
+
+    /// Stage a lane's diagnostic buffer for the launch-end merge. Called
+    /// once per lane when it finishes (including by panic unwinding).
+    pub(crate) fn stage_lane(&self, block_rank: usize, thread_rank: usize, log: &mut DiagLog) {
+        if log.is_empty() {
+            return;
+        }
+        let log = std::mem::take(log);
+        self.staged.lock().push(StagedDiagLog {
+            block_rank,
+            order: thread_rank as u64,
+            diags: log.diags,
+        });
+    }
+
+    /// Stage a block-end scan's diagnostics (shared-race fold results,
+    /// barrier-divergence scan); they sort after every lane of the block.
+    pub(crate) fn stage_block_scan(&self, block_rank: usize, log: DiagLog) {
+        if log.is_empty() {
+            return;
+        }
+        self.staged.lock().push(StagedDiagLog { block_rank, order: u64::MAX, diags: log.diags });
+    }
+
+    /// Merge everything into the session in canonical order: staged lane
+    /// and block-scan buffers sorted by (block rank, thread rank), then the
+    /// cross-block races sorted by (allocation, element). Called exactly
+    /// once by the executor after all workers have stopped — including when
+    /// the launch panicked, so partial findings are preserved.
+    pub(crate) fn finish(&self) {
+        let mut staged = std::mem::take(&mut *self.staged.lock());
+        staged.sort_by_key(|a| (a.block_rank, a.order));
+        for entry in staged {
+            for (diag, key) in entry.diags {
+                self.state.record(diag, key);
+            }
+        }
+
+        let cells = std::mem::take(&mut *self.cells.lock());
+        let mut keys: Vec<(usize, usize)> = cells.keys().copied().collect();
+        keys.sort_unstable();
+        for (alloc_id, index) in keys {
+            let fold = &cells[&(alloc_id, index)];
+            let Some((prev, cur)) = fold.conflict() else { continue };
+            let label = &fold.label;
+            self.state.record(
+                Diagnostic {
+                    kind: DiagKind::GlobalRace,
+                    kernel: self.kernel.clone(),
+                    block: cur.block,
+                    thread: cur.thread,
+                    address: Some(index),
+                    alloc: Some(label.clone()),
+                    message: format!(
+                        "element {index} of {label} {} by block ({},{},{}) and {} by \
+                         block ({},{},{}) in the same launch without atomics",
+                        if prev.write { "written" } else { "read" },
+                        prev.block.0,
+                        prev.block.1,
+                        prev.block.2,
+                        if cur.write { "written" } else { "read" },
+                        cur.block.0,
+                        cur.block.1,
+                        cur.block.2,
+                    ),
+                },
+                (DiagKind::GlobalRace, alloc_id, index),
+            );
+        }
     }
 }
 
@@ -674,12 +848,46 @@ mod tests {
     #[test]
     fn dedup_and_cap() {
         let s = SanState::new(ToolMask::ALL);
+        let launch = LaunchSan::new(s.clone(), "k");
         let site = AccessSite { kernel: "k", block: (0, 0, 0), thread: (0, 0, 0), block_rank: 0 };
+        let mut log = DiagLog::default();
         for _ in 0..3 {
-            assert!(s.global_access(site, 1, "buf", 4, false, 9, GlobalKind::Read, false));
+            assert!(s.global_access(
+                site,
+                1,
+                "buf",
+                4,
+                false,
+                9,
+                GlobalKind::Read,
+                false,
+                &mut log
+            ));
         }
+        launch.stage_lane(0, 0, &mut log);
+        launch.finish();
         assert_eq!(s.finding_count(), 1);
         assert_eq!(s.diagnostics()[0].kind, DiagKind::OutOfBounds);
+    }
+
+    #[test]
+    fn cross_lane_dedup_happens_at_merge() {
+        // Two lanes independently hit the same OOB element: each lane log
+        // records it, the session dedups at the canonical merge.
+        let s = SanState::new(ToolMask::MEMCHECK);
+        let launch = LaunchSan::new(s.clone(), "k");
+        for lane in 0..2u32 {
+            let site =
+                AccessSite { kernel: "k", block: (0, 0, 0), thread: (lane, 0, 0), block_rank: 0 };
+            let mut log = DiagLog::default();
+            s.global_access(site, 1, "buf", 4, false, 9, GlobalKind::Write, false, &mut log);
+            launch.stage_lane(0, lane as usize, &mut log);
+        }
+        launch.finish();
+        let d = s.diagnostics();
+        assert_eq!(d.len(), 1);
+        // Canonical merge: the lowest-ranked lane's report wins.
+        assert_eq!(d[0].thread, (0, 0, 0));
     }
 
     #[test]
@@ -695,22 +903,63 @@ mod tests {
         assert_eq!(d[0].alloc.as_deref(), Some("b"));
     }
 
+    fn party(block_rank: usize, thread_rank: usize, write: bool) -> Party {
+        Party {
+            block_rank,
+            thread_rank,
+            block: (block_rank as u32, 0, 0),
+            thread: (thread_rank as u32, 0, 0),
+            write,
+        }
+    }
+
     #[test]
     fn cross_block_race_requires_distinct_blocks_and_a_write() {
         let s = SanState::new(ToolMask::RACECHECK);
-        let b0 = AccessSite { kernel: "k", block: (0, 0, 0), thread: (0, 0, 0), block_rank: 0 };
-        let b1 = AccessSite { kernel: "k", block: (1, 0, 0), thread: (0, 0, 0), block_rank: 1 };
         // Read/read from two blocks: not a race.
-        s.global_access(b0, 7, "buf", 16, false, 3, GlobalKind::Read, false);
-        s.global_access(b1, 7, "buf", 16, false, 3, GlobalKind::Read, false);
+        let launch = LaunchSan::new(s.clone(), "k");
+        launch.fold_global_access(7, "buf", 3, party(0, 0, false));
+        launch.fold_global_access(7, "buf", 3, party(1, 0, false));
+        launch.finish();
         assert_eq!(s.finding_count(), 0);
-        // Write from a different block: race.
-        s.global_access(b0, 7, "buf", 16, false, 3, GlobalKind::Write, false);
+        // Add a write from one of the blocks: race.
+        let launch = LaunchSan::new(s.clone(), "k");
+        launch.fold_global_access(7, "buf", 3, party(0, 0, false));
+        launch.fold_global_access(7, "buf", 3, party(1, 0, false));
+        launch.fold_global_access(7, "buf", 3, party(0, 0, true));
+        launch.finish();
         assert_eq!(s.finding_count(), 1);
-        // Same-block write/write: not a cross-block race.
-        s.begin_launch();
-        s.global_access(b0, 7, "buf", 16, false, 5, GlobalKind::Write, false);
-        s.global_access(b0, 7, "buf", 16, false, 5, GlobalKind::Write, false);
+        // Same-block write/write in a fresh launch: not a cross-block race.
+        let launch = LaunchSan::new(s.clone(), "k");
+        launch.fold_global_access(7, "buf", 5, party(0, 0, true));
+        launch.fold_global_access(7, "buf", 5, party(0, 1, true));
+        launch.finish();
         assert_eq!(s.finding_count(), 1);
+    }
+
+    #[test]
+    fn global_race_report_is_fold_order_independent() {
+        let accesses =
+            [party(3, 1, false), party(1, 0, true), party(2, 5, false), party(1, 2, false)];
+        let mut messages = Vec::new();
+        for order in [false, true] {
+            let s = SanState::new(ToolMask::RACECHECK);
+            let launch = LaunchSan::new(s.clone(), "k");
+            let mut seq = accesses.to_vec();
+            if order {
+                seq.reverse();
+            }
+            for p in seq {
+                launch.fold_global_access(9, "buf", 0, p);
+            }
+            launch.finish();
+            let d = s.diagnostics();
+            assert_eq!(d.len(), 1);
+            messages.push(format!("{}", d[0]));
+        }
+        assert_eq!(messages[0], messages[1]);
+        // The canonical pair: block 1's write vs block 2's read (the
+        // lowest-ranked access outside block 1).
+        assert!(messages[0].contains("written by block (1,0,0) and read by block (2,0,0)"));
     }
 }

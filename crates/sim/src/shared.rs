@@ -12,6 +12,8 @@
 
 use crate::dim::SharedSlotDecl;
 use crate::mem::DeviceScalar;
+use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -23,13 +25,81 @@ pub struct BlockShared {
 /// One shared array instance (a `__shared__ T name[len]`).
 pub struct SharedSlot {
     words: Box<[AtomicU64]>,
-    /// Race-detector shadow cells (one per word) when racecheck is on.
-    shadow: Option<Box<[AtomicU64]>>,
+    /// Race-detector fold when racecheck is on: per (cell, barrier epoch),
+    /// an order-independent summary of the accesses observed, scanned once
+    /// at block end. A commutative fold — rather than a last-access shadow
+    /// cell — makes the detector's output independent of the real-time
+    /// order in which concurrently executing lanes touch the cell.
+    race: Option<Mutex<HashMap<(usize, u64), SharedCellFold>>>,
     /// Initcheck bitmap (one bit per word) when initcheck is on: shared
     /// memory is undefined at block start on real hardware, so reads before
     /// any write in the block are flagged.
     init: Option<Box<[AtomicU64]>>,
     decl: SharedSlotDecl,
+}
+
+/// One lane's access to a shared cell, as remembered by the race fold.
+#[derive(Debug, Clone, Copy)]
+struct LaneAccess {
+    lane: usize,
+    write: bool,
+}
+
+impl LaneAccess {
+    /// Canonical ordering key: lower lanes first; on the same lane, a
+    /// write outranks a read so the representative's kind is deterministic.
+    fn rank(self) -> (usize, bool) {
+        (self.lane, !self.write)
+    }
+}
+
+/// Order-independent per-(cell, epoch) access summary: the minimum-ranked
+/// write, the minimum-ranked access, and the minimum-ranked access from a
+/// different lane than that one. Enough to decide "≥ 2 distinct lanes, at
+/// least one write" and to name a canonical conflicting pair, while every
+/// fold step is commutative.
+#[derive(Debug, Default)]
+struct SharedCellFold {
+    wmin: Option<LaneAccess>,
+    amin: Option<LaneAccess>,
+    amin2: Option<LaneAccess>,
+}
+
+impl SharedCellFold {
+    fn offer(&mut self, p: LaneAccess) {
+        if p.write && self.wmin.is_none_or(|w| p.rank() < w.rank()) {
+            self.wmin = Some(p);
+        }
+        match self.amin {
+            None => self.amin = Some(p),
+            Some(a) if p.rank() < a.rank() => {
+                self.amin = Some(p);
+                // The displaced minimum becomes a runner-up candidate; the
+                // old runner-up stays one unless it shares the new
+                // minimum's lane.
+                let mut runner = self.amin2.filter(|r| r.lane != p.lane);
+                if a.lane != p.lane && runner.is_none_or(|r| a.rank() < r.rank()) {
+                    runner = Some(a);
+                }
+                self.amin2 = runner;
+            }
+            Some(a) => {
+                if p.lane != a.lane && self.amin2.is_none_or(|r| p.rank() < r.rank()) {
+                    self.amin2 = Some(p);
+                }
+            }
+        }
+    }
+
+    /// The canonical conflicting pair, if this summary is a race: at least
+    /// one write and at least two distinct lanes.
+    fn conflict(&self) -> Option<(LaneAccess, LaneAccess)> {
+        let w = self.wmin?;
+        let second = self.amin2?;
+        let a = self.amin?;
+        let other = if a.lane != w.lane { a } else { second };
+        Some(if w.rank() <= other.rank() { (w, other) } else { (other, w) })
+    }
 }
 
 impl BlockShared {
@@ -45,9 +115,7 @@ impl BlockShared {
             .iter()
             .map(|d| SharedSlot {
                 words: (0..d.len).map(|_| AtomicU64::new(0)).collect::<Vec<_>>().into_boxed_slice(),
-                shadow: racecheck.then(|| {
-                    (0..d.len).map(|_| AtomicU64::new(0)).collect::<Vec<_>>().into_boxed_slice()
-                }),
+                race: racecheck.then(|| Mutex::new(HashMap::new())),
                 init: initcheck.then(|| {
                     (0..d.len.div_ceil(64))
                         .map(|_| AtomicU64::new(0))
@@ -83,7 +151,7 @@ impl BlockShared {
         }
         SharedView {
             words: &slot.words,
-            shadow: slot.shadow.as_deref(),
+            race: slot.race.as_ref(),
             init: slot.init.as_deref(),
             slot: idx,
             _marker: std::marker::PhantomData,
@@ -91,19 +159,52 @@ impl BlockShared {
     }
 
     /// Reset all slots to zero (block reuse between executions). Also
-    /// resets tooling state: the next block starts with a clean shadow and
-    /// an all-uninitialized bitmap.
+    /// resets tooling state: the next block starts with a clean race fold
+    /// and an all-uninitialized bitmap.
     pub fn clear(&self) {
         for slot in &self.slots {
             for w in slot.words.iter() {
                 w.store(0, Ordering::Relaxed);
             }
-            for extra in [slot.shadow.as_deref(), slot.init.as_deref()].into_iter().flatten() {
-                for w in extra.iter() {
+            if let Some(race) = &slot.race {
+                race.lock().clear();
+            }
+            if let Some(init) = &slot.init {
+                for w in init.iter() {
                     w.store(0, Ordering::Relaxed);
                 }
             }
         }
+    }
+
+    /// Scan the race folds of every slot and return the detected races in
+    /// canonical (slot, cell, epoch) order. Called once per block at block
+    /// end (after all lanes retire), so the result is independent of lane
+    /// interleaving during the block's execution.
+    pub fn collect_races(&self) -> Vec<(usize, SharedRace)> {
+        let mut out = Vec::new();
+        for (slot_idx, slot) in self.slots.iter().enumerate() {
+            let Some(race) = &slot.race else { continue };
+            let map = race.lock();
+            let mut keys: Vec<(usize, u64)> = map.keys().copied().collect();
+            keys.sort_unstable();
+            for (cell, epoch) in keys {
+                if let Some((prev, this)) = map[&(cell, epoch)].conflict() {
+                    out.push((
+                        slot_idx,
+                        SharedRace {
+                            cell,
+                            prev_lane: prev.lane,
+                            prev_write: prev.write,
+                            this_lane: this.lane,
+                            this_write: this.write,
+                            epoch,
+                        },
+                    ));
+                }
+            }
+        }
+        out
     }
 }
 
@@ -111,7 +212,7 @@ impl BlockShared {
 /// of the block execution.
 pub struct SharedView<'a, T: DeviceScalar> {
     words: &'a [AtomicU64],
-    shadow: Option<&'a [AtomicU64]>,
+    race: Option<&'a Mutex<HashMap<(usize, u64), SharedCellFold>>>,
     init: Option<&'a [AtomicU64]>,
     slot: usize,
     _marker: std::marker::PhantomData<T>,
@@ -124,10 +225,10 @@ pub enum AccessKind {
     Write,
 }
 
-/// A shared-memory race observed by the shadow-cell detector: the previous
-/// conflicting access on the same cell in the same barrier epoch. The
-/// caller ([`crate::thread::ThreadCtx`]) records it as a diagnostic on the
-/// attached sanitizer session.
+/// A shared-memory race detected by the block-end fold scan: the canonical
+/// conflicting pair of accesses on one cell within one barrier epoch.
+/// [`crate::exec`] records these as diagnostics on the attached sanitizer
+/// session when the block completes.
 #[derive(Debug, Clone, Copy)]
 pub struct SharedRace {
     pub cell: usize,
@@ -144,43 +245,19 @@ impl<'a, T: DeviceScalar> SharedView<'a, T> {
     /// launch enabled race checking. `epoch` is the caller's barrier count;
     /// two threads touching the same cell in the same barrier epoch with at
     /// least one write is a shared-memory data race — the bug class that
-    /// hand-ported SIMT tiling code introduces. Returns the conflict for
-    /// the caller to report.
+    /// hand-ported SIMT tiling code introduces.
     ///
-    /// Best-effort: each shadow cell remembers only the most recent access,
-    /// like the hardware tools.
+    /// The access is folded into an order-independent per-(cell, epoch)
+    /// summary; conflicts are materialized at block end by
+    /// [`BlockShared::collect_races`], so detection and reporting are
+    /// deterministic regardless of how the OS interleaves lanes.
     #[inline]
-    #[must_use = "a detected race must be reported by the caller"]
-    pub fn racecheck_access(
-        &self,
-        i: usize,
-        lane: usize,
-        epoch: u64,
-        kind: AccessKind,
-    ) -> Option<SharedRace> {
-        let shadow = self.shadow?;
-        // Pack: epoch (39 bits) | kind (1 bit) | lane+1 (24 bits).
-        let kind_bit = u64::from(kind == AccessKind::Write);
-        let packed = (epoch << 25) | (kind_bit << 24) | ((lane as u64 + 1) & 0xFF_FFFF);
-        let prev = shadow[i].swap(packed, Ordering::Relaxed);
-        if prev == 0 {
-            return None;
-        }
-        let prev_epoch = prev >> 25;
-        let prev_write = (prev >> 24) & 1 == 1;
-        let prev_lane = (prev & 0xFF_FFFF) as usize;
-        if prev_epoch == epoch && prev_lane != lane + 1 && (kind == AccessKind::Write || prev_write)
-        {
-            return Some(SharedRace {
-                cell: i,
-                prev_lane: prev_lane - 1,
-                prev_write,
-                this_lane: lane,
-                this_write: kind == AccessKind::Write,
-                epoch,
-            });
-        }
-        None
+    pub fn racecheck_access(&self, i: usize, lane: usize, epoch: u64, kind: AccessKind) {
+        let Some(race) = self.race else { return };
+        race.lock()
+            .entry((i, epoch))
+            .or_default()
+            .offer(LaneAccess { lane, write: kind == AccessKind::Write });
     }
 
     /// Index of the declared slot this view borrows (for diagnostics).
@@ -302,6 +379,68 @@ mod tests {
         bs.clear();
         assert_eq!(bs.view::<f32>(0).get(0), 0.0);
         assert_eq!(bs.view::<u32>(1).get(1), 0);
+    }
+
+    #[test]
+    fn race_fold_is_order_independent() {
+        // Offer the same access set in two different orders; the conflict
+        // representative must be identical.
+        let accesses = [
+            LaneAccess { lane: 5, write: false },
+            LaneAccess { lane: 2, write: true },
+            LaneAccess { lane: 7, write: true },
+            LaneAccess { lane: 2, write: false },
+        ];
+        let mut fwd = SharedCellFold::default();
+        let mut rev = SharedCellFold::default();
+        for a in accesses {
+            fwd.offer(a);
+        }
+        for a in accesses.iter().rev() {
+            rev.offer(*a);
+        }
+        let (fp, ft) = fwd.conflict().expect("write + two lanes is a race");
+        let (rp, rt) = rev.conflict().expect("write + two lanes is a race");
+        assert_eq!((fp.lane, fp.write, ft.lane, ft.write), (rp.lane, rp.write, rt.lane, rt.write));
+        // Lane 2's write is the minimum-ranked access; lane 5's read is the
+        // lowest-ranked access on another lane.
+        assert_eq!((fp.lane, fp.write), (2, true));
+        assert_eq!((ft.lane, ft.write), (5, false));
+    }
+
+    #[test]
+    fn race_fold_requires_write_and_two_lanes() {
+        let mut reads_only = SharedCellFold::default();
+        reads_only.offer(LaneAccess { lane: 0, write: false });
+        reads_only.offer(LaneAccess { lane: 1, write: false });
+        assert!(reads_only.conflict().is_none());
+
+        let mut one_lane = SharedCellFold::default();
+        one_lane.offer(LaneAccess { lane: 3, write: true });
+        one_lane.offer(LaneAccess { lane: 3, write: false });
+        assert!(one_lane.conflict().is_none());
+    }
+
+    #[test]
+    fn collect_races_is_canonically_ordered() {
+        let bs = BlockShared::with_tools(&decls(), true, false);
+        let f = bs.view::<f32>(0);
+        // Touch cells out of order and across epochs.
+        f.racecheck_access(4, 1, 0, AccessKind::Write);
+        f.racecheck_access(4, 0, 0, AccessKind::Read);
+        f.racecheck_access(2, 6, 3, AccessKind::Write);
+        f.racecheck_access(2, 2, 3, AccessKind::Write);
+        f.racecheck_access(2, 9, 1, AccessKind::Read);
+        f.racecheck_access(2, 8, 1, AccessKind::Write);
+        // Same cell, different epochs: no conflict.
+        f.racecheck_access(7, 0, 0, AccessKind::Write);
+        f.racecheck_access(7, 1, 1, AccessKind::Write);
+        let races = bs.collect_races();
+        let keys: Vec<(usize, usize, u64)> =
+            races.iter().map(|(slot, r)| (*slot, r.cell, r.epoch)).collect();
+        assert_eq!(keys, vec![(0, 2, 1), (0, 2, 3), (0, 4, 0)]);
+        bs.clear();
+        assert!(bs.collect_races().is_empty());
     }
 
     #[test]

@@ -22,9 +22,9 @@ use crate::barrier::RetireBarrier;
 use crate::counters::CostCounters;
 use crate::dim::Dim3;
 use crate::mem::{DBuf, DeviceScalar};
-use crate::memtrace::{LaunchMemTrace, MemAccessKind};
-use crate::san::{AccessSite, GlobalKind, LaunchSan};
-use crate::shared::{BlockShared, SharedRace, SharedView};
+use crate::memtrace::{BarrierEvent, LaunchMemTrace, MemAccessKind, MemEvent, MemSpace, TraceLog};
+use crate::san::{AccessSite, DiagLog, GlobalKind, LaunchSan, Party, ToolMask};
+use crate::shared::{BlockShared, SharedView};
 use crate::warp::WarpGroup;
 
 /// Execution identity and services for one simulated GPU thread.
@@ -45,6 +45,11 @@ pub struct ThreadCtx<'a> {
     pub(crate) san: Option<&'a LaunchSan>,
     /// Memory-access trace of the enclosing launch, when one is attached.
     pub(crate) mem: Option<&'a LaunchMemTrace>,
+    /// Lane-local trace buffer, staged for the canonical launch-end merge
+    /// when the lane retires (see [`ThreadCtx::stage_logs`]).
+    pub(crate) trace_log: TraceLog,
+    /// Lane-local sanitizer findings, staged alongside the trace buffer.
+    pub(crate) diag_log: DiagLog,
 }
 
 impl<'a> ThreadCtx<'a> {
@@ -75,6 +80,8 @@ impl<'a> ThreadCtx<'a> {
             collective_count: 0,
             san: None,
             mem: None,
+            trace_log: TraceLog::default(),
+            diag_log: DiagLog::default(),
         }
     }
 
@@ -90,62 +97,108 @@ impl<'a> ThreadCtx<'a> {
         }
     }
 
-    /// Run the memcheck/initcheck/racecheck global-memory hook. Returns
-    /// `true` when the access must be suppressed (OOB / use-after-free
-    /// under memcheck).
+    /// Run the memcheck/initcheck global-memory hook and fold the access
+    /// into the cross-block race summary. Returns `true` when the access
+    /// must be suppressed (OOB / use-after-free under memcheck).
     #[inline]
-    fn san_global<T: DeviceScalar>(&self, buf: &DBuf<T>, i: usize, kind: GlobalKind) -> bool {
-        match self.san {
-            Some(san) => san.state().global_access(
-                self.site(san),
+    fn san_global<T: DeviceScalar>(&mut self, buf: &DBuf<T>, i: usize, kind: GlobalKind) -> bool {
+        let Some(san) = self.san else { return false };
+        let site = self.site(san);
+        let suppress = san.state().global_access(
+            site,
+            buf.alloc_id(),
+            &buf.label(),
+            buf.len(),
+            buf.is_freed(),
+            i,
+            kind,
+            kind == GlobalKind::Read && buf.is_unwritten(i),
+            &mut self.diag_log,
+        );
+        if !suppress
+            && i < buf.len()
+            && !buf.is_freed()
+            && kind != GlobalKind::Atomic
+            && san.state().tool_on(ToolMask::RACECHECK)
+        {
+            san.fold_global_access(
                 buf.alloc_id(),
                 &buf.label(),
-                buf.len(),
-                buf.is_freed(),
                 i,
-                kind,
-                kind == GlobalKind::Read && buf.is_unwritten(i),
-            ),
-            None => false,
+                Party {
+                    block_rank: site.block_rank,
+                    thread_rank: self.thread_rank(),
+                    block: self.block,
+                    thread: self.thread,
+                    write: kind == GlobalKind::Write,
+                },
+            );
         }
-    }
-
-    /// Record a detected shared-memory race into the attached sanitizer
-    /// session. Shadow cells are only materialized when a racecheck session
-    /// is attached, so a conflict implies a session is present.
-    #[cold]
-    fn report_shared_race(&self, slot: usize, race: SharedRace) {
-        if let Some(san) = self.san {
-            san.state().shared_race(self.site(san), slot, race);
-        }
+        suppress
     }
 
     /// Record a `KernelFlags` drift (collective used on the serial path) as
     /// a structured finding when a synccheck session is attached; returns
     /// `true` when the caller should degrade instead of panicking.
     #[cold]
-    fn report_flags_drift(&self, what: &str, missing: &str) -> bool {
+    fn report_flags_drift(&mut self, what: &str, missing: &str) -> bool {
         match self.san {
-            Some(san) => san.state().flags_drift(self.site(san), what, missing),
+            Some(san) => {
+                let site = self.site(san);
+                san.state().flags_drift(site, what, missing, &mut self.diag_log)
+            }
             None => false,
+        }
+    }
+
+    /// Stage this lane's trace and diagnostic buffers for the canonical
+    /// launch-end merge. Called by the executor when the lane retires —
+    /// including when it was unwound by a panic, so partial evidence
+    /// survives a failing kernel.
+    pub(crate) fn stage_logs(&mut self) {
+        let block_rank = self.block_rank();
+        let thread_rank = self.thread_rank();
+        if let Some(mem) = self.mem {
+            mem.stage_lane(block_rank, thread_rank, &mut self.trace_log);
+        }
+        if let Some(san) = self.san {
+            san.stage_lane(block_rank, thread_rank, &mut self.diag_log);
         }
     }
 
     // ---- memory-trace plumbing ------------------------------------------
 
     #[inline]
-    fn trace_global<T: DeviceScalar>(&self, buf: &DBuf<T>, i: usize, kind: MemAccessKind) {
-        if let Some(mem) = self.mem {
+    fn trace_global<T: DeviceScalar>(&mut self, buf: &DBuf<T>, i: usize, kind: MemAccessKind) {
+        if self.mem.is_some() {
             let phase = self.counters.barriers as u32;
-            mem.global(self.block, self.thread, buf.alloc_id(), &buf.label(), i, kind, phase);
+            self.trace_log.push_event(MemEvent {
+                kernel: String::new(),
+                launch: 0,
+                block: self.block,
+                thread: self.thread,
+                space: MemSpace::Global { alloc_id: buf.alloc_id(), label: buf.label() },
+                index: i,
+                kind,
+                phase,
+            });
         }
     }
 
     #[inline]
-    fn trace_shared(&self, slot: usize, i: usize, kind: MemAccessKind) {
-        if let Some(mem) = self.mem {
+    fn trace_shared(&mut self, slot: usize, i: usize, kind: MemAccessKind) {
+        if self.mem.is_some() {
             let phase = self.counters.barriers as u32;
-            mem.shared(self.block, self.thread, slot, i, kind, phase);
+            self.trace_log.push_event(MemEvent {
+                kernel: String::new(),
+                launch: 0,
+                block: self.block,
+                thread: self.thread,
+                space: MemSpace::Shared { slot },
+                index: i,
+                kind,
+                phase,
+            });
         }
     }
 
@@ -294,13 +347,15 @@ impl<'a> ThreadCtx<'a> {
         let align = std::mem::align_of::<T>();
         if !byte_offset.is_multiple_of(align) {
             if let Some(san) = self.san {
+                let site = self.site(san);
                 san.state().misaligned_access(
-                    self.site(san),
+                    site,
                     buf.alloc_id(),
                     &buf.label(),
                     byte_offset,
                     align,
                     std::any::type_name::<T>(),
+                    &mut self.diag_log,
                 );
             }
         }
@@ -398,17 +453,16 @@ impl<'a> ThreadCtx<'a> {
     pub fn sread<T: DeviceScalar>(&mut self, view: &SharedView<'a, T>, i: usize) -> T {
         self.counters.shared_accesses += 1;
         self.trace_shared(view.slot_index(), i, MemAccessKind::Read);
-        if let Some(race) = view.racecheck_access(
+        view.racecheck_access(
             i,
             self.thread_rank(),
             self.counters.barriers,
             crate::shared::AccessKind::Read,
-        ) {
-            self.report_shared_race(view.slot_index(), race);
-        }
+        );
         if view.is_unwritten(i) {
             if let Some(san) = self.san {
-                san.state().uninit_shared_read(self.site(san), view.slot_index(), i);
+                let site = self.site(san);
+                san.state().uninit_shared_read(site, view.slot_index(), i, &mut self.diag_log);
             }
         }
         view.get(i)
@@ -419,14 +473,12 @@ impl<'a> ThreadCtx<'a> {
     pub fn swrite<T: DeviceScalar>(&mut self, view: &SharedView<'a, T>, i: usize, v: T) {
         self.counters.shared_accesses += 1;
         self.trace_shared(view.slot_index(), i, MemAccessKind::Write);
-        if let Some(race) = view.racecheck_access(
+        view.racecheck_access(
             i,
             self.thread_rank(),
             self.counters.barriers,
             crate::shared::AccessKind::Write,
-        ) {
-            self.report_shared_race(view.slot_index(), race);
-        }
+        );
         view.set(i, v)
     }
 
@@ -479,8 +531,14 @@ impl<'a> ThreadCtx<'a> {
     /// [`crate::exec::KernelFlags`] must set `uses_block_sync`), except for
     /// single-thread blocks where the barrier is trivially a no-op.
     pub fn sync_threads(&mut self) {
-        if let Some(mem) = self.mem {
-            mem.barrier(self.block, self.thread, self.counters.barriers as u32);
+        if self.mem.is_some() {
+            self.trace_log.push_barrier(BarrierEvent {
+                kernel: String::new(),
+                launch: 0,
+                block: self.block,
+                thread: self.thread,
+                ordinal: self.counters.barriers as u32,
+            });
         }
         self.counters.barriers += 1;
         match self.block_barrier {
@@ -562,7 +620,8 @@ impl<'a> ThreadCtx<'a> {
             let lane_in = lane < 64 && mask & (1u64 << lane) != 0;
             let src_in = src_lane < 64 && mask & (1u64 << src_lane) != 0 && src_lane < lanes;
             if !lane_in || !src_in {
-                san.state().invalid_shfl_mask(self.site(san), mask, lane, src_lane);
+                let site = self.site(san);
+                san.state().invalid_shfl_mask(site, mask, lane, src_lane, &mut self.diag_log);
             }
         }
         self.shfl(val, src_lane)

@@ -79,6 +79,24 @@ cargo run --release -q -p ompx-bench --bin profile -- --test-scale \
     --baseline results/profile_baseline.json \
     --bench-out results/BENCH_prof.json >/dev/null
 
+echo "==> simspeed determinism + speed gate (24-cell matrix, serial vs parallel)"
+cargo run --release -q -p ompx-bench --bin simspeed -- \
+    --runs 1 --baseline results/BENCH_simspeed.json >/dev/null
+
+echo "==> cross-thread determinism gate (two identical runs at full worker width)"
+DET=$(mktemp -d)
+for r in a b; do
+    # sanitize exits non-zero on findings by design — the racy fixture is
+    # the point here, the gate is the byte-diff below.
+    OMPX_SIM_WORKERS="$(nproc)" cargo run --release -q -p ompx-bench --bin sanitize -- \
+        --tool all --fixture shared-race --json --out "$DET/$r-san.json" >/dev/null || true
+    OMPX_SIM_WORKERS="$(nproc)" cargo run --release -q -p ompx-bench --bin analyze -- \
+        extract --app stencil --version omp --json --out "$DET/$r-ext.json" >/dev/null
+done
+diff "$DET/a-san.json" "$DET/b-san.json"
+diff "$DET/a-ext.json" "$DET/b-ext.json"
+rm -rf "$DET"
+
 echo "==> serve smoke + baseline gate (1000 clients, fixed seed, injected faults)"
 cargo run --release -q -p ompx-bench --bin serve -- \
     --clients 1000 --tenants 8 \
